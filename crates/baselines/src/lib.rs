@@ -1,0 +1,30 @@
+//! # hash-baselines
+//!
+//! The three baseline subexpression hashers of the paper's Table 1:
+//!
+//! | Algorithm | Complexity | True pos. | True neg. | Module |
+//! |-----------|------------|-----------|-----------|--------|
+//! | Structural (§2.3) | O(n) | Yes | **No** | [`structural`] |
+//! | De Bruijn (§2.4) | O(n log n) | **No** | **No** | [`debruijn_hash`] |
+//! | Locally Nameless (§2.5) | O(n² log n) | Yes | Yes | [`locally_nameless`] |
+//!
+//! ("True pos./neg." refer to correctness as an alpha-equivalence
+//! classifier for subexpressions *in context*, assuming the §2.2
+//! unique-binder preprocessing. Structural and De Bruijn are *incorrect*
+//! baselines, kept — as in the paper — to define the complexity floor;
+//! Locally Nameless is the fastest known correct baseline.)
+//!
+//! All three share the interface of the main algorithm: one call hashes
+//! every subexpression, returning
+//! [`alpha_hash::hashed::SubtreeHashes`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod debruijn_hash;
+pub mod locally_nameless;
+pub mod structural;
+
+pub use debruijn_hash::hash_all_debruijn;
+pub use locally_nameless::hash_all_locally_nameless;
+pub use structural::hash_all_structural;

@@ -1,0 +1,54 @@
+//! Ablation: the `StructureTag`-based algorithm (§4.8 + §5, the paper's
+//! choice) vs the Appendix C lazy linear-map variant. Both are
+//! O(n (log n)²); the question is the constant factor (and the paper's
+//! preference for the tag variant's simpler collision story).
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hashed::HashedSummariser;
+use alpha_hash::linear::LinearSummariser;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let scheme: HashScheme<u64> = HashScheme::new(0xAB1C);
+    let mut group = c.benchmark_group("ablation_linear");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for family in ["balanced", "unbalanced"] {
+        for n in [10_000usize, 100_000] {
+            let mut rng = StdRng::seed_from_u64(13 ^ n as u64);
+            let mut arena = ExprArena::with_capacity(n);
+            let root = match family {
+                "balanced" => expr_gen::balanced(&mut arena, n, &mut rng),
+                _ => expr_gen::unbalanced(&mut arena, n, &mut rng),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}/structure_tag"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut s = HashedSummariser::new(&arena, &scheme);
+                        std::hint::black_box(s.summarise_all(&arena, root))
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}/linear_map"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut s = LinearSummariser::new(&arena, &scheme);
+                        std::hint::black_box(s.summarise_all(&arena, root))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_linear, benches);
+criterion_main!(ablation_linear);

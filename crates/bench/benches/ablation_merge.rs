@@ -1,0 +1,58 @@
+//! Ablation: the §4.8 smaller-subtree merge vs the §4.6 transform-both
+//! merge, on the same hashed representation. This isolates the design
+//! choice that takes the algorithm from Θ(n²) to O(n log n) map
+//! operations (Lemma 6.1).
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hashed::{HashedSummariser, MergeStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let scheme: HashScheme<u64> = HashScheme::new(0xAB1A);
+    let mut group = c.benchmark_group("ablation_merge");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for family in ["balanced", "unbalanced"] {
+        for n in [1_000usize, 10_000, 50_000] {
+            let mut rng = StdRng::seed_from_u64(11 ^ n as u64);
+            let mut arena = ExprArena::with_capacity(n);
+            let root = match family {
+                "balanced" => expr_gen::balanced(&mut arena, n, &mut rng),
+                _ => expr_gen::unbalanced(&mut arena, n, &mut rng),
+            };
+            for (label, strategy) in [
+                ("smaller_into_bigger", MergeStrategy::SmallerIntoBigger),
+                ("transform_both", MergeStrategy::TransformBoth),
+            ] {
+                // The quadratic strategy on the deep family needs ~n²/2
+                // map operations; cap it where one iteration stays in
+                // seconds (the blow-up is already unambiguous there).
+                if strategy == MergeStrategy::TransformBoth
+                    && family == "unbalanced"
+                    && n > 10_000
+                {
+                    continue;
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{family}/{label}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            let mut s =
+                                HashedSummariser::with_strategy(&arena, &scheme, strategy);
+                            std::hint::black_box(s.summarise_all(&arena, root))
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_merge, benches);
+criterion_main!(ablation_merge);

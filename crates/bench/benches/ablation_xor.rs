@@ -1,0 +1,93 @@
+//! Ablation: XOR-maintained variable-map hashes (§5.2) vs recomputing the
+//! map hash by folding over all entries at every update. This is the
+//! micro-level design choice that makes the map hash O(1) per operation;
+//! the fold version is what a "strong combiner everywhere" implementation
+//! would be forced to do (the paper's motivation for proving XOR safe in
+//! §6.2).
+
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_hash::hashed::{PosH, VarMapH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use lambda_lang::symbol::Symbol;
+use std::time::Duration;
+
+/// Applies `updates` single-entry upserts to a map of `size` entries,
+/// with XOR maintenance (the paper's way).
+fn xor_maintained(
+    scheme: &HashScheme<u64>,
+    syms: &[(Symbol, u64)],
+    size: usize,
+    updates: usize,
+) -> u64 {
+    let here = PosH { hash: scheme.pt_here(), size: 1 };
+    let mut vm = VarMapH::singleton(scheme, syms[0].0, syms[0].1, here);
+    for &(sym, nh) in &syms[1..size] {
+        vm.upsert(scheme, sym, nh, here);
+    }
+    let mut acc = 0u64;
+    for i in 0..updates {
+        let (sym, nh) = syms[i % size];
+        let new_pos = PosH { hash: scheme.pt_left(2 + i as u64, here.hash), size: 2 };
+        vm.upsert(scheme, sym, nh, new_pos);
+        acc ^= vm.hash(); // O(1): the XOR is already maintained
+    }
+    acc
+}
+
+/// The same updates, but the map hash is recomputed by a full fold after
+/// each update — the cost model without the XOR trick.
+fn fold_recomputed(
+    scheme: &HashScheme<u64>,
+    syms: &[(Symbol, u64)],
+    size: usize,
+    updates: usize,
+) -> u64 {
+    let here = PosH { hash: scheme.pt_here(), size: 1 };
+    let mut vm = VarMapH::singleton(scheme, syms[0].0, syms[0].1, here);
+    for &(sym, nh) in &syms[1..size] {
+        vm.upsert(scheme, sym, nh, here);
+    }
+    // O(1) name-hash lookup so the fold itself is honestly O(size).
+    let nh_map: std::collections::HashMap<Symbol, u64> = syms.iter().copied().collect();
+    let nh_of = |target: Symbol| nh_map[&target];
+    let mut acc = 0u64;
+    for i in 0..updates {
+        let (sym, nh) = syms[i % size];
+        let new_pos = PosH { hash: scheme.pt_left(2 + i as u64, here.hash), size: 2 };
+        vm.upsert(scheme, sym, nh, new_pos);
+        // Full fold: what hashVM would cost without XOR maintenance.
+        let folded = vm
+            .iter()
+            .fold(u64::ZERO, |h, (s, p)| h.xor(scheme.entry(nh_of(s), p.hash)));
+        acc ^= folded;
+    }
+    acc
+}
+
+fn benches(c: &mut Criterion) {
+    let scheme: HashScheme<u64> = HashScheme::new(0xAB1B);
+    let mut arena = ExprArena::new();
+    let syms: Vec<(Symbol, u64)> = (0..4096)
+        .map(|i| {
+            let s = arena.intern(&format!("v{i}"));
+            (s, scheme.var_name(&format!("v{i}")))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_xor");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for size in [64usize, 512, 4096] {
+        let updates = 2048;
+        group.bench_with_input(BenchmarkId::new("xor_maintained", size), &size, |b, &size| {
+            b.iter(|| std::hint::black_box(xor_maintained(&scheme, &syms, size, updates)));
+        });
+        group.bench_with_input(BenchmarkId::new("fold_recomputed", size), &size, |b, &size| {
+            b.iter(|| std::hint::black_box(fold_recomputed(&scheme, &syms, size, updates)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_xor, benches);
+criterion_main!(ablation_xor);

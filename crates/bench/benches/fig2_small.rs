@@ -1,0 +1,49 @@
+//! Criterion version of Figure 2 at CI-friendly sizes: time to hash all
+//! subexpressions of balanced and unbalanced random expressions, all four
+//! algorithms. The full sweep (to 10⁷ nodes, with budget-based skipping)
+//! lives in the `fig2` binary.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::Algorithm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_family(c: &mut Criterion, family: &str) {
+    let scheme: HashScheme<u64> = HashScheme::new(0xBEAC);
+    let mut group = c.benchmark_group(format!("fig2_{family}"));
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(7 ^ n as u64);
+        let mut arena = ExprArena::with_capacity(n);
+        let root = match family {
+            "balanced" => expr_gen::balanced(&mut arena, n, &mut rng),
+            _ => expr_gen::unbalanced(&mut arena, n, &mut rng),
+        };
+        for alg in Algorithm::ALL {
+            // Locally nameless is quadratic: skip the sizes that would
+            // take minutes per sample on the unbalanced family.
+            if alg == Algorithm::LocallyNameless && family == "unbalanced" && n > 10_000 {
+                continue;
+            }
+            if alg == Algorithm::LocallyNameless && n > 100_000 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(alg.run(&arena, root, &scheme)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family(c, "balanced");
+    bench_family(c, "unbalanced");
+}
+
+criterion_group!(fig2_small, benches);
+criterion_main!(fig2_small);

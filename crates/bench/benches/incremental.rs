@@ -1,0 +1,62 @@
+//! Benchmark of §6.3 incrementality: after a local rewrite, re-hashing
+//! with the incremental engine (path-to-root recomputation over
+//! persistent maps) vs re-running the batch summariser from scratch.
+//!
+//! The paper analyses this cost as O(min(h² + h·f, n log² n)); on a
+//! balanced tree with all variables bound the incremental update is
+//! polylogarithmic, so the gap to from-scratch should widen linearly
+//! with n.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::incremental::IncrementalHasher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::{ExprArena, ExprNode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let scheme: HashScheme<u64> = HashScheme::new(0x16C0);
+    let mut group = c.benchmark_group("incremental_vs_scratch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for n in [10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(17 ^ n as u64);
+        let mut arena = ExprArena::with_capacity(n);
+        let root = expr_gen::balanced(&mut arena, n, &mut rng);
+
+        // A small replacement subtree.
+        let mut patch = ExprArena::new();
+        let p1 = patch.var_named("p");
+        let p2 = patch.var_named("q");
+        let patch_root = patch.app(p1, p2);
+
+        // Incremental: build once, measure the edit. Each edit replaces
+        // the previously inserted subtree, so no O(n) target search
+        // pollutes the measurement.
+        group.bench_with_input(BenchmarkId::new("incremental_edit", n), &n, |b, _| {
+            let mut engine = IncrementalHasher::new(arena.clone(), root, scheme);
+            let mut target = engine
+                .find(|a, node| matches!(a.node(node), ExprNode::Var(_)))
+                .expect("a leaf to replace");
+            b.iter(|| {
+                let outcome =
+                    engine.replace_subtree(target, &patch, patch_root).expect("edit");
+                target = outcome.new_root;
+                std::hint::black_box(outcome.stats)
+            });
+        });
+
+        // From scratch: one full re-hash (what a non-incremental system
+        // does after any edit).
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(alpha_hash::hash_all_subexpressions(&arena, root, &scheme))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(incremental, benches);
+criterion_main!(incremental);

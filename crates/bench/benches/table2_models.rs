@@ -1,0 +1,33 @@
+//! Criterion version of Table 2: the three real-life model expressions
+//! (synthetic equivalents at the paper's node counts), all four
+//! algorithms.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::Algorithm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let scheme: HashScheme<u64> = HashScheme::new(0x7AB2);
+    let mut arena = ExprArena::new();
+    let models = [
+        ("mnist_cnn", expr_gen::mnist_cnn(&mut arena)),
+        ("gmm", expr_gen::gmm(&mut arena)),
+        ("bert12", expr_gen::bert(&mut arena, 12)),
+    ];
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (name, root) in models {
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::new(alg.name(), name), &root, |b, &root| {
+                b.iter(|| std::hint::black_box(alg.run(&arena, root, &scheme)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(table2_models, benches);
+criterion_main!(table2_models);

@@ -1,0 +1,96 @@
+//! Regenerates **Figure 4** (Appendix B): the empirical number of 16-bit
+//! hash collisions for random and adversarial expression pairs, against
+//! the perfect-hash floor and the Theorem 6.7 ceiling.
+//!
+//! ```text
+//! cargo run --release -p alpha-hash-bench --bin fig4_collisions -- \
+//!     [--trials 65536] [--max-size 4096] [--seed 1]
+//! ```
+//!
+//! The paper draws 10·2¹⁶ pairs per size; the default here is 2¹⁶ so the
+//! whole figure regenerates in minutes on a laptop (collision *rates* are
+//! what matters, and results are normalised to collisions per 2¹⁶ pairs).
+//! Every pair gets a freshly seeded combiner family, matching the
+//! appendix's "no pair of expressions collides reliably across many
+//! seeds" methodology.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hash_expr;
+use alpha_hash_bench::Args;
+use lambda_lang::arena::ExprArena;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.get_usize("trials", 1 << 16);
+    let max_size = args.get_usize("max-size", 4096);
+    let seed = args.get_usize("seed", 1) as u64;
+
+    let sizes: Vec<usize> =
+        [128usize, 256, 512, 1024, 2048, 4096].into_iter().filter(|&s| s <= max_size).collect();
+
+    println!("Figure 4: 16-bit hash collisions, normalised to collisions per 2^16 pairs.");
+    println!("(perfect hash expectation = 1; Theorem 6.7 ceiling = 10*n)");
+    println!();
+    println!(
+        "{:>6} {:>12} {:>22} {:>24} {:>12}",
+        "n", "trials", "random (per 2^16)", "adversarial (per 2^16)", "bound 10n"
+    );
+
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).rotate_left(17));
+
+        let mut random_collisions = 0u64;
+        let mut random_equivalent_discards = 0u64;
+        for _ in 0..trials {
+            let scheme: HashScheme<u16> = HashScheme::new(rng.random());
+            let mut arena = ExprArena::with_capacity(2 * n);
+            let e1 = expr_gen::balanced(&mut arena, n, &mut rng);
+            let e2 = expr_gen::balanced(&mut arena, n, &mut rng);
+            if hash_expr(&arena, e1, &scheme) == hash_expr(&arena, e2, &scheme) {
+                // Only now do the expensive check: was the pair actually
+                // alpha-equivalent (discarded per the appendix) or a real
+                // collision? A 128-bit hash stands in for the predicate.
+                let wide: HashScheme<u128> = HashScheme::new(0xA11A);
+                if hash_expr(&arena, e1, &wide) == hash_expr(&arena, e2, &wide) {
+                    random_equivalent_discards += 1;
+                } else {
+                    random_collisions += 1;
+                }
+            }
+        }
+
+        let mut adversarial_collisions = 0u64;
+        for _ in 0..trials {
+            let scheme: HashScheme<u16> = HashScheme::new(rng.random());
+            let mut arena = ExprArena::with_capacity(2 * n);
+            let (e1, e2) = expr_gen::adversarial_pair(&mut arena, n, &mut rng);
+            if hash_expr(&arena, e1, &scheme) == hash_expr(&arena, e2, &scheme) {
+                adversarial_collisions += 1;
+            }
+        }
+
+        let norm = |c: u64| c as f64 * (1u64 << 16) as f64 / trials as f64;
+        println!(
+            "{:>6} {:>12} {:>22.2} {:>24.2} {:>12}",
+            n,
+            trials,
+            norm(random_collisions),
+            norm(adversarial_collisions),
+            10 * n
+        );
+        println!(
+            "CSV,{n},{trials},{},{},{},{}",
+            random_collisions,
+            adversarial_collisions,
+            random_equivalent_discards,
+            10 * n
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper): random pairs sit near the perfect-hash floor (~1)");
+    println!("independent of n; adversarial pairs grow with n but stay ~2 orders of");
+    println!("magnitude below the 10n ceiling.");
+}

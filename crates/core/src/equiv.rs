@@ -1,0 +1,227 @@
+//! Equivalence-class extraction — the paper's stated goal (§3): "identify
+//! all equivalence classes of subexpressions of `e`, where two
+//! subexpressions are equivalent iff they are alpha-equivalent".
+//!
+//! [`hash_classes`] groups subexpressions by their alpha-hash (the cost of
+//! a sort, as §1 promises once per-node hashes exist).
+//! [`ground_truth_classes`] computes the same partition with the O(n²)
+//! pairwise [`lambda_lang::alpha::alpha_eq`] predicate; tests assert the
+//! two partitions coincide.
+
+use crate::combine::{HashScheme, HashWord};
+use crate::hashed::{hash_all_subexpressions, SubtreeHashes};
+use lambda_lang::arena::{ExprArena, NodeId};
+use std::collections::HashMap;
+
+/// Groups the hashed subexpressions into equivalence classes. Classes are
+/// returned with members in node order; singleton classes are included.
+pub fn group_by_hash<H: HashWord>(hashes: &SubtreeHashes<H>) -> Vec<Vec<NodeId>> {
+    let mut by_hash: HashMap<H, Vec<NodeId>> = HashMap::new();
+    for (node, hash) in hashes.iter() {
+        by_hash.entry(hash).or_default().push(node);
+    }
+    let mut classes: Vec<Vec<NodeId>> = by_hash.into_values().collect();
+    for class in &mut classes {
+        class.sort();
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// One-shot: alpha-equivalence classes of all subexpressions of `root`.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+/// use lambda_lang::uniquify::uniquify;
+/// use alpha_hash::combine::HashScheme;
+/// use alpha_hash::equiv::hash_classes;
+///
+/// let mut a = ExprArena::new();
+/// let parsed = parse(&mut a, r"foo (\x. x+7) (\y. y+7)")?;
+/// let (b, root) = uniquify(&a, parsed);
+/// let scheme: HashScheme<u64> = HashScheme::default();
+/// let classes = hash_classes(&b, root, &scheme);
+/// // One class holds the two alpha-equivalent lambdas.
+/// assert!(classes.iter().any(|c| c.len() == 2));
+/// # Ok::<(), lambda_lang::parse::ParseError>(())
+/// ```
+pub fn hash_classes<H: HashWord>(
+    arena: &ExprArena,
+    root: NodeId,
+    scheme: &HashScheme<H>,
+) -> Vec<Vec<NodeId>> {
+    group_by_hash(&hash_all_subexpressions(arena, root, scheme))
+}
+
+/// The ground-truth partition, via pairwise alpha-equivalence against one
+/// representative per class. O(n² · n) worst case — for tests and small
+/// inputs only.
+pub fn ground_truth_classes(arena: &ExprArena, root: NodeId) -> Vec<Vec<NodeId>> {
+    // Bucket by subtree size first: alpha-equivalent terms have equal
+    // sizes, so representatives only need checking within a bucket.
+    let mut classes: Vec<(usize, NodeId, Vec<NodeId>)> = Vec::new();
+    for n in lambda_lang::visit::postorder(arena, root) {
+        let n_size = arena.subtree_size(n);
+        let found = classes.iter_mut().find(|(size, rep, _)| {
+            *size == n_size && lambda_lang::alpha::alpha_eq(arena, *rep, arena, n)
+        });
+        match found {
+            Some((_, _, members)) => members.push(n),
+            None => classes.push((n_size, n, vec![n])),
+        }
+    }
+    let mut out: Vec<Vec<NodeId>> = classes
+        .into_iter()
+        .map(|(_, _, mut members)| {
+            members.sort();
+            members
+        })
+        .collect();
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+/// Size of the expression when stored as a DAG with **one node per
+/// equivalence class**: children point at class representatives, so a
+/// class whose members only occur inside duplicate copies costs nothing.
+/// This is the §2 "structure sharing to save memory" metric — with
+/// alpha-hashes it shares loop-unrolled blocks that syntactic
+/// hash-consing cannot (see the `dedup_sharing` example).
+///
+/// Returns the number of classes reachable from the root's class.
+pub fn shared_dag_size<H: HashWord>(
+    arena: &ExprArena,
+    root: NodeId,
+    hashes: &SubtreeHashes<H>,
+) -> usize {
+    // One representative node per class.
+    let mut representative: HashMap<H, NodeId> = HashMap::new();
+    for (node, hash) in hashes.iter() {
+        representative.entry(hash).or_insert(node);
+    }
+    let mut seen: std::collections::HashSet<H> = std::collections::HashSet::new();
+    let mut queue = vec![hashes.get(root).expect("root must be hashed")];
+    while let Some(h) = queue.pop() {
+        if !seen.insert(h) {
+            continue;
+        }
+        let node = representative[&h];
+        for child in arena.node(node).children() {
+            queue.push(hashes.get(child).expect("children of hashed nodes are hashed"));
+        }
+    }
+    seen.len()
+}
+
+/// Whether two partitions (as produced above) are identical.
+pub fn same_partition(a: &[Vec<NodeId>], b: &[Vec<NodeId>]) -> bool {
+    let normalise = |p: &[Vec<NodeId>]| {
+        let mut sets: Vec<Vec<NodeId>> = p
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort();
+                c
+            })
+            .collect();
+        sets.sort();
+        sets
+    };
+    normalise(a) == normalise(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::parse::parse;
+    use lambda_lang::uniquify::uniquify;
+
+    fn classes_of(src: &str) -> (ExprArena, NodeId, Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, src).unwrap();
+        let (b, root) = uniquify(&a, parsed);
+        let scheme: HashScheme<u64> = HashScheme::new(99);
+        let hashed = hash_classes(&b, root, &scheme);
+        let truth = ground_truth_classes(&b, root);
+        (b, root, hashed, truth)
+    }
+
+    #[test]
+    fn hash_classes_match_ground_truth_on_paper_examples() {
+        for src in [
+            r"foo (\x. x+7) (\y. y+7)",
+            "(a + (v+7)) * (v+7)",
+            "foo (let bar = x+1 in bar*y) (let p = x+1 in p*y)",
+            r"\t. foo (\x. x + t) (\y. \x. x + t)",
+            "foo (let x = bar in x+2) (let x = pubx in x+2)",
+            r"map (\y. y+1) (map (\x. x+1) vs)",
+        ] {
+            let (_, _, hashed, truth) = classes_of(src);
+            assert!(same_partition(&hashed, &truth), "partition mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn intro_cse_example_finds_the_shared_subterm() {
+        // (a + (v+7)) * (v+7): the two v+7 occurrences form one class.
+        let (arena, root, hashed, _) = classes_of("(a + (v+7)) * (v+7)");
+        let _ = root;
+        let shared: Vec<&Vec<NodeId>> = hashed.iter().filter(|c| c.len() >= 2).collect();
+        // Classes of size ≥ 2: `v+7` (the full application), `add v`
+        // (the partial application), plus the leaf variables v and add.
+        assert!(shared.iter().any(|c| {
+            c.len() == 2 && arena.subtree_size(c[0]) == 5 // add v 7
+        }));
+    }
+
+    #[test]
+    fn all_nodes_are_covered_exactly_once() {
+        let (arena, root, hashed, _) = classes_of(r"\x. x (x + 1)");
+        let total: usize = hashed.iter().map(|c| c.len()).sum();
+        assert_eq!(total, arena.subtree_size(root));
+        let mut seen = std::collections::HashSet::new();
+        for class in &hashed {
+            for &n in class {
+                assert!(seen.insert(n), "node {n:?} appears twice");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_dag_size_collapses_alpha_copies() {
+        // Two alpha-equivalent lambdas: the DAG stores one copy.
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, r"foo (\x. x+7) (\y. y+7)").unwrap();
+        let (b, root) = uniquify(&a, parsed);
+        let scheme: HashScheme<u64> = HashScheme::new(99);
+        let hashes = crate::hashed::hash_all_subexpressions(&b, root, &scheme);
+        let dag = super::shared_dag_size(&b, root, &hashes);
+        // Tree is 15 nodes; the second lambda's 6 nodes collapse, and the
+        // repeated leaves (add, 7) collapse too.
+        assert!(dag < 12, "dag size {dag}");
+        assert!(dag >= 8, "dag size {dag} suspiciously small");
+    }
+
+    #[test]
+    fn shared_dag_size_without_sharing_equals_class_count() {
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, "f x y z").unwrap();
+        let (b, root) = uniquify(&a, parsed);
+        let scheme: HashScheme<u64> = HashScheme::new(99);
+        let hashes = crate::hashed::hash_all_subexpressions(&b, root, &scheme);
+        // All 7 subtrees are distinct: DAG = tree.
+        assert_eq!(super::shared_dag_size(&b, root, &hashes), 7);
+    }
+
+    #[test]
+    fn partition_comparison_is_order_insensitive() {
+        let a = vec![vec![NodeId::from_index(0)], vec![NodeId::from_index(1), NodeId::from_index(2)]];
+        let b = vec![vec![NodeId::from_index(2), NodeId::from_index(1)], vec![NodeId::from_index(0)]];
+        assert!(same_partition(&a, &b));
+        let c = vec![vec![NodeId::from_index(0), NodeId::from_index(1)], vec![NodeId::from_index(2)]];
+        assert!(!same_partition(&a, &c));
+    }
+}

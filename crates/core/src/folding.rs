@@ -1,0 +1,251 @@
+//! Constant folding through the incremental hasher — a realistic rewrite
+//! campaign.
+//!
+//! The paper's incrementality motivation (§1, §6.3): "in typical compilers
+//! the program is subjected to thousands of rewrites, each of which
+//! transforms the program locally. Ideally, we would like an incremental
+//! hashing algorithm, so that we can continuously monitor sharing". This
+//! module is that client: a constant-folding pass that applies local
+//! rewrites *through* [`crate::incremental::IncrementalHasher`], keeping
+//! every subexpression hash valid after every step — so a CSE or
+//! sharing-monitoring pass could interleave at any point.
+//!
+//! Folding rules (on exact integer/float literals):
+//!
+//! * `lit ⊕ lit → lit` for `add`/`sub`/`mul` (and `div` when exact),
+//! * `x + 0`, `0 + x`, `x - 0`, `x * 1`, `1 * x` → `x`,
+//! * `x * 0`, `0 * x` → `0` **only** when `x` is a literal (dropping an
+//!   arbitrary `x` could discard a diverging or effectful term).
+
+use crate::combine::HashWord;
+use crate::incremental::IncrementalHasher;
+use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
+use lambda_lang::literal::Literal;
+
+/// What one folding step found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Fold {
+    /// Replace the spine with a literal.
+    Constant(Literal),
+    /// Replace the spine with its (unchanged) operand subtree.
+    Keep(NodeId),
+}
+
+/// Recognises `((op a) b)` with `op` one of the foldable primitives.
+fn binary_spine(arena: &ExprArena, id: NodeId) -> Option<(&'static str, NodeId, NodeId)> {
+    let ExprNode::App(fa, b) = arena.node(id) else { return None };
+    let ExprNode::App(f, a) = arena.node(fa) else { return None };
+    let ExprNode::Var(op) = arena.node(f) else { return None };
+    let name = match arena.name(op) {
+        "add" => "add",
+        "sub" => "sub",
+        "mul" => "mul",
+        "div" => "div",
+        _ => return None,
+    };
+    Some((name, a, b))
+}
+
+fn literal_of(arena: &ExprArena, id: NodeId) -> Option<Literal> {
+    match arena.node(id) {
+        ExprNode::Lit(l) => Some(l),
+        _ => None,
+    }
+}
+
+fn fold_ints(op: &str, x: i64, y: i64) -> Option<Literal> {
+    Some(Literal::I64(match op {
+        "add" => x.checked_add(y)?,
+        "sub" => x.checked_sub(y)?,
+        "mul" => x.checked_mul(y)?,
+        "div" => {
+            if y == 0 || x % y != 0 {
+                return None; // only exact division folds
+            }
+            x / y
+        }
+        _ => return None,
+    }))
+}
+
+fn fold_floats(op: &str, x: f64, y: f64) -> Option<Literal> {
+    Some(Literal::f64(match op {
+        "add" => x + y,
+        "sub" => x - y,
+        "mul" => x * y,
+        "div" => x / y,
+        _ => return None,
+    }))
+}
+
+/// Decides whether the subtree at `id` folds, without mutating anything.
+fn try_fold(arena: &ExprArena, id: NodeId) -> Option<Fold> {
+    let (op, a, b) = binary_spine(arena, id)?;
+    let la = literal_of(arena, a);
+    let lb = literal_of(arena, b);
+    match (la, lb) {
+        (Some(Literal::I64(x)), Some(Literal::I64(y))) => {
+            fold_ints(op, x, y).map(Fold::Constant)
+        }
+        (Some(Literal::F64Bits(x)), Some(Literal::F64Bits(y))) => {
+            fold_floats(op, f64::from_bits(x), f64::from_bits(y)).map(Fold::Constant)
+        }
+        // Identity elements (operand kept, not copied through a literal).
+        (Some(Literal::I64(0)), None) if op == "add" => Some(Fold::Keep(b)),
+        (None, Some(Literal::I64(0))) if matches!(op, "add" | "sub") => Some(Fold::Keep(a)),
+        (Some(Literal::I64(1)), None) if op == "mul" => Some(Fold::Keep(b)),
+        (None, Some(Literal::I64(1))) if matches!(op, "mul" | "div") => Some(Fold::Keep(a)),
+        _ => None,
+    }
+}
+
+/// Outcome of [`fold_constants`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FoldReport {
+    /// Rewrites applied.
+    pub rewrites: usize,
+    /// Nodes re-hashed by the incremental engine across the campaign.
+    pub nodes_rehashed: usize,
+}
+
+/// Runs constant folding to a fixpoint over the program owned by
+/// `engine`, applying every rewrite through the incremental hasher so all
+/// subexpression hashes stay valid throughout. Returns the campaign
+/// statistics.
+pub fn fold_constants<H: HashWord>(engine: &mut IncrementalHasher<H>) -> FoldReport {
+    let mut report = FoldReport::default();
+    loop {
+        // Find the next foldable spine. (Post-order, so inner redexes
+        // fold before the spines containing them and a single sweep per
+        // iteration makes progress toward the fixpoint.)
+        let target = engine.find(|arena, n| try_fold(arena, n).is_some());
+        let Some(target) = target else { break };
+        let decision = try_fold(engine.arena(), target).expect("just matched");
+
+        let mut patch = ExprArena::new();
+        let patch_root = match decision {
+            Fold::Constant(lit) => patch.lit(lit),
+            Fold::Keep(operand) => patch.import_subtree(engine.arena(), operand),
+        };
+        let outcome = engine
+            .replace_subtree(target, &patch, patch_root)
+            .expect("fold target is live");
+        report.rewrites += 1;
+        report.nodes_rehashed += outcome.stats.nodes_recomputed;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::HashScheme;
+    use lambda_lang::eval::{eval, Value};
+    use lambda_lang::parse::parse;
+    use lambda_lang::print::print;
+    use lambda_lang::uniquify::uniquify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_for(src: &str) -> IncrementalHasher<u64> {
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, src).unwrap();
+        let (b, root) = uniquify(&a, parsed);
+        IncrementalHasher::new(b, root, HashScheme::new(0xF01D))
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut engine = engine_for("1 + 2 * 3");
+        let report = fold_constants(&mut engine);
+        assert!(report.rewrites >= 2);
+        assert_eq!(print(engine.arena(), engine.root()), "7");
+        assert!(engine.verify_against_scratch());
+    }
+
+    #[test]
+    fn folds_identities_without_copying() {
+        let mut engine = engine_for("(x + 0) * 1");
+        let report = fold_constants(&mut engine);
+        assert_eq!(report.rewrites, 2);
+        assert_eq!(print(engine.arena(), engine.root()), "x");
+        assert!(engine.verify_against_scratch());
+    }
+
+    #[test]
+    fn does_not_fold_through_variables() {
+        let mut engine = engine_for("x * 0 + y / 0");
+        let before = print(engine.arena(), engine.root());
+        let report = fold_constants(&mut engine);
+        assert_eq!(report.rewrites, 0);
+        assert_eq!(print(engine.arena(), engine.root()), before);
+    }
+
+    #[test]
+    fn inexact_division_is_left_alone() {
+        let mut engine = engine_for("7 / 2");
+        let report = fold_constants(&mut engine);
+        assert_eq!(report.rewrites, 0, "only exact integer divisions fold");
+        // Exact division does fold.
+        let mut engine = engine_for("8 / 2");
+        fold_constants(&mut engine);
+        assert_eq!(print(engine.arena(), engine.root()), "4");
+    }
+
+    #[test]
+    fn folding_under_binders_keeps_hashes_consistent() {
+        let mut engine = engine_for(r"\k. let t = 2 * 3 + k in t * (4 - 4 + 1)");
+        let report = fold_constants(&mut engine);
+        assert!(report.rewrites >= 2);
+        assert!(engine.verify_against_scratch());
+        // 4-4+1 → 1, t*1 → t; 2*3 → 6.
+        let text = print(engine.arena(), engine.root());
+        assert!(text.contains("6 + k"), "{text}");
+        assert!(!text.contains("* 1"), "{text}");
+    }
+
+    #[test]
+    fn folding_preserves_evaluation_on_random_programs() {
+        let mut rng = StdRng::seed_from_u64(0xF01D);
+        for size in [30usize, 80, 150] {
+            let mut arena = ExprArena::new();
+            let root = expr_gen::arithmetic(&mut arena, size, &mut rng);
+            let before = eval(&arena, root).expect("generated programs evaluate");
+            let mut engine = IncrementalHasher::new(arena, root, HashScheme::<u64>::new(1));
+            let report = fold_constants(&mut engine);
+            let after =
+                eval(engine.arena(), engine.root()).expect("folded programs evaluate");
+            assert!(
+                Value::observably_eq(&before, &after),
+                "folding changed value (size {size}, {} rewrites)",
+                report.rewrites
+            );
+            assert!(engine.verify_against_scratch());
+        }
+    }
+
+    #[test]
+    fn float_folding() {
+        let mut engine = engine_for("1.5 + 2.5");
+        fold_constants(&mut engine);
+        assert_eq!(print(engine.arena(), engine.root()), "4.0");
+    }
+
+    #[test]
+    fn campaign_is_cheap_relative_to_program() {
+        // Fold a few constants inside a large program: the incremental
+        // engine re-hashes orders of magnitude fewer nodes than n per
+        // rewrite.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut arena = ExprArena::new();
+        let big = expr_gen::balanced(&mut arena, 20_000, &mut rng);
+        let c1 = parse(&mut arena, "(2 + 3) * (4 + 5)").unwrap();
+        let root = arena.app(big, c1);
+        let mut engine = IncrementalHasher::new(arena, root, HashScheme::<u64>::new(2));
+        let report = fold_constants(&mut engine);
+        assert!(report.rewrites >= 3);
+        let per_rewrite = report.nodes_rehashed / report.rewrites;
+        assert!(per_rewrite < 100, "re-hashed {per_rewrite} nodes per rewrite");
+        assert!(engine.verify_against_scratch());
+    }
+}

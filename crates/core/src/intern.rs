@@ -1,0 +1,85 @@
+//! Hash-consing interner for the reference e-summary datatypes.
+//!
+//! The paper's Step 1 (§4) works with real `Structure`/`PosTree` trees and
+//! compares them structurally. We intern every node, so structurally equal
+//! trees get equal ids and e-summary comparison is O(map size) instead of
+//! O(tree size) — the classic hash-consing idiom the paper's related-work
+//! section discusses (Filliâtre & Conchon).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An interner assigning dense `u32` ids to structurally distinct values.
+#[derive(Clone, Debug)]
+pub struct NodeInterner<T> {
+    nodes: Vec<T>,
+    ids: HashMap<T, u32>,
+}
+
+impl<T> Default for NodeInterner<T> {
+    fn default() -> Self {
+        NodeInterner { nodes: Vec::new(), ids: HashMap::new() }
+    }
+}
+
+impl<T: Eq + Hash + Clone> NodeInterner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        NodeInterner { nodes: Vec::new(), ids: HashMap::new() }
+    }
+
+    /// Interns a value, returning a stable id; equal values get equal ids.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.ids.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("interner overflow");
+        self.nodes.push(value.clone());
+        self.ids.insert(value, id);
+        id
+    }
+
+    /// Looks up the value for an id.
+    pub fn get(&self, id: u32) -> &T {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_share_ids() {
+        let mut i: NodeInterner<(u32, u32)> = NodeInterner::new();
+        let a = i.intern((1, 2));
+        let b = i.intern((1, 2));
+        let c = i.intern((2, 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_round_trips() {
+        let mut i: NodeInterner<String> = NodeInterner::new();
+        let id = i.intern("hello".to_owned());
+        assert_eq!(i.get(id), "hello");
+    }
+
+    #[test]
+    fn empty() {
+        let i: NodeInterner<u8> = NodeInterner::new();
+        assert!(i.is_empty());
+    }
+}

@@ -1,0 +1,532 @@
+//! Step 1, optimised version: the smaller-subtree merge with
+//! `StructureTag`s (paper §4.8) — still fully invertible.
+//!
+//! The §4.6 algorithm transforms *every* entry of both children's maps at
+//! each binary node. Here, only the **smaller** map's entries are touched:
+//! each is joined into the bigger map wrapped in a [`PosNodeF::Join`]
+//! carrying the parent structure's *tag*. Entries already in the bigger
+//! map are left untouched. The tag lets [`FastSummariser::rebuild`] undo
+//! the merge unambiguously: an entry belongs to this node's join iff its
+//! top `Join` carries this structure's tag.
+//!
+//! We use the structure's **size** (constructor-call count) as the tag —
+//! it satisfies §4.8's requirement that "a structure must have a different
+//! tag to the tag of any of its sub-structures" because sizes strictly
+//! increase upward, and it is exactly the Lemma 6.6 size salt the hashed
+//! version needs anyway.
+//!
+//! Total map operations: O(n log n) (Lemma 6.1 — each node can be on the
+//! smaller side only O(log n) times).
+
+use crate::intern::NodeInterner;
+use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
+use lambda_lang::literal::Literal;
+use lambda_lang::symbol::Symbol;
+use lambda_lang::visit::postorder;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Interned id of a [`PosNodeF`].
+pub type PosId = u32;
+/// Interned id of a [`StructNodeF`].
+pub type StructId = u32;
+/// A structure tag (§4.8): here, the structure's size.
+pub type StructureTag = u64;
+
+/// Position trees for the optimised algorithm (§4.8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PosNodeF {
+    /// The variable occurs exactly here.
+    Here,
+    /// A tagged join performed at the binary node whose structure has tag
+    /// `tag`: `bigger` is what the bigger map previously held for this
+    /// variable (if anything), `smaller` the entry folded in from the
+    /// smaller map.
+    Join {
+        /// Tag of the structure at which the join happened.
+        tag: StructureTag,
+        /// Position tree from the bigger map, if the variable was present.
+        bigger: Option<PosId>,
+        /// Position tree from the smaller map.
+        smaller: PosId,
+    },
+}
+
+/// Structures for the optimised algorithm: like
+/// [`crate::summary::reference::StructNode`] plus the `left_bigger` /
+/// `rhs_bigger` flags recording which child's map was bigger (§4.8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StructNodeF {
+    /// Anonymous variable.
+    Var,
+    /// Literal leaf.
+    Lit(Literal),
+    /// Lambda: binder occurrences (if any) + body.
+    Lam(Option<PosId>, StructId),
+    /// Application with merge-direction flag.
+    App {
+        /// True if the function child's variable map was the bigger one.
+        left_bigger: bool,
+        /// Function structure.
+        fun: StructId,
+        /// Argument structure.
+        arg: StructId,
+    },
+    /// Let with merge-direction flag.
+    Let {
+        /// True if the rhs child's variable map was the bigger one.
+        rhs_bigger: bool,
+        /// Binder occurrences within the body (if any).
+        pos: Option<PosId>,
+        /// Rhs structure.
+        rhs: StructId,
+        /// Body structure.
+        body: StructId,
+    },
+}
+
+/// Free-variable map, keyed by name for cross-arena comparability.
+pub type VarMapF = BTreeMap<Rc<str>, PosId>;
+
+/// An invertible e-summary produced by the optimised algorithm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ESummaryFast {
+    /// The interned structure.
+    pub structure: StructId,
+    /// The free-variable map.
+    pub varmap: VarMapF,
+}
+
+/// Summariser state for the §4.8 algorithm: interners plus per-structure
+/// sizes (the tags).
+#[derive(Clone, Debug, Default)]
+pub struct FastSummariser {
+    structs: NodeInterner<StructNodeF>,
+    sizes: Vec<u64>,
+    pos: NodeInterner<PosNodeF>,
+    /// Total `alterVM`-style map operations performed at binary nodes; the
+    /// quantity bounded by Lemma 6.1, exposed for the complexity tests.
+    pub merge_ops: u64,
+}
+
+impl FastSummariser {
+    /// Creates an empty summariser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern_struct(&mut self, node: StructNodeF, size: u64) -> StructId {
+        let id = self.structs.intern(node);
+        if id as usize == self.sizes.len() {
+            self.sizes.push(size);
+        }
+        debug_assert_eq!(self.sizes[id as usize], size);
+        id
+    }
+
+    /// `structureTag` (§4.8): the structure's size.
+    pub fn structure_tag(&self, id: StructId) -> StructureTag {
+        self.sizes[id as usize]
+    }
+
+    fn name_of(
+        &self,
+        arena: &ExprArena,
+        cache: &mut HashMap<Symbol, Rc<str>>,
+        sym: Symbol,
+    ) -> Rc<str> {
+        cache.entry(sym).or_insert_with(|| Rc::from(arena.name(sym))).clone()
+    }
+
+    /// Folds the smaller map into the bigger one (§4.8's `add_kv` loop):
+    /// every smaller entry is wrapped in a `Join` with this node's tag;
+    /// bigger-only entries are untouched.
+    fn merge_smaller_into_bigger(
+        &mut self,
+        tag: StructureTag,
+        mut bigger: VarMapF,
+        smaller: VarMapF,
+    ) -> VarMapF {
+        for (name, small_pos) in smaller {
+            self.merge_ops += 1;
+            let old = bigger.get(&name).copied();
+            let joined = self.pos.intern(PosNodeF::Join { tag, bigger: old, smaller: small_pos });
+            bigger.insert(name, joined);
+        }
+        bigger
+    }
+
+    /// Merges the two child maps of a binary node, returning the combined
+    /// map and whether the left map was the bigger one. Ties pick left, so
+    /// the choice is deterministic — and it depends only on map *sizes*,
+    /// which are alpha-invariant, so alpha-equivalent terms always merge
+    /// the same way.
+    fn merge_binary(&mut self, tag: StructureTag, left: VarMapF, right: VarMapF) -> (VarMapF, bool) {
+        let left_bigger = left.len() >= right.len();
+        let merged = if left_bigger {
+            self.merge_smaller_into_bigger(tag, left, right)
+        } else {
+            self.merge_smaller_into_bigger(tag, right, left)
+        };
+        (merged, left_bigger)
+    }
+
+    /// Summarises the subtree at `root` with the §4.8 algorithm.
+    /// Iterative post-order; stack-safe at any depth.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the unique-binder precondition (§2.2).
+    pub fn summarise(&mut self, arena: &ExprArena, root: NodeId) -> ESummaryFast {
+        self.summarise_impl(arena, root, &mut |_, _| {})
+    }
+
+    /// Per-subexpression summaries (see the caveats on
+    /// [`crate::summary::reference::RefSummariser::summarise_all`]).
+    pub fn summarise_all(
+        &mut self,
+        arena: &ExprArena,
+        root: NodeId,
+    ) -> HashMap<NodeId, ESummaryFast> {
+        let mut out = HashMap::new();
+        self.summarise_impl(arena, root, &mut |node, summary| {
+            out.insert(node, summary.clone());
+        });
+        out
+    }
+
+    fn summarise_impl(
+        &mut self,
+        arena: &ExprArena,
+        root: NodeId,
+        record: &mut dyn FnMut(NodeId, &ESummaryFast),
+    ) -> ESummaryFast {
+        debug_assert!(
+            lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
+            "summarise requires distinct binders (run uniquify first)"
+        );
+        let mut names: HashMap<Symbol, Rc<str>> = HashMap::new();
+        let mut stack: Vec<ESummaryFast> = Vec::new();
+
+        for n in postorder(arena, root) {
+            let summary = match arena.node(n) {
+                ExprNode::Var(s) => {
+                    let here = self.pos.intern(PosNodeF::Here);
+                    let mut vm = VarMapF::new();
+                    vm.insert(self.name_of(arena, &mut names, s), here);
+                    ESummaryFast { structure: self.intern_struct(StructNodeF::Var, 1), varmap: vm }
+                }
+                ExprNode::Lit(l) => ESummaryFast {
+                    structure: self.intern_struct(StructNodeF::Lit(l), 1),
+                    varmap: VarMapF::new(),
+                },
+                ExprNode::Lam(x, _) => {
+                    let mut body = stack.pop().expect("lam body summary");
+                    let name = self.name_of(arena, &mut names, x);
+                    let x_pos = body.varmap.remove(&name);
+                    let size = 1 + self.structure_tag(body.structure);
+                    ESummaryFast {
+                        structure: self.intern_struct(StructNodeF::Lam(x_pos, body.structure), size),
+                        varmap: body.varmap,
+                    }
+                }
+                ExprNode::App(_, _) => {
+                    let right = stack.pop().expect("app arg summary");
+                    let left = stack.pop().expect("app fun summary");
+                    let size =
+                        1 + self.structure_tag(left.structure) + self.structure_tag(right.structure);
+                    // The tag is the size of the structure being built;
+                    // it is known before interning.
+                    let (varmap, left_bigger) = self.merge_binary(size, left.varmap, right.varmap);
+                    let structure = self.intern_struct(
+                        StructNodeF::App { left_bigger, fun: left.structure, arg: right.structure },
+                        size,
+                    );
+                    ESummaryFast { structure, varmap }
+                }
+                ExprNode::Let(x, _, _) => {
+                    let mut body = stack.pop().expect("let body summary");
+                    let rhs = stack.pop().expect("let rhs summary");
+                    let name = self.name_of(arena, &mut names, x);
+                    let x_pos = body.varmap.remove(&name);
+                    let size =
+                        1 + self.structure_tag(rhs.structure) + self.structure_tag(body.structure);
+                    let (varmap, rhs_bigger) = self.merge_binary(size, rhs.varmap, body.varmap);
+                    let structure = self.intern_struct(
+                        StructNodeF::Let {
+                            rhs_bigger,
+                            pos: x_pos,
+                            rhs: rhs.structure,
+                            body: body.structure,
+                        },
+                        size,
+                    );
+                    ESummaryFast { structure, varmap }
+                }
+            };
+            record(n, &summary);
+            stack.push(summary);
+        }
+
+        let result = stack.pop().expect("summarise produced a result");
+        debug_assert!(stack.is_empty());
+        result
+    }
+
+    /// Inverts the tagged merge (§4.8's `upd_small`): an entry came from
+    /// the smaller map iff its top node is a `Join` with this tag.
+    fn upd_small(&self, tag: StructureTag, pos: PosId) -> Option<PosId> {
+        match *self.pos.get(pos) {
+            PosNodeF::Join { tag: ptag, smaller, .. } if ptag == tag => Some(smaller),
+            _ => None,
+        }
+    }
+
+    /// §4.8's `upd_big`: entries joined at this tag revert to what the
+    /// bigger map held (possibly nothing); untouched entries belonged to
+    /// the bigger map as-is.
+    fn upd_big(&self, tag: StructureTag, pos: PosId) -> Option<PosId> {
+        match *self.pos.get(pos) {
+            PosNodeF::Join { tag: ptag, bigger, .. } if ptag == tag => bigger,
+            _ => Some(pos),
+        }
+    }
+
+    fn split_vm(&self, tag: StructureTag, vm: &VarMapF) -> (VarMapF, VarMapF) {
+        let mut big = VarMapF::new();
+        let mut small = VarMapF::new();
+        for (name, &pos) in vm {
+            if let Some(p) = self.upd_big(tag, pos) {
+                big.insert(name.clone(), p);
+            }
+            if let Some(p) = self.upd_small(tag, pos) {
+                small.insert(name.clone(), p);
+            }
+        }
+        (big, small)
+    }
+
+    /// Rebuilds an expression alpha-equivalent to the summarised one —
+    /// the §4.8 version of `rebuild`, proving the tagged merge loses no
+    /// information.
+    pub fn rebuild(&self, summary: &ESummaryFast, dst: &mut ExprArena) -> NodeId {
+        self.rebuild_rec(summary.structure, &summary.varmap, dst)
+    }
+
+    fn rebuild_rec(&self, structure: StructId, vm: &VarMapF, dst: &mut ExprArena) -> NodeId {
+        let tag = self.structure_tag(structure);
+        match *self.structs.get(structure) {
+            StructNodeF::Var => {
+                assert_eq!(vm.len(), 1, "malformed e-summary: Var with non-singleton map");
+                let (name, &pos) = vm.iter().next().expect("singleton");
+                assert_eq!(*self.pos.get(pos), PosNodeF::Here, "malformed e-summary");
+                dst.var_named(name)
+            }
+            StructNodeF::Lit(l) => {
+                assert!(vm.is_empty(), "malformed e-summary: literal with free vars");
+                dst.lit(l)
+            }
+            StructNodeF::Lam(x_pos, body) => {
+                let fresh = dst.fresh("x");
+                let mut inner = vm.clone();
+                if let Some(p) = x_pos {
+                    inner.insert(Rc::from(dst.name(fresh)), p);
+                }
+                let body_id = self.rebuild_rec(body, &inner, dst);
+                dst.lam(fresh, body_id)
+            }
+            StructNodeF::App { left_bigger, fun, arg } => {
+                let (big, small) = self.split_vm(tag, vm);
+                let (m1, m2) = if left_bigger { (big, small) } else { (small, big) };
+                let f = self.rebuild_rec(fun, &m1, dst);
+                let a = self.rebuild_rec(arg, &m2, dst);
+                dst.app(f, a)
+            }
+            StructNodeF::Let { rhs_bigger, pos, rhs, body } => {
+                let (big, small) = self.split_vm(tag, vm);
+                let (m_rhs, mut m_body) = if rhs_bigger { (big, small) } else { (small, big) };
+                let fresh = dst.fresh("x");
+                if let Some(p) = pos {
+                    m_body.insert(Rc::from(dst.name(fresh)), p);
+                }
+                let r = self.rebuild_rec(rhs, &m_rhs, dst);
+                let b = self.rebuild_rec(body, &m_body, dst);
+                dst.let_(fresh, r, b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::alpha::alpha_eq;
+    use lambda_lang::parse::parse;
+
+    fn summarise_str(
+        summariser: &mut FastSummariser,
+        src: &str,
+    ) -> (ExprArena, NodeId, ESummaryFast) {
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, src).unwrap();
+        let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
+        let summary = summariser.summarise(&b, root);
+        (b, root, summary)
+    }
+
+    fn equal_summaries(s1: &str, s2: &str) -> bool {
+        let mut summariser = FastSummariser::new();
+        let (_, _, a) = summarise_str(&mut summariser, s1);
+        let (_, _, b) = summarise_str(&mut summariser, s2);
+        a == b
+    }
+
+    #[test]
+    fn agrees_with_alpha_equivalence_on_paper_examples() {
+        assert!(equal_summaries(r"\x. x + y", r"\p. p + y"));
+        assert!(!equal_summaries(r"\x. x + y", r"\q. q + z"));
+        assert!(equal_summaries(r"map (\y. y+1) vs", r"map (\x. x+1) vs"));
+        assert!(equal_summaries("let bar = x+1 in bar*y", "let p = x+1 in p*y"));
+        assert!(!equal_summaries("let x = bar in x+2", "let x = pubx in x+2"));
+        assert!(!equal_summaries("add x y", "add x x"));
+        assert!(!equal_summaries(r"\x. \y. x", r"\x. \y. y"));
+    }
+
+    #[test]
+    fn tags_strictly_increase_upward() {
+        let mut s = FastSummariser::new();
+        let (_, _, summary) = summarise_str(&mut s, r"\x. (x + y) * (y + z)");
+        // The root tag equals the expression size and exceeds all others.
+        let root_tag = s.structure_tag(summary.structure);
+        assert_eq!(root_tag, 14);
+        for id in 0..s.structs.len() as u32 {
+            if id != summary.structure {
+                assert!(s.structure_tag(id) <= root_tag);
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_round_trips_up_to_alpha() {
+        for src in [
+            "x",
+            "42",
+            r"\x. x",
+            r"\x. x + y",
+            r"\x. \y. x y (x + 1)",
+            "let w = v + 7 in (a + w) * w",
+            "foo (let bar = x+1 in bar*y) (let p = x+1 in p*y)",
+            r"\t. foo (\x. x + t) (\y. \x. x + t)",
+            r"\f. f (\x. f x)",
+            "f x x",
+            "f (g a b c) (h a) a",
+            r"\a. \b. \c. a (b c) (c a b)",
+        ] {
+            let mut s = FastSummariser::new();
+            let (arena, root, summary) = summarise_str(&mut s, src);
+            let mut dst = ExprArena::new();
+            let rebuilt = s.rebuild(&summary, &mut dst);
+            assert!(
+                alpha_eq(&arena, root, &dst, rebuilt),
+                "rebuild not alpha-equivalent for {src}: got {}",
+                lambda_lang::print::print(&dst, rebuilt)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_summariser_classes() {
+        use crate::summary::reference::RefSummariser;
+        let sources = [
+            r"\x. x + y",
+            r"\p. p + y",
+            r"\q. q + z",
+            "x + 2",
+            "y + 2",
+            r"\x. x",
+            r"\y. y",
+            "let a = 1 in a + a",
+            "let b = 1 in b + b",
+            "f x x",
+            "f x y",
+        ];
+        let mut fast = FastSummariser::new();
+        let mut reference = RefSummariser::new();
+        let mut fast_sums = Vec::new();
+        let mut ref_sums = Vec::new();
+        for src in sources {
+            let mut a = ExprArena::new();
+            let parsed = parse(&mut a, src).unwrap();
+            let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
+            fast_sums.push(fast.summarise(&b, root));
+            ref_sums.push(reference.summarise(&b, root));
+        }
+        for i in 0..sources.len() {
+            for j in 0..sources.len() {
+                assert_eq!(
+                    fast_sums[i] == fast_sums[j],
+                    ref_sums[i] == ref_sums[j],
+                    "fast and reference disagree on {} vs {}",
+                    sources[i],
+                    sources[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_ops_are_log_linear_on_balanced_input() {
+        // A balanced expression over many distinct free variables: the
+        // merge-op count must stay well under the quadratic count.
+        let mut a = ExprArena::new();
+        let leaves: Vec<NodeId> = (0..256).map(|i| a.var_named(&format!("v{i}"))).collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        a.app(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        let root = layer[0];
+        let mut s = FastSummariser::new();
+        let _ = s.summarise(&a, root);
+        // n = 256 leaves: merges total 256·log2(256)/2 = 1024 ≤ ops bound,
+        // vs ~255·128 ≈ 32k for the quadratic scheme.
+        assert!(s.merge_ops <= 256 * 8, "merge_ops = {}", s.merge_ops);
+        assert!(s.merge_ops >= 128, "merge_ops suspiciously low: {}", s.merge_ops);
+    }
+
+    #[test]
+    fn unbalanced_spine_does_linear_merge_work() {
+        // Left spine applying one shared variable: smaller side is always
+        // the single-entry map, so total ops are O(n).
+        let mut a = ExprArena::new();
+        let mut e = a.var_named("f");
+        for _ in 0..1000 {
+            let v = a.var_named("x");
+            e = a.app(e, v);
+        }
+        let mut s = FastSummariser::new();
+        let _ = s.summarise(&a, e);
+        assert!(s.merge_ops <= 2 * 1000, "merge_ops = {}", s.merge_ops);
+    }
+
+    #[test]
+    fn deep_input_is_stack_safe() {
+        let mut a = ExprArena::new();
+        let mut e = a.var_named("z");
+        for i in 0..100_000 {
+            let x = a.intern(&format!("x{i}"));
+            e = a.lam(x, e);
+        }
+        let mut s = FastSummariser::new();
+        let summary = s.summarise(&a, e);
+        assert_eq!(s.structure_tag(summary.structure), 100_001);
+    }
+}

@@ -1,0 +1,465 @@
+//! Step 1, basic version: the invertible e-summary with the quadratic
+//! `mergeVM` (paper §4.2–§4.7).
+//!
+//! An e-summary is a pair of:
+//!
+//! * a [`StructNode`] structure: the shape of the expression with variables
+//!   anonymised; each binder carries a *position tree* of its occurrences
+//!   (§4.3);
+//! * a *variable map* from each free variable to the position tree of its
+//!   occurrences (§4.4).
+//!
+//! Both components are hash-consed ([`crate::intern`]), so two e-summaries
+//! produced by the same [`RefSummariser`] are equal iff their expressions
+//! are alpha-equivalent — compared in O(free variables), not O(tree size).
+//!
+//! The whole point of this module (the paper's correctness argument,
+//! §3.2): [`RefSummariser::rebuild`] inverts [`RefSummariser::summarise`]
+//! up to alpha, proving the summary loses no information and therefore
+//! admits no false positives. The efficient algorithms
+//! ([`crate::summary::fast`], [`crate::hashed`]) refine this one; property
+//! tests pin them to it.
+//!
+//! At an `App` node the basic `mergeVM` transforms **every** entry of both
+//! children's maps (wrapping position trees in `LeftOnly`/`RightOnly`/
+//! `Both`), which is what makes this version Θ(n²) in the worst case —
+//! exactly the §4.6 behaviour, kept as the semantic baseline and as the
+//! ablation point for the §4.8 optimisation.
+
+use crate::intern::NodeInterner;
+use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
+use lambda_lang::literal::Literal;
+use lambda_lang::symbol::Symbol;
+use lambda_lang::visit::postorder;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Interned id of a [`PosNode`].
+pub type PosId = u32;
+/// Interned id of a [`StructNode`].
+pub type StructId = u32;
+
+/// Position trees (§4.5): a skeleton reaching exactly the occurrences of
+/// one variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PosNode {
+    /// The variable occurs exactly here.
+    Here,
+    /// All occurrences are in the left child.
+    LeftOnly(PosId),
+    /// All occurrences are in the right child.
+    RightOnly(PosId),
+    /// Occurrences in both children.
+    Both(PosId, PosId),
+}
+
+/// Structures (§4.3): the shape of an expression, variables anonymised.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StructNode {
+    /// An anonymous variable occurrence.
+    Var,
+    /// A literal (kept verbatim: literals have no binding behaviour).
+    Lit(Literal),
+    /// A lambda: positions of its bound variable (`None` = unused) and the
+    /// body structure.
+    Lam(Option<PosId>, StructId),
+    /// An application.
+    App(StructId, StructId),
+    /// A let: positions of the bound variable *within the body*, rhs
+    /// structure, body structure.
+    Let(Option<PosId>, StructId, StructId),
+}
+
+/// Free-variable map: variable name → positions. Keyed by name (`Rc<str>`)
+/// so that summaries from different arenas compare correctly.
+pub type VarMap = BTreeMap<Rc<str>, PosId>;
+
+/// An invertible e-summary (§4.2). Two summaries from the same
+/// [`RefSummariser`] are equal iff the source expressions are
+/// alpha-equivalent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ESummaryRef {
+    /// The interned structure.
+    pub structure: StructId,
+    /// The free-variable map.
+    pub varmap: VarMap,
+}
+
+/// Summariser state: the hash-consing interners shared by every summary it
+/// produces (summaries are only comparable within one summariser).
+#[derive(Clone, Debug, Default)]
+pub struct RefSummariser {
+    structs: NodeInterner<StructNode>,
+    pos: NodeInterner<PosNode>,
+}
+
+impl RefSummariser {
+    /// Creates an empty summariser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct structures interned so far.
+    pub fn distinct_structures(&self) -> usize {
+        self.structs.len()
+    }
+
+    fn name_of(&self, arena: &ExprArena, cache: &mut HashMap<Symbol, Rc<str>>, sym: Symbol) -> Rc<str> {
+        cache.entry(sym).or_insert_with(|| Rc::from(arena.name(sym))).clone()
+    }
+
+    /// The quadratic `mergeVM` of §4.6: every position tree from the left
+    /// map is wrapped `LeftOnly`, every one from the right `RightOnly`,
+    /// and variables occurring in both get `Both`.
+    fn merge_vm(&mut self, left: VarMap, mut right: VarMap) -> VarMap {
+        let mut out = VarMap::new();
+        for (name, lp) in left {
+            let node = match right.remove(&name) {
+                Some(rp) => PosNode::Both(lp, rp),
+                None => PosNode::LeftOnly(lp),
+            };
+            let id = self.pos.intern(node);
+            out.insert(name, id);
+        }
+        for (name, rp) in right {
+            let id = self.pos.intern(PosNode::RightOnly(rp));
+            out.insert(name, id);
+        }
+        out
+    }
+
+    /// Summarises the subtree at `root` (§4.6). Iterative post-order;
+    /// stack-safe at any depth.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the unique-binder precondition (§2.2).
+    pub fn summarise(&mut self, arena: &ExprArena, root: NodeId) -> ESummaryRef {
+        self.summarise_impl(arena, root, &mut |_, _| {})
+    }
+
+    /// Summarises every subexpression, returning the per-node summaries in
+    /// a map. Memory is O(n²) in the worst case (each node's variable map
+    /// is retained); intended for tests and small inputs — the efficient
+    /// per-node *hashes* come from [`crate::hashed`].
+    pub fn summarise_all(
+        &mut self,
+        arena: &ExprArena,
+        root: NodeId,
+    ) -> HashMap<NodeId, ESummaryRef> {
+        let mut out = HashMap::new();
+        self.summarise_impl(arena, root, &mut |node, summary| {
+            out.insert(node, summary.clone());
+        });
+        out
+    }
+
+    fn summarise_impl(
+        &mut self,
+        arena: &ExprArena,
+        root: NodeId,
+        record: &mut dyn FnMut(NodeId, &ESummaryRef),
+    ) -> ESummaryRef {
+        debug_assert!(
+            lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
+            "summarise requires distinct binders (run uniquify first)"
+        );
+        let mut names: HashMap<Symbol, Rc<str>> = HashMap::new();
+        let mut stack: Vec<ESummaryRef> = Vec::new();
+
+        for n in postorder(arena, root) {
+            let summary = match arena.node(n) {
+                ExprNode::Var(s) => {
+                    let here = self.pos.intern(PosNode::Here);
+                    let mut vm = VarMap::new();
+                    vm.insert(self.name_of(arena, &mut names, s), here);
+                    ESummaryRef { structure: self.structs.intern(StructNode::Var), varmap: vm }
+                }
+                ExprNode::Lit(l) => ESummaryRef {
+                    structure: self.structs.intern(StructNode::Lit(l)),
+                    varmap: VarMap::new(),
+                },
+                ExprNode::Lam(x, _) => {
+                    let mut body = stack.pop().expect("lam body summary");
+                    let name = self.name_of(arena, &mut names, x);
+                    let x_pos = body.varmap.remove(&name);
+                    ESummaryRef {
+                        structure: self.structs.intern(StructNode::Lam(x_pos, body.structure)),
+                        varmap: body.varmap,
+                    }
+                }
+                ExprNode::App(_, _) => {
+                    let right = stack.pop().expect("app arg summary");
+                    let left = stack.pop().expect("app fun summary");
+                    let structure =
+                        self.structs.intern(StructNode::App(left.structure, right.structure));
+                    let varmap = self.merge_vm(left.varmap, right.varmap);
+                    ESummaryRef { structure, varmap }
+                }
+                ExprNode::Let(x, _, _) => {
+                    let mut body = stack.pop().expect("let body summary");
+                    let rhs = stack.pop().expect("let rhs summary");
+                    // Remove the binder from the body map *first* (it is
+                    // not in scope in the rhs), then merge rhs (left) with
+                    // body (right).
+                    let name = self.name_of(arena, &mut names, x);
+                    let x_pos = body.varmap.remove(&name);
+                    let structure = self
+                        .structs
+                        .intern(StructNode::Let(x_pos, rhs.structure, body.structure));
+                    let varmap = self.merge_vm(rhs.varmap, body.varmap);
+                    ESummaryRef { structure, varmap }
+                }
+            };
+            record(n, &summary);
+            stack.push(summary);
+        }
+
+        let result = stack.pop().expect("summarise produced a result");
+        debug_assert!(stack.is_empty());
+        result
+    }
+
+    /// Rebuilds an expression alpha-equivalent to the one the summary came
+    /// from (§4.7) — the witness that e-summaries lose no information.
+    ///
+    /// Bound variables get fresh names (the original names were never
+    /// recorded), so the result is alpha-equivalent, not identical.
+    pub fn rebuild(&self, summary: &ESummaryRef, dst: &mut ExprArena) -> NodeId {
+        self.rebuild_rec(summary.structure, &summary.varmap, dst)
+    }
+
+    fn pick_left(&self, pos: PosId) -> Option<PosId> {
+        match *self.pos.get(pos) {
+            PosNode::LeftOnly(p) => Some(p),
+            PosNode::Both(l, _) => Some(l),
+            _ => None,
+        }
+    }
+
+    fn pick_right(&self, pos: PosId) -> Option<PosId> {
+        match *self.pos.get(pos) {
+            PosNode::RightOnly(p) => Some(p),
+            PosNode::Both(_, r) => Some(r),
+            _ => None,
+        }
+    }
+
+    fn split_vm(&self, vm: &VarMap) -> (VarMap, VarMap) {
+        let mut left = VarMap::new();
+        let mut right = VarMap::new();
+        for (name, &pos) in vm {
+            if let Some(p) = self.pick_left(pos) {
+                left.insert(name.clone(), p);
+            }
+            if let Some(p) = self.pick_right(pos) {
+                right.insert(name.clone(), p);
+            }
+        }
+        (left, right)
+    }
+
+    fn rebuild_rec(&self, structure: StructId, vm: &VarMap, dst: &mut ExprArena) -> NodeId {
+        match *self.structs.get(structure) {
+            StructNode::Var => {
+                // findSingletonVM: the map must be {name ↦ Here}.
+                assert_eq!(vm.len(), 1, "malformed e-summary: Var with non-singleton map");
+                let (name, &pos) = vm.iter().next().expect("singleton");
+                assert_eq!(*self.pos.get(pos), PosNode::Here, "malformed e-summary");
+                dst.var_named(name)
+            }
+            StructNode::Lit(l) => {
+                assert!(vm.is_empty(), "malformed e-summary: literal with free vars");
+                dst.lit(l)
+            }
+            StructNode::Lam(x_pos, body) => {
+                let fresh = dst.fresh("x");
+                let mut inner = vm.clone();
+                if let Some(p) = x_pos {
+                    inner.insert(Rc::from(dst.name(fresh)), p);
+                }
+                let body_id = self.rebuild_rec(body, &inner, dst);
+                dst.lam(fresh, body_id)
+            }
+            StructNode::App(s1, s2) => {
+                let (m1, m2) = self.split_vm(vm);
+                let f = self.rebuild_rec(s1, &m1, dst);
+                let a = self.rebuild_rec(s2, &m2, dst);
+                dst.app(f, a)
+            }
+            StructNode::Let(x_pos, s_rhs, s_body) => {
+                let (m_rhs, mut m_body) = self.split_vm(vm);
+                let fresh = dst.fresh("x");
+                if let Some(p) = x_pos {
+                    m_body.insert(Rc::from(dst.name(fresh)), p);
+                }
+                let rhs = self.rebuild_rec(s_rhs, &m_rhs, dst);
+                let body = self.rebuild_rec(s_body, &m_body, dst);
+                dst.let_(fresh, rhs, body)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::alpha::alpha_eq;
+    use lambda_lang::parse::parse;
+
+    fn summarise_str(summariser: &mut RefSummariser, src: &str) -> (ExprArena, NodeId, ESummaryRef) {
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, src).unwrap();
+        let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
+        let summary = summariser.summarise(&b, root);
+        (b, root, summary)
+    }
+
+    fn equal_summaries(s1: &str, s2: &str) -> bool {
+        let mut summariser = RefSummariser::new();
+        let (_, _, a) = summarise_str(&mut summariser, s1);
+        let (_, _, b) = summarise_str(&mut summariser, s2);
+        a == b
+    }
+
+    #[test]
+    fn alpha_equivalent_terms_get_equal_summaries() {
+        assert!(equal_summaries(r"\x. x + y", r"\p. p + y"));
+        assert!(equal_summaries(r"\x. x", r"\y. y"));
+        assert!(equal_summaries(
+            "let bar = x+1 in bar*y",
+            "let p = x+1 in p*y"
+        ));
+    }
+
+    #[test]
+    fn inequivalent_terms_get_distinct_summaries() {
+        assert!(!equal_summaries(r"\x. x + y", r"\q. q + z"));
+        assert!(!equal_summaries(r"\x. x", r"\x. y"));
+        assert!(!equal_summaries("x + 2", "y + 2"));
+        assert!(!equal_summaries(r"\x. \y. x", r"\x. \y. y"));
+        assert!(!equal_summaries("1", "2"));
+        assert!(!equal_summaries("let a = 1 in a", r"(\a. a) 1"));
+    }
+
+    #[test]
+    fn free_variable_identity_is_preserved() {
+        // (add x y) vs (add x x): same structure, different maps (§4.2).
+        assert!(!equal_summaries("add x y", "add x x"));
+        assert!(equal_summaries("add x y", "add x y"));
+    }
+
+    #[test]
+    fn structure_ignores_free_variable_names() {
+        let mut s = RefSummariser::new();
+        let (_, _, sum1) = summarise_str(&mut s, "add x y");
+        let (_, _, sum2) = summarise_str(&mut s, "add x x");
+        // Maps differ but structures agree.
+        assert_eq!(sum1.structure, sum2.structure);
+        assert_ne!(sum1.varmap, sum2.varmap);
+    }
+
+    #[test]
+    fn position_tree_example_from_section_4_5() {
+        // Occurrences of "x" in App (App f x) x:
+        // PTBoth (PTRightOnly PTHere) PTHere.
+        let mut s = RefSummariser::new();
+        let (_, _, summary) = summarise_str(&mut s, "f x x");
+        let x_pos = summary.varmap.get("x").copied().expect("x in map");
+        match *s.pos.get(x_pos) {
+            PosNode::Both(l, r) => {
+                assert!(matches!(*s.pos.get(l), PosNode::RightOnly(p) if *s.pos.get(p) == PosNode::Here));
+                assert_eq!(*s.pos.get(r), PosNode::Here);
+            }
+            other => panic!("expected Both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_with_unused_binder() {
+        let mut s = RefSummariser::new();
+        let (_, _, summary) = summarise_str(&mut s, r"\x. y");
+        match *s.structs.get(summary.structure) {
+            StructNode::Lam(pos, _) => assert!(pos.is_none(), "unused binder must record None"),
+            other => panic!("expected Lam, got {other:?}"),
+        }
+        assert!(equal_summaries(r"\x. y", r"\unused. y"));
+        assert!(!equal_summaries(r"\x. y", r"\y2. y2"));
+    }
+
+    #[test]
+    fn rebuild_round_trips_up_to_alpha() {
+        for src in [
+            "x",
+            "42",
+            r"\x. x",
+            r"\x. x + y",
+            r"\x. \y. x y (x + 1)",
+            "let w = v + 7 in (a + w) * w",
+            "foo (let bar = x+1 in bar*y) (let p = x+1 in p*y)",
+            r"\t. foo (\x. x + t) (\y. \x. x + t)",
+            r"\f. f (\x. f x)",
+            "f x x",
+        ] {
+            let mut s = RefSummariser::new();
+            let (arena, root, summary) = summarise_str(&mut s, src);
+            let mut dst = ExprArena::new();
+            let rebuilt = s.rebuild(&summary, &mut dst);
+            assert!(
+                alpha_eq(&arena, root, &dst, rebuilt),
+                "rebuild not alpha-equivalent for {src}: got {}",
+                lambda_lang::print::print(&dst, rebuilt)
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_then_summarise_gives_same_summary() {
+        let mut s = RefSummariser::new();
+        let (_, _, summary) = summarise_str(&mut s, r"\x. let y = x + z in y * y");
+        let mut dst = ExprArena::new();
+        let rebuilt = s.rebuild(&summary, &mut dst);
+        let summary2 = s.summarise(&dst, rebuilt);
+        assert_eq!(summary, summary2);
+    }
+
+    #[test]
+    fn summarise_all_groups_alpha_equivalent_subterms() {
+        // foo (\x.x+7) (\y.y+7): the two lambdas are alpha-equivalent and
+        // must get equal summaries (§1).
+        let mut a = ExprArena::new();
+        let parsed = parse(&mut a, r"foo (\x. x+7) (\y. y+7)").unwrap();
+        let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
+        let mut s = RefSummariser::new();
+        let all = s.summarise_all(&b, root);
+        // Find the two Lam nodes.
+        let lams: Vec<NodeId> = lambda_lang::visit::preorder(&b, root)
+            .into_iter()
+            .filter(|&n| matches!(b.node(n), ExprNode::Lam(_, _)))
+            .collect();
+        assert_eq!(lams.len(), 2);
+        assert_eq!(all[&lams[0]], all[&lams[1]]);
+    }
+
+    #[test]
+    fn hash_consing_shares_structures() {
+        let mut s = RefSummariser::new();
+        let before = s.distinct_structures();
+        let (_, _, _one) = summarise_str(&mut s, r"\x. x");
+        let mid = s.distinct_structures();
+        let (_, _, _two) = summarise_str(&mut s, r"\y. y");
+        // The second, alpha-equivalent term must not intern anything new.
+        assert_eq!(mid, s.distinct_structures());
+        assert!(mid > before);
+    }
+
+    #[test]
+    fn name_overloading_stays_separate_in_context() {
+        // §2.2 false positive: the two `x+2` have equal summaries as bare
+        // terms (same free var name) — which is correct, because as
+        // standalone terms they ARE alpha-equivalent. Their inequivalence
+        // only exists under the binders:
+        assert!(equal_summaries("x + 2", "x + 2"));
+        assert!(!equal_summaries("let x = bar in x+2", "let x = pubx in x+2"));
+    }
+}

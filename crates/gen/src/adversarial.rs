@@ -1,0 +1,200 @@
+//! Adversarial expression pairs (paper Appendix B.1).
+//!
+//! "We start with two small non-alpha-equivalent expressions with no free
+//! variables:
+//!
+//! ```text
+//! e1 = \x. x (x x)
+//! e2 = \x. (x x) x
+//! ```
+//!
+//! Then, until the right expression size is reached, we transform the
+//! expressions by wrapping both of them in either a `Lam` or an `App`
+//! node" — a pair of highly unbalanced expressions differing only at the
+//! very bottom. A hash collision between the seeds propagates all the way
+//! to the roots, because both sides are extended identically; this is the
+//! construction that stresses Theorem 6.7's bound in Figure 4.
+
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::symbol::Symbol;
+use rand::Rng;
+
+/// Builds `\x. x (x x)` — seed `e1`.
+pub fn seed_e1(arena: &mut ExprArena) -> NodeId {
+    let x = arena.fresh("x");
+    let v1 = arena.var(x);
+    let v2 = arena.var(x);
+    let v3 = arena.var(x);
+    let inner = arena.app(v2, v3);
+    let body = arena.app(v1, inner);
+    arena.lam(x, body)
+}
+
+/// Builds `\x. (x x) x` — seed `e2`, not alpha-equivalent to `e1`.
+pub fn seed_e2(arena: &mut ExprArena) -> NodeId {
+    let x = arena.fresh("x");
+    let v1 = arena.var(x);
+    let v2 = arena.var(x);
+    let v3 = arena.var(x);
+    let inner = arena.app(v1, v2);
+    let body = arena.app(inner, v3);
+    arena.lam(x, body)
+}
+
+/// Generates an adversarial pair of expressions, each with exactly
+/// `size` nodes (`size ≥ 6`, the seed size), wrapped identically by a
+/// random `Lam`/`App` spine.
+///
+/// The two expressions are never alpha-equivalent, but they are
+/// *structurally* as close as possible, maximising the chance that a
+/// low-level hash collision survives to the root.
+///
+/// # Panics
+///
+/// Panics if `size < 6`.
+pub fn adversarial_pair<R: Rng>(
+    arena: &mut ExprArena,
+    size: usize,
+    rng: &mut R,
+) -> (NodeId, NodeId) {
+    assert!(size >= 6, "adversarial seeds have 6 nodes");
+
+    // Plan the shared wrapper spine top-down (budget excludes the seeds).
+    enum Step {
+        Lam,
+        /// `App(spine, leaf)` — the leaf's scope index is recorded in
+        /// `scope_picks` so both sides pick the *same* binder position.
+        App,
+    }
+    let mut steps: Vec<Step> = Vec::new();
+    let mut scope_len = 0usize;
+    let mut scope_picks: Vec<usize> = Vec::new(); // index choices, reused on both sides
+    let mut remaining = size - 6;
+    while remaining > 0 {
+        let can_app = remaining >= 2 && scope_len > 0;
+        let make_lam = if !can_app { true } else { rng.random_bool(0.5) };
+        if make_lam {
+            steps.push(Step::Lam);
+            scope_len += 1;
+            remaining -= 1;
+        } else {
+            scope_picks.push(rng.random_range(0..scope_len));
+            steps.push(Step::App);
+            remaining -= 2;
+        }
+    }
+
+    // Materialise both sides with *matching* binder structure. Each side
+    // gets its own fresh binder names (binders must be unique within each
+    // expression), but the index choices for leaves are shared, so the
+    // two wrappers are alpha-equivalent by construction.
+    let build = |arena: &mut ExprArena, seed_root: NodeId, rng_tag: &str| -> NodeId {
+        let mut scope: Vec<Symbol> = Vec::new();
+        let mut pick_cursor = 0usize;
+        // Walk the plan top-down to allocate binders/leaf choices...
+        let mut concrete: Vec<(bool, Option<Symbol>)> = Vec::new();
+        for step in &steps {
+            match step {
+                Step::Lam => {
+                    let sym = arena.fresh(&format!("a{rng_tag}"));
+                    scope.push(sym);
+                    concrete.push((true, Some(sym)));
+                }
+                Step::App => {
+                    let pick = scope[scope_picks[pick_cursor]];
+                    pick_cursor += 1;
+                    concrete.push((false, Some(pick)));
+                }
+            }
+        }
+        // ...then build bottom-up.
+        let mut expr = seed_root;
+        for (is_lam, sym) in concrete.into_iter().rev() {
+            expr = if is_lam {
+                arena.lam(sym.expect("binder"), expr)
+            } else {
+                let leaf = arena.var(sym.expect("leaf"));
+                arena.app(expr, leaf)
+            };
+        }
+        expr
+    };
+
+    let s1 = seed_e1(arena);
+    let s2 = seed_e2(arena);
+    let e1 = build(arena, s1, "l");
+    let e2 = build(arena, s2, "r");
+    (e1, e2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::alpha::alpha_eq;
+    use lambda_lang::uniquify::check_unique_binders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeds_are_size_6_and_inequivalent() {
+        let mut arena = ExprArena::new();
+        let e1 = seed_e1(&mut arena);
+        let e2 = seed_e2(&mut arena);
+        assert_eq!(arena.subtree_size(e1), 6);
+        assert_eq!(arena.subtree_size(e2), 6);
+        assert!(!alpha_eq(&arena, e1, &arena, e2));
+    }
+
+    #[test]
+    fn pair_hits_exact_size_and_stays_inequivalent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for size in [6, 7, 8, 16, 128, 1024] {
+            let mut arena = ExprArena::new();
+            let (e1, e2) = adversarial_pair(&mut arena, size, &mut rng);
+            assert_eq!(arena.subtree_size(e1), size);
+            assert_eq!(arena.subtree_size(e2), size);
+            assert!(!alpha_eq(&arena, e1, &arena, e2), "size {size}");
+            assert!(check_unique_binders(&arena, e1).is_ok());
+            assert!(check_unique_binders(&arena, e2).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrappers_are_alpha_equivalent_shells() {
+        // Replacing both seeds by the SAME seed must give alpha-equivalent
+        // expressions: the wrapper spines match.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut arena = ExprArena::new();
+        let (e1, e2) = adversarial_pair(&mut arena, 64, &mut rng);
+        // Full-width hashes differ (they must: not alpha-equivalent).
+        let scheme: alpha_hash::HashScheme<u128> = alpha_hash::HashScheme::new(1);
+        assert_ne!(
+            alpha_hash::hash_expr(&arena, e1, &scheme),
+            alpha_hash::hash_expr(&arena, e2, &scheme)
+        );
+    }
+
+    #[test]
+    fn sixteen_bit_hashes_collide_eventually() {
+        // The whole point of the construction: at b=16, some seed finds a
+        // colliding pair within a modest number of trials.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut collisions: u64 = 0;
+        let trials: u64 = 3000;
+        for i in 0..trials {
+            let mut arena = ExprArena::new();
+            let (e1, e2) = adversarial_pair(&mut arena, 128, &mut rng);
+            let scheme: alpha_hash::HashScheme<u16> = alpha_hash::HashScheme::new(i);
+            if alpha_hash::hash_expr(&arena, e1, &scheme)
+                == alpha_hash::hash_expr(&arena, e2, &scheme)
+            {
+                collisions += 1;
+            }
+        }
+        // Expected ≥ trials/2^16 ≈ 0.05 for a perfect hash; adversarial
+        // pairs should collide more often, but even a perfect hash can
+        // have 0 here. We only check the machinery doesn't blow up and
+        // collisions are not absurdly frequent.
+        assert!(collisions < trials / 10, "suspiciously many collisions: {collisions}");
+    }
+}

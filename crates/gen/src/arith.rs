@@ -1,0 +1,162 @@
+//! Closed arithmetic programs — evaluable workloads for semantics tests.
+//!
+//! The CSE client (paper §1) must be semantics-preserving; property tests
+//! check `eval(e) == eval(cse(e))` on programs from this generator. The
+//! programs are closed, total (no division, wrapping integer arithmetic)
+//! and deliberately share subexpressions so CSE has something to find.
+
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::symbol::Symbol;
+use rand::Rng;
+
+/// Generates a closed, total arithmetic program of roughly `target_size`
+/// nodes: nested `let`s over integer literals, `add`/`sub`/`mul`
+/// combinations of literals and let-bound variables, with deliberate
+/// repetition of subtrees.
+pub fn arithmetic<R: Rng>(arena: &mut ExprArena, target_size: usize, rng: &mut R) -> NodeId {
+    let mut scope: Vec<Symbol> = Vec::new();
+    let mut lets: Vec<(Symbol, NodeId)> = Vec::new();
+    let mut budget = target_size;
+
+    // A chain of lets, each binding a small expression over what is
+    // already in scope.
+    while budget > 12 {
+        let rhs = small_expr(arena, &scope, rng, 3);
+        let size = arena.subtree_size(rhs) + 2; // let + later var use
+        let sym = arena.fresh("v");
+        lets.push((sym, rhs));
+        scope.push(sym);
+        budget = budget.saturating_sub(size);
+    }
+
+    let mut body = small_expr(arena, &scope, rng, 3);
+    // Use several bound variables so rewrites are observable.
+    for _ in 0..3 {
+        if let Some(&sym) = pick(&scope, rng) {
+            let v = arena.var(sym);
+            body = arena.prim2(op(rng), body, v);
+        }
+    }
+    for (sym, rhs) in lets.into_iter().rev() {
+        body = arena.let_(sym, rhs, body);
+    }
+    body
+}
+
+fn pick<'a, T, R: Rng>(items: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+fn op<R: Rng>(rng: &mut R) -> &'static str {
+    ["add", "sub", "mul"][rng.random_range(0..3)]
+}
+
+fn small_expr<R: Rng>(
+    arena: &mut ExprArena,
+    scope: &[Symbol],
+    rng: &mut R,
+    depth: usize,
+) -> NodeId {
+    if depth == 0 || rng.random_bool(0.3) {
+        return leaf(arena, scope, rng);
+    }
+    let a = small_expr(arena, scope, rng, depth - 1);
+    let b = if rng.random_bool(0.4) {
+        // Deliberate duplication: an exact copy of the sibling, so CSE
+        // has shared subexpressions to discover. (These subtrees contain
+        // no binders, so copying preserves the unique-binder invariant.)
+        copy_binderless_subtree(arena, a)
+    } else {
+        leaf(arena, scope, rng)
+    };
+    arena.prim2(op(rng), a, b)
+}
+
+/// Duplicates a subtree containing no binding forms.
+fn copy_binderless_subtree(arena: &mut ExprArena, root: NodeId) -> NodeId {
+    use lambda_lang::arena::ExprNode;
+    let order = lambda_lang::visit::postorder(arena, root);
+    let mut remap: std::collections::HashMap<NodeId, NodeId> =
+        std::collections::HashMap::with_capacity(order.len());
+    for n in order {
+        let new_id = match arena.node(n) {
+            ExprNode::Var(s) => arena.var(s),
+            ExprNode::Lit(l) => arena.lit(l),
+            ExprNode::App(f, a) => {
+                let (f2, a2) = (remap[&f], remap[&a]);
+                arena.app(f2, a2)
+            }
+            other => unreachable!("arith subtrees have no binders: {other:?}"),
+        };
+        remap.insert(n, new_id);
+    }
+    remap[&root]
+}
+
+fn leaf<R: Rng>(arena: &mut ExprArena, scope: &[Symbol], rng: &mut R) -> NodeId {
+    if !scope.is_empty() && rng.random_bool(0.6) {
+        let sym = *pick(scope, rng).expect("non-empty scope");
+        arena.var(sym)
+    } else {
+        arena.int(rng.random_range(-4..=9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::eval::eval;
+    use lambda_lang::stats::free_vars;
+    use lambda_lang::uniquify::check_unique_binders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn programs_are_closed_unique_and_evaluable() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for size in [20usize, 50, 150, 400] {
+            let mut arena = ExprArena::new();
+            let root = arithmetic(&mut arena, size, &mut rng);
+            // Free variables are only the arithmetic primitives.
+            for (&sym, _) in free_vars(&arena, root).iter() {
+                let name = arena.name(sym);
+                assert!(
+                    matches!(name, "add" | "sub" | "mul"),
+                    "unexpected free variable {name}"
+                );
+            }
+            assert!(check_unique_binders(&arena, root).is_ok());
+            eval(&arena, root).unwrap_or_else(|e| panic!("size {size}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sizes_are_in_the_requested_ballpark() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut arena = ExprArena::new();
+        let root = arithmetic(&mut arena, 300, &mut rng);
+        let n = arena.subtree_size(root);
+        assert!((100..=700).contains(&n), "size {n}");
+    }
+
+    #[test]
+    fn contains_shared_subexpressions_often() {
+        use alpha_hash::equiv::hash_classes;
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut found_sharing = 0;
+        for _ in 0..10 {
+            let mut arena = ExprArena::new();
+            let root = arithmetic(&mut arena, 200, &mut rng);
+            let scheme: alpha_hash::HashScheme<u64> = alpha_hash::HashScheme::new(1);
+            let classes = hash_classes(&arena, root, &scheme);
+            if classes.iter().any(|c| c.len() >= 2 && arena.subtree_size(c[0]) >= 4) {
+                found_sharing += 1;
+            }
+        }
+        assert!(found_sharing >= 5, "only {found_sharing}/10 programs had sharing");
+    }
+}

@@ -1,0 +1,245 @@
+//! Random lambda terms for the synthetic evaluation (paper §7.1).
+//!
+//! Two families, as in Figure 2:
+//!
+//! * [`balanced`] — "roughly balanced trees, at each point generating a
+//!   `Lam` or `App` node with equal probability. Each `Lam` node has a
+//!   fresh binder, and at variable occurrences we choose one of the
+//!   in-scope bound variables."
+//! * [`unbalanced`] — "wildly unbalanced trees with very deeply nested
+//!   lambdas", the shape of machine-generated `let`-heavy code; the
+//!   workload that exposes the locally nameless baseline's quadratic
+//!   behaviour.
+//!
+//! Generators hit the requested node count exactly, produce distinct
+//! binders by construction (no uniquify pass needed), and are
+//! deterministic given the RNG.
+
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::symbol::Symbol;
+use rand::Rng;
+
+/// Generates a roughly balanced random term with exactly `size` nodes.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn balanced<R: Rng>(arena: &mut ExprArena, size: usize, rng: &mut R) -> NodeId {
+    assert!(size > 0, "size must be positive");
+
+    enum Task {
+        Gen(usize),
+        Bind(Symbol),
+        Unbind,
+        BuildLam(Symbol),
+        BuildApp,
+    }
+
+    let mut scope: Vec<Symbol> = Vec::new();
+    let mut results: Vec<NodeId> = Vec::new();
+    let mut stack = vec![Task::Gen(size)];
+    let mut binder_counter = 0usize;
+
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Bind(sym) => scope.push(sym),
+            Task::Unbind => {
+                scope.pop();
+            }
+            Task::BuildLam(sym) => {
+                let body = results.pop().expect("lam body");
+                results.push(arena.lam(sym, body));
+            }
+            Task::BuildApp => {
+                let arg = results.pop().expect("app arg");
+                let fun = results.pop().expect("app fun");
+                results.push(arena.app(fun, arg));
+            }
+            Task::Gen(budget) => {
+                let make_lam = if budget == 1 {
+                    false
+                } else if scope.is_empty() || budget == 2 {
+                    true
+                } else {
+                    rng.random_bool(0.5)
+                };
+                if budget == 1 {
+                    // A variable occurrence: one of the in-scope binders
+                    // (a free fallback only for the degenerate size-1
+                    // call).
+                    let node = if scope.is_empty() {
+                        arena.var_named("free")
+                    } else {
+                        let pick = scope[rng.random_range(0..scope.len())];
+                        arena.var(pick)
+                    };
+                    results.push(node);
+                } else if make_lam {
+                    binder_counter += 1;
+                    let sym = arena.intern(&format!("b{binder_counter}_{}", arena.len()));
+                    stack.push(Task::BuildLam(sym));
+                    stack.push(Task::Unbind);
+                    stack.push(Task::Gen(budget - 1));
+                    stack.push(Task::Bind(sym));
+                } else {
+                    // Balanced split of the remaining budget, with a
+                    // little jitter so trees are not perfectly regular.
+                    let remaining = budget - 1;
+                    let half = remaining / 2;
+                    let jitter = (half / 4).max(1);
+                    let lo = half.saturating_sub(jitter).max(1);
+                    let hi = (half + jitter).min(remaining - 1).max(lo);
+                    let left = rng.random_range(lo..=hi);
+                    let right = remaining - left;
+                    stack.push(Task::BuildApp);
+                    stack.push(Task::Gen(right));
+                    stack.push(Task::Gen(left));
+                }
+            }
+        }
+    }
+
+    let root = results.pop().expect("generated a root");
+    debug_assert!(results.is_empty());
+    root
+}
+
+/// Generates a wildly unbalanced term with exactly `size` nodes: a long
+/// spine where each step is, with equal probability, a fresh-binder `Lam`
+/// or an `App` of the spine to an in-scope variable leaf.
+pub fn unbalanced<R: Rng>(arena: &mut ExprArena, size: usize, rng: &mut R) -> NodeId {
+    assert!(size > 0, "size must be positive");
+
+    // Plan the spine top-down, then build it bottom-up.
+    enum Step {
+        Lam(Symbol),
+        /// App(spine, leaf): the leaf variable was chosen from the
+        /// binders in scope at this point.
+        App(Symbol),
+    }
+
+    let mut steps: Vec<Step> = Vec::new();
+    let mut scope: Vec<Symbol> = Vec::new();
+    let mut remaining = size - 1; // reserve the innermost leaf
+    let mut binder_counter = 0usize;
+
+    while remaining > 0 {
+        let can_app = remaining >= 2 && !scope.is_empty();
+        let make_lam = if !can_app { true } else { rng.random_bool(0.5) };
+        if make_lam {
+            binder_counter += 1;
+            let sym = arena.intern(&format!("u{binder_counter}_{}", arena.len()));
+            scope.push(sym);
+            steps.push(Step::Lam(sym));
+            remaining -= 1;
+        } else {
+            let pick = scope[rng.random_range(0..scope.len())];
+            steps.push(Step::App(pick));
+            remaining -= 2;
+        }
+    }
+
+    // Innermost leaf: a variable bound somewhere above (scope cannot be
+    // empty: the first step is always a Lam).
+    let mut expr = if scope.is_empty() {
+        arena.var_named("free")
+    } else {
+        let pick = scope[rng.random_range(0..scope.len())];
+        arena.var(pick)
+    };
+
+    for step in steps.into_iter().rev() {
+        expr = match step {
+            Step::Lam(sym) => arena.lam(sym, expr),
+            Step::App(leaf_sym) => {
+                let leaf = arena.var(leaf_sym);
+                arena.app(expr, leaf)
+            }
+        };
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::uniquify::check_unique_binders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_hits_exact_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in [1, 2, 3, 5, 10, 100, 1234, 20_000] {
+            let mut arena = ExprArena::new();
+            let root = balanced(&mut arena, size, &mut rng);
+            assert_eq!(arena.subtree_size(root), size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_hits_exact_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for size in [1, 2, 3, 5, 10, 100, 1235, 20_001] {
+            let mut arena = ExprArena::new();
+            let root = unbalanced(&mut arena, size, &mut rng);
+            assert_eq!(arena.subtree_size(root), size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn generated_terms_have_unique_binders() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut arena = ExprArena::new();
+        let b = balanced(&mut arena, 5_000, &mut rng);
+        assert!(check_unique_binders(&arena, b).is_ok());
+        let u = unbalanced(&mut arena, 5_000, &mut rng);
+        assert!(check_unique_binders(&arena, u).is_ok());
+    }
+
+    #[test]
+    fn balanced_is_shallow_unbalanced_is_deep() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let size = 10_000;
+        let mut arena = ExprArena::new();
+        let b = balanced(&mut arena, size, &mut rng);
+        let u = unbalanced(&mut arena, size, &mut rng);
+        let depth_b = arena.subtree_depth(b);
+        let depth_u = arena.subtree_depth(u);
+        assert!(depth_b < 200, "balanced depth {depth_b}");
+        assert!(depth_u > size / 4, "unbalanced depth {depth_u}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen_hash = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut arena = ExprArena::new();
+            let root = balanced(&mut arena, 500, &mut rng);
+            let scheme: alpha_hash::HashScheme<u64> = alpha_hash::HashScheme::new(1);
+            alpha_hash::hash_expr(&arena, root, &scheme)
+        };
+        assert_eq!(gen_hash(42), gen_hash(42));
+        assert_ne!(gen_hash(42), gen_hash(43));
+    }
+
+    #[test]
+    fn closed_terms_mostly() {
+        // All variable occurrences are bound (scope picks), so the only
+        // free names are the arithmetic primitives — none here.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut arena = ExprArena::new();
+        let b = balanced(&mut arena, 2_000, &mut rng);
+        assert!(lambda_lang::stats::free_vars(&arena, b).is_empty());
+        let u = unbalanced(&mut arena, 2_000, &mut rng);
+        assert!(lambda_lang::stats::free_vars(&arena, u).is_empty());
+    }
+
+    #[test]
+    fn very_large_generation_is_stack_safe() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut arena = ExprArena::with_capacity(1_000_000);
+        let u = unbalanced(&mut arena, 1_000_000, &mut rng);
+        assert_eq!(arena.subtree_size(u), 1_000_000);
+    }
+}

@@ -1,0 +1,247 @@
+//! Reference decision procedure for alpha-equivalence (paper §2.1).
+//!
+//! This is the *ground truth* the hashing algorithms are tested against:
+//! two terms are alpha-equivalent iff they are identical up to a renaming of
+//! bound variables; free variables must match by name.
+//!
+//! The implementation is a simultaneous iterative walk over both terms,
+//! numbering binders in the order they are entered (a de-Bruijn-level
+//! argument): a bound occurrence matches iff both sides refer to the binder
+//! with the same number. Shadowing is handled (no unique-binder precondition
+//! here), so this predicate is usable on raw, un-preprocessed terms.
+
+use crate::arena::{ExprArena, ExprNode, NodeId};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+enum Task {
+    Compare(NodeId, NodeId),
+    /// Bind the two `Let` binders, then compare the bodies.
+    BindLet {
+        x1: Symbol,
+        x2: Symbol,
+        b1: NodeId,
+        b2: NodeId,
+    },
+    Unbind {
+        x1: Symbol,
+        old1: Option<u32>,
+        x2: Symbol,
+        old2: Option<u32>,
+    },
+}
+
+/// Tests whether the subtree `r1` of `a1` is alpha-equivalent to the
+/// subtree `r2` of `a2`.
+///
+/// The two terms may live in different arenas: free variables are compared
+/// by *name*, not by symbol identity.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+/// use lambda_lang::alpha::alpha_eq;
+///
+/// let mut a = ExprArena::new();
+/// let e1 = parse(&mut a, r"\x. x + y")?;
+/// let e2 = parse(&mut a, r"\p. p + y")?;
+/// let e3 = parse(&mut a, r"\q. q + z")?;
+/// assert!(alpha_eq(&a, e1, &a, e2)); // bound var renamed: equivalent
+/// assert!(!alpha_eq(&a, e1, &a, e3)); // free variables differ
+/// # Ok::<(), lambda_lang::parse::ParseError>(())
+/// ```
+pub fn alpha_eq(a1: &ExprArena, r1: NodeId, a2: &ExprArena, r2: NodeId) -> bool {
+    let mut env1: HashMap<Symbol, u32> = HashMap::new();
+    let mut env2: HashMap<Symbol, u32> = HashMap::new();
+    let mut level: u32 = 0;
+    let mut stack = vec![Task::Compare(r1, r2)];
+
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Unbind { x1, old1, x2, old2 } => {
+                restore(&mut env1, x1, old1);
+                restore(&mut env2, x2, old2);
+                level -= 1;
+            }
+            Task::BindLet { x1, x2, b1, b2 } => {
+                let old1 = env1.insert(x1, level);
+                let old2 = env2.insert(x2, level);
+                level += 1;
+                stack.push(Task::Unbind { x1, old1, x2, old2 });
+                stack.push(Task::Compare(b1, b2));
+            }
+            Task::Compare(n1, n2) => match (a1.node(n1), a2.node(n2)) {
+                (ExprNode::Var(s1), ExprNode::Var(s2)) => {
+                    let matches = match (env1.get(&s1), env2.get(&s2)) {
+                        (Some(l1), Some(l2)) => l1 == l2,
+                        (None, None) => a1.name(s1) == a2.name(s2),
+                        _ => false,
+                    };
+                    if !matches {
+                        return false;
+                    }
+                }
+                (ExprNode::Lit(l1), ExprNode::Lit(l2)) => {
+                    if l1 != l2 {
+                        return false;
+                    }
+                }
+                (ExprNode::Lam(x1, b1), ExprNode::Lam(x2, b2)) => {
+                    let old1 = env1.insert(x1, level);
+                    let old2 = env2.insert(x2, level);
+                    level += 1;
+                    stack.push(Task::Unbind { x1, old1, x2, old2 });
+                    stack.push(Task::Compare(b1, b2));
+                }
+                (ExprNode::App(f1, g1), ExprNode::App(f2, g2)) => {
+                    stack.push(Task::Compare(g1, g2));
+                    stack.push(Task::Compare(f1, f2));
+                }
+                (ExprNode::Let(x1, rhs1, b1), ExprNode::Let(x2, rhs2, b2)) => {
+                    // Binders scope over the bodies only; compare the
+                    // right-hand sides in the current environment first.
+                    stack.push(Task::BindLet { x1, x2, b1, b2 });
+                    stack.push(Task::Compare(rhs1, rhs2));
+                }
+                _ => return false,
+            },
+        }
+    }
+    true
+}
+
+fn restore(env: &mut HashMap<Symbol, u32>, sym: Symbol, old: Option<u32>) {
+    match old {
+        Some(v) => {
+            env.insert(sym, v);
+        }
+        None => {
+            env.remove(&sym);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn eq(s1: &str, s2: &str) -> bool {
+        let mut a1 = ExprArena::new();
+        let r1 = parse(&mut a1, s1).unwrap();
+        let mut a2 = ExprArena::new();
+        let r2 = parse(&mut a2, s2).unwrap();
+        alpha_eq(&a1, r1, &a2, r2)
+    }
+
+    #[test]
+    fn paper_section_2_1_examples() {
+        // "(\x.x+y) is equivalent to (\p.p+y) ... but not to (\q.q+z)".
+        assert!(eq(r"\x. x + y", r"\p. p + y"));
+        assert!(!eq(r"\x. x + y", r"\q. q + z"));
+    }
+
+    #[test]
+    fn syntactically_equal_terms() {
+        assert!(eq("f x (g y)", "f x (g y)"));
+        assert!(!eq("f x", "f y"));
+    }
+
+    #[test]
+    fn lambda_binder_renaming() {
+        assert!(eq(r"\x. x", r"\y. y"));
+        assert!(eq(r"map (\y. y+1) vs", r"map (\x. x+1) vs"));
+        assert!(!eq(r"\x. x", r"\x. y"));
+    }
+
+    #[test]
+    fn let_binder_renaming_paper_example() {
+        // §2.2: "let bar = x+1 in bar*y" ≡α "let pub = x+1 in pub*y".
+        assert!(eq("let bar = x+1 in bar*y", "let pubx = x+1 in pubx*y"));
+    }
+
+    #[test]
+    fn let_rhs_not_in_binder_scope() {
+        // Non-recursive let: the x in the rhs is the *outer* (free) x.
+        assert!(eq("let x = x in x", "let y = x in y"));
+        assert!(!eq("let x = x in x", "let y = y in y"));
+    }
+
+    #[test]
+    fn name_overloading_is_not_equivalence() {
+        // §2.2 false-positive example: the two `x+2`s under different
+        // binders are NOT equivalent once we look at their binding context —
+        // but as standalone terms with free x they ARE equal. The
+        // distinction shows up when comparing the let-wrapped terms:
+        assert!(eq("x + 2", "x + 2"));
+        assert!(!eq("let x = bar in x+2", "let x = pubx in x+2"));
+    }
+
+    #[test]
+    fn shadowing_is_handled() {
+        assert!(eq(r"\x. \x. x", r"\a. \b. b"));
+        assert!(!eq(r"\x. \x. x", r"\a. \b. a"));
+    }
+
+    #[test]
+    fn de_bruijn_false_negative_pair_is_truly_equivalent() {
+        // §2.4: the two (\x. x+t) bodies inside \t.foo … are alpha-equiv
+        // as subexpressions.
+        assert!(eq(r"\x. x + t", r"\x. x + t"));
+        assert!(eq(r"\x. x + t", r"\y. y + t"));
+    }
+
+    #[test]
+    fn de_bruijn_false_positive_pair_is_truly_inequivalent() {
+        // §2.4: (\x. t*(x+1)) vs (\x. y*(x+1)) — free vars differ.
+        assert!(!eq(r"\x. t * (x+1)", r"\x. y * (x+1)"));
+    }
+
+    #[test]
+    fn literals_compare_by_value_and_kind() {
+        assert!(eq("1", "1"));
+        assert!(!eq("1", "2"));
+        assert!(!eq("1", "1.0"));
+        assert!(eq("1.5", "1.5"));
+        assert!(eq("true", "true"));
+        assert!(!eq("true", "false"));
+    }
+
+    #[test]
+    fn structural_mismatch() {
+        assert!(!eq(r"\x. x", "f x"));
+        assert!(!eq("let a = 1 in a", r"(\a. a) 1"));
+    }
+
+    #[test]
+    fn free_var_cannot_match_bound_var() {
+        assert!(!eq(r"\x. x", r"\x. y"));
+        assert!(!eq(r"\y. x", r"\x. x"));
+    }
+
+    #[test]
+    fn deep_terms_are_stack_safe() {
+        let mut a1 = ExprArena::new();
+        let x = a1.intern("x");
+        let mut e1 = a1.var(x);
+        for _ in 0..200_000 {
+            e1 = a1.lam(x, e1);
+        }
+        let mut a2 = ExprArena::new();
+        let y = a2.intern("y");
+        let mut e2 = a2.var(y);
+        for _ in 0..200_000 {
+            e2 = a2.lam(y, e2);
+        }
+        assert!(alpha_eq(&a1, e1, &a2, e2));
+    }
+
+    #[test]
+    fn same_arena_sharing_compares_fine() {
+        let mut a = ExprArena::new();
+        let e = parse(&mut a, r"\x. x").unwrap();
+        assert!(alpha_eq(&a, e, &a, e));
+    }
+}

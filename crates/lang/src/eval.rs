@@ -1,0 +1,516 @@
+//! A small call-by-value evaluator.
+//!
+//! The paper motivates alpha-hashing with common-subexpression elimination
+//! (§1). To *test* that our CSE client (in the `alpha-hash` crate) is
+//! semantics-preserving, we need an interpreter: this module evaluates
+//! closed programs and the property tests check `eval(e) == eval(cse(e))`.
+//!
+//! Primitives are ordinary free variables (`add`, `mul`, …) interpreted as
+//! curried builtins, matching the parser's desugaring of infix syntax.
+//! `if c t e` is the one special form: the branches are evaluated lazily.
+//!
+//! Recursion is bounded by a fuel *and* a depth limit; this evaluator is
+//! meant for test-sized programs, not for the 10⁷-node benchmark terms.
+
+use crate::arena::{ExprArena, ExprNode, NodeId};
+use crate::literal::Literal;
+use crate::symbol::Symbol;
+use std::fmt;
+use std::rc::Rc;
+
+/// Result values.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// A lambda closure.
+    Closure(Rc<Closure>),
+    /// A partially applied builtin.
+    Prim(Prim, Rc<Vec<Value>>),
+}
+
+/// A closure: parameter, body, captured environment.
+#[derive(Debug)]
+pub struct Closure {
+    param: Symbol,
+    body: NodeId,
+    env: Env,
+}
+
+/// Builtin operations, all named by free variables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Prim {
+    /// `add a b`
+    Add,
+    /// `sub a b`
+    Sub,
+    /// `mul a b`
+    Mul,
+    /// `div a b`
+    Div,
+    /// `neg a`
+    Neg,
+    /// `eq a b`
+    Eq,
+    /// `lt a b`
+    Lt,
+    /// `le a b`
+    Le,
+    /// `max a b`
+    Max,
+    /// `min a b`
+    Min,
+    /// `exp a`
+    Exp,
+    /// `log a`
+    Log,
+    /// `sqrt a`
+    Sqrt,
+    /// `tanh a`
+    Tanh,
+}
+
+impl Prim {
+    fn arity(self) -> usize {
+        match self {
+            Prim::Neg | Prim::Exp | Prim::Log | Prim::Sqrt | Prim::Tanh => 1,
+            _ => 2,
+        }
+    }
+
+    fn by_name(name: &str) -> Option<Prim> {
+        Some(match name {
+            "add" => Prim::Add,
+            "sub" => Prim::Sub,
+            "mul" => Prim::Mul,
+            "div" => Prim::Div,
+            "neg" => Prim::Neg,
+            "eq" => Prim::Eq,
+            "lt" => Prim::Lt,
+            "le" => Prim::Le,
+            "max" => Prim::Max,
+            "min" => Prim::Min,
+            "exp" => Prim::Exp,
+            "log" => Prim::Log,
+            "sqrt" => Prim::Sqrt,
+            "tanh" => Prim::Tanh,
+            _ => return None,
+        })
+    }
+}
+
+/// Evaluation environment: a persistent association list (cheap to capture
+/// in closures).
+#[derive(Clone, Debug, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    sym: Symbol,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Env(None)
+    }
+
+    /// Extends with one binding (persistent).
+    pub fn bind(&self, sym: Symbol, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode { sym, value, rest: self.clone() })))
+    }
+
+    fn lookup(&self, sym: Symbol) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.sym == sym {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+/// Errors produced by evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A free variable with no builtin interpretation.
+    Unbound(String),
+    /// Application of a non-function value.
+    NotAFunction,
+    /// An operand had the wrong type.
+    TypeMismatch(&'static str),
+    /// Integer division by zero.
+    DivByZero,
+    /// Step budget exhausted.
+    OutOfFuel,
+    /// Nesting too deep for the recursive evaluator.
+    TooDeep,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(name) => write!(f, "unbound variable `{name}`"),
+            EvalError::NotAFunction => write!(f, "applied a non-function value"),
+            EvalError::TypeMismatch(what) => write!(f, "type mismatch in {what}"),
+            EvalError::DivByZero => write!(f, "integer division by zero"),
+            EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+            EvalError::TooDeep => write!(f, "expression nests too deeply to evaluate"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Default fuel for [`eval`].
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+/// Maximum recursion depth of the evaluator. Conservative because each
+/// level costs two Rust stack frames and test threads get small stacks;
+/// `let` chains are evaluated iteratively and do not count against it.
+const MAX_DEPTH: u32 = 400;
+
+struct Machine<'a> {
+    arena: &'a ExprArena,
+    fuel: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn spend(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, id: NodeId, env: &Env, depth: u32) -> Result<Value, EvalError> {
+        self.spend()?;
+        if depth > MAX_DEPTH {
+            return Err(EvalError::TooDeep);
+        }
+        match self.arena.node(id) {
+            ExprNode::Lit(Literal::I64(v)) => Ok(Value::I64(v)),
+            ExprNode::Lit(Literal::F64Bits(bits)) => Ok(Value::F64(f64::from_bits(bits))),
+            ExprNode::Lit(Literal::Bool(b)) => Ok(Value::Bool(b)),
+            ExprNode::Var(s) => match env.lookup(s) {
+                Some(v) => Ok(v.clone()),
+                None => match Prim::by_name(self.arena.name(s)) {
+                    Some(p) => Ok(Value::Prim(p, Rc::new(Vec::new()))),
+                    None => Err(EvalError::Unbound(self.arena.name(s).to_owned())),
+                },
+            },
+            ExprNode::Lam(param, body) => Ok(Value::Closure(Rc::new(Closure {
+                param,
+                body,
+                env: env.clone(),
+            }))),
+            ExprNode::Let(..) => {
+                // Let chains (ubiquitous in the §7.2 ML workloads) are
+                // evaluated iteratively so their depth is not limited by
+                // the Rust stack.
+                let mut env = env.clone();
+                let mut cur = id;
+                while let ExprNode::Let(x, rhs, body) = self.arena.node(cur) {
+                    self.spend()?;
+                    let v = self.eval(rhs, &env, depth + 1)?;
+                    env = env.bind(x, v);
+                    cur = body;
+                }
+                self.eval(cur, &env, depth + 1)
+            }
+            ExprNode::App(f, a) => {
+                // Lazy special form: if c t e.
+                if let Some((c, t, e)) = self.if_spine(id, env) {
+                    let cond = self.eval(c, env, depth + 1)?;
+                    return match cond {
+                        Value::Bool(true) => self.eval(t, env, depth + 1),
+                        Value::Bool(false) => self.eval(e, env, depth + 1),
+                        _ => Err(EvalError::TypeMismatch("if condition")),
+                    };
+                }
+                let func = self.eval(f, env, depth + 1)?;
+                let arg = self.eval(a, env, depth + 1)?;
+                self.apply(func, arg, depth)
+            }
+        }
+    }
+
+    /// Recognises `((if c) t) e` with `if` a *free* variable.
+    fn if_spine(&self, id: NodeId, env: &Env) -> Option<(NodeId, NodeId, NodeId)> {
+        let ExprNode::App(fte, e) = self.arena.node(id) else { return None };
+        let ExprNode::App(ft, t) = self.arena.node(fte) else { return None };
+        let ExprNode::App(f, c) = self.arena.node(ft) else { return None };
+        let ExprNode::Var(s) = self.arena.node(f) else { return None };
+        if self.arena.name(s) == "if" && env.lookup(s).is_none() {
+            Some((c, t, e))
+        } else {
+            None
+        }
+    }
+
+    fn apply(&mut self, func: Value, arg: Value, depth: u32) -> Result<Value, EvalError> {
+        self.spend()?;
+        match func {
+            Value::Closure(clo) => {
+                let inner = clo.env.bind(clo.param, arg);
+                self.eval(clo.body, &inner, depth + 1)
+            }
+            Value::Prim(p, args) => {
+                let mut args_vec = (*args).clone();
+                args_vec.push(arg);
+                if args_vec.len() == p.arity() {
+                    apply_prim(p, &args_vec)
+                } else {
+                    Ok(Value::Prim(p, Rc::new(args_vec)))
+                }
+            }
+            _ => Err(EvalError::NotAFunction),
+        }
+    }
+}
+
+/// Either both operands as integers, or both promoted to floats.
+type NumericPair = Result<(i64, i64), (f64, f64)>;
+
+fn as_numeric_pair(a: &Value, b: &Value) -> Result<NumericPair, EvalError> {
+    match (a, b) {
+        (Value::I64(x), Value::I64(y)) => Ok(Ok((*x, *y))),
+        (Value::F64(x), Value::F64(y)) => Ok(Err((*x, *y))),
+        (Value::I64(x), Value::F64(y)) => Ok(Err((*x as f64, *y))),
+        (Value::F64(x), Value::I64(y)) => Ok(Err((*x, *y as f64))),
+        _ => Err(EvalError::TypeMismatch("numeric operator")),
+    }
+}
+
+fn as_f64(v: &Value) -> Result<f64, EvalError> {
+    match v {
+        Value::I64(x) => Ok(*x as f64),
+        Value::F64(x) => Ok(*x),
+        _ => Err(EvalError::TypeMismatch("float operator")),
+    }
+}
+
+fn apply_prim(p: Prim, args: &[Value]) -> Result<Value, EvalError> {
+    match p {
+        Prim::Add | Prim::Sub | Prim::Mul | Prim::Div | Prim::Max | Prim::Min => {
+            match as_numeric_pair(&args[0], &args[1])? {
+                Ok((x, y)) => Ok(Value::I64(match p {
+                    Prim::Add => x.wrapping_add(y),
+                    Prim::Sub => x.wrapping_sub(y),
+                    Prim::Mul => x.wrapping_mul(y),
+                    Prim::Div => {
+                        if y == 0 {
+                            return Err(EvalError::DivByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    Prim::Max => x.max(y),
+                    Prim::Min => x.min(y),
+                    _ => unreachable!(),
+                })),
+                Err((x, y)) => Ok(Value::F64(match p {
+                    Prim::Add => x + y,
+                    Prim::Sub => x - y,
+                    Prim::Mul => x * y,
+                    Prim::Div => x / y,
+                    Prim::Max => x.max(y),
+                    Prim::Min => x.min(y),
+                    _ => unreachable!(),
+                })),
+            }
+        }
+        Prim::Eq | Prim::Lt | Prim::Le => match as_numeric_pair(&args[0], &args[1])? {
+            Ok((x, y)) => Ok(Value::Bool(match p {
+                Prim::Eq => x == y,
+                Prim::Lt => x < y,
+                _ => x <= y,
+            })),
+            Err((x, y)) => Ok(Value::Bool(match p {
+                Prim::Eq => x == y,
+                Prim::Lt => x < y,
+                _ => x <= y,
+            })),
+        },
+        Prim::Neg => match &args[0] {
+            Value::I64(x) => Ok(Value::I64(x.wrapping_neg())),
+            Value::F64(x) => Ok(Value::F64(-x)),
+            _ => Err(EvalError::TypeMismatch("neg")),
+        },
+        Prim::Exp => Ok(Value::F64(as_f64(&args[0])?.exp())),
+        Prim::Log => Ok(Value::F64(as_f64(&args[0])?.ln())),
+        Prim::Sqrt => Ok(Value::F64(as_f64(&args[0])?.sqrt())),
+        Prim::Tanh => Ok(Value::F64(as_f64(&args[0])?.tanh())),
+    }
+}
+
+/// Evaluates the subtree at `root` in the empty environment with
+/// [`DEFAULT_FUEL`].
+///
+/// # Errors
+///
+/// See [`EvalError`]; in particular unbound non-builtin variables and fuel
+/// or depth exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+/// use lambda_lang::eval::{eval, Value};
+///
+/// let mut a = ExprArena::new();
+/// let e = parse(&mut a, r"let v = 3 in let a = 10 in (a + (v+7)) * (v+7)")?;
+/// match eval(&a, e)? {
+///     Value::I64(v) => assert_eq!(v, 200),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eval(arena: &ExprArena, root: NodeId) -> Result<Value, EvalError> {
+    eval_with_fuel(arena, root, DEFAULT_FUEL)
+}
+
+/// Like [`eval`] but with an explicit step budget.
+pub fn eval_with_fuel(arena: &ExprArena, root: NodeId, fuel: u64) -> Result<Value, EvalError> {
+    let mut machine = Machine { arena, fuel };
+    machine.eval(root, &Env::new(), 0)
+}
+
+impl Value {
+    /// Numeric comparison used by tests: equality of results, with exact
+    /// equality on integers/bools and bitwise equality on floats.
+    pub fn observably_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> Result<Value, EvalError> {
+        let mut a = ExprArena::new();
+        let e = parse(&mut a, src).unwrap();
+        eval(&a, e)
+    }
+
+    fn run_i64(src: &str) -> i64 {
+        match run(src).unwrap() {
+            Value::I64(v) => v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run_i64("1 + 2 * 3"), 7);
+        assert_eq!(run_i64("(1 + 2) * 3"), 9);
+        assert_eq!(run_i64("10 - 3 - 2"), 5);
+        assert_eq!(run_i64("7 / 2"), 3);
+    }
+
+    #[test]
+    fn paper_intro_example_and_its_cse_form_agree() {
+        let original = "let v = 3 in let a = 10 in (a + (v+7)) * (v+7)";
+        let cse_form = "let v = 3 in let a = 10 in let w = v+7 in (a + w) * w";
+        let v1 = run(original).unwrap();
+        let v2 = run(cse_form).unwrap();
+        assert!(v1.observably_eq(&v2));
+        assert_eq!(run_i64(original), 200);
+    }
+
+    #[test]
+    fn lambdas_and_application() {
+        assert_eq!(run_i64(r"(\x. x + 1) 41"), 42);
+        assert_eq!(run_i64(r"(\f. f (f 10)) (\x. x * 2)"), 40);
+    }
+
+    #[test]
+    fn let_shadowing() {
+        assert_eq!(run_i64("let x = 1 in let x = x + 1 in x"), 2);
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        assert_eq!(run_i64(r"let y = 10 in (\x. x + y) 5"), 15);
+        // The classic capture test: inner binding must not leak.
+        assert_eq!(run_i64(r"let f = (\x. \y. x) in f 1 2"), 1);
+    }
+
+    #[test]
+    fn if_is_lazy() {
+        // The dead branch divides by zero; laziness must avoid it.
+        assert_eq!(run_i64("if true 1 (1 / 0)"), 1);
+        assert_eq!(run_i64("if false (1 / 0) 2"), 2);
+    }
+
+    #[test]
+    fn float_math() {
+        match run("2.0 * 3.5").unwrap() {
+            Value::F64(v) => assert_eq!(v, 7.0),
+            other => panic!("expected float, got {other:?}"),
+        }
+        match run("exp 0.0").unwrap() {
+            Value::F64(v) => assert_eq!(v, 1.0),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_numeric_promotes_to_float() {
+        match run("1 + 2.5").unwrap() {
+            Value::F64(v) => assert_eq!(v, 3.5),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_prims() {
+        assert!(matches!(run("lt 1 2").unwrap(), Value::Bool(true)));
+        assert!(matches!(run("eq 2 2").unwrap(), Value::Bool(true)));
+        assert!(matches!(run("le 3 2").unwrap(), Value::Bool(false)));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(run("1 / 0").unwrap_err(), EvalError::DivByZero);
+        assert!(matches!(run("mystery 1").unwrap_err(), EvalError::Unbound(_)));
+        assert_eq!(run("1 2").unwrap_err(), EvalError::NotAFunction);
+        assert_eq!(run("true + 1").unwrap_err(), EvalError::TypeMismatch("numeric operator"));
+    }
+
+    #[test]
+    fn divergence_runs_out_of_fuel() {
+        // Omega: (\x. x x) (\x. x x)
+        let mut a = ExprArena::new();
+        let e = parse(&mut a, r"(\x. x x) (\x. x x)").unwrap();
+        let err = eval_with_fuel(&a, e, 10_000).unwrap_err();
+        assert!(matches!(err, EvalError::OutOfFuel | EvalError::TooDeep));
+    }
+
+    #[test]
+    fn shadowed_builtin_is_an_ordinary_variable() {
+        assert_eq!(run_i64(r"let add = (\a. \b. a * b) in add 3 4"), 12);
+        // `if` bound by the user is no longer lazy/special.
+        assert_eq!(run_i64(r"let if = (\a. \b. \c. b) in if true 5 7"), 5);
+    }
+
+    #[test]
+    fn partial_application_of_prims() {
+        assert_eq!(run_i64("let inc = add 1 in inc 41"), 42);
+    }
+}

@@ -1,0 +1,65 @@
+//! # lambda-lang
+//!
+//! The expression-language substrate for the `hash-modulo-alpha` workspace,
+//! a Rust reproduction of *Hashing Modulo Alpha-Equivalence* (Maziarz,
+//! Ellis, Lawrence, Fitzgibbon, Peyton Jones — PLDI 2021).
+//!
+//! The paper's minimal language (§4.1) is `Var`/`Lam`/`App`; following its
+//! remark that the scheme "can readily be extended to handle richer binding
+//! constructs (let, case, etc.), as well as constants", this crate carries
+//! non-recursive `Let` and literal constants too, which the §7.2 machine
+//! learning workloads (MNIST-CNN, GMM, BERT) need.
+//!
+//! ## Contents
+//!
+//! * [`symbol`] — interned names with O(1) comparison (§4.1 footnote).
+//! * [`arena`] — id-based AST storage; all algorithms are stack-safe
+//!   iterative because the paper's unbalanced benchmarks reach depth Θ(n).
+//! * [`visit`] — pre/post-order and scope-bracketed traversal drivers.
+//! * [`mod@parse`] / [`mod@print`] — concrete syntax matching the paper's examples
+//!   (`(a + (v+7)) * (v+7)` parses as written).
+//! * [`mod@uniquify`] — the §2.2 preprocessing making all binding sites
+//!   distinct, a precondition of every hashing algorithm here.
+//! * [`alpha`] — ground-truth alpha-equivalence (§2.1).
+//! * [`debruijn`] — de Bruijn representation (§2.4) and a second
+//!   ground-truth equality.
+//! * [`eval`] — a small CBV evaluator used to check that the CSE client is
+//!   semantics-preserving.
+//! * [`stats`] — free variables and shape metrics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lambda_lang::arena::ExprArena;
+//! use lambda_lang::parse::parse;
+//! use lambda_lang::alpha::alpha_eq;
+//!
+//! let mut a = ExprArena::new();
+//! let e1 = parse(&mut a, r"\x. x + 7")?;
+//! let e2 = parse(&mut a, r"\y. y + 7")?;
+//! assert!(alpha_eq(&a, e1, &a, e2));
+//! # Ok::<(), lambda_lang::parse::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alpha;
+pub mod arena;
+pub mod debruijn;
+pub mod eval;
+pub mod literal;
+pub mod parse;
+pub mod print;
+pub mod stats;
+pub mod symbol;
+pub mod uniquify;
+pub mod visit;
+
+pub use alpha::alpha_eq;
+pub use arena::{Children, ExprArena, ExprNode, NodeId};
+pub use literal::Literal;
+pub use parse::{parse, ParseError};
+pub use print::print;
+pub use symbol::{Interner, Symbol};
+pub use uniquify::{check_unique_binders, uniquify, uniquify_into};

@@ -1,0 +1,130 @@
+//! Literal constants.
+//!
+//! The paper's minimal language (§4.1) has only `Var`/`Lam`/`App`, but notes
+//! it "can readily be extended to handle richer binding constructs (let,
+//! case, etc.), as well as constants". The real-life workloads of §7.2
+//! (MNIST-CNN, GMM, BERT) are arithmetic-heavy, so we carry numeric and
+//! boolean literals.
+
+use std::fmt;
+
+/// A literal constant leaf.
+///
+/// `F64` stores the raw bit pattern so that literals are `Eq + Ord + Hash`
+/// (required for use as hash-table keys and inside e-summaries). Two float
+/// literals are equal iff their bits are equal; `NaN == NaN` under this
+/// definition, which is the right notion for *syntactic* processing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Literal {
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// 64-bit float, stored as its IEEE-754 bit pattern.
+    F64Bits(u64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Literal {
+    /// Builds a float literal from an `f64` value.
+    pub fn f64(value: f64) -> Self {
+        Literal::F64Bits(value.to_bits())
+    }
+
+    /// Returns the float value if this is a float literal.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Literal::F64Bits(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit payload identifying this literal for hashing: the
+    /// discriminant is mixed in by the caller's combiner, this is just the
+    /// raw contents.
+    pub fn payload(self) -> u64 {
+        match self {
+            Literal::I64(v) => v as u64,
+            Literal::F64Bits(bits) => bits,
+            Literal::Bool(b) => b as u64,
+        }
+    }
+
+    /// A small integer discriminant distinguishing literal kinds for hashing.
+    pub fn kind_tag(self) -> u64 {
+        match self {
+            Literal::I64(_) => 1,
+            Literal::F64Bits(_) => 2,
+            Literal::Bool(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::I64(v) => write!(f, "{v}"),
+            Literal::F64Bits(bits) => {
+                let v = f64::from_bits(*bits);
+                // Always include a decimal point so the printer/parser
+                // round-trips float-ness.
+                if v == v.trunc() && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Literal {
+    fn from(v: i64) -> Self {
+        Literal::I64(v)
+    }
+}
+
+impl From<f64> for Literal {
+    fn from(v: f64) -> Self {
+        Literal::f64(v)
+    }
+}
+
+impl From<bool> for Literal {
+    fn from(v: bool) -> Self {
+        Literal::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_bits_equality() {
+        assert_eq!(Literal::f64(1.5), Literal::f64(1.5));
+        assert_ne!(Literal::f64(1.5), Literal::f64(2.5));
+        // NaN equals itself under the bit-pattern definition.
+        assert_eq!(Literal::f64(f64::NAN), Literal::f64(f64::NAN));
+    }
+
+    #[test]
+    fn int_and_float_never_equal() {
+        assert_ne!(Literal::I64(1), Literal::f64(1.0));
+        assert_ne!(Literal::I64(1).kind_tag(), Literal::f64(1.0).kind_tag());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Literal::I64(42).to_string(), "42");
+        assert_eq!(Literal::f64(2.0).to_string(), "2.0");
+        assert_eq!(Literal::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn payload_distinguishes_values() {
+        assert_ne!(Literal::I64(1).payload(), Literal::I64(2).payload());
+        assert_eq!(Literal::f64(1.0).as_f64(), Some(1.0));
+        assert_eq!(Literal::I64(1).as_f64(), None);
+    }
+}

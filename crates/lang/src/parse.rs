@@ -1,0 +1,616 @@
+//! A small concrete syntax for lambda/let expressions.
+//!
+//! The grammar covers everything the paper writes in examples, so its
+//! programs can be transcribed literally into tests:
+//!
+//! ```text
+//! expr   ::= '\' ident+ '.' expr            -- lambda (multi-binder sugar)
+//!          | 'let' ident '=' expr 'in' expr
+//!          | additive
+//! additive       ::= multiplicative (('+' | '-') multiplicative)*
+//! multiplicative ::= application (('*' | '/') application)*
+//! application    ::= atom+
+//! atom   ::= ident | integer | float | 'true' | 'false' | '(' expr ')'
+//! ```
+//!
+//! Infix arithmetic desugars to curried applications of the free variables
+//! `add`, `sub`, `mul`, `div` — e.g. `x + 7` becomes `((add x) 7)` — which is
+//! also the convention used by the evaluator and the workload generators.
+//! Line comments start with `--`.
+
+use crate::arena::{ExprArena, NodeId};
+use std::fmt;
+
+/// Position of an error within the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// Error produced when parsing fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.pos.line, self.pos.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Lambda,
+    Let,
+    In,
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    LParen,
+    RParen,
+    Dot,
+    Equals,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), at: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.at).copied()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Pos, Tok), ParseError> {
+        self.skip_trivia();
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok((pos, Tok::Eof));
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'=' => {
+                self.bump();
+                Tok::Equals
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
+            }
+            b'-' => {
+                self.bump();
+                Tok::Minus
+            }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b'/' => {
+                self.bump();
+                Tok::Slash
+            }
+            b'\\' => {
+                self.bump();
+                Tok::Lambda
+            }
+            c if c.is_ascii_digit() => self.lex_number(pos)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || c == b'%' {
+                        name.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "let" => Tok::Let,
+                    "in" => Tok::In,
+                    "lam" => Tok::Lambda,
+                    "true" => Tok::Bool(true),
+                    "false" => Tok::Bool(false),
+                    _ => Tok::Ident(name),
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    pos,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        Ok((pos, tok))
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<Tok, ParseError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                self.bump();
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit())
+            {
+                is_float = true;
+                text.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| ParseError { pos, message: format!("bad float: {e}") })
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| ParseError { pos, message: format!("bad integer: {e}") })
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: (Pos, Tok),
+    arena: &'a mut ExprArena,
+    depth: u32,
+}
+
+/// Maximum nesting depth accepted by the recursive-descent parser. Each
+/// level costs several Rust stack frames (one per precedence tier), so the
+/// limit is conservative. Parsed sources are hand-written tests and
+/// examples; machine-scale expressions are built directly in the arena
+/// (see `expr-gen`).
+const MAX_DEPTH: u32 = 1_000;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, arena: &'a mut ExprArena) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let lookahead = lexer.next_token()?;
+        Ok(Parser { lexer, lookahead, arena, depth: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.lookahead.1
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.lookahead, next).1)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { pos: self.lookahead.0, message }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("expression too deeply nested".into()));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn expr(&mut self) -> Result<NodeId, ParseError> {
+        self.enter()?;
+        let result = match self.peek() {
+            Tok::Lambda => self.lambda(),
+            Tok::Let => self.let_expr(),
+            _ => self.additive(),
+        };
+        self.leave();
+        result
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance()? {
+            Tok::Ident(name) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn lambda(&mut self) -> Result<NodeId, ParseError> {
+        self.advance()?; // consume lambda token
+        let mut binders = vec![self.ident()?];
+        while matches!(self.peek(), Tok::Ident(_)) {
+            binders.push(self.ident()?);
+        }
+        self.expect(&Tok::Dot, "'.'")?;
+        let mut body = self.expr()?;
+        for name in binders.into_iter().rev() {
+            body = self.arena.lam_named(&name, body);
+        }
+        Ok(body)
+    }
+
+    fn let_expr(&mut self) -> Result<NodeId, ParseError> {
+        self.advance()?; // consume 'let'
+        let name = self.ident()?;
+        self.expect(&Tok::Equals, "'='")?;
+        let rhs = self.expr()?;
+        self.expect(&Tok::In, "'in'")?;
+        let body = self.expr()?;
+        Ok(self.arena.let_named(&name, rhs, body))
+    }
+
+    fn additive(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => "add",
+                Tok::Minus => "sub",
+                _ => break,
+            };
+            self.advance()?;
+            let rhs = self.multiplicative()?;
+            lhs = self.arena.prim2(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.application()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => "mul",
+                Tok::Slash => "div",
+                _ => break,
+            };
+            self.advance()?;
+            let rhs = self.application()?;
+            lhs = self.arena.prim2(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn starts_atom(tok: &Tok) -> bool {
+        matches!(
+            tok,
+            Tok::Ident(_) | Tok::Int(_) | Tok::Float(_) | Tok::Bool(_) | Tok::LParen
+        )
+    }
+
+    fn application(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.atom()?;
+        while Self::starts_atom(self.peek()) {
+            let rhs = self.atom()?;
+            lhs = self.arena.app(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<NodeId, ParseError> {
+        self.enter()?;
+        let result = match self.advance()? {
+            Tok::Ident(name) => Ok(self.arena.var_named(&name)),
+            Tok::Int(v) => Ok(self.arena.int(v)),
+            Tok::Float(v) => Ok(self.arena.float(v)),
+            // Negative literal: a minus in atom position binds to a
+            // following number (`a - -4`, `f (-4)`).
+            Tok::Minus => match self.advance()? {
+                Tok::Int(v) => Ok(self.arena.int(-v)),
+                Tok::Float(v) => Ok(self.arena.float(-v)),
+                other => {
+                    Err(self.error(format!("expected a number after unary '-', found {other:?}")))
+                }
+            },
+            Tok::Bool(b) => Ok(self.arena.lit(crate::literal::Literal::Bool(b))),
+            Tok::LParen => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        };
+        self.leave();
+        result
+    }
+}
+
+/// Parses `src` into `arena`, returning the root node.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line/column position) on malformed input
+/// or nesting deeper than an internal limit.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+///
+/// let mut a = ExprArena::new();
+/// let root = parse(&mut a, r"\x. x + 7")?;
+/// assert_eq!(a.subtree_size(root), 6); // \x. ((add x) 7)
+/// # Ok::<(), lambda_lang::parse::ParseError>(())
+/// ```
+pub fn parse(arena: &mut ExprArena, src: &str) -> Result<NodeId, ParseError> {
+    let mut parser = Parser::new(src, arena)?;
+    let root = parser.expr()?;
+    if parser.peek() != &Tok::Eof {
+        return Err(parser.error(format!("trailing input: {:?}", parser.peek())));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::ExprNode;
+
+    fn parse_new(src: &str) -> (ExprArena, NodeId) {
+        let mut a = ExprArena::new();
+        let root = parse(&mut a, src).unwrap_or_else(|e| panic!("{e}"));
+        (a, root)
+    }
+
+    #[test]
+    fn parses_identity() {
+        let (a, root) = parse_new(r"\x. x");
+        match a.node(root) {
+            ExprNode::Lam(x, b) => {
+                assert_eq!(a.name(x), "x");
+                assert!(matches!(a.node(b), ExprNode::Var(s) if s == x));
+            }
+            other => panic!("expected lam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_binder_lambda_desugars() {
+        let (a, root) = parse_new(r"\x y. x");
+        match a.node(root) {
+            ExprNode::Lam(x, inner) => {
+                assert_eq!(a.name(x), "x");
+                assert!(matches!(a.node(inner), ExprNode::Lam(_, _)));
+            }
+            other => panic!("expected lam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let (a, root) = parse_new("f x y");
+        // ((f x) y)
+        match a.node(root) {
+            ExprNode::App(fx, y) => {
+                assert!(matches!(a.node(fx), ExprNode::App(_, _)));
+                assert!(matches!(a.node(y), ExprNode::Var(_)));
+            }
+            other => panic!("expected app, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        // a + b * c  ==  add a (mul b c)
+        let (a, root) = parse_new("a + b * c");
+        match a.node(root) {
+            ExprNode::App(add_a, mul_bc) => {
+                match a.node(add_a) {
+                    ExprNode::App(add, _) => match a.node(add) {
+                        ExprNode::Var(s) => assert_eq!(a.name(s), "add"),
+                        other => panic!("expected add var, got {other:?}"),
+                    },
+                    other => panic!("expected inner app, got {other:?}"),
+                }
+                // rhs is (mul b) c
+                assert!(matches!(a.node(mul_bc), ExprNode::App(_, _)));
+            }
+            other => panic!("expected app, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_intro_example_parses() {
+        // "(a + (v+7)) * (v+7)" from §1. Each infix op is a curried
+        // application: mul(3) + add-left(4 + inner add(5)) + add-right(5).
+        let (a, root) = parse_new("(a + (v+7)) * (v+7)");
+        assert_eq!(a.subtree_size(root), 17);
+    }
+
+    #[test]
+    fn let_in_parses() {
+        let (a, root) = parse_new("let w = v + 7 in (a + w) * w");
+        match a.node(root) {
+            ExprNode::Let(w, _, _) => assert_eq!(a.name(w), "w"),
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_parse() {
+        let (a, root) = parse_new("f 1 2.5 true false");
+        assert_eq!(a.subtree_size(root), 9);
+        let _ = root;
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let (_, root) = {
+            let mut a = ExprArena::new();
+            let r = parse(&mut a, "-- a comment\nx -- trailing\n").unwrap();
+            (a, r)
+        };
+        let _ = root;
+    }
+
+    #[test]
+    fn subtraction_and_division() {
+        let (a, root) = parse_new("a - b / c");
+        // sub a (div b c)
+        match a.node(root) {
+            ExprNode::App(lhs, _) => match a.node(lhs) {
+                ExprNode::App(op, _) => match a.node(op) {
+                    ExprNode::Var(s) => assert_eq!(a.name(s), "sub"),
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unbalanced_paren() {
+        let mut a = ExprArena::new();
+        let err = parse(&mut a, "(x").unwrap_err();
+        assert!(err.message.contains("')'"), "got: {err}");
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let mut a = ExprArena::new();
+        let err = parse(&mut a, "x )").unwrap_err();
+        assert!(err.message.contains("trailing"), "got: {err}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let mut a = ExprArena::new();
+        let err = parse(&mut a, "x +\n  ?").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_crashing() {
+        let mut src = String::new();
+        for _ in 0..20_000 {
+            src.push('(');
+        }
+        src.push('x');
+        for _ in 0..20_000 {
+            src.push(')');
+        }
+        let mut a = ExprArena::new();
+        let err = parse(&mut a, &src).unwrap_err();
+        assert!(err.message.contains("deeply nested"));
+    }
+
+    #[test]
+    fn lam_keyword_is_alias_for_backslash() {
+        let (a, root) = parse_new("lam x. x");
+        assert!(matches!(a.node(root), ExprNode::Lam(_, _)));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let (a, root) = parse_new("-4");
+        assert!(matches!(a.node(root), ExprNode::Lit(l) if l == crate::literal::Literal::I64(-4)));
+
+        // After an operator the second minus is a sign.
+        let (a, root) = parse_new("a - -4");
+        assert_eq!(a.subtree_size(root), 5);
+        let (a, root) = parse_new("a * -2.5");
+        assert_eq!(a.subtree_size(root), 5);
+        let _ = (a, root);
+
+        // In application position a bare minus stays subtraction...
+        let (a, root) = parse_new("f - 4");
+        match a.node(root) {
+            ExprNode::App(lhs, _) => match a.node(lhs) {
+                ExprNode::App(op, _) => {
+                    assert!(matches!(a.node(op), ExprNode::Var(s) if a.name(s) == "sub"));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...and a parenthesised negative is an argument.
+        let (a, root) = parse_new("f (-4)");
+        match a.node(root) {
+            ExprNode::App(_, arg) => {
+                assert!(matches!(a.node(arg), ExprNode::Lit(l) if l == crate::literal::Literal::I64(-4)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

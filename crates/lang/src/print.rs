@@ -1,0 +1,267 @@
+//! Pretty-printer producing text in the syntax of [`mod@crate::parse`].
+//!
+//! Curried applications of the arithmetic primitives (`add`, `sub`, `mul`,
+//! `div`) are rendered infix, so paper examples round-trip readably:
+//! parsing `"(a + (v+7)) * (v+7)"` and printing it yields the same text.
+//! The printer is iterative and therefore safe on arbitrarily deep trees.
+
+use crate::arena::{ExprArena, ExprNode, NodeId};
+use crate::symbol::Symbol;
+
+/// Precedence levels, loosest to tightest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Prec {
+    /// Lambda / let bodies.
+    Top = 0,
+    /// `+` and `-`.
+    Add = 1,
+    /// `*` and `/`.
+    Mul = 2,
+    /// Juxtaposition (application).
+    App = 3,
+    /// Atoms.
+    Atom = 4,
+}
+
+enum Out {
+    Text(&'static str),
+    Name(Symbol),
+    Node(NodeId, Prec),
+}
+
+/// Recognised infix spine: `((op a) b)` where `op` is an arithmetic
+/// primitive variable.
+fn infix_spine(arena: &ExprArena, id: NodeId) -> Option<(&'static str, Prec, NodeId, NodeId)> {
+    let ExprNode::App(fa, b) = arena.node(id) else {
+        return None;
+    };
+    let ExprNode::App(f, a) = arena.node(fa) else {
+        return None;
+    };
+    let ExprNode::Var(op) = arena.node(f) else {
+        return None;
+    };
+    match arena.name(op) {
+        "add" => Some(("+", Prec::Add, a, b)),
+        "sub" => Some(("-", Prec::Add, a, b)),
+        "mul" => Some(("*", Prec::Mul, a, b)),
+        "div" => Some(("/", Prec::Mul, a, b)),
+        _ => None,
+    }
+}
+
+/// Renders the subtree at `root` as text.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+/// use lambda_lang::print::print;
+///
+/// let mut a = ExprArena::new();
+/// let root = parse(&mut a, r"\x. (a + (v + 7)) * (v + 7)")?;
+/// assert_eq!(print(&a, root), r"\x. (a + (v + 7)) * (v + 7)");
+/// # Ok::<(), lambda_lang::parse::ParseError>(())
+/// ```
+pub fn print(arena: &ExprArena, root: NodeId) -> String {
+    let mut out = String::new();
+    let mut stack = vec![Out::Node(root, Prec::Top)];
+    while let Some(item) = stack.pop() {
+        match item {
+            Out::Text(s) => out.push_str(s),
+            Out::Name(sym) => out.push_str(arena.name(sym)),
+            Out::Node(id, min_prec) => print_node(arena, id, min_prec, &mut stack, &mut out),
+        }
+    }
+    out
+}
+
+fn print_node(
+    arena: &ExprArena,
+    id: NodeId,
+    min_prec: Prec,
+    stack: &mut Vec<Out>,
+    out: &mut String,
+) {
+    // Push in reverse order of appearance: the stack is LIFO.
+    let parenthesize = |own: Prec| own < min_prec;
+    match arena.node(id) {
+        ExprNode::Var(s) => out.push_str(arena.name(s)),
+        ExprNode::Lit(l) => {
+            // Negative literals start with '-', which in application
+            // position would re-parse as subtraction: parenthesise.
+            let negative = matches!(l, crate::literal::Literal::I64(v) if v < 0)
+                || l.as_f64().is_some_and(|v| v.is_sign_negative());
+            if negative && min_prec >= Prec::App {
+                out.push('(');
+                out.push_str(&l.to_string());
+                out.push(')');
+            } else {
+                out.push_str(&l.to_string());
+            }
+        }
+        ExprNode::Lam(x, body) => {
+            let parens = parenthesize(Prec::Top);
+            if parens {
+                stack.push(Out::Text(")"));
+            }
+            stack.push(Out::Node(body, Prec::Top));
+            stack.push(Out::Text(". "));
+            stack.push(Out::Name(x));
+            stack.push(Out::Text("\\"));
+            if parens {
+                stack.push(Out::Text("("));
+            }
+        }
+        ExprNode::Let(x, rhs, body) => {
+            let parens = parenthesize(Prec::Top);
+            if parens {
+                stack.push(Out::Text(")"));
+            }
+            stack.push(Out::Node(body, Prec::Top));
+            stack.push(Out::Text(" in "));
+            stack.push(Out::Node(rhs, Prec::Top));
+            stack.push(Out::Text(" = "));
+            stack.push(Out::Name(x));
+            stack.push(Out::Text("let "));
+            if parens {
+                stack.push(Out::Text("("));
+            }
+        }
+        ExprNode::App(f, a) => {
+            if let Some((op_text, op_prec, lhs, rhs)) = infix_spine(arena, id) {
+                let parens = parenthesize(op_prec);
+                if parens {
+                    stack.push(Out::Text(")"));
+                }
+                // Left-associative: left child at the operator's own level,
+                // right child one tighter.
+                let rhs_prec = match op_prec {
+                    Prec::Add => Prec::Mul,
+                    _ => Prec::App,
+                };
+                stack.push(Out::Node(rhs, rhs_prec));
+                stack.push(Out::Text(match op_text {
+                    "+" => " + ",
+                    "-" => " - ",
+                    "*" => " * ",
+                    _ => " / ",
+                }));
+                stack.push(Out::Node(lhs, op_prec));
+                if parens {
+                    stack.push(Out::Text("("));
+                }
+            } else {
+                let parens = parenthesize(Prec::App);
+                if parens {
+                    stack.push(Out::Text(")"));
+                }
+                stack.push(Out::Node(a, Prec::Atom));
+                stack.push(Out::Text(" "));
+                stack.push(Out::Node(f, Prec::App));
+                if parens {
+                    stack.push(Out::Text("("));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn round_trip(src: &str) -> String {
+        let mut a = ExprArena::new();
+        let root = parse(&mut a, src).unwrap_or_else(|e| panic!("{e}"));
+        print(&a, root)
+    }
+
+    /// Print, re-parse, re-print: the two prints must agree (printer output
+    /// is valid, canonical syntax).
+    fn stable(src: &str) {
+        let once = round_trip(src);
+        let twice = round_trip(&once);
+        assert_eq!(once, twice, "printer not stable for {src}");
+    }
+
+    #[test]
+    fn prints_paper_intro_example() {
+        assert_eq!(round_trip("(a + (v+7)) * (v+7)"), "(a + (v + 7)) * (v + 7)");
+    }
+
+    #[test]
+    fn prints_lambda_and_let() {
+        assert_eq!(
+            round_trip(r"let w = v+7 in (a + w) * w"),
+            "let w = v + 7 in (a + w) * w"
+        );
+        assert_eq!(round_trip(r"\x. x + 7"), r"\x. x + 7");
+    }
+
+    #[test]
+    fn application_spacing_and_parens() {
+        assert_eq!(round_trip("f (g x) y"), "f (g x) y");
+        assert_eq!(round_trip(r"foo (\x. x+7) (\y. y+7)"), r"foo (\x. x + 7) (\y. y + 7)");
+    }
+
+    #[test]
+    fn respects_precedence_in_output() {
+        assert_eq!(round_trip("(a + b) * c"), "(a + b) * c");
+        assert_eq!(round_trip("a + b * c"), "a + b * c");
+        assert_eq!(round_trip("a * (b + c)"), "a * (b + c)");
+    }
+
+    #[test]
+    fn nested_binding_forms_parenthesised_in_tight_positions() {
+        assert_eq!(round_trip(r"f (\x. x)"), r"f (\x. x)");
+        assert_eq!(round_trip(r"(let x = 1 in x) + 2"), "(let x = 1 in x) + 2");
+    }
+
+    #[test]
+    fn printer_is_stable_on_varied_inputs() {
+        for src in [
+            "x",
+            "1",
+            "2.5",
+            "true",
+            r"\x. x",
+            r"\x y. x y",
+            "let a = 1 in let b = 2 in a + b",
+            "f x + g y * h z",
+            "a - b - c",
+            "a / b / c",
+            r"(\x. x) (\y. y)",
+        ] {
+            stable(src);
+        }
+    }
+
+    #[test]
+    fn left_associativity_round_trips() {
+        // a - b - c must stay ((a-b)-c), not a-(b-c).
+        let mut a = ExprArena::new();
+        let r1 = parse(&mut a, "a - b - c").unwrap();
+        let text = print(&a, r1);
+        let mut b = ExprArena::new();
+        let r2 = parse(&mut b, &text).unwrap();
+        assert!(
+            crate::alpha::alpha_eq(&a, r1, &b, r2),
+            "reprinted term differs: {text}"
+        );
+    }
+
+    #[test]
+    fn deep_print_is_stack_safe() {
+        let mut a = ExprArena::new();
+        let x = a.intern("x");
+        let mut e = a.var(x);
+        for _ in 0..200_000 {
+            e = a.lam(x, e);
+        }
+        let text = print(&a, e);
+        assert!(text.starts_with(r"\x. \x. "));
+    }
+}

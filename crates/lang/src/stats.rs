@@ -1,0 +1,173 @@
+//! Expression statistics: free variables, binder inventories, summary
+//! metrics used by the workload generators and the benchmark reports.
+
+use crate::arena::{ExprArena, ExprNode, NodeId};
+use crate::symbol::Symbol;
+use crate::visit::{walk_scoped, ScopeEvent};
+use std::collections::BTreeMap;
+
+/// Occurrence counts of the free variables of the subtree at `root`,
+/// respecting scoping (a name is free only where no enclosing binder binds
+/// it). Iterative; handles shadowing.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::arena::ExprArena;
+/// use lambda_lang::parse::parse;
+/// use lambda_lang::stats::free_vars;
+///
+/// let mut a = ExprArena::new();
+/// let e = parse(&mut a, r"\x. x + y + y")?;
+/// let fv = free_vars(&a, e);
+/// let mut names: Vec<(&str, usize)> =
+///     fv.iter().map(|(&s, &n)| (a.name(s), n)).collect();
+/// names.sort(); // the map is keyed by symbol index, not by name
+/// assert_eq!(names, vec![("add", 2), ("y", 2)]);
+/// # Ok::<(), lambda_lang::parse::ParseError>(())
+/// ```
+pub fn free_vars(arena: &ExprArena, root: NodeId) -> BTreeMap<Symbol, usize> {
+    let mut counts: BTreeMap<Symbol, usize> = BTreeMap::new();
+    // Shadowing-aware scope: per-symbol nesting depth.
+    let mut bound: BTreeMap<Symbol, u32> = BTreeMap::new();
+    walk_scoped(arena, root, |ev| match ev {
+        ScopeEvent::Bind { sym, .. } => {
+            *bound.entry(sym).or_insert(0) += 1;
+        }
+        ScopeEvent::Unbind { sym, .. } => {
+            let depth = bound.get_mut(&sym).expect("unbind without bind");
+            *depth -= 1;
+            if *depth == 0 {
+                bound.remove(&sym);
+            }
+        }
+        ScopeEvent::Enter(n) => {
+            if let ExprNode::Var(s) = arena.node(n) {
+                if !bound.contains_key(&s) {
+                    *counts.entry(s).or_insert(0) += 1;
+                }
+            }
+        }
+        ScopeEvent::Exit(_) => {}
+    });
+    counts
+}
+
+/// Whether the subtree has no free variables.
+pub fn is_closed(arena: &ExprArena, root: NodeId) -> bool {
+    free_vars(arena, root).is_empty()
+}
+
+/// All binder symbols in the subtree, in pre-order.
+pub fn binders(arena: &ExprArena, root: NodeId) -> Vec<Symbol> {
+    crate::visit::preorder(arena, root)
+        .into_iter()
+        .filter_map(|n| arena.node(n).binder())
+        .collect()
+}
+
+/// Shape summary of an expression, for benchmark reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExprStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Longest root-to-leaf path, in nodes.
+    pub depth: usize,
+    /// Number of binding sites (lambdas + lets).
+    pub binders: usize,
+    /// Number of variable occurrences.
+    pub var_occurrences: usize,
+    /// Number of distinct free variables.
+    pub free_vars: usize,
+}
+
+/// Computes [`ExprStats`] in two iterative passes.
+pub fn stats(arena: &ExprArena, root: NodeId) -> ExprStats {
+    let mut nodes = 0usize;
+    let mut binder_count = 0usize;
+    let mut var_occurrences = 0usize;
+    for n in crate::visit::preorder(arena, root) {
+        nodes += 1;
+        let node = arena.node(n);
+        if node.binder().is_some() {
+            binder_count += 1;
+        }
+        if matches!(node, ExprNode::Var(_)) {
+            var_occurrences += 1;
+        }
+    }
+    ExprStats {
+        nodes,
+        depth: arena.subtree_depth(root),
+        binders: binder_count,
+        var_occurrences,
+        free_vars: free_vars(arena, root).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn parsed(src: &str) -> (ExprArena, NodeId) {
+        let mut a = ExprArena::new();
+        let r = parse(&mut a, src).unwrap();
+        (a, r)
+    }
+
+    #[test]
+    fn free_vars_respect_scope() {
+        let (a, r) = parsed(r"\x. x y");
+        let fv = free_vars(&a, r);
+        assert_eq!(fv.len(), 1);
+        let (&sym, &count) = fv.iter().next().unwrap();
+        assert_eq!(a.name(sym), "y");
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn shadowing_does_not_leak() {
+        // The occurrence of x inside the inner lambda is bound by the inner
+        // binder; after leaving it, x is bound by the outer one. No free x.
+        let (a, r) = parsed(r"\x. (\x. x) x");
+        assert!(free_vars(&a, r).is_empty());
+    }
+
+    #[test]
+    fn let_rhs_occurrence_is_free() {
+        let (a, r) = parsed("let x = x in x");
+        let fv = free_vars(&a, r);
+        assert_eq!(fv.len(), 1);
+        let (&sym, &count) = fv.iter().next().unwrap();
+        assert_eq!(a.name(sym), "x");
+        assert_eq!(count, 1, "only the rhs occurrence is free");
+    }
+
+    #[test]
+    fn is_closed_detects_closedness() {
+        let (a, r) = parsed(r"\x. x");
+        assert!(is_closed(&a, r));
+        let (b, s) = parsed(r"\x. x y");
+        assert!(!is_closed(&b, s));
+    }
+
+    #[test]
+    fn binders_in_preorder() {
+        let (a, r) = parsed(r"\x. let y = 1 in \z. x");
+        let names: Vec<&str> = binders(&a, r).into_iter().map(|s| a.name(s)).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn stats_counts_everything() {
+        let (a, r) = parsed(r"\x. x + y");
+        // Nodes: lam, app, app, add, x, y = 6.
+        let st = stats(&a, r);
+        assert_eq!(st.nodes, 6);
+        assert_eq!(st.binders, 1);
+        assert_eq!(st.var_occurrences, 3); // add, x, y
+        assert_eq!(st.free_vars, 2); // add, y
+        assert_eq!(st.depth, 4);
+    }
+}

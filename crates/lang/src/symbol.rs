@@ -1,0 +1,174 @@
+//! Interned variable names.
+//!
+//! The paper (§4.1) uses `String` names but notes that "a practical
+//! implementation should replace the `String` names with unique identifiers
+//! that support constant-time comparison". [`Symbol`] is that identifier: a
+//! `u32` index into an [`Interner`], so comparison, ordering and hashing are
+//! all O(1) regardless of name length.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned variable name supporting O(1) comparison.
+///
+/// Symbols are only meaningful relative to the [`Interner`] (usually owned by
+/// an [`ExprArena`](crate::arena::ExprArena)) that produced them.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::symbol::Interner;
+///
+/// let mut interner = Interner::new();
+/// let x = interner.intern("x");
+/// assert_eq!(interner.resolve(x), "x");
+/// assert_eq!(x, interner.intern("x"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a symbol from a raw index previously obtained via
+    /// [`Symbol::index`].
+    ///
+    /// The caller is responsible for only using indices that came from the
+    /// same interner; this is checked (as a bounds check) on `resolve`.
+    #[inline]
+    pub fn from_index(index: u32) -> Self {
+        Symbol(index)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A string interner mapping names to [`Symbol`]s and back.
+///
+/// Also provides *gensym* support ([`Interner::fresh`]) used by the
+/// binder-uniquification pass (paper §2.2) and by `rebuild` (paper §4.7),
+/// both of which must invent variable names that collide with nothing else
+/// in the program.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+    fresh_counter: u64,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the same symbol for equal strings.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Returns a symbol whose name is distinct from every name interned so
+    /// far. Names look like `base%0`, `base%1`, … (`%` cannot appear in
+    /// parsed identifiers, so fresh names never collide with source names).
+    pub fn fresh(&mut self, base: &str) -> Symbol {
+        loop {
+            let candidate = format!("{base}%{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.by_name.contains_key(&candidate) {
+                return self.intern(&candidate);
+            }
+        }
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.resolve(b), "bar");
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut i = Interner::new();
+        i.intern("x%0");
+        let f0 = i.fresh("x");
+        let f1 = i.fresh("x");
+        assert_ne!(f0, f1);
+        assert_ne!(i.resolve(f0), "x%0");
+        assert!(i.resolve(f0).starts_with("x%"));
+    }
+
+    #[test]
+    fn fresh_of_different_bases() {
+        let mut i = Interner::new();
+        let a = i.fresh("t");
+        let b = i.fresh("u");
+        assert_ne!(a, b);
+        assert!(i.resolve(a).starts_with("t%"));
+        assert!(i.resolve(b).starts_with("u%"));
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let mut i = Interner::new();
+        let a = i.intern("roundtrip");
+        assert_eq!(Symbol::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-based property tests: `PMap` must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and
+//! old versions must be unaffected by later operations.
+
+use persistent_map::PMap;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, u16),
+    Remove(u8),
+    AlterAdd(u8, u16),
+    AlterDelete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Remove),
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::AlterAdd(k, v)),
+        any::<u8>().prop_map(Op::AlterDelete),
+    ]
+}
+
+fn assert_same(pmap: &PMap<u8, u16>, model: &BTreeMap<u8, u16>) {
+    assert_eq!(pmap.len(), model.len());
+    let pairs: Vec<(u8, u16)> = pmap.iter().map(|(&k, &v)| (k, v)).collect();
+    let model_pairs: Vec<(u8, u16)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(pairs, model_pairs);
+}
+
+proptest! {
+    #[test]
+    fn pmap_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut pmap: PMap<u8, u16> = PMap::new();
+        let mut model: BTreeMap<u8, u16> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let (next, old) = pmap.insert(k, v);
+                    let model_old = model.insert(k, v);
+                    prop_assert_eq!(old, model_old);
+                    pmap = next;
+                }
+                Op::Remove(k) => {
+                    let (next, old) = pmap.remove(&k);
+                    let model_old = model.remove(&k);
+                    prop_assert_eq!(old, model_old);
+                    pmap = next;
+                }
+                Op::AlterAdd(k, v) => {
+                    pmap = pmap.alter(k, |old| Some(old.copied().unwrap_or(0).wrapping_add(v)));
+                    let entry = model.entry(k).or_insert(0);
+                    *entry = entry.wrapping_add(v);
+                }
+                Op::AlterDelete(k) => {
+                    pmap = pmap.alter(k, |_| None);
+                    model.remove(&k);
+                }
+            }
+            // Point lookups agree on every key touched so far.
+            for k in model.keys() {
+                prop_assert_eq!(pmap.get(k), model.get(k));
+            }
+        }
+        assert_same(&pmap, &model);
+    }
+
+    #[test]
+    fn versions_are_immutable(
+        base in proptest::collection::btree_map(any::<u8>(), any::<u16>(), 0..50),
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+    ) {
+        let pmap: PMap<u8, u16> = base.iter().map(|(&k, &v)| (k, v)).collect();
+        let snapshot = pmap.clone();
+
+        // Apply destructive operations to a separate lineage.
+        let mut working = pmap;
+        for op in ops {
+            working = match op {
+                Op::Insert(k, v) => working.insert(k, v).0,
+                Op::Remove(k) => working.remove(&k).0,
+                Op::AlterAdd(k, v) => working.alter(k, |_| Some(v)),
+                Op::AlterDelete(k) => working.alter(k, |_| None),
+            };
+        }
+
+        // The snapshot still matches the original model exactly.
+        assert_same(&snapshot, &base);
+    }
+
+    #[test]
+    fn from_iterator_agrees_with_incremental(
+        entries in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..100)
+    ) {
+        let collected: PMap<u8, u16> = entries.iter().copied().collect();
+        let mut incremental: PMap<u8, u16> = PMap::new();
+        for &(k, v) in &entries {
+            incremental = incremental.insert(k, v).0;
+        }
+        prop_assert_eq!(collected, incremental);
+    }
+}

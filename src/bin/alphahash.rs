@@ -1,0 +1,83 @@
+//! `alphahash` — a small command-line front end for the library, so the
+//! algorithm can be tried on real programs without writing Rust:
+//!
+//! ```text
+//! alphahash hash    <file>   # alpha-hash of the whole expression
+//! alphahash classes <file>   # all equivalence classes of subexpressions
+//! alphahash cse     <file>   # run CSE modulo alpha, print the rewrite
+//! alphahash eval    <file>   # evaluate a closed program
+//! ```
+//!
+//! Files contain one expression in the `lambda-lang` syntax (see
+//! `lambda_lang::parse`); pass `-` to read from stdin.
+
+use hash_modulo_alpha::prelude::*;
+use std::io::Read;
+
+fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin().read_to_string(&mut buffer)?;
+        Ok(buffer)
+    } else {
+        Ok(std::fs::read_to_string(path)?)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: alphahash <hash|classes|cse|eval> <file|->");
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [command, path] = args.as_slice() else { usage() };
+
+    let source = read_source(path)?;
+    let mut arena = ExprArena::new();
+    let parsed = parse(&mut arena, &source)?;
+    let (arena, root) = uniquify(&arena, parsed);
+    let scheme: HashScheme<u128> = HashScheme::default();
+
+    match command.as_str() {
+        "hash" => {
+            println!("{:032x}", hash_expr(&arena, root, &scheme));
+        }
+        "classes" => {
+            let classes = hash_classes(&arena, root, &scheme);
+            println!(
+                "{} subexpressions, {} classes",
+                arena.subtree_size(root),
+                classes.len()
+            );
+            let mut sorted = classes;
+            sorted.sort_by_key(|c| std::cmp::Reverse(c.len() * arena.subtree_size(c[0])));
+            for class in sorted.iter().filter(|c| c.len() >= 2) {
+                println!(
+                    "  {} x {:>4} nodes  {}",
+                    class.len(),
+                    arena.subtree_size(class[0]),
+                    print(&arena, class[0])
+                );
+            }
+        }
+        "cse" => {
+            let scheme64: HashScheme<u64> = HashScheme::default();
+            let result =
+                eliminate_common_subexpressions(&arena, root, &scheme64, CseConfig::default());
+            for rewrite in &result.rewrites {
+                eprintln!(
+                    "-- bound {} = {} ({} occurrences)",
+                    rewrite.binder, rewrite.subexpr, rewrite.occurrences
+                );
+            }
+            println!("{}", print(&result.arena, result.root));
+        }
+        "eval" => {
+            let value = lambda_lang::eval::eval(&arena, root)?;
+            println!("{value:?}");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

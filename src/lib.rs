@@ -1,0 +1,53 @@
+//! # hash-modulo-alpha
+//!
+//! Umbrella crate for the Rust reproduction of *Hashing Modulo
+//! Alpha-Equivalence* (Maziarz, Ellis, Lawrence, Fitzgibbon, Peyton Jones
+//! — PLDI 2021): one `use` pulls in the whole workspace.
+//!
+//! * [`lang`] (`lambda-lang`) — the expression substrate: arena AST,
+//!   parser/printer, uniquify, alpha-equivalence, de Bruijn, evaluator.
+//! * [`pmap`] (`persistent-map`) — the persistent treap behind the
+//!   incremental engine.
+//! * [`hash`] (`alpha-hash`) — the paper's algorithm: invertible
+//!   e-summaries (§4), the hashed form (§5), equivalence classes (§3),
+//!   the linear-map variant (App. C), incrementality (§6.3) and the CSE
+//!   client (§1).
+//! * [`baselines`] (`hash-baselines`) — structural, de Bruijn and locally
+//!   nameless hashing (Table 1).
+//! * [`gen`] (`expr-gen`) — the evaluation workloads (§7, App. B).
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_modulo_alpha::prelude::*;
+//!
+//! let mut arena = ExprArena::new();
+//! let parsed = parse(&mut arena, r"foo (\x. x+7) (\y. y+7)")?;
+//! let (arena, root) = uniquify(&arena, parsed);
+//! let scheme: HashScheme<u64> = HashScheme::default();
+//! let classes = hash_classes(&arena, root, &scheme);
+//! assert!(classes.iter().any(|c| c.len() == 2));
+//! # Ok::<(), lambda_lang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use alpha_hash as hash;
+pub use expr_gen as gen;
+pub use hash_baselines as baselines;
+pub use lambda_lang as lang;
+pub use persistent_map as pmap;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use alpha_hash::combine::{HashScheme, HashWord};
+    pub use alpha_hash::cse::{eliminate_common_subexpressions, CseConfig};
+    pub use alpha_hash::equiv::{ground_truth_classes, group_by_hash, hash_classes};
+    pub use alpha_hash::hashed::{hash_all_subexpressions, hash_expr};
+    pub use alpha_hash::incremental::IncrementalHasher;
+    pub use lambda_lang::{
+        alpha_eq, check_unique_binders, parse, print::print, uniquify, ExprArena, ExprNode,
+        Literal, NodeId, Symbol,
+    };
+}

@@ -1,0 +1,85 @@
+//! Statistical checks of the §6.2 collision analysis at reduced scale
+//! (the full Appendix B experiment is `fig4_collisions`; these are fast
+//! smoke versions that run in the test suite).
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hash_expr;
+use lambda_lang::ExprArena;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 6.7 at b = 16, n = 128: collision probability for any fixed
+/// inequivalent pair is at most 5(|e1|+|e2|)/2^16 = 1280/65536 ≈ 0.0195.
+/// Even the adversarial generator must stay under the bound.
+#[test]
+fn adversarial_collisions_respect_theorem_6_7() {
+    let trials = 4_000u64;
+    let n = 128usize;
+    let mut rng = StdRng::seed_from_u64(0xC0111);
+    let mut collisions = 0u64;
+    for _ in 0..trials {
+        let scheme: HashScheme<u16> = HashScheme::new(rng.random());
+        let mut arena = ExprArena::with_capacity(2 * n);
+        let (e1, e2) = expr_gen::adversarial_pair(&mut arena, n, &mut rng);
+        if hash_expr(&arena, e1, &scheme) == hash_expr(&arena, e2, &scheme) {
+            collisions += 1;
+        }
+    }
+    let bound = 5.0 * (2 * n) as f64 / f64::from(u32::from(u16::MAX) + 1);
+    let rate = collisions as f64 / trials as f64;
+    assert!(
+        rate <= bound,
+        "adversarial collision rate {rate} exceeds Theorem 6.7 bound {bound}"
+    );
+}
+
+/// Random inequivalent pairs at b = 16 collide at (near) the perfect-hash
+/// rate: out of 4000 pairs the expectation is ~0.06, so more than a
+/// handful indicates a broken combiner family.
+#[test]
+fn random_pairs_collide_at_the_floor() {
+    let trials = 4_000u64;
+    let n = 128usize;
+    let mut rng = StdRng::seed_from_u64(0xF100);
+    let mut collisions = 0u64;
+    for _ in 0..trials {
+        let scheme: HashScheme<u16> = HashScheme::new(rng.random());
+        let mut arena = ExprArena::with_capacity(2 * n);
+        let e1 = expr_gen::balanced(&mut arena, n, &mut rng);
+        let e2 = expr_gen::balanced(&mut arena, n, &mut rng);
+        let wide: HashScheme<u128> = HashScheme::new(7);
+        if hash_expr(&arena, e1, &wide) == hash_expr(&arena, e2, &wide) {
+            continue; // alpha-equivalent pair: discard, per Appendix B
+        }
+        if hash_expr(&arena, e1, &scheme) == hash_expr(&arena, e2, &scheme) {
+            collisions += 1;
+        }
+    }
+    assert!(collisions <= 5, "random collisions {collisions} out of {trials}: far above floor");
+}
+
+/// At b = 64 no collision is ever observable at test scale: distinct
+/// subexpressions of a large program all hash distinctly.
+#[test]
+fn sixty_four_bits_are_collision_free_in_practice() {
+    let mut rng = StdRng::seed_from_u64(0x64B175);
+    let mut arena = ExprArena::new();
+    let root = expr_gen::balanced(&mut arena, 30_000, &mut rng);
+    let scheme: HashScheme<u64> = HashScheme::new(rng.random());
+    let hashes = alpha_hash::hash_all_subexpressions(&arena, root, &scheme);
+
+    // Group by hash; within each class, members must be alpha-equivalent
+    // (spot-check a few classes against the exact predicate).
+    let classes = alpha_hash::equiv::group_by_hash(&hashes);
+    let mut checked = 0;
+    for class in classes.iter().filter(|c| c.len() >= 2).take(25) {
+        for window in class.windows(2) {
+            assert!(
+                lambda_lang::alpha_eq(&arena, window[0], &arena, window[1]),
+                "hash collision between inequivalent subexpressions"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "expected some non-trivial classes");
+}

@@ -1,0 +1,257 @@
+//! Cross-crate property tests: the paper's correctness claims, checked on
+//! randomised inputs.
+//!
+//! The central invariant (§3 + §6.2): for any two subexpressions,
+//! **hash equal ⟺ alpha-equivalent** — with the ⇐ direction exact and the
+//! ⇒ direction holding up to collisions, which at b = 64/128 never occur
+//! at test scale (Theorem 6.8 bounds the failure probability below
+//! 10⁻¹⁰ even for 10⁹-node inputs).
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::equiv::{ground_truth_classes, group_by_hash, same_partition};
+use alpha_hash::hashed::hash_all_subexpressions;
+use alpha_hash::summary::fast::FastSummariser;
+use alpha_hash::summary::reference::RefSummariser;
+use lambda_lang::alpha::alpha_eq;
+use lambda_lang::arena::ExprArena;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scheme() -> HashScheme<u64> {
+    HashScheme::new(0x5EED)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hash-induced classes equal ground-truth alpha classes on random
+    /// balanced terms.
+    #[test]
+    fn hashed_classes_match_ground_truth_balanced(seed in any::<u64>(), size in 5usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::balanced(&mut arena, size, &mut rng);
+        let classes = group_by_hash(&hash_all_subexpressions(&arena, root, &scheme()));
+        let truth = ground_truth_classes(&arena, root);
+        prop_assert!(same_partition(&classes, &truth));
+    }
+
+    /// Same for the spiky unbalanced family (deep binder nests).
+    #[test]
+    fn hashed_classes_match_ground_truth_unbalanced(seed in any::<u64>(), size in 5usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::unbalanced(&mut arena, size, &mut rng);
+        let classes = group_by_hash(&hash_all_subexpressions(&arena, root, &scheme()));
+        let truth = ground_truth_classes(&arena, root);
+        prop_assert!(same_partition(&classes, &truth));
+    }
+
+    /// And for closed arithmetic/let programs.
+    #[test]
+    fn hashed_classes_match_ground_truth_arith(seed in any::<u64>(), size in 20usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::arithmetic(&mut arena, size, &mut rng);
+        let classes = group_by_hash(&hash_all_subexpressions(&arena, root, &scheme()));
+        let truth = ground_truth_classes(&arena, root);
+        prop_assert!(same_partition(&classes, &truth));
+    }
+
+    /// rebuild ∘ summarise ≡α id for the reference (§4.7) summariser.
+    #[test]
+    fn reference_rebuild_roundtrips(seed in any::<u64>(), size in 2usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::balanced(&mut arena, size, &mut rng);
+        let mut s = RefSummariser::new();
+        let summary = s.summarise(&arena, root);
+        let mut dst = ExprArena::new();
+        let rebuilt = s.rebuild(&summary, &mut dst);
+        prop_assert!(alpha_eq(&arena, root, &dst, rebuilt));
+    }
+
+    /// rebuild ∘ summarise ≡α id for the fast (§4.8) summariser,
+    /// including on let-heavy arithmetic programs.
+    #[test]
+    fn fast_rebuild_roundtrips(seed in any::<u64>(), size in 2usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = if size % 2 == 0 {
+            expr_gen::unbalanced(&mut arena, size, &mut rng)
+        } else {
+            expr_gen::arithmetic(&mut arena, size, &mut rng)
+        };
+        let mut s = FastSummariser::new();
+        let summary = s.summarise(&arena, root);
+        let mut dst = ExprArena::new();
+        let rebuilt = s.rebuild(&summary, &mut dst);
+        prop_assert!(alpha_eq(&arena, root, &dst, rebuilt));
+    }
+
+    /// The three e-summary representations induce identical partitions.
+    #[test]
+    fn reference_fast_hashed_agree(seed in any::<u64>(), size in 5usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::balanced(&mut arena, size, &mut rng);
+
+        let mut reference = RefSummariser::new();
+        let ref_all = reference.summarise_all(&arena, root);
+        let mut fast = FastSummariser::new();
+        let fast_all = fast.summarise_all(&arena, root);
+        let hashes = hash_all_subexpressions(&arena, root, &scheme());
+
+        let nodes = lambda_lang::visit::postorder(&arena, root);
+        for &a in &nodes {
+            for &b in &nodes {
+                let ref_eq = ref_all[&a] == ref_all[&b];
+                let fast_eq = fast_all[&a] == fast_all[&b];
+                let hash_eq = hashes.get(a) == hashes.get(b);
+                prop_assert_eq!(ref_eq, fast_eq);
+                prop_assert_eq!(ref_eq, hash_eq);
+            }
+        }
+    }
+
+    /// The Appendix C linear variant induces the same partition as the
+    /// tagged algorithm.
+    #[test]
+    fn linear_variant_agrees(seed in any::<u64>(), size in 5usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::unbalanced(&mut arena, size, &mut rng);
+        let s = scheme();
+        let mut linear = alpha_hash::linear::LinearSummariser::new(&arena, &s);
+        let lin_classes = group_by_hash(&linear.summarise_all(&arena, root));
+        let tag_classes = group_by_hash(&hash_all_subexpressions(&arena, root, &s));
+        prop_assert!(same_partition(&lin_classes, &tag_classes));
+    }
+
+    /// De Bruijn term equality (ground truth #2) agrees with alpha_eq on
+    /// random pairs of same-size terms.
+    #[test]
+    fn debruijn_equality_agrees_with_alpha_eq(seed in any::<u64>(), size in 2usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let e1 = expr_gen::balanced(&mut arena, size, &mut rng);
+        let e2 = expr_gen::balanced(&mut arena, size, &mut rng);
+        let (db1, r1) = lambda_lang::debruijn::to_debruijn(&arena, e1);
+        let (db2, r2) = lambda_lang::debruijn::to_debruijn(&arena, e2);
+        prop_assert_eq!(
+            lambda_lang::debruijn::db_eq(&db1, r1, &db2, r2),
+            alpha_eq(&arena, e1, &arena, e2)
+        );
+    }
+
+    /// Uniquify preserves the alpha-class of the whole term and the
+    /// per-subexpression partition sizes.
+    #[test]
+    fn uniquify_preserves_hashes(seed in any::<u64>(), size in 2usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::unbalanced(&mut arena, size, &mut rng);
+        let (uniq, uroot) = lambda_lang::uniquify(&arena, root);
+        prop_assert!(alpha_eq(&arena, root, &uniq, uroot));
+        let s = scheme();
+        prop_assert_eq!(
+            alpha_hash::hash_expr(&arena, root, &s),
+            alpha_hash::hash_expr(&uniq, uroot, &s)
+        );
+    }
+
+    /// CSE preserves evaluation on closed arithmetic programs.
+    #[test]
+    fn cse_preserves_evaluation(seed in any::<u64>(), size in 20usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::arithmetic(&mut arena, size, &mut rng);
+        let before = lambda_lang::eval::eval(&arena, root).expect("arith programs evaluate");
+        let result = alpha_hash::cse::eliminate_common_subexpressions(
+            &arena,
+            root,
+            &scheme(),
+            alpha_hash::cse::CseConfig::default(),
+        );
+        let after = lambda_lang::eval::eval(&result.arena, result.root)
+            .expect("cse output evaluates");
+        prop_assert!(before.observably_eq(&after));
+        // And the output is never larger.
+        prop_assert!(
+            result.arena.subtree_size(result.root) <= arena.subtree_size(root)
+        );
+    }
+
+    /// The incremental engine stays consistent with from-scratch hashing
+    /// under random edit sequences.
+    #[test]
+    fn incremental_matches_scratch(seed in any::<u64>(), size in 10usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::balanced(&mut arena, size, &mut rng);
+        let mut engine = alpha_hash::incremental::IncrementalHasher::new(
+            arena,
+            root,
+            scheme(),
+        );
+
+        for round in 0..4u64 {
+            let mut patch_rng = StdRng::seed_from_u64(seed ^ round);
+            let mut patch = ExprArena::new();
+            let patch_root =
+                expr_gen::balanced(&mut patch, 1 + (round as usize * 3) % 7, &mut patch_rng);
+            // Choose some live node (vary which by round).
+            let mut countdown = (seed >> (8 * round)) as usize % size;
+            let target = engine.find(|_, _| {
+                if countdown == 0 {
+                    true
+                } else {
+                    countdown -= 1;
+                    false
+                }
+            });
+            let Some(target) = target else { break };
+            engine.replace_subtree(target, &patch, patch_root).expect("live target");
+            prop_assert!(engine.verify_against_scratch(), "diverged after round {round}");
+        }
+    }
+
+    /// print ∘ parse round-trips modulo alpha on machine-generated terms
+    /// (the printer emits valid, re-parseable syntax).
+    #[test]
+    fn print_parse_roundtrip(seed in any::<u64>(), size in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let root = match size % 3 {
+            0 => expr_gen::balanced(&mut arena, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut arena, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut arena, size, &mut rng),
+        };
+        let text = lambda_lang::print::print(&arena, root);
+        let mut reparsed_arena = ExprArena::new();
+        let reparsed = lambda_lang::parse(&mut reparsed_arena, &text)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable text: {e}\n{text}"));
+        prop_assert!(
+            alpha_eq(&arena, root, &reparsed_arena, reparsed),
+            "round-trip changed the term: {text}"
+        );
+    }
+
+    /// Whole-expression hashes at width 128 behave like width 64 for
+    /// equality decisions (both collision-free at this scale), and all
+    /// widths are computed from the same algorithm.
+    #[test]
+    fn widths_agree_on_equality(seed in any::<u64>(), size in 5usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = ExprArena::new();
+        let e1 = expr_gen::balanced(&mut arena, size, &mut rng);
+        let e2 = expr_gen::balanced(&mut arena, size, &mut rng);
+        let s64: HashScheme<u64> = HashScheme::new(1);
+        let s128: HashScheme<u128> = HashScheme::new(1);
+        let eq64 = alpha_hash::hash_expr(&arena, e1, &s64) == alpha_hash::hash_expr(&arena, e2, &s64);
+        let eq128 = alpha_hash::hash_expr(&arena, e1, &s128) == alpha_hash::hash_expr(&arena, e2, &s128);
+        prop_assert_eq!(eq64, eq128);
+        prop_assert_eq!(eq64, alpha_eq(&arena, e1, &arena, e2));
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 1 as an executable specification: each algorithm's
+//! true-positive / true-negative behaviour on the paper's §2.3–§2.4
+//! counterexamples must match the published table.
+
+use alpha_hash::combine::HashScheme;
+use hash_modulo_alpha::prelude::*;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Row {
+    true_positives: bool,
+    true_negatives: bool,
+}
+
+fn lambda_subterms(arena: &ExprArena, root: NodeId, size: usize) -> Vec<NodeId> {
+    lambda_lang::visit::preorder(arena, root)
+        .into_iter()
+        .filter(|&n| {
+            matches!(arena.node(n), ExprNode::Lam(_, _)) && arena.subtree_size(n) == size
+        })
+        .collect()
+}
+
+fn classify(
+    run: impl Fn(&ExprArena, NodeId) -> alpha_hash::SubtreeHashes<u64>,
+) -> Row {
+    // No false negatives: §2.4's (\x.x+t) pair under different nesting.
+    let mut a = ExprArena::new();
+    let parsed = parse(&mut a, r"\t. foo (\x. x + t) (\y. \x. x + t)").unwrap();
+    let (a, root) = uniquify(&a, parsed);
+    let hashes = run(&a, root);
+    let lams = lambda_subterms(&a, root, 6);
+    let no_false_negatives = hashes.get(lams[0]) == hashes.get(lams[1]);
+
+    // No false positives: §2.4's (\x.t*(x+1)) vs (\x.y*(x+1)).
+    let mut b = ExprArena::new();
+    let parsed = parse(&mut b, r"\t. foo (\x. t * (x+1)) (\y. \x. y * (x+1))").unwrap();
+    let (b, root_b) = uniquify(&b, parsed);
+    let hashes_b = run(&b, root_b);
+    let lams_b = lambda_subterms(&b, root_b, 10);
+    let no_false_positives = hashes_b.get(lams_b[0]) != hashes_b.get(lams_b[1]);
+
+    Row { true_positives: no_false_positives, true_negatives: no_false_negatives }
+}
+
+#[test]
+fn structural_row_matches_table1() {
+    let scheme: HashScheme<u64> = HashScheme::new(1);
+    let row = classify(|a, r| hash_baselines::hash_all_structural(a, r, &scheme));
+    assert_eq!(row, Row { true_positives: true, true_negatives: false });
+}
+
+#[test]
+fn de_bruijn_row_matches_table1() {
+    let scheme: HashScheme<u64> = HashScheme::new(1);
+    let row = classify(|a, r| hash_baselines::hash_all_debruijn(a, r, &scheme));
+    assert_eq!(row, Row { true_positives: false, true_negatives: false });
+}
+
+#[test]
+fn locally_nameless_row_matches_table1() {
+    let scheme: HashScheme<u64> = HashScheme::new(1);
+    let row = classify(|a, r| hash_baselines::hash_all_locally_nameless(a, r, &scheme));
+    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+}
+
+#[test]
+fn ours_row_matches_table1() {
+    let scheme: HashScheme<u64> = HashScheme::new(1);
+    let row = classify(|a, r| hash_all_subexpressions(a, r, &scheme));
+    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+}
+
+#[test]
+fn appendix_c_variant_is_also_correct() {
+    let scheme: HashScheme<u64> = HashScheme::new(1);
+    let row = classify(|a, r| {
+        let mut s = alpha_hash::linear::LinearSummariser::new(a, &scheme);
+        s.summarise_all(a, r)
+    });
+    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+}
