@@ -103,12 +103,18 @@ pub fn hash_all_debruijn<H: HashWord>(
                 ExprNode::App(_, _) => {
                     let arg = stack.pop().expect("app arg hash");
                     let fun = stack.pop().expect("app fun hash");
-                    Mixer::new(seed, SALT_APP).absorb_word(fun).absorb_word(arg).finish()
+                    Mixer::new(seed, SALT_APP)
+                        .absorb_word(fun)
+                        .absorb_word(arg)
+                        .finish()
                 }
                 ExprNode::Let(_, _, _) => {
                     let body = stack.pop().expect("let body hash");
                     let rhs = stack.pop().expect("let rhs hash");
-                    Mixer::new(seed, SALT_LET).absorb_word(rhs).absorb_word(body).finish()
+                    Mixer::new(seed, SALT_LET)
+                        .absorb_word(rhs)
+                        .absorb_word(body)
+                        .finish()
                 }
             };
             out[n.index()] = Some(h);
@@ -142,9 +148,7 @@ mod tests {
         let hashes = hash_all_debruijn(&a, root, &scheme());
         let lams: Vec<NodeId> = lambda_lang::visit::preorder(&a, root)
             .into_iter()
-            .filter(|&n| {
-                matches!(a.node(n), ExprNode::Lam(_, _)) && a.subtree_size(n) == size
-            })
+            .filter(|&n| matches!(a.node(n), ExprNode::Lam(_, _)) && a.subtree_size(n) == size)
             .collect();
         hashes.get(lams[k]).unwrap()
     }
@@ -197,7 +201,10 @@ mod tests {
             whole_hash("let w = 1 in w + z"),
             whole_hash("let q = 1 in q + z")
         );
-        assert_ne!(whole_hash("let w = 1 in w + z"), whole_hash("let w = 1 in z + w"));
+        assert_ne!(
+            whole_hash("let w = 1 in w + z"),
+            whole_hash("let w = 1 in z + w")
+        );
     }
 
     #[test]

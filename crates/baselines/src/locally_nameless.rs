@@ -183,7 +183,10 @@ pub fn hash_all_locally_nameless<H: HashWord>(
             ExprNode::App(_, _) => {
                 let arg = stack.pop().expect("app arg hash");
                 let fun = stack.pop().expect("app fun hash");
-                Mixer::new(hasher.seed, SALT_APP).absorb_word(fun).absorb_word(arg).finish()
+                Mixer::new(hasher.seed, SALT_APP)
+                    .absorb_word(fun)
+                    .absorb_word(arg)
+                    .finish()
             }
             ExprNode::Let(_, _, _) => {
                 let _body = stack.pop().expect("let body hash");
@@ -212,14 +215,19 @@ mod tests {
     fn hash_of(src: &str) -> u64 {
         let mut a = ExprArena::new();
         let root = parse(&mut a, src).unwrap();
-        hash_all_locally_nameless(&a, root, &scheme()).get(root).unwrap()
+        hash_all_locally_nameless(&a, root, &scheme())
+            .get(root)
+            .unwrap()
     }
 
     #[test]
     fn respects_alpha_equivalence() {
         assert_eq!(hash_of(r"\x. x + y"), hash_of(r"\p. p + y"));
         assert_ne!(hash_of(r"\x. x + y"), hash_of(r"\q. q + z"));
-        assert_eq!(hash_of("let bar = x+1 in bar*y"), hash_of("let p = x+1 in p*y"));
+        assert_eq!(
+            hash_of("let bar = x+1 in bar*y"),
+            hash_of("let p = x+1 in p*y")
+        );
         assert_ne!(hash_of("add x y"), hash_of("add x x"));
     }
 
@@ -241,8 +249,7 @@ mod tests {
     #[test]
     fn no_de_bruijn_false_positive() {
         let mut a = ExprArena::new();
-        let root =
-            parse(&mut a, r"\t. foo (\x. t * (x+1)) (\y. \x. y * (x+1))").unwrap();
+        let root = parse(&mut a, r"\t. foo (\x. t * (x+1)) (\y. \x. y * (x+1))").unwrap();
         let hashes = hash_all_locally_nameless(&a, root, &scheme());
         let lams: Vec<NodeId> = lambda_lang::visit::preorder(&a, root)
             .into_iter()

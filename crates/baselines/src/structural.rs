@@ -68,7 +68,10 @@ pub fn hash_all_structural<H: HashWord>(
             ExprNode::App(_, _) => {
                 let arg = stack.pop().expect("app arg hash");
                 let fun = stack.pop().expect("app fun hash");
-                Mixer::new(seed, SALT_APP).absorb_word(fun).absorb_word(arg).finish()
+                Mixer::new(seed, SALT_APP)
+                    .absorb_word(fun)
+                    .absorb_word(arg)
+                    .finish()
             }
             ExprNode::Let(x, _, _) => {
                 let body = stack.pop().expect("let body hash");
@@ -129,7 +132,7 @@ mod tests {
         let scheme: HashScheme<u64> = HashScheme::new(7);
         let hashes = hash_all_structural(&a, root, &scheme);
         assert_eq!(hashes.len(), 9); // 2 apps + f + 2×(g x)
-        // The two syntactically identical `g x` subtrees hash equal.
+                                     // The two syntactically identical `g x` subtrees hash equal.
         let gs: Vec<u64> = lambda_lang::visit::preorder(&a, root)
             .into_iter()
             .filter(|&n| a.subtree_size(n) == 3)

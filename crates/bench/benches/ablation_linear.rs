@@ -15,7 +15,10 @@ use std::time::Duration;
 fn benches(c: &mut Criterion) {
     let scheme: HashScheme<u64> = HashScheme::new(0xAB1C);
     let mut group = c.benchmark_group("ablation_linear");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for family in ["balanced", "unbalanced"] {
         for n in [10_000usize, 100_000] {

@@ -14,7 +14,10 @@ use std::time::Duration;
 fn benches(c: &mut Criterion) {
     let scheme: HashScheme<u64> = HashScheme::new(0xAB1A);
     let mut group = c.benchmark_group("ablation_merge");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for family in ["balanced", "unbalanced"] {
         for n in [1_000usize, 10_000, 50_000] {
@@ -31,9 +34,7 @@ fn benches(c: &mut Criterion) {
                 // The quadratic strategy on the deep family needs ~n²/2
                 // map operations; cap it where one iteration stays in
                 // seconds (the blow-up is already unambiguous there).
-                if strategy == MergeStrategy::TransformBoth
-                    && family == "unbalanced"
-                    && n > 10_000
+                if strategy == MergeStrategy::TransformBoth && family == "unbalanced" && n > 10_000
                 {
                     continue;
                 }
@@ -42,8 +43,7 @@ fn benches(c: &mut Criterion) {
                     &n,
                     |b, _| {
                         b.iter(|| {
-                            let mut s =
-                                HashedSummariser::with_strategy(&arena, &scheme, strategy);
+                            let mut s = HashedSummariser::with_strategy(&arena, &scheme, strategy);
                             std::hint::black_box(s.summarise_all(&arena, root))
                         });
                     },

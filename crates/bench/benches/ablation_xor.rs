@@ -20,7 +20,10 @@ fn xor_maintained(
     size: usize,
     updates: usize,
 ) -> u64 {
-    let here = PosH { hash: scheme.pt_here(), size: 1 };
+    let here = PosH {
+        hash: scheme.pt_here(),
+        size: 1,
+    };
     let mut vm = VarMapH::singleton(scheme, syms[0].0, syms[0].1, here);
     for &(sym, nh) in &syms[1..size] {
         vm.upsert(scheme, sym, nh, here);
@@ -28,7 +31,10 @@ fn xor_maintained(
     let mut acc = 0u64;
     for i in 0..updates {
         let (sym, nh) = syms[i % size];
-        let new_pos = PosH { hash: scheme.pt_left(2 + i as u64, here.hash), size: 2 };
+        let new_pos = PosH {
+            hash: scheme.pt_left(2 + i as u64, here.hash),
+            size: 2,
+        };
         vm.upsert(scheme, sym, nh, new_pos);
         acc ^= vm.hash(); // O(1): the XOR is already maintained
     }
@@ -43,7 +49,10 @@ fn fold_recomputed(
     size: usize,
     updates: usize,
 ) -> u64 {
-    let here = PosH { hash: scheme.pt_here(), size: 1 };
+    let here = PosH {
+        hash: scheme.pt_here(),
+        size: 1,
+    };
     let mut vm = VarMapH::singleton(scheme, syms[0].0, syms[0].1, here);
     for &(sym, nh) in &syms[1..size] {
         vm.upsert(scheme, sym, nh, here);
@@ -54,7 +63,10 @@ fn fold_recomputed(
     let mut acc = 0u64;
     for i in 0..updates {
         let (sym, nh) = syms[i % size];
-        let new_pos = PosH { hash: scheme.pt_left(2 + i as u64, here.hash), size: 2 };
+        let new_pos = PosH {
+            hash: scheme.pt_left(2 + i as u64, here.hash),
+            size: 2,
+        };
         vm.upsert(scheme, sym, nh, new_pos);
         // Full fold: what hashVM would cost without XOR maintenance.
         let folded = vm
@@ -76,15 +88,26 @@ fn benches(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("ablation_xor");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for size in [64usize, 512, 4096] {
         let updates = 2048;
-        group.bench_with_input(BenchmarkId::new("xor_maintained", size), &size, |b, &size| {
-            b.iter(|| std::hint::black_box(xor_maintained(&scheme, &syms, size, updates)));
-        });
-        group.bench_with_input(BenchmarkId::new("fold_recomputed", size), &size, |b, &size| {
-            b.iter(|| std::hint::black_box(fold_recomputed(&scheme, &syms, size, updates)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("xor_maintained", size),
+            &size,
+            |b, &size| {
+                b.iter(|| std::hint::black_box(xor_maintained(&scheme, &syms, size, updates)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fold_recomputed", size),
+            &size,
+            |b, &size| {
+                b.iter(|| std::hint::black_box(fold_recomputed(&scheme, &syms, size, updates)));
+            },
+        );
     }
     group.finish();
 }

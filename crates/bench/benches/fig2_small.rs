@@ -14,7 +14,10 @@ use std::time::Duration;
 fn bench_family(c: &mut Criterion, family: &str) {
     let scheme: HashScheme<u64> = HashScheme::new(0xBEAC);
     let mut group = c.benchmark_group(format!("fig2_{family}"));
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for n in [1_000usize, 10_000, 100_000] {
         let mut rng = StdRng::seed_from_u64(7 ^ n as u64);

@@ -18,7 +18,10 @@ use std::time::Duration;
 fn benches(c: &mut Criterion) {
     let scheme: HashScheme<u64> = HashScheme::new(0x16C0);
     let mut group = c.benchmark_group("incremental_vs_scratch");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for n in [10_000usize, 100_000] {
         let mut rng = StdRng::seed_from_u64(17 ^ n as u64);
@@ -40,8 +43,9 @@ fn benches(c: &mut Criterion) {
                 .find(|a, node| matches!(a.node(node), ExprNode::Var(_)))
                 .expect("a leaf to replace");
             b.iter(|| {
-                let outcome =
-                    engine.replace_subtree(target, &patch, patch_root).expect("edit");
+                let outcome = engine
+                    .replace_subtree(target, &patch, patch_root)
+                    .expect("edit");
                 target = outcome.new_root;
                 std::hint::black_box(outcome.stats)
             });

@@ -1,0 +1,55 @@
+//! Criterion bench: `AlphaStore` ingest throughput — single-threaded
+//! versus multi-threaded, batched versus one-by-one.
+//!
+//! The corpus is generated once; every iteration ingests it into a fresh
+//! store. On a multi-core machine the `threads/8` row beats `threads/1`
+//! (shard striping keeps contention low); on a single core it shows the
+//! (small) threading overhead instead. `cargo run --release --bin
+//! store_throughput` prints the same comparison with a JSON report.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::{parallel_ingest, store_corpus};
+use alpha_store::AlphaStore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_lang::arena::ExprArena;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut arena = ExprArena::new();
+    let roots = store_corpus(&mut arena, 2_000, 97);
+    let scheme: HashScheme<u64> = HashScheme::new(0x5EED);
+
+    let mut group = c.benchmark_group("store_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    for threads in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let store = AlphaStore::with_shards(scheme, 8);
+                    parallel_ingest(&store, &arena, &roots, threads);
+                    std::hint::black_box(store.num_classes())
+                });
+            },
+        );
+    }
+
+    group.bench_with_input(BenchmarkId::new("unbatched", 1), &(), |b, ()| {
+        b.iter(|| {
+            let store = AlphaStore::with_shards(scheme, 8);
+            for &root in &roots {
+                store.insert(&arena, root);
+            }
+            std::hint::black_box(store.num_classes())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(store_throughput, benches);
+criterion_main!(store_throughput);

@@ -18,7 +18,10 @@ fn benches(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("table2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (name, root) in models {
         for alg in Algorithm::ALL {
             group.bench_with_input(BenchmarkId::new(alg.name(), name), &root, |b, &root| {

@@ -17,8 +17,10 @@ fn main() {
     let budget = args.get_f64("budget-secs", 10.0);
 
     let scheme: HashScheme<u64> = HashScheme::new(0xF163);
-    let layer_counts: Vec<usize> =
-        [1usize, 2, 3, 4, 6, 8, 12, 16, 20, 24].into_iter().filter(|&l| l <= max_layers).collect();
+    let layer_counts: Vec<usize> = [1usize, 2, 3, 4, 6, 8, 12, 16, 20, 24]
+        .into_iter()
+        .filter(|&l| l <= max_layers)
+        .collect();
 
     println!("Figure 3: seconds to hash all subexpressions of BERT-L.");
     println!(

@@ -27,8 +27,10 @@ fn main() {
     let max_size = args.get_usize("max-size", 4096);
     let seed = args.get_usize("seed", 1) as u64;
 
-    let sizes: Vec<usize> =
-        [128usize, 256, 512, 1024, 2048, 4096].into_iter().filter(|&s| s <= max_size).collect();
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&s| s <= max_size)
+        .collect();
 
     println!("Figure 4: 16-bit hash collisions, normalised to collisions per 2^16 pairs.");
     println!("(perfect hash expectation = 1; Theorem 6.7 ceiling = 10*n)");

@@ -1,0 +1,173 @@
+//! Measures `AlphaStore` ingest throughput — single-threaded vs
+//! multi-threaded, batched vs one-by-one — and optionally saves the
+//! numbers as JSON.
+//!
+//! ```text
+//! cargo run --release --bin store_throughput -- \
+//!     --terms 20000 --threads 8 --shards 8 --reps 3 \
+//!     --save-json BENCH_store.json
+//! ```
+//!
+//! All flags are optional; `--save-json <path>` enables the JSON report
+//! (the conventional path is `BENCH_store.json` in the repo root). Thread
+//! speedup requires actual cores: the report includes the machine's
+//! `available_parallelism` so single-core runs are interpretable.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::{format_ms, parallel_ingest, store_corpus, time_once, Args};
+use alpha_store::AlphaStore;
+use lambda_lang::arena::{ExprArena, NodeId};
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (secs, ()) = time_once(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
+fn ingest(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    scheme: HashScheme<u64>,
+    shards: usize,
+    threads: usize,
+) -> AlphaStore<u64> {
+    let store = AlphaStore::with_shards(scheme, shards);
+    parallel_ingest(&store, arena, roots, threads);
+    store
+}
+
+fn main() {
+    let args = Args::parse();
+    let terms = args.get_usize("terms", 20_000);
+    let threads = args.get_usize("threads", 8);
+    let shards = args.get_usize("shards", 8);
+    let reps = args.get_usize("reps", 3);
+    let seed_pool = args.get_usize("seed-pool", 997) as u64;
+    let json_path = args.get("save-json", "");
+    for (flag, value) in [
+        ("terms", terms),
+        ("threads", threads),
+        ("reps", reps),
+        ("seed-pool", seed_pool as usize),
+    ] {
+        if value == 0 {
+            eprintln!("error: --{flag} must be at least 1");
+            std::process::exit(2);
+        }
+    }
+
+    let mut arena = ExprArena::new();
+    let roots = store_corpus(&mut arena, terms, seed_pool);
+    let corpus_nodes: usize = roots.iter().map(|&r| arena.subtree_size(r)).sum();
+    let scheme: HashScheme<u64> = HashScheme::new(0x5EED);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "store_throughput: {terms} terms / {corpus_nodes} nodes, {shards} shards, best of {reps}"
+    );
+    println!("  machine parallelism: {cores}");
+
+    // Single-threaded, unbatched (per-term lock traffic).
+    let unbatched = best_of(reps, || {
+        let store = AlphaStore::with_shards(scheme, shards);
+        for &root in &roots {
+            store.insert(&arena, root);
+        }
+        std::hint::black_box(store.num_classes());
+    });
+
+    // Single-threaded, batched.
+    let single = best_of(reps, || {
+        std::hint::black_box(ingest(&arena, &roots, scheme, shards, 1).num_classes());
+    });
+
+    // Multi-threaded, batched.
+    let multi = best_of(reps, || {
+        std::hint::black_box(ingest(&arena, &roots, scheme, shards, threads).num_classes());
+    });
+
+    // One audited run for the stats block.
+    let store = ingest(&arena, &roots, scheme, shards, threads);
+    let stats = store.stats();
+    assert!(stats.is_exact(), "store must confirm every merge: {stats}");
+
+    let rate = |secs: f64| terms as f64 / secs;
+    println!(
+        "  unbatched 1 thread : {:>10} ({:>12.0} terms/s)",
+        format_ms(unbatched),
+        rate(unbatched)
+    );
+    println!(
+        "  batched   1 thread : {:>10} ({:>12.0} terms/s)",
+        format_ms(single),
+        rate(single)
+    );
+    println!(
+        "  batched {threads:>2} threads : {:>10} ({:>12.0} terms/s)",
+        format_ms(multi),
+        rate(multi)
+    );
+    println!(
+        "  batch speedup {:.2}x, thread speedup {:.2}x",
+        unbatched / single,
+        single / multi
+    );
+    println!("  {stats}");
+
+    if !json_path.is_empty() {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"store_throughput\",\n",
+                "  \"terms\": {terms},\n",
+                "  \"corpus_nodes\": {nodes},\n",
+                "  \"shards\": {shards},\n",
+                "  \"threads\": {threads},\n",
+                "  \"reps\": {reps},\n",
+                "  \"available_parallelism\": {cores},\n",
+                "  \"unbatched_single_thread_secs\": {unbatched:.6},\n",
+                "  \"batched_single_thread_secs\": {single:.6},\n",
+                "  \"batched_multi_thread_secs\": {multi:.6},\n",
+                "  \"single_thread_terms_per_sec\": {single_rate:.1},\n",
+                "  \"multi_thread_terms_per_sec\": {multi_rate:.1},\n",
+                "  \"batch_speedup\": {batch_speedup:.3},\n",
+                "  \"thread_speedup\": {thread_speedup:.3},\n",
+                "  \"classes\": {classes},\n",
+                "  \"stats\": {{\n",
+                "    \"terms_ingested\": {ingested},\n",
+                "    \"classes_created\": {created},\n",
+                "    \"merges_confirmed\": {merged},\n",
+                "    \"hash_collisions\": {collisions},\n",
+                "    \"unconfirmed_merges\": {unconfirmed}\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            terms = terms,
+            nodes = corpus_nodes,
+            shards = store.shard_count(),
+            threads = threads,
+            reps = reps,
+            cores = cores,
+            unbatched = unbatched,
+            single = single,
+            multi = multi,
+            single_rate = rate(single),
+            multi_rate = rate(multi),
+            batch_speedup = unbatched / single,
+            thread_speedup = single / multi,
+            classes = store.num_classes(),
+            ingested = stats.terms_ingested,
+            created = stats.classes_created,
+            merged = stats.merges_confirmed,
+            collisions = stats.hash_collisions,
+            unconfirmed = stats.unconfirmed_merges,
+        );
+        std::fs::write(&json_path, json)
+            .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+        println!("  wrote {json_path}");
+    }
+}

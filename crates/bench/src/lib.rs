@@ -72,7 +72,12 @@ impl Algorithm {
     }
 
     /// Hashes all subexpressions with this algorithm.
-    pub fn run(self, arena: &ExprArena, root: NodeId, scheme: &HashScheme<u64>) -> SubtreeHashes<u64> {
+    pub fn run(
+        self,
+        arena: &ExprArena,
+        root: NodeId,
+        scheme: &HashScheme<u64>,
+    ) -> SubtreeHashes<u64> {
         match self {
             Algorithm::Structural => hash_baselines::hash_all_structural(arena, root, scheme),
             Algorithm::DeBruijn => hash_baselines::hash_all_debruijn(arena, root, scheme),
@@ -93,6 +98,71 @@ impl Algorithm {
             Algorithm::Ours => 1.3,
         }
     }
+}
+
+/// The corpus used by the `store_throughput` bench and binary: `count`
+/// terms drawn from `seed_pool` distinct generator seeds (so alpha-level
+/// duplicates occur at rate `count / seed_pool`), mixing the three
+/// workload families, with every other term alpha-renamed.
+///
+/// # Panics
+///
+/// Panics if `seed_pool` is zero.
+pub fn store_corpus(arena: &mut ExprArena, count: usize, seed_pool: u64) -> Vec<NodeId> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(seed_pool > 0, "seed_pool must be at least 1");
+    let mut roots = Vec::with_capacity(count);
+    for i in 0..count {
+        // All variety (family, size, randomness) derives from the pooled
+        // seed, so the corpus has at most `seed_pool` distinct classes and
+        // dedup rate is controlled by `count / seed_pool`. Plain `i mod
+        // pool` cycles through every residue, whatever the pool size.
+        let seed = i as u64 % seed_pool;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let size = 10 + (seed as usize % 4) * 15;
+        // Each term is built in a scratch arena, then copied over — the
+        // shared arena is only ever a copy target, keeping corpus
+        // construction linear in total corpus size.
+        let mut scratch = ExprArena::new();
+        let root = match seed % 3 {
+            0 => expr_gen::balanced(&mut scratch, size, &mut rng),
+            1 => expr_gen::arithmetic(&mut scratch, size, &mut rng),
+            _ => expr_gen::unbalanced(&mut scratch, size, &mut rng),
+        };
+        if i % 2 == 0 {
+            // Alpha-renamed copy: same class, fresh binder names.
+            roots.push(lambda_lang::uniquify::uniquify_into(&scratch, root, arena));
+        } else {
+            roots.push(arena.import_subtree(&scratch, root));
+        }
+    }
+    roots
+}
+
+/// Ingests `roots` into `store` from `threads` scoped threads, one
+/// contiguous batch per thread — the canonical multi-threaded ingest
+/// driver shared by the throughput bench/binary, the `corpus_dedup`
+/// example and the integration tests, so they all exercise the same path.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn parallel_ingest<H: alpha_hash::combine::HashWord>(
+    store: &alpha_store::AlphaStore<H>,
+    arena: &ExprArena,
+    roots: &[NodeId],
+    threads: usize,
+) {
+    assert!(threads > 0, "threads must be at least 1");
+    if roots.is_empty() {
+        return;
+    }
+    std::thread::scope(|scope| {
+        for chunk in roots.chunks(roots.len().div_ceil(threads)) {
+            scope.spawn(|| store.insert_batch(arena, chunk));
+        }
+    });
 }
 
 /// Wall-clock seconds for one run of `f` (the result is returned to keep
@@ -197,16 +267,20 @@ impl Args {
 
     /// Numeric flag with default.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name, &default.to_string()).parse().unwrap_or_else(|e| {
-            panic!("flag --{name} expects an integer: {e}");
-        })
+        self.get(name, &default.to_string())
+            .parse()
+            .unwrap_or_else(|e| {
+                panic!("flag --{name} expects an integer: {e}");
+            })
     }
 
     /// Float flag with default.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name, &default.to_string()).parse().unwrap_or_else(|e| {
-            panic!("flag --{name} expects a number: {e}");
-        })
+        self.get(name, &default.to_string())
+            .parse()
+            .unwrap_or_else(|e| {
+                panic!("flag --{name} expects a number: {e}");
+            })
     }
 }
 

@@ -1,0 +1,303 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this vendored
+//! micro-crate implements the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`/`measurement_time`/`warm_up_time`), [`BenchmarkId`],
+//! `bench_with_input`/`bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis and HTML reports, each
+//! benchmark warms up for `warm_up_time`, then repeats the measured
+//! closure until `measurement_time` elapses (or an iteration cap is hit)
+//! and prints the mean wall-clock time per iteration. That is enough to
+//! compare algorithms and spot regressions by eye; swap the path
+//! dependency back to crates.io `criterion` for publication-grade numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (forwarder to
+/// [`std::hint::black_box`]).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the report line.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    max_iters: u64,
+    /// Filled in by [`Bencher::iter`]: (total time, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring until the
+    /// measurement budget elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one run, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let total = loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement || iters >= self.max_iters {
+                break elapsed;
+            }
+        };
+        self.result = Some((total, iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (used here only to cap iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            max_iters: (self.sample_size as u64).saturating_mul(10_000).max(1),
+            result: None,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.bench_with_input(id, &(), move |b, _| routine(b))
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        match bencher.result {
+            Some((total, iters)) if iters > 0 => {
+                let per_iter = total / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+                println!(
+                    "{}/{id}  time: {}  ({iters} iterations)",
+                    self.name,
+                    format_duration(per_iter),
+                );
+            }
+            _ => println!("{}/{id}  (no measurement taken)", self.name),
+        }
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Substring filter from argv (first free argument), as `cargo bench x`
+    /// passes it; benchmarks whose group name does not contain the filter
+    /// are still run by this stand-in (filtering is a nicety we skip), but
+    /// the field is kept so the constructor parses argv compatibly.
+    _filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(std::env::consts::EXE_SUFFIX));
+        Criterion { _filter: filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(200),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_owned());
+        group.bench_function(BenchmarkId::from(""), routine);
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, as in real criterion:
+/// `criterion_group!(name, bench_fn_a, bench_fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups:
+/// `criterion_main!(group_a, group_b);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut observed = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            observed += 1;
+        });
+        group.finish();
+        assert_eq!(observed, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("alg", 42).to_string(), "alg/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

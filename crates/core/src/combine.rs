@@ -25,9 +25,7 @@ use std::hash::Hash;
 ///
 /// The two "lanes" are independent 64-bit digests; narrow widths truncate
 /// the low lane, `u128` concatenates both.
-pub trait HashWord:
-    Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static
-{
+pub trait HashWord: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static {
     /// Number of bits `b` in the hash space (2^b values).
     const BITS: u32;
     /// The all-zeroes word: the XOR-identity, used as the hash of an empty
@@ -238,7 +236,10 @@ impl<H: HashWord> HashScheme<H> {
     /// (deterministic) hash functions; different seeds give independent
     /// families.
     pub fn new(seed: u64) -> Self {
-        HashScheme { seed: mix64(seed), _marker: std::marker::PhantomData }
+        HashScheme {
+            seed: mix64(seed),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// The seed this scheme was built from (post-mixing).
@@ -267,19 +268,29 @@ impl<H: HashWord> HashScheme<H> {
     /// `PTLeftOnly` (§4.5; used by the quadratic merge of §4.6).
     #[inline]
     pub fn pt_left(&self, size: u64, p: H) -> H {
-        self.mixer(salt::PT_LEFT).absorb(size).absorb_word(p).finish()
+        self.mixer(salt::PT_LEFT)
+            .absorb(size)
+            .absorb_word(p)
+            .finish()
     }
 
     /// `PTRightOnly` (§4.5).
     #[inline]
     pub fn pt_right(&self, size: u64, p: H) -> H {
-        self.mixer(salt::PT_RIGHT).absorb(size).absorb_word(p).finish()
+        self.mixer(salt::PT_RIGHT)
+            .absorb(size)
+            .absorb_word(p)
+            .finish()
     }
 
     /// `PTBoth` (§4.5).
     #[inline]
     pub fn pt_both(&self, size: u64, l: H, r: H) -> H {
-        self.mixer(salt::PT_BOTH).absorb(size).absorb_word(l).absorb_word(r).finish()
+        self.mixer(salt::PT_BOTH)
+            .absorb(size)
+            .absorb_word(l)
+            .absorb_word(r)
+            .finish()
     }
 
     /// `PTJoin` (§4.8): tagged join of the bigger-map entry (if any) with
@@ -315,7 +326,10 @@ impl<H: HashWord> HashScheme<H> {
     /// `SLit`: a literal leaf, identified by kind and payload.
     #[inline]
     pub fn s_lit(&self, kind: u64, payload: u64) -> H {
-        self.mixer(salt::S_LIT).absorb(kind).absorb(payload).finish()
+        self.mixer(salt::S_LIT)
+            .absorb(kind)
+            .absorb(payload)
+            .finish()
     }
 
     /// `SLam`: binder position tree (if the variable occurs) + body
@@ -356,14 +370,20 @@ impl<H: HashWord> HashScheme<H> {
     /// map hash is the XOR of these.
     #[inline]
     pub fn entry(&self, name_hash: u64, pos: H) -> H {
-        self.mixer(salt::ENTRY).absorb(name_hash).absorb_word(pos).finish()
+        self.mixer(salt::ENTRY)
+            .absorb(name_hash)
+            .absorb_word(pos)
+            .finish()
     }
 
     /// Top-level combination of structure hash and variable-map hash
     /// (§5 `hashESummary`).
     #[inline]
     pub fn esummary(&self, structure: H, varmap: H) -> H {
-        self.mixer(salt::ESUMMARY).absorb_word(structure).absorb_word(varmap).finish()
+        self.mixer(salt::ESUMMARY)
+            .absorb_word(structure)
+            .absorb_word(varmap)
+            .finish()
     }
 }
 

@@ -47,7 +47,10 @@ impl Default for CseConfig {
     fn default() -> Self {
         // min_size 4 also guarantees shrinkage for 2 occurrences, but the
         // explicit shrink check below is what enforces termination.
-        CseConfig { min_size: 4, max_passes: 64 }
+        CseConfig {
+            min_size: 4,
+            max_passes: 64,
+        }
     }
 }
 
@@ -118,7 +121,201 @@ pub fn eliminate_common_subexpressions<H: HashWord>(
         }
     }
 
-    CseResult { arena: current, root: cur_root, rewrites }
+    CseResult {
+        arena: current,
+        root: cur_root,
+        rewrites,
+    }
+}
+
+/// Result of [`cse_forest`]: one program holding every input term with
+/// shared subexpressions hoisted into a common `let*` preamble.
+///
+/// The rewritten program has the shape
+/// `let s₁ = … in … let sₖ = … in (head t₁′ … tₙ′)` where `head` is a
+/// fresh free variable and `tᵢ′` is the rewritten form of input term `i`.
+/// Each `tᵢ′` may reference the shared binders, so it is only meaningful
+/// *inside* the preamble; use [`ForestCse::instantiate_into`] to extract a
+/// self-contained copy of one term.
+#[derive(Debug)]
+pub struct ForestCse {
+    /// Arena holding the combined rewritten program.
+    pub arena: ExprArena,
+    /// Root of the combined program (`let*` preamble plus spine).
+    pub root: NodeId,
+    /// The shared definitions, outermost first: `(binder, rhs)`.
+    pub shared: Vec<(lambda_lang::Symbol, NodeId)>,
+    /// Rewritten per-term roots, in input order (valid under `shared`).
+    pub roots: Vec<NodeId>,
+    /// Rewrites applied, in application order.
+    pub rewrites: Vec<CseRewrite>,
+    /// Total node count of the input terms.
+    pub nodes_before: usize,
+    /// Node count of the rewritten corpus (preamble + rewritten terms,
+    /// excluding the synthetic spine).
+    pub nodes_after: usize,
+}
+
+impl ForestCse {
+    /// Copies term `index` into `dst`, wrapped in the shared binders it
+    /// (transitively) uses, yielding a self-contained program
+    /// semantically equivalent to the original input term.
+    ///
+    /// Only the *needed* subset of the preamble is wrapped: an unused
+    /// shared definition may mention free variables the term does not
+    /// have (or fail to evaluate at all), and the evaluator is strict in
+    /// let right-hand sides, so wrapping it unconditionally would change
+    /// the term's meaning.
+    pub fn instantiate_into(&self, index: usize, dst: &mut ExprArena) -> NodeId {
+        let binders: HashSet<lambda_lang::Symbol> =
+            self.shared.iter().map(|&(sym, _)| sym).collect();
+        let uses_of = |node: NodeId, needed: &mut HashSet<lambda_lang::Symbol>| {
+            for n in lambda_lang::visit::postorder(&self.arena, node) {
+                if let ExprNode::Var(s) = self.arena.node(n) {
+                    if binders.contains(&s) {
+                        needed.insert(s);
+                    }
+                }
+            }
+        };
+        let mut needed = HashSet::new();
+        uses_of(self.roots[index], &mut needed);
+        // A shared rhs may itself use *earlier* (outer) shared binders;
+        // scoping forbids the converse, so one inner-to-outer pass closes
+        // the set transitively.
+        for &(sym, rhs) in self.shared.iter().rev() {
+            if needed.contains(&sym) {
+                uses_of(rhs, &mut needed);
+            }
+        }
+
+        let mut body = dst.import_subtree(&self.arena, self.roots[index]);
+        for &(sym, rhs) in self.shared.iter().rev() {
+            if !needed.contains(&sym) {
+                continue;
+            }
+            let rhs2 = dst.import_subtree(&self.arena, rhs);
+            let sym2 = dst.intern(self.arena.name(sym));
+            body = dst.let_(sym2, rhs2, body);
+        }
+        body
+    }
+}
+
+/// Combines a corpus into one synthetic program — a left-nested
+/// application spine `head t₁ … tₙ` under a **fresh** free head variable —
+/// so single-program algorithms ([`cse_forest`],
+/// `alpha_store::corpus_shared_dag_size`) apply to a whole corpus at once.
+///
+/// The combined program satisfies the unique-binder invariant (§2.2) even
+/// when the inputs do not: each term is copied with
+/// [`lambda_lang::uniquify::uniquify_into`], whose `fresh` binder names
+/// are drawn from the one shared destination interner, making binders
+/// distinct *across* terms too. Copying and uniquifying in the same pass
+/// keeps corpus combination at one copy of the input, which matters on
+/// the store's hot paths.
+///
+/// Returns the combined arena, its root, and the synthetic-node overhead
+/// (`roots.len()` applications plus the head variable). Because the head
+/// name is created *after* every term is copied, it cannot collide with
+/// any name in the corpus, so no spine node can be alpha-equivalent to a
+/// node inside a term — the invariant both callers' exactness arguments
+/// rest on.
+pub fn combine_corpus(arena: &ExprArena, roots: &[NodeId]) -> (ExprArena, NodeId, usize) {
+    let mut combined = ExprArena::new();
+    let imported: Vec<NodeId> = roots
+        .iter()
+        .map(|&r| lambda_lang::uniquify::uniquify_into(arena, r, &mut combined))
+        .collect();
+    let head = combined.fresh("corpus");
+    let mut spine = combined.var(head);
+    for &r in &imported {
+        spine = combined.app(spine, r);
+    }
+    (combined, spine, roots.len() + 1)
+}
+
+/// Cross-term CSE: eliminates subexpressions shared *between* the terms of
+/// a corpus (as well as within each term), hoisting each shared
+/// subexpression into a single `let` visible to every term.
+///
+/// This is the forest-level hook the `alpha-store` subsystem builds its
+/// store-backed corpus deduplication on: the input terms are combined into
+/// one synthetic program ([`combine_corpus`]), uniquified, run through
+/// [`eliminate_common_subexpressions`], and split back apart.
+///
+/// Unlike [`eliminate_common_subexpressions`], the inputs need **not**
+/// satisfy the unique-binder invariant (the combined program is uniquified
+/// internally), so terms parsed independently can be passed directly.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::{ExprArena, parse};
+/// use alpha_hash::combine::HashScheme;
+/// use alpha_hash::cse::{cse_forest, CseConfig};
+///
+/// let mut a = ExprArena::new();
+/// let t1 = parse(&mut a, r"(v+7) * (v+7)")?;
+/// let t2 = parse(&mut a, r"foo (v+7)")?;
+/// let scheme: HashScheme<u64> = HashScheme::default();
+/// let forest = cse_forest(&a, &[t1, t2], &scheme, CseConfig::default());
+/// // v+7 occurs three times across the corpus; it is shared once.
+/// assert_eq!(forest.shared.len(), 1);
+/// assert!(forest.nodes_after < forest.nodes_before);
+/// # Ok::<(), lambda_lang::ParseError>(())
+/// ```
+pub fn cse_forest<H: HashWord>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    scheme: &HashScheme<H>,
+    config: CseConfig,
+) -> ForestCse {
+    let nodes_before: usize = roots.iter().map(|&r| arena.subtree_size(r)).sum();
+
+    // combine_corpus uniquifies as it copies, so the combined program is
+    // ready for CSE directly.
+    let (combined, spine, _) = combine_corpus(arena, roots);
+    let result = eliminate_common_subexpressions(&combined, spine, scheme, config);
+
+    // Split the rewritten program back apart. CSE only ever wraps nodes in
+    // `let`s and replaces occurrences *inside* terms, so walking down
+    // through interleaved lets and the application spine recovers the
+    // preamble and the per-term roots.
+    let mut shared = Vec::new();
+    let mut args_rev = Vec::new();
+    let mut cursor = result.root;
+    loop {
+        match result.arena.node(cursor) {
+            ExprNode::Let(x, rhs, body) => {
+                shared.push((x, rhs));
+                cursor = body;
+            }
+            ExprNode::App(f, a) => {
+                args_rev.push(a);
+                cursor = f;
+            }
+            _ => break,
+        }
+    }
+    args_rev.reverse();
+    debug_assert_eq!(args_rev.len(), roots.len(), "spine shape preserved by CSE");
+
+    let spine_overhead = roots.len() + 1; // n application nodes + head var
+    let nodes_after = result
+        .arena
+        .subtree_size(result.root)
+        .saturating_sub(spine_overhead);
+
+    ForestCse {
+        arena: result.arena,
+        root: result.root,
+        shared,
+        roots: args_rev,
+        rewrites: result.rewrites,
+        nodes_before,
+        nodes_after,
+    }
 }
 
 /// Finds the most profitable class and abstracts it, or returns `None` if
@@ -155,8 +352,7 @@ fn rewrite_one_class<H: HashWord>(
             continue;
         }
         let lca = lca_of(&parents, &depths, &disjoint);
-        let (next, next_root, binder) =
-            apply_rewrite(arena, root, &disjoint, disjoint[0], lca);
+        let (next, next_root, binder) = apply_rewrite(arena, root, &disjoint, disjoint[0], lca);
         let rewrite = CseRewrite {
             binder,
             occurrences: k,
@@ -184,7 +380,11 @@ fn drop_nested(arena: &ExprArena, members: &[NodeId]) -> Vec<NodeId> {
             }
         }
     }
-    members.iter().copied().filter(|m| !nested.contains(m)).collect()
+    members
+        .iter()
+        .copied()
+        .filter(|m| !nested.contains(m))
+        .collect()
 }
 
 fn depth_map(arena: &ExprArena, root: NodeId) -> HashMap<NodeId, usize> {
@@ -305,11 +505,7 @@ fn apply_rewrite(
 
 /// Post-order over the tree, not descending into occurrence subtrees
 /// (the occurrence node itself is yielded).
-fn pruned_postorder(
-    arena: &ExprArena,
-    root: NodeId,
-    pruned: &HashSet<NodeId>,
-) -> Vec<NodeId> {
+fn pruned_postorder(arena: &ExprArena, root: NodeId, pruned: &HashSet<NodeId>) -> Vec<NodeId> {
     let mut order = Vec::new();
     let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
     while let Some((n, expanded)) = stack.pop() {
@@ -358,8 +554,7 @@ mod tests {
     fn intro_example_alpha_equivalent_lets() {
         // §1: the two let-bound terms are alpha-equivalent, not
         // syntactically identical.
-        let result =
-            run_cse("(a + (let x = exp z in x+7)) * (let y = exp z in y+7)");
+        let result = run_cse("(a + (let x = exp z in x+7)) * (let y = exp z in y+7)");
         assert!(!result.rewrites.is_empty());
         let first = &result.rewrites[0];
         assert_eq!(first.occurrences, 2);
@@ -430,10 +625,9 @@ mod tests {
             let (b, root) = uniquify(&a, parsed);
             let before = eval(&b, root).unwrap_or_else(|e| panic!("{src}: {e}"));
             let scheme: HashScheme<u64> = HashScheme::new(5);
-            let result =
-                eliminate_common_subexpressions(&b, root, &scheme, CseConfig::default());
-            let after = eval(&result.arena, result.root)
-                .unwrap_or_else(|e| panic!("cse({src}): {e}"));
+            let result = eliminate_common_subexpressions(&b, root, &scheme, CseConfig::default());
+            let after =
+                eval(&result.arena, result.root).unwrap_or_else(|e| panic!("cse({src}): {e}"));
             assert!(
                 Value::observably_eq(&before, &after),
                 "{src}: {before:?} vs {after:?} (rewritten: {})",
@@ -462,6 +656,104 @@ mod tests {
         let result = run_cse("(p (q+r) (q+r)) (p (q+r) (q+r))");
         assert!(check_unique_binders(&result.arena, result.root).is_ok());
         assert!(!result.rewrites.is_empty());
+    }
+
+    #[test]
+    fn forest_cse_shares_across_terms() {
+        let mut a = ExprArena::new();
+        let t1 = parse(&mut a, "(u + (v+7)) * (v+7)").unwrap();
+        let t2 = parse(&mut a, "bar (v+7) (v+7)").unwrap();
+        let scheme: HashScheme<u64> = HashScheme::new(5);
+        let forest = cse_forest(&a, &[t1, t2], &scheme, CseConfig::default());
+        assert_eq!(forest.roots.len(), 2);
+        // v+7 occurs four times across both terms; exactly one shared let.
+        assert_eq!(forest.shared.len(), 1);
+        assert!(forest.nodes_after < forest.nodes_before);
+        // Both rewritten terms reference the shared binder.
+        let (binder, _) = forest.shared[0];
+        for &r in &forest.roots {
+            let uses = lambda_lang::visit::postorder(&forest.arena, r)
+                .iter()
+                .filter(|&&n| matches!(forest.arena.node(n), ExprNode::Var(s) if s == binder))
+                .count();
+            assert_eq!(uses, 2, "{}", print(&forest.arena, r));
+        }
+    }
+
+    #[test]
+    fn forest_cse_handles_duplicate_binder_names_across_terms() {
+        // Both terms bind `x`; cse_forest must uniquify before hashing.
+        let mut a = ExprArena::new();
+        let t1 = parse(&mut a, "let x = p+1 in x*2").unwrap();
+        let t2 = parse(&mut a, "let x = p+1 in x*3").unwrap();
+        let scheme: HashScheme<u64> = HashScheme::new(5);
+        let forest = cse_forest(&a, &[t1, t2], &scheme, CseConfig::default());
+        assert_eq!(forest.roots.len(), 2);
+        assert!(check_unique_binders(&forest.arena, forest.root).is_ok());
+        // The shared p+1 is hoisted once.
+        assert!(forest.rewrites.iter().any(|r| r.subexpr.contains("p + 1")));
+    }
+
+    #[test]
+    fn forest_cse_degenerate_corpora() {
+        let a = ExprArena::new();
+        let scheme: HashScheme<u64> = HashScheme::new(5);
+        let empty = cse_forest(&a, &[], &scheme, CseConfig::default());
+        assert!(empty.roots.is_empty());
+        assert_eq!(empty.nodes_before, 0);
+        assert_eq!(empty.nodes_after, 0);
+
+        let mut b = ExprArena::new();
+        let single = parse(&mut b, "(a + (v+7)) * (v+7)").unwrap();
+        let forest = cse_forest(&b, &[single], &scheme, CseConfig::default());
+        assert_eq!(forest.roots.len(), 1);
+        // Degenerates to ordinary per-term CSE: the let's LCA lies inside
+        // the term, so the shared preamble stays empty.
+        assert_eq!(forest.rewrites.len(), 1);
+        assert!(forest.shared.is_empty());
+        assert!(forest.nodes_after < forest.nodes_before);
+    }
+
+    #[test]
+    fn forest_cse_instantiate_skips_unused_shared_binders() {
+        // Terms 1 and 2 share z+7 (z free); term 0 is closed and uses no
+        // shared definition. Instantiating term 0 must not wrap the z+7
+        // let: the evaluator is strict in let rhs, so the unused binding
+        // would turn a closed term into one that fails with unbound z.
+        let mut a = ExprArena::new();
+        let t0 = parse(&mut a, "1 + 1").unwrap();
+        let t1 = parse(&mut a, "(z+7) * ((z+7) + 1)").unwrap();
+        let t2 = parse(&mut a, "foo (z+7) (z+7)").unwrap();
+        let scheme: HashScheme<u64> = HashScheme::new(5);
+        let forest = cse_forest(&a, &[t0, t1, t2], &scheme, CseConfig::default());
+        assert!(!forest.shared.is_empty(), "z+7 must be hoisted");
+
+        let mut dst = ExprArena::new();
+        let inst = forest.instantiate_into(0, &mut dst);
+        let value = eval(&dst, inst).expect("closed term stays evaluable");
+        assert!(Value::observably_eq(&value, &eval(&a, t0).unwrap()));
+
+        // A term that does use the shared binder still gets it.
+        let mut dst1 = ExprArena::new();
+        let inst1 = forest.instantiate_into(1, &mut dst1);
+        let text = print(&dst1, inst1);
+        assert!(text.starts_with("let "), "{text}");
+    }
+
+    #[test]
+    fn forest_cse_instantiate_roundtrips_semantics() {
+        let mut a = ExprArena::new();
+        let sources = ["let v = 3 in (v + (v+7)) * (v+7)", "let w = 3 in (w+7) * 2"];
+        let roots: Vec<_> = sources.iter().map(|s| parse(&mut a, s).unwrap()).collect();
+        let scheme: HashScheme<u64> = HashScheme::new(5);
+        let forest = cse_forest(&a, &roots, &scheme, CseConfig::default());
+        for (i, &r) in roots.iter().enumerate() {
+            let before = eval(&a, r).unwrap();
+            let mut dst = ExprArena::new();
+            let inst = forest.instantiate_into(i, &mut dst);
+            let after = eval(&dst, inst).unwrap();
+            assert!(Value::observably_eq(&before, &after), "{}", sources[i]);
+        }
     }
 
     #[test]

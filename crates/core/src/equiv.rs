@@ -110,7 +110,11 @@ pub fn shared_dag_size<H: HashWord>(
         }
         let node = representative[&h];
         for child in arena.node(node).children() {
-            queue.push(hashes.get(child).expect("children of hashed nodes are hashed"));
+            queue.push(
+                hashes
+                    .get(child)
+                    .expect("children of hashed nodes are hashed"),
+            );
         }
     }
     seen.len()
@@ -160,7 +164,10 @@ mod tests {
             r"map (\y. y+1) (map (\x. x+1) vs)",
         ] {
             let (_, _, hashed, truth) = classes_of(src);
-            assert!(same_partition(&hashed, &truth), "partition mismatch for {src}");
+            assert!(
+                same_partition(&hashed, &truth),
+                "partition mismatch for {src}"
+            );
         }
     }
 
@@ -218,10 +225,19 @@ mod tests {
 
     #[test]
     fn partition_comparison_is_order_insensitive() {
-        let a = vec![vec![NodeId::from_index(0)], vec![NodeId::from_index(1), NodeId::from_index(2)]];
-        let b = vec![vec![NodeId::from_index(2), NodeId::from_index(1)], vec![NodeId::from_index(0)]];
+        let a = vec![
+            vec![NodeId::from_index(0)],
+            vec![NodeId::from_index(1), NodeId::from_index(2)],
+        ];
+        let b = vec![
+            vec![NodeId::from_index(2), NodeId::from_index(1)],
+            vec![NodeId::from_index(0)],
+        ];
         assert!(same_partition(&a, &b));
-        let c = vec![vec![NodeId::from_index(0), NodeId::from_index(1)], vec![NodeId::from_index(2)]];
+        let c = vec![
+            vec![NodeId::from_index(0), NodeId::from_index(1)],
+            vec![NodeId::from_index(2)],
+        ];
         assert!(!same_partition(&a, &c));
     }
 }

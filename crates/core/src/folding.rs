@@ -33,9 +33,15 @@ enum Fold {
 
 /// Recognises `((op a) b)` with `op` one of the foldable primitives.
 fn binary_spine(arena: &ExprArena, id: NodeId) -> Option<(&'static str, NodeId, NodeId)> {
-    let ExprNode::App(fa, b) = arena.node(id) else { return None };
-    let ExprNode::App(f, a) = arena.node(fa) else { return None };
-    let ExprNode::Var(op) = arena.node(f) else { return None };
+    let ExprNode::App(fa, b) = arena.node(id) else {
+        return None;
+    };
+    let ExprNode::App(f, a) = arena.node(fa) else {
+        return None;
+    };
+    let ExprNode::Var(op) = arena.node(f) else {
+        return None;
+    };
     let name = match arena.name(op) {
         "add" => "add",
         "sub" => "sub",
@@ -84,9 +90,7 @@ fn try_fold(arena: &ExprArena, id: NodeId) -> Option<Fold> {
     let la = literal_of(arena, a);
     let lb = literal_of(arena, b);
     match (la, lb) {
-        (Some(Literal::I64(x)), Some(Literal::I64(y))) => {
-            fold_ints(op, x, y).map(Fold::Constant)
-        }
+        (Some(Literal::I64(x)), Some(Literal::I64(y))) => fold_ints(op, x, y).map(Fold::Constant),
         (Some(Literal::F64Bits(x)), Some(Literal::F64Bits(y))) => {
             fold_floats(op, f64::from_bits(x), f64::from_bits(y)).map(Fold::Constant)
         }
@@ -213,8 +217,7 @@ mod tests {
             let before = eval(&arena, root).expect("generated programs evaluate");
             let mut engine = IncrementalHasher::new(arena, root, HashScheme::<u64>::new(1));
             let report = fold_constants(&mut engine);
-            let after =
-                eval(engine.arena(), engine.root()).expect("folded programs evaluate");
+            let after = eval(engine.arena(), engine.root()).expect("folded programs evaluate");
             assert!(
                 Value::observably_eq(&before, &after),
                 "folding changed value (size {size}, {} rewrites)",
@@ -245,7 +248,10 @@ mod tests {
         let report = fold_constants(&mut engine);
         assert!(report.rewrites >= 3);
         let per_rewrite = report.nodes_rehashed / report.rewrites;
-        assert!(per_rewrite < 100, "re-hashed {per_rewrite} nodes per rewrite");
+        assert!(
+            per_rewrite < 100,
+            "re-hashed {per_rewrite} nodes per rewrite"
+        );
         assert!(engine.verify_against_scratch());
     }
 }

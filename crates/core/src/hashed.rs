@@ -54,7 +54,10 @@ pub struct VarMapH<H: HashWord> {
 
 impl<H: HashWord> Default for VarMapH<H> {
     fn default() -> Self {
-        VarMapH { map: BTreeMap::new(), xor: H::ZERO }
+        VarMapH {
+            map: BTreeMap::new(),
+            xor: H::ZERO,
+        }
     }
 }
 
@@ -83,12 +86,20 @@ impl<H: HashWord> VarMapH<H> {
     pub fn singleton(scheme: &HashScheme<H>, sym: Symbol, name_hash: u64, pos: PosH<H>) -> Self {
         let mut map = BTreeMap::new();
         map.insert(sym, pos);
-        VarMapH { map, xor: scheme.entry(name_hash, pos.hash) }
+        VarMapH {
+            map,
+            xor: scheme.entry(name_hash, pos.hash),
+        }
     }
 
     /// `removeFromVM`: removes `sym`, returning its position tree if
     /// present, and updates the XOR hash in O(1) hash work.
-    pub fn remove(&mut self, scheme: &HashScheme<H>, sym: Symbol, name_hash: u64) -> Option<PosH<H>> {
+    pub fn remove(
+        &mut self,
+        scheme: &HashScheme<H>,
+        sym: Symbol,
+        name_hash: u64,
+    ) -> Option<PosH<H>> {
         let pos = self.map.remove(&sym)?;
         self.xor = self.xor.xor(scheme.entry(name_hash, pos.hash));
         Some(pos)
@@ -147,7 +158,9 @@ impl<H: HashWord> ESummaryH<H> {
 /// touches strings.
 pub fn name_hashes<H: HashWord>(arena: &ExprArena, scheme: &HashScheme<H>) -> Vec<u64> {
     let n = arena.interner().len();
-    (0..n as u32).map(|i| scheme.var_name(arena.interner().resolve(Symbol::from_index(i)))).collect()
+    (0..n as u32)
+        .map(|i| scheme.var_name(arena.interner().resolve(Symbol::from_index(i))))
+        .collect()
 }
 
 /// Hashes of every subexpression of one tree, indexed by [`NodeId`].
@@ -158,7 +171,9 @@ pub struct SubtreeHashes<H> {
 
 impl<H: HashWord> SubtreeHashes<H> {
     fn new(capacity: usize) -> Self {
-        SubtreeHashes { hashes: vec![None; capacity] }
+        SubtreeHashes {
+            hashes: vec![None; capacity],
+        }
     }
 
     /// Wraps a dense per-node-index vector of hashes. Used by the
@@ -256,7 +271,11 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
         right: VarMapH<H>,
     ) -> (VarMapH<H>, bool) {
         let left_bigger = left.len() >= right.len();
-        let (mut bigger, smaller) = if left_bigger { (left, right) } else { (right, left) };
+        let (mut bigger, smaller) = if left_bigger {
+            (left, right)
+        } else {
+            (right, left)
+        };
         for (sym, small_pos) in smaller.into_iter_entries() {
             self.merge_ops += 1;
             let nh = self.name_hash(sym);
@@ -280,8 +299,7 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
     /// the quadratic baseline for the ablation.
     fn merge_both(&mut self, left: VarMapH<H>, right: VarMapH<H>) -> (VarMapH<H>, bool) {
         let mut out = VarMapH::new();
-        let mut right_map: BTreeMap<Symbol, PosH<H>> =
-            right.into_iter_entries().collect();
+        let mut right_map: BTreeMap<Symbol, PosH<H>> = right.into_iter_entries().collect();
         for (sym, lp) in left.into_iter_entries() {
             self.merge_ops += 1;
             let nh = self.name_hash(sym);
@@ -334,10 +352,16 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
         for n in postorder(arena, root) {
             let summary = match arena.node(n) {
                 ExprNode::Var(s) => {
-                    let pos = PosH { hash: scheme.pt_here(), size: 1 };
+                    let pos = PosH {
+                        hash: scheme.pt_here(),
+                        size: 1,
+                    };
                     let nh = self.name_hash(s);
                     ESummaryH {
-                        structure: StructH { hash: scheme.s_var(), size: 1 },
+                        structure: StructH {
+                            hash: scheme.s_var(),
+                            size: 1,
+                        },
                         varmap: VarMapH::singleton(scheme, s, nh, pos),
                     }
                 }
@@ -483,7 +507,10 @@ mod tests {
         // Equivalent pairs.
         assert_eq!(hash_of(r"\x. x + y"), hash_of(r"\p. p + y"));
         assert_eq!(hash_of(r"\x. x"), hash_of(r"\y. y"));
-        assert_eq!(hash_of("let bar = x+1 in bar*y"), hash_of("let p = x+1 in p*y"));
+        assert_eq!(
+            hash_of("let bar = x+1 in bar*y"),
+            hash_of("let p = x+1 in p*y")
+        );
         assert_eq!(hash_of(r"map (\y. y+1) vs"), hash_of(r"map (\x. x+1) vs"));
         // Inequivalent pairs.
         assert_ne!(hash_of(r"\x. x + y"), hash_of(r"\q. q + z"));
@@ -520,8 +547,7 @@ mod tests {
         assert_eq!(lams.len(), 2);
         assert_eq!(hashes.get(lams[0]), hashes.get(lams[1]));
         // And they differ from everything else.
-        let distinct: std::collections::HashSet<u64> =
-            hashes.iter().map(|(_, h)| h).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().map(|(_, h)| h).collect();
         assert!(distinct.len() >= 8);
     }
 
@@ -530,7 +556,10 @@ mod tests {
         // §2.2: the x+2 subexpressions are equal standalone (both free x)
         // but the surrounding lets must not be equal.
         assert_eq!(hash_of("x + 2"), hash_of("x + 2"));
-        assert_ne!(hash_of("let x = bar in x+2"), hash_of("let x = pubx in x+2"));
+        assert_ne!(
+            hash_of("let x = bar in x+2"),
+            hash_of("let x = pubx in x+2")
+        );
     }
 
     #[test]
@@ -553,8 +582,7 @@ mod tests {
             let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
             let mut fast = HashedSummariser::new(&b, &s);
             hashes_fast.push(fast.summarise(&b, root).hash(&s));
-            let mut quad =
-                HashedSummariser::with_strategy(&b, &s, MergeStrategy::TransformBoth);
+            let mut quad = HashedSummariser::with_strategy(&b, &s, MergeStrategy::TransformBoth);
             hashes_quad.push(quad.summarise(&b, root).hash(&s));
         }
         for i in 0..sources.len() {
@@ -586,16 +614,35 @@ mod tests {
             })
         };
 
-        let here = PosH { hash: s.pt_here(), size: 1 };
+        let here = PosH {
+            hash: s.pt_here(),
+            size: 1,
+        };
         let mut vm = VarMapH::singleton(&s, syms[0], nh[0], here);
         assert_eq!(vm.hash(), recompute(&vm));
 
         for i in 1..8 {
-            vm.upsert(&s, syms[i], nh[i], PosH { hash: s.pt_left(2, here.hash), size: 2 });
+            vm.upsert(
+                &s,
+                syms[i],
+                nh[i],
+                PosH {
+                    hash: s.pt_left(2, here.hash),
+                    size: 2,
+                },
+            );
             assert_eq!(vm.hash(), recompute(&vm));
         }
         // Replace an existing entry.
-        vm.upsert(&s, syms[3], nh[3], PosH { hash: s.pt_right(2, here.hash), size: 2 });
+        vm.upsert(
+            &s,
+            syms[3],
+            nh[3],
+            PosH {
+                hash: s.pt_right(2, here.hash),
+                size: 2,
+            },
+        );
         assert_eq!(vm.hash(), recompute(&vm));
         // Remove entries one by one.
         for i in 0..8 {
@@ -611,7 +658,10 @@ mod tests {
         let mut arena = ExprArena::new();
         let x = arena.intern("x");
         let y = arena.intern("y");
-        let here = PosH { hash: s.pt_here(), size: 1 };
+        let here = PosH {
+            hash: s.pt_here(),
+            size: 1,
+        };
         let mut vm = VarMapH::singleton(&s, x, s.var_name("x"), here);
         let before = vm.hash();
         assert!(vm.remove(&s, y, s.var_name("y")).is_none());
@@ -660,7 +710,16 @@ mod tests {
         let leaves: Vec<NodeId> = (0..512).map(|i| a.var_named(&format!("v{i}"))).collect();
         let mut layer = leaves;
         while layer.len() > 1 {
-            layer = layer.chunks(2).map(|p| if p.len() == 2 { a.app(p[0], p[1]) } else { p[0] }).collect();
+            layer = layer
+                .chunks(2)
+                .map(|p| {
+                    if p.len() == 2 {
+                        a.app(p[0], p[1])
+                    } else {
+                        p[0]
+                    }
+                })
+                .collect();
         }
         let s = scheme();
         let mut fast = HashedSummariser::new(&a, &s);

@@ -195,7 +195,10 @@ impl<H: HashWord> IncrementalHasher<H> {
         let scheme = self.scheme;
         let state = match self.arena.node(n) {
             ExprNode::Var(s) => {
-                let pos = PosH { hash: scheme.pt_here(), size: 1 };
+                let pos = PosH {
+                    hash: scheme.pt_here(),
+                    size: 1,
+                };
                 let nh = self.name_hash(s);
                 let (vm, _) = PMap::new().insert(s, pos);
                 stats.map_ops += 1;
@@ -288,7 +291,11 @@ impl<H: HashWord> IncrementalHasher<H> {
         stats: &mut RecomputeStats,
     ) -> (PMap<Symbol, PosH<H>>, H, bool) {
         let left_bigger = left.vm.len() >= right.vm.len();
-        let (bigger, smaller) = if left_bigger { (left, right) } else { (right, left) };
+        let (bigger, smaller) = if left_bigger {
+            (left, right)
+        } else {
+            (right, left)
+        };
         let mut vm = bigger.vm.clone();
         let mut xor = bigger.vm_xor;
         for (&sym, &small_pos) in smaller.vm.iter() {
@@ -297,7 +304,9 @@ impl<H: HashWord> IncrementalHasher<H> {
             let old = vm.get(&sym).copied();
             let new_size = 1 + old.map_or(0, |p| p.size) + small_pos.size;
             let new_pos = PosH {
-                hash: self.scheme.pt_join(new_size, tag, old.map(|p| p.hash), small_pos.hash),
+                hash: self
+                    .scheme
+                    .pt_join(new_size, tag, old.map(|p| p.hash), small_pos.hash),
                 size: new_size,
             };
             if let Some(old_pos) = old {
@@ -473,8 +482,7 @@ mod tests {
                 .collect();
         }
         let root = layer[0];
-        let mut inc: IncrementalHasher<u64> =
-            IncrementalHasher::new(a, root, HashScheme::new(3));
+        let mut inc: IncrementalHasher<u64> = IncrementalHasher::new(a, root, HashScheme::new(3));
         let n = inc.live_nodes();
         assert_eq!(n, 2047);
 
@@ -532,8 +540,9 @@ mod tests {
     #[test]
     fn sequence_of_edits_stays_consistent() {
         let mut inc = engine(r"\f. f ((a + b) * (a + b)) (f 1 2)");
-        for (i, patch_src) in
-            ["x + y", "1 + 2 * 3", r"\q. q", "let t = 4 in t + t"].iter().enumerate()
+        for (i, patch_src) in ["x + y", "1 + 2 * 3", r"\q. q", "let t = 4 in t + t"]
+            .iter()
+            .enumerate()
         {
             let target = inc
                 .find(|arena, n| arena.subtree_size(n) >= 3 + (i % 2))

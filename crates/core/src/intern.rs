@@ -18,14 +18,20 @@ pub struct NodeInterner<T> {
 
 impl<T> Default for NodeInterner<T> {
     fn default() -> Self {
-        NodeInterner { nodes: Vec::new(), ids: HashMap::new() }
+        NodeInterner {
+            nodes: Vec::new(),
+            ids: HashMap::new(),
+        }
     }
 }
 
 impl<T: Eq + Hash + Clone> NodeInterner<T> {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        NodeInterner { nodes: Vec::new(), ids: HashMap::new() }
+        NodeInterner {
+            nodes: Vec::new(),
+            ids: HashMap::new(),
+        }
     }
 
     /// Interns a value, returning a stable id; equal values get equal ids.

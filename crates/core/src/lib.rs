@@ -54,4 +54,6 @@ pub mod linear;
 pub mod summary;
 
 pub use combine::{HashScheme, HashWord};
+pub use cse::{cse_forest, eliminate_common_subexpressions, CseConfig, CseResult, ForestCse};
+pub use equiv::{ground_truth_classes, hash_classes, shared_dag_size};
 pub use hashed::{hash_all_subexpressions, hash_expr, HashedSummariser, SubtreeHashes};

@@ -68,14 +68,20 @@ impl Lin {
     /// `(a₁, b₁) ∘ (a₂, b₂) = (a₁·a₂, a₁·b₂ + b₁)` — the appendix formula.
     #[inline]
     pub fn compose(self, g: Lin) -> Lin {
-        Lin { a: self.a.wrapping_mul(g.a), b: self.a.wrapping_mul(g.b).wrapping_add(self.b) }
+        Lin {
+            a: self.a.wrapping_mul(g.a),
+            b: self.a.wrapping_mul(g.b).wrapping_add(self.b),
+        }
     }
 
     /// The inverse function (exists because `a` is odd). O(1) via Newton
     /// iteration for the modular inverse of `a`.
     pub fn inverse(self) -> Lin {
         let a_inv = inverse_odd(self.a);
-        Lin { a: a_inv, b: a_inv.wrapping_mul(self.b).wrapping_neg() }
+        Lin {
+            a: a_inv,
+            b: a_inv.wrapping_mul(self.b).wrapping_neg(),
+        }
     }
 }
 
@@ -106,7 +112,12 @@ struct VarMapL {
 
 impl VarMapL {
     fn new() -> Self {
-        VarMapL { map: BTreeMap::new(), f: Lin::identity(), f_inv: Lin::identity(), xor: 0 }
+        VarMapL {
+            map: BTreeMap::new(),
+            f: Lin::identity(),
+            f_inv: Lin::identity(),
+            xor: 0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -245,9 +256,7 @@ impl<'s, H: HashWord> LinearSummariser<'s, H> {
                     vm.map.insert(s, self.here);
                     (scheme.s_var(), 1, vm)
                 }
-                ExprNode::Lit(l) => {
-                    (scheme.s_lit(l.kind_tag(), l.payload()), 1, VarMapL::new())
-                }
+                ExprNode::Lit(l) => (scheme.s_lit(l.kind_tag(), l.payload()), 1, VarMapL::new()),
                 ExprNode::Lam(x, _) => {
                     let (st_b, size_b, mut vm) = stack.pop().expect("lam body");
                     let pos = self.remove(&mut vm, x).map(|a| self.pos_to_word(a));
@@ -280,11 +289,7 @@ impl<'s, H: HashWord> LinearSummariser<'s, H> {
 }
 
 /// One-shot: the linear-variant hash of a whole expression.
-pub fn hash_expr_linear<H: HashWord>(
-    arena: &ExprArena,
-    root: NodeId,
-    scheme: &HashScheme<H>,
-) -> H {
+pub fn hash_expr_linear<H: HashWord>(arena: &ExprArena, root: NodeId, scheme: &HashScheme<H>) -> H {
     let mut s = LinearSummariser::new(arena, scheme);
     let all = s.summarise_all(arena, root);
     all.get(root).expect("root hashed")
@@ -342,7 +347,10 @@ mod tests {
     fn respects_alpha_equivalence_on_paper_examples() {
         assert_eq!(hash_of(r"\x. x + y"), hash_of(r"\p. p + y"));
         assert_eq!(hash_of(r"\x. x"), hash_of(r"\y. y"));
-        assert_eq!(hash_of("let bar = x+1 in bar*y"), hash_of("let p = x+1 in p*y"));
+        assert_eq!(
+            hash_of("let bar = x+1 in bar*y"),
+            hash_of("let p = x+1 in p*y")
+        );
         assert_ne!(hash_of(r"\x. x + y"), hash_of(r"\q. q + z"));
         assert_ne!(hash_of("add x y"), hash_of("add x x"));
         assert_ne!(hash_of(r"\x. \y. x"), hash_of(r"\x. \y. y"));

@@ -135,7 +135,10 @@ impl FastSummariser {
         cache: &mut HashMap<Symbol, Rc<str>>,
         sym: Symbol,
     ) -> Rc<str> {
-        cache.entry(sym).or_insert_with(|| Rc::from(arena.name(sym))).clone()
+        cache
+            .entry(sym)
+            .or_insert_with(|| Rc::from(arena.name(sym)))
+            .clone()
     }
 
     /// Folds the smaller map into the bigger one (§4.8's `add_kv` loop):
@@ -150,7 +153,11 @@ impl FastSummariser {
         for (name, small_pos) in smaller {
             self.merge_ops += 1;
             let old = bigger.get(&name).copied();
-            let joined = self.pos.intern(PosNodeF::Join { tag, bigger: old, smaller: small_pos });
+            let joined = self.pos.intern(PosNodeF::Join {
+                tag,
+                bigger: old,
+                smaller: small_pos,
+            });
             bigger.insert(name, joined);
         }
         bigger
@@ -161,7 +168,12 @@ impl FastSummariser {
     /// the choice is deterministic — and it depends only on map *sizes*,
     /// which are alpha-invariant, so alpha-equivalent terms always merge
     /// the same way.
-    fn merge_binary(&mut self, tag: StructureTag, left: VarMapF, right: VarMapF) -> (VarMapF, bool) {
+    fn merge_binary(
+        &mut self,
+        tag: StructureTag,
+        left: VarMapF,
+        right: VarMapF,
+    ) -> (VarMapF, bool) {
         let left_bigger = left.len() >= right.len();
         let merged = if left_bigger {
             self.merge_smaller_into_bigger(tag, left, right)
@@ -214,7 +226,10 @@ impl FastSummariser {
                     let here = self.pos.intern(PosNodeF::Here);
                     let mut vm = VarMapF::new();
                     vm.insert(self.name_of(arena, &mut names, s), here);
-                    ESummaryFast { structure: self.intern_struct(StructNodeF::Var, 1), varmap: vm }
+                    ESummaryFast {
+                        structure: self.intern_struct(StructNodeF::Var, 1),
+                        varmap: vm,
+                    }
                 }
                 ExprNode::Lit(l) => ESummaryFast {
                     structure: self.intern_struct(StructNodeF::Lit(l), 1),
@@ -226,20 +241,26 @@ impl FastSummariser {
                     let x_pos = body.varmap.remove(&name);
                     let size = 1 + self.structure_tag(body.structure);
                     ESummaryFast {
-                        structure: self.intern_struct(StructNodeF::Lam(x_pos, body.structure), size),
+                        structure: self
+                            .intern_struct(StructNodeF::Lam(x_pos, body.structure), size),
                         varmap: body.varmap,
                     }
                 }
                 ExprNode::App(_, _) => {
                     let right = stack.pop().expect("app arg summary");
                     let left = stack.pop().expect("app fun summary");
-                    let size =
-                        1 + self.structure_tag(left.structure) + self.structure_tag(right.structure);
+                    let size = 1
+                        + self.structure_tag(left.structure)
+                        + self.structure_tag(right.structure);
                     // The tag is the size of the structure being built;
                     // it is known before interning.
                     let (varmap, left_bigger) = self.merge_binary(size, left.varmap, right.varmap);
                     let structure = self.intern_struct(
-                        StructNodeF::App { left_bigger, fun: left.structure, arg: right.structure },
+                        StructNodeF::App {
+                            left_bigger,
+                            fun: left.structure,
+                            arg: right.structure,
+                        },
                         size,
                     );
                     ESummaryFast { structure, varmap }
@@ -277,7 +298,9 @@ impl FastSummariser {
     /// the smaller map iff its top node is a `Join` with this tag.
     fn upd_small(&self, tag: StructureTag, pos: PosId) -> Option<PosId> {
         match *self.pos.get(pos) {
-            PosNodeF::Join { tag: ptag, smaller, .. } if ptag == tag => Some(smaller),
+            PosNodeF::Join {
+                tag: ptag, smaller, ..
+            } if ptag == tag => Some(smaller),
             _ => None,
         }
     }
@@ -287,7 +310,9 @@ impl FastSummariser {
     /// the bigger map as-is.
     fn upd_big(&self, tag: StructureTag, pos: PosId) -> Option<PosId> {
         match *self.pos.get(pos) {
-            PosNodeF::Join { tag: ptag, bigger, .. } if ptag == tag => bigger,
+            PosNodeF::Join {
+                tag: ptag, bigger, ..
+            } if ptag == tag => bigger,
             _ => Some(pos),
         }
     }
@@ -317,7 +342,11 @@ impl FastSummariser {
         let tag = self.structure_tag(structure);
         match *self.structs.get(structure) {
             StructNodeF::Var => {
-                assert_eq!(vm.len(), 1, "malformed e-summary: Var with non-singleton map");
+                assert_eq!(
+                    vm.len(),
+                    1,
+                    "malformed e-summary: Var with non-singleton map"
+                );
                 let (name, &pos) = vm.iter().next().expect("singleton");
                 assert_eq!(*self.pos.get(pos), PosNodeF::Here, "malformed e-summary");
                 dst.var_named(name)
@@ -335,16 +364,33 @@ impl FastSummariser {
                 let body_id = self.rebuild_rec(body, &inner, dst);
                 dst.lam(fresh, body_id)
             }
-            StructNodeF::App { left_bigger, fun, arg } => {
+            StructNodeF::App {
+                left_bigger,
+                fun,
+                arg,
+            } => {
                 let (big, small) = self.split_vm(tag, vm);
-                let (m1, m2) = if left_bigger { (big, small) } else { (small, big) };
+                let (m1, m2) = if left_bigger {
+                    (big, small)
+                } else {
+                    (small, big)
+                };
                 let f = self.rebuild_rec(fun, &m1, dst);
                 let a = self.rebuild_rec(arg, &m2, dst);
                 dst.app(f, a)
             }
-            StructNodeF::Let { rhs_bigger, pos, rhs, body } => {
+            StructNodeF::Let {
+                rhs_bigger,
+                pos,
+                rhs,
+                body,
+            } => {
                 let (big, small) = self.split_vm(tag, vm);
-                let (m_rhs, mut m_body) = if rhs_bigger { (big, small) } else { (small, big) };
+                let (m_rhs, mut m_body) = if rhs_bigger {
+                    (big, small)
+                } else {
+                    (small, big)
+                };
                 let fresh = dst.fresh("x");
                 if let Some(p) = pos {
                     m_body.insert(Rc::from(dst.name(fresh)), p);
@@ -386,8 +432,14 @@ mod tests {
         assert!(equal_summaries(r"\x. x + y", r"\p. p + y"));
         assert!(!equal_summaries(r"\x. x + y", r"\q. q + z"));
         assert!(equal_summaries(r"map (\y. y+1) vs", r"map (\x. x+1) vs"));
-        assert!(equal_summaries("let bar = x+1 in bar*y", "let p = x+1 in p*y"));
-        assert!(!equal_summaries("let x = bar in x+2", "let x = pubx in x+2"));
+        assert!(equal_summaries(
+            "let bar = x+1 in bar*y",
+            "let p = x+1 in p*y"
+        ));
+        assert!(!equal_summaries(
+            "let x = bar in x+2",
+            "let x = pubx in x+2"
+        ));
         assert!(!equal_summaries("add x y", "add x x"));
         assert!(!equal_summaries(r"\x. \y. x", r"\x. \y. y"));
     }
@@ -499,7 +551,11 @@ mod tests {
         // n = 256 leaves: merges total 256·log2(256)/2 = 1024 ≤ ops bound,
         // vs ~255·128 ≈ 32k for the quadratic scheme.
         assert!(s.merge_ops <= 256 * 8, "merge_ops = {}", s.merge_ops);
-        assert!(s.merge_ops >= 128, "merge_ops suspiciously low: {}", s.merge_ops);
+        assert!(
+            s.merge_ops >= 128,
+            "merge_ops suspiciously low: {}",
+            s.merge_ops
+        );
     }
 
     #[test]

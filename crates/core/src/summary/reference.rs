@@ -104,8 +104,16 @@ impl RefSummariser {
         self.structs.len()
     }
 
-    fn name_of(&self, arena: &ExprArena, cache: &mut HashMap<Symbol, Rc<str>>, sym: Symbol) -> Rc<str> {
-        cache.entry(sym).or_insert_with(|| Rc::from(arena.name(sym))).clone()
+    fn name_of(
+        &self,
+        arena: &ExprArena,
+        cache: &mut HashMap<Symbol, Rc<str>>,
+        sym: Symbol,
+    ) -> Rc<str> {
+        cache
+            .entry(sym)
+            .or_insert_with(|| Rc::from(arena.name(sym)))
+            .clone()
     }
 
     /// The quadratic `mergeVM` of §4.6: every position tree from the left
@@ -173,7 +181,10 @@ impl RefSummariser {
                     let here = self.pos.intern(PosNode::Here);
                     let mut vm = VarMap::new();
                     vm.insert(self.name_of(arena, &mut names, s), here);
-                    ESummaryRef { structure: self.structs.intern(StructNode::Var), varmap: vm }
+                    ESummaryRef {
+                        structure: self.structs.intern(StructNode::Var),
+                        varmap: vm,
+                    }
                 }
                 ExprNode::Lit(l) => ESummaryRef {
                     structure: self.structs.intern(StructNode::Lit(l)),
@@ -191,8 +202,9 @@ impl RefSummariser {
                 ExprNode::App(_, _) => {
                     let right = stack.pop().expect("app arg summary");
                     let left = stack.pop().expect("app fun summary");
-                    let structure =
-                        self.structs.intern(StructNode::App(left.structure, right.structure));
+                    let structure = self
+                        .structs
+                        .intern(StructNode::App(left.structure, right.structure));
                     let varmap = self.merge_vm(left.varmap, right.varmap);
                     ESummaryRef { structure, varmap }
                 }
@@ -204,9 +216,9 @@ impl RefSummariser {
                     // body (right).
                     let name = self.name_of(arena, &mut names, x);
                     let x_pos = body.varmap.remove(&name);
-                    let structure = self
-                        .structs
-                        .intern(StructNode::Let(x_pos, rhs.structure, body.structure));
+                    let structure =
+                        self.structs
+                            .intern(StructNode::Let(x_pos, rhs.structure, body.structure));
                     let varmap = self.merge_vm(rhs.varmap, body.varmap);
                     ESummaryRef { structure, varmap }
                 }
@@ -263,7 +275,11 @@ impl RefSummariser {
         match *self.structs.get(structure) {
             StructNode::Var => {
                 // findSingletonVM: the map must be {name ↦ Here}.
-                assert_eq!(vm.len(), 1, "malformed e-summary: Var with non-singleton map");
+                assert_eq!(
+                    vm.len(),
+                    1,
+                    "malformed e-summary: Var with non-singleton map"
+                );
                 let (name, &pos) = vm.iter().next().expect("singleton");
                 assert_eq!(*self.pos.get(pos), PosNode::Here, "malformed e-summary");
                 dst.var_named(name)
@@ -307,7 +323,10 @@ mod tests {
     use lambda_lang::alpha::alpha_eq;
     use lambda_lang::parse::parse;
 
-    fn summarise_str(summariser: &mut RefSummariser, src: &str) -> (ExprArena, NodeId, ESummaryRef) {
+    fn summarise_str(
+        summariser: &mut RefSummariser,
+        src: &str,
+    ) -> (ExprArena, NodeId, ESummaryRef) {
         let mut a = ExprArena::new();
         let parsed = parse(&mut a, src).unwrap();
         let (b, root) = lambda_lang::uniquify::uniquify(&a, parsed);
@@ -368,7 +387,9 @@ mod tests {
         let x_pos = summary.varmap.get("x").copied().expect("x in map");
         match *s.pos.get(x_pos) {
             PosNode::Both(l, r) => {
-                assert!(matches!(*s.pos.get(l), PosNode::RightOnly(p) if *s.pos.get(p) == PosNode::Here));
+                assert!(
+                    matches!(*s.pos.get(l), PosNode::RightOnly(p) if *s.pos.get(p) == PosNode::Here)
+                );
                 assert_eq!(*s.pos.get(r), PosNode::Here);
             }
             other => panic!("expected Both, got {other:?}"),
@@ -460,6 +481,9 @@ mod tests {
         // standalone terms they ARE alpha-equivalent. Their inequivalence
         // only exists under the binders:
         assert!(equal_summaries("x + 2", "x + 2"));
-        assert!(!equal_summaries("let x = bar in x+2", "let x = pubx in x+2"));
+        assert!(!equal_summaries(
+            "let x = bar in x+2",
+            "let x = pubx in x+2"
+        ));
     }
 }

@@ -195,6 +195,9 @@ mod tests {
         // pairs should collide more often, but even a perfect hash can
         // have 0 here. We only check the machinery doesn't blow up and
         // collisions are not absurdly frequent.
-        assert!(collisions < trials / 10, "suspiciously many collisions: {collisions}");
+        assert!(
+            collisions < trials / 10,
+            "suspiciously many collisions: {collisions}"
+        );
     }
 }

@@ -153,10 +153,16 @@ mod tests {
             let root = arithmetic(&mut arena, 200, &mut rng);
             let scheme: alpha_hash::HashScheme<u64> = alpha_hash::HashScheme::new(1);
             let classes = hash_classes(&arena, root, &scheme);
-            if classes.iter().any(|c| c.len() >= 2 && arena.subtree_size(c[0]) >= 4) {
+            if classes
+                .iter()
+                .any(|c| c.len() >= 2 && arena.subtree_size(c[0]) >= 4)
+            {
                 found_sharing += 1;
             }
         }
-        assert!(found_sharing >= 5, "only {found_sharing}/10 programs had sharing");
+        assert!(
+            found_sharing >= 5,
+            "only {found_sharing}/10 programs had sharing"
+        );
     }
 }

@@ -31,7 +31,10 @@ struct Anf<'a> {
 
 impl<'a> Anf<'a> {
     fn new(arena: &'a mut ExprArena) -> Self {
-        Anf { arena, chain: Vec::new() }
+        Anf {
+            arena,
+            chain: Vec::new(),
+        }
     }
 
     /// Let-binds `rhs` to a fresh name and returns the name.
@@ -64,7 +67,12 @@ impl<'a> Anf<'a> {
     }
 
     /// Dot product Σᵢ wᵢ·xᵢ in ANF; returns the accumulator symbol.
-    fn dot(&mut self, w_prefix: &str, terms: usize, mut input: impl FnMut(&mut Self, usize) -> NodeId) -> Symbol {
+    fn dot(
+        &mut self,
+        w_prefix: &str,
+        terms: usize,
+        mut input: impl FnMut(&mut Self, usize) -> NodeId,
+    ) -> Symbol {
         let mut acc: Option<Symbol> = None;
         for i in 0..terms {
             let w = self.param(&format!("{w_prefix}{i}"));
@@ -101,7 +109,10 @@ impl<'a> Anf<'a> {
 /// Panics if the expression is already larger than `target`.
 fn pad_to_exact(arena: &mut ExprArena, mut expr: NodeId, target: usize) -> NodeId {
     let mut size = arena.subtree_size(expr);
-    assert!(size <= target, "expression too large to pad: {size} > {target}");
+    assert!(
+        size <= target,
+        "expression too large to pad: {size} > {target}"
+    );
     while target - size >= 2 {
         expr = arena.prim1("tanh", expr);
         size += 2;
@@ -296,7 +307,9 @@ fn bert_layer(
     let attn_out = anf.bin("ao", "add", mixv, hv);
 
     // Feed-forward with tanh activation + residual.
-    let f1 = anf.dot(&format!("f1w{weight_tag}_"), ff_dim, |anf, _| anf.var(attn_out));
+    let f1 = anf.dot(&format!("f1w{weight_tag}_"), ff_dim, |anf, _| {
+        anf.var(attn_out)
+    });
     let f1v = anf.var(f1);
     let act = anf.un("t", "tanh", f1v);
     let f2 = anf.dot(&format!("f2w{weight_tag}_"), ff_dim, |anf, _| anf.var(act));
@@ -460,7 +473,10 @@ mod tests {
                 && matches!(arena.node(c[0]), lambda_lang::ExprNode::Lam(_, _))
                 && arena.subtree_size(c[0]) > 100
         });
-        assert!(lam_class.is_some(), "expected 4 alpha-equivalent layer blocks");
+        assert!(
+            lam_class.is_some(),
+            "expected 4 alpha-equivalent layer blocks"
+        );
     }
 
     #[test]

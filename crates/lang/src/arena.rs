@@ -110,7 +110,10 @@ impl IntoIterator for Children {
     type IntoIter = ChildrenIter;
 
     fn into_iter(self) -> ChildrenIter {
-        ChildrenIter { children: self, next: 0 }
+        ChildrenIter {
+            children: self,
+            next: 0,
+        }
     }
 }
 
@@ -169,7 +172,10 @@ impl ExprArena {
 
     /// Creates an arena with capacity for `n` nodes.
     pub fn with_capacity(n: usize) -> Self {
-        ExprArena { nodes: Vec::with_capacity(n), interner: Interner::new() }
+        ExprArena {
+            nodes: Vec::with_capacity(n),
+            interner: Interner::new(),
+        }
     }
 
     /// Interns a name in this arena's interner.

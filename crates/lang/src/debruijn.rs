@@ -174,7 +174,9 @@ pub fn to_debruijn(src: &ExprArena, root: NodeId) -> (DbArena, DbId) {
             Task::LetBody { binder, body } => {
                 let old = env.insert(binder, depth);
                 depth += 1;
-                stack.push(Task::BuildLet { undo: (binder, old) });
+                stack.push(Task::BuildLet {
+                    undo: (binder, old),
+                });
                 stack.push(Task::Visit(body));
             }
             Task::BuildLet { undo } => {
@@ -275,7 +277,10 @@ pub fn db_print(arena: &DbArena, root: DbId) -> String {
                     }
                     stack.push(Out::Node(a, true));
                     stack.push(Out::Text(" "));
-                    stack.push(Out::Node(f, matches!(arena.node(f), DbNode::Lam(_) | DbNode::Let(_, _))));
+                    stack.push(Out::Node(
+                        f,
+                        matches!(arena.node(f), DbNode::Lam(_) | DbNode::Let(_, _)),
+                    ));
                     if tight {
                         stack.push(Out::Text("("));
                     }

@@ -123,7 +123,11 @@ impl Env {
 
     /// Extends with one binding (persistent).
     pub fn bind(&self, sym: Symbol, value: Value) -> Env {
-        Env(Some(Rc::new(EnvNode { sym, value, rest: self.clone() })))
+        Env(Some(Rc::new(EnvNode {
+            sym,
+            value,
+            rest: self.clone(),
+        })))
     }
 
     fn lookup(&self, sym: Symbol) -> Option<&Value> {
@@ -245,10 +249,18 @@ impl<'a> Machine<'a> {
 
     /// Recognises `((if c) t) e` with `if` a *free* variable.
     fn if_spine(&self, id: NodeId, env: &Env) -> Option<(NodeId, NodeId, NodeId)> {
-        let ExprNode::App(fte, e) = self.arena.node(id) else { return None };
-        let ExprNode::App(ft, t) = self.arena.node(fte) else { return None };
-        let ExprNode::App(f, c) = self.arena.node(ft) else { return None };
-        let ExprNode::Var(s) = self.arena.node(f) else { return None };
+        let ExprNode::App(fte, e) = self.arena.node(id) else {
+            return None;
+        };
+        let ExprNode::App(ft, t) = self.arena.node(fte) else {
+            return None;
+        };
+        let ExprNode::App(f, c) = self.arena.node(ft) else {
+            return None;
+        };
+        let ExprNode::Var(s) = self.arena.node(f) else {
+            return None;
+        };
         if self.arena.name(s) == "if" && env.lookup(s).is_none() {
             Some((c, t, e))
         } else {
@@ -488,9 +500,15 @@ mod tests {
     #[test]
     fn errors() {
         assert_eq!(run("1 / 0").unwrap_err(), EvalError::DivByZero);
-        assert!(matches!(run("mystery 1").unwrap_err(), EvalError::Unbound(_)));
+        assert!(matches!(
+            run("mystery 1").unwrap_err(),
+            EvalError::Unbound(_)
+        ));
         assert_eq!(run("1 2").unwrap_err(), EvalError::NotAFunction);
-        assert_eq!(run("true + 1").unwrap_err(), EvalError::TypeMismatch("numeric operator"));
+        assert_eq!(
+            run("true + 1").unwrap_err(),
+            EvalError::TypeMismatch("numeric operator")
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.pos.line, self.pos.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.pos.line, self.pos.col, self.message
+        )
     }
 }
 
@@ -76,11 +80,19 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), at: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            at: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -202,8 +214,7 @@ impl<'a> Lexer<'a> {
             if c.is_ascii_digit() {
                 text.push(c as char);
                 self.bump();
-            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit())
-            {
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
                 is_float = true;
                 text.push('.');
                 self.bump();
@@ -212,13 +223,15 @@ impl<'a> Lexer<'a> {
             }
         }
         if is_float {
-            text.parse::<f64>()
-                .map(Tok::Float)
-                .map_err(|e| ParseError { pos, message: format!("bad float: {e}") })
+            text.parse::<f64>().map(Tok::Float).map_err(|e| ParseError {
+                pos,
+                message: format!("bad float: {e}"),
+            })
         } else {
-            text.parse::<i64>()
-                .map(Tok::Int)
-                .map_err(|e| ParseError { pos, message: format!("bad integer: {e}") })
+            text.parse::<i64>().map(Tok::Int).map_err(|e| ParseError {
+                pos,
+                message: format!("bad integer: {e}"),
+            })
         }
     }
 }
@@ -241,7 +254,12 @@ impl<'a> Parser<'a> {
     fn new(src: &'a str, arena: &'a mut ExprArena) -> Result<Self, ParseError> {
         let mut lexer = Lexer::new(src);
         let lookahead = lexer.next_token()?;
-        Ok(Parser { lexer, lookahead, arena, depth: 0 })
+        Ok(Parser {
+            lexer,
+            lookahead,
+            arena,
+            depth: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -263,7 +281,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { pos: self.lookahead.0, message }
+        ParseError {
+            pos: self.lookahead.0,
+            message,
+        }
     }
 
     fn enter(&mut self) -> Result<(), ParseError> {
@@ -377,9 +398,9 @@ impl<'a> Parser<'a> {
             Tok::Minus => match self.advance()? {
                 Tok::Int(v) => Ok(self.arena.int(-v)),
                 Tok::Float(v) => Ok(self.arena.float(-v)),
-                other => {
-                    Err(self.error(format!("expected a number after unary '-', found {other:?}")))
-                }
+                other => Err(self.error(format!(
+                    "expected a number after unary '-', found {other:?}"
+                ))),
             },
             Tok::Bool(b) => Ok(self.arena.lit(crate::literal::Literal::Bool(b))),
             Tok::LParen => {
@@ -608,7 +629,9 @@ mod tests {
         let (a, root) = parse_new("f (-4)");
         match a.node(root) {
             ExprNode::App(_, arg) => {
-                assert!(matches!(a.node(arg), ExprNode::Lit(l) if l == crate::literal::Literal::I64(-4)));
+                assert!(
+                    matches!(a.node(arg), ExprNode::Lit(l) if l == crate::literal::Literal::I64(-4))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn application_spacing_and_parens() {
         assert_eq!(round_trip("f (g x) y"), "f (g x) y");
-        assert_eq!(round_trip(r"foo (\x. x+7) (\y. y+7)"), r"foo (\x. x + 7) (\y. y + 7)");
+        assert_eq!(
+            round_trip(r"foo (\x. x+7) (\y. y+7)"),
+            r"foo (\x. x + 7) (\y. y + 7)"
+        );
     }
 
     #[test]

@@ -12,12 +12,21 @@ use std::collections::{HashMap, HashSet};
 
 enum Task {
     Visit(NodeId),
-    BuildLam { fresh: Symbol, undo: (Symbol, Option<Symbol>) },
+    BuildLam {
+        fresh: Symbol,
+        undo: (Symbol, Option<Symbol>),
+    },
     BuildApp,
     /// The rhs of this `Let` has been visited; bind the binder and visit
     /// the body.
-    LetBody { binder: Symbol, body: NodeId },
-    BuildLet { fresh: Symbol, undo: (Symbol, Option<Symbol>) },
+    LetBody {
+        binder: Symbol,
+        body: NodeId,
+    },
+    BuildLet {
+        fresh: Symbol,
+        undo: (Symbol, Option<Symbol>),
+    },
 }
 
 /// Copies the subtree at `root` into `dst`, renaming every binder to a
@@ -67,7 +76,10 @@ pub fn uniquify_into(src: &ExprArena, root: NodeId, dst: &mut ExprArena) -> Node
                 ExprNode::Lam(x, b) => {
                     let fresh = dst.fresh(src.name(x));
                     let old = env.insert(x, fresh);
-                    stack.push(Task::BuildLam { fresh, undo: (x, old) });
+                    stack.push(Task::BuildLam {
+                        fresh,
+                        undo: (x, old),
+                    });
                     stack.push(Task::Visit(b));
                 }
                 ExprNode::App(f, a) => {
@@ -96,7 +108,10 @@ pub fn uniquify_into(src: &ExprArena, root: NodeId, dst: &mut ExprArena) -> Node
                 // rhs has been visited in the *outer* scope; now shadow.
                 let fresh = dst.fresh(src.name(binder));
                 let old = env.insert(binder, fresh);
-                stack.push(Task::BuildLet { fresh, undo: (binder, old) });
+                stack.push(Task::BuildLet {
+                    fresh,
+                    undo: (binder, old),
+                });
                 stack.push(Task::Visit(body));
             }
             Task::BuildLet { fresh, undo } => {
@@ -174,7 +189,10 @@ mod tests {
         ] {
             let (a, r, b, u) = uniquified(src);
             assert!(alpha_eq(&a, r, &b, u), "uniquify changed class of {src}");
-            assert!(check_unique_binders(&b, u).is_ok(), "binders not unique for {src}");
+            assert!(
+                check_unique_binders(&b, u).is_ok(),
+                "binders not unique for {src}"
+            );
         }
     }
 

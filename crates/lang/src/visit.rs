@@ -159,10 +159,7 @@ pub fn preorder(arena: &ExprArena, root: NodeId) -> Vec<NodeId> {
 /// A parent map for the subtree at `root`: `parent[child] = parent_node`.
 /// The root is absent from the map. Used by the incremental engine (§6.3)
 /// to find the path from an edited node to the root.
-pub fn parent_map(
-    arena: &ExprArena,
-    root: NodeId,
-) -> std::collections::HashMap<NodeId, NodeId> {
+pub fn parent_map(arena: &ExprArena, root: NodeId) -> std::collections::HashMap<NodeId, NodeId> {
     let mut parents = std::collections::HashMap::new();
     let mut stack = vec![root];
     while let Some(n) = stack.pop() {
@@ -199,8 +196,7 @@ mod tests {
         let order = postorder(&a, root);
         assert_eq!(order.len(), 6);
         assert_eq!(*order.last().unwrap(), root);
-        let pos =
-            |n: NodeId| order.iter().position(|&m| m == n).expect("node in order");
+        let pos = |n: NodeId| order.iter().position(|&m| m == n).expect("node in order");
         assert!(pos(one) < pos(root));
         assert!(pos(lam) < pos(root));
         assert!(pos(one) < pos(lam), "let rhs before body");

@@ -80,7 +80,9 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone() }
+        PMap {
+            root: self.root.clone(),
+        }
     }
 }
 
@@ -175,7 +177,14 @@ fn insert_rec<K: Ord + Hash + Clone, V: Clone>(
 ) -> (Link<K, V>, Option<V>) {
     let Some(node) = link else {
         return (
-            Some(Rc::new(TreapNode { key, value, priority, size: 1, left: None, right: None })),
+            Some(Rc::new(TreapNode {
+                key,
+                value,
+                priority,
+                size: 1,
+                left: None,
+                right: None,
+            })),
             None,
         );
     };
@@ -412,7 +421,10 @@ mod tests {
         let m: PMap<i32, i32> = keys.iter().map(|&k| (k, k * 10)).collect();
         let collected: Vec<i32> = m.keys().copied().collect();
         assert_eq!(collected, (0..10).collect::<Vec<_>>());
-        assert_eq!(m.values().copied().sum::<i32>(), (0..10).map(|k| k * 10).sum());
+        assert_eq!(
+            m.values().copied().sum::<i32>(),
+            (0..10).map(|k| k * 10).sum()
+        );
     }
 
     #[test]

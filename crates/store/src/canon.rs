@@ -1,0 +1,179 @@
+//! Canonical representatives: turning a class's stored de Bruijn form back
+//! into a named term.
+//!
+//! The store keeps one canonical [`DbArena`] per class (the de Bruijn form
+//! of the first term that created the class — a *canonical form* because
+//! all alpha-equivalent terms share it, per the standard theorem
+//! cross-checked in `lambda_lang::debruijn`). This module rebuilds a named
+//! [`ExprArena`] term from that form, inventing fresh binder names, so
+//! callers can print, evaluate or re-ingest a representative.
+
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::debruijn::{DbArena, DbId, DbNode};
+use lambda_lang::symbol::Symbol;
+
+enum Task {
+    Visit(DbId),
+    BuildLam(Symbol),
+    LetBody(DbId),
+    BuildLet(Symbol),
+    BuildApp,
+}
+
+/// Rebuilds the de Bruijn term rooted at `root` as a named term in `dst`,
+/// with a fresh name for every binder (so the result satisfies the
+/// unique-binder invariant) and free variables interned by name.
+///
+/// Inverse of [`lambda_lang::debruijn::to_debruijn`] modulo alpha:
+/// `rebuild_named(to_debruijn(e)) ≡α e`. Iterative and stack-safe, like
+/// every traversal in this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_lang::{parse, alpha_eq, ExprArena};
+/// use lambda_lang::debruijn::to_debruijn;
+/// use alpha_store::canon::rebuild_named;
+///
+/// let mut a = ExprArena::new();
+/// let e = parse(&mut a, r"\x. \y. x + y*7")?;
+/// let (db, db_root) = to_debruijn(&a, e);
+/// let mut b = ExprArena::new();
+/// let rebuilt = rebuild_named(&db, db_root, &mut b);
+/// assert!(alpha_eq(&a, e, &b, rebuilt));
+/// # Ok::<(), lambda_lang::ParseError>(())
+/// ```
+pub fn rebuild_named(db: &DbArena, root: DbId, dst: &mut ExprArena) -> NodeId {
+    // Innermost binder is the *last* element; BVar(i) resolves to
+    // scope[len - 1 - i].
+    let mut scope: Vec<Symbol> = Vec::new();
+    let mut results: Vec<NodeId> = Vec::new();
+    let mut stack = vec![Task::Visit(root)];
+
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Visit(n) => match db.node(n) {
+                DbNode::BVar(i) => {
+                    let sym = scope[scope.len() - 1 - i as usize];
+                    results.push(dst.var(sym));
+                }
+                DbNode::FVar(s) => {
+                    let sym = dst.intern(db.name(s));
+                    results.push(dst.var(sym));
+                }
+                DbNode::Lit(l) => {
+                    results.push(dst.lit(l));
+                }
+                DbNode::Lam(body) => {
+                    let binder = dst.fresh("r");
+                    scope.push(binder);
+                    stack.push(Task::BuildLam(binder));
+                    stack.push(Task::Visit(body));
+                }
+                DbNode::App(f, a) => {
+                    stack.push(Task::BuildApp);
+                    stack.push(Task::Visit(a));
+                    stack.push(Task::Visit(f));
+                }
+                DbNode::Let(rhs, body) => {
+                    // The rhs is outside the binder's scope; bind only for
+                    // the body, mirroring `to_debruijn`.
+                    stack.push(Task::LetBody(body));
+                    stack.push(Task::Visit(rhs));
+                }
+            },
+            Task::BuildLam(binder) => {
+                scope.pop();
+                let body = results.pop().expect("lam body");
+                results.push(dst.lam(binder, body));
+            }
+            Task::LetBody(body) => {
+                let binder = dst.fresh("r");
+                scope.push(binder);
+                stack.push(Task::BuildLet(binder));
+                stack.push(Task::Visit(body));
+            }
+            Task::BuildLet(binder) => {
+                scope.pop();
+                let body = results.pop().expect("let body");
+                let rhs = results.pop().expect("let rhs");
+                results.push(dst.let_(binder, rhs, body));
+            }
+            Task::BuildApp => {
+                let arg = results.pop().expect("app arg");
+                let func = results.pop().expect("app func");
+                results.push(dst.app(func, arg));
+            }
+        }
+    }
+
+    let out = results.pop().expect("rebuild produced a root");
+    debug_assert!(results.is_empty());
+    debug_assert!(scope.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::alpha::alpha_eq;
+    use lambda_lang::debruijn::to_debruijn;
+    use lambda_lang::parse::parse;
+    use lambda_lang::uniquify::check_unique_binders;
+
+    fn roundtrips(src: &str) {
+        let mut a = ExprArena::new();
+        let e = parse(&mut a, src).unwrap();
+        let (db, db_root) = to_debruijn(&a, e);
+        let mut b = ExprArena::new();
+        let rebuilt = rebuild_named(&db, db_root, &mut b);
+        assert!(alpha_eq(&a, e, &b, rebuilt), "not alpha-equal for {src}");
+        assert!(
+            check_unique_binders(&b, rebuilt).is_ok(),
+            "duplicate binders for {src}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_on_paper_examples() {
+        for src in [
+            r"\x. x + 7",
+            r"\x. \y. x + y*7",
+            r"foo (\x. x+7) (\y. y+7)",
+            "let bar = x+1 in bar*y",
+            r"\t. foo (\x. x + t) (\y. \x. x + t)",
+            "let x = x in x", // rhs x is free, body x is bound
+            r"\x. \x. x",     // shadowing
+            "(a + (v+7)) * (v+7)",
+        ] {
+            roundtrips(src);
+        }
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost() {
+        let mut a = ExprArena::new();
+        let e = parse(&mut a, r"\x. \x. x").unwrap();
+        let (db, db_root) = to_debruijn(&a, e);
+        let mut b = ExprArena::new();
+        let rebuilt = rebuild_named(&db, db_root, &mut b);
+        // The rebuilt body variable must refer to the inner binder.
+        let mut c = ExprArena::new();
+        let expected = parse(&mut c, r"\p. \q. q").unwrap();
+        assert!(alpha_eq(&b, rebuilt, &c, expected));
+    }
+
+    #[test]
+    fn deep_rebuild_is_stack_safe() {
+        let mut a = ExprArena::new();
+        let x = a.intern("x");
+        let mut e = a.var(x);
+        for _ in 0..120_000 {
+            e = a.lam(x, e);
+        }
+        let (db, db_root) = to_debruijn(&a, e);
+        let mut b = ExprArena::new();
+        let rebuilt = rebuild_named(&db, db_root, &mut b);
+        assert_eq!(b.subtree_size(rebuilt), 120_001);
+    }
+}

@@ -1,0 +1,216 @@
+//! Corpus-level analytics and rewriting over a store-deduplicated set of
+//! terms.
+//!
+//! Where [`crate::store`] answers "which of these terms are the same
+//! modulo alpha?", this module answers two follow-up questions about a
+//! whole corpus:
+//!
+//! * how much memory would the corpus need as a **shared DAG** with one
+//!   node per alpha-equivalence class of subexpressions
+//!   ([`corpus_shared_dag_size`], reusing
+//!   [`alpha_hash::equiv::shared_dag_size`]), and
+//! * what does the corpus look like after **cross-term CSE**, where a
+//!   subexpression occurring in several different terms is bound once in
+//!   a shared preamble ([`store_backed_cse`], built on
+//!   [`alpha_hash::cse::cse_forest`]).
+
+use crate::store::{AlphaStore, InsertOutcome};
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_hash::cse::{combine_corpus, cse_forest, CseConfig, ForestCse};
+use alpha_hash::equiv::shared_dag_size;
+use alpha_hash::hashed::hash_all_subexpressions;
+use lambda_lang::arena::{ExprArena, NodeId};
+
+/// Size of the whole corpus stored as a DAG with **one node per
+/// alpha-equivalence class of subexpressions**, sharing across term
+/// boundaries.
+///
+/// This is the cross-term generalisation of
+/// [`alpha_hash::equiv::shared_dag_size`] (which it reuses): a
+/// subexpression occurring in seventeen different terms — under any
+/// binder names — is counted once. Comparing the result with the plain
+/// node count of the corpus measures how much structure sharing modulo
+/// alpha would save, the paper's §2 motivation.
+///
+/// Returns 0 for an empty corpus.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_hash::combine::HashScheme;
+/// use alpha_store::corpus_shared_dag_size;
+/// use lambda_lang::{parse, ExprArena};
+///
+/// let mut arena = ExprArena::new();
+/// let t1 = parse(&mut arena, r"\x. x + 7").unwrap();
+/// let t2 = parse(&mut arena, r"\y. y + 7").unwrap();
+/// let scheme: HashScheme<u64> = HashScheme::default();
+/// // Alpha-equivalent terms share every node: the DAG is one term's size.
+/// assert_eq!(
+///     corpus_shared_dag_size(&arena, &[t1, t2], &scheme),
+///     arena.subtree_size(t1),
+/// );
+/// ```
+pub fn corpus_shared_dag_size<H: HashWord>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    scheme: &HashScheme<H>,
+) -> usize {
+    if roots.is_empty() {
+        return 0;
+    }
+    // combine_corpus uniquifies as it copies (the hashing algorithms
+    // require globally distinct binders, §2.2).
+    let (combined, spine, overhead) = combine_corpus(arena, roots);
+    let hashes = hash_all_subexpressions(&combined, spine, scheme);
+    let dag = shared_dag_size(&combined, spine, &hashes);
+    // The synthetic spine nodes are all distinct classes (each contains
+    // the fresh head variable, which no input term can contain, and their
+    // sizes strictly increase), so they contribute exactly `overhead`.
+    dag - overhead
+}
+
+/// Result of [`store_backed_cse`].
+#[derive(Debug)]
+pub struct StoreBackedCse {
+    /// Per input term, what the store did with it (input order).
+    pub outcomes: Vec<InsertOutcome>,
+    /// Indexes (into the input) of the terms that created a class — the
+    /// representatives that went into CSE.
+    pub unique_indices: Vec<usize>,
+    /// Whole-term duplicates dropped before CSE ran.
+    pub duplicates_dropped: usize,
+    /// Cross-term CSE over the unique representatives. `forest.roots[k]`
+    /// is the rewritten form of input term `unique_indices[k]`.
+    pub forest: ForestCse,
+}
+
+/// Store-backed, cross-corpus common-subexpression elimination.
+///
+/// The per-program CSE of [`alpha_hash::cse`] deduplicates *within* one
+/// term. This variant deduplicates *across* a corpus, in two stages:
+///
+/// 1. **Whole-term dedup** — every term is ingested into `store`;
+///    alpha-duplicate terms merge into existing classes and drop out.
+/// 2. **Cross-term CSE** — the surviving representatives run through
+///    [`cse_forest`], so a subexpression shared by different terms is
+///    hoisted into a single `let` in a common preamble.
+///
+/// The `store` is a live accumulator: calling this repeatedly with new
+/// corpus slices keeps deduplicating against everything ingested before.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_store::{store_backed_cse, AlphaStore};
+/// use alpha_hash::cse::CseConfig;
+/// use lambda_lang::{parse, ExprArena};
+///
+/// let store: AlphaStore<u64> = AlphaStore::default();
+/// let mut arena = ExprArena::new();
+/// let corpus = [
+///     parse(&mut arena, r"(v+7) * (v+7)").unwrap(),
+///     parse(&mut arena, r"(w+7) * (w+7)").unwrap(), // different free var!
+///     parse(&mut arena, r"(v+7) * (v+7)").unwrap(), // duplicate of [0]
+///     parse(&mut arena, r"foo (v+7)").unwrap(),
+/// ];
+/// let result = store_backed_cse(&store, &arena, &corpus, CseConfig::default());
+/// assert_eq!(result.duplicates_dropped, 1); // corpus[2]
+/// assert_eq!(result.unique_indices, vec![0, 1, 3]);
+/// // v+7 is shared across corpus[0] and corpus[3].
+/// assert!(!result.forest.shared.is_empty());
+/// ```
+pub fn store_backed_cse<H: HashWord>(
+    store: &AlphaStore<H>,
+    arena: &ExprArena,
+    roots: &[NodeId],
+    config: CseConfig,
+) -> StoreBackedCse {
+    let outcomes = store.insert_batch(arena, roots);
+    let unique_indices: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.fresh)
+        .map(|(i, _)| i)
+        .collect();
+    let unique_roots: Vec<NodeId> = unique_indices.iter().map(|&i| roots[i]).collect();
+    let forest = cse_forest(arena, &unique_roots, store.scheme(), config);
+    StoreBackedCse {
+        duplicates_dropped: roots.len() - unique_indices.len(),
+        outcomes,
+        unique_indices,
+        forest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::eval::eval;
+    use lambda_lang::parse::parse;
+
+    #[test]
+    fn dag_size_counts_cross_term_sharing_once() {
+        let mut arena = ExprArena::new();
+        // Three terms all containing v+7 (5 nodes: add, v, 7 leaves plus
+        // two apps); the DAG shares one copy.
+        let t1 = parse(&mut arena, "(v+7) * 2").unwrap();
+        let t2 = parse(&mut arena, "(v+7) * 3").unwrap();
+        let scheme: HashScheme<u64> = HashScheme::new(1);
+        let dag = corpus_shared_dag_size(&arena, &[t1, t2], &scheme);
+        let trees: usize = arena.subtree_size(t1) + arena.subtree_size(t2);
+        assert!(dag < trees, "no sharing detected: dag={dag} trees={trees}");
+        // Identical corpora collapse completely.
+        let same = corpus_shared_dag_size(&arena, &[t1, t1, t1], &scheme);
+        assert_eq!(same, corpus_shared_dag_size(&arena, &[t1], &scheme));
+    }
+
+    #[test]
+    fn empty_corpus_is_size_zero() {
+        let arena = ExprArena::new();
+        let scheme: HashScheme<u64> = HashScheme::new(1);
+        assert_eq!(corpus_shared_dag_size(&arena, &[], &scheme), 0);
+    }
+
+    #[test]
+    fn store_backed_cse_drops_duplicates_and_shares() {
+        let store: AlphaStore<u64> = AlphaStore::default();
+        let mut arena = ExprArena::new();
+        let corpus = [
+            parse(&mut arena, "let q = 3 in (q + (q+7)) * (q+7)").unwrap(),
+            parse(&mut arena, "let z = 3 in (z + (z+7)) * (z+7)").unwrap(),
+            parse(&mut arena, "let a = 4 in a * a").unwrap(),
+        ];
+        let result = store_backed_cse(&store, &arena, &corpus, CseConfig::default());
+        assert_eq!(result.duplicates_dropped, 1);
+        assert_eq!(result.unique_indices, vec![0, 2]);
+        assert_eq!(result.forest.roots.len(), 2);
+
+        // Semantics preserved: each instantiated term evaluates as before.
+        for (k, &i) in result.unique_indices.iter().enumerate() {
+            let before = eval(&arena, corpus[i]).expect("closed input evaluates");
+            let mut dst = ExprArena::new();
+            let inst = result.forest.instantiate_into(k, &mut dst);
+            let after = eval(&dst, inst).expect("instantiated output evaluates");
+            assert!(before.observably_eq(&after), "term {i} changed meaning");
+        }
+    }
+
+    #[test]
+    fn repeated_calls_accumulate_in_the_store() {
+        let store: AlphaStore<u64> = AlphaStore::default();
+        let mut arena = ExprArena::new();
+        let t1 = parse(&mut arena, r"\x. x + 1").unwrap();
+        let first = store_backed_cse(&store, &arena, &[t1], CseConfig::default());
+        assert_eq!(first.duplicates_dropped, 0);
+
+        // The same term (alpha-renamed) in a later slice is a duplicate of
+        // the *store*, not just of its own slice.
+        let t2 = parse(&mut arena, r"\y. y + 1").unwrap();
+        let second = store_backed_cse(&store, &arena, &[t2], CseConfig::default());
+        assert_eq!(second.duplicates_dropped, 1);
+        assert!(second.unique_indices.is_empty());
+        assert_eq!(store.num_terms(), 2);
+        assert_eq!(store.num_classes(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # alpha-store
+//!
+//! A **sharded, concurrent, content-addressed store of alpha-equivalence
+//! classes**, built on the hashing-modulo-alpha algorithm of Maziarz,
+//! Ellis, Lawrence, Fitzgibbon and Peyton Jones (PLDI 2021).
+//!
+//! The library crates of this workspace compute per-expression hashes such
+//! that alpha-equivalent terms collide. This crate turns that per-call
+//! capability into a long-lived *subsystem*: an [`AlphaStore`] ingests
+//! streams of terms — singly or in batches, from one thread or many — and
+//! deduplicates them **modulo alpha**, the way hash-consing engines and
+//! Merkle-DAG stores deduplicate by content address.
+//!
+//! ## Design
+//!
+//! * **Content addressing.** Each term is hashed with the workspace's
+//!   [`HashScheme`](alpha_hash::combine::HashScheme); the hash routes the
+//!   term to one of N lock-striped shards, so concurrent ingest contends
+//!   only on terms that hash to the same stripe.
+//! * **Exact, not probabilistic.** A hash match alone never merges two
+//!   terms. On a candidate match the store compares canonical de Bruijn
+//!   forms ([`lambda_lang::debruijn`]) and only merges on true
+//!   alpha-equivalence; genuine hash collisions are kept as separate
+//!   classes and counted in [`StoreStats::hash_collisions`]. Every merge
+//!   is confirmed, so [`StoreStats::unconfirmed_merges`] is always zero.
+//! * **Canonical representatives.** Each class stores its canonical
+//!   (de Bruijn) form. [`AlphaStore::representative_into`] rebuilds a
+//!   named representative with fresh binders, and
+//!   [`AlphaStore::canonical_text`] renders the paper's `\. %0` notation.
+//! * **Corpus analytics.** [`corpus::corpus_shared_dag_size`] measures the
+//!   memory a class-per-node DAG of the whole corpus would need (reusing
+//!   [`alpha_hash::equiv::shared_dag_size`]), and
+//!   [`corpus::store_backed_cse`] runs cross-term common-subexpression
+//!   elimination over the deduplicated corpus.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use alpha_store::AlphaStore;
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: AlphaStore<u64> = AlphaStore::default();
+//! let mut arena = ExprArena::new();
+//! let a = parse(&mut arena, r"\x. x + 1")?;
+//! let b = parse(&mut arena, r"\y. y + 1")?;
+//! let first = store.insert(&arena, a);
+//! let second = store.insert(&arena, b); // alpha-equivalent: same class
+//! assert_eq!(first.class, second.class);
+//! assert!(first.fresh && !second.fresh);
+//! assert_eq!(store.num_classes(), 1);
+//! assert_eq!(store.num_terms(), 2);
+//! # Ok::<(), lambda_lang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canon;
+pub mod corpus;
+pub mod stats;
+pub mod store;
+
+pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
+pub use stats::StoreStats;
+pub use store::{AlphaStore, ClassId, InsertOutcome, TermId};

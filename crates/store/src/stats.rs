@@ -1,0 +1,79 @@
+//! Ingest statistics: what the store did, and proof that it stayed exact.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of store activity, from
+/// [`AlphaStore::stats`](crate::AlphaStore::stats).
+///
+/// The invariant worth auditing in production is
+/// `unconfirmed_merges == 0`: every merge of a term into an existing class
+/// was confirmed by a canonical-form comparison, never taken on the hash
+/// alone, so the store is exact even in the (cryptographically unlikely,
+/// paper Theorem 6.8) event of hash collisions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Terms ingested (insert calls, batched or not).
+    pub terms_ingested: u64,
+    /// Classes created (first member of a new equivalence class).
+    pub classes_created: u64,
+    /// Terms merged into an existing class after the canonical de Bruijn
+    /// comparison confirmed true alpha-equivalence.
+    pub merges_confirmed: u64,
+    /// Inserts whose hash matched one or more existing classes that turned
+    /// out **not** to be alpha-equivalent — true hash collisions, kept as
+    /// separate classes.
+    pub hash_collisions: u64,
+    /// Merges taken on hash equality without confirmation. The store never
+    /// does this; the counter exists so auditing code can assert it.
+    pub unconfirmed_merges: u64,
+}
+
+impl StoreStats {
+    /// Whether the partition is trustworthy as *exact* alpha-equivalence:
+    /// no merge was ever taken unconfirmed.
+    pub fn is_exact(&self) -> bool {
+        self.unconfirmed_merges == 0
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} terms -> {} classes ({} confirmed merges, {} hash collisions, {} unconfirmed)",
+            self.terms_ingested,
+            self.classes_created,
+            self.merges_confirmed,
+            self.hash_collisions,
+            self.unconfirmed_merges,
+        )
+    }
+}
+
+/// Lock-free counters behind [`StoreStats`]. Relaxed ordering suffices:
+/// the counters are monotone and only read as a snapshot.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub(crate) terms_ingested: AtomicU64,
+    pub(crate) classes_created: AtomicU64,
+    pub(crate) merges_confirmed: AtomicU64,
+    pub(crate) hash_collisions: AtomicU64,
+    pub(crate) unconfirmed_merges: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            terms_ingested: self.terms_ingested.load(Ordering::Relaxed),
+            classes_created: self.classes_created.load(Ordering::Relaxed),
+            merges_confirmed: self.merges_confirmed.load(Ordering::Relaxed),
+            hash_collisions: self.hash_collisions.load(Ordering::Relaxed),
+            unconfirmed_merges: self.unconfirmed_merges.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! The [`AlphaStore`]: sharded, concurrent, content-addressed storage of
+//! alpha-equivalence classes.
+//!
+//! ## Concurrency model
+//!
+//! The store is lock-striped: the term's alpha-hash selects one of N
+//! shards (N a power of two, fixed at construction), and each shard is an
+//! independent `RwLock`-protected map from hash to classes. Ingesting
+//! threads therefore contend only when their terms land on the same
+//! stripe. All expensive work — hashing the term, converting it to
+//! canonical de Bruijn form — happens *outside* the lock; the critical
+//! section is a bucket probe plus (on a candidate match) a linear
+//! canonical-form comparison.
+//!
+//! ## Exactness
+//!
+//! Content-addressed stores are usually probabilistic: equal address ⇒
+//! assumed equal content. This store is exact. A hash match only nominates
+//! a candidate class; the merge happens after [`db_eq`] confirms true
+//! alpha-equivalence of canonical forms. Colliding-but-inequivalent terms
+//! coexist in the same bucket as distinct classes, and the collision is
+//! counted in [`StoreStats::hash_collisions`].
+
+use crate::canon::rebuild_named;
+use crate::stats::{StatCounters, StoreStats};
+use alpha_hash::combine::{mix64, HashScheme, HashWord};
+use alpha_hash::hashed::hash_expr;
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::debruijn::{db_eq, db_print, to_debruijn, DbArena, DbId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::RwLock;
+
+/// Shared `Debug` shape for the two handle types: `c3.17` = shard 3,
+/// index 17.
+macro_rules! fmt_id {
+    ($prefix:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, concat!($prefix, "{}.{}"), self.shard, self.index)
+        }
+    };
+}
+
+/// Handle to an equivalence class inside one [`AlphaStore`].
+///
+/// Handles are only meaningful relative to the store that issued them;
+/// they are stable for the lifetime of the store (classes are never
+/// removed or renumbered).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId {
+    shard: u16,
+    index: u32,
+}
+
+impl ClassId {
+    /// Packs the handle into a single word (shard in the high bits), for
+    /// use as a compact foreign key.
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.shard) << 32) | u64::from(self.index)
+    }
+
+    /// Inverse of [`ClassId::to_bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        ClassId {
+            shard: (bits >> 32) as u16,
+            index: bits as u32,
+        }
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fmt_id!("c");
+}
+
+/// Handle to one ingested term inside one [`AlphaStore`].
+///
+/// Every successful [`AlphaStore::insert`] issues a fresh `TermId`, even
+/// when the term merges into an existing class; [`AlphaStore::class_of`]
+/// maps it back to its class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId {
+    shard: u16,
+    index: u32,
+}
+
+impl fmt::Debug for TermId {
+    fmt_id!("t");
+}
+
+/// What one insert did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Handle for the ingested term.
+    pub term: TermId,
+    /// The class the term belongs to.
+    pub class: ClassId,
+    /// `true` iff this insert created the class (first member).
+    pub fresh: bool,
+}
+
+/// One stored equivalence class: the canonical de Bruijn form of its
+/// members plus bookkeeping.
+struct StoredClass<H> {
+    hash: H,
+    canon: DbArena,
+    canon_root: DbId,
+    node_count: usize,
+    members: u64,
+}
+
+/// One lock stripe: hash-addressed classes plus the shard-local term log.
+struct Shard<H> {
+    /// Hash → indexes into `classes`. Almost always a single entry; more
+    /// only under a true hash collision.
+    buckets: HashMap<H, Vec<u32>>,
+    classes: Vec<StoredClass<H>>,
+    /// Term-local index → class index.
+    terms: Vec<u32>,
+}
+
+impl<H: HashWord> Shard<H> {
+    fn new() -> Self {
+        Shard {
+            buckets: HashMap::new(),
+            classes: Vec::new(),
+            terms: Vec::new(),
+        }
+    }
+
+    /// Inserts a prepared term, returning (class index, fresh, collided).
+    /// `collided` is true whenever this insert's hash matched at least one
+    /// class that turned out not to be alpha-equivalent — on the merge
+    /// path as well as on class creation — matching the definition of
+    /// [`StoreStats::hash_collisions`].
+    fn insert_prepared(&mut self, p: Prepared<H>) -> (u32, bool, bool) {
+        let bucket = self.buckets.entry(p.hash).or_default();
+        let mut mismatched = false;
+        for &ci in bucket.iter() {
+            let class = &self.classes[ci as usize];
+            if db_eq(&class.canon, class.canon_root, &p.canon, p.canon_root) {
+                self.classes[ci as usize].members += 1;
+                return (ci, false, mismatched);
+            }
+            mismatched = true;
+        }
+        let collided = !bucket.is_empty();
+        let ci = u32::try_from(self.classes.len()).expect("shard class overflow");
+        bucket.push(ci);
+        self.classes.push(StoredClass {
+            hash: p.hash,
+            node_count: p.canon.len(),
+            canon: p.canon,
+            canon_root: p.canon_root,
+            members: 1,
+        });
+        (ci, true, collided)
+    }
+
+    fn find(&self, p: &Prepared<H>) -> Option<u32> {
+        self.buckets.get(&p.hash)?.iter().copied().find(|&ci| {
+            let class = &self.classes[ci as usize];
+            db_eq(&class.canon, class.canon_root, &p.canon, p.canon_root)
+        })
+    }
+}
+
+/// The per-term work done outside any lock: hash plus canonical form.
+struct Prepared<H> {
+    hash: H,
+    shard: usize,
+    canon: DbArena,
+    canon_root: DbId,
+}
+
+/// A sharded, concurrent, content-addressed store of alpha-equivalence
+/// classes. See the [module docs](self) for the design.
+///
+/// The store is `Sync`: share it by reference (or `Arc`) and ingest from
+/// many threads concurrently.
+///
+/// ```
+/// use alpha_store::AlphaStore;
+/// use lambda_lang::{parse, ExprArena};
+///
+/// let store: AlphaStore<u64> = AlphaStore::default();
+/// let mut arena = ExprArena::new();
+/// let roots = [
+///     parse(&mut arena, r"\x. x + 1").unwrap(),
+///     parse(&mut arena, r"\y. y + 1").unwrap(),
+///     parse(&mut arena, r"\z. z + 2").unwrap(),
+/// ];
+/// std::thread::scope(|scope| {
+///     for chunk in roots.chunks(2) {
+///         scope.spawn(|| store.insert_batch(&arena, chunk));
+///     }
+/// });
+/// assert_eq!(store.num_terms(), 3);
+/// assert_eq!(store.num_classes(), 2); // the two x+1 lambdas merged
+/// assert!(store.stats().is_exact());
+/// ```
+pub struct AlphaStore<H: HashWord = u64> {
+    scheme: HashScheme<H>,
+    shards: Box<[RwLock<Shard<H>>]>,
+    mask: usize,
+    counters: StatCounters,
+}
+
+impl<H: HashWord> Default for AlphaStore<H> {
+    /// A store with the default [`HashScheme`] and [default shard
+    /// count](AlphaStore::DEFAULT_SHARDS).
+    fn default() -> Self {
+        AlphaStore::new(HashScheme::default())
+    }
+}
+
+impl<H: HashWord> AlphaStore<H> {
+    /// Shard count used by [`AlphaStore::new`]: enough stripes that 8–16
+    /// ingest threads rarely contend, cheap enough to be negligible for
+    /// single-threaded use.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A store hashing with `scheme`, with the default shard count.
+    pub fn new(scheme: HashScheme<H>) -> Self {
+        Self::with_shards(scheme, Self::DEFAULT_SHARDS)
+    }
+
+    /// A store with an explicit shard count. The count is rounded up to a
+    /// power of two and clamped to `1..=65536`.
+    pub fn with_shards(scheme: HashScheme<H>, shards: usize) -> Self {
+        let count = shards.clamp(1, 1 << 16).next_power_of_two();
+        let shards: Box<[RwLock<Shard<H>>]> =
+            (0..count).map(|_| RwLock::new(Shard::new())).collect();
+        AlphaStore {
+            scheme,
+            shards,
+            mask: count - 1,
+            counters: StatCounters::default(),
+        }
+    }
+
+    /// The hash scheme terms are addressed with.
+    pub fn scheme(&self) -> &HashScheme<H> {
+        &self.scheme
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes a hash to its shard. Re-mixed so that shard choice is not
+    /// correlated with the low bits used by the buckets' `HashMap`.
+    fn shard_of(&self, hash: H) -> usize {
+        let (lo, hi) = hash.to_lanes();
+        (mix64(lo ^ hi.rotate_left(32)) as usize) & self.mask
+    }
+
+    /// Hashing and canonicalization, done outside any lock.
+    fn prepare(&self, arena: &ExprArena, root: NodeId) -> Prepared<H> {
+        let hash = hash_expr(arena, root, &self.scheme);
+        let (canon, canon_root) = to_debruijn(arena, root);
+        Prepared {
+            hash,
+            shard: self.shard_of(hash),
+            canon,
+            canon_root,
+        }
+    }
+
+    /// Ingests one term: routes it by content address, confirms any
+    /// candidate merge by canonical-form comparison, and either joins an
+    /// existing class or creates a new one.
+    ///
+    /// ```
+    /// use alpha_store::AlphaStore;
+    /// use lambda_lang::{parse, ExprArena};
+    ///
+    /// let store: AlphaStore<u64> = AlphaStore::default();
+    /// let mut arena = ExprArena::new();
+    /// let t = parse(&mut arena, "let w = v+7 in w*w").unwrap();
+    /// let outcome = store.insert(&arena, t);
+    /// assert!(outcome.fresh);
+    /// assert_eq!(store.class_of(outcome.term), outcome.class);
+    /// ```
+    pub fn insert(&self, arena: &ExprArena, root: NodeId) -> InsertOutcome {
+        let prepared = self.prepare(arena, root);
+        let mut shard = self.shards[prepared.shard]
+            .write()
+            .expect("shard lock poisoned");
+        self.finish_insert(&mut shard, prepared)
+    }
+
+    /// Ingests a batch of terms, taking each shard lock at most once.
+    ///
+    /// Outcomes are returned in input order. Equivalent to calling
+    /// [`AlphaStore::insert`] per term, but with per-term lock traffic
+    /// amortised — the natural entry point for high-throughput ingest.
+    pub fn insert_batch(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
+        // All hashing/canonicalization first, outside any lock…
+        let prepared: Vec<Prepared<H>> = roots.iter().map(|&r| self.prepare(arena, r)).collect();
+
+        // …then group by shard and drain shard by shard, one lock each.
+        let mut by_shard: HashMap<usize, Vec<(usize, Prepared<H>)>> = HashMap::new();
+        for (i, p) in prepared.into_iter().enumerate() {
+            by_shard.entry(p.shard).or_default().push((i, p));
+        }
+
+        let mut outcomes: Vec<Option<InsertOutcome>> = vec![None; roots.len()];
+        for (shard_index, items) in by_shard {
+            let mut shard = self.shards[shard_index]
+                .write()
+                .expect("shard lock poisoned");
+            for (i, p) in items {
+                outcomes[i] = Some(self.finish_insert(&mut shard, p));
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every term processed"))
+            .collect()
+    }
+
+    /// The critical section of an insert (shard lock already held).
+    fn finish_insert(&self, shard: &mut Shard<H>, prepared: Prepared<H>) -> InsertOutcome {
+        StatCounters::bump(&self.counters.terms_ingested);
+        let shard_u16 = u16::try_from(prepared.shard).expect("shard count fits u16");
+        let (class_index, fresh, collided) = shard.insert_prepared(prepared);
+        if fresh {
+            StatCounters::bump(&self.counters.classes_created);
+        } else {
+            StatCounters::bump(&self.counters.merges_confirmed);
+        }
+        if collided {
+            StatCounters::bump(&self.counters.hash_collisions);
+        }
+        let term_index = u32::try_from(shard.terms.len()).expect("shard term overflow");
+        shard.terms.push(class_index);
+        InsertOutcome {
+            term: TermId {
+                shard: shard_u16,
+                index: term_index,
+            },
+            class: ClassId {
+                shard: shard_u16,
+                index: class_index,
+            },
+            fresh,
+        }
+    }
+
+    /// Finds the class of a term **without** ingesting it.
+    pub fn lookup(&self, arena: &ExprArena, root: NodeId) -> Option<ClassId> {
+        let prepared = self.prepare(arena, root);
+        let shard = self.shards[prepared.shard]
+            .read()
+            .expect("shard lock poisoned");
+        shard.find(&prepared).map(|index| ClassId {
+            shard: u16::try_from(prepared.shard).expect("shard count fits u16"),
+            index,
+        })
+    }
+
+    /// The class a previously ingested term belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `term` was not issued by this store.
+    pub fn class_of(&self, term: TermId) -> ClassId {
+        let shard = self.shards[term.shard as usize]
+            .read()
+            .expect("shard lock poisoned");
+        ClassId {
+            shard: term.shard,
+            index: shard.terms[term.index as usize],
+        }
+    }
+
+    /// Number of distinct alpha-equivalence classes stored.
+    pub fn num_classes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").classes.len())
+            .sum()
+    }
+
+    /// Number of terms ingested (every insert counts, merged or fresh).
+    pub fn num_terms(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").terms.len())
+            .sum()
+    }
+
+    /// Whether no term has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.num_terms() == 0
+    }
+
+    /// Snapshot of every class handle, ordered by shard then creation.
+    ///
+    /// The snapshot is taken shard by shard: classes created concurrently
+    /// with the call may or may not appear, but every handle returned is
+    /// valid forever.
+    pub fn classes(&self) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        for (si, stripe) in self.shards.iter().enumerate() {
+            let shard = stripe.read().expect("shard lock poisoned");
+            let si = u16::try_from(si).expect("shard count fits u16");
+            out.extend((0..shard.classes.len() as u32).map(|index| ClassId { shard: si, index }));
+        }
+        out
+    }
+
+    /// How many ingested terms belong to `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not issued by this store.
+    pub fn members(&self, class: ClassId) -> u64 {
+        self.with_class(class, |c| c.members)
+    }
+
+    /// Node count of the class's canonical form (the size every member
+    /// shares, alpha-equivalent terms being equisized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not issued by this store.
+    pub fn node_count(&self, class: ClassId) -> usize {
+        self.with_class(class, |c| c.node_count)
+    }
+
+    /// The content address (alpha-hash) of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not issued by this store.
+    pub fn hash_of(&self, class: ClassId) -> H {
+        self.with_class(class, |c| c.hash)
+    }
+
+    /// The class's canonical form in the paper's de Bruijn notation
+    /// (`\. %0`, free variables by name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not issued by this store.
+    pub fn canonical_text(&self, class: ClassId) -> String {
+        self.with_class(class, |c| db_print(&c.canon, c.canon_root))
+    }
+
+    /// Rebuilds a named representative of `class` into `dst` (fresh binder
+    /// names, unique-binder invariant holds) and returns its root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not issued by this store.
+    pub fn representative_into(&self, class: ClassId, dst: &mut ExprArena) -> NodeId {
+        self.with_class(class, |c| rebuild_named(&c.canon, c.canon_root, dst))
+    }
+
+    /// Shared-DAG size of a corpus under this store's hash scheme; see
+    /// [`crate::corpus::corpus_shared_dag_size`].
+    pub fn shared_dag_size(&self, arena: &ExprArena, roots: &[NodeId]) -> usize {
+        crate::corpus::corpus_shared_dag_size(arena, roots, &self.scheme)
+    }
+
+    /// Snapshot of the ingest statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+
+    fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {
+        let shard = self.shards[class.shard as usize]
+            .read()
+            .expect("shard lock poisoned");
+        f(&shard.classes[class.index as usize])
+    }
+}
+
+// The whole point of the sharded design: the store is shareable across
+// ingest threads. Fails to compile if a non-Sync type sneaks in.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AlphaStore<u64>>();
+    assert_send_sync::<AlphaStore<u128>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::parse::parse;
+
+    fn store() -> AlphaStore<u64> {
+        AlphaStore::with_shards(HashScheme::new(0xA1FA), 8)
+    }
+
+    #[test]
+    fn insert_is_idempotent_modulo_alpha() {
+        let store = store();
+        let mut arena = ExprArena::new();
+        let a = parse(&mut arena, r"\x. x + 1").unwrap();
+        let b = parse(&mut arena, r"\y. y + 1").unwrap();
+        let first = store.insert(&arena, a);
+        let second = store.insert(&arena, b);
+        assert!(first.fresh);
+        assert!(!second.fresh);
+        assert_eq!(first.class, second.class);
+        assert_ne!(first.term, second.term);
+        assert_eq!(store.num_classes(), 1);
+        assert_eq!(store.num_terms(), 2);
+        assert_eq!(store.members(first.class), 2);
+        let stats = store.stats();
+        assert_eq!(stats.merges_confirmed, 1);
+        assert_eq!(stats.classes_created, 1);
+        assert!(stats.is_exact());
+    }
+
+    #[test]
+    fn inequivalent_terms_get_distinct_classes() {
+        let store = store();
+        let mut arena = ExprArena::new();
+        let terms = [
+            parse(&mut arena, r"\x. x").unwrap(),
+            parse(&mut arena, r"\x. x x").unwrap(),
+            parse(&mut arena, r"\x. x + y").unwrap(),
+            parse(&mut arena, r"\x. x + z").unwrap(), // free var differs
+        ];
+        let classes: Vec<ClassId> = terms
+            .iter()
+            .map(|&t| store.insert(&arena, t).class)
+            .collect();
+        for i in 0..classes.len() {
+            for j in 0..i {
+                assert_ne!(classes[i], classes[j], "terms {i} and {j} merged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles_and_preserves_order() {
+        let mut arena = ExprArena::new();
+        let roots: Vec<NodeId> = [r"\a. a", r"\b. b", "v + 7", r"\c. c + (v+7)"]
+            .iter()
+            .map(|s| parse(&mut arena, s).unwrap())
+            .collect();
+
+        let singles = store();
+        let one_by_one: Vec<ClassId> = roots
+            .iter()
+            .map(|&r| singles.insert(&arena, r).class)
+            .collect();
+
+        let batched = store();
+        let batch = batched.insert_batch(&arena, &roots);
+        assert_eq!(batch.len(), roots.len());
+        // Same partition: term i and j share a class in one store iff they
+        // do in the other.
+        for i in 0..roots.len() {
+            for j in 0..roots.len() {
+                assert_eq!(
+                    one_by_one[i] == one_by_one[j],
+                    batch[i].class == batch[j].class,
+                );
+            }
+        }
+        assert!(batch[0].fresh && !batch[1].fresh);
+    }
+
+    #[test]
+    fn lookup_does_not_ingest() {
+        let store = store();
+        let mut arena = ExprArena::new();
+        let t = parse(&mut arena, r"\x. x * x").unwrap();
+        assert_eq!(store.lookup(&arena, t), None);
+        let inserted = store.insert(&arena, t);
+        let alpha = parse(&mut arena, r"\q. q * q").unwrap();
+        assert_eq!(store.lookup(&arena, alpha), Some(inserted.class));
+        assert_eq!(store.num_terms(), 1);
+    }
+
+    #[test]
+    fn representative_is_alpha_equivalent_to_members() {
+        let store = store();
+        let mut arena = ExprArena::new();
+        let t = parse(&mut arena, r"\x. \y. x + y*7").unwrap();
+        let outcome = store.insert(&arena, t);
+        let mut dst = ExprArena::new();
+        let rep = store.representative_into(outcome.class, &mut dst);
+        assert!(lambda_lang::alpha_eq(&arena, t, &dst, rep));
+        assert_eq!(store.node_count(outcome.class), arena.subtree_size(t));
+        assert_eq!(
+            store.canonical_text(outcome.class),
+            r"\. \. add %1 (mul %0 7)"
+        );
+    }
+
+    #[test]
+    fn narrow_hashes_surface_collisions_without_merging() {
+        // At b = 16 random inequivalent terms collide readily (the
+        // Appendix B study); the store must keep them separate and count
+        // the collisions rather than merge unconfirmed.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let store: AlphaStore<u16> = AlphaStore::with_shards(HashScheme::new(3), 4);
+        let mut arena = ExprArena::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut roots = Vec::new();
+        for _ in 0..600 {
+            roots.push(expr_gen::balanced(&mut arena, 30, &mut rng));
+        }
+        let outcomes = store.insert_batch(&arena, &roots);
+
+        // Exactness check against ground truth on every pair.
+        for i in 0..roots.len() {
+            for j in 0..i {
+                let same_class = outcomes[i].class == outcomes[j].class;
+                let equivalent = lambda_lang::alpha_eq(&arena, roots[i], &arena, roots[j]);
+                assert_eq!(same_class, equivalent, "pair ({i},{j})");
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.is_exact());
+        assert!(
+            stats.hash_collisions > 0,
+            "600 random 30-node terms at b=16 should collide at least once: {stats}"
+        );
+    }
+
+    #[test]
+    fn class_ids_round_trip_through_bits() {
+        let id = ClassId {
+            shard: 7,
+            index: 123_456,
+        };
+        assert_eq!(ClassId::from_bits(id.to_bits()), id);
+        assert_eq!(format!("{id:?}"), "c7.123456");
+    }
+}

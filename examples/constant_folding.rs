@@ -20,12 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut engine = IncrementalHasher::new(arena, root, HashScheme::<u64>::default());
     println!("before: {}", print::print(engine.arena(), engine.root()));
-    println!("        ({} nodes, root hash {:016x})", engine.live_nodes(), engine.root_hash());
+    println!(
+        "        ({} nodes, root hash {:016x})",
+        engine.live_nodes(),
+        engine.root_hash()
+    );
 
     let report = fold_constants(&mut engine);
 
     println!("after:  {}", print::print(engine.arena(), engine.root()));
-    println!("        ({} nodes, root hash {:016x})", engine.live_nodes(), engine.root_hash());
+    println!(
+        "        ({} nodes, root hash {:016x})",
+        engine.live_nodes(),
+        engine.root_hash()
+    );
     println!(
         "campaign: {} rewrites, {} nodes re-hashed in total",
         report.rewrites, report.nodes_rehashed

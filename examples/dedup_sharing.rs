@@ -48,7 +48,11 @@ fn main() {
     for layers in [4usize, 8, 12] {
         let mut arena = ExprArena::new();
         let root = expr_gen::models::bert_modular(&mut arena, layers);
-        report(&format!("BERT (modular, {layers} unrolled layers)"), &arena, root);
+        report(
+            &format!("BERT (modular, {layers} unrolled layers)"),
+            &arena,
+            root,
+        );
     }
 
     // The ANF variant chains layers through differently named

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("applied {edits} random leaf rewrites:");
-    println!("  mean nodes recomputed per edit: {:.1}", total_recomputed as f64 / edits as f64);
+    println!(
+        "  mean nodes recomputed per edit: {:.1}",
+        total_recomputed as f64 / edits as f64
+    );
     println!("  max nodes recomputed per edit:  {max_recomputed}");
     println!("  tree size:                      {}", engine.live_nodes());
     println!(
@@ -72,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.live_nodes()
     );
 
-    assert!(engine.verify_against_scratch(), "incremental state must match scratch");
+    assert!(
+        engine.verify_against_scratch(),
+        "incremental state must match scratch"
+    );
     println!("final state verified against a from-scratch pass.");
     Ok(())
 }

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Group into alpha-equivalence classes (the §3 goal).
     let classes = group_by_hash(&hashes);
-    println!("{} subexpressions, {} classes:", arena.subtree_size(root), classes.len());
+    println!(
+        "{} subexpressions, {} classes:",
+        arena.subtree_size(root),
+        classes.len()
+    );
     for class in &classes {
         let rendered = print::print(&arena, class[0]);
         let hash = hashes.get(class[0]).expect("hashed");

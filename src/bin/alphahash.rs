@@ -31,7 +31,9 @@ fn usage() -> ! {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [command, path] = args.as_slice() else { usage() };
+    let [command, path] = args.as_slice() else {
+        usage()
+    };
 
     let source = read_source(path)?;
     let mut arena = ExprArena::new();

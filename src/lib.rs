@@ -15,6 +15,9 @@
 //! * [`baselines`] (`hash-baselines`) — structural, de Bruijn and locally
 //!   nameless hashing (Table 1).
 //! * [`gen`] (`expr-gen`) — the evaluation workloads (§7, App. B).
+//! * [`store`] (`alpha-store`) — the production subsystem: a sharded,
+//!   concurrent, content-addressed store deduplicating streams of terms
+//!   modulo alpha, with corpus-level CSE and shared-DAG analytics.
 //!
 //! ## Example
 //!
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub use alpha_hash as hash;
+pub use alpha_store as store;
 pub use expr_gen as gen;
 pub use hash_baselines as baselines;
 pub use lambda_lang as lang;
@@ -42,10 +46,14 @@ pub use persistent_map as pmap;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use alpha_hash::combine::{HashScheme, HashWord};
-    pub use alpha_hash::cse::{eliminate_common_subexpressions, CseConfig};
+    pub use alpha_hash::cse::{cse_forest, eliminate_common_subexpressions, CseConfig, ForestCse};
     pub use alpha_hash::equiv::{ground_truth_classes, group_by_hash, hash_classes};
     pub use alpha_hash::hashed::{hash_all_subexpressions, hash_expr};
     pub use alpha_hash::incremental::IncrementalHasher;
+    pub use alpha_store::{
+        corpus_shared_dag_size, store_backed_cse, AlphaStore, ClassId, InsertOutcome, StoreStats,
+        TermId,
+    };
     pub use lambda_lang::{
         alpha_eq, check_unique_binders, parse, print::print, uniquify, ExprArena, ExprNode,
         Literal, NodeId, Symbol,

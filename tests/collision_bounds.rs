@@ -55,7 +55,10 @@ fn random_pairs_collide_at_the_floor() {
             collisions += 1;
         }
     }
-    assert!(collisions <= 5, "random collisions {collisions} out of {trials}: far above floor");
+    assert!(
+        collisions <= 5,
+        "random collisions {collisions} out of {trials}: far above floor"
+    );
 }
 
 /// At b = 64 no collision is ever observable at test scale: distinct

@@ -35,8 +35,7 @@ fn section1_cse_example_v_plus_7() {
 
 #[test]
 fn section1_alpha_equivalent_let_terms() {
-    let (arena, root) =
-        prepared("(a + (let x = exp z in x+7)) * (let y = exp z in y+7)");
+    let (arena, root) = prepared("(a + (let x = exp z in x+7)) * (let y = exp z in y+7)");
     let classes = hash_classes(&arena, root, &scheme());
     // The two let-terms are alpha-equivalent: same class.
     let lets: Vec<NodeId> = lambda_lang::visit::preorder(&arena, root)
@@ -95,8 +94,7 @@ fn section2_2_false_positive_name_overloading() {
     // debug assertion — the §2.2 precondition is load-bearing, and
     // `check_unique_binders` reports the violation.)
     let mut raw = ExprArena::new();
-    let raw_root =
-        parse(&mut raw, "foo (let x = bar in x+2) (let x = pubx in x+2)").unwrap();
+    let raw_root = parse(&mut raw, "foo (let x = bar in x+2) (let x = pubx in x+2)").unwrap();
     assert!(check_unique_binders(&raw, raw_root).is_err());
 }
 

@@ -1,0 +1,111 @@
+//! Integration test for the alpha-store subsystem: a generated corpus is
+//! ingested concurrently and the resulting partition is checked — exactly —
+//! against pairwise ground-truth alpha-equivalence.
+//!
+//! This is a scaled-down (fast) version of the `corpus_dedup` example's
+//! 10k-term run: the example demonstrates, this test verifies.
+
+use alpha_hash_bench::{parallel_ingest, store_corpus};
+use hash_modulo_alpha::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Ground-truth partition of the corpus roots via pairwise `alpha_eq`
+/// against one representative per class (size-bucketed, like
+/// `ground_truth_classes`).
+fn ground_truth_corpus_partition(arena: &ExprArena, roots: &[NodeId]) -> Vec<Vec<usize>> {
+    let mut classes: Vec<(usize, NodeId, Vec<usize>)> = Vec::new();
+    for (i, &r) in roots.iter().enumerate() {
+        let size = arena.subtree_size(r);
+        match classes
+            .iter_mut()
+            .find(|(s, rep, _)| *s == size && alpha_eq(arena, *rep, arena, r))
+        {
+            Some((_, _, members)) => members.push(i),
+            None => classes.push((size, r, vec![i])),
+        }
+    }
+    let mut out: Vec<Vec<usize>> = classes.into_iter().map(|(_, _, m)| m).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn concurrent_corpus_dedup_is_exact() {
+    let mut arena = ExprArena::new();
+    // Seed pool of 41 over 900 terms: heavy alpha-duplication, with half
+    // the terms alpha-renamed (see `store_corpus`).
+    let roots = store_corpus(&mut arena, 900, 41);
+
+    let store: AlphaStore<u64> = AlphaStore::with_shards(HashScheme::new(2024), 8);
+    parallel_ingest(&store, &arena, &roots, 8);
+    assert_eq!(store.num_terms(), roots.len());
+
+    // Store partition of the corpus…
+    let mut by_class: HashMap<ClassId, Vec<usize>> = HashMap::new();
+    for (i, &r) in roots.iter().enumerate() {
+        let class = store.lookup(&arena, r).expect("ingested term is found");
+        by_class.entry(class).or_default().push(i);
+    }
+    let mut store_partition: Vec<Vec<usize>> = by_class.into_values().collect();
+    store_partition.sort();
+
+    // …must equal ground truth exactly.
+    let truth = ground_truth_corpus_partition(&arena, &roots);
+    assert_eq!(store_partition, truth);
+    assert_eq!(store.num_classes(), truth.len());
+    assert!(
+        truth.len() < roots.len(),
+        "corpus was built to contain alpha-duplicates"
+    );
+
+    // The store audit trail: every merge confirmed, nothing probabilistic.
+    let stats = store.stats();
+    assert!(stats.is_exact(), "{stats}");
+    assert_eq!(stats.terms_ingested, roots.len() as u64);
+    assert_eq!(
+        stats.classes_created + stats.merges_confirmed,
+        stats.terms_ingested
+    );
+}
+
+#[test]
+fn store_backed_cse_over_a_corpus_shrinks_it() {
+    let mut arena = ExprArena::new();
+    let mut roots = Vec::new();
+    for i in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(i % 5);
+        roots.push(hash_modulo_alpha::gen::arithmetic(&mut arena, 40, &mut rng));
+    }
+
+    let store: AlphaStore<u64> = AlphaStore::default();
+    let result = store_backed_cse(&store, &arena, &roots, CseConfig::default());
+    assert!(
+        result.duplicates_dropped >= 24,
+        "seed pool of 5 over 30 terms"
+    );
+    assert!(result.forest.nodes_after <= result.forest.nodes_before);
+
+    // Representative extraction works for every class created.
+    for class in store.classes() {
+        let mut dst = ExprArena::new();
+        let rep = store.representative_into(class, &mut dst);
+        assert_eq!(dst.subtree_size(rep), store.node_count(class));
+    }
+}
+
+#[test]
+fn corpus_dag_sharing_beats_per_term_trees() {
+    let mut arena = ExprArena::new();
+    let mut roots = Vec::new();
+    for i in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(i % 6);
+        roots.push(hash_modulo_alpha::gen::balanced(&mut arena, 50, &mut rng));
+    }
+    let scheme: HashScheme<u64> = HashScheme::new(9);
+    let dag = corpus_shared_dag_size(&arena, &roots, &scheme);
+    let trees: usize = roots.iter().map(|&r| arena.subtree_size(r)).sum();
+    // 6 distinct seeds over 40 terms: at least the duplicate terms collapse.
+    assert!(dag * 4 < trees, "dag={dag} trees={trees}");
+}

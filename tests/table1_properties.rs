@@ -14,15 +14,11 @@ struct Row {
 fn lambda_subterms(arena: &ExprArena, root: NodeId, size: usize) -> Vec<NodeId> {
     lambda_lang::visit::preorder(arena, root)
         .into_iter()
-        .filter(|&n| {
-            matches!(arena.node(n), ExprNode::Lam(_, _)) && arena.subtree_size(n) == size
-        })
+        .filter(|&n| matches!(arena.node(n), ExprNode::Lam(_, _)) && arena.subtree_size(n) == size)
         .collect()
 }
 
-fn classify(
-    run: impl Fn(&ExprArena, NodeId) -> alpha_hash::SubtreeHashes<u64>,
-) -> Row {
+fn classify(run: impl Fn(&ExprArena, NodeId) -> alpha_hash::SubtreeHashes<u64>) -> Row {
     // No false negatives: §2.4's (\x.x+t) pair under different nesting.
     let mut a = ExprArena::new();
     let parsed = parse(&mut a, r"\t. foo (\x. x + t) (\y. \x. x + t)").unwrap();
@@ -39,35 +35,62 @@ fn classify(
     let lams_b = lambda_subterms(&b, root_b, 10);
     let no_false_positives = hashes_b.get(lams_b[0]) != hashes_b.get(lams_b[1]);
 
-    Row { true_positives: no_false_positives, true_negatives: no_false_negatives }
+    Row {
+        true_positives: no_false_positives,
+        true_negatives: no_false_negatives,
+    }
 }
 
 #[test]
 fn structural_row_matches_table1() {
     let scheme: HashScheme<u64> = HashScheme::new(1);
     let row = classify(|a, r| hash_baselines::hash_all_structural(a, r, &scheme));
-    assert_eq!(row, Row { true_positives: true, true_negatives: false });
+    assert_eq!(
+        row,
+        Row {
+            true_positives: true,
+            true_negatives: false
+        }
+    );
 }
 
 #[test]
 fn de_bruijn_row_matches_table1() {
     let scheme: HashScheme<u64> = HashScheme::new(1);
     let row = classify(|a, r| hash_baselines::hash_all_debruijn(a, r, &scheme));
-    assert_eq!(row, Row { true_positives: false, true_negatives: false });
+    assert_eq!(
+        row,
+        Row {
+            true_positives: false,
+            true_negatives: false
+        }
+    );
 }
 
 #[test]
 fn locally_nameless_row_matches_table1() {
     let scheme: HashScheme<u64> = HashScheme::new(1);
     let row = classify(|a, r| hash_baselines::hash_all_locally_nameless(a, r, &scheme));
-    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+    assert_eq!(
+        row,
+        Row {
+            true_positives: true,
+            true_negatives: true
+        }
+    );
 }
 
 #[test]
 fn ours_row_matches_table1() {
     let scheme: HashScheme<u64> = HashScheme::new(1);
     let row = classify(|a, r| hash_all_subexpressions(a, r, &scheme));
-    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+    assert_eq!(
+        row,
+        Row {
+            true_positives: true,
+            true_negatives: true
+        }
+    );
 }
 
 #[test]
@@ -77,5 +100,11 @@ fn appendix_c_variant_is_also_correct() {
         let mut s = alpha_hash::linear::LinearSummariser::new(a, &scheme);
         s.summarise_all(a, r)
     });
-    assert_eq!(row, Row { true_positives: true, true_negatives: true });
+    assert_eq!(
+        row,
+        Row {
+            true_positives: true,
+            true_negatives: true
+        }
+    );
 }
