@@ -12,21 +12,17 @@
 //! (the conventional path is `BENCH_store.json` in the repo root). Thread
 //! speedup requires actual cores: the report includes the machine's
 //! `available_parallelism` so single-core runs are interpretable.
+//!
+//! Besides terms/sec and nodes/sec, the report splits single-threaded
+//! batched ingest into its **prepare** share (hashing + de Bruijn
+//! canonicalization, the fused lock-free pass) and the remaining **store**
+//! share (shard grouping, locking, bucket probes, confirm-compare), by
+//! timing the prepare pass on its own.
 
 use alpha_hash::combine::HashScheme;
-use alpha_hash_bench::{format_ms, parallel_ingest, store_corpus, time_once, Args};
-use alpha_store::AlphaStore;
+use alpha_hash_bench::{best_of, format_ms, parallel_ingest, store_corpus, Args};
+use alpha_store::{AlphaStore, Preparer};
 use lambda_lang::arena::{ExprArena, NodeId};
-
-/// Best-of-`reps` wall-clock seconds for `f`.
-fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let (secs, ()) = time_once(&mut f);
-        best = best.min(secs);
-    }
-    best
-}
 
 fn ingest(
     arena: &ExprArena,
@@ -90,31 +86,52 @@ fn main() {
         std::hint::black_box(ingest(&arena, &roots, scheme, shards, threads).num_classes());
     });
 
+    // Prepare pass alone (fused hash + canonicalization, no store): the
+    // lock-free share of single-threaded batched ingest.
+    let prepare = best_of(reps, || {
+        let mut preparer = Preparer::new(&arena, &scheme);
+        for &root in &roots {
+            std::hint::black_box(preparer.hash_and_canon(&arena, root).0);
+        }
+    });
+    let store_side = (single - prepare).max(0.0);
+
     // One audited run for the stats block.
     let store = ingest(&arena, &roots, scheme, shards, threads);
     let stats = store.stats();
     assert!(stats.is_exact(), "store must confirm every merge: {stats}");
 
     let rate = |secs: f64| terms as f64 / secs;
+    let node_rate = |secs: f64| corpus_nodes as f64 / secs;
     println!(
-        "  unbatched 1 thread : {:>10} ({:>12.0} terms/s)",
+        "  unbatched 1 thread : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s)",
         format_ms(unbatched),
-        rate(unbatched)
+        rate(unbatched),
+        node_rate(unbatched)
     );
     println!(
-        "  batched   1 thread : {:>10} ({:>12.0} terms/s)",
+        "  batched   1 thread : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s)",
         format_ms(single),
-        rate(single)
+        rate(single),
+        node_rate(single)
     );
     println!(
-        "  batched {threads:>2} threads : {:>10} ({:>12.0} terms/s)",
+        "  batched {threads:>2} threads : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s)",
         format_ms(multi),
-        rate(multi)
+        rate(multi),
+        node_rate(multi)
     );
     println!(
         "  batch speedup {:.2}x, thread speedup {:.2}x",
         unbatched / single,
         single / multi
+    );
+    println!(
+        "  time split (1 thread, batched): prepare {:>10} ({:.0}%), store {:>10} ({:.0}%)",
+        format_ms(prepare),
+        100.0 * prepare / single,
+        format_ms(store_side),
+        100.0 * store_side / single
     );
     println!("  {stats}");
 
@@ -134,6 +151,11 @@ fn main() {
                 "  \"batched_multi_thread_secs\": {multi:.6},\n",
                 "  \"single_thread_terms_per_sec\": {single_rate:.1},\n",
                 "  \"multi_thread_terms_per_sec\": {multi_rate:.1},\n",
+                "  \"single_thread_nodes_per_sec\": {single_node_rate:.1},\n",
+                "  \"multi_thread_nodes_per_sec\": {multi_node_rate:.1},\n",
+                "  \"prepare_single_thread_secs\": {prepare:.6},\n",
+                "  \"store_single_thread_secs\": {store_side:.6},\n",
+                "  \"prepare_share\": {prepare_share:.3},\n",
                 "  \"batch_speedup\": {batch_speedup:.3},\n",
                 "  \"thread_speedup\": {thread_speedup:.3},\n",
                 "  \"classes\": {classes},\n",
@@ -157,6 +179,11 @@ fn main() {
             multi = multi,
             single_rate = rate(single),
             multi_rate = rate(multi),
+            single_node_rate = node_rate(single),
+            multi_node_rate = node_rate(multi),
+            prepare = prepare,
+            store_side = store_side,
+            prepare_share = prepare / single,
             batch_speedup = unbatched / single,
             thread_speedup = single / multi,
             classes = store.num_classes(),

@@ -173,6 +173,17 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), value)
 }
 
+/// Best-of-`reps` wall-clock seconds for `f` — the throughput binaries'
+/// standard reducer (minimum over repetitions filters scheduler noise).
+pub fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (secs, ()) = time_once(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
 /// Self-calibrating measurement: runs `f` once for warmup, then repeats
 /// until `min_total_secs` of measurement accumulate (max `max_reps`),
 /// returning the mean seconds per run.

@@ -1,0 +1,421 @@
+//! Flat variable maps: the hot-path replacement for `BTreeMap` in the
+//! hashed summariser (§5.2).
+//!
+//! Profiling the store ingest path showed that the per-node cost of the
+//! paper's algorithm is dominated not by hash mixing but by allocator
+//! traffic: every `Var` leaf allocated a `BTreeMap` node, and every merge
+//! rewrote tree nodes one heap cell at a time. The overwhelming majority
+//! of variable maps are tiny — a subexpression rarely has more than a
+//! handful of distinct free variables — so a [`FlatVarMap`] keeps up to
+//! [`INLINE_CAP`] entries in an inline array (no heap at all)
+//! and spills to a single sorted `Vec` beyond that. This is the same
+//! flat-map/arena move hash-consing systems (Filliâtre & Conchon) and
+//! e-graph engines such as egg make to win the constant-factor battle.
+//!
+//! Complexity: entries are kept sorted by [`Symbol`], so lookup is a
+//! binary search and the §4.8 smaller-into-bigger merge is either an
+//! in-place insertion (inline case) or one linear merge-join over the two
+//! sorted runs (spilled case). The Lemma 6.1 bound counts *merge
+//! operations* — entries of the smaller map transformed at a binary node —
+//! and that count is unchanged: only smaller-side entries are joined and
+//! tagged, exactly as with the tree map. The regression test in
+//! `tests/merge_complexity.rs` holds the counter to c·n·log n on
+//! adversarial inputs.
+//!
+//! **Wall-time trade-off, stated honestly:** once a map spills, each
+//! operation on it costs O(map width) (a contiguous memmove or a run
+//! copy) where the old `BTreeMap` paid O(log width) in pointer chases. A
+//! term that *sustains* w live free variables therefore pays O(w) per
+//! spilled op — worst case Θ(n²) total on an open-term spine with
+//! w = Θ(n), vs the seed's O(n log²n). For closed or program-like terms
+//! (live maps a handful wide — every workload in this repo's generators
+//! and benches) the flat map is far faster despite the weaker worst
+//! case; if wide-open-term workloads appear, the ROADMAP's tree tier
+//! above the spill restores the per-op logarithm.
+//!
+//! [`MapPool`] recycles spilled buffers across terms of a batch so steady
+//! state ingest performs no per-node heap traffic at all.
+
+use crate::combine::{HashScheme, HashWord};
+use crate::hashed::PosH;
+use lambda_lang::symbol::Symbol;
+use std::fmt;
+
+/// One `(variable, position-tree)` entry.
+pub type Entry<H> = (Symbol, PosH<H>);
+
+/// Number of entries a [`FlatVarMap`] stores inline before spilling to a
+/// heap-allocated sorted `Vec`.
+pub const INLINE_CAP: usize = 8;
+
+/// A free pool of spilled entry buffers, reused across terms in a batch.
+///
+/// All [`FlatVarMap`] operations that may allocate or release a spill
+/// buffer take a pool; passing a fresh `MapPool::default()` is free (an
+/// empty pool never allocates) and simply disables recycling.
+#[derive(Debug)]
+pub struct MapPool<H: HashWord> {
+    free: Vec<Vec<Entry<H>>>,
+}
+
+impl<H: HashWord> Default for MapPool<H> {
+    fn default() -> Self {
+        MapPool { free: Vec::new() }
+    }
+}
+
+/// Cap on pooled buffers: enough for the live maps of any realistic merge
+/// frontier, small enough that a pathological term cannot hoard memory.
+const POOL_CAP: usize = 64;
+
+impl<H: HashWord> MapPool<H> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a cleared buffer with room for `want` entries, recycling
+    /// a previously released one when available.
+    pub(crate) fn take_buffer(&mut self, want: usize) -> Vec<Entry<H>> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(want);
+                v
+            }
+            None => Vec::with_capacity(want.max(2 * INLINE_CAP)),
+        }
+    }
+
+    fn give(&mut self, v: Vec<Entry<H>>) {
+        if v.capacity() > 0 && self.free.len() < POOL_CAP {
+            self.free.push(v);
+        }
+    }
+}
+
+/// Entry storage: inline for small maps, one sorted `Vec` beyond that.
+#[derive(Clone)]
+enum Slots<H: HashWord> {
+    Inline {
+        len: u8,
+        buf: [Entry<H>; INLINE_CAP],
+    },
+    Spilled(Vec<Entry<H>>),
+}
+
+/// A variable map in hashed form (§5.2): sorted flat storage plus the
+/// XOR-maintained hash of its entries.
+///
+/// Drop-in replacement for the `BTreeMap`-backed map the summariser used
+/// before: same operations (`singleton`, `remove`, `upsert`, `get`,
+/// `iter`), same symbol-sorted iteration order, same O(1) XOR hash — but
+/// with no heap allocation for maps of up to [`INLINE_CAP`] entries,
+/// which is the overwhelming case.
+#[derive(Clone)]
+pub struct FlatVarMap<H: HashWord> {
+    slots: Slots<H>,
+    xor: H,
+}
+
+impl<H: HashWord> Default for FlatVarMap<H> {
+    fn default() -> Self {
+        FlatVarMap {
+            slots: Slots::Inline {
+                len: 0,
+                buf: [Self::DUMMY; INLINE_CAP],
+            },
+            xor: H::ZERO,
+        }
+    }
+}
+
+impl<H: HashWord> FlatVarMap<H> {
+    /// Filler for unused inline slots; never observable.
+    const DUMMY: Entry<H> = (
+        Symbol::from_index(0),
+        PosH {
+            hash: H::ZERO,
+            size: 0,
+        },
+    );
+
+    /// The empty map (`emptyVM`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `singletonVM`: one entry, inline, no allocation.
+    pub fn singleton(scheme: &HashScheme<H>, sym: Symbol, name_hash: u64, pos: PosH<H>) -> Self {
+        let mut buf = [Self::DUMMY; INLINE_CAP];
+        buf[0] = (sym, pos);
+        FlatVarMap {
+            slots: Slots::Inline { len: 1, buf },
+            xor: scheme.entry(name_hash, pos.hash),
+        }
+    }
+
+    /// Number of distinct free variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.slots {
+            Slots::Inline { len, .. } => *len as usize,
+            Slots::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no free variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The map hash: XOR of all entry hashes (`hashVM`), O(1).
+    #[inline]
+    pub fn hash(&self) -> H {
+        self.xor
+    }
+
+    /// The entries, sorted by symbol.
+    #[inline]
+    pub fn entries(&self) -> &[Entry<H>] {
+        match &self.slots {
+            Slots::Inline { len, buf } => &buf[..*len as usize],
+            Slots::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    fn find(&self, sym: Symbol) -> Result<usize, usize> {
+        self.entries().binary_search_by_key(&sym, |e| e.0)
+    }
+
+    /// Current position tree for `sym`, if any.
+    pub fn get(&self, sym: Symbol) -> Option<PosH<H>> {
+        self.find(sym).ok().map(|i| self.entries()[i].1)
+    }
+
+    /// Iterates over `(symbol, position)` entries in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, PosH<H>)> + '_ {
+        self.entries().iter().copied()
+    }
+
+    /// `removeFromVM`: removes `sym`, returning its position tree if
+    /// present, and updates the XOR hash in O(1) hash work.
+    pub fn remove(
+        &mut self,
+        scheme: &HashScheme<H>,
+        sym: Symbol,
+        name_hash: u64,
+    ) -> Option<PosH<H>> {
+        let i = self.find(sym).ok()?;
+        let pos = match &mut self.slots {
+            Slots::Inline { len, buf } => {
+                let pos = buf[i].1;
+                buf.copy_within(i + 1..*len as usize, i);
+                *len -= 1;
+                pos
+            }
+            Slots::Spilled(v) => v.remove(i).1,
+        };
+        self.xor = self.xor.xor(scheme.entry(name_hash, pos.hash));
+        Some(pos)
+    }
+
+    /// `alterVM` specialised to the §4.8 merge: replaces (or inserts) the
+    /// entry for `sym` with `new_pos`, fixing up the XOR hash. Spills from
+    /// the inline representation into a pooled buffer when full.
+    pub fn upsert_pooled(
+        &mut self,
+        scheme: &HashScheme<H>,
+        sym: Symbol,
+        name_hash: u64,
+        new_pos: PosH<H>,
+        pool: &mut MapPool<H>,
+    ) -> Option<PosH<H>> {
+        let old = match self.find(sym) {
+            Ok(i) => {
+                let slot = match &mut self.slots {
+                    Slots::Inline { buf, .. } => &mut buf[i],
+                    Slots::Spilled(v) => &mut v[i],
+                };
+                Some(std::mem::replace(&mut slot.1, new_pos))
+            }
+            Err(i) => {
+                match &mut self.slots {
+                    Slots::Inline { len, buf } if (*len as usize) < INLINE_CAP => {
+                        buf.copy_within(i..*len as usize, i + 1);
+                        buf[i] = (sym, new_pos);
+                        *len += 1;
+                    }
+                    Slots::Inline { len, buf } => {
+                        // Spill: move the inline run into a pooled buffer.
+                        let mut v = pool.take_buffer(2 * INLINE_CAP);
+                        v.extend_from_slice(&buf[..*len as usize]);
+                        v.insert(i, (sym, new_pos));
+                        self.slots = Slots::Spilled(v);
+                    }
+                    Slots::Spilled(v) => v.insert(i, (sym, new_pos)),
+                }
+                None
+            }
+        };
+        if let Some(old_pos) = old {
+            self.xor = self.xor.xor(scheme.entry(name_hash, old_pos.hash));
+        }
+        self.xor = self.xor.xor(scheme.entry(name_hash, new_pos.hash));
+        old
+    }
+
+    /// [`FlatVarMap::upsert_pooled`] without buffer recycling — for call
+    /// sites outside a batch loop.
+    pub fn upsert(
+        &mut self,
+        scheme: &HashScheme<H>,
+        sym: Symbol,
+        name_hash: u64,
+        new_pos: PosH<H>,
+    ) -> Option<PosH<H>> {
+        self.upsert_pooled(scheme, sym, name_hash, new_pos, &mut MapPool::default())
+    }
+
+    /// Builds a map from an already-sorted, duplicate-free entry run whose
+    /// XOR hash the caller maintained. Small runs are copied inline and
+    /// the buffer is returned to the pool; large runs keep the buffer.
+    pub(crate) fn from_sorted(entries: Vec<Entry<H>>, xor: H, pool: &mut MapPool<H>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted run");
+        if entries.len() <= INLINE_CAP {
+            let mut buf = [Self::DUMMY; INLINE_CAP];
+            buf[..entries.len()].copy_from_slice(&entries);
+            let len = entries.len() as u8;
+            pool.give(entries);
+            FlatVarMap {
+                slots: Slots::Inline { len, buf },
+                xor,
+            }
+        } else {
+            FlatVarMap {
+                slots: Slots::Spilled(entries),
+                xor,
+            }
+        }
+    }
+
+    /// Consumes the map, returning any spilled buffer to the pool.
+    pub fn recycle(self, pool: &mut MapPool<H>) {
+        if let Slots::Spilled(v) = self.slots {
+            pool.give(v);
+        }
+    }
+}
+
+impl<H: HashWord> PartialEq for FlatVarMap<H> {
+    fn eq(&self, other: &Self) -> bool {
+        // Equal entry runs imply equal XOR hashes under one scheme, but the
+        // hash is compared first as a cheap early-out.
+        self.xor == other.xor && self.entries() == other.entries()
+    }
+}
+
+impl<H: HashWord> Eq for FlatVarMap<H> {}
+
+impl<H: HashWord> fmt::Debug for FlatVarMap<H> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> HashScheme<u64> {
+        HashScheme::new(0xF1A7)
+    }
+
+    fn pos(scheme: &HashScheme<u64>, size: u64) -> PosH<u64> {
+        PosH {
+            hash: scheme.pt_left(size, scheme.pt_here()),
+            size,
+        }
+    }
+
+    #[test]
+    fn stays_inline_up_to_cap_then_spills() {
+        let s = scheme();
+        let mut vm = FlatVarMap::<u64>::new();
+        let mut pool = MapPool::new();
+        for i in 0..(INLINE_CAP + 4) as u32 {
+            vm.upsert_pooled(
+                &s,
+                Symbol::from_index(i),
+                u64::from(i),
+                pos(&s, 1),
+                &mut pool,
+            );
+            assert_eq!(vm.len(), i as usize + 1);
+        }
+        // Sorted iteration regardless of representation.
+        let syms: Vec<u32> = vm.iter().map(|(sym, _)| sym.index()).collect();
+        assert!(syms.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let s = scheme();
+        let order_a = [5u32, 1, 9, 3, 7, 0, 11, 2, 8, 4];
+        let order_b = [4u32, 8, 2, 11, 0, 7, 3, 9, 1, 5];
+        let build = |order: &[u32]| {
+            let mut vm = FlatVarMap::<u64>::new();
+            for &i in order {
+                vm.upsert(
+                    &s,
+                    Symbol::from_index(i),
+                    u64::from(i),
+                    pos(&s, u64::from(i) + 1),
+                );
+            }
+            vm
+        };
+        let a = build(&order_a);
+        let b = build(&order_b);
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn remove_shrinks_and_restores_hash() {
+        let s = scheme();
+        let mut vm = FlatVarMap::<u64>::new();
+        for i in 0..12u32 {
+            vm.upsert(&s, Symbol::from_index(i), u64::from(i), pos(&s, 1));
+        }
+        let full = vm.clone();
+        let extra = Symbol::from_index(50);
+        vm.upsert(&s, extra, 50, pos(&s, 2));
+        assert_ne!(vm, full);
+        vm.remove(&s, extra, 50);
+        assert_eq!(vm, full);
+        assert_eq!(vm.hash(), full.hash());
+        assert!(vm.remove(&s, extra, 50).is_none());
+    }
+
+    #[test]
+    fn from_sorted_round_trips_inline_and_spilled() {
+        let s = scheme();
+        let mut pool = MapPool::new();
+        for n in [3usize, 20] {
+            let mut reference = FlatVarMap::<u64>::new();
+            let mut run = Vec::new();
+            let mut xor = 0u64;
+            for i in 0..n as u32 {
+                let p = pos(&s, u64::from(i) + 1);
+                reference.upsert(&s, Symbol::from_index(i), u64::from(i), p);
+                run.push((Symbol::from_index(i), p));
+                xor ^= s.entry(u64::from(i), p.hash);
+            }
+            let built = FlatVarMap::from_sorted(run, xor, &mut pool);
+            assert_eq!(built, reference);
+        }
+    }
+}

@@ -19,10 +19,10 @@
 //! replaces the persistence Haskell's `Data.Map` provided.
 
 use crate::combine::{HashScheme, HashWord};
+use crate::flatmap::{FlatVarMap, MapPool};
 use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
 use lambda_lang::symbol::Symbol;
-use lambda_lang::visit::postorder;
-use std::collections::BTreeMap;
+use lambda_lang::visit::postorder_with;
 
 /// A position tree in hashed form: its hash code plus its size
 /// (constructor-call count, the Lemma 6.6 salt).
@@ -44,98 +44,14 @@ pub struct StructH<H> {
     pub size: u64,
 }
 
-/// A variable map in hashed form (§5.2): the map itself (needed to find
-/// and merge entries) plus the XOR-maintained hash of its entries.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct VarMapH<H: HashWord> {
-    map: BTreeMap<Symbol, PosH<H>>,
-    xor: H,
-}
-
-impl<H: HashWord> Default for VarMapH<H> {
-    fn default() -> Self {
-        VarMapH {
-            map: BTreeMap::new(),
-            xor: H::ZERO,
-        }
-    }
-}
-
-impl<H: HashWord> VarMapH<H> {
-    /// The empty map (`emptyVM`).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of distinct free variables.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Whether there are no free variables.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// The map hash: XOR of all entry hashes (`hashVM`), O(1).
-    pub fn hash(&self) -> H {
-        self.xor
-    }
-
-    /// `singletonVM`.
-    pub fn singleton(scheme: &HashScheme<H>, sym: Symbol, name_hash: u64, pos: PosH<H>) -> Self {
-        let mut map = BTreeMap::new();
-        map.insert(sym, pos);
-        VarMapH {
-            map,
-            xor: scheme.entry(name_hash, pos.hash),
-        }
-    }
-
-    /// `removeFromVM`: removes `sym`, returning its position tree if
-    /// present, and updates the XOR hash in O(1) hash work.
-    pub fn remove(
-        &mut self,
-        scheme: &HashScheme<H>,
-        sym: Symbol,
-        name_hash: u64,
-    ) -> Option<PosH<H>> {
-        let pos = self.map.remove(&sym)?;
-        self.xor = self.xor.xor(scheme.entry(name_hash, pos.hash));
-        Some(pos)
-    }
-
-    /// `alterVM` specialised to the §4.8 merge: replaces (or inserts) the
-    /// entry for `sym` with `new_pos`, fixing up the XOR hash.
-    pub fn upsert(
-        &mut self,
-        scheme: &HashScheme<H>,
-        sym: Symbol,
-        name_hash: u64,
-        new_pos: PosH<H>,
-    ) -> Option<PosH<H>> {
-        let old = self.map.insert(sym, new_pos);
-        if let Some(old_pos) = old {
-            self.xor = self.xor.xor(scheme.entry(name_hash, old_pos.hash));
-        }
-        self.xor = self.xor.xor(scheme.entry(name_hash, new_pos.hash));
-        old
-    }
-
-    /// Current position tree for `sym`, if any.
-    pub fn get(&self, sym: Symbol) -> Option<PosH<H>> {
-        self.map.get(&sym).copied()
-    }
-
-    /// Iterates over `(symbol, position)` entries in symbol order.
-    pub fn iter(&self) -> impl Iterator<Item = (Symbol, PosH<H>)> + '_ {
-        self.map.iter().map(|(&s, &p)| (s, p))
-    }
-
-    fn into_iter_entries(self) -> impl Iterator<Item = (Symbol, PosH<H>)> {
-        self.map.into_iter()
-    }
-}
+/// A variable map in hashed form (§5.2): flat sorted storage plus the
+/// XOR-maintained hash of its entries.
+///
+/// Since the fast-path overhaul this is the [`FlatVarMap`] of
+/// [`crate::flatmap`] — inline storage for small maps, one sorted `Vec`
+/// beyond that — rather than a `BTreeMap`. The API (and the §4.8 merge
+/// semantics built on it) is unchanged.
+pub type VarMapH<H> = FlatVarMap<H>;
 
 /// An e-summary in hashed form.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -226,13 +142,28 @@ pub enum MergeStrategy {
 
 /// The hashed summariser (the paper's final algorithm when `strategy` is
 /// [`MergeStrategy::SmallerIntoBigger`]).
+///
+/// A summariser is tied to the arena it was created for (variable-name
+/// hashes are cached per [`Symbol`]) and is designed to be **reused across
+/// many terms of that arena**: the name-hash cache, the traversal stack,
+/// the e-summary value stack and the spilled-map pool all persist between
+/// calls, so batch hashing performs no per-node heap allocation and never
+/// re-hashes a variable name it has already seen. This is what makes
+/// store ingest O(total nodes) instead of O(terms × interner size).
 #[derive(Debug)]
 pub struct HashedSummariser<'s, H: HashWord> {
     scheme: &'s HashScheme<H>,
-    name_hashes: Vec<u64>,
+    /// Lazily filled per-symbol name hashes, indexed by `Symbol::index`.
+    name_hashes: Vec<Option<u64>>,
     strategy: MergeStrategy,
     /// Map operations performed at binary nodes (the Lemma 6.1 quantity).
     pub merge_ops: u64,
+    /// E-summary value stack for the streaming post-order fold.
+    stack: Vec<ESummaryH<H>>,
+    /// Reusable traversal scratch for [`postorder_with`].
+    walk: Vec<(NodeId, bool)>,
+    /// Recycled spill buffers for maps wider than the inline cap.
+    pool: MapPool<H>,
 }
 
 impl<'s, H: HashWord> HashedSummariser<'s, H> {
@@ -250,88 +181,320 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
     ) -> Self {
         HashedSummariser {
             scheme,
-            name_hashes: name_hashes(arena, scheme),
+            // Name hashes are computed on first use of each symbol, not
+            // eagerly: a summariser that hashes one small term out of a
+            // large arena must not pay for the whole interner.
+            name_hashes: Vec::with_capacity(arena.interner().len().min(1024)),
             strategy,
             merge_ops: 0,
+            stack: Vec::new(),
+            walk: Vec::new(),
+            pool: MapPool::default(),
         }
     }
 
     #[inline]
-    fn name_hash(&self, sym: Symbol) -> u64 {
-        self.name_hashes[sym.index() as usize]
+    fn name_hash(&mut self, arena: &ExprArena, sym: Symbol) -> u64 {
+        let i = sym.index() as usize;
+        if i >= self.name_hashes.len() {
+            self.name_hashes.resize(i + 1, None);
+        }
+        match self.name_hashes[i] {
+            Some(h) => {
+                // Guard the one-arena contract: a summariser reused across
+                // arenas would serve stale hashes for re-used symbol
+                // indices. Debug builds recompute and compare.
+                debug_assert_eq!(
+                    h,
+                    self.scheme.var_name(arena.interner().resolve(sym)),
+                    "HashedSummariser reused across arenas: {sym:?} now names a different string"
+                );
+                h
+            }
+            None => {
+                let h = self.scheme.var_name(arena.interner().resolve(sym));
+                self.name_hashes[i] = Some(h);
+                h
+            }
+        }
     }
 
     /// §4.8 merge: fold the smaller map into the bigger one, tagging each
     /// moved entry with the parent structure's tag. Returns the merged map
     /// and whether the left map was the bigger one.
+    ///
+    /// Only smaller-side entries count as merge operations (Lemma 6.1).
+    /// With flat storage the *work* is done either in place (when the
+    /// result fits inline) or as one linear merge-join of the two sorted
+    /// runs; bigger-side entries are copied but never transformed.
     fn merge_smaller(
         &mut self,
+        arena: &ExprArena,
         tag: u64,
         left: VarMapH<H>,
         right: VarMapH<H>,
     ) -> (VarMapH<H>, bool) {
         let left_bigger = left.len() >= right.len();
-        let (mut bigger, smaller) = if left_bigger {
+        let (bigger, smaller) = if left_bigger {
             (left, right)
         } else {
             (right, left)
         };
-        for (sym, small_pos) in smaller.into_iter_entries() {
-            self.merge_ops += 1;
-            let nh = self.name_hash(sym);
-            let old = bigger.get(sym);
-            let new_pos = PosH {
-                hash: self.scheme.pt_join(
-                    1 + old.map_or(0, |p| p.size) + small_pos.size,
-                    tag,
-                    old.map(|p| p.hash),
-                    small_pos.hash,
-                ),
-                size: 1 + old.map_or(0, |p| p.size) + small_pos.size,
-            };
-            bigger.upsert(self.scheme, sym, nh, new_pos);
+        if smaller.is_empty() {
+            smaller.recycle(&mut self.pool);
+            return (bigger, left_bigger);
         }
-        (bigger, left_bigger)
+        let scheme = self.scheme;
+        let joined = |old: Option<PosH<H>>, small_pos: PosH<H>| {
+            let size = 1 + old.map_or(0, |p| p.size) + small_pos.size;
+            PosH {
+                hash: scheme.pt_join(size, tag, old.map(|p| p.hash), small_pos.hash),
+                size,
+            }
+        };
+
+        if bigger.len() + smaller.len() <= crate::flatmap::INLINE_CAP {
+            // Common case: everything stays inline; insert in place.
+            let mut bigger = bigger;
+            for &(sym, small_pos) in smaller.entries() {
+                self.merge_ops += 1;
+                let nh = self.name_hash(arena, sym);
+                let new_pos = joined(bigger.get(sym), small_pos);
+                bigger.upsert_pooled(scheme, sym, nh, new_pos, &mut self.pool);
+            }
+            smaller.recycle(&mut self.pool);
+            return (bigger, left_bigger);
+        }
+
+        // Wide case: one merge-join over the two sorted runs into a pooled
+        // buffer — O(|bigger| + |smaller|), no per-entry shifting.
+        let mut out = self.pool.take_buffer(bigger.len() + smaller.len());
+        let mut xor = bigger.hash();
+        let (big_run, small_run) = (bigger.entries(), smaller.entries());
+        let (mut bi, mut si) = (0usize, 0usize);
+        while si < small_run.len() {
+            let (sym, small_pos) = small_run[si];
+            // Copy bigger-only entries below the next smaller symbol.
+            while bi < big_run.len() && big_run[bi].0 < sym {
+                out.push(big_run[bi]);
+                bi += 1;
+            }
+            self.merge_ops += 1;
+            let nh = self.name_hash(arena, sym);
+            let old = if bi < big_run.len() && big_run[bi].0 == sym {
+                let old = big_run[bi].1;
+                xor = xor.xor(scheme.entry(nh, old.hash));
+                bi += 1;
+                Some(old)
+            } else {
+                None
+            };
+            let new_pos = joined(old, small_pos);
+            xor = xor.xor(scheme.entry(nh, new_pos.hash));
+            out.push((sym, new_pos));
+            si += 1;
+        }
+        out.extend_from_slice(&big_run[bi..]);
+        bigger.recycle(&mut self.pool);
+        smaller.recycle(&mut self.pool);
+        (VarMapH::from_sorted(out, xor, &mut self.pool), left_bigger)
     }
 
     /// §4.6 merge: wrap every left entry `LeftOnly`, every right entry
     /// `RightOnly`, and both-sides entries `Both`. Touches every entry —
-    /// the quadratic baseline for the ablation.
-    fn merge_both(&mut self, left: VarMapH<H>, right: VarMapH<H>) -> (VarMapH<H>, bool) {
-        let mut out = VarMapH::new();
-        let mut right_map: BTreeMap<Symbol, PosH<H>> = right.into_iter_entries().collect();
-        for (sym, lp) in left.into_iter_entries() {
+    /// the quadratic baseline for the ablation. Implemented as one
+    /// merge-join over the sorted runs.
+    fn merge_both(
+        &mut self,
+        arena: &ExprArena,
+        left: VarMapH<H>,
+        right: VarMapH<H>,
+    ) -> (VarMapH<H>, bool) {
+        let scheme = self.scheme;
+        let mut out = self.pool.take_buffer(left.len() + right.len());
+        let mut xor = H::ZERO;
+        let (lrun, rrun) = (left.entries(), right.entries());
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < lrun.len() || ri < rrun.len() {
             self.merge_ops += 1;
-            let nh = self.name_hash(sym);
-            let pos = match right_map.remove(&sym) {
-                Some(rp) => PosH {
-                    hash: self.scheme.pt_both(1 + lp.size + rp.size, lp.hash, rp.hash),
-                    size: 1 + lp.size + rp.size,
-                },
-                None => PosH {
-                    hash: self.scheme.pt_left(1 + lp.size, lp.hash),
-                    size: 1 + lp.size,
-                },
+            let take_left = ri >= rrun.len() || (li < lrun.len() && lrun[li].0 <= rrun[ri].0);
+            let (sym, pos) = if take_left && ri < rrun.len() && lrun[li].0 == rrun[ri].0 {
+                let ((sym, lp), (_, rp)) = (lrun[li], rrun[ri]);
+                li += 1;
+                ri += 1;
+                let size = 1 + lp.size + rp.size;
+                (
+                    sym,
+                    PosH {
+                        hash: scheme.pt_both(size, lp.hash, rp.hash),
+                        size,
+                    },
+                )
+            } else if take_left {
+                let (sym, lp) = lrun[li];
+                li += 1;
+                (
+                    sym,
+                    PosH {
+                        hash: scheme.pt_left(1 + lp.size, lp.hash),
+                        size: 1 + lp.size,
+                    },
+                )
+            } else {
+                let (sym, rp) = rrun[ri];
+                ri += 1;
+                (
+                    sym,
+                    PosH {
+                        hash: scheme.pt_right(1 + rp.size, rp.hash),
+                        size: 1 + rp.size,
+                    },
+                )
             };
-            out.upsert(self.scheme, sym, nh, pos);
+            let nh = self.name_hash(arena, sym);
+            xor = xor.xor(scheme.entry(nh, pos.hash));
+            out.push((sym, pos));
         }
-        for (sym, rp) in right_map {
-            self.merge_ops += 1;
-            let nh = self.name_hash(sym);
-            let pos = PosH {
-                hash: self.scheme.pt_right(1 + rp.size, rp.hash),
-                size: 1 + rp.size,
-            };
-            out.upsert(self.scheme, sym, nh, pos);
-        }
-        (out, true)
+        left.recycle(&mut self.pool);
+        right.recycle(&mut self.pool);
+        (VarMapH::from_sorted(out, xor, &mut self.pool), true)
     }
 
-    fn merge(&mut self, tag: u64, left: VarMapH<H>, right: VarMapH<H>) -> (VarMapH<H>, bool) {
+    fn merge(
+        &mut self,
+        arena: &ExprArena,
+        tag: u64,
+        left: VarMapH<H>,
+        right: VarMapH<H>,
+    ) -> (VarMapH<H>, bool) {
         match self.strategy {
-            MergeStrategy::SmallerIntoBigger => self.merge_smaller(tag, left, right),
-            MergeStrategy::TransformBoth => self.merge_both(left, right),
+            MergeStrategy::SmallerIntoBigger => self.merge_smaller(arena, tag, left, right),
+            MergeStrategy::TransformBoth => self.merge_both(arena, left, right),
         }
+    }
+
+    /// Starts a streaming summary. The value stack must be empty — i.e.
+    /// every previously begun term was [`finish`](Self::finish)ed.
+    pub fn begin(&mut self) {
+        assert!(
+            self.stack.is_empty(),
+            "begin() while a summary is in flight"
+        );
+    }
+
+    /// Feeds one node of a post-order traversal and returns its
+    /// subexpression hash. The caller drives the traversal — this is what
+    /// lets the store fuse hashing with de Bruijn conversion in a single
+    /// pass. Nodes **must** arrive in post-order (children before parents,
+    /// `Let` rhs before body), and terms must satisfy the unique-binder
+    /// precondition (§2.2).
+    pub fn push_node(&mut self, arena: &ExprArena, n: NodeId) -> H {
+        let scheme = self.scheme;
+        let summary = match arena.node(n) {
+            ExprNode::Var(s) => {
+                let pos = PosH {
+                    hash: scheme.pt_here(),
+                    size: 1,
+                };
+                let nh = self.name_hash(arena, s);
+                ESummaryH {
+                    structure: StructH {
+                        hash: scheme.s_var(),
+                        size: 1,
+                    },
+                    varmap: VarMapH::singleton(scheme, s, nh, pos),
+                }
+            }
+            ExprNode::Lit(l) => ESummaryH {
+                structure: StructH {
+                    hash: scheme.s_lit(l.kind_tag(), l.payload()),
+                    size: 1,
+                },
+                varmap: VarMapH::new(),
+            },
+            ExprNode::Lam(x, _) => {
+                let mut body = self.stack.pop().expect("lam body summary");
+                let nh = self.name_hash(arena, x);
+                let x_pos = body.varmap.remove(scheme, x, nh);
+                let size = 1 + body.structure.size;
+                ESummaryH {
+                    structure: StructH {
+                        hash: scheme.s_lam(size, x_pos.map(|p| p.hash), body.structure.hash),
+                        size,
+                    },
+                    varmap: body.varmap,
+                }
+            }
+            ExprNode::App(_, _) => {
+                let right = self.stack.pop().expect("app arg summary");
+                let left = self.stack.pop().expect("app fun summary");
+                let size = 1 + left.structure.size + right.structure.size;
+                let (varmap, left_bigger) = self.merge(arena, size, left.varmap, right.varmap);
+                ESummaryH {
+                    structure: StructH {
+                        hash: scheme.s_app(
+                            size,
+                            left_bigger,
+                            left.structure.hash,
+                            right.structure.hash,
+                        ),
+                        size,
+                    },
+                    varmap,
+                }
+            }
+            ExprNode::Let(x, _, _) => {
+                let mut body = self.stack.pop().expect("let body summary");
+                let rhs = self.stack.pop().expect("let rhs summary");
+                let nh = self.name_hash(arena, x);
+                // Binder removed from the body map first: it does not
+                // scope over the rhs.
+                let x_pos = body.varmap.remove(scheme, x, nh);
+                let size = 1 + rhs.structure.size + body.structure.size;
+                let (varmap, rhs_bigger) = self.merge(arena, size, rhs.varmap, body.varmap);
+                ESummaryH {
+                    structure: StructH {
+                        hash: scheme.s_let(
+                            size,
+                            rhs_bigger,
+                            x_pos.map(|p| p.hash),
+                            rhs.structure.hash,
+                            body.structure.hash,
+                        ),
+                        size,
+                    },
+                    varmap,
+                }
+            }
+        };
+        let hash = summary.hash(scheme);
+        self.stack.push(summary);
+        hash
+    }
+
+    /// Completes a streaming summary begun with [`begin`](Self::begin),
+    /// returning the root e-summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes fed so far do not form exactly one complete
+    /// post-order term.
+    pub fn finish(&mut self) -> ESummaryH<H> {
+        let result = self.stack.pop().expect("summarise produced a result");
+        assert!(
+            self.stack.is_empty(),
+            "finish() with an incomplete post-order feed"
+        );
+        result
+    }
+
+    /// Like [`finish`](Self::finish) but discards the root e-summary,
+    /// returning its spilled map buffer (if any) to the internal pool —
+    /// the right call when only the per-node hashes were wanted, so that
+    /// batch loops over wide-map terms stay allocation-free.
+    pub fn finish_discard(&mut self) {
+        let result = self.finish();
+        result.varmap.recycle(&mut self.pool);
     }
 
     /// Summarises the subtree at `root`, recording per-node hashes through
@@ -346,94 +509,14 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
             lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
             "summarise requires distinct binders (run uniquify first)"
         );
-        let scheme = self.scheme;
-        let mut stack: Vec<ESummaryH<H>> = Vec::new();
-
-        for n in postorder(arena, root) {
-            let summary = match arena.node(n) {
-                ExprNode::Var(s) => {
-                    let pos = PosH {
-                        hash: scheme.pt_here(),
-                        size: 1,
-                    };
-                    let nh = self.name_hash(s);
-                    ESummaryH {
-                        structure: StructH {
-                            hash: scheme.s_var(),
-                            size: 1,
-                        },
-                        varmap: VarMapH::singleton(scheme, s, nh, pos),
-                    }
-                }
-                ExprNode::Lit(l) => ESummaryH {
-                    structure: StructH {
-                        hash: scheme.s_lit(l.kind_tag(), l.payload()),
-                        size: 1,
-                    },
-                    varmap: VarMapH::new(),
-                },
-                ExprNode::Lam(x, _) => {
-                    let mut body = stack.pop().expect("lam body summary");
-                    let nh = self.name_hash(x);
-                    let x_pos = body.varmap.remove(scheme, x, nh);
-                    let size = 1 + body.structure.size;
-                    ESummaryH {
-                        structure: StructH {
-                            hash: scheme.s_lam(size, x_pos.map(|p| p.hash), body.structure.hash),
-                            size,
-                        },
-                        varmap: body.varmap,
-                    }
-                }
-                ExprNode::App(_, _) => {
-                    let right = stack.pop().expect("app arg summary");
-                    let left = stack.pop().expect("app fun summary");
-                    let size = 1 + left.structure.size + right.structure.size;
-                    let (varmap, left_bigger) = self.merge(size, left.varmap, right.varmap);
-                    ESummaryH {
-                        structure: StructH {
-                            hash: scheme.s_app(
-                                size,
-                                left_bigger,
-                                left.structure.hash,
-                                right.structure.hash,
-                            ),
-                            size,
-                        },
-                        varmap,
-                    }
-                }
-                ExprNode::Let(x, _, _) => {
-                    let mut body = stack.pop().expect("let body summary");
-                    let rhs = stack.pop().expect("let rhs summary");
-                    let nh = self.name_hash(x);
-                    // Binder removed from the body map first: it does not
-                    // scope over the rhs.
-                    let x_pos = body.varmap.remove(scheme, x, nh);
-                    let size = 1 + rhs.structure.size + body.structure.size;
-                    let (varmap, rhs_bigger) = self.merge(size, rhs.varmap, body.varmap);
-                    ESummaryH {
-                        structure: StructH {
-                            hash: scheme.s_let(
-                                size,
-                                rhs_bigger,
-                                x_pos.map(|p| p.hash),
-                                rhs.structure.hash,
-                                body.structure.hash,
-                            ),
-                            size,
-                        },
-                        varmap,
-                    }
-                }
-            };
-            record(n, summary.hash(scheme));
-            stack.push(summary);
-        }
-
-        let result = stack.pop().expect("summarise produced a result");
-        debug_assert!(stack.is_empty());
-        result
+        self.begin();
+        let mut walk = std::mem::take(&mut self.walk);
+        postorder_with(arena, root, &mut walk, |n| {
+            let hash = self.push_node(arena, n);
+            record(n, hash);
+        });
+        self.walk = walk;
+        self.finish()
     }
 
     /// Summarises the subtree at `root`, returning its e-summary.

@@ -14,6 +14,7 @@
 //! | [`summary::reference`] | §4.2–4.7 | invertible e-summary, quadratic merge, `rebuild` |
 //! | [`summary::fast`] | §4.8 | smaller-subtree merge with `StructureTag`s, `rebuild` |
 //! | [`hashed`] | §5 | **the final algorithm**: structures/positions as hash codes, XOR map hash |
+//! | [`flatmap`] | §5.2 | flat variable maps: inline small-map storage, sorted-run merges, buffer pool |
 //! | [`equiv`] | §3 | equivalence classes of all subexpressions |
 //! | [`linear`] | App. C | lazy linear-map variant replacing tags |
 //! | [`incremental`] | §6.3 | persistent-map engine re-hashing after local rewrites |
@@ -46,6 +47,7 @@
 pub mod combine;
 pub mod cse;
 pub mod equiv;
+pub mod flatmap;
 pub mod folding;
 pub mod hashed;
 pub mod incremental;
@@ -56,4 +58,5 @@ pub mod summary;
 pub use combine::{HashScheme, HashWord};
 pub use cse::{cse_forest, eliminate_common_subexpressions, CseConfig, CseResult, ForestCse};
 pub use equiv::{ground_truth_classes, hash_classes, shared_dag_size};
+pub use flatmap::{FlatVarMap, MapPool};
 pub use hashed::{hash_all_subexpressions, hash_expr, HashedSummariser, SubtreeHashes};

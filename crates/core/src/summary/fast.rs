@@ -21,10 +21,9 @@
 use crate::intern::NodeInterner;
 use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
 use lambda_lang::literal::Literal;
-use lambda_lang::symbol::Symbol;
+use lambda_lang::symbol::{Interner, Symbol};
 use lambda_lang::visit::postorder;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 
 /// Interned id of a [`PosNodeF`].
 pub type PosId = u32;
@@ -85,8 +84,12 @@ pub enum StructNodeF {
     },
 }
 
-/// Free-variable map, keyed by name for cross-arena comparability.
-pub type VarMapF = BTreeMap<Rc<str>, PosId>;
+/// Free-variable map, keyed by the summariser's **own** name symbols:
+/// dense `u32` ids interned from the variable's string name by the
+/// [`FastSummariser`]'s local name table, so maps built from different
+/// arenas stay comparable (equal names get equal local symbols) without
+/// cloning `Rc<str>` keys around the hot loop.
+pub type VarMapF = BTreeMap<Symbol, PosId>;
 
 /// An invertible e-summary produced by the optimised algorithm.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,6 +107,10 @@ pub struct FastSummariser {
     structs: NodeInterner<StructNodeF>,
     sizes: Vec<u64>,
     pos: NodeInterner<PosNodeF>,
+    /// The summariser's own variable-name interner: [`VarMapF`] keys are
+    /// symbols of *this* interner, not of any arena's, so summaries of
+    /// terms from different arenas compare correctly.
+    names: Interner,
     /// Total `alterVM`-style map operations performed at binary nodes; the
     /// quantity bounded by Lemma 6.1, exposed for the complexity tests.
     pub merge_ops: u64,
@@ -129,16 +136,18 @@ impl FastSummariser {
         self.sizes[id as usize]
     }
 
-    fn name_of(
-        &self,
+    /// The summariser-local symbol for an arena symbol's name. `cache`
+    /// memoises the translation per arena symbol so each distinct name is
+    /// string-hashed once per `summarise` call.
+    fn local_name(
+        &mut self,
         arena: &ExprArena,
-        cache: &mut HashMap<Symbol, Rc<str>>,
+        cache: &mut HashMap<Symbol, Symbol>,
         sym: Symbol,
-    ) -> Rc<str> {
-        cache
+    ) -> Symbol {
+        *cache
             .entry(sym)
-            .or_insert_with(|| Rc::from(arena.name(sym)))
-            .clone()
+            .or_insert_with(|| self.names.intern(arena.name(sym)))
     }
 
     /// Folds the smaller map into the bigger one (§4.8's `add_kv` loop):
@@ -217,7 +226,7 @@ impl FastSummariser {
             lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
             "summarise requires distinct binders (run uniquify first)"
         );
-        let mut names: HashMap<Symbol, Rc<str>> = HashMap::new();
+        let mut names: HashMap<Symbol, Symbol> = HashMap::new();
         let mut stack: Vec<ESummaryFast> = Vec::new();
 
         for n in postorder(arena, root) {
@@ -225,7 +234,8 @@ impl FastSummariser {
                 ExprNode::Var(s) => {
                     let here = self.pos.intern(PosNodeF::Here);
                     let mut vm = VarMapF::new();
-                    vm.insert(self.name_of(arena, &mut names, s), here);
+                    let local = self.local_name(arena, &mut names, s);
+                    vm.insert(local, here);
                     ESummaryFast {
                         structure: self.intern_struct(StructNodeF::Var, 1),
                         varmap: vm,
@@ -237,7 +247,7 @@ impl FastSummariser {
                 },
                 ExprNode::Lam(x, _) => {
                     let mut body = stack.pop().expect("lam body summary");
-                    let name = self.name_of(arena, &mut names, x);
+                    let name = self.local_name(arena, &mut names, x);
                     let x_pos = body.varmap.remove(&name);
                     let size = 1 + self.structure_tag(body.structure);
                     ESummaryFast {
@@ -268,7 +278,7 @@ impl FastSummariser {
                 ExprNode::Let(x, _, _) => {
                     let mut body = stack.pop().expect("let body summary");
                     let rhs = stack.pop().expect("let rhs summary");
-                    let name = self.name_of(arena, &mut names, x);
+                    let name = self.local_name(arena, &mut names, x);
                     let x_pos = body.varmap.remove(&name);
                     let size =
                         1 + self.structure_tag(rhs.structure) + self.structure_tag(body.structure);
@@ -320,12 +330,12 @@ impl FastSummariser {
     fn split_vm(&self, tag: StructureTag, vm: &VarMapF) -> (VarMapF, VarMapF) {
         let mut big = VarMapF::new();
         let mut small = VarMapF::new();
-        for (name, &pos) in vm {
+        for (&name, &pos) in vm {
             if let Some(p) = self.upd_big(tag, pos) {
-                big.insert(name.clone(), p);
+                big.insert(name, p);
             }
             if let Some(p) = self.upd_small(tag, pos) {
-                small.insert(name.clone(), p);
+                small.insert(name, p);
             }
         }
         (big, small)
@@ -333,12 +343,13 @@ impl FastSummariser {
 
     /// Rebuilds an expression alpha-equivalent to the summarised one —
     /// the §4.8 version of `rebuild`, proving the tagged merge loses no
-    /// information.
-    pub fn rebuild(&self, summary: &ESummaryFast, dst: &mut ExprArena) -> NodeId {
+    /// information. (`&mut self` because fresh binder names are interned
+    /// into the summariser's local name table.)
+    pub fn rebuild(&mut self, summary: &ESummaryFast, dst: &mut ExprArena) -> NodeId {
         self.rebuild_rec(summary.structure, &summary.varmap, dst)
     }
 
-    fn rebuild_rec(&self, structure: StructId, vm: &VarMapF, dst: &mut ExprArena) -> NodeId {
+    fn rebuild_rec(&mut self, structure: StructId, vm: &VarMapF, dst: &mut ExprArena) -> NodeId {
         let tag = self.structure_tag(structure);
         match *self.structs.get(structure) {
             StructNodeF::Var => {
@@ -347,9 +358,9 @@ impl FastSummariser {
                     1,
                     "malformed e-summary: Var with non-singleton map"
                 );
-                let (name, &pos) = vm.iter().next().expect("singleton");
+                let (&name, &pos) = vm.iter().next().expect("singleton");
                 assert_eq!(*self.pos.get(pos), PosNodeF::Here, "malformed e-summary");
-                dst.var_named(name)
+                dst.var_named(self.names.resolve(name))
             }
             StructNodeF::Lit(l) => {
                 assert!(vm.is_empty(), "malformed e-summary: literal with free vars");
@@ -359,7 +370,8 @@ impl FastSummariser {
                 let fresh = dst.fresh("x");
                 let mut inner = vm.clone();
                 if let Some(p) = x_pos {
-                    inner.insert(Rc::from(dst.name(fresh)), p);
+                    let local = self.names.intern(dst.name(fresh));
+                    inner.insert(local, p);
                 }
                 let body_id = self.rebuild_rec(body, &inner, dst);
                 dst.lam(fresh, body_id)
@@ -393,7 +405,8 @@ impl FastSummariser {
                 };
                 let fresh = dst.fresh("x");
                 if let Some(p) = pos {
-                    m_body.insert(Rc::from(dst.name(fresh)), p);
+                    let local = self.names.intern(dst.name(fresh));
+                    m_body.insert(local, p);
                 }
                 let r = self.rebuild_rec(rhs, &m_rhs, dst);
                 let b = self.rebuild_rec(body, &m_body, dst);

@@ -1,0 +1,206 @@
+//! Property test: [`FlatVarMap`] against a `BTreeMap` oracle.
+//!
+//! The flat map replaced the tree map on the hashing hot path; this suite
+//! replays random insert/remove/merge sequences against both and demands
+//! bit-identical behaviour at every step — XOR hashes, entry sets (and
+//! their symbol-sorted order), lookup results, and the §4.8
+//! merge-direction decision — at all three benchmark-relevant hash widths
+//! (the Appendix B u16, the default u64, the Theorem 6.8 u128).
+
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_hash::flatmap::{FlatVarMap, MapPool};
+use alpha_hash::hashed::PosH;
+use lambda_lang::symbol::Symbol;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Universe of symbols the generated sequences draw from. Big enough to
+/// exercise the spill path (> inline capacity), small enough that inserts
+/// and removes collide often.
+const UNIVERSE: u32 = 24;
+
+/// One scripted map operation. Symbols and position variety are encoded
+/// as small integers so cases print readably on failure.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u32, u64),
+    Remove(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..UNIVERSE, 1u64..64).prop_map(|(s, v)| Op::Insert(s, v)),
+        (0u32..UNIVERSE).prop_map(Op::Remove),
+    ]
+}
+
+/// The oracle: a plain `BTreeMap` plus the from-scratch XOR fold the flat
+/// map must reproduce incrementally.
+struct Oracle<H: HashWord> {
+    map: BTreeMap<Symbol, PosH<H>>,
+}
+
+impl<H: HashWord> Oracle<H> {
+    fn new() -> Self {
+        Oracle {
+            map: BTreeMap::new(),
+        }
+    }
+
+    fn xor(&self, scheme: &HashScheme<H>, name_hashes: &[u64]) -> H {
+        self.map.iter().fold(H::ZERO, |acc, (sym, pos)| {
+            acc.xor(scheme.entry(name_hashes[sym.index() as usize], pos.hash))
+        })
+    }
+}
+
+/// Applies `ops` to a (flat, oracle) pair, checking equivalence after
+/// every step. Returns the pair for further (merge) checking.
+fn run_ops<H: HashWord>(
+    scheme: &HashScheme<H>,
+    name_hashes: &[u64],
+    ops: &[Op],
+) -> Result<(FlatVarMap<H>, Oracle<H>), TestCaseError> {
+    let mut flat = FlatVarMap::<H>::new();
+    let mut oracle = Oracle::<H>::new();
+    let mut pool = MapPool::new();
+    for &op in ops {
+        match op {
+            Op::Insert(s, v) => {
+                let sym = Symbol::from_index(s);
+                let nh = name_hashes[s as usize];
+                let pos = PosH {
+                    hash: scheme.pt_left(v, scheme.pt_here()),
+                    size: v,
+                };
+                let old_flat = flat.upsert_pooled(scheme, sym, nh, pos, &mut pool);
+                let old_oracle = oracle.map.insert(sym, pos);
+                prop_assert_eq!(old_flat, old_oracle, "upsert old value");
+            }
+            Op::Remove(s) => {
+                let sym = Symbol::from_index(s);
+                let nh = name_hashes[s as usize];
+                let removed_flat = flat.remove(scheme, sym, nh);
+                let removed_oracle = oracle.map.remove(&sym);
+                prop_assert_eq!(removed_flat, removed_oracle, "remove result");
+            }
+        }
+        check_equivalent(scheme, name_hashes, &flat, &oracle)?;
+    }
+    Ok((flat, oracle))
+}
+
+fn check_equivalent<H: HashWord>(
+    scheme: &HashScheme<H>,
+    name_hashes: &[u64],
+    flat: &FlatVarMap<H>,
+    oracle: &Oracle<H>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(flat.len(), oracle.map.len());
+    prop_assert_eq!(flat.is_empty(), oracle.map.is_empty());
+    // Identical XOR hashes, maintained vs recomputed from scratch.
+    prop_assert_eq!(flat.hash(), oracle.xor(scheme, name_hashes));
+    // Identical entry sets in identical (symbol-sorted) order.
+    let flat_entries: Vec<(Symbol, PosH<H>)> = flat.iter().collect();
+    let oracle_entries: Vec<(Symbol, PosH<H>)> = oracle.map.iter().map(|(&s, &p)| (s, p)).collect();
+    prop_assert_eq!(flat_entries, oracle_entries);
+    // Point lookups agree across the whole universe.
+    for s in 0..UNIVERSE {
+        let sym = Symbol::from_index(s);
+        prop_assert_eq!(flat.get(sym), oracle.map.get(&sym).copied());
+    }
+    Ok(())
+}
+
+/// The §4.8 merge on both representations: smaller folded into bigger
+/// with `pt_join`, tagging by `tag`. Checks the merge-direction decision
+/// and the merged result agree.
+fn run_merge<H: HashWord>(
+    scheme: &HashScheme<H>,
+    name_hashes: &[u64],
+    tag: u64,
+    left: (FlatVarMap<H>, Oracle<H>),
+    right: (FlatVarMap<H>, Oracle<H>),
+) -> Result<(), TestCaseError> {
+    // Merge-direction decision: both representations must report the same
+    // sizes, hence pick the same side as "bigger" (ties choose left).
+    let flat_left_bigger = left.0.len() >= right.0.len();
+    let oracle_left_bigger = left.1.map.len() >= right.1.map.len();
+    prop_assert_eq!(flat_left_bigger, oracle_left_bigger, "merge direction");
+
+    let (mut big_flat, small_flat, mut big_oracle, small_oracle) = if flat_left_bigger {
+        (left.0, right.0, left.1, right.1)
+    } else {
+        (right.0, left.0, right.1, left.1)
+    };
+
+    let mut pool = MapPool::new();
+    for (sym, small_pos) in small_flat.iter() {
+        let nh = name_hashes[sym.index() as usize];
+
+        let old_flat = big_flat.get(sym);
+        let old_oracle = big_oracle.map.get(&sym).copied();
+        prop_assert_eq!(old_flat, old_oracle, "pre-merge lookup");
+
+        let size = 1 + old_flat.map_or(0, |p| p.size) + small_pos.size;
+        let joined = PosH {
+            hash: scheme.pt_join(size, tag, old_flat.map(|p| p.hash), small_pos.hash),
+            size,
+        };
+        big_flat.upsert_pooled(scheme, sym, nh, joined, &mut pool);
+        big_oracle.map.insert(sym, joined);
+    }
+    drop(small_oracle);
+    check_equivalent(scheme, name_hashes, &big_flat, &big_oracle)
+}
+
+/// Drives the whole scenario at one width.
+fn scenario<H: HashWord>(
+    seed: u64,
+    ops_a: &[Op],
+    ops_b: &[Op],
+    tag: u64,
+) -> Result<(), TestCaseError> {
+    let scheme: HashScheme<H> = HashScheme::new(seed);
+    let name_hashes: Vec<u64> = (0..UNIVERSE)
+        .map(|i| scheme.var_name(&format!("v{i}")))
+        .collect();
+    let a = run_ops(&scheme, &name_hashes, ops_a)?;
+    let b = run_ops(&scheme, &name_hashes, ops_b)?;
+    run_merge(&scheme, &name_hashes, tag, a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flat_map_matches_btreemap_oracle_u16(
+        seed in any::<u64>(),
+        ops_a in vec(op_strategy(), 0..60),
+        ops_b in vec(op_strategy(), 0..60),
+        tag in 1u64..1000,
+    ) {
+        scenario::<u16>(seed, &ops_a, &ops_b, tag)?;
+    }
+
+    #[test]
+    fn flat_map_matches_btreemap_oracle_u64(
+        seed in any::<u64>(),
+        ops_a in vec(op_strategy(), 0..60),
+        ops_b in vec(op_strategy(), 0..60),
+        tag in 1u64..1000,
+    ) {
+        scenario::<u64>(seed, &ops_a, &ops_b, tag)?;
+    }
+
+    #[test]
+    fn flat_map_matches_btreemap_oracle_u128(
+        seed in any::<u64>(),
+        ops_a in vec(op_strategy(), 0..60),
+        ops_b in vec(op_strategy(), 0..60),
+        tag in 1u64..1000,
+    ) {
+        scenario::<u128>(seed, &ops_a, &ops_b, tag)?;
+    }
+}

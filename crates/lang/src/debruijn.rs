@@ -81,7 +81,17 @@ impl DbArena {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, node: DbNode) -> DbId {
+    /// Interns a free-variable name in this arena's interner, for use in
+    /// [`DbNode::FVar`] nodes pushed via [`DbArena::push`].
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Appends one node, returning its id. The builder's contract is the
+    /// usual arena one: child ids must already exist in this arena. Used
+    /// by external single-pass converters (the store's fused hash+canon
+    /// traversal) that build de Bruijn terms bottom-up.
+    pub fn push(&mut self, node: DbNode) -> DbId {
         let id = DbId(u32::try_from(self.nodes.len()).expect("db arena overflow"));
         self.nodes.push(node);
         id

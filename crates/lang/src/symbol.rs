@@ -30,7 +30,7 @@ pub struct Symbol(u32);
 impl Symbol {
     /// Returns the raw index of this symbol in its interner.
     #[inline]
-    pub fn index(self) -> u32 {
+    pub const fn index(self) -> u32 {
         self.0
     }
 
@@ -40,7 +40,7 @@ impl Symbol {
     /// The caller is responsible for only using indices that came from the
     /// same interner; this is checked (as a bounds check) on `resolve`.
     #[inline]
-    pub fn from_index(index: u32) -> Self {
+    pub const fn from_index(index: u32) -> Self {
         Symbol(index)
     }
 }

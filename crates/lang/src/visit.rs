@@ -118,11 +118,29 @@ pub fn walk_scoped(arena: &ExprArena, root: NodeId, mut f: impl FnMut(ScopeEvent
 /// left before right, `Let` rhs before body). Iterative.
 pub fn postorder(arena: &ExprArena, root: NodeId) -> Vec<NodeId> {
     let mut order = Vec::new();
+    let mut stack = Vec::new();
+    postorder_with(arena, root, &mut stack, |n| order.push(n));
+    order
+}
+
+/// Streaming post-order: calls `f` on each node of the subtree at `root`
+/// in post-order, without materialising the order. `stack` is the
+/// traversal's scratch space — callers that visit many subtrees (the
+/// hashed summariser, batch ingest) pass the same buffer every time so
+/// steady-state traversal performs no allocation at all. The buffer is
+/// cleared on entry; its contents afterwards are unspecified.
+pub fn postorder_with(
+    arena: &ExprArena,
+    root: NodeId,
+    stack: &mut Vec<(NodeId, bool)>,
+    mut f: impl FnMut(NodeId),
+) {
     // Two-phase stack: (node, expanded?).
-    let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+    stack.clear();
+    stack.push((root, false));
     while let Some((n, expanded)) = stack.pop() {
         if expanded {
-            order.push(n);
+            f(n);
             continue;
         }
         stack.push((n, true));
@@ -135,7 +153,6 @@ pub fn postorder(arena: &ExprArena, root: NodeId) -> Vec<NodeId> {
             }
         }
     }
-    order
 }
 
 /// Nodes of the subtree at `root` in pre-order. Iterative.
@@ -200,6 +217,19 @@ mod tests {
         assert!(pos(one) < pos(root));
         assert!(pos(lam) < pos(root));
         assert!(pos(one) < pos(lam), "let rhs before body");
+    }
+
+    #[test]
+    fn postorder_with_streams_in_the_same_order() {
+        let (a, root, _, _) = sample();
+        let mut stack = Vec::new();
+        let mut out = Vec::new();
+        postorder_with(&a, root, &mut stack, |n| out.push(n));
+        assert_eq!(out, postorder(&a, root));
+        // The scratch buffer is reusable across traversals.
+        let mut again = Vec::new();
+        postorder_with(&a, root, &mut stack, |n| again.push(n));
+        assert_eq!(again, out);
     }
 
     #[test]

@@ -57,9 +57,11 @@
 
 pub mod canon;
 pub mod corpus;
+pub mod prepare;
 pub mod stats;
 pub mod store;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
+pub use prepare::Preparer;
 pub use stats::StoreStats;
 pub use store::{AlphaStore, ClassId, InsertOutcome, TermId};

@@ -1,0 +1,207 @@
+//! Fused single-pass ingest preparation: the alpha-hash **and** the
+//! canonical de Bruijn form of a term, from one traversal.
+//!
+//! The store used to prepare a term in two walks — `hash_expr` (post-order
+//! summarisation) followed by `to_debruijn` (scoped conversion) — and each
+//! walk rebuilt its scaffolding from scratch, including re-hashing every
+//! variable name in the arena's interner. [`Preparer`] fuses the two: a
+//! single [`walk_scoped`] traversal drives the streaming
+//! [`HashedSummariser`] (post-order `Exit` events are exactly the
+//! summariser's feed order) while the bracketed `Bind`/`Unbind` events
+//! maintain the binder environment the de Bruijn conversion needs. One
+//! `Preparer` serves a whole batch, so its environment table, node stacks,
+//! summariser scratch buffers and name-hash cache are all reused from term
+//! to term.
+//!
+//! What a batch *shares* across roots is all per-term scaffolding — above
+//! all the name-hash cache, whose per-term recomputation (O(interner) per
+//! insert) dominated the seed's ingest profile. Per-subexpression
+//! *summaries* are deliberately not memoised across roots: the hashed
+//! algorithm consumes (and mutates) each child's variable map at its
+//! parent, so sharing summaries of common subtrees would need persistent
+//! maps (the §6.3 incremental engine's trade) — that is the ROADMAP's
+//! subexpression-granularity store mode, not this pass.
+
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_hash::hashed::HashedSummariser;
+use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
+use lambda_lang::debruijn::{DbArena, DbId, DbNode};
+use lambda_lang::symbol::Symbol;
+use lambda_lang::visit::{walk_scoped, ScopeEvent};
+use std::collections::HashMap;
+
+/// Reusable state for preparing many terms of one arena: the streaming
+/// summariser plus the de Bruijn conversion's environment and stacks.
+pub struct Preparer<'s, H: HashWord> {
+    summariser: HashedSummariser<'s, H>,
+    /// Binder symbol → binding level (distance from the root), for the
+    /// innermost binding. Save/restore via `saved` handles shadowing.
+    env: HashMap<Symbol, u32>,
+    saved: Vec<Option<u32>>,
+    db_stack: Vec<DbId>,
+}
+
+impl<'s, H: HashWord> Preparer<'s, H> {
+    /// A preparer for terms of `arena`, hashing with `scheme`.
+    pub fn new(arena: &ExprArena, scheme: &'s HashScheme<H>) -> Self {
+        Preparer {
+            summariser: HashedSummariser::new(arena, scheme),
+            env: HashMap::new(),
+            saved: Vec::new(),
+            db_stack: Vec::new(),
+        }
+    }
+
+    /// Computes the term's alpha-hash and its canonical de Bruijn form in
+    /// one post-order pass.
+    ///
+    /// The de Bruijn output is structurally identical to
+    /// [`lambda_lang::debruijn::to_debruijn`]'s (the property tests
+    /// cross-check this), and the hash equals
+    /// [`alpha_hash::hashed::hash_expr`]. Terms must satisfy the
+    /// unique-binder precondition (§2.2), as for `hash_expr`.
+    pub fn hash_and_canon(&mut self, arena: &ExprArena, root: NodeId) -> (H, DbArena, DbId) {
+        debug_assert!(
+            lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
+            "store ingest requires distinct binders (run uniquify first)"
+        );
+        let mut dst = DbArena::new();
+        let mut depth: u32 = 0;
+        let mut root_hash = None;
+        self.summariser.begin();
+        self.db_stack.clear();
+
+        // Split-borrow the fields once so the closure can use them all.
+        let summariser = &mut self.summariser;
+        let env = &mut self.env;
+        let saved = &mut self.saved;
+        let db_stack = &mut self.db_stack;
+
+        walk_scoped(arena, root, |ev| match ev {
+            ScopeEvent::Enter(_) => {}
+            ScopeEvent::Bind { sym, .. } => {
+                saved.push(env.insert(sym, depth));
+                depth += 1;
+            }
+            ScopeEvent::Unbind { sym, .. } => {
+                depth -= 1;
+                match saved.pop().expect("balanced bind/unbind") {
+                    Some(level) => {
+                        env.insert(sym, level);
+                    }
+                    None => {
+                        env.remove(&sym);
+                    }
+                }
+            }
+            ScopeEvent::Exit(n) => {
+                root_hash = Some(summariser.push_node(arena, n));
+                let id = match arena.node(n) {
+                    ExprNode::Var(s) => match env.get(&s) {
+                        // `level` counts binders from the root; the index
+                        // counts from the occurrence inward.
+                        Some(&level) => dst.push(DbNode::BVar(depth - level - 1)),
+                        None => {
+                            let name = dst.intern(arena.name(s));
+                            dst.push(DbNode::FVar(name))
+                        }
+                    },
+                    ExprNode::Lit(l) => dst.push(DbNode::Lit(l)),
+                    ExprNode::Lam(_, _) => {
+                        let body = db_stack.pop().expect("lam body");
+                        dst.push(DbNode::Lam(body))
+                    }
+                    ExprNode::App(_, _) => {
+                        let arg = db_stack.pop().expect("app arg");
+                        let fun = db_stack.pop().expect("app fun");
+                        dst.push(DbNode::App(fun, arg))
+                    }
+                    ExprNode::Let(_, _, _) => {
+                        let body = db_stack.pop().expect("let body");
+                        let rhs = db_stack.pop().expect("let rhs");
+                        dst.push(DbNode::Let(rhs, body))
+                    }
+                };
+                db_stack.push(id);
+            }
+        });
+
+        self.summariser.finish_discard();
+        let db_root = self.db_stack.pop().expect("prepare produced a root");
+        debug_assert!(self.db_stack.is_empty());
+        debug_assert!(self.saved.is_empty());
+        debug_assert!(self.env.is_empty());
+        debug_assert_eq!(depth, 0);
+        (root_hash.expect("non-empty term"), dst, db_root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_lang::debruijn::{db_eq, db_print, to_debruijn};
+    use lambda_lang::parse::parse;
+
+    #[test]
+    fn fused_pass_matches_the_two_walk_version() {
+        let scheme: HashScheme<u64> = HashScheme::new(0xFEED);
+        let mut arena = ExprArena::new();
+        let sources = [
+            r"\x. x + 7",
+            r"\x. \y. x + y*7",
+            r"foo (\x. x+7) (\y. y+7)",
+            "let bar = x+1 in bar*y",
+            r"\t. foo (\q. q + t) (\y. \w. w + t)",
+            "(a + (v+7)) * (v+7)",
+            "42",
+            "free",
+        ];
+        let mut preparer = Preparer::new(&arena, &scheme);
+        for src in sources {
+            let parsed = parse(&mut arena, src).unwrap();
+            let (hash, canon, canon_root) = preparer.hash_and_canon(&arena, parsed);
+            assert_eq!(
+                hash,
+                alpha_hash::hashed::hash_expr(&arena, parsed, &scheme),
+                "hash mismatch for {src}"
+            );
+            let (expected, expected_root) = to_debruijn(&arena, parsed);
+            assert!(
+                db_eq(&canon, canon_root, &expected, expected_root),
+                "canon mismatch for {src}: {} vs {}",
+                db_print(&canon, canon_root),
+                db_print(&expected, expected_root)
+            );
+        }
+    }
+
+    #[test]
+    fn preparer_state_is_clean_between_terms() {
+        // A term with deep binders followed by a term with free variables
+        // of the same names: stale environment state would misclassify
+        // them as bound.
+        let scheme: HashScheme<u64> = HashScheme::new(7);
+        let mut arena = ExprArena::new();
+        let bound = parse(&mut arena, r"\x. \y. x y").unwrap();
+        let free = parse(&mut arena, "x y").unwrap();
+        let mut preparer = Preparer::new(&arena, &scheme);
+        let _ = preparer.hash_and_canon(&arena, bound);
+        let (_, canon, canon_root) = preparer.hash_and_canon(&arena, free);
+        assert_eq!(db_print(&canon, canon_root), "x y");
+    }
+
+    #[test]
+    fn deep_terms_are_stack_safe() {
+        let scheme: HashScheme<u64> = HashScheme::new(9);
+        let mut arena = ExprArena::new();
+        let mut e = arena.var_named("z");
+        for i in 0..120_000 {
+            let x = arena.intern(&format!("x{i}"));
+            e = arena.lam(x, e);
+        }
+        let mut preparer = Preparer::new(&arena, &scheme);
+        let (_, canon, canon_root) = preparer.hash_and_canon(&arena, e);
+        assert_eq!(canon.len(), 120_001);
+        assert!(matches!(canon.node(canon_root), DbNode::Lam(_)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Complexity regression tests for the §4.8 merge under [`FlatVarMap`]
+//! storage: the Lemma 6.1 bound — total map operations at binary nodes is
+//! O(n log n) — must survive the flat-map representation change, because
+//! the merge still folds only the smaller map into the bigger one.
+//!
+//! The `merge_ops` counter counts exactly the Lemma 6.1 quantity (one per
+//! smaller-side entry per binary node), so asserting `merge_ops ≤ c·n·log₂ n`
+//! on adversarial deep/skewed inputs from `expr-gen` pins the bound.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hashed::HashedSummariser;
+use lambda_lang::arena::{ExprArena, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Merge-op count for hashing the subtree at `root`.
+fn merge_ops_of(arena: &ExprArena, root: NodeId) -> u64 {
+    let scheme: HashScheme<u64> = HashScheme::new(0xC0);
+    let mut summariser = HashedSummariser::new(arena, &scheme);
+    let _ = summariser.summarise(arena, root);
+    summariser.merge_ops
+}
+
+/// Asserts the Lemma 6.1 bound with a generous constant. The constant
+/// absorbs the ±1 slack of ceil(log) and small-n effects; what the test
+/// guards is the *shape* — a representation bug that made merges touch
+/// the bigger side would overshoot this by orders of magnitude.
+fn assert_log_linear(label: &str, n: usize, ops: u64) {
+    let bound = (2.0 * n as f64 * (n as f64).log2()).ceil() as u64;
+    assert!(
+        ops <= bound,
+        "{label}: merge_ops {ops} exceeds 2·n·log2(n) = {bound} for n = {n}"
+    );
+}
+
+#[test]
+fn adversarial_pairs_stay_log_linear() {
+    // Appendix B.1 pairs: maximally skewed Lam/App wrapper spines around
+    // inequivalent seeds — deep terms whose merges are all 1-into-M.
+    let mut rng = StdRng::seed_from_u64(0xAD);
+    for size in [512usize, 2048, 8192] {
+        let mut arena = ExprArena::new();
+        let (e1, e2) = expr_gen::adversarial_pair(&mut arena, size, &mut rng);
+        for (side, root) in [("left", e1), ("right", e2)] {
+            let ops = merge_ops_of(&arena, root);
+            assert_log_linear(&format!("adversarial {size} ({side})"), size, ops);
+        }
+    }
+}
+
+#[test]
+fn unbalanced_spines_stay_log_linear() {
+    // §7.1's wildly unbalanced family: depth Θ(n).
+    let mut rng = StdRng::seed_from_u64(0xBA);
+    for size in [512usize, 4096, 16384] {
+        let mut arena = ExprArena::new();
+        let root = expr_gen::unbalanced(&mut arena, size, &mut rng);
+        let n = arena.subtree_size(root);
+        let ops = merge_ops_of(&arena, root);
+        assert_log_linear(&format!("unbalanced {size}"), n, ops);
+    }
+}
+
+#[test]
+fn balanced_terms_stay_log_linear() {
+    let mut rng = StdRng::seed_from_u64(0xBB);
+    for size in [512usize, 4096, 16384] {
+        let mut arena = ExprArena::new();
+        let root = expr_gen::balanced(&mut arena, size, &mut rng);
+        let n = arena.subtree_size(root);
+        let ops = merge_ops_of(&arena, root);
+        assert_log_linear(&format!("balanced {size}"), n, ops);
+    }
+}
+
+#[test]
+fn distinct_variable_spine_is_worst_case_linear() {
+    // A left spine applying n distinct free variables: every merge is
+    // 1-into-M with the 1 side always smaller, so ops must be ~n, far
+    // under the n·log n envelope.
+    let mut arena = ExprArena::new();
+    let mut e = arena.var_named("f");
+    let n = 4_000usize;
+    for i in 0..n {
+        let v = arena.var_named(&format!("x{i}"));
+        e = arena.app(e, v);
+    }
+    let ops = merge_ops_of(&arena, e);
+    assert!(ops <= (n + 1) as u64, "spine merges must be linear: {ops}");
+}
