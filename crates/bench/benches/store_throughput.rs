@@ -31,7 +31,8 @@ fn benches(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let store = AlphaStore::with_shards(scheme, 8);
+                    let store: AlphaStore<u64> =
+                        AlphaStore::builder().scheme(scheme).shards(8).build();
                     parallel_ingest(&store, &arena, &roots, threads);
                     std::hint::black_box(store.num_classes())
                 });
@@ -41,10 +42,24 @@ fn benches(c: &mut Criterion) {
 
     group.bench_with_input(BenchmarkId::new("unbatched", 1), &(), |b, ()| {
         b.iter(|| {
-            let store = AlphaStore::with_shards(scheme, 8);
+            let store: AlphaStore<u64> = AlphaStore::builder().scheme(scheme).shards(8).build();
             for &root in &roots {
                 store.insert(&arena, root);
             }
+            std::hint::black_box(store.num_classes())
+        });
+    });
+
+    // Subexpression granularity: the same corpus, with every subterm of
+    // at least 3 nodes indexed for containment queries.
+    group.bench_with_input(BenchmarkId::new("subexpressions", 3), &(), |b, ()| {
+        b.iter(|| {
+            let store: AlphaStore<u64> = AlphaStore::builder()
+                .scheme(scheme)
+                .shards(8)
+                .subexpressions(3)
+                .build();
+            store.insert_batch(&arena, &roots);
             std::hint::black_box(store.num_classes())
         });
     });

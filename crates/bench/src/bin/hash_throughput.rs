@@ -75,7 +75,7 @@ fn main() {
 
     // End-to-end single-threaded store ingest.
     let ingest = best_of(reps, || {
-        let store = AlphaStore::with_shards(scheme, shards);
+        let store = AlphaStore::builder().scheme(scheme).shards(shards).build();
         store.insert_batch(&arena, &roots);
         std::hint::black_box(store.num_classes());
     });

@@ -1,11 +1,11 @@
 //! Measures `AlphaStore` ingest throughput — single-threaded vs
-//! multi-threaded, batched vs one-by-one — and optionally saves the
-//! numbers as JSON.
+//! multi-threaded, batched vs one-by-one, root vs subexpression
+//! granularity — and optionally saves the numbers as JSON.
 //!
 //! ```text
 //! cargo run --release --bin store_throughput -- \
 //!     --terms 20000 --threads 8 --shards 8 --reps 3 \
-//!     --save-json BENCH_store.json
+//!     --sub-min-nodes 3 --save-json BENCH_store.json
 //! ```
 //!
 //! All flags are optional; `--save-json <path>` enables the JSON report
@@ -17,7 +17,10 @@
 //! batched ingest into its **prepare** share (hashing + de Bruijn
 //! canonicalization, the fused lock-free pass) and the remaining **store**
 //! share (shard grouping, locking, bucket probes, confirm-compare), by
-//! timing the prepare pass on its own.
+//! timing the prepare pass on its own. A separate run ingests the same
+//! corpus at `Subexpressions { min_nodes: --sub-min-nodes }` granularity,
+//! so the cost of building the containment index is tracked PR over PR
+//! alongside the root-mode numbers it must not regress.
 
 use alpha_hash::combine::HashScheme;
 use alpha_hash_bench::{best_of, format_ms, parallel_ingest, store_corpus, Args};
@@ -31,8 +34,24 @@ fn ingest(
     shards: usize,
     threads: usize,
 ) -> AlphaStore<u64> {
-    let store = AlphaStore::with_shards(scheme, shards);
+    let store = AlphaStore::builder().scheme(scheme).shards(shards).build();
     parallel_ingest(&store, arena, roots, threads);
+    store
+}
+
+fn ingest_subexpr(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    scheme: HashScheme<u64>,
+    shards: usize,
+    min_nodes: usize,
+) -> AlphaStore<u64> {
+    let store = AlphaStore::builder()
+        .scheme(scheme)
+        .shards(shards)
+        .subexpressions(min_nodes)
+        .build();
+    store.insert_batch(arena, roots);
     store
 }
 
@@ -43,6 +62,7 @@ fn main() {
     let shards = args.get_usize("shards", 8);
     let reps = args.get_usize("reps", 3);
     let seed_pool = args.get_usize("seed-pool", 997) as u64;
+    let sub_min_nodes = args.get_usize("sub-min-nodes", 3);
     let json_path = args.get("save-json", "");
     for (flag, value) in [
         ("terms", terms),
@@ -69,7 +89,7 @@ fn main() {
 
     // Single-threaded, unbatched (per-term lock traffic).
     let unbatched = best_of(reps, || {
-        let store = AlphaStore::with_shards(scheme, shards);
+        let store = AlphaStore::builder().scheme(scheme).shards(shards).build();
         for &root in &roots {
             store.insert(&arena, root);
         }
@@ -96,10 +116,27 @@ fn main() {
     });
     let store_side = (single - prepare).max(0.0);
 
+    // Subexpression granularity, single-threaded batched: same corpus,
+    // every subterm >= --sub-min-nodes nodes indexed for containment.
+    let subexpr = best_of(reps, || {
+        std::hint::black_box(
+            ingest_subexpr(&arena, &roots, scheme, shards, sub_min_nodes).num_classes(),
+        );
+    });
+
     // One audited run for the stats block.
     let store = ingest(&arena, &roots, scheme, shards, threads);
     let stats = store.stats();
     assert!(stats.is_exact(), "store must confirm every merge: {stats}");
+
+    // And one audited subexpression-mode run.
+    let sub_store = ingest_subexpr(&arena, &roots, scheme, shards, sub_min_nodes);
+    let sub_stats = sub_store.stats();
+    assert!(
+        sub_stats.is_exact(),
+        "subexpression merges must be confirmed too: {sub_stats}"
+    );
+    let indexed_entries = terms as u64 + sub_stats.subterms_indexed;
 
     let rate = |secs: f64| terms as f64 / secs;
     let node_rate = |secs: f64| corpus_nodes as f64 / secs;
@@ -133,7 +170,16 @@ fn main() {
         format_ms(store_side),
         100.0 * store_side / single
     );
+    println!(
+        "  subexpr   1 thread : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s, min_nodes {}, {} entries)",
+        format_ms(subexpr),
+        rate(subexpr),
+        node_rate(subexpr),
+        sub_min_nodes,
+        indexed_entries,
+    );
     println!("  {stats}");
+    println!("  subexpr mode: {sub_stats}");
 
     if !json_path.is_empty() {
         let json = format!(
@@ -165,6 +211,19 @@ fn main() {
                 "    \"merges_confirmed\": {merged},\n",
                 "    \"hash_collisions\": {collisions},\n",
                 "    \"unconfirmed_merges\": {unconfirmed}\n",
+                "  }},\n",
+                "  \"subexpr\": {{\n",
+                "    \"min_nodes\": {sub_min_nodes},\n",
+                "    \"single_thread_secs\": {subexpr:.6},\n",
+                "    \"terms_per_sec\": {sub_rate:.1},\n",
+                "    \"corpus_nodes_per_sec\": {sub_node_rate:.1},\n",
+                "    \"indexed_entries\": {indexed_entries},\n",
+                "    \"indexed_entries_per_sec\": {sub_entry_rate:.1},\n",
+                "    \"classes\": {sub_classes},\n",
+                "    \"subterms_indexed\": {subterms_indexed},\n",
+                "    \"subterm_merges_confirmed\": {subterm_merges},\n",
+                "    \"subterms_skipped_min_nodes\": {subterms_skipped},\n",
+                "    \"unconfirmed_merges\": {sub_unconfirmed}\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -192,6 +251,17 @@ fn main() {
             merged = stats.merges_confirmed,
             collisions = stats.hash_collisions,
             unconfirmed = stats.unconfirmed_merges,
+            sub_min_nodes = sub_min_nodes,
+            subexpr = subexpr,
+            sub_rate = rate(subexpr),
+            sub_node_rate = node_rate(subexpr),
+            indexed_entries = indexed_entries,
+            sub_entry_rate = indexed_entries as f64 / subexpr,
+            sub_classes = sub_store.num_classes(),
+            subterms_indexed = sub_stats.subterms_indexed,
+            subterm_merges = sub_stats.subterm_merges_confirmed,
+            subterms_skipped = sub_stats.subterms_skipped_min_nodes,
+            sub_unconfirmed = sub_stats.unconfirmed_merges,
         );
         std::fs::write(&json_path, json)
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));

@@ -472,6 +472,23 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
         hash
     }
 
+    /// Like [`push_node`](Self::push_node), but also returns the node's
+    /// subtree size (its structure size, the §4.8 `StructureTag`). This is
+    /// the per-subexpression record the store's `Subexpressions` mode
+    /// indexes: the batched pass yields `(hash, node_count)` for **every**
+    /// node of the term at no extra cost, so granularity filters like
+    /// `min_nodes` need no second traversal.
+    pub fn push_node_sized(&mut self, arena: &ExprArena, n: NodeId) -> (H, u64) {
+        let hash = self.push_node(arena, n);
+        let size = self
+            .stack
+            .last()
+            .expect("push_node pushed a summary")
+            .structure
+            .size;
+        (hash, size)
+    }
+
     /// Completes a streaming summary begun with [`begin`](Self::begin),
     /// returning the root e-summary.
     ///

@@ -42,6 +42,25 @@ enum Task {
     Exit(NodeId),
 }
 
+/// Reusable scratch space for [`walk_scoped_with`].
+///
+/// A scoped walk needs a work stack; callers that walk many subtrees (the
+/// store's fused ingest pass, the per-subexpression canonicalizer) keep one
+/// `ScopeStack` alive so steady-state traversal performs no allocation.
+/// The stack is cleared on entry to every walk; its contents between walks
+/// are unspecified.
+#[derive(Default)]
+pub struct ScopeStack {
+    tasks: Vec<Task>,
+}
+
+impl ScopeStack {
+    /// An empty scratch stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Depth-first traversal with scope bracketing. Iterative: safe on trees of
 /// any depth.
 ///
@@ -75,9 +94,24 @@ enum Task {
 /// });
 /// assert_eq!(bound_occurrences, 1);
 /// ```
-pub fn walk_scoped(arena: &ExprArena, root: NodeId, mut f: impl FnMut(ScopeEvent)) {
+pub fn walk_scoped(arena: &ExprArena, root: NodeId, f: impl FnMut(ScopeEvent)) {
+    walk_scoped_with(arena, root, &mut ScopeStack::new(), f);
+}
+
+/// [`walk_scoped`] with caller-provided scratch space — the allocation-free
+/// variant for passes that walk many subtrees (one fused ingest pass plus
+/// one canonicalizing sub-walk *per indexed subexpression* in the store's
+/// `Subexpressions` mode all share a single [`ScopeStack`]).
+pub fn walk_scoped_with(
+    arena: &ExprArena,
+    root: NodeId,
+    scratch: &mut ScopeStack,
+    mut f: impl FnMut(ScopeEvent),
+) {
     use crate::arena::ExprNode;
-    let mut stack: Vec<Task> = vec![Task::Enter(root)];
+    let stack = &mut scratch.tasks;
+    stack.clear();
+    stack.push(Task::Enter(root));
     while let Some(task) = stack.pop() {
         match task {
             Task::Enter(n) => {
@@ -277,6 +311,20 @@ mod tests {
             }
         });
         assert_eq!(exits, postorder(&a, root));
+    }
+
+    #[test]
+    fn scoped_walk_scratch_is_reusable() {
+        let (a, root, _, _) = sample();
+        let mut scratch = ScopeStack::new();
+        let mut first = Vec::new();
+        walk_scoped_with(&a, root, &mut scratch, |ev| first.push(ev));
+        let mut second = Vec::new();
+        walk_scoped_with(&a, root, &mut scratch, |ev| second.push(ev));
+        assert_eq!(first, second);
+        let mut reference = Vec::new();
+        walk_scoped(&a, root, |ev| reference.push(ev));
+        assert_eq!(first, reference);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Store granularity as a first-class, configured-once choice, and the
+//! [`StoreBuilder`] front door that fixes it.
+//!
+//! The paper's central result is that **one** O(n (log n)²) pass hashes
+//! *every* subexpression of a term, not just its root. Which of those
+//! hashes a store indexes is a property of the store, not of an individual
+//! call — a containment index built by some inserts but not others would
+//! answer queries inconsistently. So granularity is chosen once, at build
+//! time, through [`StoreBuilder`], and every `insert`/`insert_batch`/query
+//! obeys it:
+//!
+//! * [`Granularity::Roots`] — the classic mode: each inserted term is
+//!   indexed as a whole. `lookup` answers "was an alpha-equivalent term
+//!   ingested?". Ingest cost per term is one fused hash+canonicalize pass,
+//!   O(n (log n)²) hashing plus O(n) canonicalization.
+//! * [`Granularity::Subexpressions`] — the containment mode: every
+//!   subexpression with at least `min_nodes` nodes (the root always) is
+//!   hashed in the **same** fused batched pass — no per-subterm
+//!   `hash_expr` calls — and indexed as its own class member, so
+//!   [`AlphaStore::contains`](crate::AlphaStore::contains) can answer
+//!   "does any ingested term contain this pattern, modulo alpha?".
+//!
+//! ## Cost model
+//!
+//! Hashing all subexpressions stays one O(n (log n)²) pass (the paper's
+//! headline bound). What subexpression *indexing* adds is canonical-form
+//! material: each indexed subterm needs its standalone de Bruijn form,
+//! both to confirm candidate merges exactly and to seed new classes, and
+//! those forms are genuinely different terms (a variable bound outside a
+//! subterm is *free by name* inside it), so they cannot be shared with the
+//! root's form. Building them costs O(size) per indexed subterm — Σ sizes
+//! over indexed subterms per term, which is O(n · depth) in the worst case
+//! (a left spine indexes suffixes of every length). `min_nodes` is the
+//! lever that bounds this: raising it skips the long tail of tiny
+//! subterms, which dominate the count but rarely matter for containment
+//! queries.
+
+use crate::store::AlphaStore;
+use alpha_hash::combine::{HashScheme, HashWord};
+
+/// Which terms an [`AlphaStore`] indexes: whole inserted terms only, or
+/// every subexpression of them. Fixed at build time via [`StoreBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// Index each inserted term as a whole (the classic store mode).
+    Roots,
+    /// Index every subexpression of each inserted term whose node count is
+    /// at least `min_nodes` (the root is always indexed, whatever its
+    /// size), enabling containment queries. `min_nodes <= 1` indexes
+    /// everything, down to single variables and literals.
+    Subexpressions {
+        /// Smallest subexpression (in nodes) worth indexing.
+        min_nodes: usize,
+    },
+}
+
+impl Default for Granularity {
+    /// [`Granularity::Roots`] — the compatible, cheapest mode.
+    fn default() -> Self {
+        Granularity::Roots
+    }
+}
+
+impl Granularity {
+    /// Whether this mode indexes proper subexpressions.
+    pub fn indexes_subexpressions(self) -> bool {
+        matches!(self, Granularity::Subexpressions { .. })
+    }
+
+    /// The indexing size floor: subexpressions smaller than this are
+    /// skipped (1 for [`Granularity::Roots`], where only roots exist).
+    pub fn min_nodes(self) -> usize {
+        match self {
+            Granularity::Roots => 1,
+            Granularity::Subexpressions { min_nodes } => min_nodes.max(1),
+        }
+    }
+}
+
+/// Configures and builds an [`AlphaStore`]: hash scheme, shard count and
+/// [`Granularity`], chosen once, queried many times.
+///
+/// ```
+/// use alpha_store::{AlphaStore, StoreBuilder};
+/// use alpha_hash::combine::HashScheme;
+/// use lambda_lang::{parse, ExprArena};
+///
+/// let store: AlphaStore<u64> = StoreBuilder::new()
+///     .scheme(HashScheme::new(0x5EED))
+///     .shards(8)
+///     .subexpressions(2)
+///     .build();
+///
+/// let mut arena = ExprArena::new();
+/// let t = parse(&mut arena, r"\x. (v + 7) * x").unwrap();
+/// store.insert(&arena, t);
+///
+/// // The pattern never appeared as a whole term, but it is *contained*.
+/// let pattern = parse(&mut arena, "v + 7").unwrap();
+/// assert!(store.contains(&arena, pattern).is_some());
+/// assert!(store.lookup(&arena, pattern).is_none());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StoreBuilder<H: HashWord = u64> {
+    scheme: HashScheme<H>,
+    shards: usize,
+    granularity: Granularity,
+}
+
+impl<H: HashWord> Default for StoreBuilder<H> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H: HashWord> StoreBuilder<H> {
+    /// A builder with the default scheme, the [default shard
+    /// count](AlphaStore::DEFAULT_SHARDS) and [`Granularity::Roots`].
+    pub fn new() -> Self {
+        StoreBuilder {
+            scheme: HashScheme::default(),
+            shards: AlphaStore::<H>::DEFAULT_SHARDS,
+            granularity: Granularity::Roots,
+        }
+    }
+
+    /// Sets the hash scheme terms are addressed with.
+    pub fn scheme(mut self, scheme: HashScheme<H>) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the hash scheme from a seed (shorthand for
+    /// `scheme(HashScheme::new(seed))`).
+    pub fn seed(self, seed: u64) -> Self {
+        self.scheme(HashScheme::new(seed))
+    }
+
+    /// Sets the lock-stripe count (rounded up to a power of two and
+    /// clamped to `1..=65536` at build time).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the granularity mode explicitly.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Selects [`Granularity::Roots`] (the default).
+    pub fn roots(self) -> Self {
+        self.granularity(Granularity::Roots)
+    }
+
+    /// Selects [`Granularity::Subexpressions`] with the given indexing
+    /// floor. See the [module docs](self) for the cost model.
+    pub fn subexpressions(self, min_nodes: usize) -> Self {
+        self.granularity(Granularity::Subexpressions { min_nodes })
+    }
+
+    /// Builds the store.
+    pub fn build(self) -> AlphaStore<H> {
+        AlphaStore::with_config(self.scheme, self.shards, self.granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_the_classic_constructor() {
+        let built: AlphaStore<u64> = StoreBuilder::new().build();
+        let classic: AlphaStore<u64> = AlphaStore::default();
+        assert_eq!(built.shard_count(), classic.shard_count());
+        assert_eq!(built.granularity(), Granularity::Roots);
+        assert_eq!(classic.granularity(), Granularity::Roots);
+    }
+
+    #[test]
+    fn builder_configures_granularity_and_shards() {
+        let store: AlphaStore<u64> = StoreBuilder::new()
+            .seed(7)
+            .shards(4)
+            .subexpressions(3)
+            .build();
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(
+            store.granularity(),
+            Granularity::Subexpressions { min_nodes: 3 }
+        );
+        assert!(store.granularity().indexes_subexpressions());
+        assert_eq!(store.granularity().min_nodes(), 3);
+        assert_eq!(Granularity::Roots.min_nodes(), 1);
+        assert_eq!(Granularity::Subexpressions { min_nodes: 0 }.min_nodes(), 1);
+    }
+}

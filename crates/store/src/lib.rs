@@ -13,6 +13,13 @@
 //!
 //! ## Design
 //!
+//! * **Configured once, queried many.** A [`StoreBuilder`] fixes the hash
+//!   scheme, shard count and [`Granularity`] up front:
+//!   [`Granularity::Roots`] indexes whole inserted terms (the classic
+//!   mode), [`Granularity::Subexpressions`] indexes *every* subexpression
+//!   of them — hashed in the same fused O(n (log n)²) batched pass, never
+//!   per-subterm — so [`AlphaStore::contains`] can answer containment
+//!   queries modulo alpha. See [`granularity`] for the cost model.
 //! * **Content addressing.** Each term is hashed with the workspace's
 //!   [`HashScheme`](alpha_hash::combine::HashScheme); the hash routes the
 //!   term to one of N lock-striped shards, so concurrent ingest contends
@@ -51,17 +58,35 @@
 //! assert_eq!(store.num_terms(), 2);
 //! # Ok::<(), lambda_lang::ParseError>(())
 //! ```
+//!
+//! For the subexpression-granularity mode and containment queries:
+//!
+//! ```
+//! use alpha_store::AlphaStore;
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: AlphaStore<u64> = AlphaStore::builder().subexpressions(2).build();
+//! let mut arena = ExprArena::new();
+//! let t = parse(&mut arena, r"map (\x. x + 1) things")?;
+//! store.insert(&arena, t);
+//! let pattern = parse(&mut arena, r"\q. q + 1")?; // alpha-renamed subterm
+//! assert!(store.contains(&arena, pattern).is_some());
+//! # Ok::<(), lambda_lang::ParseError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod canon;
 pub mod corpus;
+pub mod granularity;
 pub mod prepare;
+pub mod query;
 pub mod stats;
 pub mod store;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
-pub use prepare::Preparer;
+pub use granularity::{Granularity, StoreBuilder};
+pub use prepare::{PreparedTerm, Preparer, SubEntry};
 pub use stats::StoreStats;
-pub use store::{AlphaStore, ClassId, InsertOutcome, TermId};
+pub use store::{AlphaStore, ClassId, InsertOutcome, SubexprSummary, TermId};

@@ -5,7 +5,7 @@
 //! summarisation) followed by `to_debruijn` (scoped conversion) — and each
 //! walk rebuilt its scaffolding from scratch, including re-hashing every
 //! variable name in the arena's interner. [`Preparer`] fuses the two: a
-//! single [`walk_scoped`] traversal drives the streaming
+//! single [`walk_scoped_with`] traversal drives the streaming
 //! [`HashedSummariser`] (post-order `Exit` events are exactly the
 //! summariser's feed order) while the bracketed `Bind`/`Unbind` events
 //! maintain the binder environment the de Bruijn conversion needs. One
@@ -13,22 +13,138 @@
 //! summariser scratch buffers and name-hash cache are all reused from term
 //! to term.
 //!
+//! Two preparation shapes share that fused walk:
+//!
+//! * [`Preparer::hash_and_canon`] — root granularity: the term's hash and
+//!   canonical form, nothing else.
+//! * [`Preparer::prepare_term`] — subexpression granularity: the same
+//!   fused walk additionally records `(hash, node_count)` for **every**
+//!   node (the summariser computes them anyway — this is the paper's
+//!   headline result), then builds a standalone canonical form per
+//!   subexpression that clears the `min_nodes` floor. Those forms cannot
+//!   be sliced out of the root's form — a variable bound *outside* a
+//!   subterm is free *by name* inside it — so each one is a dedicated
+//!   O(size) scoped sub-walk ([`Preparer::canon_subterm`]), with no
+//!   re-hashing anywhere.
+//!
 //! What a batch *shares* across roots is all per-term scaffolding — above
 //! all the name-hash cache, whose per-term recomputation (O(interner) per
 //! insert) dominated the seed's ingest profile. Per-subexpression
 //! *summaries* are deliberately not memoised across roots: the hashed
 //! algorithm consumes (and mutates) each child's variable map at its
 //! parent, so sharing summaries of common subtrees would need persistent
-//! maps (the §6.3 incremental engine's trade) — that is the ROADMAP's
-//! subexpression-granularity store mode, not this pass.
+//! maps (the §6.3 incremental engine's trade).
 
 use alpha_hash::combine::{HashScheme, HashWord};
 use alpha_hash::hashed::HashedSummariser;
 use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
 use lambda_lang::debruijn::{DbArena, DbId, DbNode};
 use lambda_lang::symbol::Symbol;
-use lambda_lang::visit::{walk_scoped, ScopeEvent};
+use lambda_lang::visit::{walk_scoped_with, ScopeEvent, ScopeStack};
 use std::collections::HashMap;
+
+/// One prepared (sub)expression: everything the store needs to index it —
+/// content address, size, and the standalone canonical de Bruijn form that
+/// confirms merges exactly.
+#[derive(Debug)]
+pub struct SubEntry<H> {
+    /// The alpha-invariant hash (content address).
+    pub hash: H,
+    /// Node count of the subexpression.
+    pub node_count: u64,
+    /// Canonical de Bruijn form, standalone: variables bound outside the
+    /// subexpression appear free, by name.
+    pub canon: DbArena,
+    /// Root of `canon`.
+    pub canon_root: DbId,
+}
+
+/// A term prepared at subexpression granularity by
+/// [`Preparer::prepare_term`]: the root entry plus one entry per indexed
+/// proper subexpression.
+#[derive(Debug)]
+pub struct PreparedTerm<H> {
+    /// The whole term (always indexed, whatever its size).
+    pub root: SubEntry<H>,
+    /// Indexed proper subexpressions, in post-order.
+    pub subs: Vec<SubEntry<H>>,
+    /// Proper subexpressions skipped by the `min_nodes` floor.
+    pub skipped: u64,
+}
+
+/// Brings `sym` into scope at the current depth, remembering any shadowed
+/// outer binding on the `saved` stack. Shared, like [`unbind`] and
+/// [`emit_db`], by the fused root walk and the per-subexpression
+/// canonicalizing sub-walks, so the two can never drift apart.
+fn bind(
+    env: &mut HashMap<Symbol, u32>,
+    saved: &mut Vec<Option<u32>>,
+    depth: &mut u32,
+    sym: Symbol,
+) {
+    saved.push(env.insert(sym, *depth));
+    *depth += 1;
+}
+
+/// Takes `sym` out of scope, restoring whatever binding [`bind`] shadowed.
+fn unbind(
+    env: &mut HashMap<Symbol, u32>,
+    saved: &mut Vec<Option<u32>>,
+    depth: &mut u32,
+    sym: Symbol,
+) {
+    *depth -= 1;
+    match saved.pop().expect("balanced bind/unbind") {
+        Some(level) => {
+            env.insert(sym, level);
+        }
+        None => {
+            env.remove(&sym);
+        }
+    }
+}
+
+/// Converts one post-order node to de Bruijn form against the current
+/// binder environment. `env` maps binder symbols to binding levels
+/// (distance from the walk root); occurrences of symbols not in `env` are
+/// free and keep their names. Shared by the fused root walk and the
+/// per-subexpression canonicalizing sub-walks.
+fn emit_db(
+    arena: &ExprArena,
+    n: NodeId,
+    env: &HashMap<Symbol, u32>,
+    depth: u32,
+    dst: &mut DbArena,
+    db_stack: &mut Vec<DbId>,
+) {
+    let id = match arena.node(n) {
+        ExprNode::Var(s) => match env.get(&s) {
+            // `level` counts binders from the root; the index counts from
+            // the occurrence inward.
+            Some(&level) => dst.push(DbNode::BVar(depth - level - 1)),
+            None => {
+                let name = dst.intern(arena.name(s));
+                dst.push(DbNode::FVar(name))
+            }
+        },
+        ExprNode::Lit(l) => dst.push(DbNode::Lit(l)),
+        ExprNode::Lam(_, _) => {
+            let body = db_stack.pop().expect("lam body");
+            dst.push(DbNode::Lam(body))
+        }
+        ExprNode::App(_, _) => {
+            let arg = db_stack.pop().expect("app arg");
+            let fun = db_stack.pop().expect("app fun");
+            dst.push(DbNode::App(fun, arg))
+        }
+        ExprNode::Let(_, _, _) => {
+            let body = db_stack.pop().expect("let body");
+            let rhs = db_stack.pop().expect("let rhs");
+            dst.push(DbNode::Let(rhs, body))
+        }
+    };
+    db_stack.push(id);
+}
 
 /// Reusable state for preparing many terms of one arena: the streaming
 /// summariser plus the de Bruijn conversion's environment and stacks.
@@ -39,6 +155,11 @@ pub struct Preparer<'s, H: HashWord> {
     env: HashMap<Symbol, u32>,
     saved: Vec<Option<u32>>,
     db_stack: Vec<DbId>,
+    /// Traversal scratch shared by every scoped walk this preparer runs.
+    scope: ScopeStack,
+    /// Per-node `(node, hash, size)` records of the latest fused walk, in
+    /// post-order (so the root is last). Only filled by `prepare_term`.
+    sub_infos: Vec<(NodeId, H, u64)>,
 }
 
 impl<'s, H: HashWord> Preparer<'s, H> {
@@ -49,18 +170,17 @@ impl<'s, H: HashWord> Preparer<'s, H> {
             env: HashMap::new(),
             saved: Vec::new(),
             db_stack: Vec::new(),
+            scope: ScopeStack::new(),
+            sub_infos: Vec::new(),
         }
     }
 
-    /// Computes the term's alpha-hash and its canonical de Bruijn form in
-    /// one post-order pass.
-    ///
-    /// The de Bruijn output is structurally identical to
-    /// [`lambda_lang::debruijn::to_debruijn`]'s (the property tests
-    /// cross-check this), and the hash equals
-    /// [`alpha_hash::hashed::hash_expr`]. Terms must satisfy the
-    /// unique-binder precondition (§2.2), as for `hash_expr`.
-    pub fn hash_and_canon(&mut self, arena: &ExprArena, root: NodeId) -> (H, DbArena, DbId) {
+    /// The fused pass: one scoped traversal drives the streaming
+    /// summariser (hashes) and the de Bruijn conversion (root canonical
+    /// form) together. With `record`, also logs every node's
+    /// `(hash, size)` — the per-subexpression table of the batched
+    /// summariser — into `self.sub_infos`.
+    fn fused_walk(&mut self, arena: &ExprArena, root: NodeId, record: bool) -> (H, DbArena, DbId) {
         debug_assert!(
             lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
             "store ingest requires distinct binders (run uniquify first)"
@@ -70,59 +190,26 @@ impl<'s, H: HashWord> Preparer<'s, H> {
         let mut root_hash = None;
         self.summariser.begin();
         self.db_stack.clear();
+        self.sub_infos.clear();
 
         // Split-borrow the fields once so the closure can use them all.
         let summariser = &mut self.summariser;
         let env = &mut self.env;
         let saved = &mut self.saved;
         let db_stack = &mut self.db_stack;
+        let sub_infos = &mut self.sub_infos;
 
-        walk_scoped(arena, root, |ev| match ev {
+        walk_scoped_with(arena, root, &mut self.scope, |ev| match ev {
             ScopeEvent::Enter(_) => {}
-            ScopeEvent::Bind { sym, .. } => {
-                saved.push(env.insert(sym, depth));
-                depth += 1;
-            }
-            ScopeEvent::Unbind { sym, .. } => {
-                depth -= 1;
-                match saved.pop().expect("balanced bind/unbind") {
-                    Some(level) => {
-                        env.insert(sym, level);
-                    }
-                    None => {
-                        env.remove(&sym);
-                    }
-                }
-            }
+            ScopeEvent::Bind { sym, .. } => bind(env, saved, &mut depth, sym),
+            ScopeEvent::Unbind { sym, .. } => unbind(env, saved, &mut depth, sym),
             ScopeEvent::Exit(n) => {
-                root_hash = Some(summariser.push_node(arena, n));
-                let id = match arena.node(n) {
-                    ExprNode::Var(s) => match env.get(&s) {
-                        // `level` counts binders from the root; the index
-                        // counts from the occurrence inward.
-                        Some(&level) => dst.push(DbNode::BVar(depth - level - 1)),
-                        None => {
-                            let name = dst.intern(arena.name(s));
-                            dst.push(DbNode::FVar(name))
-                        }
-                    },
-                    ExprNode::Lit(l) => dst.push(DbNode::Lit(l)),
-                    ExprNode::Lam(_, _) => {
-                        let body = db_stack.pop().expect("lam body");
-                        dst.push(DbNode::Lam(body))
-                    }
-                    ExprNode::App(_, _) => {
-                        let arg = db_stack.pop().expect("app arg");
-                        let fun = db_stack.pop().expect("app fun");
-                        dst.push(DbNode::App(fun, arg))
-                    }
-                    ExprNode::Let(_, _, _) => {
-                        let body = db_stack.pop().expect("let body");
-                        let rhs = db_stack.pop().expect("let rhs");
-                        dst.push(DbNode::Let(rhs, body))
-                    }
-                };
-                db_stack.push(id);
+                let (hash, size) = summariser.push_node_sized(arena, n);
+                root_hash = Some(hash);
+                if record {
+                    sub_infos.push((n, hash, size));
+                }
+                emit_db(arena, n, env, depth, &mut dst, db_stack);
             }
         });
 
@@ -134,6 +221,95 @@ impl<'s, H: HashWord> Preparer<'s, H> {
         debug_assert_eq!(depth, 0);
         (root_hash.expect("non-empty term"), dst, db_root)
     }
+
+    /// Computes the term's alpha-hash and its canonical de Bruijn form in
+    /// one post-order pass.
+    ///
+    /// The de Bruijn output is structurally identical to
+    /// [`lambda_lang::debruijn::to_debruijn`]'s (the property tests
+    /// cross-check this), and the hash equals
+    /// [`alpha_hash::hashed::hash_expr`]. Terms must satisfy the
+    /// unique-binder precondition (§2.2), as for `hash_expr`.
+    pub fn hash_and_canon(&mut self, arena: &ExprArena, root: NodeId) -> (H, DbArena, DbId) {
+        self.fused_walk(arena, root, false)
+    }
+
+    /// Prepares a term at subexpression granularity: **one** fused
+    /// O(n (log n)²) walk hashes every node (no per-subterm `hash_expr`),
+    /// then each proper subexpression with at least `min_nodes` nodes gets
+    /// its standalone canonical form from an O(size) non-hashing sub-walk.
+    /// The root is always included, whatever its size.
+    pub fn prepare_term(
+        &mut self,
+        arena: &ExprArena,
+        root: NodeId,
+        min_nodes: usize,
+    ) -> PreparedTerm<H> {
+        let min_nodes = min_nodes.max(1) as u64;
+        let (root_hash, root_canon, root_canon_root) = self.fused_walk(arena, root, true);
+        let infos = std::mem::take(&mut self.sub_infos);
+        debug_assert_eq!(infos.last().map(|&(n, _, _)| n), Some(root));
+
+        let mut subs = Vec::new();
+        let mut skipped = 0u64;
+        let mut root_size = 0u64;
+        for &(node, hash, size) in &infos {
+            if node == root {
+                root_size = size;
+                continue;
+            }
+            if size < min_nodes {
+                skipped += 1;
+                continue;
+            }
+            let (canon, canon_root) = self.canon_subterm(arena, node);
+            debug_assert_eq!(canon.len() as u64, size);
+            subs.push(SubEntry {
+                hash,
+                node_count: size,
+                canon,
+                canon_root,
+            });
+        }
+        self.sub_infos = infos; // give the buffer back for reuse
+        PreparedTerm {
+            root: SubEntry {
+                hash: root_hash,
+                node_count: root_size,
+                canon: root_canon,
+                canon_root: root_canon_root,
+            },
+            subs,
+            skipped,
+        }
+    }
+
+    /// The standalone canonical de Bruijn form of the subexpression at
+    /// `node`: a scoped walk that starts from an **empty** environment, so
+    /// binders outside the subexpression are simply unknown and their
+    /// occurrences come out free, by name — exactly the semantics the
+    /// subexpression has as a term of its own. No hashing happens here.
+    fn canon_subterm(&mut self, arena: &ExprArena, node: NodeId) -> (DbArena, DbId) {
+        let mut dst = DbArena::new();
+        let mut depth: u32 = 0;
+        self.db_stack.clear();
+
+        let env = &mut self.env;
+        let saved = &mut self.saved;
+        let db_stack = &mut self.db_stack;
+
+        walk_scoped_with(arena, node, &mut self.scope, |ev| match ev {
+            ScopeEvent::Enter(_) => {}
+            ScopeEvent::Bind { sym, .. } => bind(env, saved, &mut depth, sym),
+            ScopeEvent::Unbind { sym, .. } => unbind(env, saved, &mut depth, sym),
+            ScopeEvent::Exit(n) => emit_db(arena, n, env, depth, &mut dst, db_stack),
+        });
+
+        let root_id = self.db_stack.pop().expect("canon_subterm produced a root");
+        debug_assert!(self.db_stack.is_empty());
+        debug_assert!(self.env.is_empty());
+        (dst, root_id)
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +317,7 @@ mod tests {
     use super::*;
     use lambda_lang::debruijn::{db_eq, db_print, to_debruijn};
     use lambda_lang::parse::parse;
+    use lambda_lang::visit::postorder;
 
     #[test]
     fn fused_pass_matches_the_two_walk_version() {
@@ -203,5 +380,78 @@ mod tests {
         let (_, canon, canon_root) = preparer.hash_and_canon(&arena, e);
         assert_eq!(canon.len(), 120_001);
         assert!(matches!(canon.node(canon_root), DbNode::Lam(_)));
+    }
+
+    #[test]
+    fn prepare_term_hashes_match_the_batch_hasher_per_node() {
+        // The per-subexpression hashes must equal what hash_expr computes
+        // on each subtree standalone — i.e. the fused pass really is the
+        // paper's all-subexpressions result, not a root-only shortcut.
+        let scheme: HashScheme<u64> = HashScheme::new(0xBEEF);
+        let mut arena = ExprArena::new();
+        let sources = [
+            r"\x. \y. x + y*7",
+            r"foo (\x. x+7) (\y. y+7)",
+            "let bar = x+1 in bar*(bar+y)",
+        ];
+        let mut preparer = Preparer::new(&arena, &scheme);
+        for src in sources {
+            let parsed = parse(&mut arena, src).unwrap();
+            let pt = preparer.prepare_term(&arena, parsed, 1);
+            assert_eq!(pt.skipped, 0);
+            let nodes = postorder(&arena, parsed);
+            // Every proper subexpression appears, in post-order, and its
+            // recorded hash equals the standalone hash.
+            assert_eq!(pt.subs.len(), nodes.len() - 1);
+            for (entry, &node) in pt.subs.iter().zip(&nodes) {
+                assert_eq!(
+                    entry.hash,
+                    alpha_hash::hashed::hash_expr(&arena, node, &scheme),
+                    "subexpression hash mismatch in {src}"
+                );
+                assert_eq!(entry.node_count as usize, arena.subtree_size(node));
+                // The canonical form is the subterm's own, standalone.
+                let (expected, expected_root) = to_debruijn(&arena, node);
+                assert!(
+                    db_eq(&entry.canon, entry.canon_root, &expected, expected_root),
+                    "canon mismatch for a subexpression of {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subterm_canonical_forms_free_outer_binders_by_name() {
+        // In \x. x + 1, the body subterm x + 1 standalone has x *free*:
+        // its canonical form must name it, not index it. (`x + 1` is the
+        // curried App(App(add, x), 1), so the term has 6 nodes.)
+        let scheme: HashScheme<u64> = HashScheme::new(1);
+        let mut arena = ExprArena::new();
+        let parsed = parse(&mut arena, r"\x. x + 1").unwrap();
+        let mut preparer = Preparer::new(&arena, &scheme);
+        let pt = preparer.prepare_term(&arena, parsed, 3);
+        // Two subterms clear the 3-node floor: `add x` and `add x 1`; the
+        // leaves add, x and 1 are skipped.
+        assert_eq!(pt.subs.len(), 2);
+        assert_eq!(pt.skipped, 3);
+        assert_eq!(db_print(&pt.subs[0].canon, pt.subs[0].canon_root), "add x");
+        assert_eq!(
+            db_print(&pt.subs[1].canon, pt.subs[1].canon_root),
+            "add x 1"
+        );
+        assert_eq!(db_print(&pt.root.canon, pt.root.canon_root), r"\. add %0 1");
+        assert_eq!(pt.root.node_count, 6);
+    }
+
+    #[test]
+    fn min_nodes_floor_skips_small_subterms_but_never_the_root() {
+        let scheme: HashScheme<u64> = HashScheme::new(2);
+        let mut arena = ExprArena::new();
+        let parsed = parse(&mut arena, "v").unwrap();
+        let mut preparer = Preparer::new(&arena, &scheme);
+        let pt = preparer.prepare_term(&arena, parsed, 50);
+        assert!(pt.subs.is_empty());
+        assert_eq!(pt.skipped, 0);
+        assert_eq!(pt.root.node_count, 1);
     }
 }

@@ -27,6 +27,16 @@ pub struct StoreStats {
     /// Merges taken on hash equality without confirmation. The store never
     /// does this; the counter exists so auditing code can assert it.
     pub unconfirmed_merges: u64,
+    /// Subexpression entries indexed (subexpression-granularity stores
+    /// only; roots are counted in `terms_ingested`, never here).
+    pub subterms_indexed: u64,
+    /// Of `subterms_indexed`, how many merged into an existing class after
+    /// the canonical comparison confirmed true alpha-equivalence. Kept
+    /// apart from `merges_confirmed` so root-level dedup ratios stay
+    /// comparable across granularities.
+    pub subterm_merges_confirmed: u64,
+    /// Subexpressions skipped by the granularity's `min_nodes` floor.
+    pub subterms_skipped_min_nodes: u64,
 }
 
 impl StoreStats {
@@ -47,7 +57,17 @@ impl fmt::Display for StoreStats {
             self.merges_confirmed,
             self.hash_collisions,
             self.unconfirmed_merges,
-        )
+        )?;
+        if self.subterms_indexed > 0 || self.subterms_skipped_min_nodes > 0 {
+            write!(
+                f,
+                " + {} subterms indexed ({} confirmed subterm merges, {} skipped by min_nodes)",
+                self.subterms_indexed,
+                self.subterm_merges_confirmed,
+                self.subterms_skipped_min_nodes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -60,11 +80,20 @@ pub(crate) struct StatCounters {
     pub(crate) merges_confirmed: AtomicU64,
     pub(crate) hash_collisions: AtomicU64,
     pub(crate) unconfirmed_merges: AtomicU64,
+    pub(crate) subterms_indexed: AtomicU64,
+    pub(crate) subterm_merges_confirmed: AtomicU64,
+    pub(crate) subterms_skipped_min_nodes: AtomicU64,
 }
 
 impl StatCounters {
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> StoreStats {
@@ -74,6 +103,9 @@ impl StatCounters {
             merges_confirmed: self.merges_confirmed.load(Ordering::Relaxed),
             hash_collisions: self.hash_collisions.load(Ordering::Relaxed),
             unconfirmed_merges: self.unconfirmed_merges.load(Ordering::Relaxed),
+            subterms_indexed: self.subterms_indexed.load(Ordering::Relaxed),
+            subterm_merges_confirmed: self.subterm_merges_confirmed.load(Ordering::Relaxed),
+            subterms_skipped_min_nodes: self.subterms_skipped_min_nodes.load(Ordering::Relaxed),
         }
     }
 }

@@ -22,7 +22,8 @@
 //! counted in [`StoreStats::hash_collisions`].
 
 use crate::canon::rebuild_named;
-use crate::prepare::Preparer;
+use crate::granularity::{Granularity, StoreBuilder};
+use crate::prepare::{PreparedTerm, Preparer, SubEntry};
 use crate::stats::{StatCounters, StoreStats};
 use alpha_hash::combine::{mix64, HashScheme, HashWord};
 use lambda_lang::arena::{ExprArena, NodeId};
@@ -48,8 +49,8 @@ macro_rules! fmt_id {
 /// removed or renumbered).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId {
-    shard: u16,
-    index: u32,
+    pub(crate) shard: u16,
+    pub(crate) index: u32,
 }
 
 impl ClassId {
@@ -79,12 +80,27 @@ impl fmt::Debug for ClassId {
 /// maps it back to its class.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId {
-    shard: u16,
-    index: u32,
+    pub(crate) shard: u16,
+    pub(crate) index: u32,
 }
 
 impl fmt::Debug for TermId {
     fmt_id!("t");
+}
+
+/// What one insert did to the subexpression index. All-zero in
+/// [`Granularity::Roots`] mode, where no subexpressions are indexed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubexprSummary {
+    /// Proper subexpressions indexed by this insert (the root itself is
+    /// accounted by the term's own class, not here).
+    pub indexed: u64,
+    /// Of those, how many merged into an existing class (merge confirmed
+    /// by canonical-form comparison, as always).
+    pub merged: u64,
+    /// Proper subexpressions skipped by the granularity's `min_nodes`
+    /// floor.
+    pub skipped_min_nodes: u64,
 }
 
 /// What one insert did.
@@ -96,26 +112,38 @@ pub struct InsertOutcome {
     pub class: ClassId,
     /// `true` iff this insert created the class (first member).
     pub fresh: bool,
+    /// What the insert did to the subexpression index.
+    pub subs: SubexprSummary,
 }
 
 /// One stored equivalence class: the canonical de Bruijn form of its
 /// members plus bookkeeping.
-struct StoredClass<H> {
-    hash: H,
-    canon: DbArena,
-    canon_root: DbId,
-    node_count: usize,
-    members: u64,
+pub(crate) struct StoredClass<H> {
+    pub(crate) hash: H,
+    pub(crate) canon: DbArena,
+    pub(crate) canon_root: DbId,
+    pub(crate) node_count: usize,
+    /// Whole-term inserts into this class. Zero for classes that only ever
+    /// appeared as subexpressions of ingested terms.
+    pub(crate) members: u64,
+    /// Total appearances: whole-term inserts plus every indexed
+    /// subexpression occurrence. Equals `members` in `Roots` mode.
+    pub(crate) occurrences: u64,
 }
 
 /// One lock stripe: hash-addressed classes plus the shard-local term log.
-struct Shard<H> {
+pub(crate) struct Shard<H> {
     /// Hash → indexes into `classes`. Almost always a single entry; more
     /// only under a true hash collision.
     buckets: HashMap<H, Vec<u32>>,
-    classes: Vec<StoredClass<H>>,
+    pub(crate) classes: Vec<StoredClass<H>>,
     /// Term-local index → class index.
-    terms: Vec<u32>,
+    pub(crate) terms: Vec<u32>,
+    /// Term-local index → sorted, deduplicated [`ClassId::to_bits`] of the
+    /// term's indexed subexpression classes (including the term's own
+    /// class). Always empty boxes in `Roots` mode, where the root class is
+    /// recovered from `terms` instead.
+    pub(crate) term_subs: Vec<Box<[u64]>>,
 }
 
 impl<H: HashWord> Shard<H> {
@@ -124,21 +152,33 @@ impl<H: HashWord> Shard<H> {
             buckets: HashMap::new(),
             classes: Vec::new(),
             terms: Vec::new(),
+            term_subs: Vec::new(),
         }
     }
 
-    /// Inserts a prepared term, returning (class index, fresh, collided).
+    /// Inserts one prepared entry — a whole term (`is_root`) or an indexed
+    /// subexpression — returning (class index, fresh, collided).
     /// `collided` is true whenever this insert's hash matched at least one
     /// class that turned out not to be alpha-equivalent — on the merge
     /// path as well as on class creation — matching the definition of
     /// [`StoreStats::hash_collisions`].
-    fn insert_prepared(&mut self, p: Prepared<H>) -> (u32, bool, bool) {
-        let bucket = self.buckets.entry(p.hash).or_default();
+    fn insert_entry(
+        &mut self,
+        hash: H,
+        canon: DbArena,
+        canon_root: DbId,
+        is_root: bool,
+    ) -> (u32, bool, bool) {
+        let bucket = self.buckets.entry(hash).or_default();
         let mut mismatched = false;
         for &ci in bucket.iter() {
             let class = &self.classes[ci as usize];
-            if db_eq(&class.canon, class.canon_root, &p.canon, p.canon_root) {
-                self.classes[ci as usize].members += 1;
+            if db_eq(&class.canon, class.canon_root, &canon, canon_root) {
+                let class = &mut self.classes[ci as usize];
+                class.occurrences += 1;
+                if is_root {
+                    class.members += 1;
+                }
                 return (ci, false, mismatched);
             }
             mismatched = true;
@@ -147,16 +187,17 @@ impl<H: HashWord> Shard<H> {
         let ci = u32::try_from(self.classes.len()).expect("shard class overflow");
         bucket.push(ci);
         self.classes.push(StoredClass {
-            hash: p.hash,
-            node_count: p.canon.len(),
-            canon: p.canon,
-            canon_root: p.canon_root,
-            members: 1,
+            hash,
+            node_count: canon.len(),
+            canon,
+            canon_root,
+            members: u64::from(is_root),
+            occurrences: 1,
         });
         (ci, true, collided)
     }
 
-    fn find(&self, p: &Prepared<H>) -> Option<u32> {
+    pub(crate) fn find(&self, p: &Prepared<H>) -> Option<u32> {
         self.buckets.get(&p.hash)?.iter().copied().find(|&ci| {
             let class = &self.classes[ci as usize];
             db_eq(&class.canon, class.canon_root, &p.canon, p.canon_root)
@@ -165,11 +206,22 @@ impl<H: HashWord> Shard<H> {
 }
 
 /// The per-term work done outside any lock: hash plus canonical form.
-struct Prepared<H> {
-    hash: H,
-    shard: usize,
-    canon: DbArena,
-    canon_root: DbId,
+pub(crate) struct Prepared<H> {
+    pub(crate) hash: H,
+    pub(crate) shard: usize,
+    pub(crate) canon: DbArena,
+    pub(crate) canon_root: DbId,
+}
+
+impl<H: HashWord> Prepared<H> {
+    fn from_entry(entry: SubEntry<H>, shard: usize) -> Self {
+        Prepared {
+            hash: entry.hash,
+            shard,
+            canon: entry.canon,
+            canon_root: entry.canon_root,
+        }
+    }
 }
 
 /// A sharded, concurrent, content-addressed store of alpha-equivalence
@@ -200,9 +252,10 @@ struct Prepared<H> {
 /// ```
 pub struct AlphaStore<H: HashWord = u64> {
     scheme: HashScheme<H>,
-    shards: Box<[RwLock<Shard<H>>]>,
+    pub(crate) shards: Box<[RwLock<Shard<H>>]>,
     mask: usize,
     counters: StatCounters,
+    granularity: Granularity,
 }
 
 impl<H: HashWord> Default for AlphaStore<H> {
@@ -219,14 +272,32 @@ impl<H: HashWord> AlphaStore<H> {
     /// single-threaded use.
     pub const DEFAULT_SHARDS: usize = 16;
 
-    /// A store hashing with `scheme`, with the default shard count.
+    /// The configuring front door: a [`StoreBuilder`] with the default
+    /// scheme, shard count and [`Granularity::Roots`].
+    pub fn builder() -> StoreBuilder<H> {
+        StoreBuilder::new()
+    }
+
+    /// A [`Granularity::Roots`] store hashing with `scheme`, with the
+    /// default shard count. Thin shim over [`AlphaStore::builder`], kept
+    /// so pre-builder call sites stay source-compatible.
     pub fn new(scheme: HashScheme<H>) -> Self {
         Self::with_shards(scheme, Self::DEFAULT_SHARDS)
     }
 
-    /// A store with an explicit shard count. The count is rounded up to a
-    /// power of two and clamped to `1..=65536`.
+    /// A [`Granularity::Roots`] store with an explicit shard count (shim
+    /// over [`AlphaStore::builder`], like [`AlphaStore::new`]). The count
+    /// is rounded up to a power of two and clamped to `1..=65536`.
     pub fn with_shards(scheme: HashScheme<H>, shards: usize) -> Self {
+        Self::with_config(scheme, shards, Granularity::Roots)
+    }
+
+    /// The actual constructor, reached via [`StoreBuilder::build`].
+    pub(crate) fn with_config(
+        scheme: HashScheme<H>,
+        shards: usize,
+        granularity: Granularity,
+    ) -> Self {
         let count = shards.clamp(1, 1 << 16).next_power_of_two();
         let shards: Box<[RwLock<Shard<H>>]> =
             (0..count).map(|_| RwLock::new(Shard::new())).collect();
@@ -235,12 +306,18 @@ impl<H: HashWord> AlphaStore<H> {
             shards,
             mask: count - 1,
             counters: StatCounters::default(),
+            granularity,
         }
     }
 
     /// The hash scheme terms are addressed with.
     pub fn scheme(&self) -> &HashScheme<H> {
         &self.scheme
+    }
+
+    /// The granularity mode fixed at build time.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
     }
 
     /// Number of lock stripes.
@@ -250,7 +327,7 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Routes a hash to its shard. Re-mixed so that shard choice is not
     /// correlated with the low bits used by the buckets' `HashMap`.
-    fn shard_of(&self, hash: H) -> usize {
+    pub(crate) fn shard_of(&self, hash: H) -> usize {
         let (lo, hi) = hash.to_lanes();
         (mix64(lo ^ hi.rotate_left(32)) as usize) & self.mask
     }
@@ -259,7 +336,7 @@ impl<H: HashWord> AlphaStore<H> {
     /// post-order pass per term, with all scratch state (name-hash cache,
     /// traversal stacks, map pool) living in `preparer` so batches reuse
     /// it across terms.
-    fn prepare(
+    pub(crate) fn prepare(
         &self,
         preparer: &mut Preparer<'_, H>,
         arena: &ExprArena,
@@ -276,7 +353,10 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Ingests one term: routes it by content address, confirms any
     /// candidate merge by canonical-form comparison, and either joins an
-    /// existing class or creates a new one.
+    /// existing class or creates a new one. Under
+    /// [`Granularity::Subexpressions`], additionally indexes every
+    /// subexpression clearing the `min_nodes` floor, all hashed in the
+    /// same fused pass.
     ///
     /// ```
     /// use alpha_store::AlphaStore;
@@ -290,15 +370,28 @@ impl<H: HashWord> AlphaStore<H> {
     /// assert_eq!(store.class_of(outcome.term), outcome.class);
     /// ```
     pub fn insert(&self, arena: &ExprArena, root: NodeId) -> InsertOutcome {
-        let mut preparer = Preparer::new(arena, &self.scheme);
-        let prepared = self.prepare(&mut preparer, arena, root);
-        let mut shard = self.shards[prepared.shard]
-            .write()
-            .expect("shard lock poisoned");
-        self.finish_insert(&mut shard, prepared)
+        match self.granularity {
+            Granularity::Roots => {
+                let mut preparer = Preparer::new(arena, &self.scheme);
+                let prepared = self.prepare(&mut preparer, arena, root);
+                let mut shard = self.shards[prepared.shard]
+                    .write()
+                    .expect("shard lock poisoned");
+                self.finish_insert(&mut shard, prepared, SubexprSummary::default(), Vec::new())
+            }
+            Granularity::Subexpressions { min_nodes } => {
+                let mut preparer = Preparer::new(arena, &self.scheme);
+                let pt = preparer.prepare_term(arena, root, min_nodes);
+                self.ingest_prepared_terms(vec![pt])
+                    .pop()
+                    .expect("one term ingested")
+            }
+        }
     }
 
-    /// Ingests a batch of terms, taking each shard lock at most once.
+    /// Ingests a batch of terms, taking each shard lock at most once (at
+    /// most twice under [`Granularity::Subexpressions`]: one sweep for the
+    /// batch's subexpression entries, one for the roots).
     ///
     /// Outcomes are returned in input order. Equivalent to calling
     /// [`AlphaStore::insert`] per term, but with per-term lock traffic
@@ -306,26 +399,47 @@ impl<H: HashWord> AlphaStore<H> {
     /// scratch state and the name-hash cache are never rebuilt per term —
     /// the natural entry point for high-throughput ingest.
     pub fn insert_batch(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
+        match self.granularity {
+            Granularity::Roots => self.insert_batch_roots(arena, roots),
+            Granularity::Subexpressions { min_nodes } => {
+                self.insert_batch_subs(arena, roots, min_nodes)
+            }
+        }
+    }
+
+    fn insert_batch_roots(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
         // All hashing/canonicalization first, outside any lock…
         let mut preparer = Preparer::new(arena, &self.scheme);
         let prepared: Vec<Prepared<H>> = roots
             .iter()
             .map(|&r| self.prepare(&mut preparer, arena, r))
             .collect();
+        // …then drain shard by shard.
+        self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
+    }
 
-        // …then group by shard and drain shard by shard, one lock each.
+    /// Drains prepared roots grouped by shard, one write lock per shard,
+    /// finishing each insert in input order. `extras` supplies the i-th
+    /// term's subexpression summary and class-bits list — trivially empty
+    /// in `Roots` mode. The shared drain protocol for both granularities.
+    fn drain_roots(
+        &self,
+        prepared: Vec<Prepared<H>>,
+        mut extras: impl FnMut(usize) -> (SubexprSummary, Vec<u64>),
+    ) -> Vec<InsertOutcome> {
+        let count = prepared.len();
         let mut by_shard: HashMap<usize, Vec<(usize, Prepared<H>)>> = HashMap::new();
         for (i, p) in prepared.into_iter().enumerate() {
             by_shard.entry(p.shard).or_default().push((i, p));
         }
-
-        let mut outcomes: Vec<Option<InsertOutcome>> = vec![None; roots.len()];
+        let mut outcomes: Vec<Option<InsertOutcome>> = vec![None; count];
         for (shard_index, items) in by_shard {
             let mut shard = self.shards[shard_index]
                 .write()
                 .expect("shard lock poisoned");
             for (i, p) in items {
-                outcomes[i] = Some(self.finish_insert(&mut shard, p));
+                let (summary, sub_bits) = extras(i);
+                outcomes[i] = Some(self.finish_insert(&mut shard, p, summary, sub_bits));
             }
         }
         outcomes
@@ -334,11 +448,117 @@ impl<H: HashWord> AlphaStore<H> {
             .collect()
     }
 
-    /// The critical section of an insert (shard lock already held).
-    fn finish_insert(&self, shard: &mut Shard<H>, prepared: Prepared<H>) -> InsertOutcome {
+    /// Subexpression-granularity batch ingest: every term is prepared by
+    /// the fused batched pass (all subexpression hashes from one walk),
+    /// then handed to [`AlphaStore::ingest_prepared_terms`].
+    fn insert_batch_subs(
+        &self,
+        arena: &ExprArena,
+        roots: &[NodeId],
+        min_nodes: usize,
+    ) -> Vec<InsertOutcome> {
+        let mut preparer = Preparer::new(arena, &self.scheme);
+        let prepared = roots
+            .iter()
+            .map(|&r| preparer.prepare_term(arena, r, min_nodes))
+            .collect();
+        self.ingest_prepared_terms(prepared)
+    }
+
+    /// The subexpression-granularity critical path, shared by `insert` (a
+    /// one-element batch) and `insert_batch`: the whole batch's
+    /// subexpression entries are drained shard by shard, then the roots —
+    /// each shard locked at most twice.
+    fn ingest_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
+        let count = terms.len();
+        let mut summaries: Vec<SubexprSummary> = Vec::with_capacity(count);
+        let mut sub_bits: Vec<Vec<u64>> = Vec::with_capacity(count);
+        let mut roots_prepared: Vec<Prepared<H>> = Vec::with_capacity(count);
+        let mut by_shard: HashMap<usize, Vec<(usize, SubEntry<H>)>> = HashMap::new();
+        let mut total_skipped = 0u64;
+
+        for (ti, pt) in terms.into_iter().enumerate() {
+            summaries.push(SubexprSummary {
+                skipped_min_nodes: pt.skipped,
+                ..SubexprSummary::default()
+            });
+            total_skipped += pt.skipped;
+            sub_bits.push(Vec::with_capacity(pt.subs.len() + 1));
+            for entry in pt.subs {
+                let shard = self.shard_of(entry.hash);
+                by_shard.entry(shard).or_default().push((ti, entry));
+            }
+            let root_shard = self.shard_of(pt.root.hash);
+            roots_prepared.push(Prepared::from_entry(pt.root, root_shard));
+        }
+        StatCounters::add(&self.counters.subterms_skipped_min_nodes, total_skipped);
+
+        // Sweep 1: the batch's subexpression entries, one lock per shard.
+        // Counter deltas accumulate locally and publish once at the end,
+        // so no atomic traffic happens inside the critical sections.
+        let (mut n_indexed, mut n_created, mut n_merged, mut n_collided) = (0u64, 0u64, 0u64, 0u64);
+        for (shard_index, entries) in by_shard {
+            let mut shard = self.shards[shard_index]
+                .write()
+                .expect("shard lock poisoned");
+            let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
+            for (ti, entry) in entries {
+                let (class_index, fresh, collided) =
+                    shard.insert_entry(entry.hash, entry.canon, entry.canon_root, false);
+                n_indexed += 1;
+                if fresh {
+                    n_created += 1;
+                } else {
+                    n_merged += 1;
+                    summaries[ti].merged += 1;
+                }
+                if collided {
+                    n_collided += 1;
+                }
+                summaries[ti].indexed += 1;
+                sub_bits[ti].push(
+                    ClassId {
+                        shard: shard_u16,
+                        index: class_index,
+                    }
+                    .to_bits(),
+                );
+            }
+        }
+        StatCounters::add(&self.counters.subterms_indexed, n_indexed);
+        StatCounters::add(&self.counters.classes_created, n_created);
+        StatCounters::add(&self.counters.subterm_merges_confirmed, n_merged);
+        StatCounters::add(&self.counters.hash_collisions, n_collided);
+
+        // Sort + dedup each term's class list now, outside any lock;
+        // finish_insert only splices in the root's own class bit.
+        for bits in &mut sub_bits {
+            bits.sort_unstable();
+            bits.dedup();
+        }
+
+        // Sweep 2: the roots, one lock per shard.
+        self.drain_roots(roots_prepared, |i| {
+            (summaries[i], std::mem::take(&mut sub_bits[i]))
+        })
+    }
+
+    /// The critical section of a root insert (shard lock already held).
+    /// `sub_bits` are the term's indexed subexpression classes as
+    /// [`ClassId::to_bits`], **already sorted and deduplicated** (the
+    /// caller does that outside the lock); only the term's own class bit
+    /// is spliced in here, since it is not known until the insert.
+    fn finish_insert(
+        &self,
+        shard: &mut Shard<H>,
+        prepared: Prepared<H>,
+        subs: SubexprSummary,
+        mut sub_bits: Vec<u64>,
+    ) -> InsertOutcome {
         StatCounters::bump(&self.counters.terms_ingested);
         let shard_u16 = u16::try_from(prepared.shard).expect("shard count fits u16");
-        let (class_index, fresh, collided) = shard.insert_prepared(prepared);
+        let (class_index, fresh, collided) =
+            shard.insert_entry(prepared.hash, prepared.canon, prepared.canon_root, true);
         if fresh {
             StatCounters::bump(&self.counters.classes_created);
         } else {
@@ -347,32 +567,61 @@ impl<H: HashWord> AlphaStore<H> {
         if collided {
             StatCounters::bump(&self.counters.hash_collisions);
         }
+        let class = ClassId {
+            shard: shard_u16,
+            index: class_index,
+        };
+        if self.granularity.indexes_subexpressions() {
+            let bits = class.to_bits();
+            if let Err(pos) = sub_bits.binary_search(&bits) {
+                sub_bits.insert(pos, bits);
+            }
+        }
         let term_index = u32::try_from(shard.terms.len()).expect("shard term overflow");
         shard.terms.push(class_index);
+        shard.term_subs.push(sub_bits.into_boxed_slice());
         InsertOutcome {
             term: TermId {
                 shard: shard_u16,
                 index: term_index,
             },
-            class: ClassId {
-                shard: shard_u16,
-                index: class_index,
-            },
+            class,
             fresh,
+            subs,
         }
     }
 
-    /// Finds the class of a term **without** ingesting it.
-    pub fn lookup(&self, arena: &ExprArena, root: NodeId) -> Option<ClassId> {
+    /// The read-only probe shared by [`AlphaStore::lookup`] and
+    /// [`AlphaStore::contains`]: hash + canonicalize outside the lock,
+    /// then find the confirming class under the shard's read lock.
+    /// `roots_only` narrows the answer to classes with at least one
+    /// whole-term member.
+    pub(crate) fn probe(
+        &self,
+        arena: &ExprArena,
+        root: NodeId,
+        roots_only: bool,
+    ) -> Option<ClassId> {
         let mut preparer = Preparer::new(arena, &self.scheme);
         let prepared = self.prepare(&mut preparer, arena, root);
         let shard = self.shards[prepared.shard]
             .read()
             .expect("shard lock poisoned");
-        shard.find(&prepared).map(|index| ClassId {
-            shard: u16::try_from(prepared.shard).expect("shard count fits u16"),
-            index,
-        })
+        shard
+            .find(&prepared)
+            .filter(|&index| !roots_only || shard.classes[index as usize].members > 0)
+            .map(|index| ClassId {
+                shard: u16::try_from(prepared.shard).expect("shard count fits u16"),
+                index,
+            })
+    }
+
+    /// Finds the class of a term ingested **as a whole term**, without
+    /// ingesting the query. Classes that only ever appeared as
+    /// subexpressions of ingested terms do not count — that is what
+    /// [`AlphaStore::contains`] answers.
+    pub fn lookup(&self, arena: &ExprArena, root: NodeId) -> Option<ClassId> {
+        self.probe(arena, root, true)
     }
 
     /// The class a previously ingested term belongs to.
@@ -411,22 +660,31 @@ impl<H: HashWord> AlphaStore<H> {
         self.num_terms() == 0
     }
 
-    /// Snapshot of every class handle, ordered by shard then creation.
+    /// Every class handle, ordered by shard then creation, as a **lazy**
+    /// iterator: nothing is allocated up front, and each stripe's lock is
+    /// taken (briefly, read-only) only when the iteration reaches it.
     ///
-    /// The snapshot is taken shard by shard: classes created concurrently
-    /// with the call may or may not appear, but every handle returned is
-    /// valid forever.
-    pub fn classes(&self) -> Vec<ClassId> {
-        let mut out = Vec::new();
-        for (si, stripe) in self.shards.iter().enumerate() {
-            let shard = stripe.read().expect("shard lock poisoned");
+    /// The view is taken shard by shard: classes created concurrently with
+    /// the iteration may or may not appear, but every handle returned is
+    /// valid forever. Collect with [`AlphaStore::classes_vec`] when a
+    /// point-in-time `Vec` is wanted (e.g. to sort).
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.shards.iter().enumerate().flat_map(|(si, stripe)| {
+            let len = stripe.read().expect("shard lock poisoned").classes.len() as u32;
             let si = u16::try_from(si).expect("shard count fits u16");
-            out.extend((0..shard.classes.len() as u32).map(|index| ClassId { shard: si, index }));
-        }
-        out
+            (0..len).map(move |index| ClassId { shard: si, index })
+        })
     }
 
-    /// How many ingested terms belong to `class`.
+    /// [`AlphaStore::classes`] collected into a `Vec` — the allocating
+    /// shape the API originally exposed.
+    pub fn classes_vec(&self) -> Vec<ClassId> {
+        self.classes().collect()
+    }
+
+    /// How many **whole ingested terms** belong to `class`. Zero for
+    /// classes that only ever appeared as subexpressions (see
+    /// [`AlphaStore::occurrences`] for the count that includes those).
     ///
     /// # Panics
     ///
@@ -485,7 +743,7 @@ impl<H: HashWord> AlphaStore<H> {
         self.counters.snapshot()
     }
 
-    fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {
+    pub(crate) fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {
         let shard = self.shards[class.shard as usize]
             .read()
             .expect("shard lock poisoned");

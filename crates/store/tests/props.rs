@@ -10,11 +10,12 @@
 //!     threads racing on the shards produce the same class partition as a
 //!     single thread, with identical stats invariants.
 
-use alpha_hash::combine::HashScheme;
+use alpha_hash::combine::{HashScheme, HashWord};
 use alpha_hash::equiv::{ground_truth_classes, same_partition};
-use alpha_store::{AlphaStore, ClassId};
+use alpha_store::{AlphaStore, ClassId, Granularity};
 use lambda_lang::arena::{ExprArena, NodeId};
 use lambda_lang::uniquify::uniquify_into;
+use lambda_lang::visit::postorder;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +47,56 @@ fn corpus(arena: &mut ExprArena, seed: u64, count: usize) -> Vec<NodeId> {
         }
     }
     roots
+}
+
+/// Brute-force containment oracle: is some subexpression of some ingested
+/// term alpha-equivalent to `pattern`, subject to the store's granularity?
+/// Enumerates every (ingested subexpression, pattern) pair with the O(n)
+/// reference predicate `alpha_eq` — the quadratic ground truth the
+/// store's one-probe `contains` must agree with exactly.
+fn oracle_contains(
+    arena: &ExprArena,
+    ingested: &[NodeId],
+    pattern: NodeId,
+    granularity: Granularity,
+) -> bool {
+    ingested.iter().any(|&t| match granularity {
+        Granularity::Roots => lambda_lang::alpha_eq(arena, t, arena, pattern),
+        Granularity::Subexpressions { .. } => postorder(arena, t).into_iter().any(|s| {
+            // Roots are always indexed; proper subterms only above the
+            // floor.
+            (s == t || arena.subtree_size(s) >= granularity.min_nodes())
+                && lambda_lang::alpha_eq(arena, s, arena, pattern)
+        }),
+    })
+}
+
+/// One store at the given width/granularity, checked against the oracle
+/// for every pattern.
+fn check_contains_against_oracle<H: HashWord>(
+    arena: &ExprArena,
+    ingested: &[NodeId],
+    patterns: &[NodeId],
+    granularity: Granularity,
+) -> Result<(), TestCaseError> {
+    let store: AlphaStore<H> = AlphaStore::builder()
+        .scheme(HashScheme::new(0x0C_A1))
+        .shards(4)
+        .granularity(granularity)
+        .build();
+    store.insert_batch(arena, ingested);
+    prop_assert!(store.stats().is_exact());
+    for &pattern in patterns {
+        let hit = store.contains(arena, pattern).is_some();
+        let truth = oracle_contains(arena, ingested, pattern, granularity);
+        prop_assert_eq!(
+            hit,
+            truth,
+            "contains disagrees with the alpha_eq oracle ({:?})",
+            granularity
+        );
+    }
+    Ok(())
 }
 
 /// Groups term indexes by their store class.
@@ -158,6 +209,76 @@ proptest! {
         prop_assert_eq!(seq_stats.terms_ingested, conc_stats.terms_ingested);
         prop_assert_eq!(seq_stats.classes_created, conc_stats.classes_created);
         prop_assert_eq!(seq_stats.merges_confirmed, conc_stats.merges_confirmed);
+    }
+
+    /// `contains` answers exactly the brute-force containment predicate —
+    /// for every subexpression pattern, at u64 and u128 hash widths, in
+    /// both granularity modes (and at two `min_nodes` floors).
+    #[test]
+    fn contains_agrees_with_bruteforce_oracle(seed in any::<u64>(), size in 3usize..40) {
+        let mut arena = ExprArena::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Two ingested terms of different families, plus an alpha-renamed
+        // copy of the first so patterns hit under renaming.
+        let a = expr_gen::balanced(&mut arena, size, &mut rng);
+        let b = expr_gen::arithmetic(&mut arena, size.max(8), &mut rng);
+        let scratch = arena.clone();
+        let a_renamed = uniquify_into(&scratch, a, &mut arena);
+        let ingested = [a, b, a_renamed];
+
+        // Patterns: every subexpression of an ingested term (positives at
+        // all depths) and of an unrelated term (mostly misses).
+        let stranger = expr_gen::unbalanced(&mut arena, size, &mut rng);
+        let mut patterns = postorder(&arena, a);
+        patterns.extend(postorder(&arena, stranger));
+
+        for granularity in [
+            Granularity::Roots,
+            Granularity::Subexpressions { min_nodes: 1 },
+            Granularity::Subexpressions { min_nodes: 4 },
+        ] {
+            check_contains_against_oracle::<u64>(&arena, &ingested, &patterns, granularity)?;
+            check_contains_against_oracle::<u128>(&arena, &ingested, &patterns, granularity)?;
+        }
+    }
+
+    /// Inserting one term at subexpression granularity partitions its
+    /// subexpressions exactly like the ground-truth pairwise predicate,
+    /// and occurrence counts mirror the class sizes.
+    #[test]
+    fn subexpression_classes_match_ground_truth(seed in any::<u64>(), size in 3usize..50) {
+        let mut arena = ExprArena::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = match size % 3 {
+            0 => expr_gen::balanced(&mut arena, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut arena, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut arena, size.max(8), &mut rng),
+        };
+
+        let store: AlphaStore<u64> = AlphaStore::builder()
+            .scheme(scheme())
+            .subexpressions(1)
+            .build();
+        let outcome = store.insert(&arena, root);
+
+        let truth = ground_truth_classes(&arena, root);
+        prop_assert_eq!(store.num_classes(), truth.len());
+        prop_assert_eq!(
+            outcome.subs.indexed as usize + 1,
+            arena.subtree_size(root)
+        );
+        prop_assert_eq!(outcome.subs.skipped_min_nodes, 0);
+
+        // Each ground-truth class maps to one store class whose occurrence
+        // count is exactly the class's node count.
+        for class_nodes in &truth {
+            let class = store
+                .contains(&arena, class_nodes[0])
+                .expect("every subexpression is indexed");
+            prop_assert_eq!(store.occurrences(class), class_nodes.len() as u64);
+        }
+        prop_assert!(store.stats().is_exact());
     }
 
     /// Representatives: for any ingested term, the class representative is

@@ -31,7 +31,7 @@ fn main() {
     );
 
     // ── Concurrent ingest ────────────────────────────────────────────────
-    let store: AlphaStore<u64> = AlphaStore::with_shards(HashScheme::new(0x5EED), 8);
+    let store: AlphaStore<u64> = AlphaStore::builder().seed(0x5EED).shards(8).build();
     let start = Instant::now();
     parallel_ingest(&store, &arena, &roots, THREADS);
     let ingest = start.elapsed();
@@ -73,7 +73,7 @@ fn main() {
     );
 
     // ── Classes up close ─────────────────────────────────────────────────
-    let mut classes = store.classes();
+    let mut classes = store.classes_vec();
     classes.sort_by_key(|&c| std::cmp::Reverse(store.members(c)));
     println!("\nbiggest classes:");
     for &class in classes.iter().take(3) {

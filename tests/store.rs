@@ -71,6 +71,58 @@ fn concurrent_corpus_dedup_is_exact() {
 }
 
 #[test]
+fn subexpression_mode_stats_are_exact_and_consistent() {
+    const MIN_NODES: usize = 3;
+    let mut arena = ExprArena::new();
+    let roots = store_corpus(&mut arena, 300, 23);
+
+    let store: AlphaStore<u64> = AlphaStore::builder()
+        .seed(0x5EED)
+        .shards(8)
+        .subexpressions(MIN_NODES)
+        .build();
+    let outcomes = store.insert_batch(&arena, &roots);
+    let stats = store.stats();
+
+    // Exactness first: the whole point of confirmed merges — at both
+    // granularities — is that this never moves off zero.
+    assert!(stats.is_exact(), "{stats}");
+    assert_eq!(stats.unconfirmed_merges, 0);
+
+    // Root-side counters keep their classic identities.
+    assert_eq!(stats.terms_ingested, roots.len() as u64);
+    assert_eq!(
+        stats.classes_created,
+        store.num_classes() as u64,
+        "every class on record was created by exactly one insert entry"
+    );
+
+    // Subexpression counters reconcile with the per-insert summaries…
+    let indexed: u64 = outcomes.iter().map(|o| o.subs.indexed).sum();
+    let merged: u64 = outcomes.iter().map(|o| o.subs.merged).sum();
+    let skipped: u64 = outcomes.iter().map(|o| o.subs.skipped_min_nodes).sum();
+    assert_eq!(stats.subterms_indexed, indexed);
+    assert_eq!(stats.subterm_merges_confirmed, merged);
+    assert_eq!(stats.subterms_skipped_min_nodes, skipped);
+    assert!(indexed > 0 && skipped > 0, "corpus exercises the floor");
+
+    // …and with the corpus shape: every proper subexpression was either
+    // indexed or skipped by the floor, never silently dropped.
+    let proper_subterms: u64 = roots
+        .iter()
+        .map(|&r| arena.subtree_size(r) as u64 - 1)
+        .sum();
+    assert_eq!(indexed + skipped, proper_subterms);
+
+    // Membership/occurrence bookkeeping balances over all classes.
+    let classes: Vec<ClassId> = store.classes().collect();
+    let members: u64 = classes.iter().map(|&c| store.members(c)).sum();
+    let occurrences: u64 = classes.iter().map(|&c| store.occurrences(c)).sum();
+    assert_eq!(members, stats.terms_ingested);
+    assert_eq!(occurrences, stats.terms_ingested + stats.subterms_indexed);
+}
+
+#[test]
 fn store_backed_cse_over_a_corpus_shrinks_it() {
     let mut arena = ExprArena::new();
     let mut roots = Vec::new();
