@@ -63,6 +63,30 @@ fn benches(c: &mut Criterion) {
             std::hint::black_box(store.num_classes())
         });
     });
+
+    // Durable mode: the same batched ingest with every chunk teeing a
+    // group-committed WAL append (OS-buffered). NOTE: the vendored
+    // criterion stub has no iter_batched, so each iteration also pays the
+    // fresh-directory setup (remove_dir_all + WAL-header fsync) — this
+    // row tracks regressions in the whole durable cycle, not the pure
+    // ingest gap. For the clean ingest-only durability overhead, see
+    // `durable.overhead_vs_memory` in BENCH_store.json (the binary
+    // starts its timer after open_durable).
+    let durable_dir =
+        std::env::temp_dir().join(format!("store-throughput-bench-{}", std::process::id()));
+    group.bench_with_input(BenchmarkId::new("durable", 1), &(), |b, ()| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&durable_dir);
+            let store: AlphaStore<u64> = AlphaStore::builder()
+                .scheme(scheme)
+                .shards(8)
+                .open_durable(&durable_dir)
+                .expect("create durable store");
+            store.insert_batch(&arena, &roots);
+            std::hint::black_box(store.num_classes())
+        });
+    });
+    let _ = std::fs::remove_dir_all(&durable_dir);
     group.finish();
 }
 

@@ -55,6 +55,27 @@ fn ingest_subexpr(
     store
 }
 
+/// Durable-mode ingest into a fresh directory: every batch chunk is one
+/// group-committed WAL append (OS-buffered; the default durability
+/// boundary). The directory is recreated per call so each rep pays the
+/// same setup.
+fn ingest_durable(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    scheme: HashScheme<u64>,
+    shards: usize,
+    dir: &std::path::Path,
+) -> AlphaStore<u64> {
+    let _ = std::fs::remove_dir_all(dir);
+    let store = AlphaStore::builder()
+        .scheme(scheme)
+        .shards(shards)
+        .open_durable(dir)
+        .expect("create durable store");
+    store.insert_batch(arena, roots);
+    store
+}
+
 fn main() {
     let args = Args::parse();
     let terms = args.get_usize("terms", 20_000);
@@ -124,6 +145,35 @@ fn main() {
         );
     });
 
+    // Durable mode (WAL tee, group commit per chunk), single-threaded
+    // batched: the overhead over `single` is the cost of durability.
+    let durable_dir = std::path::PathBuf::from(
+        args.get(
+            "durable-dir",
+            &std::env::temp_dir()
+                .join(format!("store-throughput-durable-{}", std::process::id()))
+                .to_string_lossy(),
+        ),
+    );
+    // Timed by hand instead of `best_of` so each rep's directory setup
+    // (remove + create + fsync the fresh WAL header) stays outside the
+    // measurement — the number tracks ingest, not mkdir.
+    let durable = (0..reps)
+        .map(|_| {
+            let _ = std::fs::remove_dir_all(&durable_dir);
+            let store = AlphaStore::builder()
+                .scheme(scheme)
+                .shards(shards)
+                .open_durable(&durable_dir)
+                .expect("create durable store");
+            let t0 = std::time::Instant::now();
+            store.insert_batch(&arena, &roots);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(store.num_classes());
+            secs
+        })
+        .fold(f64::INFINITY, f64::min);
+
     // One audited run for the stats block.
     let store = ingest(&arena, &roots, scheme, shards, threads);
     let stats = store.stats();
@@ -137,6 +187,32 @@ fn main() {
         "subexpression merges must be confirmed too: {sub_stats}"
     );
     let indexed_entries = terms as u64 + sub_stats.subterms_indexed;
+
+    // One audited durable run: ingest, crash (drop), recover, verify the
+    // round trip, and time the recovery.
+    let (wal_bytes, reopen_secs, durable_stats) = {
+        let d_store = ingest_durable(&arena, &roots, scheme, shards, &durable_dir);
+        let d_classes = d_store.num_classes();
+        let d_stats = d_store.stats();
+        assert!(
+            d_stats.is_exact(),
+            "durable ingest must stay exact: {d_stats}"
+        );
+        let wal_bytes = std::fs::metadata(durable_dir.join("wal.bin")).map_or(0, |m| m.len());
+        drop(d_store);
+        let t0 = std::time::Instant::now();
+        let reopened: AlphaStore<u64> =
+            AlphaStore::open(&durable_dir).expect("recover durable store");
+        let reopen_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            reopened.num_classes(),
+            d_classes,
+            "recovery must round-trip"
+        );
+        assert_eq!(reopened.stats(), d_stats, "stats must round-trip");
+        (wal_bytes, reopen_secs, d_stats)
+    };
+    let _ = std::fs::remove_dir_all(&durable_dir);
 
     let rate = |secs: f64| terms as f64 / secs;
     let node_rate = |secs: f64| corpus_nodes as f64 / secs;
@@ -178,8 +254,21 @@ fn main() {
         sub_min_nodes,
         indexed_entries,
     );
+    println!(
+        "  durable   1 thread : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s, {:.1}% over in-memory)",
+        format_ms(durable),
+        rate(durable),
+        node_rate(durable),
+        100.0 * (durable / single - 1.0),
+    );
+    println!(
+        "  durable artifacts  : wal {} KiB, recovery (snapshot + replay) {}",
+        wal_bytes / 1024,
+        format_ms(reopen_secs),
+    );
     println!("  {stats}");
     println!("  subexpr mode: {sub_stats}");
+    println!("  durable mode: {durable_stats}");
 
     if !json_path.is_empty() {
         let json = format!(
@@ -224,6 +313,15 @@ fn main() {
                 "    \"subterm_merges_confirmed\": {subterm_merges},\n",
                 "    \"subterms_skipped_min_nodes\": {subterms_skipped},\n",
                 "    \"unconfirmed_merges\": {sub_unconfirmed}\n",
+                "  }},\n",
+                "  \"durable\": {{\n",
+                "    \"single_thread_secs\": {durable:.6},\n",
+                "    \"terms_per_sec\": {durable_rate:.1},\n",
+                "    \"corpus_nodes_per_sec\": {durable_node_rate:.1},\n",
+                "    \"overhead_vs_memory\": {durable_overhead:.4},\n",
+                "    \"wal_bytes\": {wal_bytes},\n",
+                "    \"recovery_secs\": {reopen_secs:.6},\n",
+                "    \"unconfirmed_merges_after_recovery\": {durable_unconfirmed}\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -262,6 +360,13 @@ fn main() {
             subterm_merges = sub_stats.subterm_merges_confirmed,
             subterms_skipped = sub_stats.subterms_skipped_min_nodes,
             sub_unconfirmed = sub_stats.unconfirmed_merges,
+            durable = durable,
+            durable_rate = rate(durable),
+            durable_node_rate = node_rate(durable),
+            durable_overhead = durable / single - 1.0,
+            wal_bytes = wal_bytes,
+            reopen_secs = reopen_secs,
+            durable_unconfirmed = durable_stats.unconfirmed_merges,
         );
         std::fs::write(&json_path, json)
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));

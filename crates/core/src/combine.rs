@@ -242,9 +242,36 @@ impl<H: HashWord> HashScheme<H> {
         }
     }
 
-    /// The seed this scheme was built from (post-mixing).
+    /// The scheme's raw internal seed (post-mixing). Together with the
+    /// [`HashWord`] width this **completely determines** every hash the
+    /// scheme produces, so it is the scheme's stable wire encoding:
+    /// persisting this value and later rebuilding the scheme with
+    /// [`HashScheme::from_raw_seed`] reproduces identical hashes. The
+    /// combiner chains themselves are versioned by the store formats that
+    /// persist them (see `alpha-store`'s `persist::format`): any change to
+    /// the mixing functions in this module is a wire-format break.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Rebuilds a scheme from a raw internal seed previously obtained via
+    /// [`HashScheme::seed`]. Unlike [`HashScheme::new`], the value is used
+    /// as-is (no re-mixing), so `from_raw_seed(s.seed())` is exactly `s` —
+    /// the round-trip used by persistent stores to reopen a corpus under
+    /// the hash function that addressed it.
+    ///
+    /// ```
+    /// use alpha_hash::combine::HashScheme;
+    /// let original: HashScheme<u64> = HashScheme::new(0x5EED);
+    /// let reopened: HashScheme<u64> = HashScheme::from_raw_seed(original.seed());
+    /// assert_eq!(original.s_var(), reopened.s_var());
+    /// assert_eq!(original.var_name("x"), reopened.var_name("x"));
+    /// ```
+    pub fn from_raw_seed(raw: u64) -> Self {
+        HashScheme {
+            seed: raw,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     fn mixer(&self, salt: u64) -> Mixer {
@@ -504,6 +531,21 @@ mod tests {
         for i in 0..10_000u64 {
             assert!(seen.insert(mix64(i)));
         }
+    }
+
+    #[test]
+    fn raw_seed_round_trips_the_whole_scheme() {
+        let a: HashScheme<u128> = HashScheme::new(0xFACE);
+        let b: HashScheme<u128> = HashScheme::from_raw_seed(a.seed());
+        assert_eq!(a.seed(), b.seed());
+        assert_eq!(a.s_app(3, true, 1, 2), b.s_app(3, true, 1, 2));
+        assert_eq!(a.pt_join(4, 7, Some(9), 1), b.pt_join(4, 7, Some(9), 1));
+        assert_eq!(a.var_name("free"), b.var_name("free"));
+        // And from_raw_seed really skips the mixing step.
+        assert_ne!(
+            HashScheme::<u64>::new(1).seed(),
+            HashScheme::<u64>::from_raw_seed(1).seed()
+        );
     }
 
     #[test]

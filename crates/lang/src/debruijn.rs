@@ -71,9 +71,23 @@ impl DbArena {
         self.interner.resolve(sym)
     }
 
+    /// The node at a raw position (`0..len()`). Positions are construction
+    /// order, so every child's position precedes its parent's — the
+    /// property serializers rely on to emit nodes as a flat run.
+    pub fn node_at(&self, index: usize) -> DbNode {
+        self.nodes[index]
+    }
+
     /// Number of nodes allocated.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of distinct free-variable names interned. Symbols issued by
+    /// [`DbArena::intern`] index `0..names_len()` densely, in first-intern
+    /// order.
+    pub fn names_len(&self) -> usize {
+        self.interner.len()
     }
 
     /// Whether the arena is empty.

@@ -34,7 +34,28 @@
 //! lever that bounds this: raising it skips the long tail of tiny
 //! subterms, which dominate the count but rarely matter for containment
 //! queries.
+//!
+//! ```
+//! use alpha_store::{AlphaStore, Granularity};
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: AlphaStore<u64> = AlphaStore::builder()
+//!     .seed(0x5EED)
+//!     .subexpressions(3) // index every subterm of >= 3 nodes
+//!     .build();
+//! assert_eq!(
+//!     store.granularity(),
+//!     Granularity::Subexpressions { min_nodes: 3 }
+//! );
+//!
+//! let mut arena = ExprArena::new();
+//! let t = parse(&mut arena, r"\x. x + (v * 3)").unwrap();
+//! let outcome = store.insert(&arena, t);
+//! assert!(outcome.subs.indexed > 0);           // subterms joined the index
+//! assert!(outcome.subs.skipped_min_nodes > 0); // tiny leaves did not
+//! ```
 
+use crate::persist::{ExpectedConfig, PersistError};
 use crate::store::AlphaStore;
 use alpha_hash::combine::{HashScheme, HashWord};
 
@@ -105,6 +126,8 @@ pub struct StoreBuilder<H: HashWord = u64> {
     scheme: HashScheme<H>,
     shards: usize,
     granularity: Granularity,
+    chunk_entries: usize,
+    sync_on_commit: bool,
 }
 
 impl<H: HashWord> Default for StoreBuilder<H> {
@@ -121,6 +144,8 @@ impl<H: HashWord> StoreBuilder<H> {
             scheme: HashScheme::default(),
             shards: AlphaStore::<H>::DEFAULT_SHARDS,
             granularity: Granularity::Roots,
+            chunk_entries: AlphaStore::<H>::DEFAULT_CHUNK_ENTRIES,
+            sync_on_commit: false,
         }
     }
 
@@ -160,9 +185,87 @@ impl<H: HashWord> StoreBuilder<H> {
         self.granularity(Granularity::Subexpressions { min_nodes })
     }
 
-    /// Builds the store.
+    /// Caps how many prepared entries (a term's root plus its indexed
+    /// subexpressions) a batch ingest accumulates before draining them
+    /// into the shards — and, on a durable store, before group-committing
+    /// them to the write-ahead log. Bounds batch ingest's peak memory to
+    /// Θ(budget) canonical forms whatever the batch size, at the cost of a
+    /// few extra lock rounds per chunk. Clamped to at least 1; the default
+    /// is [`AlphaStore::DEFAULT_CHUNK_ENTRIES`].
+    pub fn chunk_entries(mut self, entries: usize) -> Self {
+        self.chunk_entries = entries;
+        self
+    }
+
+    /// Upgrades every durable group commit from an OS-buffered write (the
+    /// default: data survives a process crash, but an OS crash or power
+    /// loss can drop the unsynced WAL tail) to a full `fsync` (power-loss
+    /// durable, at a large per-commit cost). Only meaningful with
+    /// [`StoreBuilder::open_durable`].
+    pub fn sync_on_commit(mut self, sync: bool) -> Self {
+        self.sync_on_commit = sync;
+        self
+    }
+
+    /// Builds the store (in-memory).
     pub fn build(self) -> AlphaStore<H> {
-        AlphaStore::with_config(self.scheme, self.shards, self.granularity)
+        AlphaStore::with_config(
+            self.scheme,
+            self.shards,
+            self.granularity,
+            self.chunk_entries,
+        )
+    }
+
+    /// Builds a **durable** store rooted at `dir`: every insert is teed
+    /// into a write-ahead log there, and [`AlphaStore::snapshot`] /
+    /// [`AlphaStore::compact`] keep a point-in-time image alongside it.
+    ///
+    /// If `dir` already holds a store, it is recovered — snapshot loaded,
+    /// WAL tail replayed with every merge re-confirmed — and its on-disk
+    /// configuration must match this builder's scheme, shard count and
+    /// granularity ([`PersistError::Mismatch`] otherwise). If `dir` is
+    /// empty or missing, a fresh store is created there. See
+    /// [`crate::persist`] for the crash-consistency story.
+    ///
+    /// ```
+    /// use alpha_store::AlphaStore;
+    /// use lambda_lang::{parse, ExprArena};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("doc-durable-{}", std::process::id()));
+    /// let builder = || AlphaStore::<u64>::builder().seed(7).subexpressions(2);
+    ///
+    /// let mut arena = ExprArena::new();
+    /// let t = parse(&mut arena, r"map (\x. x + 1) things").unwrap();
+    /// builder().open_durable(&dir).unwrap().insert(&arena, t);
+    ///
+    /// // A new process reopens the same directory: containment queries
+    /// // keep working on the recovered subexpression index.
+    /// let store = builder().open_durable(&dir).unwrap();
+    /// let pattern = parse(&mut arena, r"\q. q + 1").unwrap();
+    /// assert!(store.contains(&arena, pattern).is_some());
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn open_durable(
+        self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<AlphaStore<H>, PersistError> {
+        let dir = dir.as_ref();
+        let expect = ExpectedConfig {
+            shard_count: u32::try_from(self.shards.clamp(1, 1 << 16).next_power_of_two())
+                .expect("shard count fits u32"),
+            scheme: self.scheme,
+            granularity: self.granularity,
+        };
+        // The recover-vs-create decision happens inside, under the
+        // directory lock, so a racing opener can never truncate files a
+        // first opener is writing.
+        crate::persist::open_or_create_store(
+            dir,
+            &expect,
+            self.sync_on_commit,
+            self.chunk_entries.max(1),
+        )
     }
 }
 

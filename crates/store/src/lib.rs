@@ -39,6 +39,13 @@
 //!   [`alpha_hash::equiv::shared_dag_size`]), and
 //!   [`corpus::store_backed_cse`] runs cross-term common-subexpression
 //!   elimination over the deduplicated corpus.
+//! * **Durable, optionally.** [`StoreBuilder::open_durable`] roots the
+//!   store in a directory: inserts tee into a group-committed write-ahead
+//!   log, [`AlphaStore::snapshot`]/[`AlphaStore::compact`] keep an
+//!   atomically-written point-in-time image, and
+//!   [`AlphaStore::open`] recovers after a crash — replaying the WAL tail
+//!   through the normal ingest path so every recovered merge is
+//!   re-confirmed and exactness survives restarts. See [`persist`].
 //!
 //! ## Quick start
 //!
@@ -74,12 +81,13 @@
 //! # Ok::<(), lambda_lang::ParseError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod canon;
 pub mod corpus;
 pub mod granularity;
+pub mod persist;
 pub mod prepare;
 pub mod query;
 pub mod stats;
@@ -87,6 +95,7 @@ pub mod store;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
 pub use granularity::{Granularity, StoreBuilder};
+pub use persist::PersistError;
 pub use prepare::{PreparedTerm, Preparer, SubEntry};
 pub use stats::StoreStats;
 pub use store::{AlphaStore, ClassId, InsertOutcome, SubexprSummary, TermId};

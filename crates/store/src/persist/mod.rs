@@ -1,0 +1,440 @@
+//! Durability: write-ahead logging, snapshots and crash recovery.
+//!
+//! An [`AlphaStore`] is in-memory by default; this
+//! module makes one **durable**. A durable store lives in a directory with
+//! two files:
+//!
+//! * `snapshot.bin` — a complete serialization of the store, written
+//!   atomically (temp file → `fsync` → rename). The canonical de Bruijn
+//!   form per class *is* the class identity (the paper's key property), so
+//!   the snapshot is a full, rebuildable description: canon + scheme seed
+//!   + granularity, nothing more.
+//! * `wal.bin` — an append-only log of every insert since that snapshot,
+//!   one CRC-framed record per ingested term, group-committed per batch.
+//!
+//! Recovery ([`AlphaStore::open`](crate::AlphaStore::open) or
+//! [`StoreBuilder::open_durable`](crate::StoreBuilder::open_durable)) loads
+//! the snapshot, replays the WAL tail **through the normal ingest path** —
+//! every replayed merge is re-confirmed by canonical-form comparison
+//! (`db_eq`), so the store's exactness invariant
+//! (`unconfirmed_merges == 0`) survives restarts by construction, not by
+//! trust in the disk — and then checkpoints: it writes a fresh snapshot
+//! and resets the WAL under a new epoch, so every successfully opened
+//! store starts from the clean `(full snapshot, empty WAL)` state whatever
+//! crash weirdness it recovered from.
+//!
+//! What each crash window leaves behind:
+//!
+//! | crash during … | on disk | recovery |
+//! |---|---|---|
+//! | normal ingest | snapshot + WAL with a possibly-torn tail | replay good frames, drop the torn tail |
+//! | snapshot write | old snapshot + complete WAL (temp file ignored) | replay from the old snapshot |
+//! | compaction, between snapshot rename and WAL reset | new snapshot + **stale-epoch** WAL | epoch mismatch detected, stale WAL discarded (its records are in the snapshot) |
+//!
+//! The byte-level layout lives in [`mod@format`] and is specified in
+//! `docs/PERSISTENCE_FORMAT.md`; a test asserts the two agree on magic
+//! numbers and version.
+
+pub mod format;
+pub(crate) mod snapshot;
+pub(crate) mod wal;
+
+use crate::granularity::Granularity;
+use crate::store::AlphaStore;
+use alpha_hash::combine::{HashScheme, HashWord};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the snapshot inside a durable store's directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// File name of the write-ahead log inside a durable store's directory.
+pub const WAL_FILE: &str = "wal.bin";
+
+/// File name of the advisory lock taken (for the store's whole lifetime)
+/// by every process that opens a durable store directory. A second
+/// opener fails fast with [`PersistError::Locked`] instead of silently
+/// truncating a WAL the first process is still appending to. The OS
+/// releases the lock automatically when the holding process exits, so a
+/// crash never leaves a stale lock.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// What can go wrong persisting or recovering a store.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// On-disk bytes that cannot be what this format writes: bad magic,
+    /// failed CRC, impossible tags or out-of-range references. (A torn
+    /// WAL *tail* is not corruption — recovery truncates it silently; this
+    /// is for damage in data that claimed to be intact.)
+    Corrupt {
+        /// Human-readable description of what failed to parse.
+        context: String,
+    },
+    /// Intact data that belongs to a different configuration: wrong format
+    /// version, wrong hash width, or a store opened with a builder whose
+    /// scheme/shards/granularity disagree with what is on disk.
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        context: String,
+    },
+    /// Another live store (this process or another) holds the directory's
+    /// advisory lock. Durable stores are strictly single-writer: a second
+    /// opener would checkpoint over — and truncate — the WAL the first is
+    /// appending to.
+    Locked {
+        /// The contended store directory.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt { context } => write!(f, "corrupt store data: {context}"),
+            PersistError::Mismatch { context } => {
+                write!(f, "store configuration mismatch: {context}")
+            }
+            PersistError::Locked { dir } => {
+                write!(
+                    f,
+                    "store directory {} is locked by another live store (durable \
+                     stores are single-writer)",
+                    dir.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The durable half of a store: the open WAL, its directory, and the
+/// held single-writer lock (released by the OS when this is dropped or
+/// the process dies).
+#[derive(Debug)]
+pub(crate) struct Durable {
+    pub(crate) wal: Mutex<wal::Wal>,
+    pub(crate) dir: PathBuf,
+    _lock: std::fs::File,
+}
+
+/// Takes the directory's advisory single-writer lock, failing fast with
+/// [`PersistError::Locked`] if any other live store holds it. Taken
+/// before any file is read, so even recovery is mutually exclusive.
+fn acquire_dir_lock(dir: &Path) -> Result<std::fs::File, PersistError> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(dir.join(LOCK_FILE))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(std::fs::TryLockError::WouldBlock) => Err(PersistError::Locked {
+            dir: dir.to_owned(),
+        }),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
+}
+
+/// The builder-side configuration a reopened store must match.
+pub(crate) struct ExpectedConfig<H: HashWord> {
+    pub(crate) scheme: HashScheme<H>,
+    /// Already clamped/rounded the way the store constructor does it.
+    pub(crate) shard_count: u32,
+    pub(crate) granularity: Granularity,
+}
+
+fn check_config<H: HashWord>(
+    expect: &ExpectedConfig<H>,
+    seed: u64,
+    shard_count: u32,
+    granularity: Granularity,
+) -> Result<(), PersistError> {
+    let mismatch = |context: String| Err(PersistError::Mismatch { context });
+    if expect.scheme.seed() != seed {
+        return mismatch(format!(
+            "on-disk scheme seed {seed:#x} != builder scheme seed {:#x}",
+            expect.scheme.seed()
+        ));
+    }
+    if expect.shard_count != shard_count {
+        return mismatch(format!(
+            "on-disk shard count {shard_count} != builder shard count {}",
+            expect.shard_count
+        ));
+    }
+    if expect.granularity != granularity {
+        return mismatch(format!(
+            "on-disk granularity {granularity:?} != builder granularity {:?}",
+            expect.granularity
+        ));
+    }
+    Ok(())
+}
+
+/// The recover-or-create path behind
+/// [`StoreBuilder::open_durable`](crate::StoreBuilder::open_durable): the
+/// directory lock is taken **before** deciding between recovery and
+/// creation, so a racing second opener can never observe "empty" and
+/// truncate files a first opener is writing.
+pub(crate) fn open_or_create_store<H: HashWord>(
+    dir: &Path,
+    expect: &ExpectedConfig<H>,
+    sync_on_commit: bool,
+    chunk_entries: usize,
+) -> Result<AlphaStore<H>, PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let lock = acquire_dir_lock(dir)?;
+    let exists = dir.join(SNAPSHOT_FILE).is_file() || dir.join(WAL_FILE).is_file();
+    if exists {
+        open_store_locked(dir, Some(expect), sync_on_commit, chunk_entries, lock)
+    } else {
+        create_store_locked(dir, expect, sync_on_commit, chunk_entries, lock)
+    }
+}
+
+/// The shared open/recovery path behind [`AlphaStore::open`] and
+/// [`StoreBuilder::open_durable`](crate::StoreBuilder::open_durable).
+///
+/// `expect` is `Some` when a builder supplies a configuration the on-disk
+/// store must match, `None` when the configuration is read entirely from
+/// disk. Ends with a checkpoint — fresh snapshot, reset WAL, next epoch —
+/// unless the reopen was *clean* (intact snapshot, same-epoch WAL fully
+/// absorbed, nothing torn), in which case the existing files simply
+/// continue: no O(store) snapshot rewrite for a no-op reopen.
+pub(crate) fn open_store<H: HashWord>(
+    dir: &Path,
+    expect: Option<&ExpectedConfig<H>>,
+    sync_on_commit: bool,
+    chunk_entries: usize,
+) -> Result<AlphaStore<H>, PersistError> {
+    let lock = acquire_dir_lock(dir)?;
+    open_store_locked(dir, expect, sync_on_commit, chunk_entries, lock)
+}
+
+fn open_store_locked<H: HashWord>(
+    dir: &Path,
+    expect: Option<&ExpectedConfig<H>>,
+    sync_on_commit: bool,
+    chunk_entries: usize,
+    lock: std::fs::File,
+) -> Result<AlphaStore<H>, PersistError> {
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let wal_path = dir.join(WAL_FILE);
+    let have_snapshot = snap_path.is_file();
+    let have_wal = wal_path.is_file();
+    if !have_snapshot && !have_wal {
+        return Err(PersistError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no {SNAPSHOT_FILE} or {WAL_FILE} in {}", dir.display()),
+        )));
+    }
+
+    // 0. Read the WAL once up front; both the config-derivation step and
+    // the replay step below consume this same scan.
+    let wal_scan: Option<Result<wal::WalContents<H>, PersistError>> =
+        have_wal.then(|| wal::read_wal::<H>(&wal_path));
+
+    // 1. The snapshot (or an empty store described by the WAL header).
+    let (mut store, snap_epoch, records_applied, wal_contents) = if have_snapshot {
+        let (header, shards) = snapshot::read_snapshot::<H>(&snap_path)?;
+        if let Some(expect) = expect {
+            check_config(
+                expect,
+                header.scheme_seed,
+                header.shard_count,
+                header.granularity,
+            )?;
+        }
+        let store = AlphaStore::from_loaded(
+            HashScheme::from_raw_seed(header.scheme_seed),
+            shards,
+            header.granularity,
+            &header.stats,
+            chunk_entries,
+        )?;
+        // With an intact snapshot, a WAL whose *header* cannot even be
+        // decoded (truncated by a disk-full crash during reset, zeroed,
+        // overwritten) is treated like a stale WAL: the snapshot is the
+        // authoritative committed state, and the checkpoint below lays
+        // down a fresh log. Intact-but-mismatched WALs still error.
+        let wal_contents = match wal_scan {
+            None => None,
+            Some(Ok(contents)) => Some(contents),
+            Some(Err(PersistError::Corrupt { .. })) => None,
+            Some(Err(e)) => return Err(e),
+        };
+        (
+            store,
+            Some(header.wal_epoch),
+            header.wal_records_applied,
+            wal_contents,
+        )
+    } else {
+        let contents = wal_scan.expect("have_wal when no snapshot exists")?;
+        let h = contents.header;
+        if h.hash_bits != H::BITS {
+            return Err(PersistError::Mismatch {
+                context: format!(
+                    "WAL hashes are {}-bit, store type is {}-bit",
+                    h.hash_bits,
+                    H::BITS
+                ),
+            });
+        }
+        if let Some(expect) = expect {
+            check_config(expect, h.scheme_seed, h.shard_count, h.granularity)?;
+        }
+        let store = AlphaStore::from_loaded(
+            HashScheme::from_raw_seed(h.scheme_seed),
+            (0..h.shard_count)
+                .map(|_| crate::store::Shard::empty())
+                .collect(),
+            h.granularity,
+            &crate::stats::StoreStats::default(),
+            chunk_entries,
+        )?;
+        (store, None, 0, Some(contents))
+    };
+
+    // 2. The WAL tail.
+    let mut last_epoch = snap_epoch.unwrap_or(0);
+    // `Some(records)` when the reopen is *clean*: intact snapshot, intact
+    // same-epoch WAL whose every record the snapshot already absorbed.
+    let mut clean_wal: Option<u64> = None;
+    if let Some(contents) = wal_contents {
+        let h = contents.header;
+        if h.hash_bits != H::BITS
+            || h.scheme_seed != store.scheme().seed()
+            || h.granularity != store.granularity()
+            || usize::try_from(h.shard_count) != Ok(store.shard_count())
+        {
+            return Err(PersistError::Mismatch {
+                context: "WAL header disagrees with the snapshot it extends".to_owned(),
+            });
+        }
+        match snap_epoch {
+            Some(es) if h.epoch > es => {
+                return Err(PersistError::Corrupt {
+                    context: format!(
+                        "WAL epoch {} is ahead of snapshot epoch {es} — the snapshot \
+                         this WAL extends is missing",
+                        h.epoch
+                    ),
+                });
+            }
+            Some(es) if h.epoch < es => {
+                // Crash between compaction's snapshot rename and WAL
+                // reset: every record in this WAL is already folded into
+                // the snapshot. Discard.
+                last_epoch = es;
+            }
+            _ => {
+                // Same epoch (or no snapshot at all): replay the records
+                // the snapshot has not absorbed. A tail torn inside the
+                // already-applied region means those lost records are in
+                // the snapshot anyway.
+                last_epoch = h.epoch.max(last_epoch);
+                let count = contents.records.len();
+                let skip = usize::try_from(records_applied)
+                    .unwrap_or(usize::MAX)
+                    .min(count);
+                if have_snapshot && !contents.torn && count as u64 == records_applied {
+                    // Clean reopen: the snapshot already holds every WAL
+                    // record and the file is intact — it can simply
+                    // continue being appended to.
+                    clean_wal = Some(records_applied);
+                } else {
+                    let tail: Vec<_> = contents.records.into_iter().skip(skip).collect();
+                    store.replay(tail);
+                }
+            }
+        }
+    }
+
+    // 3a. Clean reopen: nothing was replayed and nothing was torn, so the
+    // on-disk pair is already in a consistent state — skip the O(store)
+    // checkpoint and keep appending to the existing WAL.
+    if let Some(records) = clean_wal {
+        let wal = wal::Wal::open_for_append(&wal_path, last_epoch, records, sync_on_commit)?;
+        store.attach_durable(Durable {
+            wal: Mutex::new(wal),
+            dir: dir.to_owned(),
+            _lock: lock,
+        });
+        return Ok(store);
+    }
+
+    // 3b. Checkpoint: the recovered state becomes the new snapshot and the
+    // WAL restarts empty under the next epoch, so the on-disk pair is in
+    // the clean post-compaction state no matter what was recovered.
+    let new_epoch = last_epoch + 1;
+    let header = wal::WalHeader {
+        hash_bits: H::BITS,
+        scheme_seed: store.scheme().seed(),
+        shard_count: u32::try_from(store.shard_count()).expect("shard count fits u32"),
+        granularity: store.granularity(),
+        epoch: new_epoch,
+    };
+    store.write_snapshot_file(&snap_path, new_epoch, 0)?;
+    let wal = wal::Wal::create(&wal_path, header, sync_on_commit)?;
+    store.attach_durable(Durable {
+        wal: Mutex::new(wal),
+        dir: dir.to_owned(),
+        _lock: lock,
+    });
+    Ok(store)
+}
+
+/// Creates a brand-new durable store directory (no snapshot yet, empty
+/// WAL) for a builder's configuration. The caller already holds the
+/// directory lock and has confirmed, under that lock, that no store
+/// files exist.
+fn create_store_locked<H: HashWord>(
+    dir: &Path,
+    expect: &ExpectedConfig<H>,
+    sync_on_commit: bool,
+    chunk_entries: usize,
+    lock: std::fs::File,
+) -> Result<AlphaStore<H>, PersistError> {
+    let header = wal::WalHeader {
+        hash_bits: H::BITS,
+        scheme_seed: expect.scheme.seed(),
+        shard_count: expect.shard_count,
+        granularity: expect.granularity,
+        epoch: 1,
+    };
+    let wal = wal::Wal::create(&dir.join(WAL_FILE), header, sync_on_commit)?;
+    let mut store = AlphaStore::from_loaded(
+        expect.scheme,
+        (0..expect.shard_count)
+            .map(|_| crate::store::Shard::empty())
+            .collect(),
+        expect.granularity,
+        &crate::stats::StoreStats::default(),
+        chunk_entries,
+    )?;
+    store.attach_durable(Durable {
+        wal: Mutex::new(wal),
+        dir: dir.to_owned(),
+        _lock: lock,
+    });
+    Ok(store)
+}

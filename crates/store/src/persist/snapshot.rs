@@ -1,0 +1,249 @@
+//! Point-in-time snapshots: the complete store state in one file.
+//!
+//! A snapshot is a full, self-describing serialization of an
+//! [`AlphaStore`](crate::AlphaStore): header (format version, hash width,
+//! scheme seed, shard count, granularity, WAL linkage, statistics), then
+//! each shard's classes — canonical de Bruijn form, content address,
+//! member/occurrence counts — its term log and its per-term subexpression
+//! class lists, then a trailing CRC-32 over the whole body. The canonical
+//! form **is** the class identity (the paper's one-canonical-form-per-class
+//! property), so nothing else is needed to rebuild the store: hash buckets
+//! are reconstructed from the class hashes on load.
+//!
+//! Snapshots are written **atomically**: the bytes go to a temporary file
+//! in the same directory, are `fsync`ed, and only then renamed over the
+//! live `snapshot.bin` (followed by a directory sync). A crash at any
+//! point leaves either the old snapshot or the new one, never a hybrid.
+//!
+//! The `wal_epoch`/`wal_records_applied` header fields tie the snapshot to
+//! the write-ahead log: recovery replays only WAL records the snapshot has
+//! not already absorbed. See the [module docs](super) and
+//! `docs/PERSISTENCE_FORMAT.md`.
+
+use super::format::{
+    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+};
+use super::PersistError;
+use crate::granularity::Granularity;
+use crate::stats::StoreStats;
+use crate::store::{Shard, StoredClass};
+use alpha_hash::combine::HashWord;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Everything the snapshot header records. The configuration fields must
+/// agree with the WAL header and with any builder trying to reopen the
+/// store.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SnapshotHeader {
+    pub(crate) hash_bits: u32,
+    pub(crate) scheme_seed: u64,
+    pub(crate) shard_count: u32,
+    pub(crate) granularity: Granularity,
+    /// Epoch of the WAL this snapshot pairs with.
+    pub(crate) wal_epoch: u64,
+    /// How many records of that WAL are already folded into this snapshot
+    /// (replay skips them).
+    pub(crate) wal_records_applied: u64,
+    pub(crate) stats: StoreStats,
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &StoreStats) {
+    for v in [
+        s.terms_ingested,
+        s.classes_created,
+        s.merges_confirmed,
+        s.hash_collisions,
+        s.unconfirmed_merges,
+        s.subterms_indexed,
+        s.subterm_merges_confirmed,
+        s.subterms_skipped_min_nodes,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn take_stats(input: &mut &[u8]) -> Result<StoreStats, PersistError> {
+    Ok(StoreStats {
+        terms_ingested: take_u64(input)?,
+        classes_created: take_u64(input)?,
+        merges_confirmed: take_u64(input)?,
+        hash_collisions: take_u64(input)?,
+        unconfirmed_merges: take_u64(input)?,
+        subterms_indexed: take_u64(input)?,
+        subterm_merges_confirmed: take_u64(input)?,
+        subterms_skipped_min_nodes: take_u64(input)?,
+    })
+}
+
+/// Serializes a consistent view of the shards (the caller holds the locks)
+/// into the full snapshot byte image, trailing CRC included.
+pub(crate) fn encode_snapshot<H: HashWord>(
+    header: &SnapshotHeader,
+    shards: &[&Shard<H>],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    put_u16(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, header.hash_bits);
+    put_u64(&mut out, header.scheme_seed);
+    put_u32(&mut out, header.shard_count);
+    format::put_granularity(&mut out, header.granularity);
+    put_u64(&mut out, header.wal_epoch);
+    put_u64(&mut out, header.wal_records_applied);
+    put_stats(&mut out, &header.stats);
+
+    debug_assert_eq!(shards.len(), header.shard_count as usize);
+    for shard in shards {
+        put_u32(
+            &mut out,
+            u32::try_from(shard.classes.len()).expect("classes fit u32"),
+        );
+        for class in &shard.classes {
+            format::put_hash(&mut out, class.hash);
+            put_u64(&mut out, class.members);
+            put_u64(&mut out, class.occurrences);
+            format::put_canon(&mut out, &class.canon, class.canon_root);
+        }
+        put_u32(
+            &mut out,
+            u32::try_from(shard.terms.len()).expect("terms fit u32"),
+        );
+        for &class_index in &shard.terms {
+            put_u32(&mut out, class_index);
+        }
+        for subs in &shard.term_subs {
+            put_u32(&mut out, u32::try_from(subs.len()).expect("subs fit u32"));
+            for &bits in subs.iter() {
+                put_u64(&mut out, bits);
+            }
+        }
+    }
+
+    let crc = crc32(&out[SNAPSHOT_MAGIC.len()..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decodes a snapshot image back into its header and rebuilt shards
+/// (buckets reconstructed from class hashes). Verifies the trailing CRC
+/// before reading anything else.
+pub(crate) fn decode_snapshot<H: HashWord>(
+    bytes: &[u8],
+) -> Result<(SnapshotHeader, Vec<Shard<H>>), PersistError> {
+    let corrupt = |context: &str| PersistError::Corrupt {
+        context: format!("snapshot: {context}"),
+    };
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err(corrupt("file shorter than magic + CRC"));
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(corrupt("magic mismatch"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(&body[SNAPSHOT_MAGIC.len()..]) != stored_crc {
+        return Err(corrupt("body CRC mismatch"));
+    }
+
+    let mut input = &body[SNAPSHOT_MAGIC.len()..];
+    let version = take_u16(&mut input)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Mismatch {
+            context: format!("snapshot format version {version}, expected {FORMAT_VERSION}"),
+        });
+    }
+    let header = SnapshotHeader {
+        hash_bits: take_u32(&mut input)?,
+        scheme_seed: take_u64(&mut input)?,
+        shard_count: take_u32(&mut input)?,
+        granularity: format::take_granularity(&mut input)?,
+        wal_epoch: take_u64(&mut input)?,
+        wal_records_applied: take_u64(&mut input)?,
+        stats: take_stats(&mut input)?,
+    };
+    if header.hash_bits != H::BITS {
+        return Err(PersistError::Mismatch {
+            context: format!(
+                "snapshot hashes are {}-bit, store type is {}-bit",
+                header.hash_bits,
+                H::BITS
+            ),
+        });
+    }
+
+    let mut shards = Vec::with_capacity(header.shard_count as usize);
+    for _ in 0..header.shard_count {
+        let class_count = take_u32(&mut input)? as usize;
+        let mut classes = Vec::with_capacity(class_count);
+        for _ in 0..class_count {
+            let hash = format::take_hash::<H>(&mut input)?;
+            let members = take_u64(&mut input)?;
+            let occurrences = take_u64(&mut input)?;
+            let (canon, canon_root) = format::take_canon(&mut input)?;
+            classes.push(StoredClass {
+                hash,
+                node_count: canon.len(),
+                canon,
+                canon_root,
+                members,
+                occurrences,
+            });
+        }
+        let term_count = take_u32(&mut input)? as usize;
+        let mut terms = Vec::with_capacity(term_count);
+        for _ in 0..term_count {
+            let class_index = take_u32(&mut input)?;
+            if class_index as usize >= class_count {
+                return Err(corrupt("term references a class out of range"));
+            }
+            terms.push(class_index);
+        }
+        let mut term_subs = Vec::with_capacity(term_count);
+        for _ in 0..term_count {
+            let len = take_u32(&mut input)? as usize;
+            let mut bits = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                bits.push(take_u64(&mut input)?);
+            }
+            term_subs.push(bits.into_boxed_slice());
+        }
+        shards.push(Shard::from_parts(classes, terms, term_subs));
+    }
+    if !input.is_empty() {
+        return Err(corrupt("trailing bytes after the last shard"));
+    }
+    Ok((header, shards))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename over the destination, directory sync. A crash leaves
+/// either the old file or the new one.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = path.parent().ok_or_else(|| PersistError::Corrupt {
+        context: "snapshot path has no parent directory".to_owned(),
+    })?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync is POSIX-specific but the
+    // call degrades gracefully where unsupported.
+    if let Ok(dir_file) = File::open(dir) {
+        let _ = dir_file.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads and decodes a snapshot file.
+pub(crate) fn read_snapshot<H: HashWord>(
+    path: &Path,
+) -> Result<(SnapshotHeader, Vec<Shard<H>>), PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes)
+}

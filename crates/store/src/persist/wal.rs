@@ -1,0 +1,388 @@
+//! The append-only write-ahead log.
+//!
+//! Every confirmed insert tees one **record** — the complete
+//! [`PreparedTerm`](crate::prepare::PreparedTerm) the ingest path consumed
+//! — into the WAL, so a crash loses at most the writes the OS had not yet
+//! persisted, and never corrupts what came before. Records are framed as
+//! `[len u32][crc32 u32][payload]`; replay walks frames until end-of-file
+//! or the first frame whose length or CRC does not check out (a *torn
+//! tail*, the expected shape of a crash mid-write), and recovery truncates
+//! the file back to the last good frame.
+//!
+//! **Group commit.** Batch ingest encodes the whole batch's frames into
+//! one buffer outside any lock and appends them with a single `write(2)`
+//! under the WAL mutex, so the per-insert durability cost is amortised the
+//! same way the shard-lock cost is. By default the OS page cache is the
+//! durability boundary (data survives a process crash; an OS crash can
+//! lose the unsynced tail); [`StoreBuilder::sync_on_commit`]
+//! (crate::StoreBuilder::sync_on_commit) upgrades every group commit to an
+//! `fsync` for power-loss durability at the throughput cost that implies.
+//!
+//! The file opens with a header naming the format version, hash width,
+//! scheme seed, shard count, granularity and an **epoch**. The epoch ties
+//! the WAL to the snapshot that logically precedes it:
+//! [`compact`](crate::AlphaStore::compact) bumps it in the snapshot first
+//! and resets the WAL second, so a crash between the two steps leaves a
+//! stale-epoch WAL that recovery recognises and discards instead of
+//! replaying twice. See `docs/PERSISTENCE_FORMAT.md` for the byte layout.
+
+use super::format::{
+    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, FORMAT_VERSION, WAL_MAGIC,
+};
+use super::PersistError;
+use crate::granularity::Granularity;
+use crate::prepare::PreparedTerm;
+use alpha_hash::combine::HashWord;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Everything a WAL header records about the store it logs for. Must match
+/// the snapshot header (and the opening builder's configuration) exactly;
+/// recovery refuses to replay records hashed under a different scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct WalHeader {
+    pub(crate) hash_bits: u32,
+    pub(crate) scheme_seed: u64,
+    pub(crate) shard_count: u32,
+    pub(crate) granularity: Granularity,
+    pub(crate) epoch: u64,
+}
+
+pub(crate) const WAL_HEADER_LEN: u64 = 8 + 2 + 4 + 8 + 4 + 1 + 8 + 8;
+
+fn encode_header(h: &WalHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    out.extend_from_slice(&WAL_MAGIC);
+    put_u16(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, h.hash_bits);
+    put_u64(&mut out, h.scheme_seed);
+    put_u32(&mut out, h.shard_count);
+    format::put_granularity(&mut out, h.granularity);
+    put_u64(&mut out, h.epoch);
+    debug_assert_eq!(out.len() as u64, WAL_HEADER_LEN);
+    out
+}
+
+fn decode_header(input: &mut &[u8]) -> Result<WalHeader, PersistError> {
+    let magic = format::take_bytes(input, 8)?;
+    if magic != WAL_MAGIC {
+        return Err(PersistError::Corrupt {
+            context: "WAL magic mismatch".to_owned(),
+        });
+    }
+    let version = take_u16(input)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Mismatch {
+            context: format!("WAL format version {version}, expected {FORMAT_VERSION}"),
+        });
+    }
+    Ok(WalHeader {
+        hash_bits: take_u32(input)?,
+        scheme_seed: take_u64(input)?,
+        shard_count: take_u32(input)?,
+        granularity: format::take_granularity(input)?,
+        epoch: take_u64(input)?,
+    })
+}
+
+/// What a replay scan found: the header, the decoded records, and where
+/// the good prefix of the file ends (everything past it is a torn tail).
+pub(crate) struct WalContents<H> {
+    pub(crate) header: WalHeader,
+    pub(crate) records: Vec<PreparedTerm<H>>,
+    /// Byte offset where the good prefix ends (== file length iff not
+    /// `torn`). Recovery's checkpoint rewrites torn files wholesale, so
+    /// this is diagnostic (and unit-tested) rather than consumed on the
+    /// open path.
+    #[allow(dead_code)]
+    pub(crate) good_len: u64,
+    /// Whether a torn/corrupt tail was found after `good_len`. A torn
+    /// WAL disqualifies the clean-reopen fast path.
+    pub(crate) torn: bool,
+}
+
+/// Reads and decodes a whole WAL file. Frames after the first bad one are
+/// dropped; a bad *header* is an error (there is nothing to recover).
+pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let mut input = bytes.as_slice();
+    let header = decode_header(&mut input)?;
+    let mut records = Vec::new();
+    let mut good_len = bytes.len() as u64 - input.len() as u64;
+    let torn = loop {
+        let frame_start = input.len();
+        let Ok(len) = take_u32(&mut input) else {
+            // Clean EOF, or trailing garbage shorter than a length field.
+            break frame_start != 0;
+        };
+        let Ok(crc) = take_u32(&mut input) else {
+            break true;
+        };
+        let Ok(payload) = format::take_bytes(&mut input, len as usize) else {
+            break true;
+        };
+        if crc32(payload) != crc {
+            break true;
+        }
+        let mut payload_input = payload;
+        let Ok(record) = format::take_record::<H>(&mut payload_input) else {
+            break true;
+        };
+        if !payload_input.is_empty() {
+            break true;
+        }
+        records.push(record);
+        good_len += 8 + len as u64;
+    };
+    Ok(WalContents {
+        header,
+        records,
+        good_len,
+        torn,
+    })
+}
+
+/// The open, appendable log. One lives (behind a mutex) inside every
+/// durable [`AlphaStore`](crate::AlphaStore).
+#[derive(Debug)]
+pub(crate) struct Wal {
+    file: File,
+    pub(crate) epoch: u64,
+    /// Records currently in the file (good frames only).
+    pub(crate) records: u64,
+    pub(crate) sync_on_commit: bool,
+}
+
+impl Wal {
+    /// Creates a fresh WAL (truncating anything at `path`) with the given
+    /// header, fsyncing so the header itself is durable.
+    pub(crate) fn create(
+        path: &Path,
+        header: WalHeader,
+        sync_on_commit: bool,
+    ) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&encode_header(&header))?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            epoch: header.epoch,
+            records: 0,
+            sync_on_commit,
+        })
+    }
+
+    /// Reopens an intact WAL for appending (the clean-reopen fast path:
+    /// nothing to replay, nothing torn, so the existing file continues as
+    /// is and no checkpoint is needed). Positions at end-of-file.
+    pub(crate) fn open_for_append(
+        path: &Path,
+        epoch: u64,
+        records: u64,
+        sync_on_commit: bool,
+    ) -> Result<Self, PersistError> {
+        use std::io::Seek;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            epoch,
+            records,
+            sync_on_commit,
+        })
+    }
+
+    /// Appends one group-committed run of `count` already-framed records
+    /// with a single write, flushing (and fsyncing, when configured) once
+    /// for the whole group.
+    pub(crate) fn append_group(&mut self, frames: &[u8], count: u64) -> Result<(), PersistError> {
+        self.file.write_all(frames)?;
+        if self.sync_on_commit {
+            self.file.sync_data()?;
+        }
+        self.records += count;
+        Ok(())
+    }
+
+    /// Truncates the log and starts a new epoch — the second half of
+    /// [`compact`](crate::AlphaStore::compact), run only after the
+    /// new-epoch snapshot is durably in place.
+    pub(crate) fn reset(&mut self, header: WalHeader) -> Result<(), PersistError> {
+        use std::io::Seek;
+        self.file.set_len(0)?;
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        self.file.write_all(&encode_header(&header))?;
+        self.file.sync_data()?;
+        self.epoch = header.epoch;
+        self.records = 0;
+        Ok(())
+    }
+}
+
+/// Frames one record (length + CRC + payload) into `out`, encoding the
+/// payload **in place**: eight placeholder bytes are reserved, the record
+/// is written directly after them, and length + CRC are patched in once
+/// known — no staging buffer, no second copy. This is the durable ingest
+/// hot path.
+pub(crate) fn frame_record<H: HashWord>(
+    out: &mut Vec<u8>,
+    root_hash: H,
+    root_canon: &lambda_lang::debruijn::DbArena,
+    root_canon_root: lambda_lang::debruijn::DbId,
+    subs: &[crate::prepare::SubEntry<H>],
+    skipped: u64,
+) {
+    let frame_start = out.len();
+    out.extend_from_slice(&[0u8; 8]); // len + crc placeholders
+    format::put_record(out, root_hash, root_canon, root_canon_root, subs, skipped);
+    let payload = &out[frame_start + 8..];
+    let len = u32::try_from(payload.len()).expect("record fits u32");
+    let crc = crc32(payload);
+    out[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+    out[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_hash::combine::HashScheme;
+    use lambda_lang::parse::parse;
+    use lambda_lang::ExprArena;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alpha-store-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn header() -> WalHeader {
+        WalHeader {
+            hash_bits: 64,
+            scheme_seed: 0xABCD,
+            shard_count: 4,
+            granularity: Granularity::Roots,
+            epoch: 3,
+        }
+    }
+
+    fn sample_frames(sources: &[&str]) -> (Vec<u8>, u64) {
+        let mut arena = ExprArena::new();
+        let scheme: HashScheme<u64> = HashScheme::new(0xFAB);
+        let mut preparer = crate::prepare::Preparer::new(&arena, &scheme);
+        let mut frames = Vec::new();
+        for src in sources {
+            let parsed = parse(&mut arena, src).unwrap();
+            let (hash, canon, root) = preparer.hash_and_canon(&arena, parsed);
+            frame_record(&mut frames, hash, &canon, root, &[], 0);
+        }
+        (frames, sources.len() as u64)
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("roundtrip.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&[r"\x. x + 1", "v * 3", r"\a. \b. a b"]);
+        wal.append_group(&frames, count).unwrap();
+        assert_eq!(wal.records, 3);
+        drop(wal);
+
+        let contents = read_wal::<u64>(&path).unwrap();
+        assert_eq!(contents.header, header());
+        assert_eq!(contents.records.len(), 3);
+        assert!(!contents.torn);
+        assert_eq!(contents.good_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_the_last_good_frame() {
+        let path = tmp("torn.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&[r"\x. x + 1", "v * 3"]);
+        wal.append_group(&frames, count).unwrap();
+        drop(wal);
+
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Truncate into the middle of the second record.
+        let cut = full - 3;
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let contents = read_wal::<u64>(&path).unwrap();
+        assert!(contents.torn);
+        assert_eq!(contents.records.len(), 1);
+        assert!(contents.good_len < cut);
+
+        // A scan of only the good prefix sees a clean single-record log —
+        // what recovery's checkpoint effectively preserves.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(contents.good_len).unwrap();
+        drop(file);
+        let again = read_wal::<u64>(&path).unwrap();
+        assert!(!again.torn);
+        assert_eq!(again.records.len(), 1);
+    }
+
+    #[test]
+    fn bitflips_in_a_payload_are_caught_by_the_frame_crc() {
+        let path = tmp("bitflip.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&["let w = v+7 in w*w"]);
+        wal.append_group(&frames, count).unwrap();
+        drop(wal);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = WAL_HEADER_LEN as usize + 8 + 5; // inside the payload
+        bytes[flip_at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let contents = read_wal::<u64>(&path).unwrap();
+        assert!(contents.torn);
+        assert!(contents.records.is_empty());
+        assert_eq!(contents.good_len, WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn reset_starts_a_new_epoch_with_zero_records() {
+        let path = tmp("reset.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&[r"\x. x"]);
+        wal.append_group(&frames, count).unwrap();
+        let mut new_header = header();
+        new_header.epoch = 4;
+        wal.reset(new_header).unwrap();
+        assert_eq!(wal.epoch, 4);
+        assert_eq!(wal.records, 0);
+        drop(wal);
+        let contents = read_wal::<u64>(&path).unwrap();
+        assert_eq!(contents.header.epoch, 4);
+        assert!(contents.records.is_empty());
+        assert!(!contents.torn);
+    }
+
+    #[test]
+    fn wrong_magic_or_version_is_rejected() {
+        let path = tmp("badmagic.wal");
+        std::fs::write(&path, b"NOTAWAL!rest").unwrap();
+        assert!(matches!(
+            read_wal::<u64>(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+
+        let mut bytes = encode_header(&header());
+        bytes[8] = 0xFF; // version low byte
+        let path = tmp("badversion.wal");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_wal::<u64>(&path),
+            Err(PersistError::Mismatch { .. })
+        ));
+    }
+}

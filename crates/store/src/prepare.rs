@@ -24,7 +24,7 @@
 //!   subexpression that clears the `min_nodes` floor. Those forms cannot
 //!   be sliced out of the root's form — a variable bound *outside* a
 //!   subterm is free *by name* inside it — so each one is a dedicated
-//!   O(size) scoped sub-walk ([`Preparer::canon_subterm`]), with no
+//!   O(size) scoped sub-walk (`Preparer::canon_subterm`), with no
 //!   re-hashing anywhere.
 //!
 //! What a batch *shares* across roots is all per-term scaffolding — above

@@ -10,6 +10,21 @@
 //! index. On a [`Granularity::Roots`](crate::Granularity::Roots) store
 //! the same queries still answer, but only about whole ingested terms
 //! (nothing else was indexed).
+//!
+//! ```
+//! use alpha_store::AlphaStore;
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: AlphaStore<u64> = AlphaStore::builder().subexpressions(1).build();
+//! let mut arena = ExprArena::new();
+//! let t = parse(&mut arena, "(v + 7) * (v + 7)").unwrap();
+//! let outcome = store.insert(&arena, t);
+//!
+//! let pattern = parse(&mut arena, "v + 7").unwrap();
+//! let class = store.contains(&arena, pattern).expect("contained");
+//! assert_eq!(store.occurrences(class), 2);          // appears twice
+//! assert!(store.subterm_classes(outcome.term).any(|c| c == class));
+//! ```
 
 use crate::store::{AlphaStore, ClassId, TermId};
 use alpha_hash::combine::HashWord;

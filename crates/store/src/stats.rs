@@ -1,4 +1,31 @@
 //! Ingest statistics: what the store did, and proof that it stayed exact.
+//!
+//! Counters are lock-free atomics bumped on the ingest paths and read as a
+//! point-in-time [`StoreStats`] snapshot via
+//! [`AlphaStore::stats`](crate::AlphaStore::stats). On a durable store the
+//! snapshot file carries the counters too, so statistics survive restarts
+//! alongside the classes they describe (recovery restores them, then WAL
+//! replay re-increments exactly as the lost inserts did).
+//!
+//! The one invariant worth wiring into production monitoring:
+//!
+//! ```
+//! use alpha_store::AlphaStore;
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: AlphaStore<u64> = AlphaStore::default();
+//! let mut arena = ExprArena::new();
+//! for src in [r"\x. x + 1", r"\y. y + 1", r"\z. z * 2"] {
+//!     let root = parse(&mut arena, src).unwrap();
+//!     store.insert(&arena, root);
+//! }
+//! let stats = store.stats();
+//! assert!(stats.is_exact()); // merges are *confirmed*, never hash-trusted
+//! assert_eq!(stats.terms_ingested, 3);
+//! assert_eq!(stats.classes_created, 2); // the two x+1 lambdas merged
+//! assert_eq!(stats.merges_confirmed, 1);
+//! println!("{stats}"); // "3 terms -> 2 classes (1 confirmed merges, …)"
+//! ```
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +61,14 @@ pub struct StoreStats {
     /// the canonical comparison confirmed true alpha-equivalence. Kept
     /// apart from `merges_confirmed` so root-level dedup ratios stay
     /// comparable across granularities.
+    ///
+    /// Caveat for subexpression-granularity stores: the *split* between
+    /// this counter and `merges_confirmed` depends on batch chunk
+    /// boundaries (each chunk drains its subexpression entries before its
+    /// roots, so which insert "creates" a class shared between a root and
+    /// a subterm is decided by the chunking). The **sum** of the two is
+    /// determined by the final state (`total entries - classes_created`),
+    /// so it is what survives WAL replay exactly; the split may shift.
     pub subterm_merges_confirmed: u64,
     /// Subexpressions skipped by the granularity's `min_nodes` floor.
     pub subterms_skipped_min_nodes: u64,
@@ -94,6 +129,27 @@ impl StatCounters {
         if n > 0 {
             counter.fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// Resets the counters to a previously snapshotted value — the
+    /// recovery path, run before any concurrent access exists.
+    pub(crate) fn restore(&self, s: &StoreStats) {
+        self.terms_ingested
+            .store(s.terms_ingested, Ordering::Relaxed);
+        self.classes_created
+            .store(s.classes_created, Ordering::Relaxed);
+        self.merges_confirmed
+            .store(s.merges_confirmed, Ordering::Relaxed);
+        self.hash_collisions
+            .store(s.hash_collisions, Ordering::Relaxed);
+        self.unconfirmed_merges
+            .store(s.unconfirmed_merges, Ordering::Relaxed);
+        self.subterms_indexed
+            .store(s.subterms_indexed, Ordering::Relaxed);
+        self.subterm_merges_confirmed
+            .store(s.subterm_merges_confirmed, Ordering::Relaxed);
+        self.subterms_skipped_min_nodes
+            .store(s.subterms_skipped_min_nodes, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> StoreStats {

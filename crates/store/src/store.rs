@@ -23,6 +23,9 @@
 
 use crate::canon::rebuild_named;
 use crate::granularity::{Granularity, StoreBuilder};
+use crate::persist::snapshot::SnapshotHeader;
+use crate::persist::wal::WalHeader;
+use crate::persist::{Durable, PersistError, SNAPSHOT_FILE};
 use crate::prepare::{PreparedTerm, Preparer, SubEntry};
 use crate::stats::{StatCounters, StoreStats};
 use alpha_hash::combine::{mix64, HashScheme, HashWord};
@@ -30,6 +33,7 @@ use lambda_lang::arena::{ExprArena, NodeId};
 use lambda_lang::debruijn::{db_eq, db_print, DbArena, DbId};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::RwLock;
 
 /// Shared `Debug` shape for the two handle types: `c3.17` = shard 3,
@@ -147,12 +151,33 @@ pub(crate) struct Shard<H> {
 }
 
 impl<H: HashWord> Shard<H> {
-    fn new() -> Self {
+    pub(crate) fn empty() -> Self {
         Shard {
             buckets: HashMap::new(),
             classes: Vec::new(),
             terms: Vec::new(),
             term_subs: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a shard from snapshot parts. Buckets are reconstructed
+    /// from the class hashes, pushing in class-index order so bucket scan
+    /// order matches creation order (which keeps collision accounting
+    /// deterministic across a save/load cycle).
+    pub(crate) fn from_parts(
+        classes: Vec<StoredClass<H>>,
+        terms: Vec<u32>,
+        term_subs: Vec<Box<[u64]>>,
+    ) -> Self {
+        let mut buckets: HashMap<H, Vec<u32>> = HashMap::new();
+        for (i, class) in classes.iter().enumerate() {
+            buckets.entry(class.hash).or_default().push(i as u32);
+        }
+        Shard {
+            buckets,
+            classes,
+            terms,
+            term_subs,
         }
     }
 
@@ -256,6 +281,18 @@ pub struct AlphaStore<H: HashWord = u64> {
     mask: usize,
     counters: StatCounters,
     granularity: Granularity,
+    /// Batch ingest drains in chunks of at most this many prepared
+    /// entries, bounding both the prepared-state high-water mark and the
+    /// WAL group-commit buffer. See [`StoreBuilder::chunk_entries`].
+    chunk_entries: usize,
+    /// `Some` for durable stores: the open WAL plus its directory.
+    durable: Option<Durable>,
+    /// Ingest holds this shared; [`AlphaStore::snapshot`] and
+    /// [`AlphaStore::compact`] hold it exclusive, so a snapshot's
+    /// `(WAL record count, shard state)` cut is consistent — no insert is
+    /// ever logged-but-unapplied or applied-but-unlogged at the moment the
+    /// cut is taken. Lock order: `maintenance` → WAL mutex → shard locks.
+    maintenance: RwLock<()>,
 }
 
 impl<H: HashWord> Default for AlphaStore<H> {
@@ -289,25 +326,72 @@ impl<H: HashWord> AlphaStore<H> {
     /// over [`AlphaStore::builder`], like [`AlphaStore::new`]). The count
     /// is rounded up to a power of two and clamped to `1..=65536`.
     pub fn with_shards(scheme: HashScheme<H>, shards: usize) -> Self {
-        Self::with_config(scheme, shards, Granularity::Roots)
+        Self::with_config(
+            scheme,
+            shards,
+            Granularity::Roots,
+            Self::DEFAULT_CHUNK_ENTRIES,
+        )
     }
+
+    /// Default for [`StoreBuilder::chunk_entries`]: big enough that chunk
+    /// overhead (extra lock rounds, WAL flushes) is negligible, small
+    /// enough to bound batch ingest's peak memory to a few thousand
+    /// canonical forms whatever the batch size.
+    pub const DEFAULT_CHUNK_ENTRIES: usize = 8192;
 
     /// The actual constructor, reached via [`StoreBuilder::build`].
     pub(crate) fn with_config(
         scheme: HashScheme<H>,
         shards: usize,
         granularity: Granularity,
+        chunk_entries: usize,
     ) -> Self {
         let count = shards.clamp(1, 1 << 16).next_power_of_two();
         let shards: Box<[RwLock<Shard<H>>]> =
-            (0..count).map(|_| RwLock::new(Shard::new())).collect();
+            (0..count).map(|_| RwLock::new(Shard::empty())).collect();
         AlphaStore {
             scheme,
             shards,
             mask: count - 1,
             counters: StatCounters::default(),
             granularity,
+            chunk_entries: chunk_entries.max(1),
+            durable: None,
+            maintenance: RwLock::new(()),
         }
+    }
+
+    /// Rebuilds a store from loaded snapshot state (the recovery path).
+    pub(crate) fn from_loaded(
+        scheme: HashScheme<H>,
+        shards: Vec<Shard<H>>,
+        granularity: Granularity,
+        stats: &StoreStats,
+        chunk_entries: usize,
+    ) -> Result<Self, PersistError> {
+        let count = shards.len();
+        if !(1..=1 << 16).contains(&count) || !count.is_power_of_two() {
+            return Err(PersistError::Corrupt {
+                context: format!("shard count {count} is not a power of two in 1..=65536"),
+            });
+        }
+        let counters = StatCounters::default();
+        counters.restore(stats);
+        Ok(AlphaStore {
+            scheme,
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            mask: count - 1,
+            counters,
+            granularity,
+            chunk_entries: chunk_entries.max(1),
+            durable: None,
+            maintenance: RwLock::new(()),
+        })
+    }
+
+    pub(crate) fn attach_durable(&mut self, durable: Durable) {
+        self.durable = Some(durable);
     }
 
     /// The hash scheme terms are addressed with.
@@ -374,10 +458,9 @@ impl<H: HashWord> AlphaStore<H> {
             Granularity::Roots => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
                 let prepared = self.prepare(&mut preparer, arena, root);
-                let mut shard = self.shards[prepared.shard]
-                    .write()
-                    .expect("shard lock poisoned");
-                self.finish_insert(&mut shard, prepared, SubexprSummary::default(), Vec::new())
+                self.ingest_prepared_roots(vec![prepared])
+                    .pop()
+                    .expect("one term ingested")
             }
             Granularity::Subexpressions { min_nodes } => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
@@ -389,15 +472,19 @@ impl<H: HashWord> AlphaStore<H> {
         }
     }
 
-    /// Ingests a batch of terms, taking each shard lock at most once (at
-    /// most twice under [`Granularity::Subexpressions`]: one sweep for the
-    /// batch's subexpression entries, one for the roots).
+    /// Ingests a batch of terms, draining in chunks of at most
+    /// [`chunk_entries`](StoreBuilder::chunk_entries) prepared entries so
+    /// peak memory is bounded whatever the batch size; within a chunk,
+    /// each shard lock is taken at most once (at most twice under
+    /// [`Granularity::Subexpressions`]: one sweep for the chunk's
+    /// subexpression entries, one for the roots).
     ///
     /// Outcomes are returned in input order. Equivalent to calling
     /// [`AlphaStore::insert`] per term, but with per-term lock traffic
     /// amortised and one shared [`Preparer`] across the batch, so hashing
     /// scratch state and the name-hash cache are never rebuilt per term —
-    /// the natural entry point for high-throughput ingest.
+    /// the natural entry point for high-throughput ingest. On a durable
+    /// store, each chunk is one group-committed WAL append.
     pub fn insert_batch(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
         match self.granularity {
             Granularity::Roots => self.insert_batch_roots(arena, roots),
@@ -408,13 +495,34 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     fn insert_batch_roots(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
-        // All hashing/canonicalization first, outside any lock…
         let mut preparer = Preparer::new(arena, &self.scheme);
-        let prepared: Vec<Prepared<H>> = roots
-            .iter()
-            .map(|&r| self.prepare(&mut preparer, arena, r))
-            .collect();
-        // …then drain shard by shard.
+        let mut outcomes = Vec::with_capacity(roots.len());
+        // One prepared entry per root: chunks are `chunk_entries` terms.
+        for chunk in roots.chunks(self.chunk_entries) {
+            // All hashing/canonicalization first, outside any lock…
+            let prepared: Vec<Prepared<H>> = chunk
+                .iter()
+                .map(|&r| self.prepare(&mut preparer, arena, r))
+                .collect();
+            // …then log and drain shard by shard.
+            outcomes.extend(self.ingest_prepared_roots(prepared));
+        }
+        outcomes
+    }
+
+    /// The root-granularity apply path shared by `insert` (a one-element
+    /// batch) and each `insert_batch` chunk: group-commit the chunk to the
+    /// WAL (durable stores), then drain shard by shard. A one-element
+    /// chunk skips the by-shard regrouping and goes straight to its shard
+    /// lock, so per-term `insert` keeps the old direct path's cost.
+    fn ingest_prepared_roots(&self, mut prepared: Vec<Prepared<H>>) -> Vec<InsertOutcome> {
+        let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
+        self.wal_log_roots(&prepared);
+        if prepared.len() == 1 {
+            let p = prepared.pop().expect("one prepared term");
+            let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
+            return vec![self.finish_insert(&mut shard, p, SubexprSummary::default(), Vec::new())];
+        }
         self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
     }
 
@@ -450,7 +558,12 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Subexpression-granularity batch ingest: every term is prepared by
     /// the fused batched pass (all subexpression hashes from one walk),
-    /// then handed to [`AlphaStore::ingest_prepared_terms`].
+    /// then handed to [`AlphaStore::ingest_prepared_terms`] — in chunks of
+    /// at most `chunk_entries` prepared entries (a term's root plus its
+    /// indexed subexpressions), so peak memory is Θ(chunk budget) instead
+    /// of Σ subterm sizes over the whole batch. A handful of extra lock
+    /// rounds per chunk buys a bounded high-water mark for both the
+    /// prepared canonical forms and the WAL group-commit buffer.
     fn insert_batch_subs(
         &self,
         arena: &ExprArena,
@@ -458,18 +571,38 @@ impl<H: HashWord> AlphaStore<H> {
         min_nodes: usize,
     ) -> Vec<InsertOutcome> {
         let mut preparer = Preparer::new(arena, &self.scheme);
-        let prepared = roots
-            .iter()
-            .map(|&r| preparer.prepare_term(arena, r, min_nodes))
-            .collect();
-        self.ingest_prepared_terms(prepared)
+        let mut outcomes = Vec::with_capacity(roots.len());
+        let mut pending: Vec<PreparedTerm<H>> = Vec::new();
+        let mut pending_entries = 0usize;
+        for &root in roots {
+            let pt = preparer.prepare_term(arena, root, min_nodes);
+            pending_entries += 1 + pt.subs.len();
+            pending.push(pt);
+            if pending_entries >= self.chunk_entries {
+                outcomes.extend(self.ingest_prepared_terms(std::mem::take(&mut pending)));
+                pending_entries = 0;
+            }
+        }
+        if !pending.is_empty() {
+            outcomes.extend(self.ingest_prepared_terms(pending));
+        }
+        outcomes
     }
 
     /// The subexpression-granularity critical path, shared by `insert` (a
-    /// one-element batch) and `insert_batch`: the whole batch's
+    /// one-element batch), each `insert_batch` chunk and WAL replay: the
+    /// chunk is group-committed to the WAL (durable stores), then its
     /// subexpression entries are drained shard by shard, then the roots —
     /// each shard locked at most twice.
-    fn ingest_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
+    pub(crate) fn ingest_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
+        let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
+        self.wal_log_terms(&terms);
+        self.apply_prepared_terms(terms)
+    }
+
+    /// The lock-side second half of [`AlphaStore::ingest_prepared_terms`]
+    /// (everything after the WAL tee).
+    fn apply_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
         let count = terms.len();
         let mut summaries: Vec<SubexprSummary> = Vec::with_capacity(count);
         let mut sub_bits: Vec<Vec<u64>> = Vec::with_capacity(count);
@@ -741,6 +874,216 @@ impl<H: HashWord> AlphaStore<H> {
     /// Snapshot of the ingest statistics.
     pub fn stats(&self) -> StoreStats {
         self.counters.snapshot()
+    }
+
+    // ---- persistence ---------------------------------------------------
+
+    /// Opens a durable store from its directory, reading the whole
+    /// configuration (hash scheme, shard count, granularity) from disk:
+    /// loads the latest snapshot, replays the WAL tail — **re-confirming
+    /// every replayed merge by canonical-form comparison**, so exactness
+    /// survives restarts — truncates any torn tail left by a crash, and
+    /// checkpoints (fresh snapshot, reset WAL). Use
+    /// [`StoreBuilder::open_durable`] instead when the caller knows the
+    /// configuration and wants it verified against what is on disk.
+    ///
+    /// The hash width is the one thing the type system fixes: opening a
+    /// store whose snapshot was written at a different `H` fails with
+    /// [`PersistError::Mismatch`].
+    ///
+    /// ```
+    /// use alpha_store::AlphaStore;
+    /// use lambda_lang::{parse, ExprArena};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("doc-open-{}", std::process::id()));
+    /// let mut arena = ExprArena::new();
+    /// let t = parse(&mut arena, r"\x. x + 1").unwrap();
+    /// let class = {
+    ///     let store: AlphaStore<u64> =
+    ///         AlphaStore::builder().open_durable(&dir).unwrap();
+    ///     store.insert(&arena, t).class
+    /// }; // dropped: the store is gone from memory…
+    ///
+    /// let reopened: AlphaStore<u64> = AlphaStore::open(&dir).unwrap();
+    /// let alpha = parse(&mut arena, r"\q. q + 1").unwrap();
+    /// assert_eq!(reopened.lookup(&arena, alpha), Some(class)); // …not from disk
+    /// assert!(reopened.stats().is_exact());
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        crate::persist::open_store(dir.as_ref(), None, false, Self::DEFAULT_CHUNK_ENTRIES)
+    }
+
+    /// Whether this store tees inserts into a write-ahead log (built via
+    /// [`StoreBuilder::open_durable`] or [`AlphaStore::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable store's directory, if any.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Records currently in the write-ahead log (zero right after
+    /// [`AlphaStore::compact`] or a fresh open). `None` for in-memory
+    /// stores.
+    pub fn wal_records(&self) -> Option<u64> {
+        self.durable
+            .as_ref()
+            .map(|d| d.wal.lock().expect("wal lock poisoned").records)
+    }
+
+    /// Writes a fresh snapshot of the current state (atomically: temp
+    /// file, `fsync`, rename) without touching the WAL. The snapshot
+    /// records how many WAL records it absorbed, so a subsequent
+    /// [`AlphaStore::open`] replays only the records that arrive after
+    /// this call.
+    ///
+    /// Errors with [`PersistError::Mismatch`] on an in-memory store.
+    pub fn snapshot(&self) -> Result<(), PersistError> {
+        let durable = self.require_durable()?;
+        let _cut = self.maintenance.write().expect("maintenance lock poisoned");
+        let wal = durable.wal.lock().expect("wal lock poisoned");
+        self.write_snapshot_file(&durable.dir.join(SNAPSHOT_FILE), wal.epoch, wal.records)
+    }
+
+    /// Compacts the durable state: writes a fresh snapshot under the
+    /// **next epoch**, then truncates the WAL and restamps it with that
+    /// epoch. The snapshot rename is the commit point — a crash between
+    /// the two steps leaves a stale-epoch WAL that recovery recognises and
+    /// discards instead of replaying records the snapshot already holds.
+    ///
+    /// Errors with [`PersistError::Mismatch`] on an in-memory store.
+    pub fn compact(&self) -> Result<(), PersistError> {
+        let durable = self.require_durable()?;
+        let _cut = self.maintenance.write().expect("maintenance lock poisoned");
+        let mut wal = durable.wal.lock().expect("wal lock poisoned");
+        let new_epoch = wal.epoch + 1;
+        self.write_snapshot_file(&durable.dir.join(SNAPSHOT_FILE), new_epoch, 0)?;
+        wal.reset(WalHeader {
+            hash_bits: H::BITS,
+            scheme_seed: self.scheme.seed(),
+            shard_count: u32::try_from(self.shard_count()).expect("shard count fits u32"),
+            granularity: self.granularity,
+            epoch: new_epoch,
+        })
+    }
+
+    fn require_durable(&self) -> Result<&Durable, PersistError> {
+        self.durable.as_ref().ok_or_else(|| PersistError::Mismatch {
+            context: "store is in-memory; build it with StoreBuilder::open_durable".to_owned(),
+        })
+    }
+
+    /// Serializes the current state to `path` (the caller has quiesced
+    /// ingest or owns the store exclusively). Shard read locks are taken
+    /// in index order, after the maintenance/WAL locks per the documented
+    /// lock order.
+    pub(crate) fn write_snapshot_file(
+        &self,
+        path: &Path,
+        wal_epoch: u64,
+        wal_records_applied: u64,
+    ) -> Result<(), PersistError> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+        let shard_refs: Vec<&Shard<H>> = guards.iter().map(|g| &**g).collect();
+        let header = SnapshotHeader {
+            hash_bits: H::BITS,
+            scheme_seed: self.scheme.seed(),
+            shard_count: u32::try_from(self.shards.len()).expect("shard count fits u32"),
+            granularity: self.granularity,
+            wal_epoch,
+            wal_records_applied,
+            stats: self.counters.snapshot(),
+        };
+        let bytes = crate::persist::snapshot::encode_snapshot(&header, &shard_refs);
+        crate::persist::snapshot::write_atomically(path, &bytes)
+    }
+
+    /// Replays recovered WAL records through the normal ingest path (in
+    /// bounded chunks), re-confirming every merge. Runs before the WAL is
+    /// attached, so nothing is re-logged.
+    pub(crate) fn replay(&mut self, records: Vec<PreparedTerm<H>>) {
+        debug_assert!(self.durable.is_none(), "replay must not re-log records");
+        let mut pending: Vec<PreparedTerm<H>> = Vec::new();
+        let mut pending_entries = 0usize;
+        for pt in records {
+            pending_entries += 1 + pt.subs.len();
+            pending.push(pt);
+            if pending_entries >= self.chunk_entries {
+                self.ingest_prepared_terms(std::mem::take(&mut pending));
+                pending_entries = 0;
+            }
+        }
+        if !pending.is_empty() {
+            self.ingest_prepared_terms(pending);
+        }
+    }
+
+    /// Tees a chunk of root-granularity inserts into the WAL as one group
+    /// commit. No-op on in-memory stores.
+    ///
+    /// # Panics
+    ///
+    /// A WAL write failure on a durable store is fatal (the in-memory
+    /// state would otherwise silently diverge from what recovery can
+    /// rebuild), so it panics rather than drop durability.
+    fn wal_log_roots(&self, prepared: &[Prepared<H>]) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        // ~10 bytes per canon node plus fixed costs: a close-enough guess
+        // that the frame buffer almost never regrows mid-chunk.
+        let estimate: usize = prepared.iter().map(|p| 64 + p.canon.len() * 10).sum();
+        let mut frames = Vec::with_capacity(estimate);
+        for p in prepared {
+            crate::persist::wal::frame_record(&mut frames, p.hash, &p.canon, p.canon_root, &[], 0);
+        }
+        durable
+            .wal
+            .lock()
+            .expect("wal lock poisoned")
+            .append_group(&frames, prepared.len() as u64)
+            .expect("WAL append failed; cannot continue durably");
+    }
+
+    /// Tees a chunk of subexpression-granularity inserts into the WAL as
+    /// one group commit. No-op on in-memory stores; panics on write
+    /// failure like [`AlphaStore::wal_log_roots`].
+    fn wal_log_terms(&self, terms: &[PreparedTerm<H>]) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        let estimate: usize = terms
+            .iter()
+            .map(|pt| {
+                let nodes: usize =
+                    pt.root.canon.len() + pt.subs.iter().map(|s| s.canon.len()).sum::<usize>();
+                64 + 32 * pt.subs.len() + nodes * 10
+            })
+            .sum();
+        let mut frames = Vec::with_capacity(estimate);
+        for pt in terms {
+            crate::persist::wal::frame_record(
+                &mut frames,
+                pt.root.hash,
+                &pt.root.canon,
+                pt.root.canon_root,
+                &pt.subs,
+                pt.skipped,
+            );
+        }
+        durable
+            .wal
+            .lock()
+            .expect("wal lock poisoned")
+            .append_group(&frames, terms.len() as u64)
+            .expect("WAL append failed; cannot continue durably");
     }
 
     pub(crate) fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {

@@ -1,0 +1,557 @@
+//! Crash-recovery property tests for the durable store.
+//!
+//! The contract under test: **whatever byte the crash lands on, recovery
+//! rebuilds exactly the store a fresh build over the surviving prefix
+//! would have built.** Each case ingests a random forest into a durable
+//! store, "crashes" it by truncating the WAL at a random byte offset
+//! (mid-record cuts included — that is the realistic torn-write shape),
+//! reopens, and checks the recovered store against an in-memory oracle
+//! fed the same terms:
+//!
+//! * same term count (the intact WAL prefix), same class partition over
+//!   those terms, same canonical representatives with the same
+//!   member/occurrence/node counts per class;
+//! * identical [`StoreStats`] — recovery replays through the normal
+//!   ingest path, so the counters reconcile exactly, and
+//!   `unconfirmed_merges` stays 0 (every replayed merge re-confirmed);
+//! * at u64 and u128 hash widths, at `Roots` and `Subexpressions`
+//!   granularity, with and without a mid-stream snapshot (so cuts land
+//!   both before and after what the snapshot absorbed).
+
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_store::{AlphaStore, ClassId, Granularity, StoreStats};
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::uniquify::uniquify_into;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A fresh temp directory, removed on drop (even when a case fails).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "alpha-store-recovery-{}-{}-{}",
+            std::process::id(),
+            tag,
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A varied corpus with alpha-duplicates: three generator families, seeds
+/// drawn from a small pool, every other term alpha-renamed.
+fn corpus(arena: &mut ExprArena, seed: u64, count: usize) -> Vec<NodeId> {
+    let mut roots = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64 % 5));
+        let size = 4 + (i % 4) * 8;
+        let mut scratch = ExprArena::new();
+        let root = match i % 3 {
+            0 => expr_gen::balanced(&mut scratch, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut scratch, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut scratch, size.max(8), &mut rng),
+        };
+        if i % 2 == 0 {
+            roots.push(uniquify_into(&scratch, root, arena));
+        } else {
+            roots.push(arena.import_subtree(&scratch, root));
+        }
+    }
+    roots
+}
+
+/// Everything observable about a store's classes, keyed by canonical text
+/// (the class identity): member, occurrence and node counts. Two stores
+/// with equal maps hold the same classes with the same bookkeeping.
+fn class_census<H: HashWord>(store: &AlphaStore<H>) -> BTreeMap<String, (u64, u64, usize)> {
+    let mut census = BTreeMap::new();
+    for class in store.classes() {
+        let old = census.insert(
+            store.canonical_text(class),
+            (
+                store.members(class),
+                store.occurrences(class),
+                store.node_count(class),
+            ),
+        );
+        assert!(old.is_none(), "duplicate canonical form across classes");
+    }
+    census
+}
+
+/// The partition of `terms` into alpha-classes, as sorted index groups.
+fn partition_of<H: HashWord>(
+    store: &AlphaStore<H>,
+    arena: &ExprArena,
+    terms: &[NodeId],
+) -> Vec<Vec<usize>> {
+    let mut groups: BTreeMap<ClassId, Vec<usize>> = BTreeMap::new();
+    for (i, &t) in terms.iter().enumerate() {
+        let class = store
+            .lookup(arena, t)
+            .expect("every surviving term is findable");
+        groups.entry(class).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+struct Recovered {
+    terms_survived: usize,
+    stats: StoreStats,
+}
+
+/// The generic crash/recover/compare scenario. Returns what survived so
+/// callers can assert cut-position-dependent facts.
+fn check_recovery<H: HashWord>(
+    tag: &str,
+    seed: u64,
+    granularity: Granularity,
+    cut_fraction: f64,
+    snapshot_mid: bool,
+) -> Recovered {
+    let scheme: HashScheme<H> = HashScheme::new(0xD15C ^ seed);
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, seed, 36);
+    let builder = || {
+        AlphaStore::<H>::builder()
+            .scheme(scheme)
+            .shards(4)
+            .granularity(granularity)
+            // Small chunks: many group commits, so cuts land between and
+            // inside groups alike.
+            .chunk_entries(16)
+    };
+
+    let dir = TempDir::new(tag);
+    let wal_path = dir.path().join("wal.bin");
+
+    // Build the durable store; optionally snapshot mid-stream so the cut
+    // can land in records the snapshot has already absorbed.
+    {
+        let store = builder().open_durable(dir.path()).expect("create durable");
+        let (first, second) = roots.split_at(roots.len() / 2);
+        store.insert_batch(&arena, first);
+        if snapshot_mid {
+            store.snapshot().expect("mid-stream snapshot");
+        }
+        store.insert_batch(&arena, second);
+        assert_eq!(store.wal_records(), Some(roots.len() as u64));
+    } // drop = crash without shutdown ceremony
+
+    // The crash: truncate the WAL at a random byte offset within the
+    // records region (a cut inside the header is unrecoverable corruption
+    // by design, and tested separately).
+    let header_len = {
+        let probe = TempDir::new("header-probe");
+        builder().open_durable(probe.path()).expect("probe store");
+        std::fs::metadata(probe.path().join("wal.bin"))
+            .expect("probe wal")
+            .len()
+    };
+    let full_len = std::fs::metadata(&wal_path).expect("wal exists").len();
+    assert!(full_len > header_len, "corpus must produce WAL records");
+    let cut = header_len + ((full_len - header_len) as f64 * cut_fraction) as u64;
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .expect("open wal for truncation")
+        .set_len(cut)
+        .expect("truncate wal");
+
+    // Recover.
+    let recovered = AlphaStore::<H>::open(dir.path()).expect("recovery succeeds");
+    let survived = recovered.num_terms();
+    assert!(survived <= roots.len());
+    if snapshot_mid {
+        assert!(
+            survived >= roots.len() / 2,
+            "records absorbed by the mid-stream snapshot cannot be lost to a WAL cut"
+        );
+    }
+    // Recovery either checkpointed (fresh snapshot, empty WAL) or — when
+    // the cut landed exactly on the boundary of what a mid-stream
+    // snapshot had already absorbed — took the clean-reopen fast path and
+    // kept the absorbed records in place. Both leave a consistent pair;
+    // a WAL longer than the snapshot's absorption is impossible here.
+    let wal_after = recovered.wal_records().expect("recovered store is durable");
+    assert!(
+        wal_after == 0 || (snapshot_mid && wal_after as usize == survived),
+        "unexpected WAL length {wal_after} after recovery of {survived} terms"
+    );
+
+    // Oracle: a fresh in-memory build over exactly the surviving prefix.
+    let oracle = builder().build();
+    oracle.insert_batch(&arena, &roots[..survived]);
+
+    assert_eq!(recovered.num_classes(), oracle.num_classes());
+    assert_eq!(class_census(&recovered), class_census(&oracle));
+    assert_eq!(
+        partition_of(&recovered, &arena, &roots[..survived]),
+        partition_of(&oracle, &arena, &roots[..survived]),
+    );
+    let stats = recovered.stats();
+    let truth = oracle.stats();
+    // The split between root merges and subterm merges depends on batch
+    // chunk boundaries (a root merging into a class a same-chunk subterm
+    // just created counts as a root merge; across chunks too, but the
+    // boundary decides which insert got there first). Replay cannot know
+    // the original group boundaries, so assert the boundary-independent
+    // stats exactly and the merge *sum* — which final-state accounting
+    // fixes — instead of the split. See `alpha_store::stats` docs.
+    assert_eq!(
+        StoreStats {
+            merges_confirmed: 0,
+            subterm_merges_confirmed: 0,
+            ..stats
+        },
+        StoreStats {
+            merges_confirmed: 0,
+            subterm_merges_confirmed: 0,
+            ..truth
+        },
+        "boundary-independent stats must reconcile after replay"
+    );
+    assert_eq!(
+        stats.merges_confirmed + stats.subterm_merges_confirmed,
+        truth.merges_confirmed + truth.subterm_merges_confirmed,
+        "total confirmed merges must reconcile after replay"
+    );
+    if granularity == Granularity::Roots {
+        // No subterms, so the split cannot shift: full equality.
+        assert_eq!(stats, truth, "roots-mode stats must reconcile exactly");
+    }
+    assert!(stats.is_exact(), "0 unconfirmed merges after recovery");
+    assert_eq!(stats.terms_ingested as usize, survived);
+
+    // And the recovered store keeps working: reinserting an already-known
+    // term merges instead of forking a class.
+    if survived > 0 {
+        let outcome = recovered.insert(&arena, roots[0]);
+        assert!(!outcome.fresh);
+    }
+    Recovered {
+        terms_survived: survived,
+        stats,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn roots_recovery_matches_oracle(
+        seed in any::<u64>(),
+        cut_ppm in 0u64..1_000_000,
+        snapshot_mid in any::<bool>(),
+    ) {
+        let cut_fraction = cut_ppm as f64 / 1e6;
+        let r64 = check_recovery::<u64>("roots64", seed, Granularity::Roots, cut_fraction, snapshot_mid);
+        let r128 = check_recovery::<u128>("roots128", seed, Granularity::Roots, cut_fraction, snapshot_mid);
+        // Widths agree on what a record is, so the same cut fraction
+        // cannot diverge wildly; both must at least agree on exactness.
+        prop_assert!(r64.stats.is_exact() && r128.stats.is_exact());
+    }
+
+    #[test]
+    fn subexpression_recovery_matches_oracle(
+        seed in any::<u64>(),
+        cut_ppm in 0u64..1_000_000,
+        snapshot_mid in any::<bool>(),
+        floor_wide in any::<bool>(),
+    ) {
+        let cut_fraction = cut_ppm as f64 / 1e6;
+        let min_nodes = if floor_wide { 4 } else { 1 };
+        let g = Granularity::Subexpressions { min_nodes };
+        let r64 = check_recovery::<u64>("subs64", seed, g, cut_fraction, snapshot_mid);
+        let r128 = check_recovery::<u128>("subs128", seed, g, cut_fraction, snapshot_mid);
+        prop_assert!(r64.stats.is_exact() && r128.stats.is_exact());
+        // The subexpression index must actually have been exercised.
+        if r64.terms_survived > 0 {
+            prop_assert!(r64.stats.subterms_indexed > 0);
+        }
+        if r128.terms_survived > 0 {
+            prop_assert!(r128.stats.subterms_indexed > 0);
+        }
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_handles_and_stats() {
+    // The acceptance-criteria shape minus the crash: snapshot → drop →
+    // open must preserve the partition, the canonical representatives,
+    // the stats AND the issued handles (snapshot loads are verbatim, no
+    // replay renumbering).
+    let dir = TempDir::new("roundtrip");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xE0E0, 60);
+    let builder = || {
+        AlphaStore::<u64>::builder()
+            .seed(0x5EED)
+            .shards(8)
+            .subexpressions(3)
+    };
+
+    let (outcomes, stats_before) = {
+        let store = builder().open_durable(dir.path()).expect("create");
+        let outcomes = store.insert_batch(&arena, &roots);
+        store.snapshot().expect("snapshot");
+        (outcomes, store.stats())
+    };
+
+    let reopened = builder().open_durable(dir.path()).expect("reopen");
+    assert_eq!(reopened.stats(), stats_before);
+    assert_eq!(reopened.num_terms(), roots.len());
+    for (outcome, &root) in outcomes.iter().zip(&roots) {
+        assert_eq!(reopened.class_of(outcome.term), outcome.class);
+        assert_eq!(reopened.lookup(&arena, root), Some(outcome.class));
+        let subs: Vec<ClassId> = reopened.subterm_classes(outcome.term).collect();
+        assert!(subs.contains(&outcome.class));
+    }
+}
+
+#[test]
+fn compact_then_recover_replays_nothing_twice() {
+    let dir = TempDir::new("compact");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xC0C0, 40);
+    let builder = || AlphaStore::<u64>::builder().seed(3).shards(4);
+
+    {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert_batch(&arena, &roots[..20]);
+        store.compact().expect("compact");
+        assert_eq!(store.wal_records(), Some(0));
+        store.insert_batch(&arena, &roots[20..]);
+        assert_eq!(store.wal_records(), Some(20));
+    }
+
+    let reopened = builder().open_durable(dir.path()).expect("reopen");
+    assert_eq!(reopened.num_terms(), roots.len());
+    let oracle = builder().build();
+    oracle.insert_batch(&arena, &roots);
+    assert_eq!(reopened.stats(), oracle.stats());
+    assert_eq!(class_census(&reopened), class_census(&oracle));
+}
+
+#[test]
+fn stale_epoch_wal_is_discarded_not_replayed() {
+    // Simulate a crash between compaction's snapshot rename and WAL
+    // reset: compact, then restore the pre-compaction WAL file. Its
+    // records are all inside the snapshot; recovery must not double-count.
+    let dir = TempDir::new("stale-epoch");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xABAB, 30);
+    let builder = || AlphaStore::<u64>::builder().seed(9).shards(4);
+
+    let wal_path = dir.path().join("wal.bin");
+    {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert_batch(&arena, &roots);
+        let stale_wal = std::fs::read(&wal_path).expect("read wal");
+        store.compact().expect("compact");
+        // Crash simulation: the old WAL comes back from the dead.
+        std::fs::write(&wal_path, stale_wal).expect("restore stale wal");
+    }
+
+    let reopened = builder().open_durable(dir.path()).expect("reopen");
+    let oracle = builder().build();
+    oracle.insert_batch(&arena, &roots);
+    assert_eq!(reopened.num_terms(), roots.len(), "no record lost");
+    assert_eq!(reopened.stats(), oracle.stats(), "no record replayed twice");
+}
+
+/// `Result::unwrap_err` needs `Debug` on the success type; the store has
+/// none, so unwrap the error by hand.
+fn expect_err<H: HashWord>(
+    result: Result<AlphaStore<H>, alpha_store::PersistError>,
+) -> alpha_store::PersistError {
+    match result {
+        Ok(_) => panic!("expected opening to fail"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn config_mismatches_are_rejected() {
+    let dir = TempDir::new("mismatch");
+    let mut arena = ExprArena::new();
+    let root = corpus(&mut arena, 1, 1)[0];
+    AlphaStore::<u64>::builder()
+        .seed(7)
+        .shards(4)
+        .open_durable(dir.path())
+        .expect("create")
+        .insert(&arena, root);
+
+    use alpha_store::PersistError;
+    // Wrong seed.
+    let err = expect_err(
+        AlphaStore::<u64>::builder()
+            .seed(8)
+            .shards(4)
+            .open_durable(dir.path()),
+    );
+    assert!(matches!(err, PersistError::Mismatch { .. }), "{err}");
+    // Wrong shard count.
+    let err = expect_err(
+        AlphaStore::<u64>::builder()
+            .seed(7)
+            .shards(16)
+            .open_durable(dir.path()),
+    );
+    assert!(matches!(err, PersistError::Mismatch { .. }), "{err}");
+    // Wrong granularity.
+    let err = expect_err(
+        AlphaStore::<u64>::builder()
+            .seed(7)
+            .shards(4)
+            .subexpressions(2)
+            .open_durable(dir.path()),
+    );
+    assert!(matches!(err, PersistError::Mismatch { .. }), "{err}");
+    // Wrong hash width.
+    let err = expect_err(AlphaStore::<u128>::open(dir.path()));
+    assert!(matches!(err, PersistError::Mismatch { .. }), "{err}");
+    // The right configuration still opens.
+    let store = AlphaStore::<u64>::builder()
+        .seed(7)
+        .shards(4)
+        .open_durable(dir.path())
+        .expect("matching config reopens");
+    assert_eq!(store.num_terms(), 1);
+}
+
+#[test]
+fn clean_reopen_skips_the_checkpoint_and_keeps_appending() {
+    // A store whose snapshot already absorbed every WAL record reopens
+    // without rewriting the snapshot (no O(store) churn on a no-op
+    // reopen) and keeps appending to the same WAL — and a further reopen
+    // replays exactly the records appended after the snapshot.
+    let dir = TempDir::new("clean-reopen");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xCAFE, 30);
+    let builder = || AlphaStore::<u64>::builder().seed(13).shards(4);
+
+    {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert_batch(&arena, &roots[..10]);
+        store.snapshot().expect("snapshot");
+    }
+    let snap_path = dir.path().join("snapshot.bin");
+    let snap_before = std::fs::read(&snap_path).expect("snapshot bytes");
+
+    {
+        let reopened = builder().open_durable(dir.path()).expect("clean reopen");
+        assert_eq!(reopened.num_terms(), 10);
+        assert_eq!(
+            reopened.wal_records(),
+            Some(10),
+            "clean reopen keeps the absorbed WAL in place"
+        );
+        assert_eq!(
+            std::fs::read(&snap_path).expect("snapshot bytes"),
+            snap_before,
+            "clean reopen must not rewrite the snapshot"
+        );
+        reopened.insert_batch(&arena, &roots[10..]);
+        assert_eq!(reopened.wal_records(), Some(30));
+    }
+
+    // The next open replays only the 20 appended records on top of the
+    // 10-term snapshot, matching a fresh build of all 30.
+    let recovered = builder().open_durable(dir.path()).expect("recover");
+    assert_eq!(recovered.num_terms(), roots.len());
+    let oracle = builder().build();
+    oracle.insert_batch(&arena, &roots);
+    assert_eq!(recovered.stats(), oracle.stats());
+    assert_eq!(class_census(&recovered), class_census(&oracle));
+}
+
+#[test]
+fn undecodable_wal_header_with_intact_snapshot_recovers_to_the_snapshot() {
+    // A disk-full or crash during WAL reset can leave wal.bin empty or
+    // with a garbage header. With an intact snapshot, recovery must fall
+    // back to the snapshot (the authoritative committed state) instead of
+    // failing forever.
+    let dir = TempDir::new("wal-header");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xFEFE, 20);
+    let builder = || AlphaStore::<u64>::builder().seed(5).shards(4);
+    {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert_batch(&arena, &roots);
+        store.snapshot().expect("snapshot");
+    }
+    let wal_path = dir.path().join("wal.bin");
+    for bad_wal in [&b""[..], &b"garbage, not a WAL header at all"[..]] {
+        std::fs::write(&wal_path, bad_wal).expect("corrupt the wal");
+        let reopened = builder()
+            .open_durable(dir.path())
+            .expect("snapshot-backed recovery survives a destroyed WAL header");
+        assert_eq!(reopened.num_terms(), roots.len());
+        assert!(reopened.stats().is_exact());
+    }
+    // Without a snapshot, the same corruption is rightly fatal.
+    std::fs::remove_file(dir.path().join("snapshot.bin")).expect("drop snapshot");
+    std::fs::write(&wal_path, b"garbage").expect("corrupt the wal");
+    let err = expect_err(AlphaStore::<u64>::open(dir.path()));
+    assert!(
+        matches!(err, alpha_store::PersistError::Corrupt { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn second_opener_is_locked_out_until_the_first_drops() {
+    let dir = TempDir::new("locked");
+    let mut arena = ExprArena::new();
+    let root = corpus(&mut arena, 2, 1)[0];
+    let builder = || AlphaStore::<u64>::builder().seed(11).shards(4);
+
+    let first = builder().open_durable(dir.path()).expect("create");
+    first.insert(&arena, root);
+    // While `first` lives, any second open — recovery or create — fails
+    // fast instead of truncating the WAL `first` is appending to.
+    let err = expect_err(builder().open_durable(dir.path()));
+    assert!(
+        matches!(err, alpha_store::PersistError::Locked { .. }),
+        "{err}"
+    );
+    let err = expect_err(AlphaStore::<u64>::open(dir.path()));
+    assert!(
+        matches!(err, alpha_store::PersistError::Locked { .. }),
+        "{err}"
+    );
+
+    drop(first);
+    let second = builder().open_durable(dir.path()).expect("lock released");
+    assert_eq!(second.num_terms(), 1);
+}
+
+#[test]
+fn opening_nothing_is_not_found() {
+    let dir = TempDir::new("empty");
+    std::fs::create_dir_all(dir.path()).unwrap();
+    let err = expect_err(AlphaStore::<u64>::open(dir.path()));
+    assert!(matches!(err, alpha_store::PersistError::Io(ref e)
+        if e.kind() == std::io::ErrorKind::NotFound));
+}

@@ -17,9 +17,16 @@
 //! * [`gen`] (`expr-gen`) — the evaluation workloads (§7, App. B).
 //! * [`store`] (`alpha-store`) — the production subsystem: a sharded,
 //!   concurrent, content-addressed store deduplicating streams of terms
-//!   modulo alpha, with corpus-level CSE and shared-DAG analytics.
+//!   modulo alpha, with containment queries at subexpression granularity,
+//!   corpus-level CSE and shared-DAG analytics, and optional durability
+//!   (write-ahead log + snapshots + crash recovery, [`store::persist`]).
 //!
-//! ## Example
+//! The architecture notes in `docs/ARCHITECTURE.md` map these crates to
+//! the paper's sections and walk the ingest pipeline end to end;
+//! `docs/PERSISTENCE_FORMAT.md` is the byte-level spec of the durable
+//! store files.
+//!
+//! ## Hashing in one call
 //!
 //! ```
 //! use hash_modulo_alpha::prelude::*;
@@ -31,6 +38,37 @@
 //! let classes = hash_classes(&arena, root, &scheme);
 //! assert!(classes.iter().any(|c| c.len() == 2));
 //! # Ok::<(), lambda_lang::ParseError>(())
+//! ```
+//!
+//! ## The store as a service
+//!
+//! Configure once with [`StoreBuilder`](prelude::StoreBuilder) — hash
+//! scheme, shard count, granularity, durability — then ingest from any
+//! number of threads:
+//!
+//! ```
+//! use hash_modulo_alpha::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("umbrella-doc-{}", std::process::id()));
+//! let store: AlphaStore<u64> = AlphaStore::builder()
+//!     .seed(0x5EED)
+//!     .shards(8)
+//!     .subexpressions(2)     // index subterms for containment queries
+//!     .open_durable(&dir)?;  // …and survive restarts
+//!
+//! let mut arena = ExprArena::new();
+//! let t = parse(&mut arena, r"map (\x. x + 1) things").unwrap();
+//! store.insert(&arena, t);
+//! let pattern = parse(&mut arena, r"\q. q + 1").unwrap();
+//! assert!(store.contains(&arena, pattern).is_some());
+//! assert!(store.stats().is_exact()); // merges confirmed, never hash-trusted
+//! drop(store);
+//!
+//! // A restart later: recovery re-confirms every replayed merge.
+//! let reopened: AlphaStore<u64> = AlphaStore::open(&dir)?;
+//! assert!(reopened.contains(&arena, pattern).is_some());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok::<(), PersistError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -52,7 +90,7 @@ pub mod prelude {
     pub use alpha_hash::incremental::IncrementalHasher;
     pub use alpha_store::{
         corpus_shared_dag_size, store_backed_cse, AlphaStore, ClassId, Granularity, InsertOutcome,
-        StoreBuilder, StoreStats, SubexprSummary, TermId,
+        PersistError, StoreBuilder, StoreStats, SubexprSummary, TermId,
     };
     pub use lambda_lang::{
         alpha_eq, check_unique_binders, parse, print::print, uniquify, ExprArena, ExprNode,
