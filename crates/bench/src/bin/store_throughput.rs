@@ -188,6 +188,20 @@ fn main() {
     );
     let indexed_entries = terms as u64 + sub_stats.subterms_indexed;
 
+    // Canon-DAG residency of that run (the hash-consed node table shared
+    // across all classes), plus batched containment-query throughput
+    // answered against it. Patterns are corpus terms — every probe hits,
+    // the worst case for the confirm-compare.
+    let dag = sub_store.canon_dag_stats();
+    let pattern_count = terms.min(2000);
+    let patterns = &roots[..pattern_count];
+    let contains_batch_secs = best_of(reps, || {
+        let found = sub_store.contains_batch(&arena, patterns);
+        assert!(found.iter().all(Option::is_some));
+        std::hint::black_box(found);
+    });
+    let contains_qps = pattern_count as f64 / contains_batch_secs;
+
     // One audited durable run: ingest, crash (drop), recover, verify the
     // round trip, and time the recovery.
     let (wal_bytes, reopen_secs, durable_stats) = {
@@ -266,6 +280,19 @@ fn main() {
         wal_bytes / 1024,
         format_ms(reopen_secs),
     );
+    println!(
+        "  canon DAG (subexpr): {} resident / {} logical nodes ({:.2}x sharing, {} KiB)",
+        dag.resident_nodes,
+        dag.logical_nodes,
+        dag.sharing_ratio(),
+        dag.resident_bytes / 1024,
+    );
+    println!(
+        "  contains_batch     : {:>10} for {} patterns ({:>12.0} queries/s)",
+        format_ms(contains_batch_secs),
+        pattern_count,
+        contains_qps,
+    );
     println!("  {stats}");
     println!("  subexpr mode: {sub_stats}");
     println!("  durable mode: {durable_stats}");
@@ -322,6 +349,17 @@ fn main() {
                 "    \"wal_bytes\": {wal_bytes},\n",
                 "    \"recovery_secs\": {reopen_secs:.6},\n",
                 "    \"unconfirmed_merges_after_recovery\": {durable_unconfirmed}\n",
+                "  }},\n",
+                "  \"canon_dag\": {{\n",
+                "    \"granularity_min_nodes\": {sub_min_nodes},\n",
+                "    \"resident_nodes\": {dag_resident_nodes},\n",
+                "    \"resident_bytes\": {dag_resident_bytes},\n",
+                "    \"resident_names\": {dag_resident_names},\n",
+                "    \"logical_nodes\": {dag_logical_nodes},\n",
+                "    \"sharing_ratio\": {dag_sharing:.3},\n",
+                "    \"contains_batch_patterns\": {cb_patterns},\n",
+                "    \"contains_batch_secs\": {cb_secs:.6},\n",
+                "    \"contains_batch_queries_per_sec\": {cb_qps:.1}\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -367,6 +405,14 @@ fn main() {
             wal_bytes = wal_bytes,
             reopen_secs = reopen_secs,
             durable_unconfirmed = durable_stats.unconfirmed_merges,
+            dag_resident_nodes = dag.resident_nodes,
+            dag_resident_bytes = dag.resident_bytes,
+            dag_resident_names = dag.resident_names,
+            dag_logical_nodes = dag.logical_nodes,
+            dag_sharing = dag.sharing_ratio(),
+            cb_patterns = pattern_count,
+            cb_secs = contains_batch_secs,
+            cb_qps = contains_qps,
         );
         std::fs::write(&json_path, json)
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));

@@ -1,0 +1,128 @@
+//! Canonical-form node representation for hash-consed (structure-shared)
+//! storage.
+//!
+//! A [`DbNode`](crate::debruijn::DbNode) lives inside one
+//! [`DbArena`](crate::debruijn::DbArena): its children are arena-local ids
+//! and its free-variable names are arena-local symbols, so two structurally
+//! identical terms in different arenas share nothing. [`CanonNode`] is the
+//! same shape made *globally addressable*: children are [`CanonRef`]s into
+//! a shared node table and free variables are [`NameId`]s into a shared
+//! name table. Because de Bruijn structure is context-free — a `BVar(i)` or
+//! an `FVar(name)` node means the same thing wherever it appears — two
+//! equal `CanonNode`s always denote identical subterms, which is exactly
+//! the property hash-consing needs: *intern each node once, and reference
+//! equality becomes term equality*.
+//!
+//! This module defines only the representation; the concurrent, sharded
+//! interning table lives in the store crate (`alpha_store::dag`), which is
+//! also where the paper's structure-sharing DAG framing (§3, "sharing via
+//! a DAG of equivalence classes") becomes a resident-memory win.
+
+use crate::literal::Literal;
+use std::fmt;
+
+/// A reference to an interned canonical node in a shared node table.
+///
+/// The wrapped `u32` is an opaque dense handle; how a table packs shard
+/// and index into it is the table's business ([`CanonRef::to_bits`] /
+/// [`CanonRef::from_bits`] round-trip it for serialization and map keys).
+/// The one guarantee the representation gives is the hash-consing
+/// invariant the owning table maintains: **two refs are equal iff the
+/// de Bruijn terms they root are structurally identical.**
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonRef(u32);
+
+impl CanonRef {
+    /// The raw handle, for serialization and map keys.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Inverse of [`CanonRef::to_bits`]. Only meaningful for bits obtained
+    /// from the same table.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        CanonRef(bits)
+    }
+}
+
+impl fmt::Debug for CanonRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An interned free-variable name in a shared name table (the global
+/// analogue of [`Symbol`](crate::symbol::Symbol), which is arena-local).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The raw dense index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a name id from a raw index previously obtained via
+    /// [`NameId::index`]; only meaningful against the same name table.
+    #[inline]
+    pub const fn from_index(index: u32) -> Self {
+        NameId(index)
+    }
+}
+
+impl fmt::Debug for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One canonical de Bruijn node with globally addressable children — the
+/// unit of hash-consed storage. Mirrors
+/// [`DbNode`](crate::debruijn::DbNode) constructor for constructor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CanonNode {
+    /// Bound variable, by de Bruijn index (0 = innermost binder).
+    BVar(u32),
+    /// Free variable, by globally interned name.
+    FVar(NameId),
+    /// Anonymous lambda.
+    Lam(CanonRef),
+    /// Application.
+    App(CanonRef, CanonRef),
+    /// Anonymous non-recursive let: rhs, body (body under one binder).
+    Let(CanonRef, CanonRef),
+    /// Literal constant.
+    Lit(Literal),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_round_trip_through_bits() {
+        let r = CanonRef::from_bits(0xDEAD_BEEF);
+        assert_eq!(CanonRef::from_bits(r.to_bits()), r);
+        assert_eq!(format!("{r:?}"), format!("r{}", 0xDEAD_BEEFu32));
+    }
+
+    #[test]
+    fn name_ids_round_trip() {
+        let n = NameId::from_index(7);
+        assert_eq!(NameId::from_index(n.index()), n);
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    fn nodes_compare_structurally() {
+        let a = CanonNode::App(CanonRef::from_bits(1), CanonRef::from_bits(2));
+        let b = CanonNode::App(CanonRef::from_bits(1), CanonRef::from_bits(2));
+        let c = CanonNode::App(CanonRef::from_bits(2), CanonRef::from_bits(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(CanonNode::BVar(0), CanonNode::BVar(1));
+    }
+}

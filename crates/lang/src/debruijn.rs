@@ -21,6 +21,14 @@ impl DbId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an id from a raw position previously obtained via
+    /// [`DbId::index`] (or from a serialized node run). The caller is
+    /// responsible for only using positions valid in the arena at hand;
+    /// this is checked (as a bounds check) on [`DbArena::node`].
+    pub fn from_index(index: usize) -> Self {
+        DbId(u32::try_from(index).expect("db id fits u32"))
+    }
 }
 
 impl fmt::Debug for DbId {
@@ -109,6 +117,22 @@ impl DbArena {
         let id = DbId(u32::try_from(self.nodes.len()).expect("db arena overflow"));
         self.nodes.push(node);
         id
+    }
+
+    /// All nodes in arena (construction) order — a **topological** walk:
+    /// every child is yielded before any parent that references it. This
+    /// is the interning-friendly order: a hash-consing consumer can fold
+    /// over it bottom-up, mapping each node's child ids through the refs
+    /// already issued for earlier positions, with no explicit traversal.
+    pub fn nodes(&self) -> impl Iterator<Item = DbNode> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// All interned free-variable names, in symbol order (symbol `i` is
+    /// the `i`-th yielded name). The companion to [`DbArena::nodes`] for
+    /// consumers re-interning this arena into a shared table.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        (0..self.interner.len()).map(|i| self.interner.resolve(Symbol::from_index(i as u32)))
     }
 }
 
@@ -413,6 +437,33 @@ mod tests {
             DbNode::Lam(_) => {}
             other => panic!("expected lam, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn nodes_iterate_topologically_and_names_in_symbol_order() {
+        let (db, root) = db_of(r"\x. foo (x + bar)");
+        let nodes: Vec<DbNode> = db.nodes().collect();
+        assert_eq!(nodes.len(), db.len());
+        assert_eq!(nodes[root.index()], db.node(root));
+        // Topological: every child position precedes its parent's.
+        for (pos, node) in nodes.iter().enumerate() {
+            let check = |child: DbId| assert!(child.index() < pos, "child after parent");
+            match *node {
+                DbNode::Lam(b) => check(b),
+                DbNode::App(f, a) => {
+                    check(f);
+                    check(a);
+                }
+                DbNode::Let(r, b) => {
+                    check(r);
+                    check(b);
+                }
+                _ => {}
+            }
+        }
+        let names: Vec<&str> = db.names().collect();
+        // Symbol order is first-intern order: the walk meets foo before bar.
+        assert_eq!(names, vec!["foo", "add", "bar"]);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`alpha`] — ground-truth alpha-equivalence (§2.1).
 //! * [`debruijn`] — de Bruijn representation (§2.4) and a second
 //!   ground-truth equality.
+//! * [`canon`] — the globally addressable canonical-node representation
+//!   ([`CanonNode`](canon::CanonNode)) that hash-consed stores intern.
 //! * [`eval`] — a small CBV evaluator used to check that the CSE client is
 //!   semantics-preserving.
 //! * [`stats`] — free variables and shape metrics.
@@ -46,6 +48,7 @@
 
 pub mod alpha;
 pub mod arena;
+pub mod canon;
 pub mod debruijn;
 pub mod eval;
 pub mod literal;

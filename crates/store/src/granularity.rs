@@ -128,6 +128,7 @@ pub struct StoreBuilder<H: HashWord = u64> {
     granularity: Granularity,
     chunk_entries: usize,
     sync_on_commit: bool,
+    verify_on_replay: bool,
 }
 
 impl<H: HashWord> Default for StoreBuilder<H> {
@@ -146,6 +147,7 @@ impl<H: HashWord> StoreBuilder<H> {
             granularity: Granularity::Roots,
             chunk_entries: AlphaStore::<H>::DEFAULT_CHUNK_ENTRIES,
             sync_on_commit: false,
+            verify_on_replay: false,
         }
     }
 
@@ -207,6 +209,26 @@ impl<H: HashWord> StoreBuilder<H> {
         self
     }
 
+    /// Paranoid recovery: during WAL replay, **re-hash** every record —
+    /// rebuild a named term from its canonical payload and push it through
+    /// the full hashing pipeline — and fail the open with
+    /// [`PersistError::Corrupt`] if the recomputed address disagrees with
+    /// the recorded one.
+    ///
+    /// The frame CRC catches random torn writes, and the normal replay
+    /// path re-confirms every merge by canonical-form identity — but both
+    /// trust that a record's `(hash, canon)` *pair* is the one ingest
+    /// wrote. A consistent corruption (firmware bit rot after the CRC was
+    /// computed, a buggy backup tool rewriting bytes and re-framing them)
+    /// could alter the canon and still replay "cleanly" into a class
+    /// addressed by the stale hash. Re-hashing closes that hole at the
+    /// cost of roughly re-preparing every replayed record. Only meaningful
+    /// with [`StoreBuilder::open_durable`].
+    pub fn verify_on_replay(mut self, verify: bool) -> Self {
+        self.verify_on_replay = verify;
+        self
+    }
+
     /// Builds the store (in-memory).
     pub fn build(self) -> AlphaStore<H> {
         AlphaStore::with_config(
@@ -263,8 +285,11 @@ impl<H: HashWord> StoreBuilder<H> {
         crate::persist::open_or_create_store(
             dir,
             &expect,
-            self.sync_on_commit,
-            self.chunk_entries.max(1),
+            crate::persist::OpenConfig {
+                sync_on_commit: self.sync_on_commit,
+                chunk_entries: self.chunk_entries.max(1),
+                verify_on_replay: self.verify_on_replay,
+            },
         )
     }
 }

@@ -25,14 +25,18 @@
 //!   term to one of N lock-striped shards, so concurrent ingest contends
 //!   only on terms that hash to the same stripe.
 //! * **Exact, not probabilistic.** A hash match alone never merges two
-//!   terms. On a candidate match the store compares canonical de Bruijn
-//!   forms ([`lambda_lang::debruijn`]) and only merges on true
+//!   terms. On a candidate match the store confirms canonical de Bruijn
+//!   identity ([`lambda_lang::debruijn`]) and only merges on true
 //!   alpha-equivalence; genuine hash collisions are kept as separate
 //!   classes and counted in [`StoreStats::hash_collisions`]. Every merge
 //!   is confirmed, so [`StoreStats::unconfirmed_merges`] is always zero.
-//! * **Canonical representatives.** Each class stores its canonical
-//!   (de Bruijn) form. [`AlphaStore::representative_into`] rebuilds a
-//!   named representative with fresh binders, and
+//! * **Hash-consed canonical storage.** Canonical forms live in one
+//!   shared, sharded canon DAG: every distinct de Bruijn node is resident
+//!   once, however many classes and subterm-index entries reach it, and
+//!   merge confirmation for interned entries is one O(1) ref compare.
+//!   [`AlphaStore::canon_dag_stats`] reports the resident footprint and
+//!   sharing ratio; [`AlphaStore::representative_into`] rebuilds a named
+//!   representative with fresh binders, and
 //!   [`AlphaStore::canonical_text`] renders the paper's `\. %0` notation.
 //! * **Corpus analytics.** [`corpus::corpus_shared_dag_size`] measures the
 //!   memory a class-per-node DAG of the whole corpus would need (reusing
@@ -86,6 +90,7 @@
 
 pub mod canon;
 pub mod corpus;
+pub(crate) mod dag;
 pub mod granularity;
 pub mod persist;
 pub mod prepare;
@@ -96,6 +101,6 @@ pub mod store;
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
 pub use granularity::{Granularity, StoreBuilder};
 pub use persist::PersistError;
-pub use prepare::{PreparedTerm, Preparer, SubEntry};
-pub use stats::StoreStats;
+pub use prepare::Preparer;
+pub use stats::{CanonDagStats, StoreStats};
 pub use store::{AlphaStore, ClassId, InsertOutcome, SubexprSummary, TermId};

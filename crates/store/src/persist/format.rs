@@ -8,6 +8,16 @@
 //! documented there are exactly the ones compiled in, so the spec cannot
 //! silently drift from the code.
 //!
+//! **Format v2** (this version) stores canonical structure as shared
+//! DAGs: a snapshot carries one node table (the class-reachable sub-DAG,
+//! deduplicated) with classes addressing positions in it, and a WAL
+//! record carries one node-deduplicated DAG with its entries addressing
+//! positions — mirroring the in-memory hash-consed canon table
+//! (`crate::dag`). **Format v1** files (standalone canonical
+//! tree per class / per record entry) still *decode* through shims in
+//! this module, so pre-DAG stores open and are migrated by the recovery
+//! checkpoint; v1 is never written.
+//!
 //! Three layers live here:
 //!
 //! * **primitives** — `put_*`/`take_*` for the fixed-width integers, byte
@@ -15,17 +25,18 @@
 //!   the in-memory width) and [`Granularity`];
 //! * **CRC-32** — the IEEE polynomial, used both as the whole-snapshot
 //!   checksum and as the per-record WAL frame check;
-//! * **structure codecs** — canonical [`DbArena`] terms and the
-//!   [`PreparedTerm`] insert records the WAL replays.
+//! * **structure codecs** — shared-DAG node runs (`put_dag`/`take_dag`,
+//!   represented in memory as a [`DbArena`], which holds DAGs as well as
+//!   trees), and the `RawRecord` insert records the WAL replays.
 //!
 //! Decoding never panics on malformed input: every `take_*` returns
 //! [`PersistError::Corrupt`] on truncation or bad tags, which is what lets
 //! recovery treat a torn WAL tail as an expected condition rather than a
-//! crash.
+//! crash. In particular child references must point at already-decoded
+//! positions, so no decoded structure can contain a cycle.
 
 use crate::granularity::Granularity;
 use crate::persist::PersistError;
-use crate::prepare::{PreparedTerm, SubEntry};
 use alpha_hash::combine::HashWord;
 use lambda_lang::debruijn::{DbArena, DbId, DbNode};
 use lambda_lang::literal::Literal;
@@ -48,9 +59,15 @@ pub const WAL_MAGIC: [u8; 8] = *b"AHWAL001";
 /// Format version written into every header. Bumped on **any** layout
 /// change — including changes to the hash combiners in
 /// [`alpha_hash::combine`], since persisted content addresses must keep
-/// meaning what they meant. Readers reject other versions (forward-compat
-/// rule: there is no silent reinterpretation).
-pub const FORMAT_VERSION: u16 = 1;
+/// meaning what they meant. Writers emit only this version; readers
+/// additionally accept [`COMPAT_VERSION`] through explicit decode shims.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The one older version readers still decode (read-only — recovery's
+/// checkpoint rewrites such stores at [`FORMAT_VERSION`]). Version 1
+/// stored one standalone canonical tree per class and per WAL record
+/// entry, with no structure sharing and no group-commit markers.
+pub const COMPAT_VERSION: u16 = 1;
 
 // ---------------------------------------------------------------------
 // Primitives
@@ -238,7 +255,7 @@ pub(crate) fn take_granularity(input: &mut &[u8]) -> Result<Granularity, Persist
 }
 
 // ---------------------------------------------------------------------
-// Canonical de Bruijn terms
+// Shared-DAG node runs (canonical structure)
 // ---------------------------------------------------------------------
 
 const NODE_BVAR: u8 = 0;
@@ -252,21 +269,21 @@ const LIT_I64: u8 = 1;
 const LIT_F64: u8 = 2;
 const LIT_BOOL: u8 = 3;
 
-/// Encodes one canonical term: the free-variable name table (in symbol
+/// Encodes a shared-DAG node run: the free-variable name table (in symbol
 /// order, so re-interning on decode reproduces identical symbol indices),
-/// then the nodes in arena order (which is construction order, so every
-/// child id precedes its parent), then the root id.
-pub(crate) fn put_canon(out: &mut Vec<u8>, canon: &DbArena, root: DbId) {
-    put_u32(
-        out,
-        u32::try_from(canon.names_len()).expect("names fit u32"),
-    );
-    for i in 0..canon.names_len() {
-        put_str(out, canon.name(Symbol::from_index(i as u32)));
+/// then the nodes in arena order. Arena order is construction order, so
+/// every child position precedes its parent — a topological emission that
+/// decoders enforce, which is also what makes decoded structures provably
+/// acyclic. The arena may be a tree (one use per node) or a DAG (shared
+/// children); the encoding is the same.
+pub(crate) fn put_dag(out: &mut Vec<u8>, dag: &DbArena) {
+    put_u32(out, u32::try_from(dag.names_len()).expect("names fit u32"));
+    for name in dag.names() {
+        put_str(out, name);
     }
-    put_u32(out, u32::try_from(canon.len()).expect("nodes fit u32"));
-    for i in 0..canon.len() {
-        match canon.node_at(i) {
+    put_u32(out, u32::try_from(dag.len()).expect("nodes fit u32"));
+    for node in dag.nodes() {
+        match node {
             DbNode::BVar(index) => {
                 put_u8(out, NODE_BVAR);
                 put_u32(out, index);
@@ -301,13 +318,13 @@ pub(crate) fn put_canon(out: &mut Vec<u8>, canon: &DbArena, root: DbId) {
             }
         }
     }
-    put_u32(out, root.index() as u32);
 }
 
-/// Decodes one canonical term. Children are resolved through the ids the
-/// rebuilt arena actually issued, so a record whose child references run
-/// ahead of construction order is rejected as corrupt, never misread.
-pub(crate) fn take_canon(input: &mut &[u8]) -> Result<(DbArena, DbId), PersistError> {
+/// Decodes a shared-DAG node run. Children are resolved through the ids
+/// the rebuilt arena actually issued, so a run whose child references run
+/// ahead of construction order is rejected as corrupt, never misread —
+/// and the result is guaranteed acyclic.
+pub(crate) fn take_dag(input: &mut &[u8]) -> Result<DbArena, PersistError> {
     let mut arena = DbArena::new();
     let name_count = take_u32(input)? as usize;
     for _ in 0..name_count {
@@ -315,7 +332,7 @@ pub(crate) fn take_canon(input: &mut &[u8]) -> Result<(DbArena, DbId), PersistEr
         arena.intern(&name);
     }
     let node_count = take_u32(input)? as usize;
-    let mut ids: Vec<DbId> = Vec::with_capacity(node_count);
+    let mut ids: Vec<DbId> = Vec::with_capacity(node_count.min(1 << 20));
     let child = |ids: &[DbId], raw: u32| -> Result<DbId, PersistError> {
         ids.get(raw as usize)
             .copied()
@@ -356,80 +373,203 @@ pub(crate) fn take_canon(input: &mut &[u8]) -> Result<(DbArena, DbId), PersistEr
         };
         ids.push(arena.push(node));
     }
-    let root_raw = take_u32(input)?;
-    let root = child(&ids, root_raw)?;
-    Ok((arena, root))
+    Ok(arena)
+}
+
+/// Encodes one canonical term (the v1 class/entry layout): a node run
+/// plus a root id. v1 is never *written* to disk anymore; the encoder is
+/// kept for the round-trip tests that pin the compatibility shims.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn put_canon(out: &mut Vec<u8>, canon: &DbArena, root: DbId) {
+    put_dag(out, canon);
+    put_u32(out, root.index() as u32);
+}
+
+/// Decodes one canonical term (node run + root id) — the v1 class/entry
+/// layout.
+pub(crate) fn take_canon(input: &mut &[u8]) -> Result<(DbArena, DbId), PersistError> {
+    let arena = take_dag(input)?;
+    let root_raw = take_u32(input)? as usize;
+    if root_raw >= arena.len() {
+        return Err(corrupt("root id out of range"));
+    }
+    Ok((arena, DbId::from_index(root_raw)))
 }
 
 // ---------------------------------------------------------------------
 // Insert records (the WAL payload)
 // ---------------------------------------------------------------------
 
-fn put_entry<H: HashWord>(out: &mut Vec<u8>, hash: H, canon: &DbArena, canon_root: DbId) {
-    put_hash(out, hash);
-    put_canon(out, canon, canon_root);
+/// One decoded record entry: a content address plus the position of its
+/// canonical root inside the record's node run.
+#[derive(Debug)]
+pub(crate) struct RawEntry<H> {
+    /// The alpha-invariant hash (content address).
+    pub hash: H,
+    /// Root of this entry's canonical form within the record's node run.
+    pub pos: DbId,
+    /// Tree node count of the entry.
+    pub node_count: u64,
+    /// Occurrences of this entry within the ingested term (1 for roots
+    /// and for every v1 entry).
+    pub multiplicity: u32,
 }
 
-fn take_entry<H: HashWord>(input: &mut &[u8]) -> Result<SubEntry<H>, PersistError> {
-    let hash = take_hash(input)?;
-    let (canon, canon_root) = take_canon(input)?;
-    Ok(SubEntry {
-        hash,
-        node_count: canon.len() as u64,
-        canon,
-        canon_root,
-    })
+/// One decoded insert record: a node-deduplicated canonical DAG shared by
+/// all of the record's entries, the root entry, the distinct indexed
+/// subexpression entries, and the `min_nodes` skip count. A complete,
+/// replayable description of what `insert` did — recovery re-interns the
+/// DAG and re-runs the insert through the normal ingest path, so every
+/// replayed merge is re-confirmed exactly like a live insert.
+#[derive(Debug)]
+pub(crate) struct RawRecord<H> {
+    /// The record's canonical structure (a DAG: entries share nodes).
+    pub canon: DbArena,
+    /// The whole-term entry.
+    pub root: RawEntry<H>,
+    /// Distinct indexed proper subexpressions with multiplicities.
+    pub subs: Vec<RawEntry<H>>,
+    /// Proper subexpression occurrences skipped by the `min_nodes` floor.
+    pub skipped: u64,
 }
 
-/// Encodes one insert record: the root entry, the indexed-subexpression
-/// entries (empty at root granularity) and the `min_nodes` skip count.
-/// This is a complete, replayable description of what `insert` did —
-/// recovery re-runs it through the normal ingest path, so every replayed
-/// merge is re-confirmed by `db_eq` exactly like a live insert.
-pub(crate) fn put_record<H: HashWord>(
+/// Encodes one v2 insert record: the shared node run, then the root entry
+/// `(hash, pos, node_count)`, then each sub entry with its multiplicity,
+/// then the skip count. `positions` addresses `dag`.
+pub(crate) fn put_record_v2<H: HashWord>(
     out: &mut Vec<u8>,
-    root_hash: H,
-    root_canon: &DbArena,
-    root_canon_root: DbId,
-    subs: &[SubEntry<H>],
+    dag: &DbArena,
+    root: (H, DbId, u64),
+    subs: &[(H, DbId, u64, u32)],
     skipped: u64,
 ) {
-    put_entry(out, root_hash, root_canon, root_canon_root);
+    put_dag(out, dag);
+    put_hash(out, root.0);
+    put_u32(out, root.1.index() as u32);
+    put_u64(out, root.2);
     put_u32(out, u32::try_from(subs.len()).expect("sub count fits u32"));
-    for sub in subs {
-        put_entry(out, sub.hash, &sub.canon, sub.canon_root);
+    for &(hash, pos, node_count, multiplicity) in subs {
+        put_hash(out, hash);
+        put_u32(out, pos.index() as u32);
+        put_u64(out, node_count);
+        put_u32(out, multiplicity);
     }
     put_u64(out, skipped);
 }
 
-/// Decodes one insert record back into the [`PreparedTerm`] shape the
-/// ingest path consumes.
-pub(crate) fn take_record<H: HashWord>(input: &mut &[u8]) -> Result<PreparedTerm<H>, PersistError> {
-    let root = take_entry(input)?;
+/// Decodes one v2 insert record.
+pub(crate) fn take_record_v2<H: HashWord>(input: &mut &[u8]) -> Result<RawRecord<H>, PersistError> {
+    let canon = take_dag(input)?;
+    let root = {
+        let hash = take_hash(input)?;
+        let pos_raw = take_u32(input)? as usize;
+        if pos_raw >= canon.len() {
+            return Err(corrupt("entry root out of range"));
+        }
+        let node_count = take_u64(input)?;
+        RawEntry {
+            hash,
+            pos: DbId::from_index(pos_raw),
+            node_count,
+            multiplicity: 1,
+        }
+    };
     let sub_count = take_u32(input)? as usize;
     let mut subs = Vec::with_capacity(sub_count.min(1 << 16));
     for _ in 0..sub_count {
-        subs.push(take_entry(input)?);
+        let hash = take_hash(input)?;
+        let pos_raw = take_u32(input)? as usize;
+        if pos_raw >= canon.len() {
+            return Err(corrupt("entry root out of range"));
+        }
+        let node_count = take_u64(input)?;
+        let multiplicity = take_u32(input)?;
+        if multiplicity == 0 {
+            return Err(corrupt("zero entry multiplicity"));
+        }
+        subs.push(RawEntry {
+            hash,
+            pos: DbId::from_index(pos_raw),
+            node_count,
+            multiplicity,
+        });
     }
     let skipped = take_u64(input)?;
-    Ok(PreparedTerm {
+    Ok(RawRecord {
+        canon,
         root,
         subs,
         skipped,
     })
 }
 
+/// Decodes one **v1** insert record (standalone canonical tree per entry)
+/// into the shared [`RawRecord`] shape: the per-entry arenas are merged
+/// into one node run (no sharing — v1 never had any) with remapped ids.
+pub(crate) fn take_record_v1<H: HashWord>(input: &mut &[u8]) -> Result<RawRecord<H>, PersistError> {
+    let root_hash = take_hash(input)?;
+    let (mut canon, root_pos) = take_canon(input)?;
+    let root = RawEntry {
+        hash: root_hash,
+        pos: root_pos,
+        node_count: canon.len() as u64,
+        multiplicity: 1,
+    };
+    let sub_count = take_u32(input)? as usize;
+    let mut subs = Vec::with_capacity(sub_count.min(1 << 16));
+    for _ in 0..sub_count {
+        let hash = take_hash(input)?;
+        let (sub_arena, sub_root) = take_canon(input)?;
+        let node_count = sub_arena.len() as u64;
+        let pos = merge_arena(&mut canon, &sub_arena, sub_root)?;
+        subs.push(RawEntry {
+            hash,
+            pos,
+            node_count,
+            multiplicity: 1,
+        });
+    }
+    let skipped = take_u64(input)?;
+    Ok(RawRecord {
+        canon,
+        root,
+        subs,
+        skipped,
+    })
+}
+
+/// Appends every node of `src` to `dst` (remapping ids and re-interning
+/// names) and returns the id `src_root` maps to.
+fn merge_arena(dst: &mut DbArena, src: &DbArena, src_root: DbId) -> Result<DbId, PersistError> {
+    let syms: Vec<Symbol> = src.names().map(|n| dst.intern(n)).collect();
+    let mut map: Vec<DbId> = Vec::with_capacity(src.len());
+    for node in src.nodes() {
+        let remapped = match node {
+            DbNode::BVar(i) => DbNode::BVar(i),
+            DbNode::FVar(sym) => DbNode::FVar(syms[sym.index() as usize]),
+            DbNode::Lam(b) => DbNode::Lam(map[b.index()]),
+            DbNode::App(f, a) => DbNode::App(map[f.index()], map[a.index()]),
+            DbNode::Let(r, b) => DbNode::Let(map[r.index()], map[b.index()]),
+            DbNode::Lit(l) => DbNode::Lit(l),
+        };
+        map.push(dst.push(remapped));
+    }
+    map.get(src_root.index())
+        .copied()
+        .ok_or_else(|| corrupt("v1 sub-entry root out of range"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lambda_lang::debruijn::{db_eq, to_debruijn};
+    use lambda_lang::debruijn::{db_eq, db_print, to_debruijn};
     use lambda_lang::parse::parse;
     use lambda_lang::ExprArena;
 
     #[test]
     fn spec_documents_the_compiled_constants() {
         // docs/PERSISTENCE_FORMAT.md must name exactly the magic numbers
-        // and version this module compiles in — the lockstep check the
+        // and versions this module compiles in — the lockstep check the
         // docs archetype calls for.
         let spec = include_str!("../../../../docs/PERSISTENCE_FORMAT.md");
         let magic = String::from_utf8(SNAPSHOT_MAGIC.to_vec()).unwrap();
@@ -445,6 +585,12 @@ mod tests {
         assert!(
             spec.contains(&format!("**Format version:** {FORMAT_VERSION}")),
             "spec must document format version {FORMAT_VERSION}"
+        );
+        assert!(
+            spec.contains(&format!(
+                "**Compatibility:** version {COMPAT_VERSION} decodes read-only"
+            )),
+            "spec must document the v{COMPAT_VERSION} compatibility rule"
         );
     }
 
@@ -573,38 +719,74 @@ mod tests {
     }
 
     #[test]
-    fn record_round_trips() {
+    fn record_v2_round_trips_with_sharing_and_multiplicity() {
+        // Build a record whose DAG shares a subterm between two entries.
         let mut arena = ExprArena::new();
-        let parsed = parse(&mut arena, r"\x. x + (v * 3)").unwrap();
-        let scheme = alpha_hash::combine::HashScheme::<u64>::new(0xC0DE);
-        let mut preparer = crate::prepare::Preparer::new(&arena, &scheme);
-        let pt = preparer.prepare_term(&arena, parsed, 3);
-
+        let parsed = parse(&mut arena, "(v + 7) * (v + 7)").unwrap();
+        let (dag, root) = to_debruijn(&arena, parsed);
+        // A "subterm" entry: reuse the root's left child region by picking
+        // an interior node. For the test's purpose any valid position works.
+        let sub_pos = DbId::from_index(4.min(dag.len() - 1));
         let mut buf = Vec::new();
-        put_record(
+        put_record_v2::<u64>(
             &mut buf,
-            pt.root.hash,
-            &pt.root.canon,
-            pt.root.canon_root,
-            &pt.subs,
-            pt.skipped,
+            &dag,
+            (0xAAAA, root, dag.len() as u64),
+            &[(0xBBBB, sub_pos, 5, 2)],
+            3,
         );
         let mut input = buf.as_slice();
-        let decoded: PreparedTerm<u64> = take_record(&mut input).unwrap();
+        let decoded: RawRecord<u64> = take_record_v2(&mut input).unwrap();
         assert!(input.is_empty());
-        assert_eq!(decoded.root.hash, pt.root.hash);
-        assert_eq!(decoded.skipped, pt.skipped);
-        assert_eq!(decoded.subs.len(), pt.subs.len());
-        for (a, b) in decoded.subs.iter().zip(&pt.subs) {
-            assert_eq!(a.hash, b.hash);
-            assert_eq!(a.node_count, b.node_count);
-            assert!(db_eq(&a.canon, a.canon_root, &b.canon, b.canon_root));
-        }
+        assert_eq!(decoded.root.hash, 0xAAAA);
+        assert_eq!(decoded.root.pos, root);
+        assert_eq!(decoded.skipped, 3);
+        assert_eq!(decoded.subs.len(), 1);
+        assert_eq!(decoded.subs[0].multiplicity, 2);
+        assert_eq!(decoded.subs[0].node_count, 5);
+        assert!(db_eq(&decoded.canon, decoded.root.pos, &dag, root));
+    }
+
+    #[test]
+    fn record_v1_decodes_into_the_merged_dag_shape() {
+        // Hand-encode a v1 record: root entry + one sub entry, each with
+        // its own standalone canon (the old layout).
+        let mut arena = ExprArena::new();
+        let whole = parse(&mut arena, r"\x. x + (v * 3)").unwrap();
+        let subterm = parse(&mut arena, "v * 3").unwrap();
+        let (root_canon, root_id) = to_debruijn(&arena, whole);
+        let (sub_canon, sub_id) = to_debruijn(&arena, subterm);
+
+        let mut buf = Vec::new();
+        put_hash::<u64>(&mut buf, 0x1111);
+        put_canon(&mut buf, &root_canon, root_id);
+        put_u32(&mut buf, 1); // sub_count
+        put_hash::<u64>(&mut buf, 0x2222);
+        put_canon(&mut buf, &sub_canon, sub_id);
+        put_u64(&mut buf, 9); // skipped
+
+        let mut input = buf.as_slice();
+        let decoded: RawRecord<u64> = take_record_v1(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(decoded.root.hash, 0x1111);
+        assert_eq!(decoded.subs[0].hash, 0x2222);
+        assert_eq!(decoded.subs[0].multiplicity, 1);
+        assert_eq!(decoded.skipped, 9);
         assert!(db_eq(
-            &decoded.root.canon,
-            decoded.root.canon_root,
-            &pt.root.canon,
-            pt.root.canon_root
+            &decoded.canon,
+            decoded.root.pos,
+            &root_canon,
+            root_id
         ));
+        assert!(db_eq(
+            &decoded.canon,
+            decoded.subs[0].pos,
+            &sub_canon,
+            sub_id
+        ));
+        assert_eq!(
+            db_print(&decoded.canon, decoded.subs[0].pos),
+            db_print(&sub_canon, sub_id)
+        );
     }
 }

@@ -7,21 +7,27 @@
 //! * `snapshot.bin` — a complete serialization of the store, written
 //!   atomically (temp file → `fsync` → rename). The canonical de Bruijn
 //!   form per class *is* the class identity (the paper's key property), so
-//!   the snapshot is a full, rebuildable description: canon + scheme seed
-//!   + granularity, nothing more.
+//!   the snapshot is a full, rebuildable description: one shared canon
+//!   node table + per-class refs + scheme seed + granularity, nothing
+//!   more.
 //! * `wal.bin` — an append-only log of every insert since that snapshot,
-//!   one CRC-framed record per ingested term, group-committed per batch.
+//!   one CRC-framed record per ingested term plus a **commit marker** per
+//!   group commit, so replay can reproduce the original batch grouping
+//!   exactly.
 //!
 //! Recovery ([`AlphaStore::open`](crate::AlphaStore::open) or
 //! [`StoreBuilder::open_durable`](crate::StoreBuilder::open_durable)) loads
 //! the snapshot, replays the WAL tail **through the normal ingest path** —
-//! every replayed merge is re-confirmed by canonical-form comparison
-//! (`db_eq`), so the store's exactness invariant
-//! (`unconfirmed_merges == 0`) survives restarts by construction, not by
-//! trust in the disk — and then checkpoints: it writes a fresh snapshot
-//! and resets the WAL under a new epoch, so every successfully opened
-//! store starts from the clean `(full snapshot, empty WAL)` state whatever
-//! crash weirdness it recovered from.
+//! every replayed merge is re-confirmed by canonical-form identity, so the
+//! store's exactness invariant (`unconfirmed_merges == 0`) survives
+//! restarts by construction, not by trust in the disk — and then
+//! checkpoints: it writes a fresh snapshot and resets the WAL under a new
+//! epoch, so every successfully opened store starts from the clean
+//! `(full snapshot, empty WAL)` state whatever crash weirdness it
+//! recovered from. [`verify_on_replay`](crate::StoreBuilder::verify_on_replay) upgrades replay to
+//! paranoid mode: every record is re-hashed from its canonical payload
+//! before being trusted, catching consistent corruption that CRC framing
+//! and merge confirmation cannot see.
 //!
 //! What each crash window leaves behind:
 //!
@@ -33,15 +39,21 @@
 //!
 //! The byte-level layout lives in [`mod@format`] and is specified in
 //! `docs/PERSISTENCE_FORMAT.md`; a test asserts the two agree on magic
-//! numbers and version.
+//! numbers and versions. Format-v1 files (pre canon-DAG) open read-only
+//! through decode shims and are migrated to v2 by the checkpoint.
 
 pub mod format;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
 
+use crate::canon::rebuild_named;
+use crate::dag::CanonTable;
 use crate::granularity::Granularity;
 use crate::store::AlphaStore;
 use alpha_hash::combine::{HashScheme, HashWord};
+use format::RawRecord;
+use lambda_lang::debruijn::DbNode;
+use lambda_lang::ExprArena;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -66,9 +78,12 @@ pub enum PersistError {
     /// An underlying filesystem operation failed.
     Io(std::io::Error),
     /// On-disk bytes that cannot be what this format writes: bad magic,
-    /// failed CRC, impossible tags or out-of-range references. (A torn
-    /// WAL *tail* is not corruption — recovery truncates it silently; this
-    /// is for damage in data that claimed to be intact.)
+    /// failed CRC, impossible tags or out-of-range references — or, in
+    /// [`verify_on_replay`](crate::StoreBuilder::verify_on_replay) mode, a
+    /// record whose canonical payload re-hashes to a different address
+    /// than the one it claims. (A torn WAL *tail* is not corruption —
+    /// recovery truncates it silently; this is for damage in data that
+    /// claimed to be intact.)
     Corrupt {
         /// Human-readable description of what failed to parse.
         context: String,
@@ -135,6 +150,74 @@ pub(crate) struct Durable {
     _lock: std::fs::File,
 }
 
+/// Open-time knobs shared by every durable-open entry point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpenConfig {
+    pub(crate) sync_on_commit: bool,
+    pub(crate) chunk_entries: usize,
+    /// Paranoid replay: re-hash every record's canonical payload before
+    /// trusting it (see
+    /// [`StoreBuilder::verify_on_replay`](crate::StoreBuilder::verify_on_replay)).
+    pub(crate) verify_on_replay: bool,
+}
+
+/// Paranoid-mode record validation: recompute what the record *claims*
+/// from its canonical payload alone. The tree sizes are re-derived by a
+/// sharing-aware DP over the record's node run, then each entry's canon
+/// is rebuilt to a named term and pushed through the full hashing
+/// pipeline; any disagreement with the recorded `node_count`/`hash` is
+/// corruption that frame CRCs (computed over already-corrupt bytes) and
+/// merge confirmation (which only compares canon against canon) cannot
+/// catch.
+pub(crate) fn verify_record<H: HashWord>(
+    scheme: &HashScheme<H>,
+    raw: &RawRecord<H>,
+) -> Result<(), PersistError> {
+    // Tree size per node-run position (children precede parents, so one
+    // forward sweep suffices; saturating keeps adversarial DAGs finite).
+    let mut sizes: Vec<u64> = Vec::with_capacity(raw.canon.len());
+    for node in raw.canon.nodes() {
+        let size = match node {
+            DbNode::BVar(_) | DbNode::FVar(_) | DbNode::Lit(_) => 1,
+            DbNode::Lam(b) => 1u64.saturating_add(sizes[b.index()]),
+            DbNode::App(f, a) => 1u64
+                .saturating_add(sizes[f.index()])
+                .saturating_add(sizes[a.index()]),
+            DbNode::Let(r, b) => 1u64
+                .saturating_add(sizes[r.index()])
+                .saturating_add(sizes[b.index()]),
+        };
+        sizes.push(size);
+    }
+    let check = |entry: &format::RawEntry<H>| -> Result<(), PersistError> {
+        if sizes[entry.pos.index()] != entry.node_count {
+            return Err(PersistError::Corrupt {
+                context: format!(
+                    "verify_on_replay: recorded node count {} but canonical payload has {}",
+                    entry.node_count,
+                    sizes[entry.pos.index()]
+                ),
+            });
+        }
+        let mut scratch = ExprArena::new();
+        let named = rebuild_named(&raw.canon, entry.pos, &mut scratch);
+        let rehashed = alpha_hash::hashed::hash_expr(&scratch, named, scheme);
+        if rehashed != entry.hash {
+            return Err(PersistError::Corrupt {
+                context: "verify_on_replay: canonical payload re-hashes to a different \
+                          content address than the record claims"
+                    .to_owned(),
+            });
+        }
+        Ok(())
+    };
+    check(&raw.root)?;
+    for sub in &raw.subs {
+        check(sub)?;
+    }
+    Ok(())
+}
+
 /// Takes the directory's advisory single-writer lock, failing fast with
 /// [`PersistError::Locked`] if any other live store holds it. Taken
 /// before any file is read, so even recovery is mutually exclusive.
@@ -197,16 +280,15 @@ fn check_config<H: HashWord>(
 pub(crate) fn open_or_create_store<H: HashWord>(
     dir: &Path,
     expect: &ExpectedConfig<H>,
-    sync_on_commit: bool,
-    chunk_entries: usize,
+    config: OpenConfig,
 ) -> Result<AlphaStore<H>, PersistError> {
     std::fs::create_dir_all(dir)?;
     let lock = acquire_dir_lock(dir)?;
     let exists = dir.join(SNAPSHOT_FILE).is_file() || dir.join(WAL_FILE).is_file();
     if exists {
-        open_store_locked(dir, Some(expect), sync_on_commit, chunk_entries, lock)
+        open_store_locked(dir, Some(expect), config, lock)
     } else {
-        create_store_locked(dir, expect, sync_on_commit, chunk_entries, lock)
+        create_store_locked(dir, expect, config, lock)
     }
 }
 
@@ -216,24 +298,23 @@ pub(crate) fn open_or_create_store<H: HashWord>(
 /// `expect` is `Some` when a builder supplies a configuration the on-disk
 /// store must match, `None` when the configuration is read entirely from
 /// disk. Ends with a checkpoint — fresh snapshot, reset WAL, next epoch —
-/// unless the reopen was *clean* (intact snapshot, same-epoch WAL fully
-/// absorbed, nothing torn), in which case the existing files simply
-/// continue: no O(store) snapshot rewrite for a no-op reopen.
+/// unless the reopen was *clean* (intact current-version snapshot,
+/// same-epoch WAL fully absorbed, nothing torn), in which case the
+/// existing files simply continue: no O(store) snapshot rewrite for a
+/// no-op reopen.
 pub(crate) fn open_store<H: HashWord>(
     dir: &Path,
     expect: Option<&ExpectedConfig<H>>,
-    sync_on_commit: bool,
-    chunk_entries: usize,
+    config: OpenConfig,
 ) -> Result<AlphaStore<H>, PersistError> {
     let lock = acquire_dir_lock(dir)?;
-    open_store_locked(dir, expect, sync_on_commit, chunk_entries, lock)
+    open_store_locked(dir, expect, config, lock)
 }
 
 fn open_store_locked<H: HashWord>(
     dir: &Path,
     expect: Option<&ExpectedConfig<H>>,
-    sync_on_commit: bool,
-    chunk_entries: usize,
+    config: OpenConfig,
     lock: std::fs::File,
 ) -> Result<AlphaStore<H>, PersistError> {
     let snap_path = dir.join(SNAPSHOT_FILE);
@@ -253,8 +334,11 @@ fn open_store_locked<H: HashWord>(
         have_wal.then(|| wal::read_wal::<H>(&wal_path));
 
     // 1. The snapshot (or an empty store described by the WAL header).
-    let (mut store, snap_epoch, records_applied, wal_contents) = if have_snapshot {
-        let (header, shards) = snapshot::read_snapshot::<H>(&snap_path)?;
+    // Every canonical form decoded anywhere below interns into this one
+    // table, which the rebuilt store then owns.
+    let table = CanonTable::new();
+    let (mut store, snap_epoch, snap_version, records_applied, wal_contents) = if have_snapshot {
+        let (header, shards, version) = snapshot::read_snapshot::<H>(&snap_path, &table)?;
         if let Some(expect) = expect {
             check_config(
                 expect,
@@ -268,7 +352,8 @@ fn open_store_locked<H: HashWord>(
             shards,
             header.granularity,
             &header.stats,
-            chunk_entries,
+            config.chunk_entries,
+            table,
         )?;
         // With an intact snapshot, a WAL whose *header* cannot even be
         // decoded (truncated by a disk-full crash during reset, zeroed,
@@ -284,6 +369,7 @@ fn open_store_locked<H: HashWord>(
         (
             store,
             Some(header.wal_epoch),
+            version,
             header.wal_records_applied,
             wal_contents,
         )
@@ -309,9 +395,10 @@ fn open_store_locked<H: HashWord>(
                 .collect(),
             h.granularity,
             &crate::stats::StoreStats::default(),
-            chunk_entries,
+            config.chunk_entries,
+            table,
         )?;
-        (store, None, 0, Some(contents))
+        (store, None, contents.version, 0, Some(contents))
     };
 
     // 2. The WAL tail.
@@ -352,18 +439,22 @@ fn open_store_locked<H: HashWord>(
                 // already-applied region means those lost records are in
                 // the snapshot anyway.
                 last_epoch = h.epoch.max(last_epoch);
-                let count = contents.records.len();
-                let skip = usize::try_from(records_applied)
-                    .unwrap_or(usize::MAX)
-                    .min(count);
-                if have_snapshot && !contents.torn && count as u64 == records_applied {
+                let count = contents.total_records;
+                // Clean-reopen also requires both files to be at the
+                // CURRENT format version: appending v2 frames to an
+                // old-version WAL (or leaving an old snapshot in place)
+                // would produce a file no future open can decode. Old
+                // versions always go through the migrating checkpoint.
+                let current_version = snap_version == format::FORMAT_VERSION
+                    && contents.version == format::FORMAT_VERSION;
+                if have_snapshot && current_version && !contents.torn && count == records_applied {
                     // Clean reopen: the snapshot already holds every WAL
                     // record and the file is intact — it can simply
                     // continue being appended to.
                     clean_wal = Some(records_applied);
                 } else {
-                    let tail: Vec<_> = contents.records.into_iter().skip(skip).collect();
-                    store.replay(tail);
+                    let tail = drop_applied_records(contents.groups, records_applied);
+                    store.replay(tail, config.verify_on_replay)?;
                 }
             }
         }
@@ -373,7 +464,7 @@ fn open_store_locked<H: HashWord>(
     // on-disk pair is already in a consistent state — skip the O(store)
     // checkpoint and keep appending to the existing WAL.
     if let Some(records) = clean_wal {
-        let wal = wal::Wal::open_for_append(&wal_path, last_epoch, records, sync_on_commit)?;
+        let wal = wal::Wal::open_for_append(&wal_path, last_epoch, records, config.sync_on_commit)?;
         store.attach_durable(Durable {
             wal: Mutex::new(wal),
             dir: dir.to_owned(),
@@ -384,7 +475,8 @@ fn open_store_locked<H: HashWord>(
 
     // 3b. Checkpoint: the recovered state becomes the new snapshot and the
     // WAL restarts empty under the next epoch, so the on-disk pair is in
-    // the clean post-compaction state no matter what was recovered.
+    // the clean post-compaction state no matter what was recovered (this
+    // is also what migrates a v1 store to the current format).
     let new_epoch = last_epoch + 1;
     let header = wal::WalHeader {
         hash_bits: H::BITS,
@@ -394,13 +486,35 @@ fn open_store_locked<H: HashWord>(
         epoch: new_epoch,
     };
     store.write_snapshot_file(&snap_path, new_epoch, 0)?;
-    let wal = wal::Wal::create(&wal_path, header, sync_on_commit)?;
+    let wal = wal::Wal::create(&wal_path, header, config.sync_on_commit)?;
     store.attach_durable(Durable {
         wal: Mutex::new(wal),
         dir: dir.to_owned(),
         _lock: lock,
     });
     Ok(store)
+}
+
+/// Drops the first `applied` records (the ones the snapshot already
+/// absorbed) from a group list, preserving the grouping of everything
+/// after them. Snapshot cuts always land on group boundaries (the
+/// maintenance lock excludes mid-group cuts), so the split-a-group branch
+/// only triggers on hand-damaged files — where splitting is still the
+/// right conservative answer.
+fn drop_applied_records<H>(groups: Vec<Vec<RawRecord<H>>>, applied: u64) -> Vec<Vec<RawRecord<H>>> {
+    let mut to_skip = usize::try_from(applied).unwrap_or(usize::MAX);
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        if to_skip == 0 {
+            out.push(group);
+        } else if group.len() <= to_skip {
+            to_skip -= group.len();
+        } else {
+            out.push(group.into_iter().skip(to_skip).collect());
+            to_skip = 0;
+        }
+    }
+    out
 }
 
 /// Creates a brand-new durable store directory (no snapshot yet, empty
@@ -410,8 +524,7 @@ fn open_store_locked<H: HashWord>(
 fn create_store_locked<H: HashWord>(
     dir: &Path,
     expect: &ExpectedConfig<H>,
-    sync_on_commit: bool,
-    chunk_entries: usize,
+    config: OpenConfig,
     lock: std::fs::File,
 ) -> Result<AlphaStore<H>, PersistError> {
     let header = wal::WalHeader {
@@ -421,7 +534,7 @@ fn create_store_locked<H: HashWord>(
         granularity: expect.granularity,
         epoch: 1,
     };
-    let wal = wal::Wal::create(&dir.join(WAL_FILE), header, sync_on_commit)?;
+    let wal = wal::Wal::create(&dir.join(WAL_FILE), header, config.sync_on_commit)?;
     let mut store = AlphaStore::from_loaded(
         expect.scheme,
         (0..expect.shard_count)
@@ -429,7 +542,8 @@ fn create_store_locked<H: HashWord>(
             .collect(),
         expect.granularity,
         &crate::stats::StoreStats::default(),
-        chunk_entries,
+        config.chunk_entries,
+        CanonTable::new(),
     )?;
     store.attach_durable(Durable {
         wal: Mutex::new(wal),

@@ -3,12 +3,23 @@
 //! A snapshot is a full, self-describing serialization of an
 //! [`AlphaStore`](crate::AlphaStore): header (format version, hash width,
 //! scheme seed, shard count, granularity, WAL linkage, statistics), then
-//! each shard's classes — canonical de Bruijn form, content address,
-//! member/occurrence counts — its term log and its per-term subexpression
-//! class lists, then a trailing CRC-32 over the whole body. The canonical
-//! form **is** the class identity (the paper's one-canonical-form-per-class
-//! property), so nothing else is needed to rebuild the store: hash buckets
-//! are reconstructed from the class hashes on load.
+//! the **canon node table** — the class-reachable sub-DAG of the in-memory
+//! [`CanonTable`](crate::dag), emitted once as a topologically ordered,
+//! node-deduplicated run — then each shard's classes (content address,
+//! member/occurrence counts, tree node count, and the *position* of the
+//! class's canonical root in that shared run), its term log and its
+//! per-term subexpression class lists, then a trailing CRC-32 over the
+//! whole body. The canonical form **is** the class identity (the paper's
+//! one-canonical-form-per-class property), so nothing else is needed to
+//! rebuild the store: decoding re-interns the run into a fresh canon
+//! table (reproducing the sharing exactly) and reconstructs hash buckets
+//! from the class hashes.
+//!
+//! Version-1 snapshots (one standalone canonical tree per class) still
+//! decode: the shim reads each per-class tree and interns it into the
+//! table, which both migrates the data and *collapses duplicates the v1
+//! layout stored repeatedly*. v1 is never written — the recovery
+//! checkpoint rewrites the store at the current version.
 //!
 //! Snapshots are written **atomically**: the bytes go to a temporary file
 //! in the same directory, are `fsync`ed, and only then renamed over the
@@ -21,14 +32,17 @@
 //! `docs/PERSISTENCE_FORMAT.md`.
 
 use super::format::{
-    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, FORMAT_VERSION,
-    SNAPSHOT_MAGIC,
+    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, COMPAT_VERSION,
+    FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
 use super::PersistError;
+use crate::dag::CanonTable;
 use crate::granularity::Granularity;
 use crate::stats::StoreStats;
 use crate::store::{Shard, StoredClass};
 use alpha_hash::combine::HashWord;
+use lambda_lang::canon::CanonRef;
+use lambda_lang::debruijn::{DbArena, DbId};
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
@@ -79,10 +93,15 @@ fn take_stats(input: &mut &[u8]) -> Result<StoreStats, PersistError> {
 }
 
 /// Serializes a consistent view of the shards (the caller holds the locks)
-/// into the full snapshot byte image, trailing CRC included.
+/// into the full snapshot byte image, trailing CRC included. `dag` is the
+/// extracted class-reachable node run and `class_roots` the per-class
+/// positions in it, in shard-major class order (the order
+/// `shards.flat_map(classes)` yields).
 pub(crate) fn encode_snapshot<H: HashWord>(
     header: &SnapshotHeader,
     shards: &[&Shard<H>],
+    dag: &DbArena,
+    class_roots: &[DbId],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -95,7 +114,15 @@ pub(crate) fn encode_snapshot<H: HashWord>(
     put_u64(&mut out, header.wal_records_applied);
     put_stats(&mut out, &header.stats);
 
+    // The node table, once.
+    format::put_dag(&mut out, dag);
+
     debug_assert_eq!(shards.len(), header.shard_count as usize);
+    debug_assert_eq!(
+        class_roots.len(),
+        shards.iter().map(|s| s.classes.len()).sum::<usize>()
+    );
+    let mut root_cursor = 0usize;
     for shard in shards {
         put_u32(
             &mut out,
@@ -105,7 +132,9 @@ pub(crate) fn encode_snapshot<H: HashWord>(
             format::put_hash(&mut out, class.hash);
             put_u64(&mut out, class.members);
             put_u64(&mut out, class.occurrences);
-            format::put_canon(&mut out, &class.canon, class.canon_root);
+            put_u64(&mut out, class.node_count);
+            put_u32(&mut out, class_roots[root_cursor].index() as u32);
+            root_cursor += 1;
         }
         put_u32(
             &mut out,
@@ -127,12 +156,17 @@ pub(crate) fn encode_snapshot<H: HashWord>(
     out
 }
 
-/// Decodes a snapshot image back into its header and rebuilt shards
-/// (buckets reconstructed from class hashes). Verifies the trailing CRC
-/// before reading anything else.
+/// Decodes a snapshot image back into its header, rebuilt shards, and the
+/// **format version the bytes were written at** (the open path must know:
+/// an old-version snapshot disqualifies the clean-reopen fast path, since
+/// only the checkpoint migrates it). Canonical forms are interned into
+/// `table` (so the returned shards' [`CanonRef`]s address it). Verifies
+/// the trailing CRC before reading anything else. Accepts the current
+/// version and, through a read-only shim, version 1.
 pub(crate) fn decode_snapshot<H: HashWord>(
     bytes: &[u8],
-) -> Result<(SnapshotHeader, Vec<Shard<H>>), PersistError> {
+    table: &CanonTable,
+) -> Result<(SnapshotHeader, Vec<Shard<H>>, u16), PersistError> {
     let corrupt = |context: &str| PersistError::Corrupt {
         context: format!("snapshot: {context}"),
     };
@@ -150,9 +184,12 @@ pub(crate) fn decode_snapshot<H: HashWord>(
 
     let mut input = &body[SNAPSHOT_MAGIC.len()..];
     let version = take_u16(&mut input)?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != COMPAT_VERSION {
         return Err(PersistError::Mismatch {
-            context: format!("snapshot format version {version}, expected {FORMAT_VERSION}"),
+            context: format!(
+                "snapshot format version {version}, expected {FORMAT_VERSION} \
+                 (or compat {COMPAT_VERSION})"
+            ),
         });
     }
     let header = SnapshotHeader {
@@ -174,26 +211,48 @@ pub(crate) fn decode_snapshot<H: HashWord>(
         });
     }
 
-    let mut shards = Vec::with_capacity(header.shard_count as usize);
+    // v2: one shared node run up front, re-interned once; classes address
+    // positions. v1: no shared run; classes carry standalone trees.
+    let node_refs: Vec<CanonRef> = if version == FORMAT_VERSION {
+        let dag = format::take_dag(&mut input)?;
+        table.intern_arena_refs(&dag)
+    } else {
+        Vec::new()
+    };
+
+    let mut shards = Vec::with_capacity(header.shard_count.min(1 << 16) as usize);
     for _ in 0..header.shard_count {
         let class_count = take_u32(&mut input)? as usize;
-        let mut classes = Vec::with_capacity(class_count);
+        let mut classes = Vec::with_capacity(class_count.min(1 << 20));
         for _ in 0..class_count {
             let hash = format::take_hash::<H>(&mut input)?;
             let members = take_u64(&mut input)?;
             let occurrences = take_u64(&mut input)?;
-            let (canon, canon_root) = format::take_canon(&mut input)?;
+            let (canon, node_count) = if version == FORMAT_VERSION {
+                let node_count = take_u64(&mut input)?;
+                let pos = take_u32(&mut input)? as usize;
+                let canon = node_refs
+                    .get(pos)
+                    .copied()
+                    .ok_or_else(|| corrupt("class canon position out of range"))?;
+                (canon, node_count)
+            } else {
+                // v1 shim: a standalone tree; interning migrates it into
+                // the shared table (collapsing duplicates as it goes).
+                let (tree, root) = format::take_canon(&mut input)?;
+                let node_count = tree.len() as u64;
+                (table.intern_arena(&tree, root), node_count)
+            };
             classes.push(StoredClass {
                 hash,
-                node_count: canon.len(),
                 canon,
-                canon_root,
+                node_count,
                 members,
                 occurrences,
             });
         }
         let term_count = take_u32(&mut input)? as usize;
-        let mut terms = Vec::with_capacity(term_count);
+        let mut terms = Vec::with_capacity(term_count.min(1 << 20));
         for _ in 0..term_count {
             let class_index = take_u32(&mut input)?;
             if class_index as usize >= class_count {
@@ -201,7 +260,7 @@ pub(crate) fn decode_snapshot<H: HashWord>(
             }
             terms.push(class_index);
         }
-        let mut term_subs = Vec::with_capacity(term_count);
+        let mut term_subs = Vec::with_capacity(term_count.min(1 << 20));
         for _ in 0..term_count {
             let len = take_u32(&mut input)? as usize;
             let mut bits = Vec::with_capacity(len.min(1 << 16));
@@ -215,7 +274,7 @@ pub(crate) fn decode_snapshot<H: HashWord>(
     if !input.is_empty() {
         return Err(corrupt("trailing bytes after the last shard"));
     }
-    Ok((header, shards))
+    Ok((header, shards, version))
 }
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
@@ -240,10 +299,12 @@ pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), PersistE
     Ok(())
 }
 
-/// Reads and decodes a snapshot file.
+/// Reads and decodes a snapshot file into shards addressing `table`,
+/// also reporting the on-disk format version.
 pub(crate) fn read_snapshot<H: HashWord>(
     path: &Path,
-) -> Result<(SnapshotHeader, Vec<Shard<H>>), PersistError> {
+    table: &CanonTable,
+) -> Result<(SnapshotHeader, Vec<Shard<H>>, u16), PersistError> {
     let bytes = std::fs::read(path)?;
-    decode_snapshot(&bytes)
+    decode_snapshot(&bytes, table)
 }

@@ -1,22 +1,28 @@
 //! The append-only write-ahead log.
 //!
-//! Every confirmed insert tees one **record** — the complete
-//! [`PreparedTerm`](crate::prepare::PreparedTerm) the ingest path consumed
-//! — into the WAL, so a crash loses at most the writes the OS had not yet
-//! persisted, and never corrupts what came before. Records are framed as
-//! `[len u32][crc32 u32][payload]`; replay walks frames until end-of-file
-//! or the first frame whose length or CRC does not check out (a *torn
-//! tail*, the expected shape of a crash mid-write), and recovery truncates
-//! the file back to the last good frame.
+//! Every confirmed insert tees one **record** — the complete prepared
+//! term the ingest path consumed, canon encoded as one node-deduplicated
+//! DAG — into the WAL, so a crash loses at most the writes the OS had not
+//! yet persisted, and never corrupts what came before. Frames are
+//! `[len u32][crc32 u32][payload]`, where the payload's first byte is a
+//! kind tag: an **insert record**, or a **commit marker** closing one
+//! group commit. Replay walks frames until end-of-file or the first frame
+//! whose length or CRC does not check out (a *torn tail*, the expected
+//! shape of a crash mid-write); recovery truncates back to the last good
+//! frame.
 //!
-//! **Group commit.** Batch ingest encodes the whole batch's frames into
-//! one buffer outside any lock and appends them with a single `write(2)`
-//! under the WAL mutex, so the per-insert durability cost is amortised the
-//! same way the shard-lock cost is. By default the OS page cache is the
-//! durability boundary (data survives a process crash; an OS crash can
-//! lose the unsynced tail); [`StoreBuilder::sync_on_commit`]
-//! (crate::StoreBuilder::sync_on_commit) upgrades every group commit to an
-//! `fsync` for power-loss durability at the throughput cost that implies.
+//! **Group commit.** Batch ingest encodes the whole chunk's frames — its
+//! records, then one commit marker — into one buffer outside any lock and
+//! appends them with a single `write(2)` under the WAL mutex, so the
+//! per-insert durability cost is amortised the same way the shard-lock
+//! cost is. The markers are what lets replay reproduce the *original
+//! group boundaries*: each replayed group is applied as one ingest call,
+//! so even chunk-boundary-dependent statistics (the root-vs-subterm
+//! merge-counter split) come back exactly. By default the OS page cache
+//! is the durability boundary (data survives a process crash; an OS crash
+//! can lose the unsynced tail);
+//! [`StoreBuilder::sync_on_commit`](crate::StoreBuilder::sync_on_commit)
+//! upgrades every group commit to an `fsync`.
 //!
 //! The file opens with a header naming the format version, hash width,
 //! scheme seed, shard count, granularity and an **epoch**. The epoch ties
@@ -24,18 +30,33 @@
 //! [`compact`](crate::AlphaStore::compact) bumps it in the snapshot first
 //! and resets the WAL second, so a crash between the two steps leaves a
 //! stale-epoch WAL that recovery recognises and discards instead of
-//! replaying twice. See `docs/PERSISTENCE_FORMAT.md` for the byte layout.
+//! replaying twice. Version-1 WALs (per-entry tree canon, no commit
+//! markers) still decode through [`format::take_record_v1`]; their
+//! records replay as one group, re-chunked by the reopening store's
+//! `chunk_entries` like the pre-marker code did. See
+//! `docs/PERSISTENCE_FORMAT.md` for the byte layout.
 
 use super::format::{
-    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, FORMAT_VERSION, WAL_MAGIC,
+    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, RawRecord,
+    COMPAT_VERSION, FORMAT_VERSION, WAL_MAGIC,
 };
 use super::PersistError;
+use crate::dag::{extract_canon, TableView};
 use crate::granularity::Granularity;
-use crate::prepare::PreparedTerm;
+use crate::prepare::{PreparedCanon, PreparedTerm};
 use alpha_hash::combine::HashWord;
+use lambda_lang::canon::CanonRef;
+use lambda_lang::debruijn::{DbArena, DbId};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+
+/// Payload kind tag: one insert record.
+const FRAME_RECORD: u8 = 1;
+/// Payload kind tag: a commit marker closing the group of records framed
+/// since the previous marker. Carries the group's record count for
+/// validation.
+const FRAME_COMMIT: u8 = 2;
 
 /// Everything a WAL header records about the store it logs for. Must match
 /// the snapshot header (and the opening builder's configuration) exactly;
@@ -64,7 +85,7 @@ fn encode_header(h: &WalHeader) -> Vec<u8> {
     out
 }
 
-fn decode_header(input: &mut &[u8]) -> Result<WalHeader, PersistError> {
+fn decode_header(input: &mut &[u8]) -> Result<(WalHeader, u16), PersistError> {
     let magic = format::take_bytes(input, 8)?;
     if magic != WAL_MAGIC {
         return Err(PersistError::Corrupt {
@@ -72,25 +93,41 @@ fn decode_header(input: &mut &[u8]) -> Result<WalHeader, PersistError> {
         });
     }
     let version = take_u16(input)?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != COMPAT_VERSION {
         return Err(PersistError::Mismatch {
-            context: format!("WAL format version {version}, expected {FORMAT_VERSION}"),
+            context: format!(
+                "WAL format version {version}, expected {FORMAT_VERSION} (or compat {COMPAT_VERSION})"
+            ),
         });
     }
-    Ok(WalHeader {
-        hash_bits: take_u32(input)?,
-        scheme_seed: take_u64(input)?,
-        shard_count: take_u32(input)?,
-        granularity: format::take_granularity(input)?,
-        epoch: take_u64(input)?,
-    })
+    Ok((
+        WalHeader {
+            hash_bits: take_u32(input)?,
+            scheme_seed: take_u64(input)?,
+            shard_count: take_u32(input)?,
+            granularity: format::take_granularity(input)?,
+            epoch: take_u64(input)?,
+        },
+        version,
+    ))
 }
 
-/// What a replay scan found: the header, the decoded records, and where
-/// the good prefix of the file ends (everything past it is a torn tail).
+/// What a replay scan found: the header, the decoded records grouped by
+/// their original group commits, and where the good prefix of the file
+/// ends (everything past it is a torn tail).
 pub(crate) struct WalContents<H> {
     pub(crate) header: WalHeader,
-    pub(crate) records: Vec<PreparedTerm<H>>,
+    /// The format version the file was written at. An old version
+    /// disqualifies the clean-reopen fast path: appending current-version
+    /// frames to an old-header WAL would make them undecodable on the
+    /// next open, so old files must go through the migrating checkpoint.
+    pub(crate) version: u16,
+    /// Records, one inner `Vec` per group commit. A trailing group with no
+    /// commit marker (crash mid-group) appears as the final element. For
+    /// v1 files (no markers) all records form one group.
+    pub(crate) groups: Vec<Vec<RawRecord<H>>>,
+    /// Total record count across groups.
+    pub(crate) total_records: u64,
     /// Byte offset where the good prefix ends (== file length iff not
     /// `torn`). Recovery's checkpoint rewrites torn files wholesale, so
     /// this is diagnostic (and unit-tested) rather than consumed on the
@@ -107,8 +144,10 @@ pub(crate) struct WalContents<H> {
 pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, PersistError> {
     let bytes = std::fs::read(path)?;
     let mut input = bytes.as_slice();
-    let header = decode_header(&mut input)?;
-    let mut records = Vec::new();
+    let (header, version) = decode_header(&mut input)?;
+    let mut groups: Vec<Vec<RawRecord<H>>> = Vec::new();
+    let mut current: Vec<RawRecord<H>> = Vec::new();
+    let mut total_records = 0u64;
     let mut good_len = bytes.len() as u64 - input.len() as u64;
     let torn = loop {
         let frame_start = input.len();
@@ -126,18 +165,59 @@ pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, Persi
             break true;
         }
         let mut payload_input = payload;
-        let Ok(record) = format::take_record::<H>(&mut payload_input) else {
-            break true;
-        };
-        if !payload_input.is_empty() {
-            break true;
+        if version == COMPAT_VERSION {
+            // v1: the payload is a bare record; no kind byte, no markers.
+            let Ok(record) = format::take_record_v1::<H>(&mut payload_input) else {
+                break true;
+            };
+            if !payload_input.is_empty() {
+                break true;
+            }
+            current.push(record);
+            total_records += 1;
+        } else {
+            let Ok(kind) = format::take_u8(&mut payload_input) else {
+                break true;
+            };
+            match kind {
+                FRAME_RECORD => {
+                    let Ok(record) = format::take_record_v2::<H>(&mut payload_input) else {
+                        break true;
+                    };
+                    if !payload_input.is_empty() {
+                        break true;
+                    }
+                    current.push(record);
+                    total_records += 1;
+                }
+                FRAME_COMMIT => {
+                    let Ok(count) = take_u64(&mut payload_input) else {
+                        break true;
+                    };
+                    if !payload_input.is_empty() || count != current.len() as u64 {
+                        break true;
+                    }
+                    groups.push(std::mem::take(&mut current));
+                }
+                _ => break true,
+            }
         }
-        records.push(record);
         good_len += 8 + len as u64;
     };
+    // v2 writers always land a group's records and its commit marker in
+    // one append, so records with no closing marker — even ending exactly
+    // on a frame boundary — can only be a torn write. v1 has no markers;
+    // its trailing records are the normal shape.
+    let torn = torn || (version == FORMAT_VERSION && !current.is_empty());
+    if !current.is_empty() {
+        // v1 (no markers) or a group torn before its commit marker.
+        groups.push(current);
+    }
     Ok(WalContents {
         header,
-        records,
+        version,
+        groups,
+        total_records,
         good_len,
         torn,
     })
@@ -149,7 +229,8 @@ pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, Persi
 pub(crate) struct Wal {
     file: File,
     pub(crate) epoch: u64,
-    /// Records currently in the file (good frames only).
+    /// Records currently in the file (good frames only; commit markers do
+    /// not count).
     pub(crate) records: u64,
     pub(crate) sync_on_commit: bool,
 }
@@ -198,8 +279,9 @@ impl Wal {
     }
 
     /// Appends one group-committed run of `count` already-framed records
-    /// with a single write, flushing (and fsyncing, when configured) once
-    /// for the whole group.
+    /// (the caller framed them and their trailing commit marker) with a
+    /// single write, flushing (and fsyncing, when configured) once for the
+    /// whole group.
     pub(crate) fn append_group(&mut self, frames: &[u8], count: u64) -> Result<(), PersistError> {
         self.file.write_all(frames)?;
         if self.sync_on_commit {
@@ -224,22 +306,15 @@ impl Wal {
     }
 }
 
-/// Frames one record (length + CRC + payload) into `out`, encoding the
-/// payload **in place**: eight placeholder bytes are reserved, the record
-/// is written directly after them, and length + CRC are patched in once
-/// known — no staging buffer, no second copy. This is the durable ingest
-/// hot path.
-pub(crate) fn frame_record<H: HashWord>(
-    out: &mut Vec<u8>,
-    root_hash: H,
-    root_canon: &lambda_lang::debruijn::DbArena,
-    root_canon_root: lambda_lang::debruijn::DbId,
-    subs: &[crate::prepare::SubEntry<H>],
-    skipped: u64,
-) {
+/// Reserves a frame header, returns the payload start offset.
+fn begin_frame(out: &mut Vec<u8>) -> usize {
     let frame_start = out.len();
     out.extend_from_slice(&[0u8; 8]); // len + crc placeholders
-    format::put_record(out, root_hash, root_canon, root_canon_root, subs, skipped);
+    frame_start
+}
+
+/// Patches length + CRC over the payload written since [`begin_frame`].
+fn end_frame(out: &mut [u8], frame_start: usize) {
     let payload = &out[frame_start + 8..];
     let len = u32::try_from(payload.len()).expect("record fits u32");
     let crc = crc32(payload);
@@ -247,10 +322,79 @@ pub(crate) fn frame_record<H: HashWord>(
     out[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
+/// Frames one root-granularity record from a frontier canonical form,
+/// encoding the payload **in place**: placeholder bytes are reserved, the
+/// record is written directly after them, and length + CRC are patched in
+/// once known — no staging buffer, no second copy. This is the durable
+/// root-mode ingest hot path.
+pub(crate) fn frame_record_frontier<H: HashWord>(
+    out: &mut Vec<u8>,
+    hash: H,
+    canon: &DbArena,
+    canon_root: DbId,
+) {
+    let frame_start = begin_frame(out);
+    format::put_u8(out, FRAME_RECORD);
+    // A frontier arena is already a topologically ordered node run; its
+    // positions are the record positions.
+    format::put_record_v2(out, canon, (hash, canon_root, canon.len() as u64), &[], 0);
+    end_frame(out, frame_start);
+}
+
+/// Frames one subexpression-granularity record whose entries are interned
+/// in the canon DAG: the union of all entry canons is extracted **once**
+/// as a node-deduplicated run (shared structure appears one time, however
+/// many entries use it), and entries address positions in it.
+pub(crate) fn frame_record_interned<H: HashWord>(
+    out: &mut Vec<u8>,
+    view: &mut TableView<'_>,
+    pt: &PreparedTerm<H>,
+) {
+    let take_ref = |canon: &PreparedCanon| -> CanonRef {
+        match canon {
+            PreparedCanon::Interned(r) => *r,
+            PreparedCanon::Frontier { .. } => {
+                unreachable!("subexpression-granularity entries are interned at prepare time")
+            }
+        }
+    };
+    let mut refs: Vec<CanonRef> = Vec::with_capacity(1 + pt.subs.len());
+    refs.push(take_ref(&pt.root.canon));
+    refs.extend(pt.subs.iter().map(|s| take_ref(&s.canon)));
+    let mut dag = DbArena::new();
+    let ids = extract_canon(view, &refs, &mut dag);
+
+    let frame_start = begin_frame(out);
+    format::put_u8(out, FRAME_RECORD);
+    let subs: Vec<(H, DbId, u64, u32)> = pt
+        .subs
+        .iter()
+        .zip(&ids[1..])
+        .map(|(s, &id)| (s.hash, id, s.node_count, s.multiplicity))
+        .collect();
+    format::put_record_v2(
+        out,
+        &dag,
+        (pt.root.hash, ids[0], pt.root.node_count),
+        &subs,
+        pt.skipped,
+    );
+    end_frame(out, frame_start);
+}
+
+/// Frames the commit marker that closes a group of `count` records.
+pub(crate) fn frame_commit(out: &mut Vec<u8>, count: u64) {
+    let frame_start = begin_frame(out);
+    format::put_u8(out, FRAME_COMMIT);
+    put_u64(out, count);
+    end_frame(out, frame_start);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use alpha_hash::combine::HashScheme;
+    use lambda_lang::debruijn::db_eq;
     use lambda_lang::parse::parse;
     use lambda_lang::ExprArena;
     use std::path::PathBuf;
@@ -271,53 +415,85 @@ mod tests {
         }
     }
 
-    fn sample_frames(sources: &[&str]) -> (Vec<u8>, u64) {
+    /// Frames each source as its own record, closing them as `groups`
+    /// group commits (one commit marker per inner slice).
+    fn sample_frames(groups: &[&[&str]]) -> (Vec<u8>, u64) {
         let mut arena = ExprArena::new();
         let scheme: HashScheme<u64> = HashScheme::new(0xFAB);
         let mut preparer = crate::prepare::Preparer::new(&arena, &scheme);
         let mut frames = Vec::new();
-        for src in sources {
-            let parsed = parse(&mut arena, src).unwrap();
-            let (hash, canon, root) = preparer.hash_and_canon(&arena, parsed);
-            frame_record(&mut frames, hash, &canon, root, &[], 0);
+        let mut count = 0u64;
+        for group in groups {
+            for src in *group {
+                let parsed = parse(&mut arena, src).unwrap();
+                let (hash, canon, root) = preparer.hash_and_canon(&arena, parsed);
+                frame_record_frontier(&mut frames, hash, &canon, root);
+                count += 1;
+            }
+            frame_commit(&mut frames, group.len() as u64);
         }
-        (frames, sources.len() as u64)
+        (frames, count)
     }
 
     #[test]
-    fn append_and_replay_round_trip() {
+    fn append_and_replay_round_trip_with_group_boundaries() {
         let path = tmp("roundtrip.wal");
         let mut wal = Wal::create(&path, header(), false).unwrap();
-        let (frames, count) = sample_frames(&[r"\x. x + 1", "v * 3", r"\a. \b. a b"]);
+        let (frames, count) = sample_frames(&[&[r"\x. x + 1", "v * 3"], &[r"\a. \b. a b"]]);
         wal.append_group(&frames, count).unwrap();
         assert_eq!(wal.records, 3);
         drop(wal);
 
         let contents = read_wal::<u64>(&path).unwrap();
         assert_eq!(contents.header, header());
-        assert_eq!(contents.records.len(), 3);
+        assert_eq!(contents.total_records, 3);
         assert!(!contents.torn);
+        // Group boundaries survive the round trip exactly.
+        let sizes: Vec<usize> = contents.groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 1]);
         assert_eq!(contents.good_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn records_round_trip_their_canonical_payload() {
+        let path = tmp("payload.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut arena = ExprArena::new();
+        let scheme: HashScheme<u64> = HashScheme::new(0xFAB);
+        let mut preparer = crate::prepare::Preparer::new(&arena, &scheme);
+        let parsed = parse(&mut arena, "let w = v+7 in w*w").unwrap();
+        let (hash, canon, root) = preparer.hash_and_canon(&arena, parsed);
+        let mut frames = Vec::new();
+        frame_record_frontier(&mut frames, hash, &canon, root);
+        frame_commit(&mut frames, 1);
+        wal.append_group(&frames, 1).unwrap();
+        drop(wal);
+
+        let contents = read_wal::<u64>(&path).unwrap();
+        let record = &contents.groups[0][0];
+        assert_eq!(record.root.hash, hash);
+        assert_eq!(record.root.node_count, canon.len() as u64);
+        assert!(db_eq(&record.canon, record.root.pos, &canon, root));
     }
 
     #[test]
     fn torn_tail_is_cut_at_the_last_good_frame() {
         let path = tmp("torn.wal");
         let mut wal = Wal::create(&path, header(), false).unwrap();
-        let (frames, count) = sample_frames(&[r"\x. x + 1", "v * 3"]);
+        let (frames, count) = sample_frames(&[&[r"\x. x + 1"], &["v * 3"]]);
         wal.append_group(&frames, count).unwrap();
         drop(wal);
 
         let full = std::fs::metadata(&path).unwrap().len();
-        // Truncate into the middle of the second record.
-        let cut = full - 3;
+        // Truncate into the middle of the second group's record.
+        let cut = full - 30;
         let file = OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(cut).unwrap();
         drop(file);
 
         let contents = read_wal::<u64>(&path).unwrap();
         assert!(contents.torn);
-        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.total_records, 1);
         assert!(contents.good_len < cut);
 
         // A scan of only the good prefix sees a clean single-record log —
@@ -327,14 +503,34 @@ mod tests {
         drop(file);
         let again = read_wal::<u64>(&path).unwrap();
         assert!(!again.torn);
-        assert_eq!(again.records.len(), 1);
+        assert_eq!(again.total_records, 1);
+    }
+
+    #[test]
+    fn group_torn_before_its_commit_marker_still_yields_its_records() {
+        let path = tmp("torn-group.wal");
+        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&[&[r"\x. x + 1", "v * 3"]]);
+        wal.append_group(&frames, count).unwrap();
+        drop(wal);
+
+        // Cut off the commit marker (last frame, 8 + 9 payload bytes).
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 17).unwrap();
+        drop(file);
+
+        let contents = read_wal::<u64>(&path).unwrap();
+        assert!(contents.torn);
+        assert_eq!(contents.total_records, 2);
+        assert_eq!(contents.groups.len(), 1, "trailing partial group kept");
     }
 
     #[test]
     fn bitflips_in_a_payload_are_caught_by_the_frame_crc() {
         let path = tmp("bitflip.wal");
         let mut wal = Wal::create(&path, header(), false).unwrap();
-        let (frames, count) = sample_frames(&["let w = v+7 in w*w"]);
+        let (frames, count) = sample_frames(&[&["let w = v+7 in w*w"]]);
         wal.append_group(&frames, count).unwrap();
         drop(wal);
 
@@ -345,7 +541,7 @@ mod tests {
 
         let contents = read_wal::<u64>(&path).unwrap();
         assert!(contents.torn);
-        assert!(contents.records.is_empty());
+        assert!(contents.groups.is_empty());
         assert_eq!(contents.good_len, WAL_HEADER_LEN);
     }
 
@@ -353,7 +549,7 @@ mod tests {
     fn reset_starts_a_new_epoch_with_zero_records() {
         let path = tmp("reset.wal");
         let mut wal = Wal::create(&path, header(), false).unwrap();
-        let (frames, count) = sample_frames(&[r"\x. x"]);
+        let (frames, count) = sample_frames(&[&[r"\x. x"]]);
         wal.append_group(&frames, count).unwrap();
         let mut new_header = header();
         new_header.epoch = 4;
@@ -363,7 +559,7 @@ mod tests {
         drop(wal);
         let contents = read_wal::<u64>(&path).unwrap();
         assert_eq!(contents.header.epoch, 4);
-        assert!(contents.records.is_empty());
+        assert!(contents.groups.is_empty());
         assert!(!contents.torn);
     }
 

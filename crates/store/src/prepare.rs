@@ -1,81 +1,104 @@
 //! Fused single-pass ingest preparation: the alpha-hash **and** the
-//! canonical de Bruijn form of a term, from one traversal.
+//! canonical form of a term, from one traversal — with canonical storage
+//! interned straight into the shared canon DAG (`crate::dag`).
 //!
 //! The store used to prepare a term in two walks — `hash_expr` (post-order
 //! summarisation) followed by `to_debruijn` (scoped conversion) — and each
-//! walk rebuilt its scaffolding from scratch, including re-hashing every
-//! variable name in the arena's interner. [`Preparer`] fuses the two: a
-//! single [`walk_scoped_with`] traversal drives the streaming
-//! [`HashedSummariser`] (post-order `Exit` events are exactly the
-//! summariser's feed order) while the bracketed `Bind`/`Unbind` events
-//! maintain the binder environment the de Bruijn conversion needs. One
-//! `Preparer` serves a whole batch, so its environment table, node stacks,
-//! summariser scratch buffers and name-hash cache are all reused from term
+//! walk rebuilt its scaffolding from scratch. [`Preparer`] fuses the two,
+//! and one `Preparer` serves a whole batch, so its environment table, node
+//! stacks, summariser scratch buffers and caches are all reused from term
 //! to term.
 //!
-//! Two preparation shapes share that fused walk:
+//! Two preparation shapes:
 //!
-//! * [`Preparer::hash_and_canon`] — root granularity: the term's hash and
-//!   canonical form, nothing else.
-//! * [`Preparer::prepare_term`] — subexpression granularity: the same
-//!   fused walk additionally records `(hash, node_count)` for **every**
-//!   node (the summariser computes them anyway — this is the paper's
-//!   headline result), then builds a standalone canonical form per
-//!   subexpression that clears the `min_nodes` floor. Those forms cannot
-//!   be sliced out of the root's form — a variable bound *outside* a
-//!   subterm is free *by name* inside it — so each one is a dedicated
-//!   O(size) scoped sub-walk (`Preparer::canon_subterm`), with no
-//!   re-hashing anywhere.
+//! * [`Preparer::hash_and_canon`] — root granularity and read-only probes:
+//!   one fused scoped walk yields the term's hash and a standalone
+//!   **frontier** [`DbArena`] canonical form. Frontier forms are cheap
+//!   (no table traffic on the hot path) and are only interned into the
+//!   DAG if the insert actually creates a class.
+//! * `Preparer::prepare_term` (crate-internal) — subexpression granularity: one
+//!   O(n (log n)²) post-order pass hashes **every** node (the paper's
+//!   headline result), then each subexpression clearing the `min_nodes`
+//!   floor is canonicalized by an O(size) scoped sub-walk that interns its
+//!   nodes **directly into the canon DAG** — no per-subterm arena is ever
+//!   allocated. Because interning is exact hash-consing, identical
+//!   subterms *within* a term come back as the same [`CanonRef`], and the
+//!   preparer collapses them into one `SubEntry` with an occurrence
+//!   `multiplicity` instead of k copies. Downstream, the shard sweep
+//!   confirms interned entries against candidate classes with an O(1) ref
+//!   compare.
 //!
-//! What a batch *shares* across roots is all per-term scaffolding — above
-//! all the name-hash cache, whose per-term recomputation (O(interner) per
-//! insert) dominated the seed's ingest profile. Per-subexpression
-//! *summaries* are deliberately not memoised across roots: the hashed
-//! algorithm consumes (and mutates) each child's variable map at its
-//! parent, so sharing summaries of common subtrees would need persistent
-//! maps (the §6.3 incremental engine's trade).
+//! A subterm's canonical form cannot be sliced out of the root's — a
+//! variable bound *outside* a subterm is free *by name* inside it — which
+//! is why each indexed subterm gets its own scoped sub-walk from an empty
+//! environment. What interning adds is that those walks now share every
+//! node they produce, within a term, across terms, and across classes.
 
+use crate::dag::CanonTable;
 use alpha_hash::combine::{HashScheme, HashWord};
 use alpha_hash::hashed::HashedSummariser;
 use lambda_lang::arena::{ExprArena, ExprNode, NodeId};
+use lambda_lang::canon::{CanonNode, CanonRef, NameId};
 use lambda_lang::debruijn::{DbArena, DbId, DbNode};
 use lambda_lang::symbol::Symbol;
-use lambda_lang::visit::{walk_scoped_with, ScopeEvent, ScopeStack};
+use lambda_lang::visit::{postorder_with, walk_scoped_with, ScopeEvent, ScopeStack};
 use std::collections::HashMap;
 
-/// One prepared (sub)expression: everything the store needs to index it —
-/// content address, size, and the standalone canonical de Bruijn form that
-/// confirms merges exactly.
+/// How a prepared entry carries its canonical form to the shard sweep.
 #[derive(Debug)]
-pub struct SubEntry<H> {
+pub(crate) enum PreparedCanon {
+    /// Already interned into the canon DAG (subexpression-granularity
+    /// entries, replayed records): merge confirmation is one ref compare.
+    Interned(CanonRef),
+    /// A standalone arena not yet in the DAG (root-granularity inserts and
+    /// read-only probes): confirmation walks the DAG structurally, and the
+    /// form is interned only if a class is created.
+    Frontier {
+        /// The canonical de Bruijn form.
+        canon: DbArena,
+        /// Root of `canon`.
+        canon_root: DbId,
+    },
+}
+
+/// One prepared (sub)expression: everything the store needs to index it —
+/// content address, size, occurrence multiplicity within its term, and the
+/// canonical form that confirms merges exactly.
+#[derive(Debug)]
+pub(crate) struct SubEntry<H> {
     /// The alpha-invariant hash (content address).
     pub hash: H,
-    /// Node count of the subexpression.
+    /// Node count of the subexpression **as a tree** (what
+    /// [`AlphaStore::node_count`](crate::AlphaStore::node_count) reports).
     pub node_count: u64,
-    /// Canonical de Bruijn form, standalone: variables bound outside the
-    /// subexpression appear free, by name.
-    pub canon: DbArena,
-    /// Root of `canon`.
-    pub canon_root: DbId,
+    /// How many times this exact canonical form occurs in the prepared
+    /// term (always 1 for roots). Duplicate occurrences are collapsed at
+    /// prepare time by [`CanonRef`] equality — an exact dedup, since refs
+    /// are hash-consed.
+    pub multiplicity: u32,
+    /// The canonical form.
+    pub canon: PreparedCanon,
 }
 
 /// A term prepared at subexpression granularity by
-/// [`Preparer::prepare_term`]: the root entry plus one entry per indexed
-/// proper subexpression.
+/// [`Preparer::prepare_term`]: the root entry plus one entry per
+/// **distinct** indexed proper subexpression.
 #[derive(Debug)]
-pub struct PreparedTerm<H> {
+pub(crate) struct PreparedTerm<H> {
     /// The whole term (always indexed, whatever its size).
     pub root: SubEntry<H>,
-    /// Indexed proper subexpressions, in post-order.
+    /// Distinct indexed proper subexpressions, in first-occurrence
+    /// post-order, each carrying its occurrence multiplicity.
     pub subs: Vec<SubEntry<H>>,
-    /// Proper subexpressions skipped by the `min_nodes` floor.
+    /// Proper subexpression **occurrences** skipped by the `min_nodes`
+    /// floor.
     pub skipped: u64,
 }
 
 /// Brings `sym` into scope at the current depth, remembering any shadowed
-/// outer binding on the `saved` stack. Shared, like [`unbind`] and
-/// [`emit_db`], by the fused root walk and the per-subexpression
-/// canonicalizing sub-walks, so the two can never drift apart.
+/// outer binding on the `saved` stack. Shared by the fused root walk and
+/// the per-subexpression interning sub-walks, so the two can never drift
+/// apart.
 fn bind(
     env: &mut HashMap<Symbol, u32>,
     saved: &mut Vec<Option<u32>>,
@@ -107,8 +130,7 @@ fn unbind(
 /// Converts one post-order node to de Bruijn form against the current
 /// binder environment. `env` maps binder symbols to binding levels
 /// (distance from the walk root); occurrences of symbols not in `env` are
-/// free and keep their names. Shared by the fused root walk and the
-/// per-subexpression canonicalizing sub-walks.
+/// free and keep their names.
 fn emit_db(
     arena: &ExprArena,
     n: NodeId,
@@ -147,7 +169,10 @@ fn emit_db(
 }
 
 /// Reusable state for preparing many terms of one arena: the streaming
-/// summariser plus the de Bruijn conversion's environment and stacks.
+/// summariser plus the conversion environments, stacks and caches. A
+/// `Preparer` is arena-affine — like the summariser's name-hash cache, the
+/// symbol→[`NameId`] cache assumes every call passes the arena the
+/// preparer was built for.
 pub struct Preparer<'s, H: HashWord> {
     summariser: HashedSummariser<'s, H>,
     /// Binder symbol → binding level (distance from the root), for the
@@ -155,11 +180,19 @@ pub struct Preparer<'s, H: HashWord> {
     env: HashMap<Symbol, u32>,
     saved: Vec<Option<u32>>,
     db_stack: Vec<DbId>,
+    /// Value stack of the interning sub-walks.
+    ref_stack: Vec<CanonRef>,
     /// Traversal scratch shared by every scoped walk this preparer runs.
     scope: ScopeStack,
-    /// Per-node `(node, hash, size)` records of the latest fused walk, in
-    /// post-order (so the root is last). Only filled by `prepare_term`.
+    /// Scratch for the pure post-order hashing pass.
+    post_stack: Vec<(NodeId, bool)>,
+    /// Per-node `(node, hash, size)` records of the latest hashing pass,
+    /// in post-order (so the root is last). Only filled by `prepare_term`.
     sub_infos: Vec<(NodeId, H, u64)>,
+    /// Arena symbol → global canon-DAG name, cached per preparer.
+    name_ids: HashMap<Symbol, NameId>,
+    /// Intra-term dedup: interned ref bits → index into the subs vec.
+    dedup: HashMap<u32, usize>,
 }
 
 impl<'s, H: HashWord> Preparer<'s, H> {
@@ -170,17 +203,25 @@ impl<'s, H: HashWord> Preparer<'s, H> {
             env: HashMap::new(),
             saved: Vec::new(),
             db_stack: Vec::new(),
+            ref_stack: Vec::new(),
             scope: ScopeStack::new(),
+            post_stack: Vec::new(),
             sub_infos: Vec::new(),
+            name_ids: HashMap::new(),
+            dedup: HashMap::new(),
         }
     }
 
-    /// The fused pass: one scoped traversal drives the streaming
-    /// summariser (hashes) and the de Bruijn conversion (root canonical
-    /// form) together. With `record`, also logs every node's
-    /// `(hash, size)` — the per-subexpression table of the batched
-    /// summariser — into `self.sub_infos`.
-    fn fused_walk(&mut self, arena: &ExprArena, root: NodeId, record: bool) -> (H, DbArena, DbId) {
+    /// Computes the term's alpha-hash and its canonical de Bruijn form in
+    /// one fused post-order pass — the frontier shape used by
+    /// root-granularity ingest and by read-only probes.
+    ///
+    /// The de Bruijn output is structurally identical to
+    /// [`lambda_lang::debruijn::to_debruijn`]'s (the property tests
+    /// cross-check this), and the hash equals
+    /// [`alpha_hash::hashed::hash_expr`]. Terms must satisfy the
+    /// unique-binder precondition (§2.2), as for `hash_expr`.
+    pub fn hash_and_canon(&mut self, arena: &ExprArena, root: NodeId) -> (H, DbArena, DbId) {
         debug_assert!(
             lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
             "store ingest requires distinct binders (run uniquify first)"
@@ -190,25 +231,20 @@ impl<'s, H: HashWord> Preparer<'s, H> {
         let mut root_hash = None;
         self.summariser.begin();
         self.db_stack.clear();
-        self.sub_infos.clear();
 
         // Split-borrow the fields once so the closure can use them all.
         let summariser = &mut self.summariser;
         let env = &mut self.env;
         let saved = &mut self.saved;
         let db_stack = &mut self.db_stack;
-        let sub_infos = &mut self.sub_infos;
 
         walk_scoped_with(arena, root, &mut self.scope, |ev| match ev {
             ScopeEvent::Enter(_) => {}
             ScopeEvent::Bind { sym, .. } => bind(env, saved, &mut depth, sym),
             ScopeEvent::Unbind { sym, .. } => unbind(env, saved, &mut depth, sym),
             ScopeEvent::Exit(n) => {
-                let (hash, size) = summariser.push_node_sized(arena, n);
+                let (hash, _) = summariser.push_node_sized(arena, n);
                 root_hash = Some(hash);
-                if record {
-                    sub_infos.push((n, hash, size));
-                }
                 emit_db(arena, n, env, depth, &mut dst, db_stack);
             }
         });
@@ -222,37 +258,50 @@ impl<'s, H: HashWord> Preparer<'s, H> {
         (root_hash.expect("non-empty term"), dst, db_root)
     }
 
-    /// Computes the term's alpha-hash and its canonical de Bruijn form in
-    /// one post-order pass.
-    ///
-    /// The de Bruijn output is structurally identical to
-    /// [`lambda_lang::debruijn::to_debruijn`]'s (the property tests
-    /// cross-check this), and the hash equals
-    /// [`alpha_hash::hashed::hash_expr`]. Terms must satisfy the
-    /// unique-binder precondition (§2.2), as for `hash_expr`.
-    pub fn hash_and_canon(&mut self, arena: &ExprArena, root: NodeId) -> (H, DbArena, DbId) {
-        self.fused_walk(arena, root, false)
+    /// The pure hashing pass of [`Preparer::prepare_term`]: one post-order
+    /// walk records `(node, hash, size)` for every node into `sub_infos`.
+    fn hash_all(&mut self, arena: &ExprArena, root: NodeId) -> H {
+        debug_assert!(
+            lambda_lang::uniquify::check_unique_binders(arena, root).is_ok(),
+            "store ingest requires distinct binders (run uniquify first)"
+        );
+        self.summariser.begin();
+        self.sub_infos.clear();
+        let mut root_hash = None;
+        let summariser = &mut self.summariser;
+        let sub_infos = &mut self.sub_infos;
+        postorder_with(arena, root, &mut self.post_stack, |n| {
+            let (hash, size) = summariser.push_node_sized(arena, n);
+            root_hash = Some(hash);
+            sub_infos.push((n, hash, size));
+        });
+        self.summariser.finish_discard();
+        root_hash.expect("non-empty term")
     }
 
     /// Prepares a term at subexpression granularity: **one** fused
     /// O(n (log n)²) walk hashes every node (no per-subterm `hash_expr`),
-    /// then each proper subexpression with at least `min_nodes` nodes gets
-    /// its standalone canonical form from an O(size) non-hashing sub-walk.
-    /// The root is always included, whatever its size.
-    pub fn prepare_term(
+    /// then each proper subexpression with at least `min_nodes` nodes is
+    /// canonicalized by an O(size) interning sub-walk straight into
+    /// `table`, and duplicate occurrences collapse into one entry with a
+    /// multiplicity (exact, by hash-consed ref equality). The root is
+    /// always included, whatever its size.
+    pub(crate) fn prepare_term(
         &mut self,
         arena: &ExprArena,
         root: NodeId,
         min_nodes: usize,
+        table: &CanonTable,
     ) -> PreparedTerm<H> {
         let min_nodes = min_nodes.max(1) as u64;
-        let (root_hash, root_canon, root_canon_root) = self.fused_walk(arena, root, true);
+        let root_hash = self.hash_all(arena, root);
         let infos = std::mem::take(&mut self.sub_infos);
         debug_assert_eq!(infos.last().map(|&(n, _, _)| n), Some(root));
 
-        let mut subs = Vec::new();
+        let mut subs: Vec<SubEntry<H>> = Vec::new();
         let mut skipped = 0u64;
         let mut root_size = 0u64;
+        self.dedup.clear();
         for &(node, hash, size) in &infos {
             if node == root {
                 root_size = size;
@@ -262,62 +311,112 @@ impl<'s, H: HashWord> Preparer<'s, H> {
                 skipped += 1;
                 continue;
             }
-            let (canon, canon_root) = self.canon_subterm(arena, node);
-            debug_assert_eq!(canon.len() as u64, size);
-            subs.push(SubEntry {
-                hash,
-                node_count: size,
-                canon,
-                canon_root,
-            });
+            let cref = self.intern_subterm(arena, node, table);
+            match self.dedup.get(&cref.to_bits()) {
+                Some(&at) => {
+                    debug_assert_eq!(subs[at].hash, hash, "equal canon implies equal hash");
+                    subs[at].multiplicity += 1;
+                }
+                None => {
+                    self.dedup.insert(cref.to_bits(), subs.len());
+                    subs.push(SubEntry {
+                        hash,
+                        node_count: size,
+                        multiplicity: 1,
+                        canon: PreparedCanon::Interned(cref),
+                    });
+                }
+            }
         }
         self.sub_infos = infos; // give the buffer back for reuse
+        let root_ref = self.intern_subterm(arena, root, table);
         PreparedTerm {
             root: SubEntry {
                 hash: root_hash,
                 node_count: root_size,
-                canon: root_canon,
-                canon_root: root_canon_root,
+                multiplicity: 1,
+                canon: PreparedCanon::Interned(root_ref),
             },
             subs,
             skipped,
         }
     }
 
-    /// The standalone canonical de Bruijn form of the subexpression at
-    /// `node`: a scoped walk that starts from an **empty** environment, so
-    /// binders outside the subexpression are simply unknown and their
-    /// occurrences come out free, by name — exactly the semantics the
-    /// subexpression has as a term of its own. No hashing happens here.
-    fn canon_subterm(&mut self, arena: &ExprArena, node: NodeId) -> (DbArena, DbId) {
-        let mut dst = DbArena::new();
+    /// Canonicalizes the subexpression at `node` by interning it into the
+    /// canon DAG, bottom-up: a scoped walk that starts from an **empty**
+    /// environment, so binders outside the subexpression are simply
+    /// unknown and their occurrences come out free, by name — exactly the
+    /// semantics the subexpression has as a term of its own. Allocates no
+    /// arena; every produced node lands (deduplicated) in `table`.
+    fn intern_subterm(&mut self, arena: &ExprArena, node: NodeId, table: &CanonTable) -> CanonRef {
         let mut depth: u32 = 0;
-        self.db_stack.clear();
+        self.ref_stack.clear();
 
         let env = &mut self.env;
         let saved = &mut self.saved;
-        let db_stack = &mut self.db_stack;
+        let refs = &mut self.ref_stack;
+        let name_ids = &mut self.name_ids;
 
         walk_scoped_with(arena, node, &mut self.scope, |ev| match ev {
             ScopeEvent::Enter(_) => {}
             ScopeEvent::Bind { sym, .. } => bind(env, saved, &mut depth, sym),
             ScopeEvent::Unbind { sym, .. } => unbind(env, saved, &mut depth, sym),
-            ScopeEvent::Exit(n) => emit_db(arena, n, env, depth, &mut dst, db_stack),
+            ScopeEvent::Exit(n) => {
+                let canon = match arena.node(n) {
+                    ExprNode::Var(s) => match env.get(&s) {
+                        Some(&level) => CanonNode::BVar(depth - level - 1),
+                        None => CanonNode::FVar(
+                            *name_ids
+                                .entry(s)
+                                .or_insert_with(|| table.intern_name(arena.name(s))),
+                        ),
+                    },
+                    ExprNode::Lit(l) => CanonNode::Lit(l),
+                    ExprNode::Lam(_, _) => {
+                        let body = refs.pop().expect("lam body");
+                        CanonNode::Lam(body)
+                    }
+                    ExprNode::App(_, _) => {
+                        let arg = refs.pop().expect("app arg");
+                        let fun = refs.pop().expect("app fun");
+                        CanonNode::App(fun, arg)
+                    }
+                    ExprNode::Let(_, _, _) => {
+                        let body = refs.pop().expect("let body");
+                        let rhs = refs.pop().expect("let rhs");
+                        CanonNode::Let(rhs, body)
+                    }
+                };
+                refs.push(table.intern_node(canon));
+            }
         });
 
-        let root_id = self.db_stack.pop().expect("canon_subterm produced a root");
-        debug_assert!(self.db_stack.is_empty());
+        let out = self
+            .ref_stack
+            .pop()
+            .expect("intern_subterm produced a root");
+        debug_assert!(self.ref_stack.is_empty());
         debug_assert!(self.env.is_empty());
-        (dst, root_id)
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dag::{extract_one, TableView};
     use lambda_lang::debruijn::{db_eq, db_print, to_debruijn};
     use lambda_lang::parse::parse;
     use lambda_lang::visit::postorder;
+
+    fn print_entry<H: HashWord>(table: &CanonTable, entry: &SubEntry<H>) -> String {
+        let PreparedCanon::Interned(cref) = entry.canon else {
+            panic!("prepare_term entries are interned");
+        };
+        let mut view = TableView::new(table);
+        let (arena, root) = extract_one(&mut view, cref);
+        db_print(&arena, root)
+    }
 
     #[test]
     fn fused_pass_matches_the_two_walk_version() {
@@ -388,6 +487,7 @@ mod tests {
         // on each subtree standalone — i.e. the fused pass really is the
         // paper's all-subexpressions result, not a root-only shortcut.
         let scheme: HashScheme<u64> = HashScheme::new(0xBEEF);
+        let table = CanonTable::new();
         let mut arena = ExprArena::new();
         let sources = [
             r"\x. \y. x + y*7",
@@ -397,27 +497,54 @@ mod tests {
         let mut preparer = Preparer::new(&arena, &scheme);
         for src in sources {
             let parsed = parse(&mut arena, src).unwrap();
-            let pt = preparer.prepare_term(&arena, parsed, 1);
+            let pt = preparer.prepare_term(&arena, parsed, 1, &table);
             assert_eq!(pt.skipped, 0);
             let nodes = postorder(&arena, parsed);
-            // Every proper subexpression appears, in post-order, and its
-            // recorded hash equals the standalone hash.
-            assert_eq!(pt.subs.len(), nodes.len() - 1);
-            for (entry, &node) in pt.subs.iter().zip(&nodes) {
-                assert_eq!(
-                    entry.hash,
-                    alpha_hash::hashed::hash_expr(&arena, node, &scheme),
-                    "subexpression hash mismatch in {src}"
-                );
+            // Every proper subexpression occurrence is accounted for
+            // (multiplicities sum to the occurrence count)…
+            let occurrences: u64 = pt.subs.iter().map(|s| s.multiplicity as u64).sum();
+            assert_eq!(occurrences as usize, nodes.len() - 1);
+            // …and every entry's hash and canon match the standalone
+            // reference computation on one of its occurrences.
+            for entry in &pt.subs {
+                let node = nodes
+                    .iter()
+                    .copied()
+                    .find(|&n| alpha_hash::hashed::hash_expr(&arena, n, &scheme) == entry.hash)
+                    .expect("entry corresponds to a subterm");
                 assert_eq!(entry.node_count as usize, arena.subtree_size(node));
-                // The canonical form is the subterm's own, standalone.
                 let (expected, expected_root) = to_debruijn(&arena, node);
-                assert!(
-                    db_eq(&entry.canon, entry.canon_root, &expected, expected_root),
+                assert_eq!(
+                    print_entry(&table, entry),
+                    db_print(&expected, expected_root),
                     "canon mismatch for a subexpression of {src}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_subterms_collapse_into_one_entry_with_multiplicity() {
+        let scheme: HashScheme<u64> = HashScheme::new(0xD0D0);
+        let table = CanonTable::new();
+        let mut arena = ExprArena::new();
+        // (v+7) appears twice; so do its sub-pieces.
+        let parsed = parse(&mut arena, "(v + 7) * (v + 7)").unwrap();
+        let mut preparer = Preparer::new(&arena, &scheme);
+        let pt = preparer.prepare_term(&arena, parsed, 1, &table);
+        // 13 nodes; 12 proper-subterm occurrences; distinct proper
+        // subterms: mul, v, 7, add, `add v`, `add v 7`, `mul (add v 7)`.
+        let occurrences: u64 = pt.subs.iter().map(|s| s.multiplicity as u64).sum();
+        assert_eq!(occurrences, 12);
+        assert_eq!(pt.subs.len(), 7, "duplicates deduplicated at prepare time");
+        let dup = pt
+            .subs
+            .iter()
+            .find(|s| print_entry(&table, s) == "add v 7")
+            .expect("v+7 entry");
+        assert_eq!(dup.multiplicity, 2);
+        assert_eq!(pt.root.node_count, 13);
+        assert_eq!(print_entry(&table, &pt.root), "mul (add v 7) (add v 7)");
     }
 
     #[test]
@@ -426,30 +553,29 @@ mod tests {
         // its canonical form must name it, not index it. (`x + 1` is the
         // curried App(App(add, x), 1), so the term has 6 nodes.)
         let scheme: HashScheme<u64> = HashScheme::new(1);
+        let table = CanonTable::new();
         let mut arena = ExprArena::new();
         let parsed = parse(&mut arena, r"\x. x + 1").unwrap();
         let mut preparer = Preparer::new(&arena, &scheme);
-        let pt = preparer.prepare_term(&arena, parsed, 3);
+        let pt = preparer.prepare_term(&arena, parsed, 3, &table);
         // Two subterms clear the 3-node floor: `add x` and `add x 1`; the
         // leaves add, x and 1 are skipped.
         assert_eq!(pt.subs.len(), 2);
         assert_eq!(pt.skipped, 3);
-        assert_eq!(db_print(&pt.subs[0].canon, pt.subs[0].canon_root), "add x");
-        assert_eq!(
-            db_print(&pt.subs[1].canon, pt.subs[1].canon_root),
-            "add x 1"
-        );
-        assert_eq!(db_print(&pt.root.canon, pt.root.canon_root), r"\. add %0 1");
+        assert_eq!(print_entry(&table, &pt.subs[0]), "add x");
+        assert_eq!(print_entry(&table, &pt.subs[1]), "add x 1");
+        assert_eq!(print_entry(&table, &pt.root), r"\. add %0 1");
         assert_eq!(pt.root.node_count, 6);
     }
 
     #[test]
     fn min_nodes_floor_skips_small_subterms_but_never_the_root() {
         let scheme: HashScheme<u64> = HashScheme::new(2);
+        let table = CanonTable::new();
         let mut arena = ExprArena::new();
         let parsed = parse(&mut arena, "v").unwrap();
         let mut preparer = Preparer::new(&arena, &scheme);
-        let pt = preparer.prepare_term(&arena, parsed, 50);
+        let pt = preparer.prepare_term(&arena, parsed, 50, &table);
         assert!(pt.subs.is_empty());
         assert_eq!(pt.skipped, 0);
         assert_eq!(pt.root.node_count, 1);

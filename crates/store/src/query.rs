@@ -66,6 +66,38 @@ impl<H: HashWord> AlphaStore<H> {
         self.probe(arena, root, false)
     }
 
+    /// [`AlphaStore::contains`] over many patterns at once, sharing one
+    /// `Preparer` across all of them — the name-hash cache and traversal
+    /// buffers are built once, not per pattern — and grouping probes so
+    /// each shard's read lock is taken at most once. Answers come back in
+    /// input order; none of the patterns is ingested.
+    ///
+    /// This is the right call shape for query-heavy services ("which of
+    /// these N candidate rewrites already exist in the corpus?"): on the
+    /// tracked benchmark corpus it probes several times faster than a loop
+    /// of single [`AlphaStore::contains`] calls.
+    ///
+    /// ```
+    /// use alpha_store::AlphaStore;
+    /// use lambda_lang::{parse, ExprArena};
+    ///
+    /// let store: AlphaStore<u64> = AlphaStore::builder().subexpressions(1).build();
+    /// let mut arena = ExprArena::new();
+    /// let t = parse(&mut arena, "(v + 7) * (v + 7)").unwrap();
+    /// store.insert(&arena, t);
+    ///
+    /// let patterns = [
+    ///     parse(&mut arena, "v + 7").unwrap(),
+    ///     parse(&mut arena, "v + 8").unwrap(),
+    /// ];
+    /// let found = store.contains_batch(&arena, &patterns);
+    /// assert!(found[0].is_some());
+    /// assert!(found[1].is_none());
+    /// ```
+    pub fn contains_batch(&self, arena: &ExprArena, patterns: &[NodeId]) -> Vec<Option<ClassId>> {
+        self.probe_batch(arena, patterns, false)
+    }
+
     /// The classes of every indexed subexpression of a previously ingested
     /// term — the term's own class always included — deduplicated and in
     /// ascending [`ClassId`] order. The result is a snapshot: the shard
@@ -152,6 +184,13 @@ mod tests {
         assert!(store.contains(&arena, miss).is_none());
         let wrong_free = parse(&mut arena, "w * 3").unwrap();
         assert!(store.contains(&arena, wrong_free).is_none());
+
+        // The batched probe agrees pattern for pattern.
+        let patterns = [lam, arg, leaf, miss, wrong_free, t];
+        let batch = store.contains_batch(&arena, &patterns);
+        for (i, &p) in patterns.iter().enumerate() {
+            assert_eq!(batch[i], store.contains(&arena, p), "pattern {i}");
+        }
 
         // The whole term is contained in itself, and is also a root.
         assert_eq!(store.contains(&arena, t), Some(outcome.class));

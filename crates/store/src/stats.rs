@@ -62,13 +62,16 @@ pub struct StoreStats {
     /// apart from `merges_confirmed` so root-level dedup ratios stay
     /// comparable across granularities.
     ///
-    /// Caveat for subexpression-granularity stores: the *split* between
-    /// this counter and `merges_confirmed` depends on batch chunk
-    /// boundaries (each chunk drains its subexpression entries before its
-    /// roots, so which insert "creates" a class shared between a root and
-    /// a subterm is decided by the chunking). The **sum** of the two is
-    /// determined by the final state (`total entries - classes_created`),
-    /// so it is what survives WAL replay exactly; the split may shift.
+    /// The *split* between this counter and `merges_confirmed` depends on
+    /// batch group-commit boundaries (each chunk drains its subexpression
+    /// entries before its roots, so which insert "creates" a class shared
+    /// between a root and a subterm is decided by the chunking). Since
+    /// WAL records carry group boundary markers (format v2), replay
+    /// reapplies exactly the original groups and the split survives
+    /// restarts **exactly**, provided the store reopens with the
+    /// `chunk_entries` that wrote it; the **sum** of the two counters is
+    /// determined by the final state (`total entries - classes_created`)
+    /// and reconciles unconditionally.
     pub subterm_merges_confirmed: u64,
     /// Subexpressions skipped by the granularity's `min_nodes` floor.
     pub subterms_skipped_min_nodes: u64,
@@ -103,6 +106,67 @@ impl fmt::Display for StoreStats {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Resident footprint of the store's hash-consed canon DAG, from
+/// [`AlphaStore::canon_dag_stats`](crate::AlphaStore::canon_dag_stats).
+///
+/// `logical_nodes` is what the pre-DAG design held resident: one
+/// standalone canonical tree per class, Σ node counts over all classes.
+/// `resident_nodes` is what the shared table actually holds: each
+/// distinct canonical node once, however many classes (and subterm-index
+/// entries) reach it. The quotient is the structure-sharing win:
+///
+/// ```
+/// use alpha_store::AlphaStore;
+/// use lambda_lang::{parse, ExprArena};
+///
+/// let store: AlphaStore<u64> = AlphaStore::builder().subexpressions(1).build();
+/// let mut arena = ExprArena::new();
+/// let t = parse(&mut arena, "(v + 7) * (v + 7)").unwrap();
+/// store.insert(&arena, t);
+/// let dag = store.canon_dag_stats();
+/// assert!(dag.sharing_ratio() > 1.0); // subterm classes share the DAG
+/// assert!(dag.resident_bytes > 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CanonDagStats {
+    /// Distinct canonical nodes resident in the shared table.
+    pub resident_nodes: u64,
+    /// Bytes those nodes (plus the interned free-variable names) occupy.
+    pub resident_bytes: u64,
+    /// Distinct free-variable names interned.
+    pub resident_names: u64,
+    /// Σ canonical **tree** node counts over all classes — the resident
+    /// cost of the standalone one-arena-per-class design this store
+    /// replaced.
+    pub logical_nodes: u64,
+}
+
+impl CanonDagStats {
+    /// How many times over the logical canonical structure is shared:
+    /// `logical_nodes / resident_nodes` (1.0 for an empty store).
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.resident_nodes == 0 {
+            1.0
+        } else {
+            self.logical_nodes as f64 / self.resident_nodes as f64
+        }
+    }
+}
+
+impl fmt::Display for CanonDagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} resident canon nodes ({} bytes, {} names) for {} logical nodes ({:.2}x sharing)",
+            self.resident_nodes,
+            self.resident_bytes,
+            self.resident_names,
+            self.logical_nodes,
+            self.sharing_ratio(),
+        )
     }
 }
 

@@ -1,5 +1,5 @@
 //! The [`AlphaStore`]: sharded, concurrent, content-addressed storage of
-//! alpha-equivalence classes.
+//! alpha-equivalence classes over a hash-consed canon DAG.
 //!
 //! ## Concurrency model
 //!
@@ -7,30 +7,43 @@
 //! shards (N a power of two, fixed at construction), and each shard is an
 //! independent `RwLock`-protected map from hash to classes. Ingesting
 //! threads therefore contend only when their terms land on the same
-//! stripe. All expensive work — hashing the term, converting it to
-//! canonical de Bruijn form — happens *outside* the lock; the critical
-//! section is a bucket probe plus (on a candidate match) a linear
-//! canonical-form comparison.
+//! stripe. All expensive work — hashing the term, canonicalizing it —
+//! happens *outside* the lock; the critical section is a bucket probe plus
+//! a merge confirmation that is **O(1)** for entries already interned into
+//! the shared canon DAG (a ref compare) and a linear
+//! canonical-form walk only at the intern frontier.
+//!
+//! Canonical forms themselves live in one store-wide `CanonTable`
+//! (`crate::dag`):
+//! classes hold a [`CanonRef`] root instead of owning an arena, so
+//! identical structure — across classes, across subterm entries, across
+//! whole alpha-duplicated corpora — is resident exactly once. See
+//! [`AlphaStore::canon_dag_stats`] for the sharing it buys.
 //!
 //! ## Exactness
 //!
 //! Content-addressed stores are usually probabilistic: equal address ⇒
 //! assumed equal content. This store is exact. A hash match only nominates
-//! a candidate class; the merge happens after [`db_eq`] confirms true
-//! alpha-equivalence of canonical forms. Colliding-but-inequivalent terms
-//! coexist in the same bucket as distinct classes, and the collision is
-//! counted in [`StoreStats::hash_collisions`].
+//! a candidate class; the merge happens after canonical-form identity is
+//! confirmed — by hash-consed ref equality (interned side) or a structural
+//! walk (`dag::eq_frontier`) at the frontier, both exact.
+//! Colliding-but-inequivalent terms coexist in the same bucket as distinct
+//! classes, and the collision is counted in
+//! [`StoreStats::hash_collisions`].
 
 use crate::canon::rebuild_named;
+use crate::dag::{eq_frontier, extract_canon, extract_one, CanonTable, TableView};
 use crate::granularity::{Granularity, StoreBuilder};
+use crate::persist::format::RawRecord;
 use crate::persist::snapshot::SnapshotHeader;
 use crate::persist::wal::WalHeader;
 use crate::persist::{Durable, PersistError, SNAPSHOT_FILE};
-use crate::prepare::{PreparedTerm, Preparer, SubEntry};
-use crate::stats::{StatCounters, StoreStats};
+use crate::prepare::{PreparedCanon, PreparedTerm, Preparer, SubEntry};
+use crate::stats::{CanonDagStats, StatCounters, StoreStats};
 use alpha_hash::combine::{mix64, HashScheme, HashWord};
 use lambda_lang::arena::{ExprArena, NodeId};
-use lambda_lang::debruijn::{db_eq, db_print, DbArena, DbId};
+use lambda_lang::canon::{CanonNode, CanonRef};
+use lambda_lang::debruijn::db_print;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -96,14 +109,15 @@ impl fmt::Debug for TermId {
 /// [`Granularity::Roots`] mode, where no subexpressions are indexed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SubexprSummary {
-    /// Proper subexpressions indexed by this insert (the root itself is
-    /// accounted by the term's own class, not here).
+    /// Proper subexpression occurrences indexed by this insert (the root
+    /// itself is accounted by the term's own class, not here).
     pub indexed: u64,
-    /// Of those, how many merged into an existing class (merge confirmed
-    /// by canonical-form comparison, as always).
+    /// Of those, how many merged into an already-existing class (merge
+    /// confirmed by canonical-form identity, as always). Duplicate
+    /// occurrences beyond the first within one term count here too.
     pub merged: u64,
-    /// Proper subexpressions skipped by the granularity's `min_nodes`
-    /// floor.
+    /// Proper subexpression occurrences skipped by the granularity's
+    /// `min_nodes` floor.
     pub skipped_min_nodes: u64,
 }
 
@@ -120,13 +134,16 @@ pub struct InsertOutcome {
     pub subs: SubexprSummary,
 }
 
-/// One stored equivalence class: the canonical de Bruijn form of its
-/// members plus bookkeeping.
+/// One stored equivalence class: the root of its canonical form in the
+/// shared canon DAG, plus bookkeeping.
 pub(crate) struct StoredClass<H> {
     pub(crate) hash: H,
-    pub(crate) canon: DbArena,
-    pub(crate) canon_root: DbId,
-    pub(crate) node_count: usize,
+    /// Root of the class's canonical de Bruijn form in the canon DAG.
+    pub(crate) canon: CanonRef,
+    /// Tree node count of the canonical form (the size every member
+    /// shares, alpha-equivalent terms being equisized). The *resident*
+    /// footprint is smaller: DAG nodes are shared across classes.
+    pub(crate) node_count: u64,
     /// Whole-term inserts into this class. Zero for classes that only ever
     /// appeared as subexpressions of ingested terms.
     pub(crate) members: u64,
@@ -187,20 +204,33 @@ impl<H: HashWord> Shard<H> {
     /// class that turned out not to be alpha-equivalent — on the merge
     /// path as well as on class creation — matching the definition of
     /// [`StoreStats::hash_collisions`].
+    ///
+    /// Confirmation is an O(1) ref compare when the entry is interned; a
+    /// structural DAG walk (through `view`) at the frontier. A frontier
+    /// entry that creates a class is interned here — `view` is released
+    /// first, since interning write-locks table stripes the view may hold
+    /// read guards on.
     fn insert_entry(
         &mut self,
-        hash: H,
-        canon: DbArena,
-        canon_root: DbId,
+        table: &CanonTable,
+        view: &mut TableView<'_>,
+        entry: SubEntry<H>,
         is_root: bool,
     ) -> (u32, bool, bool) {
-        let bucket = self.buckets.entry(hash).or_default();
+        let bucket = self.buckets.entry(entry.hash).or_default();
         let mut mismatched = false;
         for &ci in bucket.iter() {
             let class = &self.classes[ci as usize];
-            if db_eq(&class.canon, class.canon_root, &canon, canon_root) {
+            let equal = class.node_count == entry.node_count
+                && match &entry.canon {
+                    PreparedCanon::Interned(r) => *r == class.canon,
+                    PreparedCanon::Frontier { canon, canon_root } => {
+                        eq_frontier(view, class.canon, canon, *canon_root)
+                    }
+                };
+            if equal {
                 let class = &mut self.classes[ci as usize];
-                class.occurrences += 1;
+                class.occurrences += u64::from(entry.multiplicity);
                 if is_root {
                     class.members += 1;
                 }
@@ -209,44 +239,50 @@ impl<H: HashWord> Shard<H> {
             mismatched = true;
         }
         let collided = !bucket.is_empty();
+        let canon = match entry.canon {
+            PreparedCanon::Interned(r) => r,
+            PreparedCanon::Frontier { canon, canon_root } => {
+                view.release();
+                table.intern_arena(&canon, canon_root)
+            }
+        };
         let ci = u32::try_from(self.classes.len()).expect("shard class overflow");
-        bucket.push(ci);
+        self.buckets
+            .get_mut(&entry.hash)
+            .expect("bucket just touched")
+            .push(ci);
         self.classes.push(StoredClass {
-            hash,
-            node_count: canon.len(),
+            hash: entry.hash,
             canon,
-            canon_root,
+            node_count: entry.node_count,
             members: u64::from(is_root),
-            occurrences: 1,
+            occurrences: u64::from(entry.multiplicity),
         });
         (ci, true, collided)
     }
 
-    pub(crate) fn find(&self, p: &Prepared<H>) -> Option<u32> {
-        self.buckets.get(&p.hash)?.iter().copied().find(|&ci| {
-            let class = &self.classes[ci as usize];
-            db_eq(&class.canon, class.canon_root, &p.canon, p.canon_root)
-        })
+    /// Read-only probe: the class whose canonical form equals the prepared
+    /// frontier term, if any.
+    pub(crate) fn find(&self, view: &mut TableView<'_>, p: &Prepared<H>) -> Option<u32> {
+        let PreparedCanon::Frontier { canon, canon_root } = &p.entry.canon else {
+            unreachable!("probes prepare frontier forms");
+        };
+        self.buckets
+            .get(&p.entry.hash)?
+            .iter()
+            .copied()
+            .find(|&ci| {
+                let class = &self.classes[ci as usize];
+                class.node_count == p.entry.node_count
+                    && eq_frontier(view, class.canon, canon, *canon_root)
+            })
     }
 }
 
-/// The per-term work done outside any lock: hash plus canonical form.
+/// The per-term work done outside any lock: hash, canonical form, shard.
 pub(crate) struct Prepared<H> {
-    pub(crate) hash: H,
+    pub(crate) entry: SubEntry<H>,
     pub(crate) shard: usize,
-    pub(crate) canon: DbArena,
-    pub(crate) canon_root: DbId,
-}
-
-impl<H: HashWord> Prepared<H> {
-    fn from_entry(entry: SubEntry<H>, shard: usize) -> Self {
-        Prepared {
-            hash: entry.hash,
-            shard,
-            canon: entry.canon,
-            canon_root: entry.canon_root,
-        }
-    }
 }
 
 /// A sharded, concurrent, content-addressed store of alpha-equivalence
@@ -281,6 +317,11 @@ pub struct AlphaStore<H: HashWord = u64> {
     mask: usize,
     counters: StatCounters,
     granularity: Granularity,
+    /// The shared, hash-consed storage of every canonical form the store
+    /// holds. Lock order: store locks (maintenance → WAL → shards) are
+    /// always taken before table locks, and a thread never holds a table
+    /// read guard while acquiring a store lock.
+    pub(crate) table: CanonTable,
     /// Batch ingest drains in chunks of at most this many prepared
     /// entries, bounding both the prepared-state high-water mark and the
     /// WAL group-commit buffer. See [`StoreBuilder::chunk_entries`].
@@ -291,7 +332,8 @@ pub struct AlphaStore<H: HashWord = u64> {
     /// [`AlphaStore::compact`] hold it exclusive, so a snapshot's
     /// `(WAL record count, shard state)` cut is consistent — no insert is
     /// ever logged-but-unapplied or applied-but-unlogged at the moment the
-    /// cut is taken. Lock order: `maintenance` → WAL mutex → shard locks.
+    /// cut is taken. Lock order: `maintenance` → WAL mutex → shard locks
+    /// → canon-table locks.
     maintenance: RwLock<()>,
 }
 
@@ -356,6 +398,7 @@ impl<H: HashWord> AlphaStore<H> {
             mask: count - 1,
             counters: StatCounters::default(),
             granularity,
+            table: CanonTable::new(),
             chunk_entries: chunk_entries.max(1),
             durable: None,
             maintenance: RwLock::new(()),
@@ -363,12 +406,15 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     /// Rebuilds a store from loaded snapshot state (the recovery path).
+    /// `table` is the canon table the snapshot's classes were interned
+    /// into during decode.
     pub(crate) fn from_loaded(
         scheme: HashScheme<H>,
         shards: Vec<Shard<H>>,
         granularity: Granularity,
         stats: &StoreStats,
         chunk_entries: usize,
+        table: CanonTable,
     ) -> Result<Self, PersistError> {
         let count = shards.len();
         if !(1..=1 << 16).contains(&count) || !count.is_power_of_two() {
@@ -384,6 +430,7 @@ impl<H: HashWord> AlphaStore<H> {
             mask: count - 1,
             counters,
             granularity,
+            table,
             chunk_entries: chunk_entries.max(1),
             durable: None,
             maintenance: RwLock::new(()),
@@ -418,8 +465,9 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Hashing and canonicalization, done outside any lock: one fused
     /// post-order pass per term, with all scratch state (name-hash cache,
-    /// traversal stacks, map pool) living in `preparer` so batches reuse
-    /// it across terms.
+    /// traversal stacks) living in `preparer` so batches reuse it across
+    /// terms. Produces a frontier form: nothing is interned unless the
+    /// insert creates a class.
     pub(crate) fn prepare(
         &self,
         preparer: &mut Preparer<'_, H>,
@@ -428,19 +476,22 @@ impl<H: HashWord> AlphaStore<H> {
     ) -> Prepared<H> {
         let (hash, canon, canon_root) = preparer.hash_and_canon(arena, root);
         Prepared {
-            hash,
             shard: self.shard_of(hash),
-            canon,
-            canon_root,
+            entry: SubEntry {
+                hash,
+                node_count: canon.len() as u64,
+                multiplicity: 1,
+                canon: PreparedCanon::Frontier { canon, canon_root },
+            },
         }
     }
 
     /// Ingests one term: routes it by content address, confirms any
-    /// candidate merge by canonical-form comparison, and either joins an
+    /// candidate merge by canonical-form identity, and either joins an
     /// existing class or creates a new one. Under
     /// [`Granularity::Subexpressions`], additionally indexes every
     /// subexpression clearing the `min_nodes` floor, all hashed in the
-    /// same fused pass.
+    /// same fused pass and interned into the shared canon DAG.
     ///
     /// ```
     /// use alpha_store::AlphaStore;
@@ -464,7 +515,7 @@ impl<H: HashWord> AlphaStore<H> {
             }
             Granularity::Subexpressions { min_nodes } => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
-                let pt = preparer.prepare_term(arena, root, min_nodes);
+                let pt = preparer.prepare_term(arena, root, min_nodes, &self.table);
                 self.ingest_prepared_terms(vec![pt])
                     .pop()
                     .expect("one term ingested")
@@ -521,7 +572,14 @@ impl<H: HashWord> AlphaStore<H> {
         if prepared.len() == 1 {
             let p = prepared.pop().expect("one prepared term");
             let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
-            return vec![self.finish_insert(&mut shard, p, SubexprSummary::default(), Vec::new())];
+            let mut view = TableView::new(&self.table);
+            return vec![self.finish_insert(
+                &mut shard,
+                &mut view,
+                p,
+                SubexprSummary::default(),
+                Vec::new(),
+            )];
         }
         self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
     }
@@ -545,9 +603,12 @@ impl<H: HashWord> AlphaStore<H> {
             let mut shard = self.shards[shard_index]
                 .write()
                 .expect("shard lock poisoned");
+            // One view per critical section: table guards are only ever
+            // taken *after* the shard lock (the documented lock order).
+            let mut view = TableView::new(&self.table);
             for (i, p) in items {
                 let (summary, sub_bits) = extras(i);
-                outcomes[i] = Some(self.finish_insert(&mut shard, p, summary, sub_bits));
+                outcomes[i] = Some(self.finish_insert(&mut shard, &mut view, p, summary, sub_bits));
             }
         }
         outcomes
@@ -557,13 +618,13 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     /// Subexpression-granularity batch ingest: every term is prepared by
-    /// the fused batched pass (all subexpression hashes from one walk),
-    /// then handed to [`AlphaStore::ingest_prepared_terms`] — in chunks of
-    /// at most `chunk_entries` prepared entries (a term's root plus its
+    /// the fused batched pass (all subexpression hashes from one walk,
+    /// canonical forms interned into the canon DAG with intra-term
+    /// duplicates collapsed), then handed to
+    /// [`AlphaStore::ingest_prepared_terms`] — in chunks of at most
+    /// `chunk_entries` prepared entries (a term's root plus its distinct
     /// indexed subexpressions), so peak memory is Θ(chunk budget) instead
-    /// of Σ subterm sizes over the whole batch. A handful of extra lock
-    /// rounds per chunk buys a bounded high-water mark for both the
-    /// prepared canonical forms and the WAL group-commit buffer.
+    /// of Σ subterm sizes over the whole batch.
     fn insert_batch_subs(
         &self,
         arena: &ExprArena,
@@ -575,7 +636,7 @@ impl<H: HashWord> AlphaStore<H> {
         let mut pending: Vec<PreparedTerm<H>> = Vec::new();
         let mut pending_entries = 0usize;
         for &root in roots {
-            let pt = preparer.prepare_term(arena, root, min_nodes);
+            let pt = preparer.prepare_term(arena, root, min_nodes, &self.table);
             pending_entries += 1 + pt.subs.len();
             pending.push(pt);
             if pending_entries >= self.chunk_entries {
@@ -593,7 +654,8 @@ impl<H: HashWord> AlphaStore<H> {
     /// one-element batch), each `insert_batch` chunk and WAL replay: the
     /// chunk is group-committed to the WAL (durable stores), then its
     /// subexpression entries are drained shard by shard, then the roots —
-    /// each shard locked at most twice.
+    /// each shard locked at most twice. Entries arrive pre-interned, so
+    /// every confirmation inside the locks is an O(1) ref compare.
     pub(crate) fn ingest_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
         let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
         self.wal_log_terms(&terms);
@@ -622,33 +684,43 @@ impl<H: HashWord> AlphaStore<H> {
                 by_shard.entry(shard).or_default().push((ti, entry));
             }
             let root_shard = self.shard_of(pt.root.hash);
-            roots_prepared.push(Prepared::from_entry(pt.root, root_shard));
+            roots_prepared.push(Prepared {
+                entry: pt.root,
+                shard: root_shard,
+            });
         }
         StatCounters::add(&self.counters.subterms_skipped_min_nodes, total_skipped);
 
         // Sweep 1: the batch's subexpression entries, one lock per shard.
         // Counter deltas accumulate locally and publish once at the end,
-        // so no atomic traffic happens inside the critical sections.
+        // so no atomic traffic happens inside the critical sections. A
+        // fresh entry with multiplicity m counts as 1 creation + (m-1)
+        // merges: the collapsed duplicates merged into the class the first
+        // occurrence created.
         let (mut n_indexed, mut n_created, mut n_merged, mut n_collided) = (0u64, 0u64, 0u64, 0u64);
         for (shard_index, entries) in by_shard {
             let mut shard = self.shards[shard_index]
                 .write()
                 .expect("shard lock poisoned");
+            let mut view = TableView::new(&self.table);
             let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
             for (ti, entry) in entries {
+                let m = u64::from(entry.multiplicity);
                 let (class_index, fresh, collided) =
-                    shard.insert_entry(entry.hash, entry.canon, entry.canon_root, false);
-                n_indexed += 1;
+                    shard.insert_entry(&self.table, &mut view, entry, false);
+                n_indexed += m;
+                summaries[ti].indexed += m;
                 if fresh {
                     n_created += 1;
+                    n_merged += m - 1;
+                    summaries[ti].merged += m - 1;
                 } else {
-                    n_merged += 1;
-                    summaries[ti].merged += 1;
+                    n_merged += m;
+                    summaries[ti].merged += m;
                 }
                 if collided {
                     n_collided += 1;
                 }
-                summaries[ti].indexed += 1;
                 sub_bits[ti].push(
                     ClassId {
                         shard: shard_u16,
@@ -684,6 +756,7 @@ impl<H: HashWord> AlphaStore<H> {
     fn finish_insert(
         &self,
         shard: &mut Shard<H>,
+        view: &mut TableView<'_>,
         prepared: Prepared<H>,
         subs: SubexprSummary,
         mut sub_bits: Vec<u64>,
@@ -691,7 +764,7 @@ impl<H: HashWord> AlphaStore<H> {
         StatCounters::bump(&self.counters.terms_ingested);
         let shard_u16 = u16::try_from(prepared.shard).expect("shard count fits u16");
         let (class_index, fresh, collided) =
-            shard.insert_entry(prepared.hash, prepared.canon, prepared.canon_root, true);
+            shard.insert_entry(&self.table, view, prepared.entry, true);
         if fresh {
             StatCounters::bump(&self.counters.classes_created);
         } else {
@@ -728,7 +801,8 @@ impl<H: HashWord> AlphaStore<H> {
     /// [`AlphaStore::contains`]: hash + canonicalize outside the lock,
     /// then find the confirming class under the shard's read lock.
     /// `roots_only` narrows the answer to classes with at least one
-    /// whole-term member.
+    /// whole-term member. Probes never intern: the canon DAG only grows
+    /// through ingest.
     pub(crate) fn probe(
         &self,
         arena: &ExprArena,
@@ -737,16 +811,60 @@ impl<H: HashWord> AlphaStore<H> {
     ) -> Option<ClassId> {
         let mut preparer = Preparer::new(arena, &self.scheme);
         let prepared = self.prepare(&mut preparer, arena, root);
+        self.probe_prepared(&prepared, roots_only)
+    }
+
+    fn probe_prepared(&self, prepared: &Prepared<H>, roots_only: bool) -> Option<ClassId> {
         let shard = self.shards[prepared.shard]
             .read()
             .expect("shard lock poisoned");
+        let mut view = TableView::new(&self.table);
         shard
-            .find(&prepared)
+            .find(&mut view, prepared)
             .filter(|&index| !roots_only || shard.classes[index as usize].members > 0)
             .map(|index| ClassId {
                 shard: u16::try_from(prepared.shard).expect("shard count fits u16"),
                 index,
             })
+    }
+
+    /// Batched probes sharing one [`Preparer`] (and therefore one
+    /// name-hash cache and one set of traversal buffers) across all
+    /// patterns, grouped so each shard's read lock is taken at most once.
+    /// Backs [`AlphaStore::contains_batch`]; results are in input order.
+    pub(crate) fn probe_batch(
+        &self,
+        arena: &ExprArena,
+        patterns: &[NodeId],
+        roots_only: bool,
+    ) -> Vec<Option<ClassId>> {
+        let mut preparer = Preparer::new(arena, &self.scheme);
+        let mut by_shard: HashMap<usize, Vec<(usize, Prepared<H>)>> = HashMap::new();
+        for (i, &p) in patterns.iter().enumerate() {
+            let prepared = self.prepare(&mut preparer, arena, p);
+            by_shard
+                .entry(prepared.shard)
+                .or_default()
+                .push((i, prepared));
+        }
+        let mut results: Vec<Option<ClassId>> = vec![None; patterns.len()];
+        for (shard_index, items) in by_shard {
+            let shard = self.shards[shard_index]
+                .read()
+                .expect("shard lock poisoned");
+            let mut view = TableView::new(&self.table);
+            let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
+            for (i, prepared) in items {
+                results[i] = shard
+                    .find(&mut view, &prepared)
+                    .filter(|&index| !roots_only || shard.classes[index as usize].members > 0)
+                    .map(|index| ClassId {
+                        shard: shard_u16,
+                        index,
+                    });
+            }
+        }
+        results
     }
 
     /// Finds the class of a term ingested **as a whole term**, without
@@ -826,14 +944,16 @@ impl<H: HashWord> AlphaStore<H> {
         self.with_class(class, |c| c.members)
     }
 
-    /// Node count of the class's canonical form (the size every member
-    /// shares, alpha-equivalent terms being equisized).
+    /// Tree node count of the class's canonical form (the size every
+    /// member shares, alpha-equivalent terms being equisized). The
+    /// *resident* cost is lower: canonical structure is stored once in the
+    /// shared canon DAG, see [`AlphaStore::canon_dag_stats`].
     ///
     /// # Panics
     ///
     /// Panics if `class` was not issued by this store.
     pub fn node_count(&self, class: ClassId) -> usize {
-        self.with_class(class, |c| c.node_count)
+        usize::try_from(self.with_class(class, |c| c.node_count)).expect("node count fits usize")
     }
 
     /// The content address (alpha-hash) of `class`.
@@ -846,13 +966,16 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     /// The class's canonical form in the paper's de Bruijn notation
-    /// (`\. %0`, free variables by name).
+    /// (`\. %0`, free variables by name), extracted from the canon DAG.
     ///
     /// # Panics
     ///
     /// Panics if `class` was not issued by this store.
     pub fn canonical_text(&self, class: ClassId) -> String {
-        self.with_class(class, |c| db_print(&c.canon, c.canon_root))
+        let cref = self.with_class(class, |c| c.canon);
+        let mut view = TableView::new(&self.table);
+        let (arena, root) = extract_one(&mut view, cref);
+        db_print(&arena, root)
     }
 
     /// Rebuilds a named representative of `class` into `dst` (fresh binder
@@ -862,7 +985,11 @@ impl<H: HashWord> AlphaStore<H> {
     ///
     /// Panics if `class` was not issued by this store.
     pub fn representative_into(&self, class: ClassId, dst: &mut ExprArena) -> NodeId {
-        self.with_class(class, |c| rebuild_named(&c.canon, c.canon_root, dst))
+        let cref = self.with_class(class, |c| c.canon);
+        let mut view = TableView::new(&self.table);
+        let (arena, root) = extract_one(&mut view, cref);
+        drop(view);
+        rebuild_named(&arena, root, dst)
     }
 
     /// Shared-DAG size of a corpus under this store's hash scheme; see
@@ -876,16 +1003,45 @@ impl<H: HashWord> AlphaStore<H> {
         self.counters.snapshot()
     }
 
+    /// Resident footprint of the hash-consed canon DAG versus the
+    /// standalone storage it replaces: distinct nodes and bytes actually
+    /// resident, and the logical (per-class tree) node total a
+    /// one-arena-per-class design would hold. The ratio of the two is the
+    /// structure-sharing win.
+    pub fn canon_dag_stats(&self) -> CanonDagStats {
+        let resident_nodes = self.table.resident_nodes();
+        let (resident_names, name_bytes) = self.table.resident_names();
+        let logical_nodes: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .classes
+                    .iter()
+                    .map(|c| c.node_count)
+                    .sum::<u64>()
+            })
+            .sum();
+        CanonDagStats {
+            resident_nodes,
+            resident_bytes: resident_nodes * std::mem::size_of::<CanonNode>() as u64 + name_bytes,
+            resident_names,
+            logical_nodes,
+        }
+    }
+
     // ---- persistence ---------------------------------------------------
 
     /// Opens a durable store from its directory, reading the whole
     /// configuration (hash scheme, shard count, granularity) from disk:
     /// loads the latest snapshot, replays the WAL tail — **re-confirming
-    /// every replayed merge by canonical-form comparison**, so exactness
+    /// every replayed merge by canonical-form identity**, so exactness
     /// survives restarts — truncates any torn tail left by a crash, and
     /// checkpoints (fresh snapshot, reset WAL). Use
     /// [`StoreBuilder::open_durable`] instead when the caller knows the
-    /// configuration and wants it verified against what is on disk.
+    /// configuration and wants it verified against what is on disk (or
+    /// wants [`StoreBuilder::verify_on_replay`] paranoia).
     ///
     /// The hash width is the one thing the type system fixes: opening a
     /// store whose snapshot was written at a different `H` fails with
@@ -911,7 +1067,15 @@ impl<H: HashWord> AlphaStore<H> {
     /// # std::fs::remove_dir_all(&dir).unwrap();
     /// ```
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
-        crate::persist::open_store(dir.as_ref(), None, false, Self::DEFAULT_CHUNK_ENTRIES)
+        crate::persist::open_store(
+            dir.as_ref(),
+            None,
+            crate::persist::OpenConfig {
+                sync_on_commit: false,
+                chunk_entries: Self::DEFAULT_CHUNK_ENTRIES,
+                verify_on_replay: false,
+            },
+        )
     }
 
     /// Whether this store tees inserts into a write-ahead log (built via
@@ -978,8 +1142,10 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Serializes the current state to `path` (the caller has quiesced
     /// ingest or owns the store exclusively). Shard read locks are taken
-    /// in index order, after the maintenance/WAL locks per the documented
-    /// lock order.
+    /// in index order, then the canon table is read — after the
+    /// maintenance/WAL locks, per the documented lock order. The node
+    /// table is emitted **once** (the reachable sub-DAG, sharing
+    /// preserved); classes serialize as positions into it.
     pub(crate) fn write_snapshot_file(
         &self,
         path: &Path,
@@ -992,6 +1158,16 @@ impl<H: HashWord> AlphaStore<H> {
             .map(|s| s.read().expect("shard lock poisoned"))
             .collect();
         let shard_refs: Vec<&Shard<H>> = guards.iter().map(|g| &**g).collect();
+        // Extract the class-reachable sub-DAG once, sharing preserved:
+        // one arena, one id per distinct node, every class root an id.
+        let refs: Vec<CanonRef> = shard_refs
+            .iter()
+            .flat_map(|s| s.classes.iter().map(|c| c.canon))
+            .collect();
+        let mut dag = lambda_lang::debruijn::DbArena::new();
+        let mut view = TableView::new(&self.table);
+        let class_roots = extract_canon(&mut view, &refs, &mut dag);
+        drop(view);
         let header = SnapshotHeader {
             hash_bits: H::BITS,
             scheme_seed: self.scheme.seed(),
@@ -1001,32 +1177,71 @@ impl<H: HashWord> AlphaStore<H> {
             wal_records_applied,
             stats: self.counters.snapshot(),
         };
-        let bytes = crate::persist::snapshot::encode_snapshot(&header, &shard_refs);
+        let bytes =
+            crate::persist::snapshot::encode_snapshot(&header, &shard_refs, &dag, &class_roots);
         crate::persist::snapshot::write_atomically(path, &bytes)
     }
 
-    /// Replays recovered WAL records through the normal ingest path (in
-    /// bounded chunks), re-confirming every merge. Runs before the WAL is
-    /// attached, so nothing is re-logged.
-    pub(crate) fn replay(&mut self, records: Vec<PreparedTerm<H>>) {
+    /// Replays recovered WAL records through the normal ingest path,
+    /// group by group — each group is one original group commit, so the
+    /// root-vs-subterm merge-counter split is reproduced exactly (groups
+    /// are re-chunked by `chunk_entries`, which is the identity when the
+    /// store reopens with the configuration that wrote them). Every
+    /// replayed merge is re-confirmed by canonical-form identity. With
+    /// `verify`, every record is additionally **re-hashed** (its canon
+    /// rebuilt to a named term and pushed through the full hashing
+    /// pipeline) before being trusted — the paranoid mode that catches
+    /// canon payload corruption consistent enough to slip past CRC and
+    /// confirmation. Runs before the WAL is attached, so nothing is
+    /// re-logged.
+    pub(crate) fn replay(
+        &mut self,
+        groups: Vec<Vec<RawRecord<H>>>,
+        verify: bool,
+    ) -> Result<(), PersistError> {
         debug_assert!(self.durable.is_none(), "replay must not re-log records");
-        let mut pending: Vec<PreparedTerm<H>> = Vec::new();
-        let mut pending_entries = 0usize;
-        for pt in records {
-            pending_entries += 1 + pt.subs.len();
-            pending.push(pt);
-            if pending_entries >= self.chunk_entries {
-                self.ingest_prepared_terms(std::mem::take(&mut pending));
-                pending_entries = 0;
+        for group in groups {
+            let mut pending: Vec<PreparedTerm<H>> = Vec::new();
+            let mut pending_entries = 0usize;
+            for raw in group {
+                if verify {
+                    crate::persist::verify_record(&self.scheme, &raw)?;
+                }
+                let pt = self.intern_raw(raw);
+                pending_entries += 1 + pt.subs.len();
+                pending.push(pt);
+                if pending_entries >= self.chunk_entries {
+                    self.ingest_prepared_terms(std::mem::take(&mut pending));
+                    pending_entries = 0;
+                }
+            }
+            if !pending.is_empty() {
+                self.ingest_prepared_terms(pending);
             }
         }
-        if !pending.is_empty() {
-            self.ingest_prepared_terms(pending);
+        Ok(())
+    }
+
+    /// Interns one decoded WAL record's canon DAG into the store's table
+    /// and re-addresses its entries as interned prepared entries.
+    fn intern_raw(&self, raw: RawRecord<H>) -> PreparedTerm<H> {
+        let refs = self.table.intern_arena_refs(&raw.canon);
+        let entry = |e: &crate::persist::format::RawEntry<H>| SubEntry {
+            hash: e.hash,
+            node_count: e.node_count,
+            multiplicity: e.multiplicity,
+            canon: PreparedCanon::Interned(refs[e.pos.index()]),
+        };
+        PreparedTerm {
+            root: entry(&raw.root),
+            subs: raw.subs.iter().map(entry).collect(),
+            skipped: raw.skipped,
         }
     }
 
     /// Tees a chunk of root-granularity inserts into the WAL as one group
-    /// commit. No-op on in-memory stores.
+    /// commit (the chunk's records, then a boundary marker so replay can
+    /// reproduce the group exactly). No-op on in-memory stores.
     ///
     /// # Panics
     ///
@@ -1039,11 +1254,23 @@ impl<H: HashWord> AlphaStore<H> {
         };
         // ~10 bytes per canon node plus fixed costs: a close-enough guess
         // that the frame buffer almost never regrows mid-chunk.
-        let estimate: usize = prepared.iter().map(|p| 64 + p.canon.len() * 10).sum();
+        let estimate: usize = prepared
+            .iter()
+            .map(|p| 80 + p.entry.node_count as usize * 10)
+            .sum();
         let mut frames = Vec::with_capacity(estimate);
         for p in prepared {
-            crate::persist::wal::frame_record(&mut frames, p.hash, &p.canon, p.canon_root, &[], 0);
+            let PreparedCanon::Frontier { canon, canon_root } = &p.entry.canon else {
+                unreachable!("root-granularity prepares frontier forms");
+            };
+            crate::persist::wal::frame_record_frontier(
+                &mut frames,
+                p.entry.hash,
+                canon,
+                *canon_root,
+            );
         }
+        crate::persist::wal::frame_commit(&mut frames, prepared.len() as u64);
         durable
             .wal
             .lock()
@@ -1053,31 +1280,28 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     /// Tees a chunk of subexpression-granularity inserts into the WAL as
-    /// one group commit. No-op on in-memory stores; panics on write
-    /// failure like [`AlphaStore::wal_log_roots`].
+    /// one group commit. Each record's canon is encoded as one
+    /// node-deduplicated DAG (extracted from the canon table) with entries
+    /// addressing positions in it — duplicates within a term cost one
+    /// position and a multiplicity, not k copies. No-op on in-memory
+    /// stores; panics on write failure like [`AlphaStore::wal_log_roots`].
     fn wal_log_terms(&self, terms: &[PreparedTerm<H>]) {
         let Some(durable) = &self.durable else {
             return;
         };
         let estimate: usize = terms
             .iter()
-            .map(|pt| {
-                let nodes: usize =
-                    pt.root.canon.len() + pt.subs.iter().map(|s| s.canon.len()).sum::<usize>();
-                64 + 32 * pt.subs.len() + nodes * 10
-            })
+            .map(|pt| 96 + 28 * pt.subs.len() + pt.root.node_count as usize * 10)
             .sum();
         let mut frames = Vec::with_capacity(estimate);
+        // Table reads happen here, before the WAL mutex is taken (lock
+        // order), and the view is dropped before appending.
+        let mut view = TableView::new(&self.table);
         for pt in terms {
-            crate::persist::wal::frame_record(
-                &mut frames,
-                pt.root.hash,
-                &pt.root.canon,
-                pt.root.canon_root,
-                &pt.subs,
-                pt.skipped,
-            );
+            crate::persist::wal::frame_record_interned(&mut frames, &mut view, pt);
         }
+        drop(view);
+        crate::persist::wal::frame_commit(&mut frames, terms.len() as u64);
         durable
             .wal
             .lock()
@@ -1209,6 +1433,49 @@ mod tests {
             store.canonical_text(outcome.class),
             r"\. \. add %1 (mul %0 7)"
         );
+    }
+
+    #[test]
+    fn alpha_duplicates_share_resident_canon_storage() {
+        // Ten alpha-renamings of one term: one class, and the canon DAG
+        // holds the structure exactly once.
+        let store = store();
+        let mut arena = ExprArena::new();
+        for i in 0..10 {
+            let src = format!(r"\v{i}. v{i} + (w * 7)");
+            let t = parse(&mut arena, &src).unwrap();
+            store.insert(&arena, t);
+        }
+        assert_eq!(store.num_classes(), 1);
+        let dag = store.canon_dag_stats();
+        assert_eq!(dag.logical_nodes, 10); // one 10-node canonical tree
+        assert_eq!(dag.resident_nodes, 10); // …resident exactly once
+                                            // A second, overlapping term shares its common suffix.
+        let t2 = parse(&mut arena, r"\q. q * (w * 7)").unwrap();
+        store.insert(&arena, t2);
+        let dag2 = store.canon_dag_stats();
+        assert!(
+            dag2.resident_nodes < dag2.logical_nodes,
+            "cross-class sharing: {dag2:?}"
+        );
+    }
+
+    #[test]
+    fn contains_batch_matches_single_probes() {
+        let store: AlphaStore<u64> = AlphaStore::builder().seed(0xBA7C).subexpressions(1).build();
+        let mut arena = ExprArena::new();
+        let t = parse(&mut arena, r"foo (\x. x + 7) (v * 3)").unwrap();
+        store.insert(&arena, t);
+        let patterns: Vec<NodeId> = [r"\p. p + 7", "v * 3", "v * 4", "foo", r"\z. z"]
+            .iter()
+            .map(|s| parse(&mut arena, s).unwrap())
+            .collect();
+        let batch = store.contains_batch(&arena, &patterns);
+        for (i, &p) in patterns.iter().enumerate() {
+            assert_eq!(batch[i], store.contains(&arena, p), "pattern {i}");
+        }
+        assert!(batch[0].is_some() && batch[1].is_some());
+        assert!(batch[2].is_none() && batch[4].is_none());
     }
 
     #[test]

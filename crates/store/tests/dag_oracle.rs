@@ -1,0 +1,261 @@
+//! Oracle proptests for the hash-consed canon DAG backend: the DAG-backed
+//! [`AlphaStore`] must be observationally identical to a **standalone-canon
+//! reference build** — a test-local reimplementation of the pre-DAG design
+//! that keeps one private canonical `DbArena` per class and confirms every
+//! merge with `db_eq`, no sharing anywhere.
+//!
+//! Compared surfaces, at u64 and u128 hash widths × `Roots` and
+//! `Subexpressions` granularity:
+//!
+//! * the **partition** of the ingested terms into classes;
+//! * the **census**: canonical text → (members, occurrences, node count)
+//!   over every class, root and subterm classes alike;
+//! * the **stats** that are chunking-independent (terms, classes created,
+//!   indexed/skipped subterm occurrences, total confirmed merges,
+//!   exactness);
+//! * the canon-DAG accounting: `logical_nodes` equals exactly the node
+//!   total the reference build holds resident, and `resident_nodes` never
+//!   exceeds it.
+
+use alpha_hash::combine::{HashScheme, HashWord};
+use alpha_store::{AlphaStore, Granularity};
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::debruijn::{db_eq, db_print, to_debruijn, DbArena, DbId};
+use lambda_lang::uniquify::uniquify_into;
+use lambda_lang::visit::postorder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// A varied corpus with alpha-duplicates (small seed pool, every other
+/// term alpha-renamed).
+fn corpus(arena: &mut ExprArena, seed: u64, count: usize) -> Vec<NodeId> {
+    let mut roots = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64 % 5));
+        let size = 4 + (i % 4) * 8;
+        let mut scratch = ExprArena::new();
+        let root = match i % 3 {
+            0 => expr_gen::balanced(&mut scratch, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut scratch, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut scratch, size.max(8), &mut rng),
+        };
+        if i % 2 == 0 {
+            roots.push(uniquify_into(&scratch, root, arena));
+        } else {
+            roots.push(arena.import_subtree(&scratch, root));
+        }
+    }
+    roots
+}
+
+/// One reference class: a standalone canonical arena (the pre-DAG
+/// resident representation) plus the bookkeeping the store keeps.
+struct RefClass {
+    canon: DbArena,
+    root: DbId,
+    members: u64,
+    occurrences: u64,
+}
+
+/// The standalone-canon reference store: hash → candidate classes,
+/// merges confirmed by `db_eq` against each candidate's private arena.
+struct RefStore<H> {
+    buckets: HashMap<H, Vec<usize>>,
+    classes: Vec<RefClass>,
+    terms: u64,
+    subterms_indexed: u64,
+    skipped: u64,
+}
+
+impl<H: HashWord> RefStore<H> {
+    fn new() -> Self {
+        RefStore {
+            buckets: HashMap::new(),
+            classes: Vec::new(),
+            terms: 0,
+            subterms_indexed: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Inserts one (sub)term occurrence, returning its class index.
+    fn insert_entry(
+        &mut self,
+        scheme: &HashScheme<H>,
+        arena: &ExprArena,
+        node: NodeId,
+        is_root: bool,
+    ) -> usize {
+        let hash = alpha_hash::hashed::hash_expr(arena, node, scheme);
+        let (canon, root) = to_debruijn(arena, node);
+        let bucket = self.buckets.entry(hash).or_default();
+        for &ci in bucket.iter() {
+            let class = &self.classes[ci];
+            if db_eq(&class.canon, class.root, &canon, root) {
+                let class = &mut self.classes[ci];
+                class.occurrences += 1;
+                class.members += u64::from(is_root);
+                return ci;
+            }
+        }
+        let ci = self.classes.len();
+        bucket.push(ci);
+        self.classes.push(RefClass {
+            canon,
+            root,
+            members: u64::from(is_root),
+            occurrences: 1,
+        });
+        ci
+    }
+
+    /// Ingests one term under `granularity`, returning the root's class.
+    fn insert(
+        &mut self,
+        scheme: &HashScheme<H>,
+        arena: &ExprArena,
+        term: NodeId,
+        granularity: Granularity,
+    ) -> usize {
+        self.terms += 1;
+        if let Granularity::Subexpressions { min_nodes } = granularity {
+            let floor = min_nodes.max(1);
+            for node in postorder(arena, term) {
+                if node == term {
+                    continue;
+                }
+                if arena.subtree_size(node) < floor {
+                    self.skipped += 1;
+                } else {
+                    self.subterms_indexed += 1;
+                    self.insert_entry(scheme, arena, node, false);
+                }
+            }
+        }
+        self.insert_entry(scheme, arena, term, true)
+    }
+
+    /// Canonical text → (members, occurrences, node count); the class
+    /// census, keyed exactly like the store's.
+    fn census(&self) -> BTreeMap<String, (u64, u64, usize)> {
+        let mut out = BTreeMap::new();
+        for class in &self.classes {
+            let old = out.insert(
+                db_print(&class.canon, class.root),
+                (class.members, class.occurrences, class.canon.len()),
+            );
+            assert!(old.is_none(), "reference classes have unique canon");
+        }
+        out
+    }
+
+    /// What the pre-DAG design kept resident: Σ standalone arena sizes.
+    fn resident_nodes(&self) -> u64 {
+        self.classes.iter().map(|c| c.canon.len() as u64).sum()
+    }
+}
+
+fn check_against_reference<H: HashWord>(seed: u64, granularity: Granularity) {
+    let scheme: HashScheme<H> = HashScheme::new(0xDA6 ^ seed);
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, seed, 28);
+
+    let store: AlphaStore<H> = AlphaStore::builder()
+        .scheme(scheme)
+        .shards(4)
+        .granularity(granularity)
+        .build();
+    let outcomes = store.insert_batch(&arena, &roots);
+
+    let mut reference: RefStore<H> = RefStore::new();
+    let ref_classes: Vec<usize> = roots
+        .iter()
+        .map(|&r| reference.insert(&scheme, &arena, r, granularity))
+        .collect();
+
+    // Partition: term i and j share a class in the store iff they do in
+    // the reference.
+    for i in 0..roots.len() {
+        for j in 0..i {
+            assert_eq!(
+                outcomes[i].class == outcomes[j].class,
+                ref_classes[i] == ref_classes[j],
+                "partition disagreement on pair ({i},{j})"
+            );
+        }
+    }
+
+    // Census: same classes, same bookkeeping, keyed by canonical text.
+    let mut store_census = BTreeMap::new();
+    for class in store.classes() {
+        let old = store_census.insert(
+            store.canonical_text(class),
+            (
+                store.members(class),
+                store.occurrences(class),
+                store.node_count(class),
+            ),
+        );
+        assert!(old.is_none(), "store classes have unique canon");
+    }
+    assert_eq!(store_census, reference.census());
+
+    // Chunking-independent stats.
+    let stats = store.stats();
+    assert!(stats.is_exact());
+    assert_eq!(stats.terms_ingested, reference.terms);
+    assert_eq!(stats.classes_created, reference.classes.len() as u64);
+    assert_eq!(stats.subterms_indexed, reference.subterms_indexed);
+    assert_eq!(stats.subterms_skipped_min_nodes, reference.skipped);
+    assert_eq!(
+        stats.merges_confirmed + stats.subterm_merges_confirmed,
+        (reference.terms + reference.subterms_indexed) - reference.classes.len() as u64,
+        "total confirmed merges are fixed by the final state"
+    );
+
+    // DAG accounting: the reference's resident total IS the store's
+    // logical total, and hash-consing can only shrink residency.
+    let dag = store.canon_dag_stats();
+    assert_eq!(dag.logical_nodes, reference.resident_nodes());
+    assert!(dag.resident_nodes <= dag.logical_nodes);
+    assert!(dag.sharing_ratio() >= 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dag_store_matches_standalone_reference_at_roots(seed in any::<u64>()) {
+        check_against_reference::<u64>(seed, Granularity::Roots);
+        check_against_reference::<u128>(seed, Granularity::Roots);
+    }
+
+    #[test]
+    fn dag_store_matches_standalone_reference_at_subexpressions(
+        seed in any::<u64>(),
+        floor_wide in any::<bool>(),
+    ) {
+        let g = Granularity::Subexpressions { min_nodes: if floor_wide { 3 } else { 1 } };
+        check_against_reference::<u64>(seed, g);
+        check_against_reference::<u128>(seed, g);
+    }
+}
+
+#[test]
+fn subexpression_corpus_shares_canon_storage_heavily() {
+    // The acceptance-criterion shape in miniature: a duplicate-heavy
+    // corpus at Subexpressions granularity must hold several times fewer
+    // resident canon nodes than the standalone design would.
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xC0DE, 120);
+    let store: AlphaStore<u64> = AlphaStore::builder().seed(0x5EED).subexpressions(3).build();
+    store.insert_batch(&arena, &roots);
+    let dag = store.canon_dag_stats();
+    assert!(
+        dag.sharing_ratio() >= 3.0,
+        "expected ≥3x sharing on a duplicate-heavy subexpression corpus: {dag}"
+    );
+}

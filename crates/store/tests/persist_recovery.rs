@@ -198,9 +198,19 @@ fn check_recovery<H: HashWord>(
         "unexpected WAL length {wal_after} after recovery of {survived} terms"
     );
 
-    // Oracle: a fresh in-memory build over exactly the surviving prefix.
+    // Oracle: a fresh in-memory build over exactly the surviving prefix,
+    // issued with the SAME batch-call pattern as the original store (two
+    // insert_batch calls split at the halfway mark). WAL group-commit
+    // boundary markers make replay reproduce the original ingest groups,
+    // so the oracle must reproduce them too — and then even the
+    // chunk-boundary-dependent split between `merges_confirmed` and
+    // `subterm_merges_confirmed` reconciles EXACTLY, not just as a sum.
     let oracle = builder().build();
-    oracle.insert_batch(&arena, &roots[..survived]);
+    let half = roots.len() / 2;
+    oracle.insert_batch(&arena, &roots[..survived.min(half)]);
+    if survived > half {
+        oracle.insert_batch(&arena, &roots[half..survived]);
+    }
 
     assert_eq!(recovered.num_classes(), oracle.num_classes());
     assert_eq!(class_census(&recovered), class_census(&oracle));
@@ -210,35 +220,10 @@ fn check_recovery<H: HashWord>(
     );
     let stats = recovered.stats();
     let truth = oracle.stats();
-    // The split between root merges and subterm merges depends on batch
-    // chunk boundaries (a root merging into a class a same-chunk subterm
-    // just created counts as a root merge; across chunks too, but the
-    // boundary decides which insert got there first). Replay cannot know
-    // the original group boundaries, so assert the boundary-independent
-    // stats exactly and the merge *sum* — which final-state accounting
-    // fixes — instead of the split. See `alpha_store::stats` docs.
     assert_eq!(
-        StoreStats {
-            merges_confirmed: 0,
-            subterm_merges_confirmed: 0,
-            ..stats
-        },
-        StoreStats {
-            merges_confirmed: 0,
-            subterm_merges_confirmed: 0,
-            ..truth
-        },
-        "boundary-independent stats must reconcile after replay"
+        stats, truth,
+        "group-marked replay must reconcile the full stats, split included"
     );
-    assert_eq!(
-        stats.merges_confirmed + stats.subterm_merges_confirmed,
-        truth.merges_confirmed + truth.subterm_merges_confirmed,
-        "total confirmed merges must reconcile after replay"
-    );
-    if granularity == Granularity::Roots {
-        // No subterms, so the split cannot shift: full equality.
-        assert_eq!(stats, truth, "roots-mode stats must reconcile exactly");
-    }
     assert!(stats.is_exact(), "0 unconfirmed merges after recovery");
     assert_eq!(stats.terms_ingested as usize, survived);
 
@@ -518,6 +503,371 @@ fn undecodable_wal_header_with_intact_snapshot_recovers_to_the_snapshot() {
         matches!(err, alpha_store::PersistError::Corrupt { .. }),
         "{err}"
     );
+}
+
+#[test]
+fn merge_counter_split_survives_reopen_exactly() {
+    // ROADMAP item e: WAL group-commit boundary markers let replay
+    // reproduce the root-vs-subterm merge-counter *split*, not just its
+    // sum — even across an irregular mix of singles and batches.
+    let dir = TempDir::new("split");
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0x5717, 30);
+    let builder = || {
+        AlphaStore::<u64>::builder()
+            .seed(21)
+            .shards(4)
+            .subexpressions(2)
+            .chunk_entries(8)
+    };
+    let stats_before = {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert(&arena, roots[0]);
+        store.insert_batch(&arena, &roots[1..7]);
+        store.insert(&arena, roots[7]);
+        store.insert_batch(&arena, &roots[7..]); // roots[7] again: a root merge
+        store.stats()
+    };
+    assert!(stats_before.merges_confirmed > 0, "{stats_before}");
+    assert!(stats_before.subterm_merges_confirmed > 0, "{stats_before}");
+
+    let reopened = builder().open_durable(dir.path()).expect("reopen");
+    assert_eq!(
+        reopened.stats(),
+        stats_before,
+        "replay must reproduce the merge-counter split exactly"
+    );
+}
+
+/// Rewrites every WAL frame's CRC to match its (possibly tampered)
+/// payload, so the tampering is invisible to the frame check — the
+/// "consistent corruption" shape only paranoid replay can catch.
+fn refresh_wal_crcs(wal_path: &Path) {
+    const WAL_HEADER_LEN: usize = 43;
+    let mut bytes = std::fs::read(wal_path).expect("read wal");
+    let mut offset = WAL_HEADER_LEN;
+    while offset + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let payload_start = offset + 8;
+        let payload_end = payload_start + len;
+        if payload_end > bytes.len() {
+            break;
+        }
+        let crc = alpha_store::persist::format::crc32(&bytes[payload_start..payload_end]);
+        bytes[offset + 4..offset + 8].copy_from_slice(&crc.to_le_bytes());
+        offset = payload_end;
+    }
+    std::fs::write(wal_path, &bytes).expect("write wal");
+}
+
+#[test]
+fn verify_on_replay_catches_crc_consistent_canon_corruption() {
+    // ROADMAP item d: flip a byte inside a record's canonical payload and
+    // re-CRC the frame. The default open replays it without complaint
+    // (CRC passes, and db_eq only compares canon against canon — the
+    // hash/canon pair is never cross-checked), silently storing a class
+    // whose content address belongs to a different term. Paranoid mode
+    // re-hashes the payload and refuses.
+    let dir = TempDir::new("paranoid");
+    let mut arena = ExprArena::new();
+    let t1 = lambda_lang::parse(&mut arena, "qq + 1").unwrap();
+    let t2 = lambda_lang::parse(&mut arena, r"\x. x * qq").unwrap();
+    let builder = || AlphaStore::<u64>::builder().seed(17).shards(2);
+    {
+        let store = builder().open_durable(dir.path()).expect("create");
+        store.insert(&arena, t1);
+        store.insert(&arena, t2);
+    }
+
+    // Tamper: the free variable "qq" becomes "qz" inside the WAL records
+    // (string payloads: [len=2 u32]['q']['q']), then re-frame.
+    let wal_path = dir.path().join("wal.bin");
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    let needle = [2u8, 0, 0, 0, b'q', b'q'];
+    let mut tampered = 0;
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if bytes[i..i + needle.len()] == needle {
+            bytes[i + 5] = b'z';
+            tampered += 1;
+        }
+        i += 1;
+    }
+    assert!(tampered > 0, "the name must appear in the WAL");
+    std::fs::write(&wal_path, &bytes).expect("write wal");
+    refresh_wal_crcs(&wal_path);
+
+    // Paranoid open: caught. (Runs first — it fails before any
+    // checkpoint, leaving the directory untouched for the second open.)
+    let err = expect_err(builder().verify_on_replay(true).open_durable(dir.path()));
+    assert!(
+        matches!(err, alpha_store::PersistError::Corrupt { .. }),
+        "verify_on_replay must reject the tampered record: {err}"
+    );
+
+    // Default open: replays "cleanly" — CRC and db_eq alone cannot see
+    // the damage; the store now answers for the tampered term. This is
+    // exactly the gap paranoid mode closes.
+    let store = builder().open_durable(dir.path()).expect("default open");
+    assert_eq!(store.num_terms(), 2);
+    let tampered_term = lambda_lang::parse(&mut arena, "qz + 1").unwrap();
+    assert_eq!(
+        store.lookup(&arena, tampered_term),
+        None,
+        "the tampered canon is filed under the ORIGINAL term's address, \
+         so not even the tampered term finds it"
+    );
+}
+
+mod v1_migration {
+    //! Hand-encodes a format-v1 store directory (the pre-canon-DAG
+    //! layout: standalone canonical tree per class and per WAL entry, no
+    //! commit markers) and opens it under v2.
+
+    use super::*;
+    use alpha_store::persist::format::crc32;
+    use lambda_lang::debruijn::{to_debruijn, DbArena, DbId, DbNode};
+    use lambda_lang::parse;
+
+    fn put_u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_hash(out: &mut Vec<u8>, h: u64) {
+        let (lo, hi) = h.to_lanes();
+        put_u64(out, lo);
+        put_u64(out, hi);
+    }
+
+    /// v1 `canon`: name table, nodes, root id.
+    fn put_canon_v1(out: &mut Vec<u8>, canon: &DbArena, root: DbId) {
+        put_u32(out, canon.names_len() as u32);
+        for name in canon.names() {
+            put_u32(out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+        }
+        put_u32(out, canon.len() as u32);
+        for node in canon.nodes() {
+            match node {
+                DbNode::BVar(i) => {
+                    out.push(0);
+                    put_u32(out, i);
+                }
+                DbNode::FVar(sym) => {
+                    out.push(1);
+                    put_u32(out, sym.index());
+                }
+                DbNode::Lam(b) => {
+                    out.push(2);
+                    put_u32(out, b.index() as u32);
+                }
+                DbNode::App(f, a) => {
+                    out.push(3);
+                    put_u32(out, f.index() as u32);
+                    put_u32(out, a.index() as u32);
+                }
+                DbNode::Let(r, b) => {
+                    out.push(4);
+                    put_u32(out, r.index() as u32);
+                    put_u32(out, b.index() as u32);
+                }
+                DbNode::Lit(lit) => {
+                    out.push(5);
+                    let (kind, payload) = match lit {
+                        lambda_lang::Literal::I64(v) => (1u8, v as u64),
+                        lambda_lang::Literal::F64Bits(bits) => (2, bits),
+                        lambda_lang::Literal::Bool(b) => (3, b as u64),
+                    };
+                    out.push(kind);
+                    put_u64(out, payload);
+                }
+            }
+        }
+        put_u32(out, root.index() as u32);
+    }
+
+    /// A v1 snapshot whose `wal_records_applied` covers the WAL exactly —
+    /// the shape a cleanly-closed PR-4 store leaves behind.
+    fn write_clean_v1_pair(dir: &Path, arena: &ExprArena, terms: &[lambda_lang::NodeId]) {
+        let scheme = alpha_hash::combine::HashScheme::<u64>::new(7);
+        let mut snap = Vec::new();
+        snap.extend_from_slice(b"AHSNAP01");
+        put_u16(&mut snap, 1);
+        put_u32(&mut snap, 64);
+        put_u64(&mut snap, scheme.seed());
+        put_u32(&mut snap, 1);
+        snap.push(0); // Roots
+        put_u64(&mut snap, 0);
+        put_u64(&mut snap, 1); // wal_epoch
+        put_u64(&mut snap, 0); // wal_records_applied: the WAL is empty
+        for v in [terms.len() as u64, terms.len() as u64, 0, 0, 0, 0, 0, 0] {
+            put_u64(&mut snap, v);
+        }
+        put_u32(&mut snap, terms.len() as u32);
+        for &term in terms {
+            put_hash(
+                &mut snap,
+                alpha_hash::hashed::hash_expr(arena, term, &scheme),
+            );
+            put_u64(&mut snap, 1);
+            put_u64(&mut snap, 1);
+            let (canon, root) = to_debruijn(arena, term);
+            put_canon_v1(&mut snap, &canon, root);
+        }
+        put_u32(&mut snap, terms.len() as u32);
+        for i in 0..terms.len() as u32 {
+            put_u32(&mut snap, i);
+        }
+        for _ in terms {
+            put_u32(&mut snap, 0);
+        }
+        let crc = crc32(&snap[8..]);
+        put_u32(&mut snap, crc);
+        std::fs::write(dir.join("snapshot.bin"), &snap).unwrap();
+
+        // Empty v1 WAL: header only, same epoch.
+        let mut wal = Vec::new();
+        wal.extend_from_slice(b"AHWAL001");
+        put_u16(&mut wal, 1);
+        put_u32(&mut wal, 64);
+        put_u64(&mut wal, scheme.seed());
+        put_u32(&mut wal, 1);
+        wal.push(0);
+        put_u64(&mut wal, 0);
+        put_u64(&mut wal, 1);
+        std::fs::write(dir.join("wal.bin"), &wal).unwrap();
+    }
+
+    #[test]
+    fn cleanly_closed_v1_store_is_migrated_not_clean_reopened() {
+        // Regression: a v1 pair whose snapshot already absorbed the whole
+        // (empty) WAL looks "clean", but taking the clean-reopen fast
+        // path would append current-version frames to a v1-header WAL —
+        // undecodable on the next open, i.e. silent data loss. Old
+        // versions must always go through the migrating checkpoint.
+        let dir = TempDir::new("v1-clean");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let mut arena = ExprArena::new();
+        let t1 = parse(&mut arena, r"\x. x").unwrap();
+        let t2 = parse(&mut arena, "v").unwrap();
+        write_clean_v1_pair(dir.path(), &arena, &[t1, t2]);
+
+        let t3 = parse(&mut arena, "w + w").unwrap();
+        {
+            let store = AlphaStore::<u64>::open(dir.path()).expect("v1 opens");
+            assert_eq!(store.num_terms(), 2);
+            // The open must have checkpointed to the current format…
+            let snap_now = std::fs::read(dir.path().join("snapshot.bin")).unwrap();
+            assert_eq!(
+                u16::from_le_bytes(snap_now[8..10].try_into().unwrap()),
+                2,
+                "a clean-shaped v1 pair must still be migrated"
+            );
+            // …so appends land in a current-version WAL.
+            store.insert(&arena, t3);
+        }
+        // The post-migration insert survives the next open.
+        let reopened = AlphaStore::<u64>::open(dir.path()).expect("reopen");
+        assert_eq!(reopened.num_terms(), 3, "no insert lost after migration");
+        assert!(reopened.lookup(&arena, t3).is_some());
+        assert!(reopened.stats().is_exact());
+    }
+
+    #[test]
+    fn v1_snapshot_and_wal_open_under_v2_and_migrate() {
+        let dir = TempDir::new("v1-migrate");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let scheme = alpha_hash::combine::HashScheme::<u64>::new(7);
+        let mut arena = ExprArena::new();
+        let identity = parse(&mut arena, r"\x. x").unwrap();
+        let free_v = parse(&mut arena, "v").unwrap();
+        let third = parse(&mut arena, "w + w").unwrap();
+        let hash_of = |n| alpha_hash::hashed::hash_expr(&arena, n, &scheme);
+
+        // ---- snapshot.bin, format v1, holding {\x. x} and {v} ----------
+        let mut snap = Vec::new();
+        snap.extend_from_slice(b"AHSNAP01");
+        put_u16(&mut snap, 1); // version
+        put_u32(&mut snap, 64); // hash_bits
+        put_u64(&mut snap, scheme.seed());
+        put_u32(&mut snap, 1); // shard_count
+        snap.push(0); // granularity: Roots
+        put_u64(&mut snap, 0);
+        put_u64(&mut snap, 1); // wal_epoch
+        put_u64(&mut snap, 0); // wal_records_applied
+        for v in [2u64, 2, 0, 0, 0, 0, 0, 0] {
+            put_u64(&mut snap, v); // stats: 2 terms, 2 classes
+        }
+        put_u32(&mut snap, 2); // class_count
+        for &term in &[identity, free_v] {
+            put_hash(&mut snap, hash_of(term));
+            put_u64(&mut snap, 1); // members
+            put_u64(&mut snap, 1); // occurrences
+            let (canon, root) = to_debruijn(&arena, term);
+            put_canon_v1(&mut snap, &canon, root);
+        }
+        put_u32(&mut snap, 2); // term_count
+        put_u32(&mut snap, 0); // term 0 -> class 0
+        put_u32(&mut snap, 1); // term 1 -> class 1
+        put_u32(&mut snap, 0); // term_subs (empty at Roots)
+        put_u32(&mut snap, 0);
+        let crc = crc32(&snap[8..]);
+        put_u32(&mut snap, crc);
+        std::fs::write(dir.path().join("snapshot.bin"), &snap).unwrap();
+
+        // ---- wal.bin, format v1, one record beyond the snapshot --------
+        let mut wal = Vec::new();
+        wal.extend_from_slice(b"AHWAL001");
+        put_u16(&mut wal, 1);
+        put_u32(&mut wal, 64);
+        put_u64(&mut wal, scheme.seed());
+        put_u32(&mut wal, 1);
+        wal.push(0);
+        put_u64(&mut wal, 0);
+        put_u64(&mut wal, 1); // epoch
+        let mut payload = Vec::new(); // v1 record: no kind byte
+        put_hash(&mut payload, hash_of(third));
+        let (canon, root) = to_debruijn(&arena, third);
+        put_canon_v1(&mut payload, &canon, root);
+        put_u32(&mut payload, 0); // sub_count
+        put_u64(&mut payload, 0); // skipped
+        put_u32(&mut wal, payload.len() as u32);
+        put_u32(&mut wal, crc32(&payload));
+        wal.extend_from_slice(&payload);
+        std::fs::write(dir.path().join("wal.bin"), &wal).unwrap();
+
+        // ---- open under v2 ---------------------------------------------
+        let store = AlphaStore::<u64>::open(dir.path()).expect("v1 store opens under v2");
+        assert_eq!(store.num_terms(), 3, "2 snapshot terms + 1 WAL record");
+        assert_eq!(store.num_classes(), 3);
+        let renamed = parse(&mut arena, r"\q. q").unwrap();
+        assert!(store.lookup(&arena, renamed).is_some());
+        assert!(store.lookup(&arena, free_v).is_some());
+        assert!(store.lookup(&arena, third).is_some());
+        let stats = store.stats();
+        assert!(stats.is_exact());
+        assert_eq!(stats.terms_ingested, 3);
+
+        // The recovery checkpoint migrated the pair to the current
+        // format: the snapshot on disk is now version 2, and the store
+        // keeps working (a merge into a migrated class confirms).
+        let snap_now = std::fs::read(dir.path().join("snapshot.bin")).unwrap();
+        assert_eq!(
+            u16::from_le_bytes(snap_now[8..10].try_into().unwrap()),
+            2,
+            "checkpoint rewrites v1 as v2"
+        );
+        let outcome = store.insert(&arena, renamed);
+        assert!(!outcome.fresh, "migrated classes accept new members");
+        drop(store);
+        let reopened = AlphaStore::<u64>::open(dir.path()).expect("v2 reopen");
+        assert_eq!(reopened.num_terms(), 4);
+    }
 }
 
 #[test]
