@@ -127,6 +127,30 @@ fn main() {
         std::hint::black_box(ingest(&arena, &roots, scheme, shards, threads).num_classes());
     });
 
+    // Batched single-thread with the obs runtime toggle on vs off: the
+    // ratio is what live instrumentation (clock reads, histogram
+    // records) costs on the hot path. The two variants are interleaved
+    // rep by rep — not measured in separate blocks — so slow drift in
+    // machine load biases both sides equally.
+    let (single_obs_on, single_obs_off) = {
+        let run = |enabled: bool| {
+            let store = AlphaStore::builder().scheme(scheme).shards(shards).build();
+            store.set_obs_enabled(enabled);
+            let t0 = std::time::Instant::now();
+            parallel_ingest(&store, &arena, &roots, 1);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(store.num_classes());
+            secs
+        };
+        let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            on = on.min(run(true));
+            off = off.min(run(false));
+        }
+        (on, off)
+    };
+    let obs_overhead_ratio = single_obs_on / single_obs_off;
+
     // Prepare pass alone (fused hash + canonicalization, no store): the
     // lock-free share of single-threaded batched ingest.
     let prepare = best_of(reps, || {
@@ -174,10 +198,19 @@ fn main() {
         })
         .fold(f64::INFINITY, f64::min);
 
-    // One audited run for the stats block.
+    // One audited run for the stats block. Its obs report also supplies
+    // the root-mode latency quantiles (obs is on by default).
     let store = ingest(&arena, &roots, scheme, shards, threads);
     let stats = store.stats();
     assert!(stats.is_exact(), "store must confirm every merge: {stats}");
+    let obs = store.obs_report();
+    let quantiles = |name: &str| {
+        let h = obs.histogram(name).unwrap_or_else(|| panic!("no {name}"));
+        (h.quantile(0.5), h.quantile(0.99))
+    };
+    let (prepare_p50, prepare_p99) = quantiles("alpha_store_prepare_ns");
+    let (apply_p50, apply_p99) = quantiles("alpha_store_apply_ns");
+    let (lock_wait_p50, lock_wait_p99) = quantiles("alpha_store_shard_lock_wait_ns");
 
     // And one audited subexpression-mode run.
     let sub_store = ingest_subexpr(&arena, &roots, scheme, shards, sub_min_nodes);
@@ -203,8 +236,9 @@ fn main() {
     let contains_qps = pattern_count as f64 / contains_batch_secs;
 
     // One audited durable run: ingest, crash (drop), recover, verify the
-    // round trip, and time the recovery.
-    let (wal_bytes, reopen_secs, durable_stats) = {
+    // round trip, and time the recovery. The WAL-commit quantiles come
+    // from this run's obs report.
+    let (wal_bytes, reopen_secs, durable_stats, wal_commit_p50, wal_commit_p99) = {
         let d_store = ingest_durable(&arena, &roots, scheme, shards, &durable_dir);
         let d_classes = d_store.num_classes();
         let d_stats = d_store.stats();
@@ -212,6 +246,12 @@ fn main() {
             d_stats.is_exact(),
             "durable ingest must stay exact: {d_stats}"
         );
+        let d_obs = d_store.obs_report();
+        let commits = d_obs
+            .histogram("alpha_store_wal_commit_ns")
+            .expect("durable run records WAL commits");
+        assert!(commits.count > 0, "durable ingest must group-commit");
+        let (wal_commit_p50, wal_commit_p99) = (commits.quantile(0.5), commits.quantile(0.99));
         let wal_bytes = std::fs::metadata(durable_dir.join("wal.bin")).map_or(0, |m| m.len());
         drop(d_store);
         let t0 = std::time::Instant::now();
@@ -224,7 +264,13 @@ fn main() {
             "recovery must round-trip"
         );
         assert_eq!(reopened.stats(), d_stats, "stats must round-trip");
-        (wal_bytes, reopen_secs, d_stats)
+        (
+            wal_bytes,
+            reopen_secs,
+            d_stats,
+            wal_commit_p50,
+            wal_commit_p99,
+        )
     };
     let _ = std::fs::remove_dir_all(&durable_dir);
 
@@ -293,6 +339,18 @@ fn main() {
         pattern_count,
         contains_qps,
     );
+    println!(
+        "  obs overhead       : {:.1}% (toggled off: {:>10}); prepare p50/p99 {:.0}/{:.0} ns, \
+         apply p50/p99 {:.0}/{:.0} ns, wal commit p50/p99 {:.0}/{:.0} ns",
+        100.0 * (obs_overhead_ratio - 1.0),
+        format_ms(single_obs_off),
+        prepare_p50,
+        prepare_p99,
+        apply_p50,
+        apply_p99,
+        wal_commit_p50,
+        wal_commit_p99,
+    );
     println!("  {stats}");
     println!("  subexpr mode: {sub_stats}");
     println!("  durable mode: {durable_stats}");
@@ -360,6 +418,19 @@ fn main() {
                 "    \"contains_batch_patterns\": {cb_patterns},\n",
                 "    \"contains_batch_secs\": {cb_secs:.6},\n",
                 "    \"contains_batch_queries_per_sec\": {cb_qps:.1}\n",
+                "  }},\n",
+                "  \"obs\": {{\n",
+                "    \"single_thread_obs_on_secs\": {single_obs_on:.6},\n",
+                "    \"single_thread_obs_off_secs\": {single_obs_off:.6},\n",
+                "    \"overhead_ratio\": {obs_overhead_ratio:.4},\n",
+                "    \"prepare_ns_p50\": {prepare_p50:.1},\n",
+                "    \"prepare_ns_p99\": {prepare_p99:.1},\n",
+                "    \"apply_ns_p50\": {apply_p50:.1},\n",
+                "    \"apply_ns_p99\": {apply_p99:.1},\n",
+                "    \"shard_lock_wait_ns_p50\": {lock_wait_p50:.1},\n",
+                "    \"shard_lock_wait_ns_p99\": {lock_wait_p99:.1},\n",
+                "    \"wal_commit_ns_p50\": {wal_commit_p50:.1},\n",
+                "    \"wal_commit_ns_p99\": {wal_commit_p99:.1}\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -413,6 +484,17 @@ fn main() {
             cb_patterns = pattern_count,
             cb_secs = contains_batch_secs,
             cb_qps = contains_qps,
+            single_obs_on = single_obs_on,
+            single_obs_off = single_obs_off,
+            obs_overhead_ratio = obs_overhead_ratio,
+            prepare_p50 = prepare_p50,
+            prepare_p99 = prepare_p99,
+            apply_p50 = apply_p50,
+            apply_p99 = apply_p99,
+            lock_wait_p50 = lock_wait_p50,
+            lock_wait_p99 = lock_wait_p99,
+            wal_commit_p50 = wal_commit_p50,
+            wal_commit_p99 = wal_commit_p99,
         );
         std::fs::write(&json_path, json)
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));

@@ -158,6 +158,14 @@ pub struct HashedSummariser<'s, H: HashWord> {
     strategy: MergeStrategy,
     /// Map operations performed at binary nodes (the Lemma 6.1 quantity).
     pub merge_ops: u64,
+    /// Nodes fed through [`push_node`](Self::push_node) since construction
+    /// — the instrumentation seam's "work done" denominator (store ingest
+    /// reads and resets it between batches).
+    pub nodes_pushed: u64,
+    /// Name-hash cache misses: symbols whose name hash had to be computed
+    /// rather than served from the per-arena cache. A high miss share on a
+    /// reused summariser means the cache is not amortising.
+    pub name_cache_misses: u64,
     /// E-summary value stack for the streaming post-order fold.
     stack: Vec<ESummaryH<H>>,
     /// Reusable traversal scratch for [`postorder_with`].
@@ -187,6 +195,8 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
             name_hashes: Vec::with_capacity(arena.interner().len().min(1024)),
             strategy,
             merge_ops: 0,
+            nodes_pushed: 0,
+            name_cache_misses: 0,
             stack: Vec::new(),
             walk: Vec::new(),
             pool: MapPool::default(),
@@ -212,6 +222,7 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
                 h
             }
             None => {
+                self.name_cache_misses += 1;
                 let h = self.scheme.var_name(arena.interner().resolve(sym));
                 self.name_hashes[i] = Some(h);
                 h
@@ -389,6 +400,7 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
     /// `Let` rhs before body), and terms must satisfy the unique-binder
     /// precondition (§2.2).
     pub fn push_node(&mut self, arena: &ExprArena, n: NodeId) -> H {
+        self.nodes_pushed += 1;
         let scheme = self.scheme;
         let summary = match arena.node(n) {
             ExprNode::Var(s) => {

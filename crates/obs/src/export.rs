@@ -1,0 +1,309 @@
+//! Metric registration and export.
+//!
+//! A [`Registry`] owns the set of named metrics an instrumented
+//! component exposes. Components register their instruments once at
+//! construction ([`Registry::counter`] / [`gauge`] / [`histogram`]
+//! return shared handles) and call [`Registry::report`] at export time
+//! to take an owned [`Report`] snapshot. The report renders to
+//! Prometheus text format or a JSON object, and offers typed accessors
+//! so tools (benches, tests) can read values programmatically instead
+//! of parsing the rendered text.
+//!
+//! [`gauge`]: Registry::gauge
+//! [`histogram`]: Registry::histogram
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Static metadata for one metric.
+#[derive(Clone, Copy, Debug)]
+pub struct Desc {
+    /// Export name, e.g. `alpha_store_prepare_ns`. Must be a valid
+    /// Prometheus metric name.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    /// Unit of the recorded values, e.g. `ns`, `bytes`, `nodes`
+    /// (informational; rendered into the HELP line).
+    pub unit: &'static str,
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The set of live metrics owned by one component.
+///
+/// Registration happens at construction time (`&mut self`); after that
+/// the registry is only read, so it can be shared behind a plain
+/// reference.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(Desc, Instrument)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a counter and return its shared handle.
+    pub fn counter(&mut self, desc: Desc) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.entries.push((desc, Instrument::Counter(c.clone())));
+        c
+    }
+
+    /// Register a gauge and return its shared handle.
+    pub fn gauge(&mut self, desc: Desc) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.entries.push((desc, Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// Register a histogram and return its shared handle.
+    pub fn histogram(&mut self, desc: Desc) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.entries.push((desc, Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Snapshot every registered metric, plus the caller's `extras`
+    /// (values owned elsewhere — e.g. a store's `StoreStats` counters —
+    /// that should appear in the same report).
+    pub fn report(&self, extras: Vec<Sample>) -> Report {
+        let mut entries: Vec<(Desc, Value)> = self
+            .entries
+            .iter()
+            .map(|(desc, inst)| {
+                let v = match inst {
+                    Instrument::Counter(c) => Value::Counter(c.get()),
+                    Instrument::Gauge(g) => Value::Gauge(g.get()),
+                    Instrument::Histogram(h) => Value::Histogram(Box::new(h.snapshot())),
+                };
+                (*desc, v)
+            })
+            .collect();
+        for s in extras {
+            entries.push((s.desc, s.value));
+        }
+        Report { entries }
+    }
+}
+
+/// A snapshot value.
+#[derive(Clone, Debug)]
+enum Value {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One externally-owned value to splice into a [`Report`] (used for
+/// counters that live outside the registry, like `StoreStats`).
+pub struct Sample {
+    desc: Desc,
+    value: Value,
+}
+
+impl Sample {
+    /// An extra counter sample.
+    pub fn counter(desc: Desc, v: u64) -> Self {
+        Sample {
+            desc,
+            value: Value::Counter(v),
+        }
+    }
+
+    /// An extra gauge sample.
+    pub fn gauge(desc: Desc, v: u64) -> Self {
+        Sample {
+            desc,
+            value: Value::Gauge(v),
+        }
+    }
+}
+
+/// An owned point-in-time snapshot of a [`Registry`] (plus extras),
+/// renderable as Prometheus text or JSON and readable programmatically.
+pub struct Report {
+    entries: Vec<(Desc, Value)>,
+}
+
+impl Report {
+    /// The value of the named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(d, v)| match v {
+            Value::Counter(c) if d.name == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The value of the named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(d, v)| match v {
+            Value::Gauge(g) if d.name == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The snapshot of the named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(d, v)| match v {
+            Value::Histogram(h) if d.name == name => Some(&**h),
+            _ => None,
+        })
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count", "sum", "max", "mean", "p50", "p90", "p99"}}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (d, v) in &self.entries {
+            match v {
+                Value::Counter(c) => {
+                    let _ = write!(counters, "{}\"{}\": {}", sep(&counters), d.name, c);
+                }
+                Value::Gauge(g) => {
+                    let _ = write!(gauges, "{}\"{}\": {}", sep(&gauges), d.name, g);
+                }
+                Value::Histogram(h) => {
+                    let _ = write!(
+                        hists,
+                        "{}\"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+                         \"mean\": {:.1}, \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}}}",
+                        sep(&hists),
+                        d.name,
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \
+             \"histograms\": {{{hists}}}}}"
+        )
+    }
+
+    /// Render in Prometheus text exposition format. Histograms are
+    /// exported as summaries (p50/p90/p99 quantiles, `_sum`, `_count`)
+    /// plus a separate `<name>_max` gauge.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (d, v) in &self.entries {
+            match v {
+                Value::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {} {} ({})", d.name, d.help, d.unit);
+                    let _ = writeln!(out, "# TYPE {} counter", d.name);
+                    let _ = writeln!(out, "{} {}", d.name, c);
+                }
+                Value::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {} {} ({})", d.name, d.help, d.unit);
+                    let _ = writeln!(out, "# TYPE {} gauge", d.name);
+                    let _ = writeln!(out, "{} {}", d.name, g);
+                }
+                Value::Histogram(h) => {
+                    let _ = writeln!(out, "# HELP {} {} ({})", d.name, d.help, d.unit);
+                    let _ = writeln!(out, "# TYPE {} summary", d.name);
+                    for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+                        let _ = writeln!(
+                            out,
+                            "{}{{quantile=\"{}\"}} {:.1}",
+                            d.name,
+                            label,
+                            h.quantile(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum {}", d.name, h.sum);
+                    let _ = writeln!(out, "{}_count {}", d.name, h.count);
+                    let _ = writeln!(out, "# TYPE {}_max gauge", d.name);
+                    let _ = writeln!(out, "{}_max {}", d.name, h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sep(s: &str) -> &'static str {
+    if s.is_empty() {
+        ""
+    } else {
+        ", "
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(name: &'static str) -> Desc {
+        Desc {
+            name,
+            help: "test metric",
+            unit: "ns",
+        }
+    }
+
+    #[test]
+    fn report_round_trips_values() {
+        let mut reg = Registry::new();
+        let c = reg.counter(desc("t_hits"));
+        let g = reg.gauge(desc("t_resident"));
+        let h = reg.histogram(desc("t_latency_ns"));
+        c.add(3);
+        g.set(99);
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        let extra = Sample::counter(desc("t_extra"), 7);
+        let report = reg.report(vec![extra]);
+
+        assert_eq!(report.counter("t_hits"), Some(3));
+        assert_eq!(report.counter("t_extra"), Some(7));
+        assert_eq!(report.gauge("t_resident"), Some(99));
+        let snap = report.histogram("t_latency_ns").expect("registered");
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 15);
+        assert_eq!(report.counter("t_resident"), None, "kind-checked lookup");
+    }
+
+    #[test]
+    fn json_and_prometheus_contain_all_metrics() {
+        let mut reg = Registry::new();
+        let c = reg.counter(desc("t_hits"));
+        let h = reg.histogram(desc("t_latency_ns"));
+        c.inc();
+        h.record(100);
+        let report = reg.report(vec![Sample::gauge(desc("t_bytes"), 4096)]);
+
+        let json = report.to_json();
+        assert!(json.contains("\"t_hits\": 1"), "{json}");
+        assert!(json.contains("\"t_bytes\": 4096"), "{json}");
+        assert!(json.contains("\"t_latency_ns\""), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+
+        let prom = report.to_prometheus();
+        assert!(prom.contains("# TYPE t_hits counter"), "{prom}");
+        assert!(prom.contains("t_hits 1"), "{prom}");
+        assert!(prom.contains("# TYPE t_bytes gauge"), "{prom}");
+        assert!(prom.contains("# TYPE t_latency_ns summary"), "{prom}");
+        assert!(prom.contains("t_latency_ns{quantile=\"0.99\"}"), "{prom}");
+        assert!(prom.contains("t_latency_ns_count 1"), "{prom}");
+        assert!(prom.contains("t_latency_ns_max 100"), "{prom}");
+    }
+}

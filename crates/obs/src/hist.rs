@@ -1,0 +1,320 @@
+//! Lock-free log2-bucket histograms.
+//!
+//! A [`Histogram`] is a fixed array of 65 power-of-two buckets: bucket 0
+//! counts exact zeros, bucket `b >= 1` counts values in
+//! `[2^(b-1), 2^b - 1]`. That covers the full `u64` range with one
+//! `leading_zeros` instruction per record and no allocation, at the cost
+//! of ~2x quantile resolution — plenty for latency distributions where
+//! the interesting signal is orders of magnitude, not microseconds.
+//!
+//! Recording never blocks and (in the common case) never contends:
+//! buckets are striped [`STRIPES`] ways and each recording thread is
+//! pinned round-robin to one stripe, so two store shards hammering the
+//! same histogram land on different cache lines. Reads ([`snapshot`])
+//! sum the stripes; the result is a consistent-enough view for
+//! monitoring (individual bucket counts are each atomically read, the
+//! set is not a single linearization point).
+//!
+//! [`snapshot`]: Histogram::snapshot
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Number of independent copies of the bucket array. Recording threads
+/// are spread across stripes to avoid cache-line ping-pong; snapshots
+/// sum them back together.
+pub const STRIPES: usize = 8;
+
+/// Index of the bucket that `v` falls into: 0 for 0, else
+/// `64 - leading_zeros(v)` (so bucket `b` spans `[2^(b-1), 2^b - 1]`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `b` (0 for buckets 0 and 1).
+#[inline]
+pub fn bucket_low(b: usize) -> u64 {
+    if b <= 1 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+#[inline]
+pub fn bucket_high(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// One stripe: its own bucket array plus sum, padded out so adjacent
+/// stripes do not share cache lines through the hot leading buckets.
+#[repr(align(128))]
+struct Stripe {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A striped, lock-free log2 histogram of `u64` samples.
+///
+/// All methods take `&self`; recording is wait-free (three relaxed
+/// atomic RMWs plus one `fetch_max`).
+pub struct Histogram {
+    stripes: [Stripe; STRIPES],
+    /// Global max is kept separately (one contended word, but updated
+    /// with `fetch_max` only when the sample actually raises it).
+    max: AtomicU64,
+}
+
+/// Round-robin assignment of threads to stripes.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn my_stripe() -> usize {
+    MY_STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+        s.set(v);
+        v
+    })
+}
+
+impl Histogram {
+    /// A new, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            stripes: std::array::from_fn(|_| Stripe::new()),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let stripe = &self.stripes[my_stripe()];
+        stripe.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(v, Ordering::Relaxed);
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum the stripes into an owned, immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for stripe in &self.stripes {
+            for (b, slot) in stripe.buckets.iter().enumerate() {
+                buckets[b] += slot.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(stripe.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An owned point-in-time view of a [`Histogram`], from which quantiles
+/// and the mean are derived.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_of`] for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (wrapping).
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// bucket that crosses the target rank. Exact for bucket-boundary
+    /// values; otherwise accurate to the bucket width (a factor of 2).
+    /// Returns 0.0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), min 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let low = bucket_low(b) as f64;
+                let high = bucket_high(b) as f64;
+                // Position of the target inside this bucket, in (0, 1].
+                let within = (rank - seen) as f64 / c as f64;
+                let est = low + (high - low) * within;
+                // Never report above the observed max.
+                return est.min(self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_low(b).max(1)), b, "low edge of {b}");
+            assert_eq!(bucket_of(bucket_high(b)), b, "high edge of {b}");
+            if b < 64 {
+                assert_eq!(bucket_of(bucket_high(b) + 1), b + 1, "rollover of {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_sum_and_max() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_001_006);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[10], 1); // 1000 in [512, 1023]
+        assert_eq!(s.buckets[20], 1); // 1e6 in [2^19, 2^20-1]
+    }
+
+    #[test]
+    fn quantiles_on_known_vector() {
+        let h = Histogram::new();
+        // 100 samples of 8 and 100 samples of 1024.
+        for _ in 0..100 {
+            h.record(8);
+            h.record(1024);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 200);
+        // p25 lands inside the [8, 15] bucket.
+        let p25 = s.quantile(0.25);
+        assert!((8.0..=15.0).contains(&p25), "p25 = {p25}");
+        // p75 lands inside the [1024, 2047] bucket — but is capped at the
+        // observed max, 1024.
+        let p75 = s.quantile(0.75);
+        assert!((1024.0..=1024.0).contains(&p75), "p75 = {p75}");
+        // p100 is the max exactly.
+        assert_eq!(s.quantile(1.0), 1024.0);
+        // Empty histogram: all quantiles are 0.
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = Histogram::new();
+        // 10 samples, all in bucket [16, 31].
+        for v in 16..26 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        assert!((16.0..=25.0).contains(&p50), "p50 = {p50}");
+        let p10 = s.quantile(0.1);
+        let p90 = s.quantile(0.9);
+        assert!(p10 <= p50 && p50 <= p90, "monotone: {p10} {p50} {p90}");
+        assert_eq!(s.quantile(1.0), 25.0);
+    }
+
+    #[test]
+    fn mean_matches_exact_sum() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.max, 39_999);
+    }
+}

@@ -45,6 +45,7 @@ use lambda_lang::canon::{CanonNode, CanonRef, NameId};
 use lambda_lang::debruijn::{DbArena, DbId, DbNode};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 /// Number of lock stripes in a [`CanonTable`]. Fixed (not configurable):
@@ -153,6 +154,13 @@ pub(crate) struct CanonTable {
     shards: Vec<TableShard>,
     names: RwLock<Vec<Box<str>>>,
     name_map: Mutex<HashMap<Box<str>, u32>>,
+    /// Intern probes answered from the table (node already resident).
+    hits: AtomicU64,
+    /// Intern probes that appended a fresh node. Equals
+    /// [`resident_nodes`](Self::resident_nodes) exactly: the stripe map
+    /// mutex is held across the check-and-insert, so no probe is double
+    /// counted.
+    misses: AtomicU64,
 }
 
 impl CanonTable {
@@ -161,6 +169,8 @@ impl CanonTable {
             shards: (0..TABLE_SHARDS).map(|_| TableShard::new()).collect(),
             names: RwLock::new(Vec::new()),
             name_map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -171,6 +181,7 @@ impl CanonTable {
         let stripe = &self.shards[shard];
         let mut map = stripe.map.lock().expect("canon map poisoned");
         if let Some(&index) = map.get(&node) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return pack_ref(shard, index);
         }
         let mut nodes = stripe.nodes.write().expect("canon nodes poisoned");
@@ -178,7 +189,21 @@ impl CanonTable {
         nodes.push(node);
         drop(nodes);
         map.insert(node, index);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         pack_ref(shard, index)
+    }
+
+    /// `(hits, misses)` of the intern probes since construction — the
+    /// dedup ratio of the hash-consing layer. Only the obs surface reads
+    /// it today, but the counters are maintained unconditionally (two
+    /// relaxed atomics per intern) so the numbers are honest whenever
+    /// the feature is recompiled in.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    pub(crate) fn intern_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Interns a free-variable name, returning its global id. Idempotent.
@@ -323,11 +348,15 @@ impl<'t> TableView<'t> {
 /// frontier term (`root` in `arena`) — the walk-compare that confirms
 /// merges at the intern frontier. Exactly [`lambda_lang::debruijn::db_eq`]
 /// semantics: indices by value, free variables by name, literals by value.
+/// `steps` accumulates the number of node pairs visited (the walk length
+/// the instrumentation seam reports for frontier merge confirmations);
+/// pass `&mut 0` when the count is not wanted.
 pub(crate) fn eq_frontier(
     view: &mut TableView<'_>,
     cref: CanonRef,
     arena: &DbArena,
     root: DbId,
+    steps: &mut u64,
 ) -> bool {
     // Acquire the guard set once and flatten it to slices; the walk then
     // costs one dependent load per table node, like an arena walk.
@@ -339,6 +368,7 @@ pub(crate) fn eq_frontier(
     };
     let mut stack: Vec<(CanonRef, DbId)> = vec![(cref, root)];
     while let Some((r, d)) = stack.pop() {
+        *steps += 1;
         match (node_at(r), arena.node(d)) {
             (CanonNode::BVar(i), DbNode::BVar(j)) => {
                 if i != j {
@@ -509,11 +539,13 @@ mod tests {
             let (c2, r2) = canon_of(s2);
             let i1 = table.intern_arena(&c1, r1);
             let mut view = TableView::new(&table);
+            let mut steps = 0u64;
             assert_eq!(
-                eq_frontier(&mut view, i1, &c2, r2),
+                eq_frontier(&mut view, i1, &c2, r2, &mut steps),
                 expected,
                 "{s1} vs {s2}"
             );
+            assert!(steps > 0, "the walk visited at least the roots");
             assert_eq!(db_eq(&c1, r1, &c2, r2), expected);
         }
     }

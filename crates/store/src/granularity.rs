@@ -58,6 +58,53 @@
 use crate::persist::{ExpectedConfig, PersistError};
 use crate::store::AlphaStore;
 use alpha_hash::combine::{HashScheme, HashWord};
+use std::fmt;
+
+/// A [`StoreBuilder`] setting that cannot describe a working store,
+/// reported by [`StoreBuilder::try_build`]. The infallible
+/// [`StoreBuilder::build`] instead silently clamps each of these to the
+/// nearest legal value (kept for compatibility); `try_build` is for
+/// callers wiring user- or config-file-supplied numbers through, where a
+/// silently corrected typo (`shards(0)` for `shards(10)`, say) is worse
+/// than an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shards(0)`: a store needs at least one lock stripe.
+    ZeroShards,
+    /// More lock stripes than the 16-bit shard index in [`ClassId`] can
+    /// address (the limit is 65 536).
+    ///
+    /// [`ClassId`]: crate::ClassId
+    TooManyShards {
+        /// The out-of-range stripe count that was requested.
+        requested: usize,
+    },
+    /// `chunk_entries(0)`: batch ingest must be allowed to hold at least
+    /// one prepared entry, or it could never drain.
+    ZeroChunkEntries,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroShards => {
+                write!(f, "shard count must be at least 1 (got 0)")
+            }
+            ConfigError::TooManyShards { requested } => {
+                write!(
+                    f,
+                    "shard count {requested} exceeds the maximum of 65536 \
+                     (ClassId addresses shards with 16 bits)"
+                )
+            }
+            ConfigError::ZeroChunkEntries => {
+                write!(f, "chunk_entries must be at least 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which terms an [`AlphaStore`] indexes: whole inserted terms only, or
 /// every subexpression of them. Fixed at build time via [`StoreBuilder`].
@@ -229,7 +276,26 @@ impl<H: HashWord> StoreBuilder<H> {
         self
     }
 
-    /// Builds the store (in-memory).
+    /// Checks the numeric settings without building anything.
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.shards > 1 << 16 {
+            return Err(ConfigError::TooManyShards {
+                requested: self.shards,
+            });
+        }
+        if self.chunk_entries == 0 {
+            return Err(ConfigError::ZeroChunkEntries);
+        }
+        Ok(())
+    }
+
+    /// Builds the store (in-memory), silently clamping degenerate
+    /// settings to the nearest legal value: shard counts round up to a
+    /// power of two in `1..=65536`, `chunk_entries` to at least 1. Use
+    /// [`StoreBuilder::try_build`] to get an error instead of a clamp.
     pub fn build(self) -> AlphaStore<H> {
         AlphaStore::with_config(
             self.scheme,
@@ -237,6 +303,27 @@ impl<H: HashWord> StoreBuilder<H> {
             self.granularity,
             self.chunk_entries,
         )
+    }
+
+    /// Builds the store (in-memory), rejecting settings that
+    /// [`StoreBuilder::build`] would silently clamp — the right entry
+    /// point when shard or chunk counts come from configuration rather
+    /// than literals. (Non-power-of-two shard counts in range are not an
+    /// error in either entry point; they round up as documented on
+    /// [`StoreBuilder::shards`].)
+    ///
+    /// ```
+    /// use alpha_store::{AlphaStore, ConfigError, StoreBuilder};
+    ///
+    /// let err = StoreBuilder::<u64>::new().shards(0).try_build().err();
+    /// assert_eq!(err, Some(ConfigError::ZeroShards));
+    ///
+    /// let store: AlphaStore<u64> = StoreBuilder::new().shards(8).try_build().unwrap();
+    /// assert_eq!(store.shard_count(), 8);
+    /// ```
+    pub fn try_build(self) -> Result<AlphaStore<H>, ConfigError> {
+        self.validate()?;
+        Ok(self.build())
     }
 
     /// Builds a **durable** store rooted at `dir`: every insert is teed
@@ -323,5 +410,46 @@ mod tests {
         assert_eq!(store.granularity().min_nodes(), 3);
         assert_eq!(Granularity::Roots.min_nodes(), 1);
         assert_eq!(Granularity::Subexpressions { min_nodes: 0 }.min_nodes(), 1);
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_configs() {
+        assert_eq!(
+            StoreBuilder::<u64>::new().shards(0).try_build().err(),
+            Some(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            StoreBuilder::<u64>::new()
+                .shards((1 << 16) + 1)
+                .try_build()
+                .err(),
+            Some(ConfigError::TooManyShards {
+                requested: (1 << 16) + 1
+            })
+        );
+        assert_eq!(
+            StoreBuilder::<u64>::new()
+                .chunk_entries(0)
+                .try_build()
+                .err(),
+            Some(ConfigError::ZeroChunkEntries)
+        );
+        // Errors render something actionable.
+        let msg = ConfigError::TooManyShards { requested: 70_000 }.to_string();
+        assert!(msg.contains("70000") && msg.contains("65536"), "{msg}");
+    }
+
+    #[test]
+    fn try_build_accepts_what_build_accepts() {
+        let store: AlphaStore<u64> = StoreBuilder::new()
+            .shards(6) // in range, not a power of two: rounds up, no error
+            .chunk_entries(16)
+            .subexpressions(2)
+            .try_build()
+            .unwrap();
+        assert_eq!(store.shard_count(), 8);
+        // build() still clamps the same degenerate inputs silently.
+        let clamped: AlphaStore<u64> = StoreBuilder::new().shards(0).build();
+        assert_eq!(clamped.shard_count(), 1);
     }
 }

@@ -92,6 +92,7 @@ pub mod canon;
 pub mod corpus;
 pub(crate) mod dag;
 pub mod granularity;
+pub(crate) mod obs;
 pub mod persist;
 pub mod prepare;
 pub mod query;
@@ -99,8 +100,16 @@ pub mod stats;
 pub mod store;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
-pub use granularity::{Granularity, StoreBuilder};
-pub use persist::PersistError;
+pub use granularity::{ConfigError, Granularity, StoreBuilder};
+pub use persist::{PersistError, WalOp};
 pub use prepare::Preparer;
 pub use stats::{CanonDagStats, StoreStats};
 pub use store::{AlphaStore, ClassId, InsertOutcome, SubexprSummary, TermId};
+
+/// The zero-dependency metrics/tracing crate backing
+/// [`AlphaStore::obs_report`] and friends, re-exported so downstream
+/// callers can name its types ([`Report`](alpha_obs::Report),
+/// [`Event`](alpha_obs::Event), [`Subscriber`](alpha_obs::Subscriber))
+/// without a separate dependency edge.
+#[cfg(feature = "obs")]
+pub use alpha_obs;

@@ -103,6 +103,45 @@ pub enum PersistError {
         /// The contended store directory.
         dir: PathBuf,
     },
+    /// An I/O failure on the live write-ahead log itself. Split from
+    /// [`PersistError::Io`] because a WAL failure on a live durable
+    /// store is fatal to durability — the in-memory state can no longer
+    /// be rebuilt from disk — where other I/O errors (a failed snapshot
+    /// write, say) leave the store fully recoverable. The `op` says
+    /// which log operation failed; every occurrence also increments the
+    /// `alpha_store_persist_errors` counter when the `obs` feature is
+    /// on.
+    Wal {
+        /// The WAL operation that failed.
+        op: WalOp,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+}
+
+/// The write-ahead-log operation behind a [`PersistError::Wal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Creating or re-initialising the log file (header write + fsync).
+    Create,
+    /// Appending a group-committed run of record frames.
+    Append,
+    /// The `fsync` closing a group commit (with
+    /// [`sync_on_commit`](crate::StoreBuilder::sync_on_commit)).
+    Sync,
+    /// Truncating and restarting the log after a checkpoint.
+    Reset,
+}
+
+impl fmt::Display for WalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WalOp::Create => "create",
+            WalOp::Append => "append",
+            WalOp::Sync => "sync",
+            WalOp::Reset => "reset",
+        })
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -121,6 +160,9 @@ impl fmt::Display for PersistError {
                     dir.display()
                 )
             }
+            PersistError::Wal { op, source } => {
+                write!(f, "write-ahead log {op} failed: {source}")
+            }
         }
     }
 }
@@ -129,6 +171,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
+            PersistError::Wal { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -337,8 +380,14 @@ fn open_store_locked<H: HashWord>(
     // Every canonical form decoded anywhere below interns into this one
     // table, which the rebuilt store then owns.
     let table = CanonTable::new();
+    // Recovery-phase timings, folded into the store's obs registry once
+    // the store exists (it does not yet, while the phases run).
+    let mut snap_load_ns = 0u64;
+    let mut replay_ns = 0u64;
     let (mut store, snap_epoch, snap_version, records_applied, wal_contents) = if have_snapshot {
+        let t = std::time::Instant::now();
         let (header, shards, version) = snapshot::read_snapshot::<H>(&snap_path, &table)?;
+        snap_load_ns = t.elapsed().as_nanos() as u64;
         if let Some(expect) = expect {
             check_config(
                 expect,
@@ -454,11 +503,15 @@ fn open_store_locked<H: HashWord>(
                     clean_wal = Some(records_applied);
                 } else {
                     let tail = drop_applied_records(contents.groups, records_applied);
+                    let t = std::time::Instant::now();
                     store.replay(tail, config.verify_on_replay)?;
+                    replay_ns = t.elapsed().as_nanos() as u64;
                 }
             }
         }
     }
+
+    store.record_recovery(snap_load_ns, replay_ns);
 
     // 3a. Clean reopen: nothing was replayed and nothing was torn, so the
     // on-disk pair is already in a consistent state — skip the O(store)

@@ -40,9 +40,10 @@ use super::format::{
     self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, RawRecord,
     COMPAT_VERSION, FORMAT_VERSION, WAL_MAGIC,
 };
-use super::PersistError;
+use super::{PersistError, WalOp};
 use crate::dag::{extract_canon, TableView};
 use crate::granularity::Granularity;
+use crate::obs::WalObs;
 use crate::prepare::{PreparedCanon, PreparedTerm};
 use alpha_hash::combine::HashWord;
 use lambda_lang::canon::CanonRef;
@@ -233,6 +234,9 @@ pub(crate) struct Wal {
     /// not count).
     pub(crate) records: u64,
     pub(crate) sync_on_commit: bool,
+    /// The store's WAL-side instruments; detached (`Default`) until
+    /// [`attach_durable`](crate::AlphaStore) hands this WAL its handles.
+    pub(crate) obs: WalObs,
 }
 
 impl Wal {
@@ -247,14 +251,23 @@ impl Wal {
             .create(true)
             .write(true)
             .truncate(true)
-            .open(path)?;
-        file.write_all(&encode_header(&header))?;
-        file.sync_data()?;
+            .open(path)
+            .map_err(|source| PersistError::Wal {
+                op: WalOp::Create,
+                source,
+            })?;
+        file.write_all(&encode_header(&header))
+            .and_then(|()| file.sync_data())
+            .map_err(|source| PersistError::Wal {
+                op: WalOp::Create,
+                source,
+            })?;
         Ok(Wal {
             file,
             epoch: header.epoch,
             records: 0,
             sync_on_commit,
+            obs: WalObs::default(),
         })
     }
 
@@ -275,6 +288,7 @@ impl Wal {
             epoch,
             records,
             sync_on_commit,
+            obs: WalObs::default(),
         })
     }
 
@@ -283,10 +297,27 @@ impl Wal {
     /// single write, flushing (and fsyncing, when configured) once for the
     /// whole group.
     pub(crate) fn append_group(&mut self, frames: &[u8], count: u64) -> Result<(), PersistError> {
-        self.file.write_all(frames)?;
-        if self.sync_on_commit {
-            self.file.sync_data()?;
+        let t = self.obs.tick();
+        if let Err(source) = self.file.write_all(frames) {
+            self.obs.error();
+            return Err(PersistError::Wal {
+                op: WalOp::Append,
+                source,
+            });
         }
+        self.obs.rec_append(t);
+        if self.sync_on_commit {
+            let t = self.obs.tick();
+            if let Err(source) = self.file.sync_data() {
+                self.obs.error();
+                return Err(PersistError::Wal {
+                    op: WalOp::Sync,
+                    source,
+                });
+            }
+            self.obs.rec_fsync(t);
+        }
+        self.obs.add_bytes(frames.len() as u64);
         self.records += count;
         Ok(())
     }
@@ -296,13 +327,27 @@ impl Wal {
     /// new-epoch snapshot is durably in place.
     pub(crate) fn reset(&mut self, header: WalHeader) -> Result<(), PersistError> {
         use std::io::Seek;
-        self.file.set_len(0)?;
-        self.file.seek(std::io::SeekFrom::Start(0))?;
-        self.file.write_all(&encode_header(&header))?;
-        self.file.sync_data()?;
-        self.epoch = header.epoch;
-        self.records = 0;
-        Ok(())
+        let io = (|| -> std::io::Result<()> {
+            self.file.set_len(0)?;
+            self.file.seek(std::io::SeekFrom::Start(0))?;
+            self.file.write_all(&encode_header(&header))?;
+            self.file.sync_data()
+        })();
+        match io {
+            Ok(()) => {
+                self.obs.reset_bytes();
+                self.epoch = header.epoch;
+                self.records = 0;
+                Ok(())
+            }
+            Err(source) => {
+                self.obs.error();
+                Err(PersistError::Wal {
+                    op: WalOp::Reset,
+                    source,
+                })
+            }
+        }
     }
 }
 
@@ -580,5 +625,45 @@ mod tests {
             read_wal::<u64>(&path),
             Err(PersistError::Mismatch { .. })
         ));
+    }
+
+    /// A real I/O failure on append surfaces as the typed
+    /// [`PersistError::Wal`] (naming the failed op), leaves the record
+    /// count unchanged, and — with the `obs` feature — bumps the
+    /// persist-error counter. `/dev/full` gives a genuine `ENOSPC` from
+    /// the kernel without filling any disk, so the test is Linux-only.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn append_errors_are_typed_and_counted() {
+        use super::super::WalOp;
+        let path = tmp("devfull.wal");
+        let mut wal = Wal::create(&path, header(), true).unwrap();
+        #[cfg(feature = "obs")]
+        let store_obs = crate::obs::StoreObs::new();
+        #[cfg(feature = "obs")]
+        {
+            wal.obs = store_obs.wal_obs();
+        }
+        // Swap the WAL's handle for one where every write fails.
+        wal.file = OpenOptions::new().write(true).open("/dev/full").unwrap();
+        let (frames, count) = sample_frames(&[&[r"\x. x"]]);
+        let err = wal.append_group(&frames, count).unwrap_err();
+        match err {
+            PersistError::Wal { op, source } => {
+                // write_all hits ENOSPC; some kernels only fail at sync.
+                assert!(
+                    op == WalOp::Append || op == WalOp::Sync,
+                    "unexpected op {op:?}"
+                );
+                assert_eq!(source.kind(), std::io::ErrorKind::StorageFull);
+            }
+            other => panic!("expected PersistError::Wal, got {other:?}"),
+        }
+        assert_eq!(wal.records, 0, "failed append must not count records");
+        #[cfg(feature = "obs")]
+        {
+            let report = store_obs.report(Vec::new());
+            assert_eq!(report.counter("alpha_store_persist_errors"), Some(1));
+        }
     }
 }

@@ -212,6 +212,17 @@ impl<'s, H: HashWord> Preparer<'s, H> {
         }
     }
 
+    /// Drains the summariser's cumulative work counters — `(nodes pushed,
+    /// name-hash cache misses)` since the last drain — for the store's
+    /// instrumentation seam. Resets both to zero.
+    pub(crate) fn take_hash_counters(&mut self) -> (u64, u64) {
+        let nodes = self.summariser.nodes_pushed;
+        let misses = self.summariser.name_cache_misses;
+        self.summariser.nodes_pushed = 0;
+        self.summariser.name_cache_misses = 0;
+        (nodes, misses)
+    }
+
     /// Computes the term's alpha-hash and its canonical de Bruijn form in
     /// one fused post-order pass — the frontier shape used by
     /// root-granularity ingest and by read-only probes.

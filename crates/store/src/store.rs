@@ -34,6 +34,7 @@
 use crate::canon::rebuild_named;
 use crate::dag::{eq_frontier, extract_canon, extract_one, CanonTable, TableView};
 use crate::granularity::{Granularity, StoreBuilder};
+use crate::obs::StoreObs;
 use crate::persist::format::RawRecord;
 use crate::persist::snapshot::SnapshotHeader;
 use crate::persist::wal::WalHeader;
@@ -216,6 +217,7 @@ impl<H: HashWord> Shard<H> {
         view: &mut TableView<'_>,
         entry: SubEntry<H>,
         is_root: bool,
+        obs: &StoreObs,
     ) -> (u32, bool, bool) {
         let bucket = self.buckets.entry(entry.hash).or_default();
         let mut mismatched = false;
@@ -223,9 +225,20 @@ impl<H: HashWord> Shard<H> {
             let class = &self.classes[ci as usize];
             let equal = class.node_count == entry.node_count
                 && match &entry.canon {
-                    PreparedCanon::Interned(r) => *r == class.canon,
+                    PreparedCanon::Interned(r) => {
+                        let eq = *r == class.canon;
+                        if eq {
+                            obs.confirm_ref();
+                        }
+                        eq
+                    }
                     PreparedCanon::Frontier { canon, canon_root } => {
-                        eq_frontier(view, class.canon, canon, *canon_root)
+                        let mut steps = 0u64;
+                        let eq = eq_frontier(view, class.canon, canon, *canon_root, &mut steps);
+                        if eq {
+                            obs.confirm_walk(steps);
+                        }
+                        eq
                     }
                 };
             if equal {
@@ -274,7 +287,7 @@ impl<H: HashWord> Shard<H> {
             .find(|&ci| {
                 let class = &self.classes[ci as usize];
                 class.node_count == p.entry.node_count
-                    && eq_frontier(view, class.canon, canon, *canon_root)
+                    && eq_frontier(view, class.canon, canon, *canon_root, &mut 0)
             })
     }
 }
@@ -335,6 +348,11 @@ pub struct AlphaStore<H: HashWord = u64> {
     /// cut is taken. Lock order: `maintenance` → WAL mutex → shard locks
     /// → canon-table locks.
     maintenance: RwLock<()>,
+    /// The instrumentation seam (`crate::obs`): a real metric registry
+    /// with the `obs` cargo feature, an inlined no-op ZST without. Obs
+    /// recording never takes a store lock; inside critical sections only
+    /// wait-free operations (atomic adds, monotonic clock reads) happen.
+    obs: StoreObs,
 }
 
 impl<H: HashWord> Default for AlphaStore<H> {
@@ -402,6 +420,7 @@ impl<H: HashWord> AlphaStore<H> {
             chunk_entries: chunk_entries.max(1),
             durable: None,
             maintenance: RwLock::new(()),
+            obs: StoreObs::new(),
         }
     }
 
@@ -434,11 +453,21 @@ impl<H: HashWord> AlphaStore<H> {
             chunk_entries: chunk_entries.max(1),
             durable: None,
             maintenance: RwLock::new(()),
+            obs: StoreObs::new(),
         })
     }
 
-    pub(crate) fn attach_durable(&mut self, durable: Durable) {
+    pub(crate) fn attach_durable(&mut self, mut durable: Durable) {
+        // Hand the WAL its slice of this store's instruments before it
+        // can see any traffic.
+        durable.wal.get_mut().expect("wal lock poisoned").obs = self.obs.wal_obs();
         self.durable = Some(durable);
+    }
+
+    /// Recovery phases are timed in `persist::open_store_locked`, before
+    /// this store exists; they arrive here as raw durations.
+    pub(crate) fn record_recovery(&self, snapshot_load_ns: u64, replay_ns: u64) {
+        self.obs.rec_recovery(snapshot_load_ns, replay_ns);
     }
 
     /// The hash scheme terms are addressed with.
@@ -508,14 +537,22 @@ impl<H: HashWord> AlphaStore<H> {
         match self.granularity {
             Granularity::Roots => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
+                let t = self.obs.tick();
                 let prepared = self.prepare(&mut preparer, arena, root);
+                self.obs.rec_prepare(t, prepared.entry.node_count);
+                let (nodes, misses) = preparer.take_hash_counters();
+                self.obs.add_hash_counters(nodes, misses);
                 self.ingest_prepared_roots(vec![prepared])
                     .pop()
                     .expect("one term ingested")
             }
             Granularity::Subexpressions { min_nodes } => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
+                let t = self.obs.tick();
                 let pt = preparer.prepare_term(arena, root, min_nodes, &self.table);
+                self.obs.rec_prepare(t, pt.root.node_count);
+                let (nodes, misses) = preparer.take_hash_counters();
+                self.obs.add_hash_counters(nodes, misses);
                 self.ingest_prepared_terms(vec![pt])
                     .pop()
                     .expect("one term ingested")
@@ -553,8 +590,15 @@ impl<H: HashWord> AlphaStore<H> {
             // All hashing/canonicalization first, outside any lock…
             let prepared: Vec<Prepared<H>> = chunk
                 .iter()
-                .map(|&r| self.prepare(&mut preparer, arena, r))
+                .map(|&r| {
+                    let t = self.obs.tick();
+                    let p = self.prepare(&mut preparer, arena, r);
+                    self.obs.rec_prepare(t, p.entry.node_count);
+                    p
+                })
                 .collect();
+            let (nodes, misses) = preparer.take_hash_counters();
+            self.obs.add_hash_counters(nodes, misses);
             // …then log and drain shard by shard.
             outcomes.extend(self.ingest_prepared_roots(prepared));
         }
@@ -571,15 +615,22 @@ impl<H: HashWord> AlphaStore<H> {
         self.wal_log_roots(&prepared);
         if prepared.len() == 1 {
             let p = prepared.pop().expect("one prepared term");
-            let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
-            let mut view = TableView::new(&self.table);
-            return vec![self.finish_insert(
-                &mut shard,
-                &mut view,
-                p,
-                SubexprSummary::default(),
-                Vec::new(),
-            )];
+            let t_apply = self.obs.tick();
+            let outcome = {
+                let t_lock = self.obs.tick();
+                let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
+                self.obs.rec_shard_lock_wait(t_lock);
+                let mut view = TableView::new(&self.table);
+                self.finish_insert(
+                    &mut shard,
+                    &mut view,
+                    p,
+                    SubexprSummary::default(),
+                    Vec::new(),
+                )
+            };
+            self.obs.rec_apply(t_apply, 1);
+            return vec![outcome];
         }
         self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
     }
@@ -600,16 +651,24 @@ impl<H: HashWord> AlphaStore<H> {
         }
         let mut outcomes: Vec<Option<InsertOutcome>> = vec![None; count];
         for (shard_index, items) in by_shard {
-            let mut shard = self.shards[shard_index]
-                .write()
-                .expect("shard lock poisoned");
-            // One view per critical section: table guards are only ever
-            // taken *after* the shard lock (the documented lock order).
-            let mut view = TableView::new(&self.table);
-            for (i, p) in items {
-                let (summary, sub_bits) = extras(i);
-                outcomes[i] = Some(self.finish_insert(&mut shard, &mut view, p, summary, sub_bits));
+            let n_items = items.len() as u64;
+            let t_apply = self.obs.tick();
+            {
+                let t_lock = self.obs.tick();
+                let mut shard = self.shards[shard_index]
+                    .write()
+                    .expect("shard lock poisoned");
+                self.obs.rec_shard_lock_wait(t_lock);
+                // One view per critical section: table guards are only ever
+                // taken *after* the shard lock (the documented lock order).
+                let mut view = TableView::new(&self.table);
+                for (i, p) in items {
+                    let (summary, sub_bits) = extras(i);
+                    outcomes[i] =
+                        Some(self.finish_insert(&mut shard, &mut view, p, summary, sub_bits));
+                }
             }
+            self.obs.rec_apply(t_apply, n_items);
         }
         outcomes
             .into_iter()
@@ -636,7 +695,9 @@ impl<H: HashWord> AlphaStore<H> {
         let mut pending: Vec<PreparedTerm<H>> = Vec::new();
         let mut pending_entries = 0usize;
         for &root in roots {
+            let t = self.obs.tick();
             let pt = preparer.prepare_term(arena, root, min_nodes, &self.table);
+            self.obs.rec_prepare(t, pt.root.node_count);
             pending_entries += 1 + pt.subs.len();
             pending.push(pt);
             if pending_entries >= self.chunk_entries {
@@ -647,6 +708,8 @@ impl<H: HashWord> AlphaStore<H> {
         if !pending.is_empty() {
             outcomes.extend(self.ingest_prepared_terms(pending));
         }
+        let (nodes, misses) = preparer.take_hash_counters();
+        self.obs.add_hash_counters(nodes, misses);
         outcomes
     }
 
@@ -699,15 +762,19 @@ impl<H: HashWord> AlphaStore<H> {
         // occurrence created.
         let (mut n_indexed, mut n_created, mut n_merged, mut n_collided) = (0u64, 0u64, 0u64, 0u64);
         for (shard_index, entries) in by_shard {
+            let n_entries = entries.len() as u64;
+            let t_apply = self.obs.tick();
+            let t_lock = self.obs.tick();
             let mut shard = self.shards[shard_index]
                 .write()
                 .expect("shard lock poisoned");
+            self.obs.rec_shard_lock_wait(t_lock);
             let mut view = TableView::new(&self.table);
             let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
             for (ti, entry) in entries {
                 let m = u64::from(entry.multiplicity);
                 let (class_index, fresh, collided) =
-                    shard.insert_entry(&self.table, &mut view, entry, false);
+                    shard.insert_entry(&self.table, &mut view, entry, false, &self.obs);
                 n_indexed += m;
                 summaries[ti].indexed += m;
                 if fresh {
@@ -729,6 +796,8 @@ impl<H: HashWord> AlphaStore<H> {
                     .to_bits(),
                 );
             }
+            drop(shard);
+            self.obs.rec_apply(t_apply, n_entries);
         }
         StatCounters::add(&self.counters.subterms_indexed, n_indexed);
         StatCounters::add(&self.counters.classes_created, n_created);
@@ -764,7 +833,7 @@ impl<H: HashWord> AlphaStore<H> {
         StatCounters::bump(&self.counters.terms_ingested);
         let shard_u16 = u16::try_from(prepared.shard).expect("shard count fits u16");
         let (class_index, fresh, collided) =
-            shard.insert_entry(&self.table, view, prepared.entry, true);
+            shard.insert_entry(&self.table, view, prepared.entry, true, &self.obs);
         if fresh {
             StatCounters::bump(&self.counters.classes_created);
         } else {
@@ -811,21 +880,29 @@ impl<H: HashWord> AlphaStore<H> {
     ) -> Option<ClassId> {
         let mut preparer = Preparer::new(arena, &self.scheme);
         let prepared = self.prepare(&mut preparer, arena, root);
+        let (nodes, misses) = preparer.take_hash_counters();
+        self.obs.add_hash_counters(nodes, misses);
         self.probe_prepared(&prepared, roots_only)
     }
 
     fn probe_prepared(&self, prepared: &Prepared<H>, roots_only: bool) -> Option<ClassId> {
+        let t = self.obs.tick();
+        let t_lock = self.obs.tick();
         let shard = self.shards[prepared.shard]
             .read()
             .expect("shard lock poisoned");
+        self.obs.rec_shard_lock_wait(t_lock);
         let mut view = TableView::new(&self.table);
-        shard
+        let found = shard
             .find(&mut view, prepared)
             .filter(|&index| !roots_only || shard.classes[index as usize].members > 0)
             .map(|index| ClassId {
                 shard: u16::try_from(prepared.shard).expect("shard count fits u16"),
                 index,
-            })
+            });
+        drop(shard);
+        self.obs.rec_probe(t);
+        found
     }
 
     /// Batched probes sharing one [`Preparer`] (and therefore one
@@ -847,14 +924,19 @@ impl<H: HashWord> AlphaStore<H> {
                 .or_default()
                 .push((i, prepared));
         }
+        let (nodes, misses) = preparer.take_hash_counters();
+        self.obs.add_hash_counters(nodes, misses);
         let mut results: Vec<Option<ClassId>> = vec![None; patterns.len()];
         for (shard_index, items) in by_shard {
+            let t_lock = self.obs.tick();
             let shard = self.shards[shard_index]
                 .read()
                 .expect("shard lock poisoned");
+            self.obs.rec_shard_lock_wait(t_lock);
             let mut view = TableView::new(&self.table);
             let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
             for (i, prepared) in items {
+                let t = self.obs.tick();
                 results[i] = shard
                     .find(&mut view, &prepared)
                     .filter(|&index| !roots_only || shard.classes[index as usize].members > 0)
@@ -862,6 +944,7 @@ impl<H: HashWord> AlphaStore<H> {
                         shard: shard_u16,
                         index,
                     });
+                self.obs.rec_probe(t);
             }
         }
         results
@@ -1152,6 +1235,7 @@ impl<H: HashWord> AlphaStore<H> {
         wal_epoch: u64,
         wal_records_applied: u64,
     ) -> Result<(), PersistError> {
+        let t = self.obs.tick();
         let guards: Vec<_> = self
             .shards
             .iter()
@@ -1179,7 +1263,12 @@ impl<H: HashWord> AlphaStore<H> {
         };
         let bytes =
             crate::persist::snapshot::encode_snapshot(&header, &shard_refs, &dag, &class_roots);
-        crate::persist::snapshot::write_atomically(path, &bytes)
+        let result = crate::persist::snapshot::write_atomically(path, &bytes);
+        drop(guards);
+        if result.is_ok() {
+            self.obs.rec_snapshot_write(t, bytes.len() as u64);
+        }
+        result
     }
 
     /// Replays recovered WAL records through the normal ingest path,
@@ -1271,12 +1360,14 @@ impl<H: HashWord> AlphaStore<H> {
             );
         }
         crate::persist::wal::frame_commit(&mut frames, prepared.len() as u64);
+        let t = self.obs.tick();
         durable
             .wal
             .lock()
             .expect("wal lock poisoned")
             .append_group(&frames, prepared.len() as u64)
             .expect("WAL append failed; cannot continue durably");
+        self.obs.rec_wal_commit(t, prepared.len() as u64);
     }
 
     /// Tees a chunk of subexpression-granularity inserts into the WAL as
@@ -1302,12 +1393,14 @@ impl<H: HashWord> AlphaStore<H> {
         }
         drop(view);
         crate::persist::wal::frame_commit(&mut frames, terms.len() as u64);
+        let t = self.obs.tick();
         durable
             .wal
             .lock()
             .expect("wal lock poisoned")
             .append_group(&frames, terms.len() as u64)
             .expect("WAL append failed; cannot continue durably");
+        self.obs.rec_wal_commit(t, terms.len() as u64);
     }
 
     pub(crate) fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {
@@ -1315,6 +1408,175 @@ impl<H: HashWord> AlphaStore<H> {
             .read()
             .expect("shard lock poisoned");
         f(&shard.classes[class.index as usize])
+    }
+}
+
+/// Observability surface, present with the `obs` cargo feature
+/// (default). See `docs/OBSERVABILITY.md` for the metric catalog.
+#[cfg(feature = "obs")]
+impl<H: HashWord> AlphaStore<H> {
+    /// A point-in-time snapshot of every instrument this store owns —
+    /// latency histograms, confirmation counters, WAL gauges — unified
+    /// with [`StoreStats`] and [`CanonDagStats`] derived values so one
+    /// call yields the full picture. Render it with
+    /// [`Report::to_json`](alpha_obs::Report::to_json) or
+    /// [`Report::to_prometheus`](alpha_obs::Report::to_prometheus).
+    pub fn obs_report(&self) -> alpha_obs::Report {
+        use alpha_obs::{Desc, Sample};
+        const fn d(name: &'static str, help: &'static str, unit: &'static str) -> Desc {
+            Desc { name, help, unit }
+        }
+        let stats = self.stats();
+        let dag = self.canon_dag_stats();
+        let (intern_hits, intern_misses) = self.table.intern_stats();
+        let mut extras = vec![
+            Sample::counter(
+                d(
+                    "alpha_store_terms_ingested",
+                    "Whole terms ingested",
+                    "terms",
+                ),
+                stats.terms_ingested,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_classes_created",
+                    "Fresh equivalence classes created",
+                    "classes",
+                ),
+                stats.classes_created,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_merges_confirmed",
+                    "Whole-term merges confirmed by canonical identity",
+                    "merges",
+                ),
+                stats.merges_confirmed,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_hash_collisions",
+                    "Inserts whose hash matched a non-equivalent class",
+                    "collisions",
+                ),
+                stats.hash_collisions,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_unconfirmed_merges",
+                    "Merges accepted without confirmation (always 0: merges are exact)",
+                    "merges",
+                ),
+                stats.unconfirmed_merges,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_subterms_indexed",
+                    "Subexpression occurrences indexed",
+                    "subterms",
+                ),
+                stats.subterms_indexed,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_subterm_merges_confirmed",
+                    "Subexpression merges confirmed by canonical identity",
+                    "merges",
+                ),
+                stats.subterm_merges_confirmed,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_subterms_skipped_min_nodes",
+                    "Subexpressions skipped by the min_nodes floor",
+                    "subterms",
+                ),
+                stats.subterms_skipped_min_nodes,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_canon_intern_hits",
+                    "Canon-table intern calls answered by an existing node",
+                    "nodes",
+                ),
+                intern_hits,
+            ),
+            Sample::counter(
+                d(
+                    "alpha_store_canon_intern_misses",
+                    "Canon-table intern calls that inserted a new node",
+                    "nodes",
+                ),
+                intern_misses,
+            ),
+            Sample::gauge(
+                d(
+                    "alpha_store_canon_resident_nodes",
+                    "Distinct canon DAG nodes resident",
+                    "nodes",
+                ),
+                dag.resident_nodes,
+            ),
+            Sample::gauge(
+                d(
+                    "alpha_store_canon_logical_nodes",
+                    "Logical canon nodes a tree-per-class design would hold",
+                    "nodes",
+                ),
+                dag.logical_nodes,
+            ),
+            Sample::gauge(
+                d(
+                    "alpha_store_canon_resident_bytes",
+                    "Approximate bytes resident in the canon DAG",
+                    "bytes",
+                ),
+                dag.resident_bytes,
+            ),
+        ];
+        if let Some(records) = self.wal_records() {
+            extras.push(Sample::gauge(
+                d(
+                    "alpha_store_wal_records",
+                    "Records in the live WAL epoch",
+                    "records",
+                ),
+                records,
+            ));
+        }
+        self.obs.report(extras)
+    }
+
+    /// Runtime toggle for the clock-reading / event-emitting half of
+    /// instrumentation (on by default). Counters and length histograms
+    /// keep recording regardless — one relaxed atomic op each — so
+    /// reconciliation invariants (e.g. confirmations vs
+    /// [`StoreStats::merges_confirmed`]) hold in either state.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.obs.set_enabled(on);
+    }
+
+    /// Whether timed instrumentation is currently enabled.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// The most recent trace events from the default ring-buffer
+    /// subscriber (newest last). Empty after
+    /// [`set_obs_subscriber`](Self::set_obs_subscriber) replaces the
+    /// ring.
+    pub fn obs_recent_events(&self) -> Vec<alpha_obs::Event> {
+        self.obs.recent_events()
+    }
+
+    /// Replaces the trace subscriber (the default is a bounded ring
+    /// buffer readable via
+    /// [`obs_recent_events`](Self::obs_recent_events)). The subscriber
+    /// is called with store locks possibly held: it must not call back
+    /// into this store.
+    pub fn set_obs_subscriber(&self, s: std::sync::Arc<dyn alpha_obs::Subscriber>) {
+        self.obs.set_subscriber(s);
     }
 }
 
