@@ -275,6 +275,58 @@ fn main() {
     let _ = std::fs::remove_dir_all(&durable_dir);
 
     let rate = |secs: f64| terms as f64 / secs;
+
+    // Reliability: the same durable ingest over a periodically flaky
+    // disk (every 5th write-side op fails once with EIO), absorbed by
+    // the retry policy with a near-zero backoff so the number tracks
+    // the retry *path* (truncate-to-good + re-append), not the sleep.
+    // `wal_commit_ns` p99 from this run is the retry-path tail latency.
+    // Small chunks so even a smoke-sized corpus draws enough write-side
+    // ops (one group commit each) to be guaranteed a faulted one.
+    let (retry_secs, wal_retries, retry_commit_p50, retry_commit_p99) = {
+        use alpha_store::{FaultKind, FaultVfs};
+        let fault = FaultVfs::new();
+        let _ = std::fs::remove_dir_all(&durable_dir);
+        let r_store = AlphaStore::builder()
+            .scheme(scheme)
+            .shards(shards)
+            .chunk_entries(256)
+            .vfs(std::sync::Arc::new(fault.clone()))
+            .persist_retries(2)
+            .persist_backoff(std::time::Duration::from_micros(10))
+            .open_durable(&durable_dir)
+            .expect("create durable store");
+        fault.fail_every(5, FaultKind::Eio);
+        let t0 = std::time::Instant::now();
+        r_store.insert_batch(&arena, &roots);
+        let secs = t0.elapsed().as_secs_f64();
+        let r_obs = r_store.obs_report();
+        let retries = r_obs
+            .counter("alpha_store_wal_retries")
+            .expect("retry counter exported");
+        assert!(
+            retries > 0,
+            "a 1-in-5 fault rate must exercise the retry path"
+        );
+        let commits = r_obs
+            .histogram("alpha_store_wal_commit_ns")
+            .expect("faulted run records WAL commits");
+        (secs, retries, commits.quantile(0.5), commits.quantile(0.99))
+    };
+    let _ = std::fs::remove_dir_all(&durable_dir);
+
+    // The Vfs seam's ingest cost against the last pre-VFS recording
+    // (PR 6's BENCH_store.json `durable.terms_per_sec`): positive =
+    // slower than the baseline. Acceptance bound: <= 2%. On a shared
+    // 1-core container the absolute rate swings ~15% run to run, so the
+    // load-bearing form is the delta of durable-vs-in-memory overhead
+    // against PR 6's recording of the same within-run ratio — both
+    // sides of that ratio see the same machine, only the VFS seam
+    // differs.
+    const PRE_VFS_DURABLE_BASELINE_TPS: f64 = 148_240.3;
+    const PRE_VFS_DURABLE_OVERHEAD_VS_MEMORY: f64 = 0.0407;
+    let vfs_overhead_vs_baseline = PRE_VFS_DURABLE_BASELINE_TPS / rate(durable) - 1.0;
+    let vfs_overhead_within_run = (durable / single - 1.0) - PRE_VFS_DURABLE_OVERHEAD_VS_MEMORY;
     let node_rate = |secs: f64| corpus_nodes as f64 / secs;
     println!(
         "  unbatched 1 thread : {:>10} ({:>12.0} terms/s, {:>12.0} nodes/s)",
@@ -351,6 +403,16 @@ fn main() {
         wal_commit_p50,
         wal_commit_p99,
     );
+    println!(
+        "  reliability        : vfs overhead vs pre-VFS baseline {:+.1}% cross-run / {:+.1}% \
+         within-run, flaky-disk ingest {} ({} retries, commit p50/p99 {:.0}/{:.0} ns)",
+        100.0 * vfs_overhead_vs_baseline,
+        100.0 * vfs_overhead_within_run,
+        format_ms(retry_secs),
+        wal_retries,
+        retry_commit_p50,
+        retry_commit_p99,
+    );
     println!("  {stats}");
     println!("  subexpr mode: {sub_stats}");
     println!("  durable mode: {durable_stats}");
@@ -419,6 +481,18 @@ fn main() {
                 "    \"contains_batch_secs\": {cb_secs:.6},\n",
                 "    \"contains_batch_queries_per_sec\": {cb_qps:.1}\n",
                 "  }},\n",
+                "  \"reliability\": {{\n",
+                "    \"baseline_durable_terms_per_sec\": {pre_vfs_baseline:.1},\n",
+                "    \"durable_terms_per_sec\": {durable_rate:.1},\n",
+                "    \"vfs_overhead_vs_baseline\": {vfs_overhead:.4},\n",
+                "    \"baseline_durable_overhead_vs_memory\": {pre_vfs_ovm:.4},\n",
+                "    \"vfs_overhead_within_run\": {vfs_overhead_wr:.4},\n",
+                "    \"flaky_disk_ingest_secs\": {retry_secs:.6},\n",
+                "    \"flaky_disk_terms_per_sec\": {retry_rate:.1},\n",
+                "    \"wal_retries\": {wal_retries},\n",
+                "    \"retry_commit_ns_p50\": {retry_commit_p50:.1},\n",
+                "    \"retry_commit_ns_p99\": {retry_commit_p99:.1}\n",
+                "  }},\n",
                 "  \"obs\": {{\n",
                 "    \"single_thread_obs_on_secs\": {single_obs_on:.6},\n",
                 "    \"single_thread_obs_off_secs\": {single_obs_off:.6},\n",
@@ -484,6 +558,15 @@ fn main() {
             cb_patterns = pattern_count,
             cb_secs = contains_batch_secs,
             cb_qps = contains_qps,
+            pre_vfs_baseline = PRE_VFS_DURABLE_BASELINE_TPS,
+            vfs_overhead = vfs_overhead_vs_baseline,
+            pre_vfs_ovm = PRE_VFS_DURABLE_OVERHEAD_VS_MEMORY,
+            vfs_overhead_wr = vfs_overhead_within_run,
+            retry_secs = retry_secs,
+            retry_rate = rate(retry_secs),
+            wal_retries = wal_retries,
+            retry_commit_p50 = retry_commit_p50,
+            retry_commit_p99 = retry_commit_p99,
             single_obs_on = single_obs_on,
             single_obs_off = single_obs_off,
             obs_overhead_ratio = obs_overhead_ratio,

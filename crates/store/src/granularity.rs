@@ -55,10 +55,13 @@
 //! assert!(outcome.subs.skipped_min_nodes > 0); // tiny leaves did not
 //! ```
 
+use crate::persist::vfs::{OsVfs, Vfs};
 use crate::persist::{ExpectedConfig, PersistError};
-use crate::store::AlphaStore;
+use crate::store::{AlphaStore, AutoCheckpoint, RetryPolicy};
 use alpha_hash::combine::{HashScheme, HashWord};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A [`StoreBuilder`] setting that cannot describe a working store,
 /// reported by [`StoreBuilder::try_build`]. The infallible
@@ -168,7 +171,7 @@ impl Granularity {
 /// assert!(store.contains(&arena, pattern).is_some());
 /// assert!(store.lookup(&arena, pattern).is_none());
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreBuilder<H: HashWord = u64> {
     scheme: HashScheme<H>,
     shards: usize,
@@ -176,6 +179,9 @@ pub struct StoreBuilder<H: HashWord = u64> {
     chunk_entries: usize,
     sync_on_commit: bool,
     verify_on_replay: bool,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
+    auto_ckpt: AutoCheckpoint,
 }
 
 impl<H: HashWord> Default for StoreBuilder<H> {
@@ -195,6 +201,9 @@ impl<H: HashWord> StoreBuilder<H> {
             chunk_entries: AlphaStore::<H>::DEFAULT_CHUNK_ENTRIES,
             sync_on_commit: false,
             verify_on_replay: false,
+            vfs: Arc::new(OsVfs),
+            retry: RetryPolicy::default(),
+            auto_ckpt: AutoCheckpoint::default(),
         }
     }
 
@@ -273,6 +282,63 @@ impl<H: HashWord> StoreBuilder<H> {
     /// with [`StoreBuilder::open_durable`].
     pub fn verify_on_replay(mut self, verify: bool) -> Self {
         self.verify_on_replay = verify;
+        self
+    }
+
+    /// Replaces the storage backend every persisted byte flows through.
+    /// The default is [`OsVfs`] (the real filesystem); tests substitute
+    /// [`FaultVfs`](crate::FaultVfs) to inject deterministic I/O failures
+    /// at chosen operation indices. Only meaningful with
+    /// [`StoreBuilder::open_durable`].
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// How many times a failed WAL append/sync is retried (with
+    /// exponential backoff, see [`StoreBuilder::persist_backoff`]) before
+    /// the store gives up and flips to
+    /// [`Health::ReadOnly`](crate::Health::ReadOnly). `0` disables
+    /// retries: the first failure is final. Default: 2. Only meaningful
+    /// with [`StoreBuilder::open_durable`].
+    pub fn persist_retries(mut self, retries: u32) -> Self {
+        self.retry.retries = retries;
+        self
+    }
+
+    /// Base delay of the exponential backoff between WAL retries: attempt
+    /// *n* sleeps `backoff × 2ⁿ⁻¹`. The WAL mutex is held across the
+    /// sleeps — concurrent ingest waits rather than reordering around a
+    /// failing append. Default: 5 ms. Only meaningful with
+    /// [`StoreBuilder::open_durable`].
+    pub fn persist_backoff(mut self, backoff: Duration) -> Self {
+        self.retry.backoff = backoff;
+        self
+    }
+
+    /// Replaces the clock the retry loop sleeps on — the injectable-clock
+    /// seam that lets tests drive the backoff path without real delays.
+    /// The default is [`std::thread::sleep`].
+    pub fn persist_sleeper(mut self, sleeper: Arc<dyn Fn(Duration) + Send + Sync>) -> Self {
+        self.retry.sleeper = sleeper;
+        self
+    }
+
+    /// Arms the byte watermark for auto-checkpoint: after any ingest that
+    /// leaves at least `bytes` of WAL appended since the last checkpoint,
+    /// the store checkpoints itself (snapshot + WAL reset) through the
+    /// maintenance lock. Off by default. Only meaningful with
+    /// [`StoreBuilder::open_durable`]; see `docs/RELIABILITY.md`.
+    pub fn auto_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.auto_ckpt.bytes = Some(bytes);
+        self
+    }
+
+    /// Arms the record-count watermark for auto-checkpoint, like
+    /// [`StoreBuilder::auto_checkpoint_bytes`] but counting WAL records.
+    /// Off by default.
+    pub fn auto_checkpoint_records(mut self, records: u64) -> Self {
+        self.auto_ckpt.records = Some(records);
         self
     }
 
@@ -376,6 +442,9 @@ impl<H: HashWord> StoreBuilder<H> {
                 sync_on_commit: self.sync_on_commit,
                 chunk_entries: self.chunk_entries.max(1),
                 verify_on_replay: self.verify_on_replay,
+                vfs: self.vfs,
+                retry: self.retry,
+                auto_ckpt: self.auto_ckpt,
             },
         )
     }

@@ -101,10 +101,11 @@ pub mod store;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
 pub use granularity::{ConfigError, Granularity, StoreBuilder};
-pub use persist::{PersistError, WalOp};
+pub use persist::vfs::{FaultKind, FaultVfs, OsVfs, Vfs, VfsFile};
+pub use persist::{PersistError, SnapshotOp, WalOp};
 pub use prepare::Preparer;
 pub use stats::{CanonDagStats, StoreStats};
-pub use store::{AlphaStore, ClassId, InsertOutcome, SubexprSummary, TermId};
+pub use store::{AlphaStore, ClassId, Health, InsertOutcome, StoreError, SubexprSummary, TermId};
 
 /// The zero-dependency metrics/tracing crate backing
 /// [`AlphaStore::obs_report`] and friends, re-exported so downstream

@@ -76,6 +76,11 @@ mod enabled {
         merge_confirm_walk: Arc<Counter>,
         hash_nodes: Arc<Counter>,
         name_cache_misses: Arc<Counter>,
+        // Reliability instruments (health state machine, retry loop,
+        // auto-checkpoint).
+        health: Arc<Gauge>,
+        wal_retries: Arc<Counter>,
+        auto_checkpoints: Arc<Counter>,
         // WAL-side handles, shared with [`WalObs`].
         wal: Arc<WalShared>,
     }
@@ -183,6 +188,21 @@ mod enabled {
                 "WAL bytes appended since the last checkpoint",
                 "bytes",
             ));
+            let health = registry.gauge(desc(
+                "alpha_store_health",
+                "Store health state: 0 healthy, 1 degraded, 2 read-only",
+                "state",
+            ));
+            let wal_retries = registry.counter(desc(
+                "alpha_store_wal_retries",
+                "WAL append attempts retried after a transient failure",
+                "retries",
+            ));
+            let auto_checkpoints = registry.counter(desc(
+                "alpha_store_auto_checkpoints",
+                "Checkpoints triggered by the WAL watermarks",
+                "checkpoints",
+            ));
             let recording = Arc::new(AtomicBool::new(true));
             let (tracer, ring) = Tracer::with_ring();
             let wal = Arc::new(WalShared {
@@ -211,6 +231,9 @@ mod enabled {
                 merge_confirm_walk,
                 hash_nodes,
                 name_cache_misses,
+                health,
+                wal_retries,
+                auto_checkpoints,
                 wal,
             }
         }
@@ -330,6 +353,39 @@ mod enabled {
             self.hash_nodes.add(nodes);
             self.name_cache_misses.add(name_misses);
         }
+
+        // ---- reliability recorders ----------------------------------
+
+        /// A persistence error surfaced outside the WAL's own recording
+        /// (snapshot failures, checkpoint failures). Shares the
+        /// `alpha_store_persist_errors` counter with [`WalObs::error`].
+        #[inline]
+        pub(crate) fn persist_error(&self) {
+            self.wal.persist_errors.inc();
+        }
+
+        /// One WAL append attempt was retried after a transient failure.
+        #[inline]
+        pub(crate) fn rec_wal_retry(&self) {
+            self.wal_retries.inc();
+        }
+
+        /// One checkpoint was triggered by a WAL watermark.
+        #[inline]
+        pub(crate) fn rec_auto_checkpoint(&self) {
+            self.auto_checkpoints.inc();
+        }
+
+        /// Publish a health transition: the gauge tracks the current
+        /// state (0 healthy, 1 degraded, 2 read-only) and the trace ring
+        /// gets one event per transition. Called from the health state
+        /// machine only — never inside a shard critical section, though
+        /// the WAL mutex may be held (store locks → obs internals is the
+        /// documented acyclic order).
+        pub(crate) fn rec_health(&self, event: &'static str, state: u64) {
+            self.health.set(state);
+            self.tracer.event(event, 0, state);
+        }
     }
 
     /// The WAL's slice of the store's instruments. `Default` is the
@@ -433,6 +489,14 @@ mod disabled {
         pub(crate) fn confirm_walk(&self, _steps: u64) {}
         #[inline(always)]
         pub(crate) fn add_hash_counters(&self, _nodes: u64, _name_misses: u64) {}
+        #[inline(always)]
+        pub(crate) fn persist_error(&self) {}
+        #[inline(always)]
+        pub(crate) fn rec_wal_retry(&self) {}
+        #[inline(always)]
+        pub(crate) fn rec_auto_checkpoint(&self) {}
+        #[inline(always)]
+        pub(crate) fn rec_health(&self, _event: &'static str, _state: u64) {}
         #[inline(always)]
         pub(crate) fn wal_obs(&self) -> WalObs {
             WalObs

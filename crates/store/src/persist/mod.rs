@@ -44,19 +44,21 @@
 
 pub mod format;
 pub(crate) mod snapshot;
+pub mod vfs;
 pub(crate) mod wal;
 
 use crate::canon::rebuild_named;
 use crate::dag::CanonTable;
 use crate::granularity::Granularity;
-use crate::store::AlphaStore;
+use crate::store::{AlphaStore, AutoCheckpoint, RetryPolicy};
 use alpha_hash::combine::{HashScheme, HashWord};
 use format::RawRecord;
 use lambda_lang::debruijn::DbNode;
 use lambda_lang::ExprArena;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use vfs::Vfs;
 
 /// File name of the snapshot inside a durable store's directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -117,6 +119,20 @@ pub enum PersistError {
         /// The underlying filesystem error.
         source: std::io::Error,
     },
+    /// An I/O failure inside the atomic snapshot-write protocol. The `op`
+    /// says which step failed — **including the trailing directory sync**,
+    /// without which the rename itself is not durable (this used to be
+    /// silently swallowed). A failed snapshot leaves the previous snapshot
+    /// and the WAL untouched: the store remains fully recoverable, which
+    /// is why this is distinct from [`PersistError::Wal`]. Every
+    /// occurrence also increments `alpha_store_persist_errors` when the
+    /// `obs` feature is on.
+    Snapshot {
+        /// The snapshot-protocol step that failed.
+        op: SnapshotOp,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
 }
 
 /// The write-ahead-log operation behind a [`PersistError::Wal`].
@@ -144,6 +160,36 @@ impl fmt::Display for WalOp {
     }
 }
 
+/// The atomic-snapshot-protocol step behind a [`PersistError::Snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotOp {
+    /// Creating the temp file next to the destination.
+    Create,
+    /// Writing the serialized store into the temp file.
+    Write,
+    /// The `fsync` that makes the temp file's content durable before the
+    /// rename can commit it.
+    Sync,
+    /// Renaming the temp file over the destination (the commit point).
+    Rename,
+    /// The directory `fsync` that makes the **rename itself** durable.
+    /// A failure here fails the protocol: the new snapshot may not
+    /// survive power loss even though the rename returned success.
+    DirSync,
+}
+
+impl fmt::Display for SnapshotOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnapshotOp::Create => "temp-file create",
+            SnapshotOp::Write => "temp-file write",
+            SnapshotOp::Sync => "temp-file sync",
+            SnapshotOp::Rename => "rename",
+            SnapshotOp::DirSync => "directory sync",
+        })
+    }
+}
+
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -163,6 +209,9 @@ impl fmt::Display for PersistError {
             PersistError::Wal { op, source } => {
                 write!(f, "write-ahead log {op} failed: {source}")
             }
+            PersistError::Snapshot { op, source } => {
+                write!(f, "snapshot {op} failed: {source}")
+            }
         }
     }
 }
@@ -172,6 +221,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Wal { source, .. } => Some(source),
+            PersistError::Snapshot { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -183,18 +233,19 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// The durable half of a store: the open WAL, its directory, and the
-/// held single-writer lock (released by the OS when this is dropped or
-/// the process dies).
+/// The durable half of a store: the open WAL, its directory, the storage
+/// backend every snapshot write goes through, and the held single-writer
+/// lock (released by the OS when this is dropped or the process dies).
 #[derive(Debug)]
 pub(crate) struct Durable {
     pub(crate) wal: Mutex<wal::Wal>,
     pub(crate) dir: PathBuf,
+    pub(crate) vfs: Arc<dyn Vfs>,
     _lock: std::fs::File,
 }
 
 /// Open-time knobs shared by every durable-open entry point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct OpenConfig {
     pub(crate) sync_on_commit: bool,
     pub(crate) chunk_entries: usize,
@@ -202,6 +253,13 @@ pub(crate) struct OpenConfig {
     /// trusting it (see
     /// [`StoreBuilder::verify_on_replay`](crate::StoreBuilder::verify_on_replay)).
     pub(crate) verify_on_replay: bool,
+    /// The storage backend every persisted byte flows through
+    /// ([`vfs::OsVfs`] in production, [`vfs::FaultVfs`] under test).
+    pub(crate) vfs: Arc<dyn Vfs>,
+    /// WAL append/sync retry policy for the health state machine.
+    pub(crate) retry: RetryPolicy,
+    /// Auto-checkpoint watermarks (off by default).
+    pub(crate) auto_ckpt: AutoCheckpoint,
 }
 
 /// Paranoid-mode record validation: recompute what the record *claims*
@@ -327,7 +385,12 @@ pub(crate) fn open_or_create_store<H: HashWord>(
 ) -> Result<AlphaStore<H>, PersistError> {
     std::fs::create_dir_all(dir)?;
     let lock = acquire_dir_lock(dir)?;
-    let exists = dir.join(SNAPSHOT_FILE).is_file() || dir.join(WAL_FILE).is_file();
+    // A WAL alone whose fixed header never finished reaching the disk is
+    // a creation that crashed mid-flight: nothing was ever committed
+    // through it, so it does not count as an existing store and the
+    // create path below (which truncates it) starts over.
+    let exists = dir.join(SNAPSHOT_FILE).is_file()
+        || (dir.join(WAL_FILE).is_file() && wal::header_intact(&dir.join(WAL_FILE)));
     if exists {
         open_store_locked(dir, Some(expect), config, lock)
     } else {
@@ -374,7 +437,7 @@ fn open_store_locked<H: HashWord>(
     // 0. Read the WAL once up front; both the config-derivation step and
     // the replay step below consume this same scan.
     let wal_scan: Option<Result<wal::WalContents<H>, PersistError>> =
-        have_wal.then(|| wal::read_wal::<H>(&wal_path));
+        have_wal.then(|| wal::read_wal::<H>(&*config.vfs, &wal_path));
 
     // 1. The snapshot (or an empty store described by the WAL header).
     // Every canonical form decoded anywhere below interns into this one
@@ -386,7 +449,8 @@ fn open_store_locked<H: HashWord>(
     let mut replay_ns = 0u64;
     let (mut store, snap_epoch, snap_version, records_applied, wal_contents) = if have_snapshot {
         let t = std::time::Instant::now();
-        let (header, shards, version) = snapshot::read_snapshot::<H>(&snap_path, &table)?;
+        let (header, shards, version) =
+            snapshot::read_snapshot::<H>(&*config.vfs, &snap_path, &table)?;
         snap_load_ns = t.elapsed().as_nanos() as u64;
         if let Some(expect) = expect {
             check_config(
@@ -452,9 +516,10 @@ fn open_store_locked<H: HashWord>(
 
     // 2. The WAL tail.
     let mut last_epoch = snap_epoch.unwrap_or(0);
-    // `Some(records)` when the reopen is *clean*: intact snapshot, intact
-    // same-epoch WAL whose every record the snapshot already absorbed.
-    let mut clean_wal: Option<u64> = None;
+    // `Some((records, good_len))` when the reopen is *clean*: intact
+    // snapshot, intact same-epoch WAL whose every record the snapshot
+    // already absorbed.
+    let mut clean_wal: Option<(u64, u64)> = None;
     if let Some(contents) = wal_contents {
         let h = contents.header;
         if h.hash_bits != H::BITS
@@ -500,7 +565,7 @@ fn open_store_locked<H: HashWord>(
                     // Clean reopen: the snapshot already holds every WAL
                     // record and the file is intact — it can simply
                     // continue being appended to.
-                    clean_wal = Some(records_applied);
+                    clean_wal = Some((records_applied, contents.good_len));
                 } else {
                     let tail = drop_applied_records(contents.groups, records_applied);
                     let t = std::time::Instant::now();
@@ -516,11 +581,20 @@ fn open_store_locked<H: HashWord>(
     // 3a. Clean reopen: nothing was replayed and nothing was torn, so the
     // on-disk pair is already in a consistent state — skip the O(store)
     // checkpoint and keep appending to the existing WAL.
-    if let Some(records) = clean_wal {
-        let wal = wal::Wal::open_for_append(&wal_path, last_epoch, records, config.sync_on_commit)?;
+    if let Some((records, good_len)) = clean_wal {
+        let wal = wal::Wal::open_for_append(
+            &*config.vfs,
+            &wal_path,
+            last_epoch,
+            records,
+            good_len,
+            config.sync_on_commit,
+        )?;
+        store.set_reliability(config.retry, config.auto_ckpt);
         store.attach_durable(Durable {
             wal: Mutex::new(wal),
             dir: dir.to_owned(),
+            vfs: config.vfs,
             _lock: lock,
         });
         return Ok(store);
@@ -538,11 +612,13 @@ fn open_store_locked<H: HashWord>(
         granularity: store.granularity(),
         epoch: new_epoch,
     };
-    store.write_snapshot_file(&snap_path, new_epoch, 0)?;
-    let wal = wal::Wal::create(&wal_path, header, config.sync_on_commit)?;
+    store.write_snapshot_file(&*config.vfs, &snap_path, new_epoch, 0)?;
+    let wal = wal::Wal::create(&*config.vfs, &wal_path, header, config.sync_on_commit)?;
+    store.set_reliability(config.retry, config.auto_ckpt);
     store.attach_durable(Durable {
         wal: Mutex::new(wal),
         dir: dir.to_owned(),
+        vfs: config.vfs,
         _lock: lock,
     });
     Ok(store)
@@ -587,7 +663,12 @@ fn create_store_locked<H: HashWord>(
         granularity: expect.granularity,
         epoch: 1,
     };
-    let wal = wal::Wal::create(&dir.join(WAL_FILE), header, config.sync_on_commit)?;
+    let wal = wal::Wal::create(
+        &*config.vfs,
+        &dir.join(WAL_FILE),
+        header,
+        config.sync_on_commit,
+    )?;
     let mut store = AlphaStore::from_loaded(
         expect.scheme,
         (0..expect.shard_count)
@@ -598,9 +679,11 @@ fn create_store_locked<H: HashWord>(
         config.chunk_entries,
         CanonTable::new(),
     )?;
+    store.set_reliability(config.retry, config.auto_ckpt);
     store.attach_durable(Durable {
         wal: Mutex::new(wal),
         dir: dir.to_owned(),
+        vfs: config.vfs,
         _lock: lock,
     });
     Ok(store)

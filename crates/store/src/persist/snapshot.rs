@@ -35,7 +35,8 @@ use super::format::{
     self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, COMPAT_VERSION,
     FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
-use super::PersistError;
+use super::vfs::Vfs;
+use super::{PersistError, SnapshotOp};
 use crate::dag::CanonTable;
 use crate::granularity::Granularity;
 use crate::stats::StoreStats;
@@ -43,8 +44,6 @@ use crate::store::{Shard, StoredClass};
 use alpha_hash::combine::HashWord;
 use lambda_lang::canon::CanonRef;
 use lambda_lang::debruijn::{DbArena, DbId};
-use std::fs::File;
-use std::io::Write;
 use std::path::Path;
 
 /// Everything the snapshot header records. The configuration fields must
@@ -279,32 +278,57 @@ pub(crate) fn decode_snapshot<H: HashWord>(
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// `fsync`, rename over the destination, directory sync. A crash leaves
-/// either the old file or the new one.
-pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+/// either the old file or the new one. Every step failure surfaces as a
+/// typed [`PersistError::Snapshot`] naming the failed [`SnapshotOp`] —
+/// including the trailing directory sync, without which the *rename
+/// itself* is not durable and the atomic protocol has not completed. On
+/// any failure before the rename lands, the temp file is removed
+/// (best-effort) so a degraded disk does not accumulate orphans and the
+/// previous snapshot remains the authoritative one.
+pub(crate) fn write_atomically(
+    vfs: &dyn Vfs,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
     let dir = path.parent().ok_or_else(|| PersistError::Corrupt {
         context: "snapshot path has no parent directory".to_owned(),
     })?;
     let tmp = path.with_extension("tmp");
-    {
-        let mut file = File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
+    let snap_err =
+        |op: SnapshotOp| move |source: std::io::Error| PersistError::Snapshot { op, source };
+    let staged = (|| {
+        let mut file = vfs.create(&tmp).map_err(snap_err(SnapshotOp::Create))?;
+        file.append(bytes).map_err(snap_err(SnapshotOp::Write))?;
+        file.sync().map_err(snap_err(SnapshotOp::Sync))?;
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        // Best-effort cleanup: on a crashed/full disk the remove may fail
+        // too; recovery ignores `.tmp` files either way.
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
-    // Persist the rename itself. Directory fsync is POSIX-specific but the
-    // call degrades gracefully where unsupported.
-    if let Ok(dir_file) = File::open(dir) {
-        let _ = dir_file.sync_all();
+    if let Err(source) = vfs.rename(&tmp, path) {
+        let _ = vfs.remove_file(&tmp);
+        return Err(PersistError::Snapshot {
+            op: SnapshotOp::Rename,
+            source,
+        });
     }
-    Ok(())
+    // Persist the rename itself. A failure here means the new snapshot
+    // may vanish on power loss — the protocol must report it, not
+    // swallow it (platforms without directory fsync degrade to success
+    // inside the Vfs impl).
+    vfs.sync_dir(dir).map_err(snap_err(SnapshotOp::DirSync))
 }
 
 /// Reads and decodes a snapshot file into shards addressing `table`,
 /// also reporting the on-disk format version.
 pub(crate) fn read_snapshot<H: HashWord>(
+    vfs: &dyn Vfs,
     path: &Path,
     table: &CanonTable,
 ) -> Result<(SnapshotHeader, Vec<Shard<H>>, u16), PersistError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = vfs.read(path)?;
     decode_snapshot(&bytes, table)
 }

@@ -1,0 +1,528 @@
+//! The storage backend seam: every byte the store persists flows
+//! through a [`Vfs`].
+//!
+//! The durable layer (`wal.rs`, `snapshot.rs`, `mod.rs`) never touches
+//! `std::fs` for data it persists; it goes through this trait pair
+//! instead. Two implementations exist:
+//!
+//! * [`OsVfs`] — the real filesystem. The default; a store built without
+//!   an explicit [`StoreBuilder::vfs`](crate::StoreBuilder::vfs) uses it.
+//! * [`FaultVfs`] — the same real files, but with **deterministic fault
+//!   injection**: every *write-side* operation (create, append, sync,
+//!   truncate, rename, directory sync, remove) draws a monotonically
+//!   increasing op index, and a configured plan decides whether that op
+//!   fails and how ([`FaultKind`]). This is what the crash-point sweep
+//!   harness (`tests/fault_injection.rs`) drives: enumerate every op
+//!   index, kill the store there, reopen, compare against an oracle.
+//!
+//! ## The fault domain
+//!
+//! Only write-side operations are faultable. Reads
+//! ([`Vfs::read`]) never fail through the injection plan: recovery-time
+//! read corruption is modelled separately (and more precisely) by the
+//! torn-write and bitflip tests, which damage real bytes and let the
+//! CRC framing find them. The directory lock file and `create_dir_all`
+//! also stay outside the fault domain — they model process identity,
+//! not storage.
+//!
+//! ## Op counting and determinism
+//!
+//! [`FaultVfs`] counts ops process-wide per handle (clones share the
+//! counter). A scripted single-threaded workload therefore performs the
+//! *same* op sequence every run, so "fail op #17" names one specific
+//! write in that script, deterministically — no OS special files
+//! (`/dev/full`), no timing.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open, writable file handle obtained from a [`Vfs`].
+///
+/// Semantics the durable layer relies on:
+/// * [`append`](VfsFile::append) has `write_all` semantics at the
+///   current end of the written region — it either writes the whole
+///   buffer or returns an error (a faulting implementation may leave a
+///   *prefix* behind, which is exactly the torn-write shape recovery
+///   must survive).
+/// * [`truncate`](VfsFile::truncate) cuts the file to `len` bytes and
+///   repositions so the next `append` continues at `len` — the WAL uses
+///   it both to reset after a checkpoint and to cut torn bytes left by
+///   a failed append before retrying.
+pub trait VfsFile: Send + fmt::Debug {
+    /// Appends the whole buffer (or errors, possibly leaving a prefix).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file data (and metadata needed to read it back) to
+    /// stable storage — `fdatasync` semantics.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Truncates to `len` bytes; subsequent appends continue at `len`.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// A pluggable storage backend: the six operations the durable layer
+/// needs. See the [module docs](self) for the contract and the two
+/// implementations.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates (truncating any existing file) a writable file.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for appending at its current end.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Reads a whole file. Never faultable (see the module docs).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` over `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Syncs a directory so a completed rename itself is durable.
+    /// Implementations may treat genuinely unsupported platforms as
+    /// success, but a real failure must surface.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Removes a file (used to clean up snapshot temp files).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem: thin wrappers over `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsVfs;
+
+#[derive(Debug)]
+struct OsFile(File);
+
+impl VfsFile for OsFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)?;
+        self.0.seek(io::SeekFrom::Start(len))?;
+        Ok(())
+    }
+}
+
+impl Vfs for OsVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(OsFile(file)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Box::new(OsFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // POSIX-specific; platforms that cannot open or sync a directory
+        // report Unsupported, which degrades to success. Any *real*
+        // failure (the fsync was attempted and the kernel said no)
+        // surfaces — see `snapshot::write_atomically`.
+        match File::open(dir) {
+            Ok(f) => match f.sync_all() {
+                Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+                other => other,
+            },
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// How an injected fault manifests at the faulted operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `ENOSPC`: the op fails with [`io::ErrorKind::StorageFull`],
+    /// nothing written.
+    Enospc,
+    /// A generic I/O error, nothing written.
+    Eio,
+    /// An append writes only a **prefix** of the buffer, then errors —
+    /// the caller *knows* it failed, but torn bytes are on disk.
+    /// Non-append ops just error.
+    ShortWrite,
+    /// An append writes only a prefix of the buffer but **reports
+    /// success** — the silent torn write a power cut leaves behind when
+    /// only part of a page run reached the platter. Non-append ops
+    /// error.
+    TornWrite,
+    /// A failed `fsync`: sync ops error, appends succeed untouched.
+    FsyncFail,
+    /// Crash-stop: the op (and, under
+    /// [`FaultVfs::crash_at`], every later op) fails immediately with
+    /// nothing written — the moment the simulated machine died.
+    CrashStop,
+}
+
+impl FaultKind {
+    fn error(self) -> io::Error {
+        match self {
+            FaultKind::Enospc => io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected fault: no space left on device",
+            ),
+            FaultKind::Eio => io::Error::other("injected fault: I/O error"),
+            FaultKind::ShortWrite => io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected fault: short write (prefix persisted)",
+            ),
+            FaultKind::TornWrite => io::Error::other("injected fault: torn write"),
+            FaultKind::FsyncFail => io::Error::other("injected fault: fsync failed"),
+            FaultKind::CrashStop => io::Error::other("injected fault: crash-stop"),
+        }
+    }
+}
+
+/// The active injection plan. `FailAt` is one-shot; `CrashAt` latches.
+#[derive(Clone, Copy, Debug)]
+enum Plan {
+    None,
+    FailAt { op: u64, kind: FaultKind },
+    CrashAt { op: u64, kind: FaultKind },
+    FailAlways { kind: FaultKind },
+    FailEvery { period: u64, kind: FaultKind },
+}
+
+#[derive(Debug)]
+struct FaultState {
+    ops: AtomicU64,
+    plan: Mutex<Plan>,
+    /// Latched by `CrashAt` once its op index fires: every later op
+    /// fails as crash-stop until [`FaultVfs::clear`].
+    crashed: AtomicBool,
+}
+
+/// A [`Vfs`] over real files with deterministic fault injection: the
+/// N-th write-side operation can be made to fail in a configured way.
+/// Clones share one op counter and one plan, so a test can keep a
+/// handle while the store owns another.
+///
+/// ```
+/// use alpha_store::persist::vfs::{FaultKind, FaultVfs, Vfs};
+/// use std::sync::Arc;
+///
+/// let fault = FaultVfs::new();
+/// fault.fail_at(3, FaultKind::Enospc); // the 4th write-side op fails once
+/// let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+/// // … hand `vfs` to StoreBuilder::vfs and run a workload …
+/// assert_eq!(fault.op_count(), 0); // nothing has drawn an op yet
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultVfs {
+    inner: OsVfs,
+    state: Arc<FaultState>,
+}
+
+impl Default for FaultVfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultVfs {
+    /// A fault VFS with no plan: behaves exactly like [`OsVfs`], but
+    /// counts ops.
+    pub fn new() -> Self {
+        FaultVfs {
+            inner: OsVfs,
+            state: Arc::new(FaultState {
+                ops: AtomicU64::new(0),
+                plan: Mutex::new(Plan::None),
+                crashed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn set_plan(&self, plan: Plan) {
+        *self.state.plan.lock().expect("fault plan lock poisoned") = plan;
+    }
+
+    /// Fails the op with index `op` (0-based) once with `kind`; every
+    /// other op succeeds.
+    pub fn fail_at(&self, op: u64, kind: FaultKind) {
+        self.set_plan(Plan::FailAt { op, kind });
+    }
+
+    /// Fails op `op` with `kind` and **every later op** as crash-stop —
+    /// the machine died at that instant and never came back (until
+    /// [`FaultVfs::clear`], which models the reboot).
+    pub fn crash_at(&self, op: u64, kind: FaultKind) {
+        self.set_plan(Plan::CrashAt { op, kind });
+    }
+
+    /// Fails every op with `kind` — a persistently broken disk.
+    pub fn fail_always(&self, kind: FaultKind) {
+        self.set_plan(Plan::FailAlways { kind });
+    }
+
+    /// Fails every `period`-th op (ops `period-1`, `2*period-1`, …)
+    /// once with `kind` — a periodically flaky disk, for exercising the
+    /// retry path.
+    pub fn fail_every(&self, period: u64, kind: FaultKind) {
+        assert!(period > 0, "fail_every period must be positive");
+        self.set_plan(Plan::FailEvery { period, kind });
+    }
+
+    /// Removes the plan and un-latches any crash; ops succeed again.
+    /// The op counter is *not* reset (see [`FaultVfs::reset_ops`]).
+    pub fn clear(&self) {
+        self.set_plan(Plan::None);
+        self.state.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Write-side ops drawn so far across every clone of this handle.
+    pub fn op_count(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Resets the op counter to zero (plan untouched).
+    pub fn reset_ops(&self) {
+        self.state.ops.store(0, Ordering::SeqCst);
+    }
+
+    /// Draws the next op index and decides its fate.
+    fn decide(&self) -> Option<FaultKind> {
+        let n = self.state.ops.fetch_add(1, Ordering::SeqCst);
+        if self.state.crashed.load(Ordering::SeqCst) {
+            return Some(FaultKind::CrashStop);
+        }
+        let mut plan = self.state.plan.lock().expect("fault plan lock poisoned");
+        match *plan {
+            Plan::None => None,
+            Plan::FailAt { op, kind } if n == op => {
+                *plan = Plan::None;
+                Some(kind)
+            }
+            Plan::FailAt { .. } => None,
+            Plan::CrashAt { op, kind } if n == op => {
+                self.state.crashed.store(true, Ordering::SeqCst);
+                Some(kind)
+            }
+            Plan::CrashAt { op, .. } if n > op => {
+                // Reachable only if the counter raced past `op` without
+                // latching (two ops drawn concurrently); fail anyway.
+                self.state.crashed.store(true, Ordering::SeqCst);
+                Some(FaultKind::CrashStop)
+            }
+            Plan::CrashAt { .. } => None,
+            Plan::FailAlways { kind } => Some(kind),
+            Plan::FailEvery { period, kind } if (n + 1).is_multiple_of(period) => Some(kind),
+            Plan::FailEvery { .. } => None,
+        }
+    }
+
+    /// Applies a fault verdict to a non-append op: any fault is an
+    /// error.
+    fn gate(&self) -> io::Result<()> {
+        match self.decide() {
+            None => Ok(()),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+}
+
+/// A faultable file: delegates to the real file, consulting the shared
+/// plan on every append/sync/truncate.
+#[derive(Debug)]
+struct FaultFile {
+    file: Box<dyn VfsFile>,
+    vfs: FaultVfs,
+}
+
+impl VfsFile for FaultFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.vfs.decide() {
+            None => self.file.append(buf),
+            Some(FaultKind::FsyncFail) => self.file.append(buf),
+            Some(kind @ FaultKind::ShortWrite) => {
+                self.file.append(&buf[..buf.len() / 2])?;
+                Err(kind.error())
+            }
+            Some(FaultKind::TornWrite) => {
+                // The silent half: a prefix reaches the file, the call
+                // reports success. What happens next is up to the plan
+                // (under `crash_at` the machine is now dead).
+                self.file.append(&buf[..buf.len() / 2])
+            }
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        match self.vfs.decide() {
+            None => self.file.sync(),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.vfs.gate()?;
+        self.file.truncate(len)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        let file = self.inner.create(path)?;
+        Ok(Box::new(FaultFile {
+            file,
+            vfs: self.clone(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        let file = self.inner.open_append(path)?;
+        Ok(Box::new(FaultFile {
+            file,
+            vfs: self.clone(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        // Reads are outside the fault domain (module docs).
+        self.inner.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("alpha-store-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn os_vfs_round_trips_and_truncates() {
+        let path = tmp("os-roundtrip.bin");
+        let vfs = OsVfs;
+        let mut f = vfs.create(&path).unwrap();
+        f.append(b"hello world").unwrap();
+        f.sync().unwrap();
+        f.truncate(5).unwrap();
+        f.append(b"!").unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello!");
+        let mut f = vfs.open_append(&path).unwrap();
+        f.append(b"?").unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello!?");
+    }
+
+    #[test]
+    fn fail_at_hits_exactly_one_op() {
+        let path = tmp("fault-one.bin");
+        let fault = FaultVfs::new();
+        // Op 0 = create, op 1 = first append (fails), op 2 = second.
+        fault.fail_at(1, FaultKind::Enospc);
+        let mut f = fault.create(&path).unwrap();
+        let err = f.append(b"doomed").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        f.append(b"fine").unwrap();
+        assert_eq!(fault.op_count(), 3);
+        assert_eq!(fault.read(&path).unwrap(), b"fine");
+    }
+
+    #[test]
+    fn crash_at_latches_until_cleared() {
+        let path = tmp("fault-crash.bin");
+        let fault = FaultVfs::new();
+        fault.crash_at(1, FaultKind::CrashStop);
+        let mut f = fault.create(&path).unwrap();
+        assert!(f.append(b"a").is_err());
+        assert!(f.append(b"b").is_err());
+        assert!(f.sync().is_err());
+        assert!(fault.rename(&path, &tmp("elsewhere.bin")).is_err());
+        fault.clear();
+        f.append(b"alive").unwrap();
+        assert_eq!(fault.read(&path).unwrap(), b"alive");
+    }
+
+    #[test]
+    fn short_and_torn_writes_leave_a_prefix() {
+        let fault = FaultVfs::new();
+        let short = tmp("fault-short.bin");
+        fault.fail_at(1, FaultKind::ShortWrite);
+        let mut f = fault.create(&short).unwrap();
+        assert!(f.append(b"0123456789").is_err());
+        drop(f);
+        assert_eq!(fault.read(&short).unwrap(), b"01234");
+
+        let torn = tmp("fault-torn.bin");
+        fault.reset_ops();
+        fault.fail_at(1, FaultKind::TornWrite);
+        let mut f = fault.create(&torn).unwrap(); // op 0
+        f.append(b"0123456789").unwrap(); // op 1: reports success…
+        drop(f);
+        assert_eq!(fault.read(&torn).unwrap(), b"01234"); // …half persisted
+    }
+
+    #[test]
+    fn fsync_fail_spares_appends() {
+        let path = tmp("fault-fsync.bin");
+        let fault = FaultVfs::new();
+        let mut f = fault.create(&path).unwrap();
+        fault.fail_always(FaultKind::FsyncFail);
+        f.append(b"data").unwrap();
+        assert!(f.sync().is_err());
+        fault.clear();
+        f.sync().unwrap();
+        assert_eq!(fault.read(&path).unwrap(), b"data");
+    }
+
+    #[test]
+    fn fail_every_is_periodic() {
+        let path = tmp("fault-periodic.bin");
+        let fault = FaultVfs::new();
+        let mut f = fault.create(&path).unwrap();
+        fault.reset_ops();
+        fault.fail_every(3, FaultKind::Eio);
+        let mut failures = 0;
+        for _ in 0..9 {
+            if f.append(b"x").is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+        assert_eq!(fault.read(&path).unwrap(), b"xxxxxx");
+    }
+}

@@ -40,6 +40,7 @@ use super::format::{
     self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, RawRecord,
     COMPAT_VERSION, FORMAT_VERSION, WAL_MAGIC,
 };
+use super::vfs::{Vfs, VfsFile};
 use super::{PersistError, WalOp};
 use crate::dag::{extract_canon, TableView};
 use crate::granularity::Granularity;
@@ -48,8 +49,6 @@ use crate::prepare::{PreparedCanon, PreparedTerm};
 use alpha_hash::combine::HashWord;
 use lambda_lang::canon::CanonRef;
 use lambda_lang::debruijn::{DbArena, DbId};
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::Path;
 
 /// Payload kind tag: one insert record.
@@ -130,20 +129,43 @@ pub(crate) struct WalContents<H> {
     /// Total record count across groups.
     pub(crate) total_records: u64,
     /// Byte offset where the good prefix ends (== file length iff not
-    /// `torn`). Recovery's checkpoint rewrites torn files wholesale, so
-    /// this is diagnostic (and unit-tested) rather than consumed on the
-    /// open path.
-    #[allow(dead_code)]
+    /// `torn`). The clean-reopen fast path hands this to
+    /// [`Wal::open_for_append`] as the scan-verified known-good length.
     pub(crate) good_len: u64,
     /// Whether a torn/corrupt tail was found after `good_len`. A torn
     /// WAL disqualifies the clean-reopen fast path.
     pub(crate) torn: bool,
 }
 
+/// Whether `path` holds at least an intact, decodable WAL header.
+/// `false` means the file was abandoned mid-creation — the header never
+/// finished reaching the disk, so no record was ever committed through
+/// it and a creating opener may safely start over. An intact header
+/// with an *incompatible* version reports `true`: that file is not
+/// abandoned, and clobbering it would destroy someone's data, so the
+/// normal open path must surface the mismatch instead. Reads at most
+/// the fixed-size header region, outside the fault domain (recovery
+/// reads never fault — see [`crate::persist::vfs`]).
+pub(crate) fn header_intact(path: &Path) -> bool {
+    use std::io::Read;
+    let mut buf = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    let read = std::fs::File::open(path).and_then(|f| f.take(WAL_HEADER_LEN).read_to_end(&mut buf));
+    if read.is_err() || (buf.len() as u64) < WAL_HEADER_LEN {
+        return false;
+    }
+    !matches!(
+        decode_header(&mut buf.as_slice()),
+        Err(PersistError::Corrupt { .. })
+    )
+}
+
 /// Reads and decodes a whole WAL file. Frames after the first bad one are
 /// dropped; a bad *header* is an error (there is nothing to recover).
-pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, PersistError> {
-    let bytes = std::fs::read(path)?;
+pub(crate) fn read_wal<H: HashWord>(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<WalContents<H>, PersistError> {
+    let bytes = vfs.read(path)?;
     let mut input = bytes.as_slice();
     let (header, version) = decode_header(&mut input)?;
     let mut groups: Vec<Vec<RawRecord<H>>> = Vec::new();
@@ -228,11 +250,24 @@ pub(crate) fn read_wal<H: HashWord>(path: &Path) -> Result<WalContents<H>, Persi
 /// durable [`AlphaStore`](crate::AlphaStore).
 #[derive(Debug)]
 pub(crate) struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     pub(crate) epoch: u64,
     /// Records currently in the file (good frames only; commit markers do
     /// not count).
     pub(crate) records: u64,
+    /// Byte length of the known-good prefix: header plus every group
+    /// whose append returned success. A failed append can leave torn
+    /// bytes past this point; before the next append (a retry, say) the
+    /// file is truncated back here so retried frames never follow
+    /// garbage.
+    good_len: u64,
+    /// Set when an append failed after possibly writing a prefix; the
+    /// next append truncates back to `good_len` first.
+    dirty: bool,
+    /// Set when a [`reset`](Wal::reset) failed partway: the file shape is
+    /// unknown (maybe truncated, maybe headerless), so appends are
+    /// refused until a reset succeeds and re-establishes a clean header.
+    broken: bool,
     pub(crate) sync_on_commit: bool,
     /// The store's WAL-side instruments; detached (`Default`) until
     /// [`attach_durable`](crate::AlphaStore) hands this WAL its handles.
@@ -243,29 +278,26 @@ impl Wal {
     /// Creates a fresh WAL (truncating anything at `path`) with the given
     /// header, fsyncing so the header itself is durable.
     pub(crate) fn create(
+        vfs: &dyn Vfs,
         path: &Path,
         header: WalHeader,
         sync_on_commit: bool,
     ) -> Result<Self, PersistError> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)
-            .map_err(|source| PersistError::Wal {
-                op: WalOp::Create,
-                source,
-            })?;
-        file.write_all(&encode_header(&header))
-            .and_then(|()| file.sync_data())
-            .map_err(|source| PersistError::Wal {
-                op: WalOp::Create,
-                source,
-            })?;
+        let wal_err = |source| PersistError::Wal {
+            op: WalOp::Create,
+            source,
+        };
+        let mut file = vfs.create(path).map_err(wal_err)?;
+        file.append(&encode_header(&header))
+            .and_then(|()| file.sync())
+            .map_err(wal_err)?;
         Ok(Wal {
             file,
             epoch: header.epoch,
             records: 0,
+            good_len: WAL_HEADER_LEN,
+            dirty: false,
+            broken: false,
             sync_on_commit,
             obs: WalObs::default(),
         })
@@ -273,32 +305,66 @@ impl Wal {
 
     /// Reopens an intact WAL for appending (the clean-reopen fast path:
     /// nothing to replay, nothing torn, so the existing file continues as
-    /// is and no checkpoint is needed). Positions at end-of-file.
+    /// is and no checkpoint is needed). Positions at end-of-file;
+    /// `good_len` is the scan-verified file length.
     pub(crate) fn open_for_append(
+        vfs: &dyn Vfs,
         path: &Path,
         epoch: u64,
         records: u64,
+        good_len: u64,
         sync_on_commit: bool,
     ) -> Result<Self, PersistError> {
-        use std::io::Seek;
-        let mut file = OpenOptions::new().write(true).open(path)?;
-        file.seek(std::io::SeekFrom::End(0))?;
+        let file = vfs.open_append(path)?;
         Ok(Wal {
             file,
             epoch,
             records,
+            good_len,
+            dirty: false,
+            broken: false,
             sync_on_commit,
             obs: WalObs::default(),
         })
     }
 
+    /// Bytes of record frames appended since the log was last created or
+    /// reset — the auto-checkpoint watermark input. Tracked here (not
+    /// only in the obs gauge) so the watermark works with the `obs`
+    /// feature compiled out.
+    pub(crate) fn bytes_since_checkpoint(&self) -> u64 {
+        self.good_len.saturating_sub(WAL_HEADER_LEN)
+    }
+
     /// Appends one group-committed run of `count` already-framed records
     /// (the caller framed them and their trailing commit marker) with a
     /// single write, flushing (and fsyncing, when configured) once for the
-    /// whole group.
+    /// whole group. If a previous append failed, the torn bytes it may
+    /// have left are truncated away first, so a retry of the same group
+    /// lands exactly where the failed attempt started.
     pub(crate) fn append_group(&mut self, frames: &[u8], count: u64) -> Result<(), PersistError> {
+        if self.broken {
+            self.obs.error();
+            return Err(PersistError::Wal {
+                op: WalOp::Append,
+                source: std::io::Error::other(
+                    "WAL reset failed earlier; the log is unusable until a checkpoint succeeds",
+                ),
+            });
+        }
+        if self.dirty {
+            if let Err(source) = self.file.truncate(self.good_len) {
+                self.obs.error();
+                return Err(PersistError::Wal {
+                    op: WalOp::Append,
+                    source,
+                });
+            }
+            self.dirty = false;
+        }
         let t = self.obs.tick();
-        if let Err(source) = self.file.write_all(frames) {
+        if let Err(source) = self.file.append(frames) {
+            self.dirty = true;
             self.obs.error();
             return Err(PersistError::Wal {
                 op: WalOp::Append,
@@ -308,7 +374,11 @@ impl Wal {
         self.obs.rec_append(t);
         if self.sync_on_commit {
             let t = self.obs.tick();
-            if let Err(source) = self.file.sync_data() {
+            if let Err(source) = self.file.sync() {
+                // The frames are in the page cache but not durably
+                // committed; treat the group as not appended so a retry
+                // rewrites it from `good_len`.
+                self.dirty = true;
                 self.obs.error();
                 return Err(PersistError::Wal {
                     op: WalOp::Sync,
@@ -318,29 +388,38 @@ impl Wal {
             self.obs.rec_fsync(t);
         }
         self.obs.add_bytes(frames.len() as u64);
+        self.good_len += frames.len() as u64;
         self.records += count;
         Ok(())
     }
 
     /// Truncates the log and starts a new epoch — the second half of
-    /// [`compact`](crate::AlphaStore::compact), run only after the
-    /// new-epoch snapshot is durably in place.
+    /// [`checkpoint`](crate::AlphaStore::checkpoint), run only after the
+    /// new-epoch snapshot is durably in place. Also discards any torn
+    /// bytes a failed append left behind.
     pub(crate) fn reset(&mut self, header: WalHeader) -> Result<(), PersistError> {
-        use std::io::Seek;
         let io = (|| -> std::io::Result<()> {
-            self.file.set_len(0)?;
-            self.file.seek(std::io::SeekFrom::Start(0))?;
-            self.file.write_all(&encode_header(&header))?;
-            self.file.sync_data()
+            self.file.truncate(0)?;
+            self.file.append(&encode_header(&header))?;
+            self.file.sync()
         })();
         match io {
             Ok(()) => {
                 self.obs.reset_bytes();
                 self.epoch = header.epoch;
                 self.records = 0;
+                self.good_len = WAL_HEADER_LEN;
+                self.dirty = false;
+                self.broken = false;
                 Ok(())
             }
             Err(source) => {
+                // The file may now be half-reset (maybe truncated, maybe
+                // headerless): refuse appends until a reset succeeds. A
+                // half-reset WAL decodes as corrupt and is superseded by
+                // the already-renamed new-epoch snapshot on recovery, so
+                // no committed record is lost.
+                self.broken = true;
                 self.obs.error();
                 Err(PersistError::Wal {
                     op: WalOp::Reset,
@@ -438,10 +517,12 @@ pub(crate) fn frame_commit(out: &mut Vec<u8>, count: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::persist::vfs::{FaultKind, FaultVfs, OsVfs};
     use alpha_hash::combine::HashScheme;
     use lambda_lang::debruijn::db_eq;
     use lambda_lang::parse::parse;
     use lambda_lang::ExprArena;
+    use std::fs::OpenOptions;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -483,13 +564,13 @@ mod tests {
     #[test]
     fn append_and_replay_round_trip_with_group_boundaries() {
         let path = tmp("roundtrip.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let (frames, count) = sample_frames(&[&[r"\x. x + 1", "v * 3"], &[r"\a. \b. a b"]]);
         wal.append_group(&frames, count).unwrap();
         assert_eq!(wal.records, 3);
         drop(wal);
 
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert_eq!(contents.header, header());
         assert_eq!(contents.total_records, 3);
         assert!(!contents.torn);
@@ -502,7 +583,7 @@ mod tests {
     #[test]
     fn records_round_trip_their_canonical_payload() {
         let path = tmp("payload.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let mut arena = ExprArena::new();
         let scheme: HashScheme<u64> = HashScheme::new(0xFAB);
         let mut preparer = crate::prepare::Preparer::new(&arena, &scheme);
@@ -514,7 +595,7 @@ mod tests {
         wal.append_group(&frames, 1).unwrap();
         drop(wal);
 
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         let record = &contents.groups[0][0];
         assert_eq!(record.root.hash, hash);
         assert_eq!(record.root.node_count, canon.len() as u64);
@@ -524,7 +605,7 @@ mod tests {
     #[test]
     fn torn_tail_is_cut_at_the_last_good_frame() {
         let path = tmp("torn.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let (frames, count) = sample_frames(&[&[r"\x. x + 1"], &["v * 3"]]);
         wal.append_group(&frames, count).unwrap();
         drop(wal);
@@ -536,7 +617,7 @@ mod tests {
         file.set_len(cut).unwrap();
         drop(file);
 
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert!(contents.torn);
         assert_eq!(contents.total_records, 1);
         assert!(contents.good_len < cut);
@@ -546,7 +627,7 @@ mod tests {
         let file = OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(contents.good_len).unwrap();
         drop(file);
-        let again = read_wal::<u64>(&path).unwrap();
+        let again = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert!(!again.torn);
         assert_eq!(again.total_records, 1);
     }
@@ -554,7 +635,7 @@ mod tests {
     #[test]
     fn group_torn_before_its_commit_marker_still_yields_its_records() {
         let path = tmp("torn-group.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let (frames, count) = sample_frames(&[&[r"\x. x + 1", "v * 3"]]);
         wal.append_group(&frames, count).unwrap();
         drop(wal);
@@ -565,7 +646,7 @@ mod tests {
         file.set_len(full - 17).unwrap();
         drop(file);
 
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert!(contents.torn);
         assert_eq!(contents.total_records, 2);
         assert_eq!(contents.groups.len(), 1, "trailing partial group kept");
@@ -574,7 +655,7 @@ mod tests {
     #[test]
     fn bitflips_in_a_payload_are_caught_by_the_frame_crc() {
         let path = tmp("bitflip.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let (frames, count) = sample_frames(&[&["let w = v+7 in w*w"]]);
         wal.append_group(&frames, count).unwrap();
         drop(wal);
@@ -584,7 +665,7 @@ mod tests {
         bytes[flip_at] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
 
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert!(contents.torn);
         assert!(contents.groups.is_empty());
         assert_eq!(contents.good_len, WAL_HEADER_LEN);
@@ -593,7 +674,7 @@ mod tests {
     #[test]
     fn reset_starts_a_new_epoch_with_zero_records() {
         let path = tmp("reset.wal");
-        let mut wal = Wal::create(&path, header(), false).unwrap();
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
         let (frames, count) = sample_frames(&[&[r"\x. x"]]);
         wal.append_group(&frames, count).unwrap();
         let mut new_header = header();
@@ -602,7 +683,7 @@ mod tests {
         assert_eq!(wal.epoch, 4);
         assert_eq!(wal.records, 0);
         drop(wal);
-        let contents = read_wal::<u64>(&path).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
         assert_eq!(contents.header.epoch, 4);
         assert!(contents.groups.is_empty());
         assert!(!contents.torn);
@@ -613,7 +694,7 @@ mod tests {
         let path = tmp("badmagic.wal");
         std::fs::write(&path, b"NOTAWAL!rest").unwrap();
         assert!(matches!(
-            read_wal::<u64>(&path),
+            read_wal::<u64>(&OsVfs, &path),
             Err(PersistError::Corrupt { .. })
         ));
 
@@ -622,39 +703,35 @@ mod tests {
         let path = tmp("badversion.wal");
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
-            read_wal::<u64>(&path),
+            read_wal::<u64>(&OsVfs, &path),
             Err(PersistError::Mismatch { .. })
         ));
     }
 
-    /// A real I/O failure on append surfaces as the typed
+    /// An injected `ENOSPC` on append surfaces as the typed
     /// [`PersistError::Wal`] (naming the failed op), leaves the record
     /// count unchanged, and — with the `obs` feature — bumps the
-    /// persist-error counter. `/dev/full` gives a genuine `ENOSPC` from
-    /// the kernel without filling any disk, so the test is Linux-only.
+    /// persist-error counter. This used to need `/dev/full` (Linux-only,
+    /// kernel-version-dependent op attribution); [`FaultVfs`] makes it
+    /// deterministic everywhere.
     #[test]
-    #[cfg(target_os = "linux")]
     fn append_errors_are_typed_and_counted() {
         use super::super::WalOp;
-        let path = tmp("devfull.wal");
-        let mut wal = Wal::create(&path, header(), true).unwrap();
+        let path = tmp("enospc.wal");
+        let fault = FaultVfs::new();
+        let mut wal = Wal::create(&fault, &path, header(), true).unwrap();
         #[cfg(feature = "obs")]
         let store_obs = crate::obs::StoreObs::new();
         #[cfg(feature = "obs")]
         {
             wal.obs = store_obs.wal_obs();
         }
-        // Swap the WAL's handle for one where every write fails.
-        wal.file = OpenOptions::new().write(true).open("/dev/full").unwrap();
+        fault.fail_always(FaultKind::Enospc);
         let (frames, count) = sample_frames(&[&[r"\x. x"]]);
         let err = wal.append_group(&frames, count).unwrap_err();
         match err {
             PersistError::Wal { op, source } => {
-                // write_all hits ENOSPC; some kernels only fail at sync.
-                assert!(
-                    op == WalOp::Append || op == WalOp::Sync,
-                    "unexpected op {op:?}"
-                );
+                assert_eq!(op, WalOp::Append, "unexpected op {op:?}");
                 assert_eq!(source.kind(), std::io::ErrorKind::StorageFull);
             }
             other => panic!("expected PersistError::Wal, got {other:?}"),
@@ -665,5 +742,57 @@ mod tests {
             let report = store_obs.report(Vec::new());
             assert_eq!(report.counter("alpha_store_persist_errors"), Some(1));
         }
+    }
+
+    /// A short write (partial bytes on disk, then an error) followed by a
+    /// retry of the same group must not leave the torn prefix in front of
+    /// the retried frames: the dirty-truncate step rewinds to the last
+    /// known-good length first, so the file replays clean.
+    #[test]
+    fn retried_append_truncates_the_torn_prefix_first() {
+        let path = tmp("retry.wal");
+        let fault = FaultVfs::new();
+        let mut wal = Wal::create(&fault, &path, header(), false).unwrap();
+        let (frames, count) = sample_frames(&[&[r"\x. x + 1", "v * 3"]]);
+        fault.fail_always(FaultKind::ShortWrite);
+        assert!(wal.append_group(&frames, count).is_err());
+        // Half the group's bytes really landed on disk.
+        let len_after_failure = std::fs::metadata(&path).unwrap().len();
+        assert!(len_after_failure > WAL_HEADER_LEN);
+        fault.clear();
+        wal.append_group(&frames, count).unwrap();
+        assert_eq!(wal.records, count);
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
+        assert!(!contents.torn, "retry must not leave torn bytes behind");
+        assert_eq!(contents.total_records, count);
+    }
+
+    /// A failed fsync with `sync_on_commit` reports `WalOp::Sync`, does
+    /// not count the group, and a clean retry lands it exactly once.
+    #[test]
+    fn failed_fsync_marks_group_uncommitted_and_retry_lands_once() {
+        use super::super::WalOp;
+        let path = tmp("fsync-fail.wal");
+        let fault = FaultVfs::new();
+        let mut wal = Wal::create(&fault, &path, header(), true).unwrap();
+        let (frames, count) = sample_frames(&[&[r"\a. \b. a b"]]);
+        fault.fail_always(FaultKind::FsyncFail);
+        let err = wal.append_group(&frames, count).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::Wal {
+                op: WalOp::Sync,
+                ..
+            }
+        ));
+        assert_eq!(wal.records, 0);
+        fault.clear();
+        wal.append_group(&frames, count).unwrap();
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
+        assert!(!contents.torn);
+        assert_eq!(
+            contents.total_records, count,
+            "group must land exactly once"
+        );
     }
 }

@@ -37,6 +37,7 @@ use crate::granularity::{Granularity, StoreBuilder};
 use crate::obs::StoreObs;
 use crate::persist::format::RawRecord;
 use crate::persist::snapshot::SnapshotHeader;
+use crate::persist::vfs::Vfs;
 use crate::persist::wal::WalHeader;
 use crate::persist::{Durable, PersistError, SNAPSHOT_FILE};
 use crate::prepare::{PreparedCanon, PreparedTerm, Preparer, SubEntry};
@@ -48,7 +49,9 @@ use lambda_lang::debruijn::db_print;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Shared `Debug` shape for the two handle types: `c3.17` = shard 3,
 /// index 17.
@@ -133,6 +136,153 @@ pub struct InsertOutcome {
     pub fresh: bool,
     /// What the insert did to the subexpression index.
     pub subs: SubexprSummary,
+}
+
+/// Operational health of a store's durability, reported by
+/// [`AlphaStore::health`] and driven by the WAL/snapshot outcomes the
+/// store observes. In-memory stores are always [`Health::Healthy`].
+///
+/// The machine is `Healthy → Degraded → ReadOnly`, with two healing
+/// edges back to `Healthy`: a WAL append that succeeds after retries
+/// (the transient fault passed), and a successful
+/// [`checkpoint`](AlphaStore::checkpoint) (which re-establishes the
+/// clean `(snapshot, empty WAL)` state from scratch — the only way out
+/// of `ReadOnly`). See `docs/RELIABILITY.md` for the full transition
+/// diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Every persistence operation is succeeding.
+    Healthy,
+    /// A recent persistence operation failed but the store still accepts
+    /// writes: a WAL append is mid-retry, or a snapshot/checkpoint failed
+    /// while the WAL kept working. The payload is a human-readable
+    /// description of the last failure.
+    Degraded(String),
+    /// WAL writes failed persistently (every retry exhausted, or a WAL
+    /// reset failed and left the log unusable): ingest is refused with
+    /// [`StoreError::Degraded`] so in-memory state cannot silently
+    /// diverge from what recovery could rebuild, while `lookup` /
+    /// `contains` / `contains_batch` keep serving the state already
+    /// ingested. A successful [`checkpoint`](AlphaStore::checkpoint)
+    /// heals the store.
+    ReadOnly(String),
+}
+
+/// What a fallible ingest ([`AlphaStore::try_insert`] /
+/// [`AlphaStore::try_insert_batch`]) can fail with. The infallible
+/// [`AlphaStore::insert`] / [`AlphaStore::insert_batch`] panic on these
+/// instead (the pre-health-machine contract).
+#[derive(Debug)]
+pub enum StoreError {
+    /// The store is in [`Health::ReadOnly`]: its WAL failed persistently
+    /// and ingest is refused until a [`checkpoint`](AlphaStore::checkpoint)
+    /// succeeds. Read paths keep working.
+    Degraded {
+        /// Why the store went read-only.
+        reason: String,
+    },
+    /// The WAL write for **this** ingest failed after exhausting the
+    /// retry policy; the store has just flipped to [`Health::ReadOnly`].
+    /// Nothing from the failed chunk was applied to memory.
+    Persist(PersistError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Degraded { reason } => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
+            StoreError::Persist(e) => write!(f, "store ingest failed to persist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Degraded { .. } => None,
+            StoreError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> Self {
+        StoreError::Persist(e)
+    }
+}
+
+/// Retry policy for WAL appends: `retries` bounded attempts after the
+/// first failure, exponential backoff from `backoff`, sleeping through
+/// the injectable `sleeper` (see [`StoreBuilder::persist_sleeper`]).
+#[derive(Clone)]
+pub(crate) struct RetryPolicy {
+    pub(crate) retries: u32,
+    pub(crate) backoff: Duration,
+    pub(crate) sleeper: Arc<dyn Fn(Duration) + Send + Sync>,
+}
+
+impl fmt::Debug for RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RetryPolicy")
+            .field("retries", &self.retries)
+            .field("backoff", &self.backoff)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            sleeper: Arc::new(std::thread::sleep),
+        }
+    }
+}
+
+/// Auto-checkpoint watermarks (both off by default): after an ingest
+/// leaves the WAL at or past either one, the store checkpoints itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AutoCheckpoint {
+    pub(crate) bytes: Option<u64>,
+    pub(crate) records: Option<u64>,
+}
+
+impl AutoCheckpoint {
+    fn armed(&self) -> bool {
+        self.bytes.is_some() || self.records.is_some()
+    }
+
+    fn reached(&self, bytes: u64, records: u64) -> bool {
+        self.bytes.is_some_and(|w| bytes >= w) || self.records.is_some_and(|w| records >= w)
+    }
+}
+
+/// Health gauge/state encoding shared with `alpha_store_health`.
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_READ_ONLY: u8 = 2;
+
+/// The store-internal half of the health machine: a lock-free state tag
+/// read on every durable ingest, plus the last failure description. The
+/// reason mutex is a **leaf lock** (nothing is acquired while holding
+/// it) and is only touched on transitions and `health()` calls — never
+/// on the healthy hot path, which reads one relaxed atomic.
+#[derive(Debug)]
+struct HealthState {
+    state: AtomicU8,
+    reason: Mutex<String>,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        HealthState {
+            state: AtomicU8::new(HEALTH_HEALTHY),
+            reason: Mutex::new(String::new()),
+        }
+    }
 }
 
 /// One stored equivalence class: the root of its canonical form in the
@@ -341,6 +491,15 @@ pub struct AlphaStore<H: HashWord = u64> {
     chunk_entries: usize,
     /// `Some` for durable stores: the open WAL plus its directory.
     durable: Option<Durable>,
+    /// WAL append retry policy (durable stores; see
+    /// [`StoreBuilder::persist_retries`]).
+    retry: RetryPolicy,
+    /// Auto-checkpoint watermarks (durable stores; off by default).
+    auto_ckpt: AutoCheckpoint,
+    /// The `Healthy → Degraded → ReadOnly` machine. Its state tag is a
+    /// relaxed atomic read on the durable ingest path; its reason mutex
+    /// is a leaf lock touched only on transitions.
+    health: HealthState,
     /// Ingest holds this shared; [`AlphaStore::snapshot`] and
     /// [`AlphaStore::compact`] hold it exclusive, so a snapshot's
     /// `(WAL record count, shard state)` cut is consistent — no insert is
@@ -419,6 +578,9 @@ impl<H: HashWord> AlphaStore<H> {
             table: CanonTable::new(),
             chunk_entries: chunk_entries.max(1),
             durable: None,
+            retry: RetryPolicy::default(),
+            auto_ckpt: AutoCheckpoint::default(),
+            health: HealthState::default(),
             maintenance: RwLock::new(()),
             obs: StoreObs::new(),
         }
@@ -452,6 +614,9 @@ impl<H: HashWord> AlphaStore<H> {
             table,
             chunk_entries: chunk_entries.max(1),
             durable: None,
+            retry: RetryPolicy::default(),
+            auto_ckpt: AutoCheckpoint::default(),
+            health: HealthState::default(),
             maintenance: RwLock::new(()),
             obs: StoreObs::new(),
         })
@@ -462,6 +627,13 @@ impl<H: HashWord> AlphaStore<H> {
         // can see any traffic.
         durable.wal.get_mut().expect("wal lock poisoned").obs = self.obs.wal_obs();
         self.durable = Some(durable);
+    }
+
+    /// Installs the builder's reliability knobs (called by the durable
+    /// open paths before any ingest can run).
+    pub(crate) fn set_reliability(&mut self, retry: RetryPolicy, auto_ckpt: AutoCheckpoint) {
+        self.retry = retry;
+        self.auto_ckpt = auto_ckpt;
     }
 
     /// Recovery phases are timed in `persist::open_store_locked`, before
@@ -533,7 +705,23 @@ impl<H: HashWord> AlphaStore<H> {
     /// assert!(outcome.fresh);
     /// assert_eq!(store.class_of(outcome.term), outcome.class);
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// On a durable store whose WAL write fails beyond the retry policy
+    /// (durability would silently diverge otherwise). Use
+    /// [`AlphaStore::try_insert`] to handle that as an error instead.
     pub fn insert(&self, arena: &ExprArena, root: NodeId) -> InsertOutcome {
+        self.try_insert(arena, root)
+            .unwrap_or_else(|e| panic!("WAL append failed; cannot continue durably: {e}"))
+    }
+
+    /// [`AlphaStore::insert`], but a durable-store persistence failure
+    /// comes back as a typed [`StoreError`] instead of a panic: the term
+    /// was **not** applied (memory and WAL stay in agreement), and the
+    /// store's [`health`](AlphaStore::health) says what to do next. For
+    /// in-memory stores this never errors.
+    pub fn try_insert(&self, arena: &ExprArena, root: NodeId) -> Result<InsertOutcome, StoreError> {
         match self.granularity {
             Granularity::Roots => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
@@ -542,9 +730,10 @@ impl<H: HashWord> AlphaStore<H> {
                 self.obs.rec_prepare(t, prepared.entry.node_count);
                 let (nodes, misses) = preparer.take_hash_counters();
                 self.obs.add_hash_counters(nodes, misses);
-                self.ingest_prepared_roots(vec![prepared])
+                Ok(self
+                    .ingest_prepared_roots(vec![prepared])?
                     .pop()
-                    .expect("one term ingested")
+                    .expect("one term ingested"))
             }
             Granularity::Subexpressions { min_nodes } => {
                 let mut preparer = Preparer::new(arena, &self.scheme);
@@ -553,9 +742,10 @@ impl<H: HashWord> AlphaStore<H> {
                 self.obs.rec_prepare(t, pt.root.node_count);
                 let (nodes, misses) = preparer.take_hash_counters();
                 self.obs.add_hash_counters(nodes, misses);
-                self.ingest_prepared_terms(vec![pt])
+                Ok(self
+                    .ingest_prepared_terms(vec![pt])?
                     .pop()
-                    .expect("one term ingested")
+                    .expect("one term ingested"))
             }
         }
     }
@@ -573,7 +763,28 @@ impl<H: HashWord> AlphaStore<H> {
     /// scratch state and the name-hash cache are never rebuilt per term —
     /// the natural entry point for high-throughput ingest. On a durable
     /// store, each chunk is one group-committed WAL append.
+    ///
+    /// # Panics
+    ///
+    /// On a durable store whose WAL write fails beyond the retry policy,
+    /// like [`AlphaStore::insert`]. Use
+    /// [`AlphaStore::try_insert_batch`] to handle that as an error.
     pub fn insert_batch(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
+        self.try_insert_batch(arena, roots)
+            .unwrap_or_else(|e| panic!("WAL append failed; cannot continue durably: {e}"))
+    }
+
+    /// [`AlphaStore::insert_batch`], but a durable-store persistence
+    /// failure comes back as a typed [`StoreError`]. Chunks are applied
+    /// in order and each chunk is atomic with respect to failure: on
+    /// `Err`, every chunk before the failing one was fully ingested
+    /// (memory and WAL agree) and the failing chunk plus everything
+    /// after it was not applied at all.
+    pub fn try_insert_batch(
+        &self,
+        arena: &ExprArena,
+        roots: &[NodeId],
+    ) -> Result<Vec<InsertOutcome>, StoreError> {
         match self.granularity {
             Granularity::Roots => self.insert_batch_roots(arena, roots),
             Granularity::Subexpressions { min_nodes } => {
@@ -582,7 +793,11 @@ impl<H: HashWord> AlphaStore<H> {
         }
     }
 
-    fn insert_batch_roots(&self, arena: &ExprArena, roots: &[NodeId]) -> Vec<InsertOutcome> {
+    fn insert_batch_roots(
+        &self,
+        arena: &ExprArena,
+        roots: &[NodeId],
+    ) -> Result<Vec<InsertOutcome>, StoreError> {
         let mut preparer = Preparer::new(arena, &self.scheme);
         let mut outcomes = Vec::with_capacity(roots.len());
         // One prepared entry per root: chunks are `chunk_entries` terms.
@@ -600,9 +815,9 @@ impl<H: HashWord> AlphaStore<H> {
             let (nodes, misses) = preparer.take_hash_counters();
             self.obs.add_hash_counters(nodes, misses);
             // …then log and drain shard by shard.
-            outcomes.extend(self.ingest_prepared_roots(prepared));
+            outcomes.extend(self.ingest_prepared_roots(prepared)?);
         }
-        outcomes
+        Ok(outcomes)
     }
 
     /// The root-granularity apply path shared by `insert` (a one-element
@@ -610,29 +825,40 @@ impl<H: HashWord> AlphaStore<H> {
     /// WAL (durable stores), then drain shard by shard. A one-element
     /// chunk skips the by-shard regrouping and goes straight to its shard
     /// lock, so per-term `insert` keeps the old direct path's cost.
-    fn ingest_prepared_roots(&self, mut prepared: Vec<Prepared<H>>) -> Vec<InsertOutcome> {
-        let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
-        self.wal_log_roots(&prepared);
-        if prepared.len() == 1 {
-            let p = prepared.pop().expect("one prepared term");
-            let t_apply = self.obs.tick();
-            let outcome = {
-                let t_lock = self.obs.tick();
-                let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
-                self.obs.rec_shard_lock_wait(t_lock);
-                let mut view = TableView::new(&self.table);
-                self.finish_insert(
-                    &mut shard,
-                    &mut view,
-                    p,
-                    SubexprSummary::default(),
-                    Vec::new(),
-                )
-            };
-            self.obs.rec_apply(t_apply, 1);
-            return vec![outcome];
-        }
-        self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
+    fn ingest_prepared_roots(
+        &self,
+        mut prepared: Vec<Prepared<H>>,
+    ) -> Result<Vec<InsertOutcome>, StoreError> {
+        let outcomes = {
+            let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
+            self.check_writable()?;
+            self.wal_log_roots(&prepared)?;
+            if prepared.len() == 1 {
+                let p = prepared.pop().expect("one prepared term");
+                let t_apply = self.obs.tick();
+                let outcome = {
+                    let t_lock = self.obs.tick();
+                    let mut shard = self.shards[p.shard].write().expect("shard lock poisoned");
+                    self.obs.rec_shard_lock_wait(t_lock);
+                    let mut view = TableView::new(&self.table);
+                    self.finish_insert(
+                        &mut shard,
+                        &mut view,
+                        p,
+                        SubexprSummary::default(),
+                        Vec::new(),
+                    )
+                };
+                self.obs.rec_apply(t_apply, 1);
+                vec![outcome]
+            } else {
+                self.drain_roots(prepared, |_| (SubexprSummary::default(), Vec::new()))
+            }
+        };
+        // The ingest guard is released: housekeeping takes the exclusive
+        // maintenance lock if a watermark tripped.
+        self.maybe_auto_checkpoint();
+        Ok(outcomes)
     }
 
     /// Drains prepared roots grouped by shard, one write lock per shard,
@@ -689,7 +915,7 @@ impl<H: HashWord> AlphaStore<H> {
         arena: &ExprArena,
         roots: &[NodeId],
         min_nodes: usize,
-    ) -> Vec<InsertOutcome> {
+    ) -> Result<Vec<InsertOutcome>, StoreError> {
         let mut preparer = Preparer::new(arena, &self.scheme);
         let mut outcomes = Vec::with_capacity(roots.len());
         let mut pending: Vec<PreparedTerm<H>> = Vec::new();
@@ -701,16 +927,16 @@ impl<H: HashWord> AlphaStore<H> {
             pending_entries += 1 + pt.subs.len();
             pending.push(pt);
             if pending_entries >= self.chunk_entries {
-                outcomes.extend(self.ingest_prepared_terms(std::mem::take(&mut pending)));
+                outcomes.extend(self.ingest_prepared_terms(std::mem::take(&mut pending))?);
                 pending_entries = 0;
             }
         }
         if !pending.is_empty() {
-            outcomes.extend(self.ingest_prepared_terms(pending));
+            outcomes.extend(self.ingest_prepared_terms(pending)?);
         }
         let (nodes, misses) = preparer.take_hash_counters();
         self.obs.add_hash_counters(nodes, misses);
-        outcomes
+        Ok(outcomes)
     }
 
     /// The subexpression-granularity critical path, shared by `insert` (a
@@ -719,10 +945,18 @@ impl<H: HashWord> AlphaStore<H> {
     /// subexpression entries are drained shard by shard, then the roots —
     /// each shard locked at most twice. Entries arrive pre-interned, so
     /// every confirmation inside the locks is an O(1) ref compare.
-    pub(crate) fn ingest_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
-        let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
-        self.wal_log_terms(&terms);
-        self.apply_prepared_terms(terms)
+    pub(crate) fn ingest_prepared_terms(
+        &self,
+        terms: Vec<PreparedTerm<H>>,
+    ) -> Result<Vec<InsertOutcome>, StoreError> {
+        let outcomes = {
+            let _ingest = self.maintenance.read().expect("maintenance lock poisoned");
+            self.check_writable()?;
+            self.wal_log_terms(&terms)?;
+            self.apply_prepared_terms(terms)
+        };
+        self.maybe_auto_checkpoint();
+        Ok(outcomes)
     }
 
     /// The lock-side second half of [`AlphaStore::ingest_prepared_terms`]
@@ -1157,6 +1391,9 @@ impl<H: HashWord> AlphaStore<H> {
                 sync_on_commit: false,
                 chunk_entries: Self::DEFAULT_CHUNK_ENTRIES,
                 verify_on_replay: false,
+                vfs: Arc::new(crate::persist::vfs::OsVfs),
+                retry: RetryPolicy::default(),
+                auto_ckpt: AutoCheckpoint::default(),
             },
         )
     }
@@ -1187,34 +1424,125 @@ impl<H: HashWord> AlphaStore<H> {
     /// [`AlphaStore::open`] replays only the records that arrive after
     /// this call.
     ///
-    /// Errors with [`PersistError::Mismatch`] on an in-memory store.
+    /// Errors with [`PersistError::Mismatch`] on an in-memory store. A
+    /// write failure marks the store [`Health::Degraded`] (the previous
+    /// snapshot and the WAL are untouched, so nothing is lost).
     pub fn snapshot(&self) -> Result<(), PersistError> {
         let durable = self.require_durable()?;
         let _cut = self.maintenance.write().expect("maintenance lock poisoned");
         let wal = durable.wal.lock().expect("wal lock poisoned");
-        self.write_snapshot_file(&durable.dir.join(SNAPSHOT_FILE), wal.epoch, wal.records)
+        let result = self.write_snapshot_file(
+            &*durable.vfs,
+            &durable.dir.join(SNAPSHOT_FILE),
+            wal.epoch,
+            wal.records,
+        );
+        if let Err(e) = &result {
+            self.obs.persist_error();
+            self.set_degraded(format!("snapshot failed: {e}"));
+        }
+        result
     }
 
-    /// Compacts the durable state: writes a fresh snapshot under the
+    /// Checkpoints the durable state: writes a fresh snapshot under the
     /// **next epoch**, then truncates the WAL and restamps it with that
     /// epoch. The snapshot rename is the commit point — a crash between
     /// the two steps leaves a stale-epoch WAL that recovery recognises and
     /// discards instead of replaying records the snapshot already holds.
     ///
+    /// This is also the manual **healing** path: a successful checkpoint
+    /// proves the storage can absorb the full state again, so it resets
+    /// [`health`](AlphaStore::health) to [`Health::Healthy`] — including
+    /// out of [`Health::ReadOnly`], re-enabling ingest. A failed snapshot
+    /// write leaves the previous snapshot and the WAL untouched (the
+    /// store stays degraded but loses nothing); a failed WAL truncation
+    /// *after* the snapshot committed flips the store read-only, since
+    /// appending to a WAL whose truncation half-happened could corrupt it.
+    ///
     /// Errors with [`PersistError::Mismatch`] on an in-memory store.
-    pub fn compact(&self) -> Result<(), PersistError> {
+    pub fn checkpoint(&self) -> Result<(), PersistError> {
         let durable = self.require_durable()?;
         let _cut = self.maintenance.write().expect("maintenance lock poisoned");
+        self.checkpoint_locked(durable)
+    }
+
+    /// [`AlphaStore::checkpoint`] under an already-held exclusive
+    /// maintenance guard — shared with the auto-checkpoint path.
+    fn checkpoint_locked(&self, durable: &Durable) -> Result<(), PersistError> {
         let mut wal = durable.wal.lock().expect("wal lock poisoned");
         let new_epoch = wal.epoch + 1;
-        self.write_snapshot_file(&durable.dir.join(SNAPSHOT_FILE), new_epoch, 0)?;
-        wal.reset(WalHeader {
+        if let Err(e) = self.write_snapshot_file(
+            &*durable.vfs,
+            &durable.dir.join(SNAPSHOT_FILE),
+            new_epoch,
+            0,
+        ) {
+            self.obs.persist_error();
+            self.set_degraded(format!("checkpoint snapshot failed: {e}"));
+            return Err(e);
+        }
+        match wal.reset(WalHeader {
             hash_bits: H::BITS,
             scheme_seed: self.scheme.seed(),
             shard_count: u32::try_from(self.shard_count()).expect("shard count fits u32"),
             granularity: self.granularity,
             epoch: new_epoch,
-        })
+        }) {
+            Ok(()) => {
+                self.heal();
+                Ok(())
+            }
+            Err(e) => {
+                self.set_read_only(format!("WAL reset failed after checkpoint: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Alias for [`AlphaStore::checkpoint`], kept for callers of the
+    /// pre-health-machine API.
+    pub fn compact(&self) -> Result<(), PersistError> {
+        self.checkpoint()
+    }
+
+    /// Checks the auto-checkpoint watermarks after an ingest chunk lands
+    /// and, if one tripped, runs a checkpoint opportunistically. Never
+    /// fails the insert that triggered it: a contended maintenance lock
+    /// skips (someone else is compacting or snapshotting anyway), and a
+    /// checkpoint error only moves [`health`](AlphaStore::health) — the
+    /// chunk itself is already committed to the WAL.
+    fn maybe_auto_checkpoint(&self) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        if !self.auto_ckpt.armed() {
+            return;
+        }
+        let (bytes, records) = {
+            let wal = durable.wal.lock().expect("wal lock poisoned");
+            (wal.bytes_since_checkpoint(), wal.records)
+        };
+        if !self.auto_ckpt.reached(bytes, records) {
+            return;
+        }
+        // try_write, not write: if maintenance is already running (another
+        // auto-checkpoint, an explicit compact), the watermark stays
+        // tripped and the next chunk re-checks.
+        let Ok(_cut) = self.maintenance.try_write() else {
+            return;
+        };
+        {
+            let wal = durable.wal.lock().expect("wal lock poisoned");
+            if !self
+                .auto_ckpt
+                .reached(wal.bytes_since_checkpoint(), wal.records)
+            {
+                return;
+            }
+        }
+        self.obs.rec_auto_checkpoint();
+        // checkpoint_locked does the health bookkeeping on failure.
+        let _ = self.checkpoint_locked(durable);
     }
 
     fn require_durable(&self) -> Result<&Durable, PersistError> {
@@ -1231,6 +1559,7 @@ impl<H: HashWord> AlphaStore<H> {
     /// preserved); classes serialize as positions into it.
     pub(crate) fn write_snapshot_file(
         &self,
+        vfs: &dyn Vfs,
         path: &Path,
         wal_epoch: u64,
         wal_records_applied: u64,
@@ -1263,7 +1592,7 @@ impl<H: HashWord> AlphaStore<H> {
         };
         let bytes =
             crate::persist::snapshot::encode_snapshot(&header, &shard_refs, &dag, &class_roots);
-        let result = crate::persist::snapshot::write_atomically(path, &bytes);
+        let result = crate::persist::snapshot::write_atomically(vfs, path, &bytes);
         drop(guards);
         if result.is_ok() {
             self.obs.rec_snapshot_write(t, bytes.len() as u64);
@@ -1300,12 +1629,14 @@ impl<H: HashWord> AlphaStore<H> {
                 pending_entries += 1 + pt.subs.len();
                 pending.push(pt);
                 if pending_entries >= self.chunk_entries {
-                    self.ingest_prepared_terms(std::mem::take(&mut pending));
+                    self.ingest_prepared_terms(std::mem::take(&mut pending))
+                        .expect("in-memory replay ingest cannot fail");
                     pending_entries = 0;
                 }
             }
             if !pending.is_empty() {
-                self.ingest_prepared_terms(pending);
+                self.ingest_prepared_terms(pending)
+                    .expect("in-memory replay ingest cannot fail");
             }
         }
         Ok(())
@@ -1330,16 +1661,13 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Tees a chunk of root-granularity inserts into the WAL as one group
     /// commit (the chunk's records, then a boundary marker so replay can
-    /// reproduce the group exactly). No-op on in-memory stores.
-    ///
-    /// # Panics
-    ///
-    /// A WAL write failure on a durable store is fatal (the in-memory
-    /// state would otherwise silently diverge from what recovery can
-    /// rebuild), so it panics rather than drop durability.
-    fn wal_log_roots(&self, prepared: &[Prepared<H>]) {
+    /// reproduce the group exactly). No-op on in-memory stores. A write
+    /// failure is retried per the store's [`RetryPolicy`]; exhausting the
+    /// retries returns [`StoreError::Persist`] **without** applying the
+    /// chunk to memory, so memory and WAL stay in agreement.
+    fn wal_log_roots(&self, prepared: &[Prepared<H>]) -> Result<(), StoreError> {
         let Some(durable) = &self.durable else {
-            return;
+            return Ok(());
         };
         // ~10 bytes per canon node plus fixed costs: a close-enough guess
         // that the frame buffer almost never regrows mid-chunk.
@@ -1360,14 +1688,7 @@ impl<H: HashWord> AlphaStore<H> {
             );
         }
         crate::persist::wal::frame_commit(&mut frames, prepared.len() as u64);
-        let t = self.obs.tick();
-        durable
-            .wal
-            .lock()
-            .expect("wal lock poisoned")
-            .append_group(&frames, prepared.len() as u64)
-            .expect("WAL append failed; cannot continue durably");
-        self.obs.rec_wal_commit(t, prepared.len() as u64);
+        self.wal_append_with_retry(durable, &frames, prepared.len() as u64)
     }
 
     /// Tees a chunk of subexpression-granularity inserts into the WAL as
@@ -1375,10 +1696,10 @@ impl<H: HashWord> AlphaStore<H> {
     /// node-deduplicated DAG (extracted from the canon table) with entries
     /// addressing positions in it — duplicates within a term cost one
     /// position and a multiplicity, not k copies. No-op on in-memory
-    /// stores; panics on write failure like [`AlphaStore::wal_log_roots`].
-    fn wal_log_terms(&self, terms: &[PreparedTerm<H>]) {
+    /// stores; retried on write failure like [`AlphaStore::wal_log_roots`].
+    fn wal_log_terms(&self, terms: &[PreparedTerm<H>]) -> Result<(), StoreError> {
         let Some(durable) = &self.durable else {
-            return;
+            return Ok(());
         };
         let estimate: usize = terms
             .iter()
@@ -1393,14 +1714,146 @@ impl<H: HashWord> AlphaStore<H> {
         }
         drop(view);
         crate::persist::wal::frame_commit(&mut frames, terms.len() as u64);
+        self.wal_append_with_retry(durable, &frames, terms.len() as u64)
+    }
+
+    /// The shared locked-append tail of the two `wal_log_*` tees, with the
+    /// degraded-mode retry loop around it. Transient failures sleep a
+    /// bounded exponential backoff (the WAL mutex is **held across the
+    /// sleeps** — concurrent ingest queues behind the same broken disk
+    /// either way, and releasing it would let groups land out of order);
+    /// a retried append that succeeds heals the store back to
+    /// [`Health::Healthy`], while exhausting the policy flips it to
+    /// [`Health::ReadOnly`] and returns the underlying error.
+    fn wal_append_with_retry(
+        &self,
+        durable: &Durable,
+        frames: &[u8],
+        count: u64,
+    ) -> Result<(), StoreError> {
         let t = self.obs.tick();
-        durable
-            .wal
-            .lock()
-            .expect("wal lock poisoned")
-            .append_group(&frames, terms.len() as u64)
-            .expect("WAL append failed; cannot continue durably");
-        self.obs.rec_wal_commit(t, terms.len() as u64);
+        let mut wal = durable.wal.lock().expect("wal lock poisoned");
+        let mut attempt = 0u32;
+        loop {
+            match wal.append_group(frames, count) {
+                Ok(()) => {
+                    drop(wal);
+                    self.obs.rec_wal_commit(t, count);
+                    if attempt > 0 {
+                        self.heal();
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= self.retry.retries {
+                        drop(wal);
+                        let reason = format!("WAL write failed after {attempt} retries: {e}");
+                        self.set_read_only(reason);
+                        return Err(StoreError::Persist(e));
+                    }
+                    attempt += 1;
+                    self.obs.rec_wal_retry();
+                    self.set_degraded(format!(
+                        "WAL write failing (retry {attempt}/{}): {e}",
+                        self.retry.retries
+                    ));
+                    let delay = self
+                        .retry
+                        .backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    (self.retry.sleeper)(delay);
+                }
+            }
+        }
+    }
+
+    /// The store's current [`Health`]. `Healthy` stores persist normally;
+    /// `Degraded` stores have seen transient persistence failures (recent
+    /// ingests still landed, but the storage deserves attention);
+    /// `ReadOnly` stores refuse ingest — lookups keep serving from memory
+    /// — until a successful [`AlphaStore::checkpoint`] proves the storage
+    /// recovered. In-memory stores are always `Healthy`.
+    pub fn health(&self) -> Health {
+        match self.health.state.load(Ordering::Acquire) {
+            HEALTH_HEALTHY => Health::Healthy,
+            HEALTH_DEGRADED => Health::Degraded(
+                self.health
+                    .reason
+                    .lock()
+                    .expect("health lock poisoned")
+                    .clone(),
+            ),
+            _ => Health::ReadOnly(
+                self.health
+                    .reason
+                    .lock()
+                    .expect("health lock poisoned")
+                    .clone(),
+            ),
+        }
+    }
+
+    /// Ingest-path gate: one relaxed atomic load when healthy, a typed
+    /// refusal when read-only.
+    fn check_writable(&self) -> Result<(), StoreError> {
+        if self.health.state.load(Ordering::Relaxed) == HEALTH_READ_ONLY {
+            return Err(StoreError::Degraded {
+                reason: self
+                    .health
+                    .reason
+                    .lock()
+                    .expect("health lock poisoned")
+                    .clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Healthy → Degraded (or refreshes a Degraded reason). ReadOnly
+    /// outranks Degraded, so an already-read-only store is left alone.
+    fn set_degraded(&self, reason: String) {
+        match self.health.state.compare_exchange(
+            HEALTH_HEALTHY,
+            HEALTH_DEGRADED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                *self.health.reason.lock().expect("health lock poisoned") = reason;
+                self.obs
+                    .rec_health("store.degraded", u64::from(HEALTH_DEGRADED));
+            }
+            Err(HEALTH_DEGRADED) => {
+                *self.health.reason.lock().expect("health lock poisoned") = reason;
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Any state → ReadOnly: persistence is gone until an operator (or a
+    /// successful [`AlphaStore::checkpoint`]) intervenes.
+    fn set_read_only(&self, reason: String) {
+        let prev = self.health.state.swap(HEALTH_READ_ONLY, Ordering::AcqRel);
+        *self.health.reason.lock().expect("health lock poisoned") = reason;
+        if prev != HEALTH_READ_ONLY {
+            self.obs
+                .rec_health("store.read_only", u64::from(HEALTH_READ_ONLY));
+        }
+    }
+
+    /// Any state → Healthy, after storage proved itself again (a retried
+    /// append landed, or a checkpoint completed).
+    fn heal(&self) {
+        let prev = self.health.state.swap(HEALTH_HEALTHY, Ordering::AcqRel);
+        if prev != HEALTH_HEALTHY {
+            self.health
+                .reason
+                .lock()
+                .expect("health lock poisoned")
+                .clear();
+            self.obs
+                .rec_health("store.healed", u64::from(HEALTH_HEALTHY));
+        }
     }
 
     pub(crate) fn with_class<T>(&self, class: ClassId, f: impl FnOnce(&StoredClass<H>) -> T) -> T {

@@ -1,0 +1,531 @@
+//! Deterministic fault-injection tests for the durable store, driven by
+//! [`FaultVfs`] — no `/dev/full`, no timing, no OS special cases.
+//!
+//! The centrepiece is the **crash-point sweep**: a scripted workload is
+//! first run fault-free to learn how many write-side I/O operations it
+//! performs, then re-run once per operation index with the simulated
+//! machine dying exactly there (in three flavours: clean crash-stop,
+//! ENOSPC-then-crash, silent torn write then crash). After every single
+//! crash point the store must reopen, match a fresh-build oracle over
+//! the surviving prefix exactly (class census, partition, zero
+//! unconfirmed merges), and keep ingesting.
+//!
+//! Around the sweep: the degraded-mode health machine (retry → heal,
+//! exhaustion → read-only, lookups keep serving, `checkpoint()` heals),
+//! harmless mid-snapshot failures at every op index, and the
+//! auto-checkpoint watermarks.
+
+use alpha_store::persist::{SNAPSHOT_FILE, WAL_FILE};
+use alpha_store::{AlphaStore, FaultKind, FaultVfs, Granularity, Health, StoreError};
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::uniquify::uniquify_into;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fresh temp directory, removed on drop (even when a case fails).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "alpha-store-fault-{}-{}-{}",
+            std::process::id(),
+            tag,
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small varied corpus with alpha-duplicates (every other term is an
+/// alpha-renaming), deterministic in `seed`.
+fn corpus(arena: &mut ExprArena, seed: u64, count: usize) -> Vec<NodeId> {
+    let mut roots = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64 % 4));
+        let size = 4 + (i % 3) * 6;
+        let mut scratch = ExprArena::new();
+        let root = match i % 3 {
+            0 => expr_gen::balanced(&mut scratch, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut scratch, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut scratch, size.max(8), &mut rng),
+        };
+        if i % 2 == 0 {
+            roots.push(uniquify_into(&scratch, root, arena));
+        } else {
+            roots.push(arena.import_subtree(&scratch, root));
+        }
+    }
+    roots
+}
+
+/// Everything observable about a store's classes, keyed by canonical
+/// text: member, occurrence and node counts. Equal maps ⇒ same classes
+/// with the same bookkeeping.
+fn class_census(store: &AlphaStore<u64>) -> BTreeMap<String, (u64, u64, usize)> {
+    let mut census = BTreeMap::new();
+    for class in store.classes() {
+        census.insert(
+            store.canonical_text(class),
+            (
+                store.members(class),
+                store.occurrences(class),
+                store.node_count(class),
+            ),
+        );
+    }
+    census
+}
+
+/// A no-op sleeper so retry/backoff tests never actually wait.
+fn instant_sleeper() -> Arc<dyn Fn(Duration) + Send + Sync> {
+    Arc::new(|_| {})
+}
+
+fn builder(granularity: Granularity, fault: &FaultVfs) -> alpha_store::StoreBuilder<u64> {
+    AlphaStore::<u64>::builder()
+        .seed(0xFA17)
+        .shards(4)
+        .granularity(granularity)
+        .chunk_entries(4)
+        .sync_on_commit(true)
+        .vfs(Arc::new(fault.clone()))
+        .persist_retries(0)
+        .persist_sleeper(instant_sleeper())
+}
+
+/// The scripted workload the sweep kills at every op index: two batch
+/// ingests with a checkpoint between them. Errors are swallowed — once
+/// the machine "dies", later calls fail or are refused, and the sweep
+/// only cares what recovery makes of the bytes that reached disk.
+fn run_workload(store: &AlphaStore<u64>, arena: &ExprArena, roots: &[NodeId]) {
+    let half = roots.len() / 2;
+    let _ = store.try_insert_batch(arena, &roots[..half]);
+    let _ = store.checkpoint();
+    let _ = store.try_insert_batch(arena, &roots[half..]);
+}
+
+/// The crash-point sweep for one granularity. `kinds` rotate over the op
+/// indices so every index is hit and every flavour covers a spread of
+/// indices.
+fn sweep(granularity: Granularity, tag: &str) {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xBEEF, 10);
+
+    // Fault-free calibration run: learn the workload's op count and the
+    // full-corpus oracle census.
+    let fault = FaultVfs::new();
+    let total_ops = {
+        let dir = TempDir::new(tag);
+        let store = builder(granularity, &fault)
+            .open_durable(dir.path())
+            .expect("calibration open");
+        run_workload(&store, &arena, &roots);
+        fault.op_count()
+    };
+    assert!(
+        total_ops >= 12,
+        "workload too small to be a meaningful sweep ({total_ops} ops)"
+    );
+    let oracle_full = {
+        let oracle = builder(granularity, &fault).build();
+        oracle.insert_batch(&arena, &roots);
+        class_census(&oracle)
+    };
+
+    let kinds = [
+        FaultKind::CrashStop,
+        FaultKind::Enospc,
+        FaultKind::TornWrite,
+    ];
+    for op in 0..total_ops {
+        for &kind in &kinds {
+            let dir = TempDir::new(tag);
+            let fault = FaultVfs::new();
+
+            // Phase 1: the machine dies at op `op`. An `Err` from the
+            // initial open just means it died during store creation —
+            // recovery below must cope with that half-created state too.
+            {
+                fault.crash_at(op, kind);
+                if let Ok(store) = builder(granularity, &fault).open_durable(dir.path()) {
+                    run_workload(&store, &arena, &roots);
+                }
+            } // drop = crash: no shutdown ceremony
+
+            // The reboot: faults stop, the files are whatever they are.
+            fault.clear();
+
+            // Phase 2: recovery must yield exactly a fresh build over
+            // the surviving prefix.
+            let recovered = builder(granularity, &fault)
+                .open_durable(dir.path())
+                .unwrap_or_else(|e| panic!("{tag}: recovery failed at op {op} ({kind:?}): {e}"));
+            let survived = recovered.num_terms();
+            assert!(
+                survived <= roots.len(),
+                "{tag}: op {op} ({kind:?}): {survived} terms recovered from {} ingested",
+                roots.len()
+            );
+            let oracle = builder(granularity, &fault).build();
+            oracle.insert_batch(&arena, &roots[..survived]);
+            assert_eq!(
+                class_census(&recovered),
+                class_census(&oracle),
+                "{tag}: op {op} ({kind:?}): recovered census diverges from oracle over {survived} surviving terms"
+            );
+            assert_eq!(recovered.num_classes(), oracle.num_classes());
+            assert!(
+                recovered.stats().is_exact(),
+                "{tag}: op {op} ({kind:?}): unconfirmed merges after recovery"
+            );
+            assert_eq!(recovered.health(), Health::Healthy);
+
+            // Phase 3: the recovered store keeps working — ingest the
+            // lost tail and land on the full-corpus census.
+            recovered
+                .try_insert_batch(&arena, &roots[survived..])
+                .unwrap_or_else(|e| panic!("{tag}: op {op} ({kind:?}): post-recovery ingest: {e}"));
+            assert_eq!(
+                class_census(&recovered),
+                oracle_full,
+                "{tag}: op {op} ({kind:?}): post-recovery ingest diverges from full oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_point_sweep_roots() {
+    sweep(Granularity::Roots, "sweep-roots");
+}
+
+#[test]
+fn crash_point_sweep_subexpressions() {
+    sweep(Granularity::Subexpressions { min_nodes: 3 }, "sweep-subs");
+}
+
+/// A persistently failing disk flips the store read-only; lookups keep
+/// serving from memory; a successful `checkpoint()` heals it back to
+/// full service.
+#[test]
+fn read_only_store_keeps_serving_and_checkpoint_heals() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xC0FFEE, 12);
+    let dir = TempDir::new("read-only");
+    let fault = FaultVfs::new();
+    let store = builder(Granularity::Subexpressions { min_nodes: 3 }, &fault)
+        .persist_retries(1)
+        .open_durable(dir.path())
+        .expect("open durable");
+
+    let (known, lost) = roots.split_at(8);
+    store
+        .try_insert_batch(&arena, known)
+        .expect("healthy ingest");
+    assert_eq!(store.health(), Health::Healthy);
+
+    // The disk dies for good: the retry is also refused, so the policy
+    // exhausts and the store goes read-only with the underlying error.
+    fault.fail_always(FaultKind::Enospc);
+    let err = store.try_insert(&arena, lost[0]).expect_err("disk is dead");
+    assert!(
+        matches!(err, StoreError::Persist(_)),
+        "exhausted retries surface the persistence error, got: {err}"
+    );
+    match store.health() {
+        Health::ReadOnly(reason) => assert!(
+            reason.contains("no space left"),
+            "reason should carry the I/O cause, got: {reason}"
+        ),
+        other => panic!("expected ReadOnly, got {other:?}"),
+    }
+
+    // Further ingest is refused up front with the typed refusal…
+    let err = store.try_insert(&arena, lost[1]).expect_err("read-only");
+    assert!(matches!(err, StoreError::Degraded { .. }), "got: {err}");
+
+    // …while every read path keeps serving from memory.
+    assert!(store.lookup(&arena, known[0]).is_some());
+    assert!(store.contains(&arena, known[0]).is_some());
+    let hits = store.contains_batch(&arena, known);
+    assert!(hits.iter().all(Option::is_some));
+    assert_eq!(store.num_terms(), 8);
+
+    // The operator fixes the disk; checkpoint() proves it and heals.
+    fault.clear();
+    store.checkpoint().expect("checkpoint over a healed disk");
+    assert_eq!(store.health(), Health::Healthy);
+    store
+        .try_insert_batch(&arena, lost)
+        .expect("ingest after heal");
+    assert_eq!(store.num_terms(), roots.len());
+
+    // And what landed after the heal is durable: reopen and compare.
+    let census = class_census(&store);
+    drop(store);
+    let reopened = builder(Granularity::Subexpressions { min_nodes: 3 }, &fault)
+        .open_durable(dir.path())
+        .expect("reopen");
+    assert_eq!(class_census(&reopened), census);
+}
+
+/// A transient fault is absorbed by the retry policy: the insert
+/// succeeds, the store passes through Degraded and heals itself.
+#[test]
+fn transient_fault_retries_and_heals() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0x7EA, 6);
+    let dir = TempDir::new("transient");
+    let fault = FaultVfs::new();
+    let store = builder(Granularity::Roots, &fault)
+        .persist_retries(2)
+        .open_durable(dir.path())
+        .expect("open durable");
+    store
+        .try_insert_batch(&arena, &roots[..4])
+        .expect("warm up");
+
+    // Exactly the next append fails once; the retry lands it.
+    fault.fail_at(fault.op_count(), FaultKind::Eio);
+    store
+        .try_insert(&arena, roots[4])
+        .expect("retry absorbs the fault");
+    assert_eq!(store.health(), Health::Healthy, "retried success heals");
+
+    // The record landed exactly once: reopen and the term is there.
+    drop(store);
+    fault.clear();
+    let reopened = builder(Granularity::Roots, &fault)
+        .open_durable(dir.path())
+        .expect("reopen");
+    assert_eq!(reopened.num_terms(), 5);
+    assert!(reopened.lookup(&arena, roots[4]).is_some());
+}
+
+/// A snapshot that dies mid-write — at *every* op index it draws — must
+/// leave the previous snapshot and the WAL untouched, clean up its temp
+/// file, and leave the store serving (degraded, not read-only). A crash
+/// right there recovers everything from the old snapshot + WAL.
+#[test]
+fn snapshot_failure_at_every_op_is_harmless() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0x5AFE, 10);
+
+    // Calibration: how many ops does one snapshot() draw?
+    let fault = FaultVfs::new();
+    let dir = TempDir::new("snap-calib");
+    let store = builder(Granularity::Roots, &fault)
+        .open_durable(dir.path())
+        .expect("open");
+    store.try_insert_batch(&arena, &roots).expect("ingest");
+    let before = fault.op_count();
+    store.snapshot().expect("calibration snapshot");
+    let snap_ops = fault.op_count() - before;
+    assert!(snap_ops >= 4, "create + writes + sync + rename + dir sync");
+    drop(store);
+
+    for k in 0..snap_ops {
+        let dir = TempDir::new("snap-fail");
+        let fault = FaultVfs::new();
+        let store = builder(Granularity::Roots, &fault)
+            .open_durable(dir.path())
+            .expect("open");
+        store.try_insert_batch(&arena, &roots).expect("ingest");
+        // A fresh store has no snapshot yet: commit a baseline one so
+        // the failed attempt below has something it must not damage.
+        store.snapshot().expect("baseline snapshot");
+        let snap_path = dir.path().join(SNAPSHOT_FILE);
+        let old_snapshot = std::fs::read(&snap_path).expect("baseline snapshot bytes");
+        let old_wal_len = std::fs::metadata(dir.path().join(WAL_FILE))
+            .expect("wal")
+            .len();
+
+        fault.fail_at(fault.op_count() + k, FaultKind::Enospc);
+        let err = store.snapshot().expect_err("the k-th snapshot op dies");
+        assert!(
+            err.to_string().contains("snapshot"),
+            "typed as a snapshot error: {err}"
+        );
+        assert!(
+            matches!(store.health(), Health::Degraded(_)),
+            "failed snapshot degrades, never kills: {:?}",
+            store.health()
+        );
+
+        // Previous snapshot and WAL are byte-identical; the temp file
+        // is gone.
+        assert_eq!(
+            std::fs::read(&snap_path).expect("old snapshot intact"),
+            old_snapshot,
+            "op {k}: failed snapshot must not touch the committed one"
+        );
+        assert_eq!(
+            std::fs::metadata(dir.path().join(WAL_FILE))
+                .expect("wal")
+                .len(),
+            old_wal_len,
+            "op {k}: failed snapshot must not touch the WAL"
+        );
+        assert!(
+            !snap_path.with_extension("tmp").exists(),
+            "op {k}: temp file must be cleaned up"
+        );
+
+        // The store still serves and still ingests (degraded ≠ dead)…
+        assert!(store.lookup(&arena, roots[0]).is_some());
+        let extra = corpus(&mut arena, 0xE47A ^ k, 1);
+        store
+            .try_insert_batch(&arena, &extra)
+            .expect("degraded store still ingests");
+
+        // …and a crash right now recovers everything from disk.
+        drop(store);
+        fault.clear();
+        let recovered = builder(Granularity::Roots, &fault)
+            .open_durable(dir.path())
+            .expect("recovery after failed snapshot");
+        assert_eq!(recovered.num_terms(), roots.len() + 1);
+        assert!(recovered.stats().is_exact());
+    }
+}
+
+/// The record-count watermark: ingest past it and the store checkpoints
+/// itself — WAL truncated, snapshot advanced — without any explicit
+/// maintenance call.
+#[test]
+fn auto_checkpoint_trips_on_record_watermark() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xAC, 20);
+    let dir = TempDir::new("auto-records");
+    let fault = FaultVfs::new();
+    let store = builder(Granularity::Roots, &fault)
+        .auto_checkpoint_records(8)
+        .open_durable(dir.path())
+        .expect("open");
+    for &r in &roots {
+        store.try_insert(&arena, r).expect("ingest");
+        assert!(
+            store.wal_records().expect("durable") <= 8,
+            "the WAL must never grow past the watermark plus the current chunk"
+        );
+    }
+    assert!(
+        store.wal_records().expect("durable") < roots.len() as u64,
+        "auto-checkpoint must have truncated the WAL at least once"
+    );
+    assert_eq!(store.health(), Health::Healthy);
+
+    // Everything is durable across the snapshot/WAL split.
+    let census = class_census(&store);
+    drop(store);
+    let reopened = builder(Granularity::Roots, &fault)
+        .open_durable(dir.path())
+        .expect("reopen");
+    assert_eq!(reopened.num_terms(), roots.len());
+    assert_eq!(class_census(&reopened), census);
+}
+
+/// The byte watermark, same shape: WAL bytes since the last checkpoint
+/// stay bounded by the watermark plus one chunk.
+#[test]
+fn auto_checkpoint_trips_on_byte_watermark() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xAB, 16);
+    let dir = TempDir::new("auto-bytes");
+    let fault = FaultVfs::new();
+    let store = builder(Granularity::Roots, &fault)
+        .auto_checkpoint_bytes(2 * 1024)
+        .open_durable(dir.path())
+        .expect("open");
+    store.try_insert_batch(&arena, &roots).expect("ingest");
+    let wal_len = std::fs::metadata(dir.path().join(WAL_FILE))
+        .expect("wal")
+        .len();
+    assert!(
+        wal_len < 16 * 1024,
+        "byte watermark must keep the WAL bounded, got {wal_len} bytes"
+    );
+    drop(store);
+    let reopened = builder(Granularity::Roots, &fault)
+        .open_durable(dir.path())
+        .expect("reopen");
+    assert_eq!(reopened.num_terms(), roots.len());
+}
+
+/// An auto-checkpoint that fails mid-flight must degrade the store but
+/// never fail the insert that tripped it — the chunk is already in the
+/// WAL.
+#[test]
+fn failed_auto_checkpoint_never_fails_the_insert() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xFA11, 12);
+    let dir = TempDir::new("auto-fail");
+    let fault = FaultVfs::new();
+    let store = builder(Granularity::Roots, &fault)
+        .auto_checkpoint_records(5)
+        .open_durable(dir.path())
+        .expect("open");
+    store
+        .try_insert_batch(&arena, &roots[..3])
+        .expect("below watermark");
+
+    // Probe: how many WAL ops does one below-watermark insert draw?
+    let wal_ops_per_insert = {
+        let before = fault.op_count();
+        store.try_insert(&arena, roots[3]).expect("probe insert");
+        fault.op_count() - before
+    };
+    // The next insert trips the watermark (5 records reached): its WAL
+    // append succeeds, then the auto-checkpoint's snapshot create —
+    // the first op *after* the insert's own ops — dies.
+    fault.fail_at(fault.op_count() + wal_ops_per_insert, FaultKind::Enospc);
+    store
+        .try_insert(&arena, roots[4])
+        .expect("the insert must succeed even though its auto-checkpoint dies");
+    assert!(
+        matches!(store.health(), Health::Degraded(_)),
+        "failed auto-checkpoint degrades: {:?}",
+        store.health()
+    );
+
+    // The watermark is still tripped; the next insert retries the
+    // checkpoint over the healed disk and the store heals itself.
+    fault.clear();
+    store.try_insert(&arena, roots[5]).expect("ingest");
+    assert_eq!(store.health(), Health::Healthy);
+    assert!(store.wal_records().expect("durable") <= 1);
+}
+
+/// In-memory stores never degrade and refuse nothing: the health
+/// machine is durable-only surface, `try_insert` is total.
+#[test]
+fn in_memory_stores_are_always_healthy() {
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0x1, 4);
+    let store = AlphaStore::<u64>::builder().seed(1).build();
+    store
+        .try_insert_batch(&arena, &roots)
+        .expect("in-memory ingest is total");
+    assert_eq!(store.health(), Health::Healthy);
+    assert!(
+        store.checkpoint().is_err(),
+        "no durable state to checkpoint"
+    );
+}

@@ -321,3 +321,87 @@ fn enabled_instrumentation_overhead_is_bounded() {
         "obs-enabled ingest took {ratio:.2}x the toggled-off time (on={on}ns off={off}ns)"
     );
 }
+
+/// The health state machine is fully observable: the
+/// `alpha_store_health` gauge tracks every transition, the retry and
+/// auto-checkpoint counters tick, and each transition emits a trace
+/// event (`store.degraded` / `store.read_only` / `store.healed`).
+#[test]
+fn health_machine_is_observable() {
+    use alpha_store::{FaultKind, FaultVfs, Health};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("alpha-store-obs-health-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0x8EA17, 10);
+    let fault = FaultVfs::new();
+    let store: AlphaStore<u64> = AlphaStore::builder()
+        .seed(7)
+        .shards(4)
+        .vfs(Arc::new(fault.clone()))
+        .persist_retries(1)
+        .persist_sleeper(Arc::new(|_| {}))
+        .open_durable(&dir)
+        .unwrap();
+
+    store.insert_batch(&arena, &roots[..4]);
+    assert_eq!(store.obs_report().gauge("alpha_store_health"), Some(0));
+
+    // Transient fault: one retry, absorbed, healthy throughout the
+    // caller's view (degrade + heal both emitted).
+    fault.fail_at(fault.op_count(), FaultKind::Eio);
+    store.insert(&arena, roots[4]);
+    let report = store.obs_report();
+    assert_eq!(report.gauge("alpha_store_health"), Some(0));
+    assert_eq!(report.counter("alpha_store_wal_retries"), Some(1));
+
+    // Persistent fault: retries exhaust, read-only (gauge = 2).
+    fault.fail_always(FaultKind::Enospc);
+    assert!(store.try_insert(&arena, roots[5]).is_err());
+    assert_eq!(store.obs_report().gauge("alpha_store_health"), Some(2));
+    assert!(matches!(store.health(), Health::ReadOnly(_)));
+
+    // Manual checkpoint over a healed disk: gauge back to 0.
+    fault.clear();
+    store.checkpoint().unwrap();
+    assert_eq!(store.obs_report().gauge("alpha_store_health"), Some(0));
+
+    let events: Vec<&'static str> = store.obs_recent_events().iter().map(|e| e.name).collect();
+    for needed in ["store.degraded", "store.read_only", "store.healed"] {
+        assert!(
+            events.contains(&needed),
+            "missing trace event {needed} in {events:?}"
+        );
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Auto-checkpoints tick their counter.
+#[test]
+fn auto_checkpoints_are_counted() {
+    let dir = std::env::temp_dir().join(format!("alpha-store-obs-ackpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut arena = ExprArena::new();
+    let roots = corpus(&mut arena, 0xACC7, 12);
+    let store: AlphaStore<u64> = AlphaStore::builder()
+        .seed(7)
+        .shards(4)
+        .auto_checkpoint_records(4)
+        .open_durable(&dir)
+        .unwrap();
+    for &r in &roots {
+        store.insert(&arena, r);
+    }
+    let ticks = store
+        .obs_report()
+        .counter("alpha_store_auto_checkpoints")
+        .unwrap();
+    assert!(
+        ticks >= 2,
+        "12 inserts over a 4-record watermark: got {ticks}"
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
