@@ -1,0 +1,69 @@
+//! # alphahashd
+//!
+//! The **network daemon front door** for the
+//! [`alpha-store`](alpha_store): a long-lived TCP server that turns the
+//! in-process store library into shared infrastructure many client
+//! processes can feed at once — the deployment shape the ROADMAP's
+//! production north star (and the paper's compiler/CSE service framing)
+//! calls for.
+//!
+//! Three pieces, one crate:
+//!
+//! * [`wire`] — the versioned, length-framed, CRC-checked binary
+//!   protocol (hand-rolled over `std::io`, like the persistence format;
+//!   no tokio, no serde). Byte-level spec in `docs/PROTOCOL.md`, kept
+//!   honest by a spec-grep test.
+//! * [`server`] — [`server::Daemon`]: a `TcpListener` accept
+//!   loop, thread-per-connection handlers, and a **batching ingest
+//!   pipeline** — bounded channels into accumulator workers that
+//!   coalesce terms under size/latency watermarks and feed
+//!   [`try_insert_batch`](alpha_store::AlphaStore::try_insert_batch),
+//!   so many small clients get batched-ingest throughput. Read ops keep
+//!   serving while a degraded store refuses ingest with typed errors;
+//!   graceful shutdown drains, checkpoints the WAL, and releases the
+//!   directory lock so the next open is a clean reopen.
+//! * [`client`] — [`client::Client`], the blocking,
+//!   reconnect-aware client library the `alphahash serve`/`client` CLI
+//!   subcommands are built on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use alpha_store::AlphaStore;
+//! use alphahashd::server::{Daemon, DaemonConfig};
+//! use alphahashd::client::Client;
+//! use lambda_lang::{parse, ExprArena};
+//!
+//! let store: Arc<AlphaStore<u64>> = Arc::new(AlphaStore::default());
+//! let daemon = Daemon::spawn(store, DaemonConfig::default())?;
+//! let mut client = Client::connect(daemon.local_addr().to_string())?;
+//!
+//! let mut arena = ExprArena::new();
+//! let a = parse(&mut arena, r"\x. x + 1").unwrap();
+//! let b = parse(&mut arena, r"\y. y + 1").unwrap();
+//! let first = client.insert(&arena, a)?;
+//! let second = client.insert(&arena, b)?; // alpha-equivalent: same class
+//! assert_eq!(first.class, second.class);
+//! assert!(first.fresh && !second.fresh);
+//!
+//! client.shutdown()?;
+//! daemon.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+// Unsafe is confined to the one `signal(2)` declaration in `signal`;
+// everything else is checked Rust (`forbid` would not allow even that
+// module-scoped exception).
+#![deny(unsafe_code)]
+
+pub mod client;
+pub(crate) mod ingest;
+pub mod server;
+pub mod signal;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Daemon, DaemonConfig};
+pub use wire::{RemoteOutcome, RemoteStats, ServerHello, WireError};

@@ -1,0 +1,274 @@
+//! Measures the network daemon against the in-process store it fronts:
+//! loopback batched ingest through `alphahashd` (N wire clients over
+//! TCP, chunked streaming, the accumulator pipeline) vs a plain
+//! single-process `insert_batch` of the same corpus — plus the
+//! single-insert round-trip latency distribution.
+//!
+//! ```text
+//! cargo run --release --bin daemon_throughput -- \
+//!     --terms 20000 --clients 4 --chunk-terms 512 --reps 3 \
+//!     --save-json BENCH_store.json
+//! ```
+//!
+//! `--save-json` **merges** a `"daemon"` block into an existing
+//! `store_throughput` report (replacing any previous block) so one JSON
+//! file tracks the whole store tier. The headline number is
+//! `throughput_vs_in_process`: loopback batched ingest as a fraction of
+//! the in-process rate. The daemon serializes every term, frames and
+//! CRCs every chunk, and round-trips outcomes, so a fraction well below
+//! 1.0 is expected; the acceptance floor for this repo is 0.33 on the
+//! 1-core container.
+//!
+//! Every rep's result is audited: the daemon-side store must report the
+//! same class count as the in-process build and zero unconfirmed merges
+//! — a throughput number from a store that diverged is worthless.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alpha_hash_bench::{format_ms, store_corpus, Args};
+use alpha_store::AlphaStore;
+use alphahashd::{Client, Daemon, DaemonConfig};
+use lambda_lang::arena::{ExprArena, NodeId};
+
+/// One timed loopback run: fresh store + daemon, `clients` threads each
+/// streaming its slice over its own connection, drain, audit. Returns
+/// the ingest wall-clock (connect/shutdown excluded: the clock brackets
+/// only the batched streaming).
+fn daemon_ingest_once(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    clients: usize,
+    chunk_terms: usize,
+    expect_classes: usize,
+) -> f64 {
+    let store: Arc<AlphaStore<u64>> = Arc::new(AlphaStore::builder().seed(0x5EED).build());
+    let daemon = Daemon::spawn(Arc::clone(&store), DaemonConfig::default()).expect("spawn daemon");
+    let addr = daemon.local_addr().to_string();
+
+    // Connect everyone first so the measurement starts with the
+    // handshakes done — the number tracks ingest, not dialing.
+    let mut conns: Vec<Client> = (0..clients)
+        .map(|_| {
+            let mut c = Client::connect(addr.clone()).expect("connect");
+            c.set_chunk_terms(chunk_terms);
+            c
+        })
+        .collect();
+
+    let slice_len = roots.len() / clients;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, client) in conns.iter_mut().enumerate() {
+            let lo = i * slice_len;
+            let hi = if i + 1 == clients {
+                roots.len()
+            } else {
+                lo + slice_len
+            };
+            let slice = &roots[lo..hi];
+            scope.spawn(move || {
+                let outcomes = client.insert_batch(arena, slice).expect("wire ingest");
+                assert_eq!(outcomes.len(), slice.len());
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let stats = store.stats();
+    assert!(
+        stats.is_exact(),
+        "daemon-side store must stay exact: {stats}"
+    );
+    assert_eq!(stats.terms_ingested as usize, roots.len());
+    assert_eq!(
+        store.num_classes(),
+        expect_classes,
+        "daemon-side partition must equal the in-process build"
+    );
+    let mut shut = Client::connect(addr).expect("connect for shutdown");
+    shut.shutdown().expect("shutdown op");
+    daemon.join();
+    secs
+}
+
+fn main() {
+    let args = Args::parse();
+    let terms = args.get_usize("terms", 20_000);
+    let clients = args.get_usize("clients", 4);
+    let chunk_terms = args.get_usize("chunk-terms", 512);
+    let reps = args.get_usize("reps", 3);
+    let probes = args.get_usize("latency-probes", 2_000);
+    let seed_pool = args.get_usize("seed-pool", 997) as u64;
+    let json_path = args.get("save-json", "");
+    for (flag, value) in [
+        ("terms", terms),
+        ("clients", clients),
+        ("chunk-terms", chunk_terms),
+        ("reps", reps),
+        ("latency-probes", probes),
+    ] {
+        if value == 0 {
+            eprintln!("error: --{flag} must be at least 1");
+            std::process::exit(2);
+        }
+    }
+
+    let mut arena = ExprArena::new();
+    let roots = store_corpus(&mut arena, terms, seed_pool);
+    let corpus_nodes: usize = roots.iter().map(|&r| arena.subtree_size(r)).sum();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "daemon_throughput: {terms} terms / {corpus_nodes} nodes, {clients} loopback clients, \
+         chunk {chunk_terms}, best of {reps} (machine parallelism {cores})"
+    );
+
+    // In-process baseline: the same corpus through one plain
+    // single-threaded `insert_batch` — what the daemon's fraction is
+    // measured against.
+    let mut expect_classes = 0;
+    let baseline = (0..reps)
+        .map(|_| {
+            let store: AlphaStore<u64> = AlphaStore::builder().seed(0x5EED).build();
+            let t0 = Instant::now();
+            store.insert_batch(&arena, &roots);
+            let secs = t0.elapsed().as_secs_f64();
+            expect_classes = store.num_classes();
+            secs
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Loopback batched ingest through the daemon.
+    let daemon_secs = (0..reps)
+        .map(|_| daemon_ingest_once(&arena, &roots, clients, chunk_terms, expect_classes))
+        .fold(f64::INFINITY, f64::min);
+
+    let rate = |secs: f64| terms as f64 / secs;
+    let ratio = baseline / daemon_secs;
+
+    // Single-insert round-trip latency: one client, one term per
+    // request, against a zero-linger daemon so the number is the
+    // transport + pipeline cost, not the coalescing timer.
+    let (lat_p50_us, lat_p99_us) = {
+        let store: Arc<AlphaStore<u64>> = Arc::new(AlphaStore::builder().seed(0x5EED).build());
+        let config = DaemonConfig {
+            linger: Duration::ZERO,
+            ..DaemonConfig::default()
+        };
+        let daemon = Daemon::spawn(Arc::clone(&store), config).expect("spawn daemon");
+        let mut client = Client::connect(daemon.local_addr().to_string()).expect("connect");
+        let mut lat_us: Vec<f64> = Vec::with_capacity(probes);
+        for i in 0..probes {
+            let root = roots[i % roots.len()];
+            let t0 = Instant::now();
+            client.insert(&arena, root).expect("single insert");
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        lat_us.sort_by(f64::total_cmp);
+        let q = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p).round() as usize];
+        client.shutdown().expect("shutdown op");
+        daemon.join();
+        (q(0.5), q(0.99))
+    };
+
+    println!(
+        "  in-process batched : {:>10} ({:>12.0} terms/s)",
+        format_ms(baseline),
+        rate(baseline)
+    );
+    println!(
+        "  loopback  batched  : {:>10} ({:>12.0} terms/s, {clients} clients)",
+        format_ms(daemon_secs),
+        rate(daemon_secs)
+    );
+    println!("  daemon vs in-process: {:.1}% (floor 33%)", 100.0 * ratio);
+    println!(
+        "  single-insert round trip ({probes} probes, zero linger): \
+         p50 {lat_p50_us:.0} us, p99 {lat_p99_us:.0} us"
+    );
+
+    if !json_path.is_empty() {
+        let block = format!(
+            concat!(
+                "{{\n",
+                "    \"terms\": {terms},\n",
+                "    \"corpus_nodes\": {nodes},\n",
+                "    \"clients\": {clients},\n",
+                "    \"chunk_terms\": {chunk_terms},\n",
+                "    \"reps\": {reps},\n",
+                "    \"available_parallelism\": {cores},\n",
+                "    \"in_process_batched_secs\": {baseline:.6},\n",
+                "    \"in_process_terms_per_sec\": {baseline_rate:.1},\n",
+                "    \"loopback_batched_secs\": {daemon_secs:.6},\n",
+                "    \"loopback_terms_per_sec\": {daemon_rate:.1},\n",
+                "    \"throughput_vs_in_process\": {ratio:.4},\n",
+                "    \"latency_probes\": {probes},\n",
+                "    \"insert_round_trip_us_p50\": {lat_p50_us:.1},\n",
+                "    \"insert_round_trip_us_p99\": {lat_p99_us:.1},\n",
+                "    \"classes\": {classes}\n",
+                "  }}"
+            ),
+            terms = terms,
+            nodes = corpus_nodes,
+            clients = clients,
+            chunk_terms = chunk_terms,
+            reps = reps,
+            cores = cores,
+            baseline = baseline,
+            baseline_rate = rate(baseline),
+            daemon_secs = daemon_secs,
+            daemon_rate = rate(daemon_secs),
+            ratio = ratio,
+            probes = probes,
+            lat_p50_us = lat_p50_us,
+            lat_p99_us = lat_p99_us,
+            classes = expect_classes,
+        );
+        merge_daemon_block(&json_path, &block);
+        println!("  merged \"daemon\" block into {json_path}");
+    }
+}
+
+/// Replaces (or appends) the top-level `"daemon"` block in the JSON
+/// report at `path`, preserving whatever `store_throughput` wrote. The
+/// file format is the hand-rolled JSON both emitters produce, so a
+/// brace-matched splice is exact, not heuristic.
+fn merge_daemon_block(path: &str, block: &str) {
+    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+    if let Some(key) = content.find("\"daemon\"") {
+        let open = key + content[key..].find('{').expect("daemon block has a body");
+        let mut depth = 0usize;
+        let mut end = content.len();
+        for (i, b) in content.as_bytes().iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Back over the preceding comma/whitespace so the splice point
+        // sits right after the previous block.
+        let mut start = key;
+        while start > 0 && content.as_bytes()[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        if start > 0 && content.as_bytes()[start - 1] == b',' {
+            start -= 1;
+        }
+        content.replace_range(start..end, "");
+    }
+    let trimmed_len = content.trim_end().len();
+    content.truncate(trimmed_len);
+    assert!(content.ends_with('}'), "{path} is not a JSON object");
+    content.truncate(content.len() - 1); // drop the final '}'
+    let body = content.trim_end();
+    let separator = if body.ends_with('{') { "" } else { "," };
+    let merged = format!("{body}{separator}\n  \"daemon\": {block}\n}}\n");
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}

@@ -105,7 +105,9 @@ pub use persist::vfs::{FaultKind, FaultVfs, OsVfs, Vfs, VfsFile};
 pub use persist::{PersistError, SnapshotOp, WalOp};
 pub use prepare::Preparer;
 pub use stats::{CanonDagStats, StoreStats};
-pub use store::{AlphaStore, ClassId, Health, InsertOutcome, StoreError, SubexprSummary, TermId};
+pub use store::{
+    AlphaStore, ClassId, Health, InsertOutcome, RecoveryInfo, StoreError, SubexprSummary, TermId,
+};
 
 /// The zero-dependency metrics/tracing crate backing
 /// [`AlphaStore::obs_report`] and friends, re-exported so downstream

@@ -520,6 +520,9 @@ fn open_store_locked<H: HashWord>(
     // snapshot, intact same-epoch WAL whose every record the snapshot
     // already absorbed.
     let mut clean_wal: Option<(u64, u64)> = None;
+    // WAL records fed back through the ingest path, for
+    // [`AlphaStore::recovery_info`].
+    let mut replayed_records: u64 = 0;
     if let Some(contents) = wal_contents {
         let h = contents.header;
         if h.hash_bits != H::BITS
@@ -568,6 +571,7 @@ fn open_store_locked<H: HashWord>(
                     clean_wal = Some((records_applied, contents.good_len));
                 } else {
                     let tail = drop_applied_records(contents.groups, records_applied);
+                    replayed_records = tail.iter().map(|g| g.len() as u64).sum();
                     let t = std::time::Instant::now();
                     store.replay(tail, config.verify_on_replay)?;
                     replay_ns = t.elapsed().as_nanos() as u64;
@@ -577,6 +581,10 @@ fn open_store_locked<H: HashWord>(
     }
 
     store.record_recovery(snap_load_ns, replay_ns);
+    store.recovery = Some(crate::store::RecoveryInfo {
+        replayed_records,
+        clean: clean_wal.is_some(),
+    });
 
     // 3a. Clean reopen: nothing was replayed and nothing was torn, so the
     // on-disk pair is already in a consistent state — skip the O(store)

@@ -168,6 +168,43 @@ pub enum Health {
     ReadOnly(String),
 }
 
+impl Health {
+    /// The state as a stable machine-readable code — the same encoding
+    /// the `alpha_store_health` gauge uses and the one network front
+    /// ends put on the wire: 0 = healthy, 1 = degraded, 2 = read-only.
+    pub fn code(&self) -> u8 {
+        match self {
+            Health::Healthy => HEALTH_HEALTHY,
+            Health::Degraded(_) => HEALTH_DEGRADED,
+            Health::ReadOnly(_) => HEALTH_READ_ONLY,
+        }
+    }
+
+    /// The failure description carried by the degraded states (empty for
+    /// [`Health::Healthy`]).
+    pub fn reason(&self) -> &str {
+        match self {
+            Health::Healthy => "",
+            Health::Degraded(r) | Health::ReadOnly(r) => r,
+        }
+    }
+}
+
+/// What recovery did when a durable store was [opened](AlphaStore::open),
+/// reported by [`AlphaStore::recovery_info`]. Lets operators (and the
+/// `alphahashd` daemon's shutdown test) distinguish a **clean** reopen —
+/// the snapshot already held every WAL record, nothing was replayed —
+/// from a crash recovery that had to replay a WAL tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// WAL records replayed through the ingest path during the open.
+    pub replayed_records: u64,
+    /// `true` when the open was clean: intact snapshot, intact same-epoch
+    /// WAL fully absorbed by it, so the O(store) recovery checkpoint was
+    /// skipped and the existing WAL simply continues.
+    pub clean: bool,
+}
+
 /// What a fallible ingest ([`AlphaStore::try_insert`] /
 /// [`AlphaStore::try_insert_batch`]) can fail with. The infallible
 /// [`AlphaStore::insert`] / [`AlphaStore::insert_batch`] panic on these
@@ -512,6 +549,9 @@ pub struct AlphaStore<H: HashWord = u64> {
     /// recording never takes a store lock; inside critical sections only
     /// wait-free operations (atomic adds, monotonic clock reads) happen.
     obs: StoreObs,
+    /// What recovery did, for stores built by the durable open paths
+    /// (`None` for in-memory stores and fresh creations).
+    pub(crate) recovery: Option<RecoveryInfo>,
 }
 
 impl<H: HashWord> Default for AlphaStore<H> {
@@ -583,6 +623,7 @@ impl<H: HashWord> AlphaStore<H> {
             health: HealthState::default(),
             maintenance: RwLock::new(()),
             obs: StoreObs::new(),
+            recovery: None,
         }
     }
 
@@ -619,6 +660,7 @@ impl<H: HashWord> AlphaStore<H> {
             health: HealthState::default(),
             maintenance: RwLock::new(()),
             obs: StoreObs::new(),
+            recovery: None,
         })
     }
 
@@ -1402,6 +1444,15 @@ impl<H: HashWord> AlphaStore<H> {
     /// [`StoreBuilder::open_durable`] or [`AlphaStore::open`]).
     pub fn is_durable(&self) -> bool {
         self.durable.is_some()
+    }
+
+    /// What recovery did when this store was opened from a durable
+    /// directory: how many WAL records were replayed, and whether the
+    /// reopen was **clean** (snapshot already current, no replay, no
+    /// recovery checkpoint). `None` for in-memory stores and for
+    /// directories created fresh by this open.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.recovery
     }
 
     /// The durable store's directory, if any.

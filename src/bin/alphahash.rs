@@ -8,11 +8,23 @@
 //! alphahash eval    <file>   # evaluate a closed program
 //! ```
 //!
+//! and the daemon tier on top of the same store:
+//!
+//! ```text
+//! alphahash serve --dir DIR [--addr 127.0.0.1:7474] [--sub-min-nodes N]
+//!                 [--workers N] [--flush-terms N] [--linger-ms N]
+//! alphahash client [--addr 127.0.0.1:7474] insert   <file|->
+//! alphahash client [--addr ...]            lookup   <file|->
+//! alphahash client [--addr ...]            contains <file|->
+//! alphahash client [--addr ...]            stats | metrics | checkpoint | shutdown
+//! ```
+//!
 //! Files contain one expression in the `lambda-lang` syntax (see
 //! `lambda_lang::parse`); pass `-` to read from stdin.
 
 use hash_modulo_alpha::prelude::*;
 use std::io::Read;
+use std::sync::Arc;
 
 fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
     if path == "-" {
@@ -25,12 +37,192 @@ fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: alphahash <hash|classes|cse|eval> <file|->");
+    eprintln!(
+        "usage: alphahash <hash|classes|cse|eval> <file|->\n\
+         \x20      alphahash serve --dir DIR [--addr HOST:PORT] [--sub-min-nodes N]\n\
+         \x20                      [--workers N] [--flush-terms N] [--linger-ms N]\n\
+         \x20      alphahash client [--addr HOST:PORT] <insert|lookup|contains> <file|->\n\
+         \x20      alphahash client [--addr HOST:PORT] <stats|metrics|checkpoint|shutdown>"
+    );
     std::process::exit(2)
 }
 
+/// Pulls `--flag value` out of `args`, leaving everything else.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("alphahash: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn serve(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(dir) = take_flag(&mut args, "--dir") else {
+        eprintln!("alphahash serve: --dir is required");
+        std::process::exit(2);
+    };
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7474".to_owned());
+    let sub_min_nodes = take_flag(&mut args, "--sub-min-nodes").map(|v| v.parse::<usize>());
+    let workers = take_flag(&mut args, "--workers").map_or(Ok(1), |v| v.parse::<usize>())?;
+    let flush_terms =
+        take_flag(&mut args, "--flush-terms").map_or(Ok(512), |v| v.parse::<usize>())?;
+    let linger_ms = take_flag(&mut args, "--linger-ms").map_or(Ok(2u64), |v| v.parse::<u64>())?;
+    if !args.is_empty() {
+        eprintln!("alphahash serve: unexpected arguments {args:?}");
+        std::process::exit(2);
+    }
+
+    let mut builder = alpha_store::AlphaStore::<u64>::builder();
+    if let Some(min_nodes) = sub_min_nodes {
+        builder = builder.subexpressions(min_nodes?);
+    }
+    let store = Arc::new(builder.open_durable(&dir)?);
+    let config = alphahashd::DaemonConfig {
+        addr,
+        ingest_workers: workers,
+        flush_terms,
+        linger: std::time::Duration::from_millis(linger_ms),
+        handle_signals: true,
+        ..alphahashd::DaemonConfig::default()
+    };
+    let daemon = alphahashd::Daemon::spawn(store, config)?;
+    eprintln!(
+        "alphahashd: serving {dir} on {} ({} classes, {} terms); \
+         SIGINT/SIGTERM or the Shutdown op drains and checkpoints",
+        daemon.local_addr(),
+        daemon.store().num_classes(),
+        daemon.store().num_terms(),
+    );
+    daemon.join();
+    eprintln!("alphahashd: shut down cleanly");
+    Ok(())
+}
+
+fn client(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7474".to_owned());
+    if args.is_empty() {
+        usage();
+    }
+    let op = args.remove(0);
+    let mut client = alphahashd::Client::connect(addr)?;
+
+    // The term-carrying ops parse one expression from a file/stdin.
+    let parsed_term = |args: &mut Vec<String>| -> Result<_, Box<dyn std::error::Error>> {
+        if args.is_empty() {
+            usage();
+        }
+        let source = read_source(&args.remove(0))?;
+        let mut arena = ExprArena::new();
+        let root = parse(&mut arena, &source)?;
+        Ok((arena, root))
+    };
+
+    match op.as_str() {
+        "insert" => {
+            let (arena, root) = parsed_term(&mut args)?;
+            let outcome = client.insert(&arena, root)?;
+            println!(
+                "class {:#018x} {}{}",
+                outcome.class,
+                if outcome.fresh { "(fresh)" } else { "(merged)" },
+                if outcome.subs_indexed > 0 {
+                    format!(" + {} subexpressions indexed", outcome.subs_indexed)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        "lookup" => {
+            let (arena, root) = parsed_term(&mut args)?;
+            match client.lookup(&arena, root)? {
+                Some(class) => println!("class {class:#018x}"),
+                None => {
+                    println!("not present");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "contains" => {
+            let (arena, root) = parsed_term(&mut args)?;
+            match client.contains(&arena, root)? {
+                Some(class) => println!("contained in class {class:#018x}"),
+                None => {
+                    println!("not contained");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "stats" => {
+            let stats = client.stats()?;
+            println!(
+                "{} terms -> {} classes ({} confirmed merges, {} hash collisions, {} unconfirmed)",
+                stats.terms_ingested,
+                stats.num_classes,
+                stats.merges_confirmed,
+                stats.hash_collisions,
+                stats.unconfirmed_merges,
+            );
+            if stats.subterms_indexed > 0 {
+                println!(
+                    "{} subterms indexed ({} merged, {} skipped by min_nodes)",
+                    stats.subterms_indexed,
+                    stats.subterm_merges_confirmed,
+                    stats.subterms_skipped_min_nodes,
+                );
+            }
+            match stats.wal_records {
+                Some(records) => println!("durable: {records} WAL records since last checkpoint"),
+                None => println!("in-memory store"),
+            }
+            println!(
+                "health: {}",
+                match stats.health_code {
+                    0 => "healthy".to_owned(),
+                    1 => format!("degraded ({})", stats.health_reason),
+                    _ => format!("read-only ({})", stats.health_reason),
+                }
+            );
+            if let Some((replayed, clean)) = stats.recovery {
+                println!(
+                    "recovery at open: {}",
+                    if clean {
+                        "clean reopen (no replay)".to_owned()
+                    } else {
+                        format!("replayed {replayed} WAL records")
+                    }
+                );
+            }
+            if !stats.obs_json.is_empty() {
+                println!("{}", stats.obs_json);
+            }
+        }
+        "metrics" => print!("{}", client.metrics_prometheus()?),
+        "checkpoint" => {
+            client.checkpoint()?;
+            println!("checkpointed");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("shutdown requested");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    match args[0].as_str() {
+        "serve" => return serve(args.split_off(1)),
+        "client" => return client(args.split_off(1)),
+        _ => {}
+    }
     let [command, path] = args.as_slice() else {
         usage()
     };
