@@ -46,6 +46,14 @@ impl ClientError {
         matches!(self, ClientError::Remote { code, .. } if *code == wire::ERR_READ_ONLY)
     }
 
+    /// Whether this is the server's typed "invalid rewrite" refusal
+    /// ([`wire::ERR_INVALID_REWRITE`]) — the update was rejected before
+    /// any state changed (unknown term, bad path, or a replacement that
+    /// would capture a host binder).
+    pub fn is_invalid_rewrite(&self) -> bool {
+        matches!(self, ClientError::Remote { code, .. } if *code == wire::ERR_INVALID_REWRITE)
+    }
+
     /// The typed wire error code, when this is a remote refusal.
     pub fn remote_code(&self) -> Option<u8> {
         match self {
@@ -265,6 +273,34 @@ impl Client {
                         return Err(err);
                     }
                 }
+            }
+        })
+    }
+
+    /// Incrementally rewrites a previously ingested term in place: the
+    /// subtree at `path` (child-slot steps into the term's canonical
+    /// representative; empty replaces the whole term) becomes the term
+    /// rooted at `root` in `arena`. `term` is the handle bits a prior
+    /// [`RemoteOutcome::term`] carried. Not retried on transport errors
+    /// — an update is a write, and the caller decides whether repeating
+    /// it (against the term's *new* class) is what they want.
+    pub fn update(
+        &mut self,
+        term: u64,
+        path: &[u32],
+        arena: &ExprArena,
+        root: NodeId,
+    ) -> Result<RemoteOutcome, ClientError> {
+        let mut payload = Vec::new();
+        wire::put_u8(&mut payload, wire::OP_UPDATE);
+        wire::put_update(&mut payload, term, path, arena, root);
+        self.with_conn(false, |conn| {
+            wire::write_frame(&mut conn.stream, &payload)?;
+            let resp = read_response(&mut conn.stream)?;
+            let mut input = resp.as_slice();
+            match wire::take_u8(&mut input)? {
+                wire::RESP_OK => Ok(wire::take_outcome(&mut input)?),
+                code => Err(remote(code, &mut input)),
             }
         })
     }

@@ -278,6 +278,10 @@ fn handle_connection<H: HashWord>(
                 wire::write_frame(&mut stream, &reply)?;
             }
             wire::OP_CONTAINS_BATCH => handle_contains_batch(&mut stream, store)?,
+            wire::OP_UPDATE => {
+                let reply = handle_update(store, &mut input);
+                wire::write_frame(&mut stream, &reply)?;
+            }
             wire::OP_STATS => {
                 let mut out = Vec::new();
                 wire::put_u8(&mut out, wire::RESP_OK);
@@ -340,6 +344,40 @@ fn with_decoded_term(
             out
         }
     }
+}
+
+/// One incremental rewrite, handled inline on the connection thread:
+/// updates are point operations against an existing term, so they skip
+/// the ingest accumulator (there is nothing to batch) and go straight
+/// through the store's own update serialization. The WAL lands before
+/// the response, like any other durable op.
+fn handle_update<H: HashWord>(store: &AlphaStore<H>, input: &mut &[u8]) -> Vec<u8> {
+    let mut arena = ExprArena::new();
+    let mut out = Vec::new();
+    let (term_bits, path, patch_root) = match wire::take_update(input, &mut arena) {
+        Ok(parts) => parts,
+        Err(e) => {
+            wire::put_error(
+                &mut out,
+                wire::ERR_TERM,
+                &format!("update request failed to decode: {e}"),
+            );
+            return out;
+        }
+    };
+    let rewrite = alpha_store::Rewrite {
+        path: &path,
+        arena: &arena,
+        root: patch_root,
+    };
+    match store.try_update(alpha_store::TermId::from_bits(term_bits), rewrite) {
+        Ok(outcome) => {
+            wire::put_u8(&mut out, wire::RESP_OK);
+            wire::put_outcome(&mut out, &wire::RemoteOutcome::from(&outcome));
+        }
+        Err(e) => wire::put_error(&mut out, wire::store_error_code(&e), &e.to_string()),
+    }
+    out
 }
 
 fn ok_opt_class(class: Option<u64>) -> Vec<u8> {

@@ -33,7 +33,11 @@ pub const PROTOCOL_MAGIC: [u8; 4] = *b"AHDP";
 /// Wire protocol version, bumped on any incompatible frame or payload
 /// change. Client sends it in the handshake; a server that cannot speak
 /// it answers [`ERR_UNSUPPORTED_VERSION`] and closes.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the [`OP_UPDATE`] operation and widened
+/// [`RemoteOutcome`] with the term handle (33 → 41 bytes), so version-1
+/// clients cannot parse version-2 responses.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard upper bound on one frame's payload, enforced by both sides
 /// before allocating: a length prefix beyond this is treated as a
@@ -70,6 +74,11 @@ pub const OP_CHECKPOINT: u8 = 0x0A;
 /// Ask the daemon to shut down gracefully: drain, checkpoint, release
 /// the directory lock. Acknowledged before the drain begins.
 pub const OP_SHUTDOWN: u8 = 0x0B;
+/// Incrementally rewrite one previously ingested term in place
+/// ([`alpha_store::AlphaStore::try_update`]): payload is the term
+/// handle, the rewrite path and the replacement term (see
+/// [`put_update`]). Response carries the updated [`RemoteOutcome`].
+pub const OP_UPDATE: u8 = 0x0C;
 
 // ---------------------------------------------------------------------
 // Status codes (first byte of a response payload).
@@ -98,6 +107,11 @@ pub const ERR_SHUTTING_DOWN: u8 = 0x85;
 /// The operation is not compiled into this server (e.g.
 /// [`OP_METRICS_PROMETHEUS`] without the `obs` feature).
 pub const ERR_UNSUPPORTED: u8 = 0x86;
+/// An [`OP_UPDATE`] rewrite was refused before any state changed
+/// ([`alpha_store::StoreError::InvalidRewrite`]): unknown term handle,
+/// a path that does not resolve, or a replacement that would capture a
+/// binder of the host term.
+pub const ERR_INVALID_REWRITE: u8 = 0x87;
 
 /// [`alpha_store::PersistError::Io`] surfaced by an ingest/checkpoint.
 pub const ERR_PERSIST_IO: u8 = 0x90;
@@ -119,6 +133,7 @@ pub fn store_error_code(e: &alpha_store::StoreError) -> u8 {
     match e {
         alpha_store::StoreError::Degraded { .. } => ERR_READ_ONLY,
         alpha_store::StoreError::Persist(p) => persist_error_code(p),
+        alpha_store::StoreError::InvalidRewrite { .. } => ERR_INVALID_REWRITE,
     }
 }
 
@@ -532,16 +547,19 @@ pub fn take_hello(input: &mut &[u8]) -> Result<ServerHello, WireError> {
     })
 }
 
-/// One ingested term's outcome as it crosses the wire: the class as
-/// opaque [`ClassId::to_bits`](alpha_store::ClassId::to_bits) bits plus
-/// the freshness and subexpression summary of the insert.
+/// One ingested or updated term's outcome as it crosses the wire: the
+/// term handle and class as opaque `to_bits` words plus the freshness
+/// and subexpression summary of the operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RemoteOutcome {
+    /// The term handle, as [`alpha_store::TermId::to_bits`] bits — what
+    /// [`OP_UPDATE`] takes to address this term later.
+    pub term: u64,
     /// The class, as [`alpha_store::ClassId::to_bits`] bits.
     pub class: u64,
-    /// `true` iff this insert created the class.
+    /// `true` iff this operation created the class.
     pub fresh: bool,
-    /// Proper subexpression occurrences indexed by this insert.
+    /// Proper subexpression occurrences indexed by this operation.
     pub subs_indexed: u64,
     /// Of those, occurrences merged into an existing class.
     pub subs_merged: u64,
@@ -552,6 +570,7 @@ pub struct RemoteOutcome {
 impl From<&alpha_store::InsertOutcome> for RemoteOutcome {
     fn from(o: &alpha_store::InsertOutcome) -> Self {
         RemoteOutcome {
+            term: o.term.to_bits(),
             class: o.class.to_bits(),
             fresh: o.fresh,
             subs_indexed: o.subs.indexed,
@@ -561,8 +580,22 @@ impl From<&alpha_store::InsertOutcome> for RemoteOutcome {
     }
 }
 
-/// Encodes one [`RemoteOutcome`] (a fixed 33-byte record).
+impl From<&alpha_store::UpdateOutcome> for RemoteOutcome {
+    fn from(o: &alpha_store::UpdateOutcome) -> Self {
+        RemoteOutcome {
+            term: o.term.to_bits(),
+            class: o.class.to_bits(),
+            fresh: o.fresh,
+            subs_indexed: o.subs.indexed,
+            subs_merged: o.subs.merged,
+            subs_skipped_min_nodes: o.subs.skipped_min_nodes,
+        }
+    }
+}
+
+/// Encodes one [`RemoteOutcome`] (a fixed 41-byte record).
 pub fn put_outcome(out: &mut Vec<u8>, o: &RemoteOutcome) {
+    put_u64(out, o.term);
     put_u64(out, o.class);
     put_u8(out, u8::from(o.fresh));
     put_u64(out, o.subs_indexed);
@@ -573,12 +606,41 @@ pub fn put_outcome(out: &mut Vec<u8>, o: &RemoteOutcome) {
 /// Decodes one [`RemoteOutcome`].
 pub fn take_outcome(input: &mut &[u8]) -> Result<RemoteOutcome, WireError> {
     Ok(RemoteOutcome {
+        term: take_u64(input)?,
         class: take_u64(input)?,
         fresh: take_u8(input)? != 0,
         subs_indexed: take_u64(input)?,
         subs_merged: take_u64(input)?,
         subs_skipped_min_nodes: take_u64(input)?,
     })
+}
+
+/// Encodes an [`OP_UPDATE`] request body (after the op byte): the term
+/// handle, the rewrite path (child-slot steps into the term's canonical
+/// representative), and the replacement term.
+pub fn put_update(out: &mut Vec<u8>, term: u64, path: &[u32], arena: &ExprArena, root: NodeId) {
+    put_u64(out, term);
+    put_u32(out, u32::try_from(path.len()).expect("path fits u32"));
+    for &slot in path {
+        put_u32(out, slot);
+    }
+    put_term(out, arena, root);
+}
+
+/// Decodes an [`OP_UPDATE`] request body into `(term bits, path, patch
+/// root)`, with the patch decoded into `arena`.
+pub fn take_update(
+    input: &mut &[u8],
+    arena: &mut ExprArena,
+) -> Result<(u64, Vec<u32>, NodeId), WireError> {
+    let term = take_u64(input)?;
+    let path_len = take_u32(input)? as usize;
+    let mut path = Vec::with_capacity(path_len.min(1024));
+    for _ in 0..path_len {
+        path.push(take_u32(input)?);
+    }
+    let root = take_term(input, arena)?;
+    Ok((term, path, root))
 }
 
 /// Encodes an optional class (lookup / contains responses and
@@ -796,6 +858,7 @@ mod tests {
         assert_eq!(take_stats(&mut bytes.as_slice()).expect("decodes"), stats);
 
         let outcome = RemoteOutcome {
+            term: 0x0002_0000_0000_0009,
             class: 0xDEAD_BEEF_0000_0001,
             fresh: true,
             subs_indexed: 5,
@@ -804,10 +867,26 @@ mod tests {
         };
         let mut bytes = Vec::new();
         put_outcome(&mut bytes, &outcome);
+        assert_eq!(bytes.len(), 41, "the spec's fixed record size");
         assert_eq!(
             take_outcome(&mut bytes.as_slice()).expect("decodes"),
             outcome
         );
+    }
+
+    #[test]
+    fn update_request_round_trips() {
+        let mut arena = ExprArena::new();
+        let patch = parse(&mut arena, "v * 4").expect("parses");
+        let mut bytes = Vec::new();
+        put_update(&mut bytes, 0x0001_0000_0000_0002, &[0, 1], &arena, patch);
+        let mut input = bytes.as_slice();
+        let mut dst = ExprArena::new();
+        let (term, path, root) = take_update(&mut input, &mut dst).expect("decodes");
+        assert!(input.is_empty());
+        assert_eq!(term, 0x0001_0000_0000_0002);
+        assert_eq!(path, vec![0, 1]);
+        assert!(lambda_lang::alpha_eq(&arena, patch, &dst, root));
     }
 
     /// `docs/PROTOCOL.md` is the authoritative byte-level description of
@@ -841,6 +920,7 @@ mod tests {
             ("OP_METRICS_PROMETHEUS", OP_METRICS_PROMETHEUS),
             ("OP_CHECKPOINT", OP_CHECKPOINT),
             ("OP_SHUTDOWN", OP_SHUTDOWN),
+            ("OP_UPDATE", OP_UPDATE),
             ("RESP_OK", RESP_OK),
             ("RESP_CHUNK", RESP_CHUNK),
             ("RESP_END", RESP_END),
@@ -851,6 +931,7 @@ mod tests {
             ("ERR_READ_ONLY", ERR_READ_ONLY),
             ("ERR_SHUTTING_DOWN", ERR_SHUTTING_DOWN),
             ("ERR_UNSUPPORTED", ERR_UNSUPPORTED),
+            ("ERR_INVALID_REWRITE", ERR_INVALID_REWRITE),
             ("ERR_PERSIST_IO", ERR_PERSIST_IO),
             ("ERR_PERSIST_CORRUPT", ERR_PERSIST_CORRUPT),
             ("ERR_PERSIST_MISMATCH", ERR_PERSIST_MISMATCH),

@@ -527,3 +527,221 @@ fn shutdown_drains_in_flight_batch() {
     assert_eq!(store.num_terms(), roots.len());
     assert_eq!(store.stats().unconfirmed_merges, 0);
 }
+
+/// The wire `Update` op is the local `update` exactly: a daemon-side
+/// rewrite must leave the store in the same state as the identical
+/// local call on an identical store, echo the term handle, and make the
+/// rewritten class visible to wire lookups — remote = local, extended
+/// to the incremental path.
+#[test]
+fn wire_update_matches_local_update() {
+    use lambda_lang::parse::parse;
+
+    let mut arena = ExprArena::new();
+    let t = parse(&mut arena, r"\x. x + (v * 3)").unwrap();
+    let extra = parse(&mut arena, r"\y. y + (v * 3)").unwrap();
+    let patch = parse(&mut arena, "v * 4").unwrap();
+
+    let build = || {
+        AlphaStore::<u64>::builder()
+            .seed(0xD5)
+            .subexpressions(1)
+            .build()
+    };
+    let store = Arc::new(build());
+    let daemon = spawn_daemon(Arc::clone(&store));
+    let mut client = Client::connect(daemon.local_addr().to_string()).expect("connect");
+
+    let ins = client.insert(&arena, t).expect("wire insert");
+    let dup = client.insert(&arena, extra).expect("wire insert dup");
+    assert_eq!(ins.class, dup.class, "alpha-duplicates share a class");
+
+    // Rewrite the multiplication argument: lam body (0), then the
+    // application's argument (1).
+    let out = client
+        .update(ins.term, &[0, 1], &arena, patch)
+        .expect("wire update");
+    assert_eq!(out.term, ins.term, "the handle is echoed back");
+    assert_ne!(out.class, ins.class, "the term moved to a new class");
+    assert!(out.fresh, "nothing else is alpha-equal to the rewrite");
+    assert!(out.subs_indexed > 0, "sub mode re-indexes changed entries");
+
+    // The daemon store equals a local store that did the same ops.
+    let oracle = build();
+    let o_ins = oracle.insert(&arena, t);
+    oracle.insert(&arena, extra);
+    let o_out = oracle.update(
+        o_ins.term,
+        alpha_store::Rewrite {
+            path: &[0, 1],
+            arena: &arena,
+            root: patch,
+        },
+    );
+    assert_eq!(out.fresh, o_out.fresh);
+    assert_eq!(class_census(&store), class_census(&oracle));
+    assert_eq!(store.stats(), oracle.stats());
+    assert_eq!(store.stats().unconfirmed_merges, 0);
+
+    // And the rewritten term answers wire lookups.
+    let rewritten = parse(&mut arena, r"\q. q + (v * 4)").unwrap();
+    let hit = client.lookup(&arena, rewritten).expect("wire lookup");
+    assert_eq!(hit, Some(out.class));
+    let gone = client.lookup(&arena, t).expect("wire lookup old");
+    assert_eq!(gone, Some(ins.class), "the duplicate still holds the class");
+
+    client.shutdown().expect("shutdown op");
+    daemon.join();
+}
+
+/// Update refusals are typed end-to-end: a rewrite the store rejects
+/// comes back as `ERR_INVALID_REWRITE` (before any state changes), and
+/// a read-only store refuses updates with `ERR_READ_ONLY` exactly like
+/// ingest — while reads keep serving.
+#[test]
+fn wire_update_refusals_are_typed() {
+    use lambda_lang::parse::parse;
+
+    let mut arena = ExprArena::new();
+    let t = parse(&mut arena, r"\x. x + 1").unwrap();
+    let patch = parse(&mut arena, "2").unwrap();
+
+    let dir = TempDir::new("update-refusals");
+    let fault = FaultVfs::new();
+    let store: Arc<AlphaStore<u64>> = Arc::new(
+        AlphaStore::<u64>::builder()
+            .seed(0xFA18)
+            .sync_on_commit(true)
+            .vfs(Arc::new(fault.clone()))
+            .persist_retries(0)
+            .persist_backoff(Duration::from_millis(0))
+            .open_durable(dir.path())
+            .expect("open durable"),
+    );
+    let daemon = spawn_daemon(Arc::clone(&store));
+    let mut client = Client::connect(daemon.local_addr().to_string()).expect("connect");
+
+    let ins = client.insert(&arena, t).expect("wire insert");
+    let census_before = class_census(&store);
+
+    // A path that does not resolve is a typed refusal...
+    let err = client
+        .update(ins.term, &[0, 0, 0, 0], &arena, patch)
+        .expect_err("bad path refused");
+    assert!(
+        err.is_invalid_rewrite(),
+        "expected ERR_INVALID_REWRITE: {err}"
+    );
+
+    // ...and so is a term handle the store never issued.
+    let err = client
+        .update(u64::MAX, &[], &arena, patch)
+        .expect_err("bogus handle refused");
+    assert!(
+        err.is_invalid_rewrite(),
+        "expected ERR_INVALID_REWRITE: {err}"
+    );
+    assert_eq!(
+        class_census(&store),
+        census_before,
+        "refusals change nothing"
+    );
+
+    // The disk dies; the store flips read-only; updates are refused up
+    // front with the same typed code as ingest.
+    fault.fail_always(FaultKind::Enospc);
+    let _ = client.insert(&arena, patch).expect_err("disk is dead");
+    let err = client
+        .update(ins.term, &[0, 1], &arena, patch)
+        .expect_err("read-only refusal");
+    assert!(err.is_read_only(), "expected ERR_READ_ONLY, got: {err}");
+    assert_eq!(class_census(&store), census_before, "nothing changed");
+
+    // Reads still serve over the same connection.
+    assert!(client.lookup(&arena, t).expect("lookup serves").is_some());
+
+    fault.clear();
+    client.shutdown().expect("shutdown op");
+    daemon.join();
+}
+
+/// A connection torn immediately after sending a complete `Update`
+/// frame (reply never read) must leave the store consistent: the update
+/// was received, so it applies exactly once, stays exact, and the
+/// daemon keeps serving; a half-sent update frame applies nothing.
+#[test]
+fn torn_connection_mid_update_leaves_store_consistent() {
+    use lambda_lang::parse::parse;
+
+    let mut arena = ExprArena::new();
+    let t = parse(&mut arena, r"\x. x + (v * 3)").unwrap();
+    let patch = parse(&mut arena, "v * 4").unwrap();
+
+    let store: Arc<AlphaStore<u64>> = Arc::new(AlphaStore::builder().seed(0xD6).build());
+    let daemon = spawn_daemon(Arc::clone(&store));
+    let addr = daemon.local_addr();
+
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+    let ins = client.insert(&arena, t).expect("insert");
+
+    // Raw wire client: handshake, one complete update frame, then DROP
+    // the socket without reading the response.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect raw");
+        let mut hs = Vec::new();
+        wire::put_handshake(&mut hs, wire::PROTOCOL_VERSION);
+        wire::write_frame(&mut stream, &hs).expect("handshake");
+        let _ = wire::read_frame(&mut stream).expect("hello");
+
+        let mut req = Vec::new();
+        req.push(wire::OP_UPDATE);
+        wire::put_update(&mut req, ins.term, &[0, 1], &arena, patch);
+        wire::write_frame(&mut stream, &req).expect("update frame");
+        // Torn: response never read, socket dropped.
+    }
+
+    // The received update still completes server-side; wait for it.
+    let rewritten = parse(&mut arena, r"\q. q + (v * 4)").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while store.lookup(&arena, rewritten).is_none() {
+        assert!(Instant::now() < deadline, "torn update was never applied");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(store.lookup(&arena, t), None, "the old class is stale");
+    assert_eq!(store.num_terms(), 1, "repointed, not re-minted");
+    assert_eq!(store.stats().unconfirmed_merges, 0);
+
+    // A half-sent update frame (header promises more than arrives) must
+    // apply nothing and not wedge the daemon.
+    let census_after_update = class_census(&store);
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect raw");
+        let mut hs = Vec::new();
+        wire::put_handshake(&mut hs, wire::PROTOCOL_VERSION);
+        wire::write_frame(&mut stream, &hs).expect("handshake");
+        let _ = wire::read_frame(&mut stream).expect("hello");
+        let mut req = Vec::new();
+        req.push(wire::OP_UPDATE);
+        wire::put_update(&mut req, ins.term, &[0, 1], &arena, patch);
+        stream
+            .write_all(&(req.len() as u32 + 64).to_le_bytes())
+            .expect("len");
+        stream.write_all(&0u32.to_le_bytes()).expect("crc");
+        stream.write_all(&req).expect("partial payload");
+        // Drop mid-frame.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        class_census(&store),
+        census_after_update,
+        "a torn frame applies nothing"
+    );
+
+    // The daemon still serves a normal client end to end.
+    let mut client = Client::connect(addr.to_string()).expect("connect after tears");
+    let hit = client.lookup(&arena, rewritten).expect("lookup");
+    assert!(hit.is_some());
+
+    client.shutdown().expect("shutdown op");
+    daemon.join();
+}

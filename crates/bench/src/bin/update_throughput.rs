@@ -1,0 +1,256 @@
+//! Measures the incremental update path: a spine-local rewrite on a
+//! deep term through [`AlphaStore::update`] versus the only alternative
+//! the store offered before — re-ingesting the whole rewritten term.
+//!
+//! ```text
+//! cargo run --release --bin update_throughput -- \
+//!     --nodes 10000 --updates 200 --reps 3 --save-json BENCH_store.json
+//! ```
+//!
+//! The workload holds one balanced ~`--nodes`-node term and rewrites
+//! the literal at its deepest leaf over and over, each time with a
+//! fresh value so every rewrite moves the term to a new class. The
+//! incremental side re-hashes only the root-to-leaf spine (the cached
+//! `IncrementalHasher` makes consecutive updates O(spine)); the
+//! baseline re-hashes and re-interns all ~`--nodes` nodes. The report
+//! lands as the top-level `"incremental"` block of `--save-json`
+//! (conventionally `BENCH_store.json`), merged without touching the
+//! other emitters' blocks.
+//!
+//! The acceptance gate rides along: the run aborts if the spine-local
+//! rewrite is not at least 5x faster than delete+reinsert.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::{format_ms, Args};
+use alpha_store::{AlphaStore, Rewrite};
+use lambda_lang::arena::{ExprArena, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The child-slot path to the deepest leaf under `root`, following the
+/// larger subtree at every branch.
+fn deepest_path(arena: &ExprArena, root: NodeId) -> Vec<u32> {
+    let mut path = Vec::new();
+    let mut node = root;
+    loop {
+        let children: Vec<NodeId> = arena.node(node).children().into_iter().collect();
+        if children.is_empty() {
+            return path;
+        }
+        let (slot, &child) = children
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| arena.subtree_size(c))
+            .expect("non-empty children");
+        path.push(slot as u32);
+        node = child;
+    }
+}
+
+/// The node `path` resolves to, in an arena holding the same shape.
+fn resolve(arena: &ExprArena, root: NodeId, path: &[u32]) -> NodeId {
+    let mut node = root;
+    for &slot in path {
+        let children: Vec<NodeId> = arena.node(node).children().into_iter().collect();
+        node = children[slot as usize];
+    }
+    node
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get_usize("nodes", 10_000);
+    let updates = args.get_usize("updates", 200);
+    let reps = args.get_usize("reps", 3);
+    let json_path = args.get("save-json", "");
+    println!("== update_throughput ==");
+    for (flag, value) in [("nodes", nodes), ("updates", updates), ("reps", reps)] {
+        println!("  --{flag} {value}");
+    }
+
+    let scheme: HashScheme<u64> = HashScheme::new(0x1C4E);
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut arena = ExprArena::with_capacity(nodes);
+    let root = expr_gen::balanced(&mut arena, nodes, &mut rng);
+
+    let store: AlphaStore<u64> = AlphaStore::builder().scheme(scheme).shards(8).build();
+    let ins = store.insert(&arena, root);
+
+    // The rewrite site: the deepest leaf of the canonical
+    // representative — the worst honest case for "spine-local", since
+    // the spine is the full tree height.
+    let mut rep_arena = ExprArena::new();
+    let rep = store.representative_into(ins.class, &mut rep_arena);
+    let path = deepest_path(&rep_arena, rep);
+    assert!(
+        path.len() >= 8,
+        "a {nodes}-node balanced term should be at least 8 deep, got {}",
+        path.len()
+    );
+
+    // Warm one update so the timed loop measures the steady state the
+    // serving story cares about (cached spine hasher, interned canon).
+    let mut patch_arena = ExprArena::new();
+    let warm = patch_arena.int(-1);
+    store.update(
+        ins.term,
+        Rewrite {
+            path: &path,
+            arena: &patch_arena,
+            root: warm,
+        },
+    );
+
+    // Baseline setup: the same term in a private arena, rewritten by
+    // mutating the target leaf in place before each full re-ingest.
+    let baseline: AlphaStore<u64> = AlphaStore::builder().scheme(scheme).shards(8).build();
+    let mut base_arena = ExprArena::new();
+    let base_root = base_arena.import_subtree(&rep_arena, rep);
+    let base_leaf = resolve(&base_arena, base_root, &path);
+    baseline.insert(&base_arena, base_root);
+
+    let mut update_best = f64::INFINITY;
+    let mut reinsert_best = f64::INFINITY;
+    let mut spine_total = 0u64;
+    let mut spine_samples = 0u64;
+    for rep_ix in 0..reps {
+        // Incremental: `updates` spine-local rewrites, fresh value each.
+        let start = Instant::now();
+        for k in 0..updates {
+            let value = (rep_ix * updates + k) as i64;
+            let mut pa = ExprArena::new();
+            let patch = pa.int(value);
+            let out = store.update(
+                ins.term,
+                Rewrite {
+                    path: &path,
+                    arena: &pa,
+                    root: patch,
+                },
+            );
+            spine_total += out.spine_nodes_rehashed;
+            spine_samples += 1;
+        }
+        update_best = update_best.min(start.elapsed().as_secs_f64());
+
+        // Baseline: the same rewrites as whole-term re-ingests.
+        let start = Instant::now();
+        for k in 0..updates {
+            let value = (rep_ix * updates + k) as i64;
+            base_arena.replace_node(base_leaf, lambda_lang::arena::ExprNode::Lit(value.into()));
+            baseline.insert(&base_arena, base_root);
+        }
+        reinsert_best = reinsert_best.min(start.elapsed().as_secs_f64());
+    }
+
+    assert_eq!(store.num_terms(), 1, "updates repoint, they never mint");
+    assert_eq!(
+        store.stats().unconfirmed_merges,
+        0,
+        "exactness must survive every update"
+    );
+    let spine_avg = spine_total as f64 / spine_samples as f64;
+    let per_update = update_best / updates as f64;
+    let per_reinsert = reinsert_best / updates as f64;
+    let speedup = per_reinsert / per_update;
+
+    println!(
+        "  spine depth {} ({} nodes total), avg {spine_avg:.1} nodes re-hashed per update",
+        path.len(),
+        nodes
+    );
+    println!(
+        "  incremental update: {} for {updates} rewrites ({:.1}/s)",
+        format_ms(update_best),
+        updates as f64 / update_best
+    );
+    println!(
+        "  delete+reinsert:    {} for {updates} rewrites ({:.1}/s)",
+        format_ms(reinsert_best),
+        updates as f64 / reinsert_best
+    );
+    println!("  speedup: {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "gate: spine-local rewrite must be at least 5x faster than \
+         delete+reinsert on a {nodes}-node term, got {speedup:.2}x"
+    );
+
+    if !json_path.is_empty() {
+        let block = format!(
+            concat!(
+                "{{\n",
+                "    \"nodes\": {nodes},\n",
+                "    \"updates\": {updates},\n",
+                "    \"reps\": {reps},\n",
+                "    \"path_depth\": {depth},\n",
+                "    \"spine_nodes_rehashed_avg\": {spine_avg:.1},\n",
+                "    \"update_secs\": {update_secs:.6},\n",
+                "    \"updates_per_sec\": {update_rate:.1},\n",
+                "    \"reinsert_secs\": {reinsert_secs:.6},\n",
+                "    \"reinserts_per_sec\": {reinsert_rate:.1},\n",
+                "    \"speedup_vs_reinsert\": {speedup:.3},\n",
+                "    \"unconfirmed_merges\": 0\n",
+                "  }}"
+            ),
+            nodes = nodes,
+            updates = updates,
+            reps = reps,
+            depth = path.len(),
+            spine_avg = spine_avg,
+            update_secs = update_best,
+            update_rate = updates as f64 / update_best,
+            reinsert_secs = reinsert_best,
+            reinsert_rate = updates as f64 / reinsert_best,
+            speedup = speedup,
+        );
+        merge_incremental_block(&json_path, &block);
+        println!("  merged \"incremental\" block into {json_path}");
+    }
+}
+
+/// Replaces (or appends) the top-level `"incremental"` block in the
+/// JSON report at `path`, preserving what the other emitters wrote. The
+/// file format is the hand-rolled JSON all the emitters produce, so a
+/// brace-matched splice is exact, not heuristic.
+fn merge_incremental_block(path: &str, block: &str) {
+    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+    if let Some(key) = content.find("\"incremental\"") {
+        let open = key
+            + content[key..]
+                .find('{')
+                .expect("incremental block has a body");
+        let mut depth = 0usize;
+        let mut end = content.len();
+        for (i, b) in content.as_bytes().iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut start = key;
+        while start > 0 && content.as_bytes()[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        if start > 0 && content.as_bytes()[start - 1] == b',' {
+            start -= 1;
+        }
+        content.replace_range(start..end, "");
+    }
+    let trimmed_len = content.trim_end().len();
+    content.truncate(trimmed_len);
+    assert!(content.ends_with('}'), "{path} is not a JSON object");
+    content.truncate(content.len() - 1); // drop the final '}'
+    let body = content.trim_end();
+    let separator = if body.ends_with('{') { "" } else { "," };
+    let merged = format!("{body}{separator}\n  \"incremental\": {block}\n}}\n");
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}

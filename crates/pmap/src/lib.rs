@@ -1,7 +1,7 @@
 //! # persistent-map
 //!
 //! A persistent (immutable, structurally shared) ordered map, implemented
-//! as a treap with `Rc`-shared nodes.
+//! as a treap with `Arc`-shared nodes (shareable across threads, so incremental hashers can be cached inside a concurrent store).
 //!
 //! ## Why this exists
 //!
@@ -43,9 +43,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
-type Link<K, V> = Option<Rc<TreapNode<K, V>>>;
+type Link<K, V> = Option<Arc<TreapNode<K, V>>>;
 
 #[derive(Debug)]
 struct TreapNode<K, V> {
@@ -177,7 +177,7 @@ fn insert_rec<K: Ord + Hash + Clone, V: Clone>(
 ) -> (Link<K, V>, Option<V>) {
     let Some(node) = link else {
         return (
-            Some(Rc::new(TreapNode {
+            Some(Arc::new(TreapNode {
                 key,
                 value,
                 priority,
@@ -192,7 +192,7 @@ fn insert_rec<K: Ord + Hash + Clone, V: Clone>(
         std::cmp::Ordering::Equal => {
             let old = node.value.clone();
             (
-                Some(Rc::new(TreapNode {
+                Some(Arc::new(TreapNode {
                     key,
                     value,
                     priority: node.priority,
@@ -217,11 +217,11 @@ fn insert_rec<K: Ord + Hash + Clone, V: Clone>(
 }
 
 fn rebuild<K: Clone, V: Clone>(
-    node: &Rc<TreapNode<K, V>>,
+    node: &Arc<TreapNode<K, V>>,
     left: Link<K, V>,
     right: Link<K, V>,
-) -> Rc<TreapNode<K, V>> {
-    Rc::new(TreapNode {
+) -> Arc<TreapNode<K, V>> {
+    Arc::new(TreapNode {
         key: node.key.clone(),
         value: node.value.clone(),
         priority: node.priority,
@@ -233,7 +233,7 @@ fn rebuild<K: Clone, V: Clone>(
 
 /// Restores the heap property when a freshly inserted child may outrank its
 /// parent.
-fn rotate_if_needed<K: Clone, V: Clone>(node: Rc<TreapNode<K, V>>) -> Rc<TreapNode<K, V>> {
+fn rotate_if_needed<K: Clone, V: Clone>(node: Arc<TreapNode<K, V>>) -> Arc<TreapNode<K, V>> {
     if let Some(left) = &node.left {
         if left.priority > node.priority {
             // Rotate right: left child becomes the root.

@@ -98,6 +98,7 @@ pub mod prepare;
 pub mod query;
 pub mod stats;
 pub mod store;
+pub mod update;
 
 pub use corpus::{corpus_shared_dag_size, store_backed_cse, StoreBackedCse};
 pub use granularity::{ConfigError, Granularity, StoreBuilder};
@@ -108,6 +109,7 @@ pub use stats::{CanonDagStats, StoreStats};
 pub use store::{
     AlphaStore, ClassId, Health, InsertOutcome, RecoveryInfo, StoreError, SubexprSummary, TermId,
 };
+pub use update::{Rewrite, UpdateOutcome};
 
 /// The zero-dependency metrics/tracing crate backing
 /// [`AlphaStore::obs_report`] and friends, re-exported so downstream

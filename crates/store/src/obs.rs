@@ -76,6 +76,8 @@ mod enabled {
         merge_confirm_walk: Arc<Counter>,
         hash_nodes: Arc<Counter>,
         name_cache_misses: Arc<Counter>,
+        updates_applied: Arc<Counter>,
+        spine_nodes_rehashed: Arc<Counter>,
         // Reliability instruments (health state machine, retry loop,
         // auto-checkpoint).
         health: Arc<Gauge>,
@@ -178,6 +180,16 @@ mod enabled {
                 "Variable-name hash cache misses in the summariser",
                 "misses",
             ));
+            let updates_applied = registry.counter(desc(
+                "alpha_store_updates_applied",
+                "In-place term rewrites applied through AlphaStore::update",
+                "updates",
+            ));
+            let spine_nodes_rehashed = registry.counter(desc(
+                "alpha_store_spine_nodes_rehashed",
+                "Nodes re-hashed by incremental updates (patch + spine to root)",
+                "nodes",
+            ));
             let persist_errors = registry.counter(desc(
                 "alpha_store_persist_errors",
                 "I/O errors surfaced by the persistence layer",
@@ -231,6 +243,8 @@ mod enabled {
                 merge_confirm_walk,
                 hash_nodes,
                 name_cache_misses,
+                updates_applied,
+                spine_nodes_rehashed,
                 health,
                 wal_retries,
                 auto_checkpoints,
@@ -352,6 +366,14 @@ mod enabled {
         pub(crate) fn add_hash_counters(&self, nodes: u64, name_misses: u64) {
             self.hash_nodes.add(nodes);
             self.name_cache_misses.add(name_misses);
+        }
+
+        /// One incremental update landed, having re-hashed `spine_nodes`
+        /// nodes (the new subtree plus the path to the root).
+        #[inline]
+        pub(crate) fn rec_update(&self, spine_nodes: u64) {
+            self.updates_applied.inc();
+            self.spine_nodes_rehashed.add(spine_nodes);
         }
 
         // ---- reliability recorders ----------------------------------
@@ -489,6 +511,8 @@ mod disabled {
         pub(crate) fn confirm_walk(&self, _steps: u64) {}
         #[inline(always)]
         pub(crate) fn add_hash_counters(&self, _nodes: u64, _name_misses: u64) {}
+        #[inline(always)]
+        pub(crate) fn rec_update(&self, _spine_nodes: u64) {}
         #[inline(always)]
         pub(crate) fn persist_error(&self) {}
         #[inline(always)]

@@ -8,15 +8,22 @@
 //! documented there are exactly the ones compiled in, so the spec cannot
 //! silently drift from the code.
 //!
-//! **Format v2** (this version) stores canonical structure as shared
-//! DAGs: a snapshot carries one node table (the class-reachable sub-DAG,
-//! deduplicated) with classes addressing positions in it, and a WAL
-//! record carries one node-deduplicated DAG with its entries addressing
-//! positions — mirroring the in-memory hash-consed canon table
-//! (`crate::dag`). **Format v1** files (standalone canonical
-//! tree per class / per record entry) still *decode* through shims in
-//! this module, so pre-DAG stores open and are migrated by the recovery
-//! checkpoint; v1 is never written.
+//! **Format v3** (this version) adds rewrite **delta records** to the
+//! WAL — `AlphaStore::update` logs the rewritten term as its old root
+//! plus the spine path and the patch canon, not as a full re-ingest —
+//! and widens the snapshot's per-term bookkeeping to full `ClassId`
+//! bits with per-class occurrence multiplicities (an updated term's
+//! class may live in a different shard than the term id, and exact
+//! un-indexing needs the counts). **Format v2** stored canonical
+//! structure as shared DAGs: a snapshot carries one node table (the
+//! class-reachable sub-DAG, deduplicated) with classes addressing
+//! positions in it, and a WAL record carries one node-deduplicated DAG
+//! with its entries addressing positions — mirroring the in-memory
+//! hash-consed canon table (`crate::dag`); v3 keeps all of that.
+//! **Format v1** files (standalone canonical tree per class / per
+//! record entry) still *decode* through shims, as do v2 files, so older
+//! stores open and are migrated by the recovery checkpoint; only v3 is
+//! written.
 //!
 //! Three layers live here:
 //!
@@ -60,14 +67,23 @@ pub const WAL_MAGIC: [u8; 8] = *b"AHWAL001";
 /// change — including changes to the hash combiners in
 /// [`alpha_hash::combine`], since persisted content addresses must keep
 /// meaning what they meant. Writers emit only this version; readers
-/// additionally accept [`COMPAT_VERSION`] through explicit decode shims.
-pub const FORMAT_VERSION: u16 = 2;
+/// additionally accept [`COMPAT_VERSION`] through [`FORMAT_VERSION`]` -
+/// 1` through explicit decode shims.
+pub const FORMAT_VERSION: u16 = 3;
 
-/// The one older version readers still decode (read-only — recovery's
+/// The oldest version readers still decode (read-only — recovery's
 /// checkpoint rewrites such stores at [`FORMAT_VERSION`]). Version 1
 /// stored one standalone canonical tree per class and per WAL record
 /// entry, with no structure sharing and no group-commit markers.
+/// Version 2 shared DAGs but had no delta records, u32 same-shard term
+/// pointers, and no per-term occurrence multiplicities.
 pub const COMPAT_VERSION: u16 = 1;
+
+/// `true` when `version` is one this build can decode: the current
+/// format or any compatibility version behind it.
+pub(crate) fn version_supported(version: u16) -> bool {
+    (COMPAT_VERSION..=FORMAT_VERSION).contains(&version)
+}
 
 // ---------------------------------------------------------------------
 // Primitives
@@ -538,6 +554,79 @@ pub(crate) fn take_record_v1<H: HashWord>(input: &mut &[u8]) -> Result<RawRecord
     })
 }
 
+// ---------------------------------------------------------------------
+// Delta records (v3: the WAL payload of `AlphaStore::update`)
+// ---------------------------------------------------------------------
+
+/// One decoded rewrite delta: everything recovery needs to repeat an
+/// `update` without the full rewritten term. The old root is named by
+/// the term id plus its pre-update hash (an integrity cross-check
+/// against the store state being replayed into); the rewrite site is
+/// the child-index spine path from the class representative's root; the
+/// patch travels as its own canonical node run. Replay re-splices the
+/// patch canon into the interned old canon along the path, so exactness
+/// (merge confirmation by canonical identity) survives restarts just
+/// like insert replay.
+#[derive(Debug)]
+pub(crate) struct RawDelta<H> {
+    /// `TermId::to_bits` of the updated term.
+    pub term_bits: u64,
+    /// Hash of the term's class *before* the update (integrity check).
+    pub old_hash: H,
+    /// Hash of the rewritten term (what the spine re-hash produced).
+    pub new_hash: H,
+    /// Tree node count of the rewritten term.
+    pub new_node_count: u64,
+    /// Child-index path from the canonical root to the rewrite site
+    /// (empty replaces the whole term).
+    pub path: Vec<u32>,
+    /// Canonical form of the replacement subterm.
+    pub patch: DbArena,
+    /// Root of the patch within its node run.
+    pub patch_root: DbId,
+}
+
+/// Encodes one v3 delta record.
+pub(crate) fn put_delta<H: HashWord>(out: &mut Vec<u8>, delta: &RawDelta<H>) {
+    put_u64(out, delta.term_bits);
+    put_hash(out, delta.old_hash);
+    put_hash(out, delta.new_hash);
+    put_u64(out, delta.new_node_count);
+    put_u32(out, u32::try_from(delta.path.len()).expect("path fits u32"));
+    for &step in &delta.path {
+        put_u32(out, step);
+    }
+    put_dag(out, &delta.patch);
+    put_u32(out, delta.patch_root.index() as u32);
+}
+
+/// Decodes one v3 delta record.
+pub(crate) fn take_delta<H: HashWord>(input: &mut &[u8]) -> Result<RawDelta<H>, PersistError> {
+    let term_bits = take_u64(input)?;
+    let old_hash = take_hash(input)?;
+    let new_hash = take_hash(input)?;
+    let new_node_count = take_u64(input)?;
+    let path_len = take_u32(input)? as usize;
+    let mut path = Vec::with_capacity(path_len.min(1 << 16));
+    for _ in 0..path_len {
+        path.push(take_u32(input)?);
+    }
+    let patch = take_dag(input)?;
+    let root_raw = take_u32(input)? as usize;
+    if root_raw >= patch.len() {
+        return Err(corrupt("patch root out of range"));
+    }
+    Ok(RawDelta {
+        term_bits,
+        old_hash,
+        new_hash,
+        new_node_count,
+        path,
+        patch,
+        patch_root: DbId::from_index(root_raw),
+    })
+}
+
 /// Appends every node of `src` to `dst` (remapping ids and re-interning
 /// names) and returns the id `src_root` maps to.
 fn merge_arena(dst: &mut DbArena, src: &DbArena, src_root: DbId) -> Result<DbId, PersistError> {
@@ -588,9 +677,15 @@ mod tests {
         );
         assert!(
             spec.contains(&format!(
-                "**Compatibility:** version {COMPAT_VERSION} decodes read-only"
+                "**Compatibility:** versions {COMPAT_VERSION} through {} decode read-only",
+                FORMAT_VERSION - 1
             )),
-            "spec must document the v{COMPAT_VERSION} compatibility rule"
+            "spec must document the v{COMPAT_VERSION}..v{} compatibility rule",
+            FORMAT_VERSION - 1
+        );
+        assert!(
+            spec.contains("### Delta records"),
+            "spec must document the v3 delta-record layout"
         );
     }
 
@@ -745,6 +840,43 @@ mod tests {
         assert_eq!(decoded.subs[0].multiplicity, 2);
         assert_eq!(decoded.subs[0].node_count, 5);
         assert!(db_eq(&decoded.canon, decoded.root.pos, &dag, root));
+    }
+
+    #[test]
+    fn delta_round_trips() {
+        let mut arena = ExprArena::new();
+        let patch_named = parse(&mut arena, r"\x. x * (v + 2)").unwrap();
+        let (patch, patch_root) = to_debruijn(&arena, patch_named);
+        let delta = RawDelta::<u128> {
+            term_bits: 0x0007_0000_0000_002A,
+            old_hash: 0xAAAA_BBBB,
+            new_hash: 0xCCCC_DDDD,
+            new_node_count: 41,
+            path: vec![0, 1, 1, 0],
+            patch,
+            patch_root,
+        };
+        let mut buf = Vec::new();
+        put_delta(&mut buf, &delta);
+        let mut input = buf.as_slice();
+        let decoded: RawDelta<u128> = take_delta(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(decoded.term_bits, delta.term_bits);
+        assert_eq!(decoded.old_hash, delta.old_hash);
+        assert_eq!(decoded.new_hash, delta.new_hash);
+        assert_eq!(decoded.new_node_count, 41);
+        assert_eq!(decoded.path, delta.path);
+        assert!(db_eq(
+            &decoded.patch,
+            decoded.patch_root,
+            &delta.patch,
+            delta.patch_root
+        ));
+        // Truncations surface as Corrupt, never as panics.
+        for cut in 0..buf.len() {
+            let mut input = &buf[..cut];
+            assert!(take_delta::<u128>(&mut input).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

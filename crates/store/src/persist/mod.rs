@@ -10,10 +10,12 @@
 //!   the snapshot is a full, rebuildable description: one shared canon
 //!   node table + per-class refs + scheme seed + granularity, nothing
 //!   more.
-//! * `wal.bin` — an append-only log of every insert since that snapshot,
-//!   one CRC-framed record per ingested term plus a **commit marker** per
-//!   group commit, so replay can reproduce the original batch grouping
-//!   exactly.
+//! * `wal.bin` — an append-only log of every insert and rewrite-update
+//!   since that snapshot: one CRC-framed record per ingested term, one
+//!   **delta record** per [`update`](crate::AlphaStore::update) (old
+//!   root + spine path + patch canon, not the full rewritten term), plus
+//!   a **commit marker** per group commit, so replay can reproduce the
+//!   original batch grouping exactly.
 //!
 //! Recovery ([`AlphaStore::open`](crate::AlphaStore::open) or
 //! [`StoreBuilder::open_durable`](crate::StoreBuilder::open_durable)) loads
@@ -39,8 +41,9 @@
 //!
 //! The byte-level layout lives in [`mod@format`] and is specified in
 //! `docs/PERSISTENCE_FORMAT.md`; a test asserts the two agree on magic
-//! numbers and versions. Format-v1 files (pre canon-DAG) open read-only
-//! through decode shims and are migrated to v2 by the checkpoint.
+//! numbers and versions. Format-v1 files (pre canon-DAG) and v2 files
+//! (pre delta-records) open read-only through decode shims and are
+//! migrated to the current version by the checkpoint.
 
 pub mod format;
 pub(crate) mod snapshot;
@@ -558,10 +561,11 @@ fn open_store_locked<H: HashWord>(
                 last_epoch = h.epoch.max(last_epoch);
                 let count = contents.total_records;
                 // Clean-reopen also requires both files to be at the
-                // CURRENT format version: appending v2 frames to an
-                // old-version WAL (or leaving an old snapshot in place)
-                // would produce a file no future open can decode. Old
-                // versions always go through the migrating checkpoint.
+                // CURRENT format version: appending current-version
+                // frames to an old-version WAL (or leaving an old
+                // snapshot in place) would produce a file no future open
+                // can decode. Old versions always go through the
+                // migrating checkpoint.
                 let current_version = snap_version == format::FORMAT_VERSION
                     && contents.version == format::FORMAT_VERSION;
                 if have_snapshot && current_version && !contents.torn && count == records_applied {
@@ -632,13 +636,13 @@ fn open_store_locked<H: HashWord>(
     Ok(store)
 }
 
-/// Drops the first `applied` records (the ones the snapshot already
+/// Drops the first `applied` entries (the ones the snapshot already
 /// absorbed) from a group list, preserving the grouping of everything
 /// after them. Snapshot cuts always land on group boundaries (the
 /// maintenance lock excludes mid-group cuts), so the split-a-group branch
 /// only triggers on hand-damaged files — where splitting is still the
 /// right conservative answer.
-fn drop_applied_records<H>(groups: Vec<Vec<RawRecord<H>>>, applied: u64) -> Vec<Vec<RawRecord<H>>> {
+fn drop_applied_records<T>(groups: Vec<Vec<T>>, applied: u64) -> Vec<Vec<T>> {
     let mut to_skip = usize::try_from(applied).unwrap_or(usize::MAX);
     let mut out = Vec::with_capacity(groups.len());
     for group in groups {

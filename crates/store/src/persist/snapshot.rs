@@ -18,8 +18,13 @@
 //! Version-1 snapshots (one standalone canonical tree per class) still
 //! decode: the shim reads each per-class tree and interns it into the
 //! table, which both migrates the data and *collapses duplicates the v1
-//! layout stored repeatedly*. v1 is never written — the recovery
-//! checkpoint rewrites the store at the current version.
+//! layout stored repeatedly*. Version-2 snapshots (shared run, but u32
+//! same-shard term pointers and multiplicity-less subexpression lists)
+//! decode through a second shim that widens the term pointers to full
+//! `ClassId` bits and synthesizes multiplicity 1 — the counts v2 never
+//! recorded, so rewrite-updates of pre-v3 terms un-index approximately
+//! (merge exactness is unaffected). Neither old version is ever written
+//! — the recovery checkpoint rewrites the store at the current version.
 //!
 //! Snapshots are written **atomically**: the bytes go to a temporary file
 //! in the same directory, are `fsync`ed, and only then renamed over the
@@ -40,7 +45,7 @@ use super::{PersistError, SnapshotOp};
 use crate::dag::CanonTable;
 use crate::granularity::Granularity;
 use crate::stats::StoreStats;
-use crate::store::{Shard, StoredClass};
+use crate::store::{ClassId, Shard, StoredClass};
 use alpha_hash::combine::HashWord;
 use lambda_lang::canon::CanonRef;
 use lambda_lang::debruijn::{DbArena, DbId};
@@ -139,13 +144,16 @@ pub(crate) fn encode_snapshot<H: HashWord>(
             &mut out,
             u32::try_from(shard.terms.len()).expect("terms fit u32"),
         );
-        for &class_index in &shard.terms {
-            put_u32(&mut out, class_index);
+        // v3: full ClassId bits — an updated term's class may live in a
+        // different shard than the term id.
+        for &class_bits in &shard.terms {
+            put_u64(&mut out, class_bits);
         }
         for subs in &shard.term_subs {
             put_u32(&mut out, u32::try_from(subs.len()).expect("subs fit u32"));
-            for &bits in subs.iter() {
+            for &(bits, multiplicity) in subs.iter() {
                 put_u64(&mut out, bits);
+                put_u32(&mut out, multiplicity);
             }
         }
     }
@@ -161,7 +169,7 @@ pub(crate) fn encode_snapshot<H: HashWord>(
 /// only the checkpoint migrates it). Canonical forms are interned into
 /// `table` (so the returned shards' [`CanonRef`]s address it). Verifies
 /// the trailing CRC before reading anything else. Accepts the current
-/// version and, through a read-only shim, version 1.
+/// version and, through read-only shims, versions 1 and 2.
 pub(crate) fn decode_snapshot<H: HashWord>(
     bytes: &[u8],
     table: &CanonTable,
@@ -183,11 +191,12 @@ pub(crate) fn decode_snapshot<H: HashWord>(
 
     let mut input = &body[SNAPSHOT_MAGIC.len()..];
     let version = take_u16(&mut input)?;
-    if version != FORMAT_VERSION && version != COMPAT_VERSION {
+    if !format::version_supported(version) {
         return Err(PersistError::Mismatch {
             context: format!(
                 "snapshot format version {version}, expected {FORMAT_VERSION} \
-                 (or compat {COMPAT_VERSION})"
+                 (or compat {COMPAT_VERSION}..{})",
+                FORMAT_VERSION - 1
             ),
         });
     }
@@ -210,9 +219,10 @@ pub(crate) fn decode_snapshot<H: HashWord>(
         });
     }
 
-    // v2: one shared node run up front, re-interned once; classes address
-    // positions. v1: no shared run; classes carry standalone trees.
-    let node_refs: Vec<CanonRef> = if version == FORMAT_VERSION {
+    // v2+: one shared node run up front, re-interned once; classes
+    // address positions. v1: no shared run; classes carry standalone
+    // trees.
+    let node_refs: Vec<CanonRef> = if version >= 2 {
         let dag = format::take_dag(&mut input)?;
         table.intern_arena_refs(&dag)
     } else {
@@ -220,14 +230,14 @@ pub(crate) fn decode_snapshot<H: HashWord>(
     };
 
     let mut shards = Vec::with_capacity(header.shard_count.min(1 << 16) as usize);
-    for _ in 0..header.shard_count {
+    for shard_index in 0..header.shard_count {
         let class_count = take_u32(&mut input)? as usize;
         let mut classes = Vec::with_capacity(class_count.min(1 << 20));
         for _ in 0..class_count {
             let hash = format::take_hash::<H>(&mut input)?;
             let members = take_u64(&mut input)?;
             let occurrences = take_u64(&mut input)?;
-            let (canon, node_count) = if version == FORMAT_VERSION {
+            let (canon, node_count) = if version >= 2 {
                 let node_count = take_u64(&mut input)?;
                 let pos = take_u32(&mut input)? as usize;
                 let canon = node_refs
@@ -253,25 +263,62 @@ pub(crate) fn decode_snapshot<H: HashWord>(
         let term_count = take_u32(&mut input)? as usize;
         let mut terms = Vec::with_capacity(term_count.min(1 << 20));
         for _ in 0..term_count {
-            let class_index = take_u32(&mut input)?;
-            if class_index as usize >= class_count {
-                return Err(corrupt("term references a class out of range"));
+            if version >= 3 {
+                // Full ClassId bits; validated against every shard's
+                // class count once all shards are decoded.
+                terms.push(take_u64(&mut input)?);
+            } else {
+                // v1/v2 shim: a u32 index into this shard's own classes.
+                let class_index = take_u32(&mut input)?;
+                if class_index as usize >= class_count {
+                    return Err(corrupt("term references a class out of range"));
+                }
+                terms.push(
+                    ClassId {
+                        shard: shard_index as u16,
+                        index: class_index,
+                    }
+                    .to_bits(),
+                );
             }
-            terms.push(class_index);
         }
         let mut term_subs = Vec::with_capacity(term_count.min(1 << 20));
         for _ in 0..term_count {
             let len = take_u32(&mut input)? as usize;
-            let mut bits = Vec::with_capacity(len.min(1 << 16));
+            let mut pairs = Vec::with_capacity(len.min(1 << 16));
             for _ in 0..len {
-                bits.push(take_u64(&mut input)?);
+                let bits = take_u64(&mut input)?;
+                let multiplicity = if version >= 3 {
+                    let m = take_u32(&mut input)?;
+                    if m == 0 {
+                        return Err(corrupt("zero subexpression multiplicity"));
+                    }
+                    m
+                } else {
+                    // v1/v2 shim: occurrence counts were never recorded.
+                    1
+                };
+                pairs.push((bits, multiplicity));
             }
-            term_subs.push(bits.into_boxed_slice());
+            term_subs.push(pairs.into_boxed_slice());
         }
         shards.push(Shard::from_parts(classes, terms, term_subs));
     }
     if !input.is_empty() {
         return Err(corrupt("trailing bytes after the last shard"));
+    }
+    // Cross-shard term pointers (v3) can only be range-checked once every
+    // shard's class list is known.
+    for shard in &shards {
+        for &class_bits in &shard.terms {
+            let cid = ClassId::from_bits(class_bits);
+            let in_range = shards
+                .get(cid.shard as usize)
+                .is_some_and(|s| (cid.index as usize) < s.classes.len());
+            if !in_range {
+                return Err(corrupt("term references a class out of range"));
+            }
+        }
     }
     Ok((header, shards, version))
 }

@@ -5,8 +5,11 @@
 //! DAG — into the WAL, so a crash loses at most the writes the OS had not
 //! yet persisted, and never corrupts what came before. Frames are
 //! `[len u32][crc32 u32][payload]`, where the payload's first byte is a
-//! kind tag: an **insert record**, or a **commit marker** closing one
-//! group commit. Replay walks frames until end-of-file or the first frame
+//! kind tag: an **insert record**, a **delta record** (v3: one
+//! [`crate::AlphaStore::update`], logged as old root + spine path +
+//! patch canon instead of the full rewritten term), or a **commit
+//! marker** closing one group commit. Replay walks frames until
+//! end-of-file or the first frame
 //! whose length or CRC does not check out (a *torn tail*, the expected
 //! shape of a crash mid-write); recovery truncates back to the last good
 //! frame.
@@ -37,7 +40,7 @@
 //! `docs/PERSISTENCE_FORMAT.md` for the byte layout.
 
 use super::format::{
-    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, RawRecord,
+    self, crc32, put_u16, put_u32, put_u64, take_u16, take_u32, take_u64, RawDelta, RawRecord,
     COMPAT_VERSION, FORMAT_VERSION, WAL_MAGIC,
 };
 use super::vfs::{Vfs, VfsFile};
@@ -57,6 +60,18 @@ const FRAME_RECORD: u8 = 1;
 /// since the previous marker. Carries the group's record count for
 /// validation.
 const FRAME_COMMIT: u8 = 2;
+/// Payload kind tag (v3): one rewrite delta record.
+const FRAME_DELTA: u8 = 3;
+
+/// One replayable WAL entry: a full insert record, or (v3) a rewrite
+/// delta. Replay dispatches on this — inserts go through the normal
+/// ingest path, deltas re-splice the patch into the interned old canon.
+pub(crate) enum WalEntry<H> {
+    /// A complete prepared term (one `insert`).
+    Insert(RawRecord<H>),
+    /// A rewrite delta (one `update`).
+    Update(RawDelta<H>),
+}
 
 /// Everything a WAL header records about the store it logs for. Must match
 /// the snapshot header (and the opening builder's configuration) exactly;
@@ -93,10 +108,11 @@ fn decode_header(input: &mut &[u8]) -> Result<(WalHeader, u16), PersistError> {
         });
     }
     let version = take_u16(input)?;
-    if version != FORMAT_VERSION && version != COMPAT_VERSION {
+    if !format::version_supported(version) {
         return Err(PersistError::Mismatch {
             context: format!(
-                "WAL format version {version}, expected {FORMAT_VERSION} (or compat {COMPAT_VERSION})"
+                "WAL format version {version}, expected {FORMAT_VERSION} (or compat {COMPAT_VERSION}..{})",
+                FORMAT_VERSION - 1
             ),
         });
     }
@@ -122,10 +138,10 @@ pub(crate) struct WalContents<H> {
     /// frames to an old-header WAL would make them undecodable on the
     /// next open, so old files must go through the migrating checkpoint.
     pub(crate) version: u16,
-    /// Records, one inner `Vec` per group commit. A trailing group with no
+    /// Entries, one inner `Vec` per group commit. A trailing group with no
     /// commit marker (crash mid-group) appears as the final element. For
     /// v1 files (no markers) all records form one group.
-    pub(crate) groups: Vec<Vec<RawRecord<H>>>,
+    pub(crate) groups: Vec<Vec<WalEntry<H>>>,
     /// Total record count across groups.
     pub(crate) total_records: u64,
     /// Byte offset where the good prefix ends (== file length iff not
@@ -168,8 +184,8 @@ pub(crate) fn read_wal<H: HashWord>(
     let bytes = vfs.read(path)?;
     let mut input = bytes.as_slice();
     let (header, version) = decode_header(&mut input)?;
-    let mut groups: Vec<Vec<RawRecord<H>>> = Vec::new();
-    let mut current: Vec<RawRecord<H>> = Vec::new();
+    let mut groups: Vec<Vec<WalEntry<H>>> = Vec::new();
+    let mut current: Vec<WalEntry<H>> = Vec::new();
     let mut total_records = 0u64;
     let mut good_len = bytes.len() as u64 - input.len() as u64;
     let torn = loop {
@@ -196,7 +212,7 @@ pub(crate) fn read_wal<H: HashWord>(
             if !payload_input.is_empty() {
                 break true;
             }
-            current.push(record);
+            current.push(WalEntry::Insert(record));
             total_records += 1;
         } else {
             let Ok(kind) = format::take_u8(&mut payload_input) else {
@@ -210,7 +226,17 @@ pub(crate) fn read_wal<H: HashWord>(
                     if !payload_input.is_empty() {
                         break true;
                     }
-                    current.push(record);
+                    current.push(WalEntry::Insert(record));
+                    total_records += 1;
+                }
+                FRAME_DELTA if version >= 3 => {
+                    let Ok(delta) = format::take_delta::<H>(&mut payload_input) else {
+                        break true;
+                    };
+                    if !payload_input.is_empty() {
+                        break true;
+                    }
+                    current.push(WalEntry::Update(delta));
                     total_records += 1;
                 }
                 FRAME_COMMIT => {
@@ -227,11 +253,11 @@ pub(crate) fn read_wal<H: HashWord>(
         }
         good_len += 8 + len as u64;
     };
-    // v2 writers always land a group's records and its commit marker in
+    // v2+ writers always land a group's records and its commit marker in
     // one append, so records with no closing marker — even ending exactly
     // on a frame boundary — can only be a torn write. v1 has no markers;
     // its trailing records are the normal shape.
-    let torn = torn || (version == FORMAT_VERSION && !current.is_empty());
+    let torn = torn || (version >= 2 && !current.is_empty());
     if !current.is_empty() {
         // v1 (no markers) or a group torn before its commit marker.
         groups.push(current);
@@ -506,6 +532,17 @@ pub(crate) fn frame_record_interned<H: HashWord>(
     end_frame(out, frame_start);
 }
 
+/// Frames one rewrite delta record (v3) — the WAL payload of
+/// [`crate::AlphaStore::update`]: old root identity, spine path, and
+/// the patch's canonical node run. Tiny compared to re-logging the full
+/// rewritten term, which is the point of the delta format.
+pub(crate) fn frame_delta<H: HashWord>(out: &mut Vec<u8>, delta: &RawDelta<H>) {
+    let frame_start = begin_frame(out);
+    format::put_u8(out, FRAME_DELTA);
+    format::put_delta(out, delta);
+    end_frame(out, frame_start);
+}
+
 /// Frames the commit marker that closes a group of `count` records.
 pub(crate) fn frame_commit(out: &mut Vec<u8>, count: u64) {
     let frame_start = begin_frame(out);
@@ -596,10 +633,52 @@ mod tests {
         drop(wal);
 
         let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
-        let record = &contents.groups[0][0];
+        let WalEntry::Insert(record) = &contents.groups[0][0] else {
+            panic!("expected an insert entry");
+        };
         assert_eq!(record.root.hash, hash);
         assert_eq!(record.root.node_count, canon.len() as u64);
         assert!(db_eq(&record.canon, record.root.pos, &canon, root));
+    }
+
+    #[test]
+    fn delta_frames_round_trip_as_update_entries() {
+        let path = tmp("delta.wal");
+        let mut wal = Wal::create(&OsVfs, &path, header(), false).unwrap();
+        let mut arena = ExprArena::new();
+        let patch_named = parse(&mut arena, r"\x. x + (v * 2)").unwrap();
+        let (patch, patch_root) = lambda_lang::debruijn::to_debruijn(&arena, patch_named);
+        let delta = RawDelta::<u64> {
+            term_bits: 0x0002_0000_0000_0007,
+            old_hash: 0x1234,
+            new_hash: 0x5678,
+            new_node_count: 19,
+            path: vec![1, 0],
+            patch,
+            patch_root,
+        };
+        let mut frames = Vec::new();
+        frame_delta(&mut frames, &delta);
+        frame_commit(&mut frames, 1);
+        wal.append_group(&frames, 1).unwrap();
+        drop(wal);
+
+        let contents = read_wal::<u64>(&OsVfs, &path).unwrap();
+        assert!(!contents.torn);
+        assert_eq!(contents.total_records, 1);
+        let WalEntry::Update(decoded) = &contents.groups[0][0] else {
+            panic!("expected an update entry");
+        };
+        assert_eq!(decoded.term_bits, delta.term_bits);
+        assert_eq!(decoded.old_hash, 0x1234);
+        assert_eq!(decoded.new_hash, 0x5678);
+        assert_eq!(decoded.path, vec![1, 0]);
+        assert!(db_eq(
+            &decoded.patch,
+            decoded.patch_root,
+            &delta.patch,
+            delta.patch_root
+        ));
     }
 
     #[test]

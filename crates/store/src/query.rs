@@ -119,14 +119,13 @@ impl<H: HashWord> AlphaStore<H> {
                 !subs.is_empty(),
                 "subexpression-mode inserts always log at least the root's class"
             );
-            subs.iter().copied().map(ClassId::from_bits).collect()
+            subs.iter()
+                .map(|&(bits, _)| ClassId::from_bits(bits))
+                .collect()
         } else {
             // Roots mode keeps no per-term lists; recover the term's class
             // from the term log.
-            vec![ClassId {
-                shard: term.shard,
-                index: shard.terms[term.index as usize],
-            }]
+            vec![ClassId::from_bits(shard.terms[term.index as usize])]
         };
         ids.into_iter()
     }

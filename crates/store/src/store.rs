@@ -38,7 +38,7 @@ use crate::obs::StoreObs;
 use crate::persist::format::RawRecord;
 use crate::persist::snapshot::SnapshotHeader;
 use crate::persist::vfs::Vfs;
-use crate::persist::wal::WalHeader;
+use crate::persist::wal::{WalEntry, WalHeader};
 use crate::persist::{Durable, PersistError, SNAPSHOT_FILE};
 use crate::prepare::{PreparedCanon, PreparedTerm, Preparer, SubEntry};
 use crate::stats::{CanonDagStats, StatCounters, StoreStats};
@@ -103,6 +103,25 @@ impl fmt::Debug for ClassId {
 pub struct TermId {
     pub(crate) shard: u16,
     pub(crate) index: u32,
+}
+
+impl TermId {
+    /// Packs the handle into a single word (shard in the high bits), for
+    /// use as a compact foreign key — the form WAL delta records and the
+    /// wire protocol carry.
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.shard) << 32) | u64::from(self.index)
+    }
+
+    /// Inverse of [`TermId::to_bits`]. Only meaningful for bits produced
+    /// by [`TermId::to_bits`] against the same store; the fallible update
+    /// paths range-check the result before trusting it.
+    pub fn from_bits(bits: u64) -> Self {
+        TermId {
+            shard: (bits >> 32) as u16,
+            index: bits as u32,
+        }
+    }
 }
 
 impl fmt::Debug for TermId {
@@ -222,6 +241,16 @@ pub enum StoreError {
     /// retry policy; the store has just flipped to [`Health::ReadOnly`].
     /// Nothing from the failed chunk was applied to memory.
     Persist(PersistError),
+    /// An [`AlphaStore::try_update`] rewrite was refused **before any
+    /// state changed**: the term handle is unknown, the path does not
+    /// resolve inside the term, or the replacement's free variables could
+    /// capture a binder of the host term (the hazard
+    /// `alpha_hash::incremental` documents — the store boundary rejects
+    /// it rather than silently mis-hashing).
+    InvalidRewrite {
+        /// Why the rewrite was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -231,6 +260,9 @@ impl fmt::Display for StoreError {
                 write!(f, "store is read-only (degraded): {reason}")
             }
             StoreError::Persist(e) => write!(f, "store ingest failed to persist: {e}"),
+            StoreError::InvalidRewrite { reason } => {
+                write!(f, "invalid rewrite: {reason}")
+            }
         }
     }
 }
@@ -238,7 +270,7 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Degraded { .. } => None,
+            StoreError::Degraded { .. } | StoreError::InvalidRewrite { .. } => None,
             StoreError::Persist(e) => Some(e),
         }
     }
@@ -346,13 +378,18 @@ pub(crate) struct Shard<H> {
     /// only under a true hash collision.
     buckets: HashMap<H, Vec<u32>>,
     pub(crate) classes: Vec<StoredClass<H>>,
-    /// Term-local index → class index.
-    pub(crate) terms: Vec<u32>,
-    /// Term-local index → sorted, deduplicated [`ClassId::to_bits`] of the
-    /// term's indexed subexpression classes (including the term's own
-    /// class). Always empty boxes in `Roots` mode, where the root class is
-    /// recovered from `terms` instead.
-    pub(crate) term_subs: Vec<Box<[u64]>>,
+    /// Term-local index → [`ClassId::to_bits`] of the term's class. A
+    /// term starts in the shard its hash routes to, but a later
+    /// [`AlphaStore::update`] can repoint it at a class in **any** shard,
+    /// hence full bits rather than a same-shard class index.
+    pub(crate) terms: Vec<u64>,
+    /// Term-local index → `(ClassId::to_bits, multiplicity)` pairs for
+    /// the term's indexed subexpression classes (including the term's own
+    /// class), sorted by bits. The multiplicity is how many occurrences
+    /// of that class this term contributes — what an update must subtract
+    /// to un-index the old form exactly. Always empty boxes in `Roots`
+    /// mode, where the root class is recovered from `terms` instead.
+    pub(crate) term_subs: Vec<Box<[(u64, u32)]>>,
 }
 
 impl<H: HashWord> Shard<H> {
@@ -371,8 +408,8 @@ impl<H: HashWord> Shard<H> {
     /// deterministic across a save/load cycle).
     pub(crate) fn from_parts(
         classes: Vec<StoredClass<H>>,
-        terms: Vec<u32>,
-        term_subs: Vec<Box<[u64]>>,
+        terms: Vec<u64>,
+        term_subs: Vec<Box<[(u64, u32)]>>,
     ) -> Self {
         let mut buckets: HashMap<H, Vec<u32>> = HashMap::new();
         for (i, class) in classes.iter().enumerate() {
@@ -398,7 +435,7 @@ impl<H: HashWord> Shard<H> {
     /// entry that creates a class is interned here — `view` is released
     /// first, since interning write-locks table stripes the view may hold
     /// read guards on.
-    fn insert_entry(
+    pub(crate) fn insert_entry(
         &mut self,
         table: &CanonTable,
         view: &mut TableView<'_>,
@@ -512,11 +549,11 @@ pub(crate) struct Prepared<H> {
 /// assert!(store.stats().is_exact());
 /// ```
 pub struct AlphaStore<H: HashWord = u64> {
-    scheme: HashScheme<H>,
+    pub(crate) scheme: HashScheme<H>,
     pub(crate) shards: Box<[RwLock<Shard<H>>]>,
     mask: usize,
-    counters: StatCounters,
-    granularity: Granularity,
+    pub(crate) counters: StatCounters,
+    pub(crate) granularity: Granularity,
     /// The shared, hash-consed storage of every canonical form the store
     /// holds. Lock order: store locks (maintenance → WAL → shards) are
     /// always taken before table locks, and a thread never holds a table
@@ -527,7 +564,7 @@ pub struct AlphaStore<H: HashWord = u64> {
     /// WAL group-commit buffer. See [`StoreBuilder::chunk_entries`].
     chunk_entries: usize,
     /// `Some` for durable stores: the open WAL plus its directory.
-    durable: Option<Durable>,
+    pub(crate) durable: Option<Durable>,
     /// WAL append retry policy (durable stores; see
     /// [`StoreBuilder::persist_retries`]).
     retry: RetryPolicy,
@@ -541,14 +578,19 @@ pub struct AlphaStore<H: HashWord = u64> {
     /// [`AlphaStore::compact`] hold it exclusive, so a snapshot's
     /// `(WAL record count, shard state)` cut is consistent — no insert is
     /// ever logged-but-unapplied or applied-but-unlogged at the moment the
-    /// cut is taken. Lock order: `maintenance` → WAL mutex → shard locks
-    /// → canon-table locks.
-    maintenance: RwLock<()>,
+    /// cut is taken. Lock order: `maintenance` → `updates` → WAL mutex →
+    /// shard locks → canon-table locks.
+    pub(crate) maintenance: RwLock<()>,
+    /// Incremental-rewrite state ([`crate::update`]): a bounded cache of
+    /// live spine hashers keyed by term, behind the mutex that serializes
+    /// updates. Lock order: after `maintenance` (shared), before the WAL
+    /// mutex and shard locks.
+    pub(crate) updates: Mutex<crate::update::UpdateCache<H>>,
     /// The instrumentation seam (`crate::obs`): a real metric registry
     /// with the `obs` cargo feature, an inlined no-op ZST without. Obs
     /// recording never takes a store lock; inside critical sections only
     /// wait-free operations (atomic adds, monotonic clock reads) happen.
-    obs: StoreObs,
+    pub(crate) obs: StoreObs,
     /// What recovery did, for stores built by the durable open paths
     /// (`None` for in-memory stores and fresh creations).
     pub(crate) recovery: Option<RecoveryInfo>,
@@ -622,6 +664,7 @@ impl<H: HashWord> AlphaStore<H> {
             auto_ckpt: AutoCheckpoint::default(),
             health: HealthState::default(),
             maintenance: RwLock::new(()),
+            updates: Mutex::new(crate::update::UpdateCache::default()),
             obs: StoreObs::new(),
             recovery: None,
         }
@@ -659,6 +702,7 @@ impl<H: HashWord> AlphaStore<H> {
             auto_ckpt: AutoCheckpoint::default(),
             health: HealthState::default(),
             maintenance: RwLock::new(()),
+            updates: Mutex::new(crate::update::UpdateCache::default()),
             obs: StoreObs::new(),
             recovery: None,
         })
@@ -910,7 +954,7 @@ impl<H: HashWord> AlphaStore<H> {
     fn drain_roots(
         &self,
         prepared: Vec<Prepared<H>>,
-        mut extras: impl FnMut(usize) -> (SubexprSummary, Vec<u64>),
+        mut extras: impl FnMut(usize) -> (SubexprSummary, Vec<(u64, u32)>),
     ) -> Vec<InsertOutcome> {
         let count = prepared.len();
         let mut by_shard: HashMap<usize, Vec<(usize, Prepared<H>)>> = HashMap::new();
@@ -1006,7 +1050,7 @@ impl<H: HashWord> AlphaStore<H> {
     fn apply_prepared_terms(&self, terms: Vec<PreparedTerm<H>>) -> Vec<InsertOutcome> {
         let count = terms.len();
         let mut summaries: Vec<SubexprSummary> = Vec::with_capacity(count);
-        let mut sub_bits: Vec<Vec<u64>> = Vec::with_capacity(count);
+        let mut sub_bits: Vec<Vec<(u64, u32)>> = Vec::with_capacity(count);
         let mut roots_prepared: Vec<Prepared<H>> = Vec::with_capacity(count);
         let mut by_shard: HashMap<usize, Vec<(usize, SubEntry<H>)>> = HashMap::new();
         let mut total_skipped = 0u64;
@@ -1048,7 +1092,8 @@ impl<H: HashWord> AlphaStore<H> {
             let mut view = TableView::new(&self.table);
             let shard_u16 = u16::try_from(shard_index).expect("shard count fits u16");
             for (ti, entry) in entries {
-                let m = u64::from(entry.multiplicity);
+                let mult = entry.multiplicity;
+                let m = u64::from(mult);
                 let (class_index, fresh, collided) =
                     shard.insert_entry(&self.table, &mut view, entry, false, &self.obs);
                 n_indexed += m;
@@ -1064,13 +1109,14 @@ impl<H: HashWord> AlphaStore<H> {
                 if collided {
                     n_collided += 1;
                 }
-                sub_bits[ti].push(
+                sub_bits[ti].push((
                     ClassId {
                         shard: shard_u16,
                         index: class_index,
                     }
                     .to_bits(),
-                );
+                    mult,
+                ));
             }
             drop(shard);
             self.obs.rec_apply(t_apply, n_entries);
@@ -1080,11 +1126,22 @@ impl<H: HashWord> AlphaStore<H> {
         StatCounters::add(&self.counters.subterm_merges_confirmed, n_merged);
         StatCounters::add(&self.counters.hash_collisions, n_collided);
 
-        // Sort + dedup each term's class list now, outside any lock;
-        // finish_insert only splices in the root's own class bit.
+        // Sort each term's class pairs by bits now, outside any lock —
+        // finish_insert only splices in the root's own class bit. Within
+        // one term every pair's class is distinct (prepare collapses
+        // duplicate canons into one multiplicity, and merges are exact),
+        // but coalesce defensively so the sorted-unique key invariant
+        // cannot break.
         for bits in &mut sub_bits {
             bits.sort_unstable();
-            bits.dedup();
+            bits.dedup_by(|b, a| {
+                if a.0 == b.0 {
+                    a.1 += b.1;
+                    true
+                } else {
+                    false
+                }
+            });
         }
 
         // Sweep 2: the roots, one lock per shard.
@@ -1104,7 +1161,7 @@ impl<H: HashWord> AlphaStore<H> {
         view: &mut TableView<'_>,
         prepared: Prepared<H>,
         subs: SubexprSummary,
-        mut sub_bits: Vec<u64>,
+        mut sub_bits: Vec<(u64, u32)>,
     ) -> InsertOutcome {
         StatCounters::bump(&self.counters.terms_ingested);
         let shard_u16 = u16::try_from(prepared.shard).expect("shard count fits u16");
@@ -1124,12 +1181,13 @@ impl<H: HashWord> AlphaStore<H> {
         };
         if self.granularity.indexes_subexpressions() {
             let bits = class.to_bits();
-            if let Err(pos) = sub_bits.binary_search(&bits) {
-                sub_bits.insert(pos, bits);
+            match sub_bits.binary_search_by_key(&bits, |p| p.0) {
+                Ok(pos) => sub_bits[pos].1 += 1,
+                Err(pos) => sub_bits.insert(pos, (bits, 1)),
             }
         }
         let term_index = u32::try_from(shard.terms.len()).expect("shard term overflow");
-        shard.terms.push(class_index);
+        shard.terms.push(class.to_bits());
         shard.term_subs.push(sub_bits.into_boxed_slice());
         InsertOutcome {
             term: TermId {
@@ -1243,10 +1301,7 @@ impl<H: HashWord> AlphaStore<H> {
         let shard = self.shards[term.shard as usize]
             .read()
             .expect("shard lock poisoned");
-        ClassId {
-            shard: term.shard,
-            index: shard.terms[term.index as usize],
-        }
+        ClassId::from_bits(shard.terms[term.index as usize])
     }
 
     /// Number of distinct alpha-equivalence classes stored.
@@ -1562,7 +1617,7 @@ impl<H: HashWord> AlphaStore<H> {
     /// skips (someone else is compacting or snapshotting anyway), and a
     /// checkpoint error only moves [`health`](AlphaStore::health) — the
     /// chunk itself is already committed to the WAL.
-    fn maybe_auto_checkpoint(&self) {
+    pub(crate) fn maybe_auto_checkpoint(&self) {
         let Some(durable) = &self.durable else {
             return;
         };
@@ -1663,26 +1718,44 @@ impl<H: HashWord> AlphaStore<H> {
     /// canon payload corruption consistent enough to slip past CRC and
     /// confirmation. Runs before the WAL is attached, so nothing is
     /// re-logged.
+    ///
+    /// Delta records (v3 `update` frames) interleave with inserts in log
+    /// order: any pending insert chunk is flushed first, then the delta
+    /// is re-applied through the same deterministic splice the live
+    /// update used, its recorded root hash cross-checked
+    /// ([`PersistError::Corrupt`] on mismatch).
     pub(crate) fn replay(
         &mut self,
-        groups: Vec<Vec<RawRecord<H>>>,
+        groups: Vec<Vec<WalEntry<H>>>,
         verify: bool,
     ) -> Result<(), PersistError> {
         debug_assert!(self.durable.is_none(), "replay must not re-log records");
         for group in groups {
             let mut pending: Vec<PreparedTerm<H>> = Vec::new();
             let mut pending_entries = 0usize;
-            for raw in group {
-                if verify {
-                    crate::persist::verify_record(&self.scheme, &raw)?;
-                }
-                let pt = self.intern_raw(raw);
-                pending_entries += 1 + pt.subs.len();
-                pending.push(pt);
-                if pending_entries >= self.chunk_entries {
-                    self.ingest_prepared_terms(std::mem::take(&mut pending))
-                        .expect("in-memory replay ingest cannot fail");
-                    pending_entries = 0;
+            for entry in group {
+                match entry {
+                    WalEntry::Insert(raw) => {
+                        if verify {
+                            crate::persist::verify_record(&self.scheme, &raw)?;
+                        }
+                        let pt = self.intern_raw(raw);
+                        pending_entries += 1 + pt.subs.len();
+                        pending.push(pt);
+                        if pending_entries >= self.chunk_entries {
+                            self.ingest_prepared_terms(std::mem::take(&mut pending))
+                                .expect("in-memory replay ingest cannot fail");
+                            pending_entries = 0;
+                        }
+                    }
+                    WalEntry::Update(delta) => {
+                        if !pending.is_empty() {
+                            self.ingest_prepared_terms(std::mem::take(&mut pending))
+                                .expect("in-memory replay ingest cannot fail");
+                            pending_entries = 0;
+                        }
+                        crate::update::apply_update_replay(self, delta, verify)?;
+                    }
                 }
             }
             if !pending.is_empty() {
@@ -1776,7 +1849,7 @@ impl<H: HashWord> AlphaStore<H> {
     /// a retried append that succeeds heals the store back to
     /// [`Health::Healthy`], while exhausting the policy flips it to
     /// [`Health::ReadOnly`] and returns the underlying error.
-    fn wal_append_with_retry(
+    pub(crate) fn wal_append_with_retry(
         &self,
         durable: &Durable,
         frames: &[u8],
@@ -1846,7 +1919,7 @@ impl<H: HashWord> AlphaStore<H> {
 
     /// Ingest-path gate: one relaxed atomic load when healthy, a typed
     /// refusal when read-only.
-    fn check_writable(&self) -> Result<(), StoreError> {
+    pub(crate) fn check_writable(&self) -> Result<(), StoreError> {
         if self.health.state.load(Ordering::Relaxed) == HEALTH_READ_ONLY {
             return Err(StoreError::Degraded {
                 reason: self

@@ -16,7 +16,7 @@
 //! auto-checkpoint watermarks.
 
 use alpha_store::persist::{SNAPSHOT_FILE, WAL_FILE};
-use alpha_store::{AlphaStore, FaultKind, FaultVfs, Granularity, Health, StoreError};
+use alpha_store::{AlphaStore, FaultKind, FaultVfs, Granularity, Health, Rewrite, StoreError};
 use lambda_lang::arena::{ExprArena, NodeId};
 use lambda_lang::uniquify::uniquify_into;
 use rand::rngs::StdRng;
@@ -110,13 +110,36 @@ fn builder(granularity: Granularity, fault: &FaultVfs) -> alpha_store::StoreBuil
         .persist_sleeper(instant_sleeper())
 }
 
-/// The scripted workload the sweep kills at every op index: two batch
-/// ingests with a checkpoint between them. Errors are swallowed — once
-/// the machine "dies", later calls fail or are refused, and the sweep
-/// only cares what recovery makes of the bytes that reached disk.
-fn run_workload(store: &AlphaStore<u64>, arena: &ExprArena, roots: &[NodeId]) {
+/// The whole-root rewrite the scripted workload applies to the first
+/// ingested term, distinctive enough to never be alpha-equal to a
+/// corpus term. Closed, so it is valid against any host.
+fn workload_patch(arena: &mut ExprArena) -> NodeId {
+    lambda_lang::parse::parse(arena, r"\k. k (k (k 9))").expect("fixed patch parses")
+}
+
+/// The scripted workload the sweep kills at every op index: a batch
+/// ingest, an incremental **update** of the first term (one delta WAL
+/// record), a checkpoint, and a second batch ingest. Errors are
+/// swallowed — once the machine "dies", later calls fail or are
+/// refused, and the sweep only cares what recovery makes of the bytes
+/// that reached disk.
+fn run_workload(
+    store: &AlphaStore<u64>,
+    arena: &ExprArena,
+    roots: &[NodeId],
+    patch: (&ExprArena, NodeId),
+) {
     let half = roots.len() / 2;
-    let _ = store.try_insert_batch(arena, &roots[..half]);
+    if let Ok(outcomes) = store.try_insert_batch(arena, &roots[..half]) {
+        let _ = store.try_update(
+            outcomes[0].term,
+            Rewrite {
+                path: &[],
+                arena: patch.0,
+                root: patch.1,
+            },
+        );
+    }
     let _ = store.checkpoint();
     let _ = store.try_insert_batch(arena, &roots[half..]);
 }
@@ -124,30 +147,60 @@ fn run_workload(store: &AlphaStore<u64>, arena: &ExprArena, roots: &[NodeId]) {
 /// The crash-point sweep for one granularity. `kinds` rotate over the op
 /// indices so every index is hit and every flavour covers a spread of
 /// indices.
+///
+/// The workload includes one incremental update (a delta WAL record),
+/// so the surviving-prefix oracle is two-valued: a fresh build over the
+/// surviving terms, with the update re-applied live iff the delta
+/// reached disk. WAL order pins the ambiguity down to a single point —
+/// the delta is appended after the first batch and before everything
+/// else, so it survived whenever any later record did.
 fn sweep(granularity: Granularity, tag: &str) {
     let mut arena = ExprArena::new();
     let roots = corpus(&mut arena, 0xBEEF, 10);
+    let half = roots.len() / 2;
+    let mut patch_arena = ExprArena::new();
+    let patch = workload_patch(&mut patch_arena);
+
+    // A fresh build over the surviving prefix, the update re-applied
+    // live when the delta survived. Applying it after the batch is
+    // equivalent to mid-stream: the update reads only its own class.
+    let fault_for_oracle = FaultVfs::new();
+    let oracle_over = |survived: usize, with_update: bool| -> AlphaStore<u64> {
+        let oracle = builder(granularity, &fault_for_oracle).build();
+        let outcomes = oracle.insert_batch(&arena, &roots[..survived]);
+        if with_update {
+            oracle
+                .try_update(
+                    outcomes[0].term,
+                    Rewrite {
+                        path: &[],
+                        arena: &patch_arena,
+                        root: patch,
+                    },
+                )
+                .expect("oracle update");
+        }
+        oracle
+    };
 
     // Fault-free calibration run: learn the workload's op count and the
-    // full-corpus oracle census.
+    // full-corpus oracle censuses (with and without the update, for the
+    // phase-3 comparison below).
     let fault = FaultVfs::new();
     let total_ops = {
         let dir = TempDir::new(tag);
         let store = builder(granularity, &fault)
             .open_durable(dir.path())
             .expect("calibration open");
-        run_workload(&store, &arena, &roots);
+        run_workload(&store, &arena, &roots, (&patch_arena, patch));
         fault.op_count()
     };
     assert!(
         total_ops >= 12,
         "workload too small to be a meaningful sweep ({total_ops} ops)"
     );
-    let oracle_full = {
-        let oracle = builder(granularity, &fault).build();
-        oracle.insert_batch(&arena, &roots);
-        class_census(&oracle)
-    };
+    let oracle_full_updated = class_census(&oracle_over(roots.len(), true));
+    let oracle_full_plain = class_census(&oracle_over(roots.len(), false));
 
     let kinds = [
         FaultKind::CrashStop,
@@ -165,7 +218,7 @@ fn sweep(granularity: Granularity, tag: &str) {
             {
                 fault.crash_at(op, kind);
                 if let Ok(store) = builder(granularity, &fault).open_durable(dir.path()) {
-                    run_workload(&store, &arena, &roots);
+                    run_workload(&store, &arena, &roots, (&patch_arena, patch));
                 }
             } // drop = crash: no shutdown ceremony
 
@@ -173,7 +226,8 @@ fn sweep(granularity: Granularity, tag: &str) {
             fault.clear();
 
             // Phase 2: recovery must yield exactly a fresh build over
-            // the surviving prefix.
+            // the surviving prefix, update included iff its delta made
+            // it to disk.
             let recovered = builder(granularity, &fault)
                 .open_durable(dir.path())
                 .unwrap_or_else(|e| panic!("{tag}: recovery failed at op {op} ({kind:?}): {e}"));
@@ -183,12 +237,24 @@ fn sweep(granularity: Granularity, tag: &str) {
                 "{tag}: op {op} ({kind:?}): {survived} terms recovered from {} ingested",
                 roots.len()
             );
-            let oracle = builder(granularity, &fault).build();
-            oracle.insert_batch(&arena, &roots[..survived]);
+            let recovered_census = class_census(&recovered);
+            // The delta sits between the two batches in the WAL: fewer
+            // terms than the first batch means it cannot have survived,
+            // more means it must have. Exactly at the boundary either
+            // prefix is legal — the censuses discriminate.
+            let update_survived = if survived < half {
+                false
+            } else if survived > half {
+                true
+            } else {
+                recovered_census == class_census(&oracle_over(half, true))
+            };
+            let oracle = oracle_over(survived, update_survived);
             assert_eq!(
-                class_census(&recovered),
+                recovered_census,
                 class_census(&oracle),
-                "{tag}: op {op} ({kind:?}): recovered census diverges from oracle over {survived} surviving terms"
+                "{tag}: op {op} ({kind:?}): recovered census diverges from oracle over \
+                 {survived} surviving terms (update survived: {update_survived})"
             );
             assert_eq!(recovered.num_classes(), oracle.num_classes());
             assert!(
@@ -198,13 +264,18 @@ fn sweep(granularity: Granularity, tag: &str) {
             assert_eq!(recovered.health(), Health::Healthy);
 
             // Phase 3: the recovered store keeps working — ingest the
-            // lost tail and land on the full-corpus census.
+            // lost tail and land on the matching full-corpus census.
             recovered
                 .try_insert_batch(&arena, &roots[survived..])
                 .unwrap_or_else(|e| panic!("{tag}: op {op} ({kind:?}): post-recovery ingest: {e}"));
+            let expected_full = if update_survived {
+                &oracle_full_updated
+            } else {
+                &oracle_full_plain
+            };
             assert_eq!(
-                class_census(&recovered),
-                oracle_full,
+                &class_census(&recovered),
+                expected_full,
                 "{tag}: op {op} ({kind:?}): post-recovery ingest diverges from full oracle"
             );
         }

@@ -765,7 +765,7 @@ mod v1_migration {
             let snap_now = std::fs::read(dir.path().join("snapshot.bin")).unwrap();
             assert_eq!(
                 u16::from_le_bytes(snap_now[8..10].try_into().unwrap()),
-                2,
+                alpha_store::persist::format::FORMAT_VERSION,
                 "a clean-shaped v1 pair must still be migrated"
             );
             // …so appends land in a current-version WAL.
@@ -854,13 +854,14 @@ mod v1_migration {
         assert_eq!(stats.terms_ingested, 3);
 
         // The recovery checkpoint migrated the pair to the current
-        // format: the snapshot on disk is now version 2, and the store
-        // keeps working (a merge into a migrated class confirms).
+        // format: the snapshot on disk now carries the current version,
+        // and the store keeps working (a merge into a migrated class
+        // confirms).
         let snap_now = std::fs::read(dir.path().join("snapshot.bin")).unwrap();
         assert_eq!(
             u16::from_le_bytes(snap_now[8..10].try_into().unwrap()),
-            2,
-            "checkpoint rewrites v1 as v2"
+            alpha_store::persist::format::FORMAT_VERSION,
+            "checkpoint rewrites v1 at the current format version"
         );
         let outcome = store.insert(&arena, renamed);
         assert!(!outcome.fresh, "migrated classes accept new members");

@@ -16,8 +16,14 @@
 //! alphahash client [--addr 127.0.0.1:7474] insert   <file|->
 //! alphahash client [--addr ...]            lookup   <file|->
 //! alphahash client [--addr ...]            contains <file|->
+//! alphahash client [--addr ...]            update   <term> <path> <file|->
 //! alphahash client [--addr ...]            stats | metrics | checkpoint | shutdown
 //! ```
+//!
+//! `update` rewrites a term the server already holds: `<term>` is the
+//! handle printed by `insert` (hex), `<path>` is a dot-separated list of
+//! child slots into the term's canonical representative (`.` alone for
+//! the whole term), and the file holds the replacement expression.
 //!
 //! Files contain one expression in the `lambda-lang` syntax (see
 //! `lambda_lang::parse`); pass `-` to read from stdin.
@@ -42,6 +48,7 @@ fn usage() -> ! {
          \x20      alphahash serve --dir DIR [--addr HOST:PORT] [--sub-min-nodes N]\n\
          \x20                      [--workers N] [--flush-terms N] [--linger-ms N]\n\
          \x20      alphahash client [--addr HOST:PORT] <insert|lookup|contains> <file|->\n\
+         \x20      alphahash client [--addr HOST:PORT] update <term-hex> <path> <file|->\n\
          \x20      alphahash client [--addr HOST:PORT] <stats|metrics|checkpoint|shutdown>"
     );
     std::process::exit(2)
@@ -125,11 +132,43 @@ fn client(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             let (arena, root) = parsed_term(&mut args)?;
             let outcome = client.insert(&arena, root)?;
             println!(
-                "class {:#018x} {}{}",
+                "term {:#018x} class {:#018x} {}{}",
+                outcome.term,
                 outcome.class,
                 if outcome.fresh { "(fresh)" } else { "(merged)" },
                 if outcome.subs_indexed > 0 {
                     format!(" + {} subexpressions indexed", outcome.subs_indexed)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        "update" => {
+            if args.len() < 2 {
+                usage();
+            }
+            let term_arg = args.remove(0);
+            let term = u64::from_str_radix(term_arg.trim_start_matches("0x"), 16)
+                .map_err(|e| format!("bad term handle {term_arg:?}: {e}"))?;
+            let path_arg = args.remove(0);
+            let path: Vec<u32> = if path_arg == "." {
+                Vec::new()
+            } else {
+                path_arg
+                    .split('.')
+                    .map(|s| s.parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad path {path_arg:?}: {e}"))?
+            };
+            let (arena, root) = parsed_term(&mut args)?;
+            let outcome = client.update(term, &path, &arena, root)?;
+            println!(
+                "term {:#018x} now class {:#018x} {}{}",
+                outcome.term,
+                outcome.class,
+                if outcome.fresh { "(fresh)" } else { "(merged)" },
+                if outcome.subs_indexed > 0 {
+                    format!(" + {} subexpressions re-indexed", outcome.subs_indexed)
                 } else {
                     String::new()
                 }

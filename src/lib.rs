@@ -90,8 +90,8 @@ pub mod prelude {
     pub use alpha_hash::incremental::IncrementalHasher;
     pub use alpha_store::{
         corpus_shared_dag_size, store_backed_cse, AlphaStore, CanonDagStats, ClassId, ConfigError,
-        Granularity, InsertOutcome, PersistError, StoreBuilder, StoreStats, SubexprSummary, TermId,
-        WalOp,
+        Granularity, InsertOutcome, PersistError, Rewrite, StoreBuilder, StoreError, StoreStats,
+        SubexprSummary, TermId, UpdateOutcome, WalOp,
     };
     pub use lambda_lang::{
         alpha_eq, check_unique_binders, parse, print::print, uniquify, ExprArena, ExprNode,
