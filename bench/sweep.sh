@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Shard x thread x granularity x workload throughput sweep.
+#
+# Builds the release `sweep` binary and writes BENCH_sweep.json next to
+# BENCH_store.json. Every knob is an environment variable so CI and
+# hand-runs share one entry point:
+#
+#   bench/sweep.sh                         # full default matrix
+#   SHARDS=1,2 THREADS=1,2 TERMS=2000 bench/sweep.sh   # smoke matrix
+#
+# Extra flags after `--` pass straight through to the binary:
+#
+#   bench/sweep.sh -- --workload wide --reps 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHARDS="${SHARDS:-1,4,16}"
+THREADS="${THREADS:-1,2,4}"
+GRANULARITY="${GRANULARITY:-roots,subexpr}"
+WORKLOAD="${WORKLOAD:-closed,wide}"
+TERMS="${TERMS:-10000}"
+REPS="${REPS:-3}"
+OUT="${OUT:-BENCH_sweep.json}"
+
+if [ "${1:-}" = "--" ]; then shift; fi
+
+cargo build --release -p alpha-hash-bench --bin sweep
+exec ./target/release/sweep \
+    --shards "$SHARDS" \
+    --threads "$THREADS" \
+    --granularity "$GRANULARITY" \
+    --workload "$WORKLOAD" \
+    --terms "$TERMS" \
+    --reps "$REPS" \
+    --save-json "$OUT" \
+    "$@"

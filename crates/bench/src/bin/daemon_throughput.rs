@@ -26,7 +26,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use alpha_hash_bench::{format_ms, store_corpus, Args};
+use alpha_hash_bench::{format_ms, merge_json_block, store_corpus, Args};
 use alpha_store::AlphaStore;
 use alphahashd::{Client, Daemon, DaemonConfig};
 use lambda_lang::arena::{ExprArena, NodeId};
@@ -127,6 +127,7 @@ fn main() {
     // single-threaded `insert_batch` — what the daemon's fraction is
     // measured against.
     let mut expect_classes = 0;
+    let mut effective_shards = (0usize, 0usize);
     let baseline = (0..reps)
         .map(|_| {
             let store: AlphaStore<u64> = AlphaStore::builder().seed(0x5EED).build();
@@ -134,6 +135,7 @@ fn main() {
             store.insert_batch(&arena, &roots);
             let secs = t0.elapsed().as_secs_f64();
             expect_classes = store.num_classes();
+            effective_shards = (store.shard_count(), store.table_shard_count());
             secs
         })
         .fold(f64::INFINITY, f64::min);
@@ -197,6 +199,8 @@ fn main() {
                 "    \"chunk_terms\": {chunk_terms},\n",
                 "    \"reps\": {reps},\n",
                 "    \"available_parallelism\": {cores},\n",
+                "    \"shards\": {shards},\n",
+                "    \"table_shards\": {table_shards},\n",
                 "    \"in_process_batched_secs\": {baseline:.6},\n",
                 "    \"in_process_terms_per_sec\": {baseline_rate:.1},\n",
                 "    \"loopback_batched_secs\": {daemon_secs:.6},\n",
@@ -214,6 +218,8 @@ fn main() {
             chunk_terms = chunk_terms,
             reps = reps,
             cores = cores,
+            shards = effective_shards.0,
+            table_shards = effective_shards.1,
             baseline = baseline,
             baseline_rate = rate(baseline),
             daemon_secs = daemon_secs,
@@ -224,51 +230,7 @@ fn main() {
             lat_p99_us = lat_p99_us,
             classes = expect_classes,
         );
-        merge_daemon_block(&json_path, &block);
+        merge_json_block(&json_path, "daemon", &block);
         println!("  merged \"daemon\" block into {json_path}");
     }
-}
-
-/// Replaces (or appends) the top-level `"daemon"` block in the JSON
-/// report at `path`, preserving whatever `store_throughput` wrote. The
-/// file format is the hand-rolled JSON both emitters produce, so a
-/// brace-matched splice is exact, not heuristic.
-fn merge_daemon_block(path: &str, block: &str) {
-    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
-    if let Some(key) = content.find("\"daemon\"") {
-        let open = key + content[key..].find('{').expect("daemon block has a body");
-        let mut depth = 0usize;
-        let mut end = content.len();
-        for (i, b) in content.as_bytes().iter().enumerate().skip(open) {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        // Back over the preceding comma/whitespace so the splice point
-        // sits right after the previous block.
-        let mut start = key;
-        while start > 0 && content.as_bytes()[start - 1].is_ascii_whitespace() {
-            start -= 1;
-        }
-        if start > 0 && content.as_bytes()[start - 1] == b',' {
-            start -= 1;
-        }
-        content.replace_range(start..end, "");
-    }
-    let trimmed_len = content.trim_end().len();
-    content.truncate(trimmed_len);
-    assert!(content.ends_with('}'), "{path} is not a JSON object");
-    content.truncate(content.len() - 1); // drop the final '}'
-    let body = content.trim_end();
-    let separator = if body.ends_with('{') { "" } else { "," };
-    let merged = format!("{body}{separator}\n  \"daemon\": {block}\n}}\n");
-    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }

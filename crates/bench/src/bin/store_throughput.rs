@@ -106,7 +106,12 @@ fn main() {
     println!(
         "store_throughput: {terms} terms / {corpus_nodes} nodes, {shards} shards, best of {reps}"
     );
-    println!("  machine parallelism: {cores}");
+    let table_shards = AlphaStore::builder()
+        .scheme(scheme)
+        .shards(shards)
+        .build()
+        .table_shard_count();
+    println!("  machine parallelism: {cores} (effective table stripes: {table_shards})");
 
     // Single-threaded, unbatched (per-term lock traffic).
     let unbatched = best_of(reps, || {
@@ -425,6 +430,7 @@ fn main() {
                 "  \"terms\": {terms},\n",
                 "  \"corpus_nodes\": {nodes},\n",
                 "  \"shards\": {shards},\n",
+                "  \"table_shards\": {table_shards},\n",
                 "  \"threads\": {threads},\n",
                 "  \"reps\": {reps},\n",
                 "  \"available_parallelism\": {cores},\n",
@@ -511,6 +517,7 @@ fn main() {
             terms = terms,
             nodes = corpus_nodes,
             shards = store.shard_count(),
+            table_shards = table_shards,
             threads = threads,
             reps = reps,
             cores = cores,

@@ -1,0 +1,204 @@
+//! Shard × thread × granularity × workload sweep: where does ingest
+//! throughput stop scaling, and which knob is the ceiling?
+//!
+//! ```text
+//! cargo run --release --bin sweep -- \
+//!     --shards 1,4,16 --threads 1,2,4 \
+//!     --granularity roots,subexpr --workload closed,wide \
+//!     --terms 10000 --reps 3 --save-json BENCH_sweep.json
+//! ```
+//!
+//! Every cell of the matrix ingests the same per-workload corpus into a
+//! fresh in-memory store (shard count = table stripe count = the swept
+//! value) from `--threads` threads, best of `--reps`, and is audited —
+//! identical class counts across every cell of a workload, zero
+//! unconfirmed merges. The report is a flat JSON array next to
+//! `BENCH_store.json`, one object per cell, so runs on different
+//! machines (or different PRs) diff cleanly.
+//!
+//! Workloads:
+//! * `closed` — the `store_throughput` corpus: closed terms, heavy
+//!   alpha-duplication, narrow var-maps (the paper's §7.1 regime).
+//! * `wide` — alpha-paired [`expr_gen::wide_open_spine`]s: sustained
+//!   free-var width, the tiered var-map's target regime.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash_bench::{format_ms, parallel_ingest, store_corpus, Args};
+use alpha_store::AlphaStore;
+use lambda_lang::arena::{ExprArena, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Comma-separated usize list flag.
+fn get_list(args: &Args, name: &str, default: &str) -> Vec<usize> {
+    args.get(name, default)
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("flag --{name}: bad entry {part:?}: {e}"))
+        })
+        .collect()
+}
+
+/// The `wide` corpus: alpha-paired open spines, so merges confirm
+/// through genuinely wide e-summary maps. `terms` is a node budget knob,
+/// not a term count — wide terms are big, so the corpus holds
+/// `terms / 500` spines of 2000 nodes each (at least 4).
+fn wide_corpus(arena: &mut ExprArena, terms: usize) -> Vec<NodeId> {
+    let count = (terms / 500).max(4);
+    let mut roots = Vec::with_capacity(count);
+    for i in 0..count / 2 {
+        let mut scratch = ExprArena::new();
+        let mut srng = StdRng::seed_from_u64(0x51DE ^ i as u64);
+        let spine = expr_gen::wide_open_spine(&mut scratch, 2_000, 256, &mut srng);
+        roots.push(arena.import_subtree(&scratch, spine));
+        roots.push(lambda_lang::uniquify::uniquify_into(&scratch, spine, arena));
+    }
+    roots
+}
+
+fn main() {
+    let args = Args::parse();
+    let shards_list = get_list(&args, "shards", "1,4,16");
+    let threads_list = get_list(&args, "threads", "1,2,4");
+    let granularities: Vec<String> = args
+        .get("granularity", "roots,subexpr")
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
+    let workloads: Vec<String> = args
+        .get("workload", "closed,wide")
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
+    let terms = args.get_usize("terms", 10_000);
+    let reps = args.get_usize("reps", 3);
+    let sub_min_nodes = args.get_usize("sub-min-nodes", 3);
+    let json_path = args.get("save-json", "");
+    assert!(terms > 0 && reps > 0, "--terms/--reps must be at least 1");
+    for &s in &shards_list {
+        assert!(
+            s > 0 && s.is_power_of_two(),
+            "--shards entries must be powers of two, got {s}"
+        );
+    }
+
+    let scheme: HashScheme<u64> = HashScheme::new(0x5EED);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "sweep: shards {shards_list:?} x threads {threads_list:?} x {granularities:?} x \
+         {workloads:?}, {terms} terms, best of {reps} (machine parallelism {cores})"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for workload in &workloads {
+        let mut arena = ExprArena::new();
+        let roots = match workload.as_str() {
+            "closed" => store_corpus(&mut arena, terms, 997),
+            "wide" => wide_corpus(&mut arena, terms),
+            other => panic!("unknown --workload entry {other:?} (closed|wide)"),
+        };
+        let corpus_nodes: usize = roots.iter().map(|&r| arena.subtree_size(r)).sum();
+
+        for granularity in &granularities {
+            // The class-count audit baseline for this (workload,
+            // granularity): every matrix cell must reproduce it.
+            let mut expect_classes: Option<usize> = None;
+            for &shards in &shards_list {
+                for &threads in &threads_list {
+                    let build = || {
+                        let b = AlphaStore::<u64>::builder()
+                            .scheme(scheme)
+                            .shards(shards)
+                            .table_shards(shards.clamp(1, 256));
+                        match granularity.as_str() {
+                            "roots" => b.build(),
+                            "subexpr" => b.subexpressions(sub_min_nodes).build(),
+                            other => {
+                                panic!("unknown --granularity entry {other:?} (roots|subexpr)")
+                            }
+                        }
+                    };
+                    let mut best = f64::INFINITY;
+                    let mut classes = 0usize;
+                    let mut table_shards = 0usize;
+                    for _ in 0..reps {
+                        let store = build();
+                        let t0 = std::time::Instant::now();
+                        parallel_ingest(&store, &arena, &roots, threads);
+                        best = best.min(t0.elapsed().as_secs_f64());
+                        let stats = store.stats();
+                        assert!(
+                            stats.is_exact(),
+                            "sweep cell (shards {shards}, threads {threads}, {granularity}, \
+                             {workload}) must stay exact: {stats}"
+                        );
+                        classes = store.num_classes();
+                        table_shards = store.table_shard_count();
+                    }
+                    match expect_classes {
+                        None => expect_classes = Some(classes),
+                        Some(expected) => assert_eq!(
+                            classes, expected,
+                            "partition must not depend on shards/threads"
+                        ),
+                    }
+                    let rate = roots.len() as f64 / best;
+                    println!(
+                        "  {workload:<6} {granularity:<8} shards {shards:>3} (stripes \
+                         {table_shards:>3}) threads {threads:>2}: {:>10} ({rate:>10.0} terms/s)",
+                        format_ms(best)
+                    );
+                    rows.push(format!(
+                        concat!(
+                            "    {{\n",
+                            "      \"workload\": \"{workload}\",\n",
+                            "      \"granularity\": \"{granularity}\",\n",
+                            "      \"shards\": {shards},\n",
+                            "      \"table_shards\": {table_shards},\n",
+                            "      \"threads\": {threads},\n",
+                            "      \"terms\": {count},\n",
+                            "      \"corpus_nodes\": {nodes},\n",
+                            "      \"secs\": {best:.6},\n",
+                            "      \"terms_per_sec\": {rate:.1},\n",
+                            "      \"classes\": {classes}\n",
+                            "    }}"
+                        ),
+                        workload = workload,
+                        granularity = granularity,
+                        shards = shards,
+                        table_shards = table_shards,
+                        threads = threads,
+                        count = roots.len(),
+                        nodes = corpus_nodes,
+                        best = best,
+                        rate = rate,
+                        classes = classes,
+                    ));
+                }
+            }
+        }
+    }
+
+    if !json_path.is_empty() {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"sweep\",\n",
+                "  \"terms\": {terms},\n",
+                "  \"reps\": {reps},\n",
+                "  \"available_parallelism\": {cores},\n",
+                "  \"runs\": [\n{rows}\n  ]\n",
+                "}}\n"
+            ),
+            terms = terms,
+            reps = reps,
+            cores = cores,
+            rows = rows.join(",\n"),
+        );
+        std::fs::write(&json_path, json)
+            .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+        println!("  wrote {json_path}");
+    }
+}

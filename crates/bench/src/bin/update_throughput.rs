@@ -21,7 +21,7 @@
 //! rewrite is not at least 5x faster than delete+reinsert.
 
 use alpha_hash::combine::HashScheme;
-use alpha_hash_bench::{format_ms, Args};
+use alpha_hash_bench::{format_ms, merge_json_block, Args};
 use alpha_store::{AlphaStore, Rewrite};
 use lambda_lang::arena::{ExprArena, NodeId};
 use rand::rngs::StdRng;
@@ -205,52 +205,7 @@ fn main() {
             reinsert_rate = updates as f64 / reinsert_best,
             speedup = speedup,
         );
-        merge_incremental_block(&json_path, &block);
+        merge_json_block(&json_path, "incremental", &block);
         println!("  merged \"incremental\" block into {json_path}");
     }
-}
-
-/// Replaces (or appends) the top-level `"incremental"` block in the
-/// JSON report at `path`, preserving what the other emitters wrote. The
-/// file format is the hand-rolled JSON all the emitters produce, so a
-/// brace-matched splice is exact, not heuristic.
-fn merge_incremental_block(path: &str, block: &str) {
-    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
-    if let Some(key) = content.find("\"incremental\"") {
-        let open = key
-            + content[key..]
-                .find('{')
-                .expect("incremental block has a body");
-        let mut depth = 0usize;
-        let mut end = content.len();
-        for (i, b) in content.as_bytes().iter().enumerate().skip(open) {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let mut start = key;
-        while start > 0 && content.as_bytes()[start - 1].is_ascii_whitespace() {
-            start -= 1;
-        }
-        if start > 0 && content.as_bytes()[start - 1] == b',' {
-            start -= 1;
-        }
-        content.replace_range(start..end, "");
-    }
-    let trimmed_len = content.trim_end().len();
-    content.truncate(trimmed_len);
-    assert!(content.ends_with('}'), "{path} is not a JSON object");
-    content.truncate(content.len() - 1); // drop the final '}'
-    let body = content.trim_end();
-    let separator = if body.ends_with('{') { "" } else { "," };
-    let merged = format!("{body}{separator}\n  \"incremental\": {block}\n}}\n");
-    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }

@@ -1,0 +1,165 @@
+//! The wide-open-term benchmark: sustained free-variable width, the
+//! regime where the var-map's sorted-Vec spill paid O(width) per merge
+//! step (a Θ(n·width) wall-time cliff) and the persistent-tree tier
+//! restores O(log width).
+//!
+//! ```text
+//! cargo run --release --bin widemap -- \
+//!     --size 150000 --width 32768 --reps 3 --min-speedup 10 \
+//!     --save-json BENCH_store.json
+//! ```
+//!
+//! Times [`HashedSummariser`] over one [`expr_gen::wide_open_spine`]
+//! twice: with the default map pool (tree tier past the spill threshold)
+//! and with the tree tier disabled (`set_tree_threshold(usize::MAX)`,
+//! the pre-tier Vec-spill behaviour). Both runs must produce the same
+//! root hash and the same Lemma 6.1 `merge_ops` count — the tier is a
+//! representation change, not a semantics change — and the tree run must
+//! beat the Vec run by at least `--min-speedup` (the acceptance bar is
+//! 10x at the default size/width). A root-mode store ingest of the spine
+//! plus an alpha-renamed copy rides along, auditing that the tier keeps
+//! the store exact end to end.
+//!
+//! `--save-json` merges a `"widemap"` block into the shared
+//! `BENCH_store.json` report, replacing any previous block.
+
+use alpha_hash::combine::HashScheme;
+use alpha_hash::hashed::HashedSummariser;
+use alpha_hash_bench::{format_ms, merge_json_block, Args};
+use alpha_store::AlphaStore;
+use expr_gen::wide_open_spine;
+use lambda_lang::arena::ExprArena;
+use lambda_lang::uniquify::uniquify_into;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let size = args.get_usize("size", 150_000);
+    let width = args.get_usize("width", 32_768);
+    let reps = args.get_usize("reps", 3);
+    let min_speedup = args.get_f64("min-speedup", 10.0);
+    let json_path = args.get("save-json", "");
+    for (flag, value) in [("size", size), ("width", width), ("reps", reps)] {
+        if value == 0 {
+            eprintln!("error: --{flag} must be at least 1");
+            std::process::exit(2);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x71DE);
+    let mut arena = ExprArena::new();
+    let root = wide_open_spine(&mut arena, size, width, &mut rng);
+    let scheme: HashScheme<u64> = HashScheme::new(0x5EED);
+    println!("widemap: {size}-node open spine, sustained width {width}, best of {reps}");
+
+    // Tiered (default pool: inline -> Vec -> tree past the threshold).
+    let mut tree_secs = f64::INFINITY;
+    let mut tree_hash = 0u64;
+    let mut merge_ops = 0u64;
+    for _ in 0..reps {
+        let mut s = HashedSummariser::new(&arena, &scheme);
+        let t0 = std::time::Instant::now();
+        let summary = s.summarise(&arena, root);
+        tree_secs = tree_secs.min(t0.elapsed().as_secs_f64());
+        tree_hash = std::hint::black_box(summary.structure.hash);
+        merge_ops = s.merge_ops;
+    }
+
+    // Tree tier disabled: the sorted-Vec spill all the way up — the
+    // honest pre-tier baseline this PR removes from the hot path.
+    let mut vec_secs = f64::INFINITY;
+    let mut vec_hash = 0u64;
+    let mut vec_ops = 0u64;
+    for _ in 0..reps {
+        let mut s = HashedSummariser::new(&arena, &scheme);
+        s.set_tree_threshold(usize::MAX);
+        let t0 = std::time::Instant::now();
+        let summary = s.summarise(&arena, root);
+        vec_secs = vec_secs.min(t0.elapsed().as_secs_f64());
+        vec_hash = std::hint::black_box(summary.structure.hash);
+        vec_ops = s.merge_ops;
+    }
+
+    assert_eq!(
+        tree_hash, vec_hash,
+        "the tree tier is a representation change, not a semantics change"
+    );
+    assert_eq!(merge_ops, vec_ops, "Lemma 6.1 accounting must not move");
+    let speedup = vec_secs / tree_secs;
+    let tree_ns_per_op = tree_secs * 1e9 / merge_ops as f64;
+    let vec_ns_per_op = vec_secs * 1e9 / merge_ops as f64;
+
+    println!(
+        "  tree tier : {:>10} ({merge_ops} merge ops, {tree_ns_per_op:.1} ns/op)",
+        format_ms(tree_secs)
+    );
+    println!(
+        "  vec spill : {:>10} ({vec_ns_per_op:.1} ns/op)",
+        format_ms(vec_secs)
+    );
+    println!("  speedup   : {speedup:.1}x (floor {min_speedup:.1}x)");
+    assert!(
+        speedup >= min_speedup,
+        "tree tier must beat the Vec spill by >= {min_speedup:.1}x on the wide-open \
+         regime, got {speedup:.2}x ({tree_secs:.4}s vs {vec_secs:.4}s)"
+    );
+
+    // End to end: the spine and an alpha-renamed copy through a
+    // root-mode store — the merge of two width-{width} e-summaries must
+    // confirm, exactly, through the same tiered maps.
+    let copy = {
+        let scratch = std::mem::replace(&mut arena, ExprArena::new());
+        let root2 = uniquify_into(&scratch, root, &mut arena);
+        let root1 = arena.import_subtree(&scratch, root);
+        (root1, root2)
+    };
+    let store: AlphaStore<u64> = AlphaStore::builder().scheme(scheme).build();
+    let t0 = std::time::Instant::now();
+    store.insert_batch(&arena, &[copy.0, copy.1]);
+    let store_secs = t0.elapsed().as_secs_f64();
+    let stats = store.stats();
+    assert!(stats.is_exact(), "wide ingest must stay exact: {stats}");
+    assert_eq!(store.num_classes(), 1, "the copy is alpha-equivalent");
+    println!(
+        "  store     : {:>10} for spine + alpha-copy ({} classes, {} merges confirmed)",
+        format_ms(store_secs),
+        store.num_classes(),
+        stats.merges_confirmed
+    );
+
+    if !json_path.is_empty() {
+        let block = format!(
+            concat!(
+                "{{\n",
+                "    \"spine_nodes\": {size},\n",
+                "    \"sustained_width\": {width},\n",
+                "    \"reps\": {reps},\n",
+                "    \"merge_ops\": {merge_ops},\n",
+                "    \"tree_tier_secs\": {tree_secs:.6},\n",
+                "    \"vec_spill_secs\": {vec_secs:.6},\n",
+                "    \"speedup\": {speedup:.2},\n",
+                "    \"tree_ns_per_merge_op\": {tree_ns_per_op:.1},\n",
+                "    \"vec_ns_per_merge_op\": {vec_ns_per_op:.1},\n",
+                "    \"store_ingest_secs\": {store_secs:.6},\n",
+                "    \"merges_confirmed\": {merges},\n",
+                "    \"unconfirmed_merges\": {unconfirmed}\n",
+                "  }}"
+            ),
+            size = size,
+            width = width,
+            reps = reps,
+            merge_ops = merge_ops,
+            tree_secs = tree_secs,
+            vec_secs = vec_secs,
+            speedup = speedup,
+            tree_ns_per_op = tree_ns_per_op,
+            vec_ns_per_op = vec_ns_per_op,
+            store_secs = store_secs,
+            merges = stats.merges_confirmed,
+            unconfirmed = stats.unconfirmed_merges,
+        );
+        merge_json_block(&json_path, "widemap", &block);
+        println!("  merged \"widemap\" block into {json_path}");
+    }
+}

@@ -214,6 +214,57 @@ pub fn format_ms(secs: f64) -> String {
     }
 }
 
+/// Replaces (or appends) the top-level `"{key}"` block in the JSON
+/// report at `path`, preserving everything the other emitters wrote.
+/// The file format is the hand-rolled JSON the bench binaries produce,
+/// so a brace-matched splice is exact, not heuristic. `block` must be a
+/// complete JSON value whose closing brace is indented two spaces (the
+/// top-level member style of `BENCH_store.json`).
+///
+/// # Panics
+///
+/// Panics when the existing file is not a JSON object, or on I/O errors.
+pub fn merge_json_block(path: &str, key: &str, block: &str) {
+    let needle = format!("\"{key}\"");
+    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+    if let Some(at) = content.find(&needle) {
+        let open = at + content[at..].find('{').expect("existing block has a body");
+        let mut depth = 0usize;
+        let mut end = content.len();
+        for (i, b) in content.as_bytes().iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Back over the preceding comma/whitespace so the splice point
+        // sits right after the previous block.
+        let mut start = at;
+        while start > 0 && content.as_bytes()[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        if start > 0 && content.as_bytes()[start - 1] == b',' {
+            start -= 1;
+        }
+        content.replace_range(start..end, "");
+    }
+    let trimmed_len = content.trim_end().len();
+    content.truncate(trimmed_len);
+    assert!(content.ends_with('}'), "{path} is not a JSON object");
+    content.truncate(content.len() - 1); // drop the final '}'
+    let body = content.trim_end();
+    let separator = if body.ends_with('{') { "" } else { "," };
+    let merged = format!("{body}{separator}\n  \"{key}\": {block}\n}}\n");
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 /// Log-spaced sizes (two points per decade) from `lo` to `hi` inclusive.
 pub fn half_decade_sizes(lo: usize, hi: usize) -> Vec<usize> {
     let mut sizes = Vec::new();

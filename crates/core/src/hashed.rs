@@ -205,39 +205,32 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
 
     #[inline]
     fn name_hash(&mut self, arena: &ExprArena, sym: Symbol) -> u64 {
-        let i = sym.index() as usize;
-        if i >= self.name_hashes.len() {
-            self.name_hashes.resize(i + 1, None);
-        }
-        match self.name_hashes[i] {
-            Some(h) => {
-                // Guard the one-arena contract: a summariser reused across
-                // arenas would serve stale hashes for re-used symbol
-                // indices. Debug builds recompute and compare.
-                debug_assert_eq!(
-                    h,
-                    self.scheme.var_name(arena.interner().resolve(sym)),
-                    "HashedSummariser reused across arenas: {sym:?} now names a different string"
-                );
-                h
-            }
-            None => {
-                self.name_cache_misses += 1;
-                let h = self.scheme.var_name(arena.interner().resolve(sym));
-                self.name_hashes[i] = Some(h);
-                h
-            }
-        }
+        lookup_name_hash(
+            &mut self.name_hashes,
+            &mut self.name_cache_misses,
+            arena,
+            self.scheme,
+            sym,
+        )
+    }
+
+    /// Retunes (or disables, with `usize::MAX`) the tree tier of this
+    /// summariser's variable maps — the sorted-Vec ablation knob the
+    /// wide-map bench uses to measure the tiers against each other.
+    pub fn set_tree_threshold(&mut self, threshold: usize) {
+        self.pool.set_tree_threshold(threshold);
     }
 
     /// §4.8 merge: fold the smaller map into the bigger one, tagging each
     /// moved entry with the parent structure's tag. Returns the merged map
     /// and whether the left map was the bigger one.
     ///
-    /// Only smaller-side entries count as merge operations (Lemma 6.1).
-    /// With flat storage the *work* is done either in place (when the
-    /// result fits inline) or as one linear merge-join of the two sorted
-    /// runs; bigger-side entries are copied but never transformed.
+    /// Only smaller-side entries count as merge operations (Lemma 6.1) —
+    /// counted here, in one tier-independent increment — while the
+    /// representation work happens in [`VarMapH::merge_from_smaller`]:
+    /// in place when the result fits inline, one linear merge-join of the
+    /// two sorted runs in the flat-spill tier, and an
+    /// O(m log(n/m + 1)) persistent-tree union in the tree tier.
     fn merge_smaller(
         &mut self,
         arena: &ExprArena,
@@ -255,66 +248,33 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
             smaller.recycle(&mut self.pool);
             return (bigger, left_bigger);
         }
+        self.merge_ops += smaller.len() as u64;
         let scheme = self.scheme;
-        let joined = |old: Option<PosH<H>>, small_pos: PosH<H>| {
+        let name_hashes = &mut self.name_hashes;
+        let misses = &mut self.name_cache_misses;
+        let mut nh = |sym: Symbol| lookup_name_hash(name_hashes, misses, arena, scheme, sym);
+        let mut join = |old: Option<PosH<H>>, small_pos: PosH<H>| {
             let size = 1 + old.map_or(0, |p| p.size) + small_pos.size;
             PosH {
                 hash: scheme.pt_join(size, tag, old.map(|p| p.hash), small_pos.hash),
                 size,
             }
         };
-
-        if bigger.len() + smaller.len() <= crate::flatmap::INLINE_CAP {
-            // Common case: everything stays inline; insert in place.
-            let mut bigger = bigger;
-            for &(sym, small_pos) in smaller.entries() {
-                self.merge_ops += 1;
-                let nh = self.name_hash(arena, sym);
-                let new_pos = joined(bigger.get(sym), small_pos);
-                bigger.upsert_pooled(scheme, sym, nh, new_pos, &mut self.pool);
-            }
-            smaller.recycle(&mut self.pool);
-            return (bigger, left_bigger);
-        }
-
-        // Wide case: one merge-join over the two sorted runs into a pooled
-        // buffer — O(|bigger| + |smaller|), no per-entry shifting.
-        let mut out = self.pool.take_buffer(bigger.len() + smaller.len());
-        let mut xor = bigger.hash();
-        let (big_run, small_run) = (bigger.entries(), smaller.entries());
-        let (mut bi, mut si) = (0usize, 0usize);
-        while si < small_run.len() {
-            let (sym, small_pos) = small_run[si];
-            // Copy bigger-only entries below the next smaller symbol.
-            while bi < big_run.len() && big_run[bi].0 < sym {
-                out.push(big_run[bi]);
-                bi += 1;
-            }
-            self.merge_ops += 1;
-            let nh = self.name_hash(arena, sym);
-            let old = if bi < big_run.len() && big_run[bi].0 == sym {
-                let old = big_run[bi].1;
-                xor = xor.xor(scheme.entry(nh, old.hash));
-                bi += 1;
-                Some(old)
-            } else {
-                None
-            };
-            let new_pos = joined(old, small_pos);
-            xor = xor.xor(scheme.entry(nh, new_pos.hash));
-            out.push((sym, new_pos));
-            si += 1;
-        }
-        out.extend_from_slice(&big_run[bi..]);
-        bigger.recycle(&mut self.pool);
-        smaller.recycle(&mut self.pool);
-        (VarMapH::from_sorted(out, xor, &mut self.pool), left_bigger)
+        let merged = VarMapH::merge_from_smaller(
+            bigger,
+            smaller,
+            scheme,
+            &mut self.pool,
+            &mut nh,
+            &mut join,
+        );
+        (merged, left_bigger)
     }
 
     /// §4.6 merge: wrap every left entry `LeftOnly`, every right entry
     /// `RightOnly`, and both-sides entries `Both`. Touches every entry —
     /// the quadratic baseline for the ablation. Implemented as one
-    /// merge-join over the sorted runs.
+    /// merge-join over the two sorted iterations (tier-agnostic).
     fn merge_both(
         &mut self,
         arena: &ExprArena,
@@ -324,47 +284,51 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
         let scheme = self.scheme;
         let mut out = self.pool.take_buffer(left.len() + right.len());
         let mut xor = H::ZERO;
-        let (lrun, rrun) = (left.entries(), right.entries());
-        let (mut li, mut ri) = (0usize, 0usize);
-        while li < lrun.len() || ri < rrun.len() {
-            self.merge_ops += 1;
-            let take_left = ri >= rrun.len() || (li < lrun.len() && lrun[li].0 <= rrun[ri].0);
-            let (sym, pos) = if take_left && ri < rrun.len() && lrun[li].0 == rrun[ri].0 {
-                let ((sym, lp), (_, rp)) = (lrun[li], rrun[ri]);
-                li += 1;
-                ri += 1;
-                let size = 1 + lp.size + rp.size;
-                (
-                    sym,
-                    PosH {
-                        hash: scheme.pt_both(size, lp.hash, rp.hash),
-                        size,
-                    },
-                )
-            } else if take_left {
-                let (sym, lp) = lrun[li];
-                li += 1;
-                (
-                    sym,
-                    PosH {
-                        hash: scheme.pt_left(1 + lp.size, lp.hash),
-                        size: 1 + lp.size,
-                    },
-                )
-            } else {
-                let (sym, rp) = rrun[ri];
-                ri += 1;
-                (
-                    sym,
-                    PosH {
-                        hash: scheme.pt_right(1 + rp.size, rp.hash),
-                        size: 1 + rp.size,
-                    },
-                )
-            };
-            let nh = self.name_hash(arena, sym);
-            xor = xor.xor(scheme.entry(nh, pos.hash));
-            out.push((sym, pos));
+        {
+            let mut li = left.iter().peekable();
+            let mut ri = right.iter().peekable();
+            loop {
+                let (sym, pos) = match (li.peek().copied(), ri.peek().copied()) {
+                    (None, None) => break,
+                    (Some((ls, lp)), Some((rs, rp))) if ls == rs => {
+                        li.next();
+                        ri.next();
+                        let size = 1 + lp.size + rp.size;
+                        (
+                            ls,
+                            PosH {
+                                hash: scheme.pt_both(size, lp.hash, rp.hash),
+                                size,
+                            },
+                        )
+                    }
+                    (Some((ls, lp)), r) if r.is_none_or(|(rs, _)| ls < rs) => {
+                        li.next();
+                        (
+                            ls,
+                            PosH {
+                                hash: scheme.pt_left(1 + lp.size, lp.hash),
+                                size: 1 + lp.size,
+                            },
+                        )
+                    }
+                    (_, Some((rs, rp))) => {
+                        ri.next();
+                        (
+                            rs,
+                            PosH {
+                                hash: scheme.pt_right(1 + rp.size, rp.hash),
+                                size: 1 + rp.size,
+                            },
+                        )
+                    }
+                    (Some(_), None) => unreachable!("covered by the left-only arm"),
+                };
+                self.merge_ops += 1;
+                let nh = self.name_hash(arena, sym);
+                xor = xor.xor(scheme.entry(nh, pos.hash));
+                out.push((sym, pos));
+            }
         }
         left.recycle(&mut self.pool);
         right.recycle(&mut self.pool);
@@ -559,6 +523,42 @@ impl<'s, H: HashWord> HashedSummariser<'s, H> {
         let mut out = SubtreeHashes::new(arena.len());
         self.summarise_impl(arena, root, &mut |node, hash| out.set(node, hash));
         out
+    }
+}
+
+/// The summariser's lazily-filled per-symbol name-hash cache, as a free
+/// function over its split-out fields so merge callbacks can resolve
+/// names while other summariser fields stay independently borrowed.
+#[inline]
+fn lookup_name_hash<H: HashWord>(
+    cache: &mut Vec<Option<u64>>,
+    misses: &mut u64,
+    arena: &ExprArena,
+    scheme: &HashScheme<H>,
+    sym: Symbol,
+) -> u64 {
+    let i = sym.index() as usize;
+    if i >= cache.len() {
+        cache.resize(i + 1, None);
+    }
+    match cache[i] {
+        Some(h) => {
+            // Guard the one-arena contract: a summariser reused across
+            // arenas would serve stale hashes for re-used symbol
+            // indices. Debug builds recompute and compare.
+            debug_assert_eq!(
+                h,
+                scheme.var_name(arena.interner().resolve(sym)),
+                "HashedSummariser reused across arenas: {sym:?} now names a different string"
+            );
+            h
+        }
+        None => {
+            *misses += 1;
+            let h = scheme.var_name(arena.interner().resolve(sym));
+            cache[i] = Some(h);
+            h
+        }
     }
 }
 

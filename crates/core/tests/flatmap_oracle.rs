@@ -6,6 +6,15 @@
 //! their symbol-sorted order), lookup results, and the §4.8
 //! merge-direction decision — at all three benchmark-relevant hash widths
 //! (the Appendix B u16, the default u64, the Theorem 6.8 u128).
+//!
+//! Every scenario runs at three tree thresholds — forced-low (4: the
+//! persistent-tree tier engages almost immediately), the production
+//! default, and disabled (`usize::MAX`: sorted-Vec spill only) — so one
+//! generated op sequence exercises inline↔Vec↔tree promotions and
+//! demotions, and all three configurations must agree with the oracle
+//! *and therefore with each other*. The pool is shared across both maps,
+//! the merge, and a post-recycle replay, so recycled buffers flow
+//! between tiers the way the summariser's do.
 
 use alpha_hash::combine::{HashScheme, HashWord};
 use alpha_hash::flatmap::{FlatVarMap, MapPool};
@@ -16,9 +25,9 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 /// Universe of symbols the generated sequences draw from. Big enough to
-/// exercise the spill path (> inline capacity), small enough that inserts
-/// and removes collide often.
-const UNIVERSE: u32 = 24;
+/// push maps through the Vec spill *and* across the tree threshold (>32),
+/// small enough that inserts and removes collide often.
+const UNIVERSE: u32 = 96;
 
 /// One scripted map operation. Symbols and position variety are encoded
 /// as small integers so cases print readably on failure.
@@ -29,10 +38,15 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..UNIVERSE, 1u64..64).prop_map(|(s, v)| Op::Insert(s, v)),
-        (0u32..UNIVERSE).prop_map(Op::Remove),
-    ]
+    // Insert-biased (3:1) so runs actually climb past the tree threshold
+    // instead of hovering near empty.
+    (0u32..4, 0u32..UNIVERSE, 1u64..64).prop_map(|(kind, s, v)| {
+        if kind == 0 {
+            Op::Remove(s)
+        } else {
+            Op::Insert(s, v)
+        }
+    })
 }
 
 /// The oracle: a plain `BTreeMap` plus the from-scratch XOR fold the flat
@@ -61,10 +75,10 @@ fn run_ops<H: HashWord>(
     scheme: &HashScheme<H>,
     name_hashes: &[u64],
     ops: &[Op],
+    pool: &mut MapPool<H>,
 ) -> Result<(FlatVarMap<H>, Oracle<H>), TestCaseError> {
     let mut flat = FlatVarMap::<H>::new();
     let mut oracle = Oracle::<H>::new();
-    let mut pool = MapPool::new();
     for &op in ops {
         match op {
             Op::Insert(s, v) => {
@@ -74,7 +88,7 @@ fn run_ops<H: HashWord>(
                     hash: scheme.pt_left(v, scheme.pt_here()),
                     size: v,
                 };
-                let old_flat = flat.upsert_pooled(scheme, sym, nh, pos, &mut pool);
+                let old_flat = flat.upsert_pooled(scheme, sym, nh, pos, pool);
                 let old_oracle = oracle.map.insert(sym, pos);
                 prop_assert_eq!(old_flat, old_oracle, "upsert old value");
             }
@@ -85,6 +99,14 @@ fn run_ops<H: HashWord>(
                 let removed_oracle = oracle.map.remove(&sym);
                 prop_assert_eq!(removed_flat, removed_oracle, "remove result");
             }
+        }
+        // Tier invariant: whatever representation the map is in, it must
+        // only be the tree past the pool's threshold.
+        if flat.is_tree() {
+            prop_assert!(
+                flat.len() > alpha_hash::flatmap::INLINE_CAP,
+                "tree tier below inline capacity"
+            );
         }
         check_equivalent(scheme, name_hashes, &flat, &oracle)?;
     }
@@ -115,14 +137,15 @@ fn check_equivalent<H: HashWord>(
 
 /// The §4.8 merge on both representations: smaller folded into bigger
 /// with `pt_join`, tagging by `tag`. Checks the merge-direction decision
-/// and the merged result agree.
+/// and the merged result agree. Returns the merged pair.
 fn run_merge<H: HashWord>(
     scheme: &HashScheme<H>,
     name_hashes: &[u64],
     tag: u64,
     left: (FlatVarMap<H>, Oracle<H>),
     right: (FlatVarMap<H>, Oracle<H>),
-) -> Result<(), TestCaseError> {
+    pool: &mut MapPool<H>,
+) -> Result<(FlatVarMap<H>, Oracle<H>), TestCaseError> {
     // Merge-direction decision: both representations must report the same
     // sizes, hence pick the same side as "bigger" (ties choose left).
     let flat_left_bigger = left.0.len() >= right.0.len();
@@ -135,7 +158,6 @@ fn run_merge<H: HashWord>(
         (right.0, left.0, right.1, left.1)
     };
 
-    let mut pool = MapPool::new();
     for (sym, small_pos) in small_flat.iter() {
         let nh = name_hashes[sym.index() as usize];
 
@@ -148,37 +170,65 @@ fn run_merge<H: HashWord>(
             hash: scheme.pt_join(size, tag, old_flat.map(|p| p.hash), small_pos.hash),
             size,
         };
-        big_flat.upsert_pooled(scheme, sym, nh, joined, &mut pool);
+        big_flat.upsert_pooled(scheme, sym, nh, joined, pool);
         big_oracle.map.insert(sym, joined);
     }
     drop(small_oracle);
-    check_equivalent(scheme, name_hashes, &big_flat, &big_oracle)
+    check_equivalent(scheme, name_hashes, &big_flat, &big_oracle)?;
+    Ok((big_flat, big_oracle))
 }
 
-/// Drives the whole scenario at one width.
+/// Drives the whole scenario at one width and one tree threshold: two op
+/// runs sharing a pool, a merge, then a recycle and a replay of the first
+/// run on the recycled buffers.
+fn scenario_at<H: HashWord>(
+    seed: u64,
+    ops_a: &[Op],
+    ops_b: &[Op],
+    tag: u64,
+    threshold: usize,
+) -> Result<(), TestCaseError> {
+    let scheme: HashScheme<H> = HashScheme::new(seed);
+    let name_hashes: Vec<u64> = (0..UNIVERSE)
+        .map(|i| scheme.var_name(&format!("v{i}")))
+        .collect();
+    let mut pool = MapPool::with_tree_threshold(threshold);
+    let a = run_ops(&scheme, &name_hashes, ops_a, &mut pool)?;
+    let b = run_ops(&scheme, &name_hashes, ops_b, &mut pool)?;
+    let merged = run_merge(&scheme, &name_hashes, tag, a, b, &mut pool)?;
+    // Pool recycling: give the merged map's buffers back, then replay the
+    // first run — its spills must be bit-identical on recycled storage.
+    merged.0.recycle(&mut pool);
+    let _ = run_ops(&scheme, &name_hashes, ops_a, &mut pool)?;
+    Ok(())
+}
+
+/// All three tiers' worth of thresholds for one generated case: the tree
+/// tier forced low, the production default, and disabled entirely.
 fn scenario<H: HashWord>(
     seed: u64,
     ops_a: &[Op],
     ops_b: &[Op],
     tag: u64,
 ) -> Result<(), TestCaseError> {
-    let scheme: HashScheme<H> = HashScheme::new(seed);
-    let name_hashes: Vec<u64> = (0..UNIVERSE)
-        .map(|i| scheme.var_name(&format!("v{i}")))
-        .collect();
-    let a = run_ops(&scheme, &name_hashes, ops_a)?;
-    let b = run_ops(&scheme, &name_hashes, ops_b)?;
-    run_merge(&scheme, &name_hashes, tag, a, b)
+    for threshold in [
+        4usize,
+        alpha_hash::flatmap::SPILL_TREE_THRESHOLD,
+        usize::MAX,
+    ] {
+        scenario_at::<H>(seed, ops_a, ops_b, tag, threshold)?;
+    }
+    Ok(())
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn flat_map_matches_btreemap_oracle_u16(
         seed in any::<u64>(),
-        ops_a in vec(op_strategy(), 0..60),
-        ops_b in vec(op_strategy(), 0..60),
+        ops_a in vec(op_strategy(), 0..140),
+        ops_b in vec(op_strategy(), 0..140),
         tag in 1u64..1000,
     ) {
         scenario::<u16>(seed, &ops_a, &ops_b, tag)?;
@@ -187,8 +237,8 @@ proptest! {
     #[test]
     fn flat_map_matches_btreemap_oracle_u64(
         seed in any::<u64>(),
-        ops_a in vec(op_strategy(), 0..60),
-        ops_b in vec(op_strategy(), 0..60),
+        ops_a in vec(op_strategy(), 0..140),
+        ops_b in vec(op_strategy(), 0..140),
         tag in 1u64..1000,
     ) {
         scenario::<u64>(seed, &ops_a, &ops_b, tag)?;
@@ -197,10 +247,33 @@ proptest! {
     #[test]
     fn flat_map_matches_btreemap_oracle_u128(
         seed in any::<u64>(),
-        ops_a in vec(op_strategy(), 0..60),
-        ops_b in vec(op_strategy(), 0..60),
+        ops_a in vec(op_strategy(), 0..140),
+        ops_b in vec(op_strategy(), 0..140),
         tag in 1u64..1000,
     ) {
         scenario::<u128>(seed, &ops_a, &ops_b, tag)?;
+    }
+
+    /// Directed promotion/demotion sweep: fill past the threshold (tree),
+    /// drain back under the inline capacity (inline), refill — checking
+    /// the oracle at every step. Catches hysteresis bugs the random walks
+    /// may reach rarely.
+    #[test]
+    fn tier_promotion_demotion_round_trip(
+        seed in any::<u64>(),
+        high in 40u32..UNIVERSE,
+        low in 0u32..6,
+    ) {
+        let mut ops: Vec<Op> = Vec::new();
+        for s in 0..high {
+            ops.push(Op::Insert(s, u64::from(s % 60) + 1));
+        }
+        for s in low..high {
+            ops.push(Op::Remove(s));
+        }
+        for s in 0..high / 2 {
+            ops.push(Op::Insert(s, u64::from(s % 50) + 2));
+        }
+        scenario::<u64>(seed, &ops, &[], 7)?;
     }
 }

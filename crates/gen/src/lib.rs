@@ -12,6 +12,9 @@
 //! * [`models`] — synthetic stand-ins for the §7.2 real-life expressions:
 //!   MNIST-CNN (n≈840), GMM (n≈1810) and BERT with a layer knob
 //!   (n≈12975 at 12 layers), for Table 2 and Figure 3.
+//! * [`wide`] — open application spines that sustain a configurable
+//!   free-variable width, the context-sensitive-corpus regime where
+//!   e-summary maps stay wide (the tiered var-map's target workload).
 //!
 //! All generators produce expressions whose binding sites are distinct
 //! (the §2.2 precondition), so they can be hashed directly.
@@ -23,8 +26,10 @@ pub mod adversarial;
 pub mod arith;
 pub mod models;
 pub mod random_terms;
+pub mod wide;
 
 pub use adversarial::adversarial_pair;
 pub use arith::arithmetic;
 pub use models::{bert, gmm, mnist_cnn};
 pub use random_terms::{balanced, unbalanced};
+pub use wide::wide_open_spine;

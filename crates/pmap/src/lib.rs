@@ -158,6 +158,42 @@ impl<K: Ord + Hash + Clone, V: Clone> PMap<K, V> {
         iter
     }
 
+    /// Unions `smaller` into `self` (the bigger map), calling `join`
+    /// **exactly once per entry of `smaller`** — with the bigger map's
+    /// value for that key if present — to decide the merged value. Keys
+    /// present only in `self` keep their value without a `join` call,
+    /// which is what makes this the §4.8 smaller-into-bigger merge: the
+    /// work (and the Lemma 6.1 `merge_ops` accounting the caller keeps)
+    /// is proportional to the smaller side.
+    ///
+    /// The recursion is priority-directed (the higher-priority root wins
+    /// and the other tree is split by its key), which gives the classic
+    /// O(m log(n/m + 1)) bound for m = `smaller.len()`, n = `self.len()`
+    /// — degrading gracefully to O(n + m) when the maps interleave and to
+    /// O(m log n) when `smaller` is tiny. Because priorities derive
+    /// deterministically from keys, the result has the canonical shape
+    /// for its key set no matter how the union interleaved.
+    ///
+    /// `join` call order is **unspecified** (it follows the tree
+    /// structure, not key order); callers must fold with commutative
+    /// state, as the XOR map-hash does.
+    pub fn union_join(
+        &self,
+        smaller: &Self,
+        mut join: impl FnMut(&K, Option<&V>, &V) -> V,
+    ) -> Self {
+        PMap {
+            root: union_rec(&self.root, &smaller.root, &mut join),
+        }
+    }
+
+    /// Splits into (entries < `key`, value at `key`, entries > `key`).
+    /// Both sides share structure with `self`. O(log n) expected.
+    pub fn split(&self, key: &K) -> (Self, Option<V>, Self) {
+        let (l, v, r) = split_rec(&self.root, key);
+        (PMap { root: l }, v, PMap { root: r })
+    }
+
     /// In-order iterator over keys.
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.iter().map(|(k, _)| k)
@@ -279,6 +315,97 @@ fn remove_rec<K: Ord + Hash + Clone, V: Clone>(
             (Some(rebuild(node, node.left.clone(), new_right)), old)
         }
     }
+}
+
+fn split_rec<K: Ord + Hash + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: &K,
+) -> (Link<K, V>, Option<V>, Link<K, V>) {
+    let Some(node) = link else {
+        return (None, None, None);
+    };
+    match key.cmp(&node.key) {
+        std::cmp::Ordering::Equal => (
+            node.left.clone(),
+            Some(node.value.clone()),
+            node.right.clone(),
+        ),
+        std::cmp::Ordering::Less => {
+            let (ll, v, lr) = split_rec(&node.left, key);
+            (ll, v, Some(rebuild(node, lr, node.right.clone())))
+        }
+        std::cmp::Ordering::Greater => {
+            let (rl, v, rr) = split_rec(&node.right, key);
+            (Some(rebuild(node, node.left.clone(), rl)), v, rr)
+        }
+    }
+}
+
+/// Priority-directed union: the higher-priority root becomes the result
+/// root and the other tree is split by its key. `join` fires once per
+/// node that originated in `small` (see [`PMap::union_join`]).
+fn union_rec<K: Ord + Hash + Clone, V: Clone, F: FnMut(&K, Option<&V>, &V) -> V>(
+    big: &Link<K, V>,
+    small: &Link<K, V>,
+    join: &mut F,
+) -> Link<K, V> {
+    match (big, small) {
+        (b, None) => b.clone(),
+        (None, Some(_)) => map_absent(small, join),
+        (Some(b), Some(s)) => {
+            if b.priority >= s.priority {
+                let (sl, sv, sr) = split_rec(small, &b.key);
+                let left = union_rec(&b.left, &sl, join);
+                let right = union_rec(&b.right, &sr, join);
+                let value = match &sv {
+                    Some(v) => join(&b.key, Some(&b.value), v),
+                    None => b.value.clone(),
+                };
+                Some(Arc::new(TreapNode {
+                    key: b.key.clone(),
+                    value,
+                    priority: b.priority,
+                    size: 1 + size(&left) + size(&right),
+                    left,
+                    right,
+                }))
+            } else {
+                let (bl, bv, br) = split_rec(big, &s.key);
+                let left = union_rec(&bl, &s.left, join);
+                let right = union_rec(&br, &s.right, join);
+                let value = join(&s.key, bv.as_ref(), &s.value);
+                Some(Arc::new(TreapNode {
+                    key: s.key.clone(),
+                    value,
+                    priority: s.priority,
+                    size: 1 + size(&left) + size(&right),
+                    left,
+                    right,
+                }))
+            }
+        }
+    }
+}
+
+/// Rebuilds a small-only subtree, applying `join(key, None, value)` to
+/// every entry (shape and priorities preserved).
+fn map_absent<K: Clone, V: Clone, F: FnMut(&K, Option<&V>, &V) -> V>(
+    link: &Link<K, V>,
+    join: &mut F,
+) -> Link<K, V> {
+    link.as_ref().map(|n| {
+        let left = map_absent(&n.left, join);
+        let value = join(&n.key, None, &n.value);
+        let right = map_absent(&n.right, join);
+        Arc::new(TreapNode {
+            key: n.key.clone(),
+            value,
+            priority: n.priority,
+            size: n.size,
+            left,
+            right,
+        })
+    })
 }
 
 /// Merges two treaps where every key in `a` precedes every key in `b`.
@@ -476,6 +603,66 @@ mod tests {
             m = m.remove(&i).0;
         }
         assert_eq!(m.len(), 50_000);
+    }
+
+    #[test]
+    fn split_partitions_around_key() {
+        let m: PMap<i32, i32> = (0..20).map(|i| (i, i * 10)).collect();
+        let (lo, mid, hi) = m.split(&7);
+        assert_eq!(mid, Some(70));
+        assert_eq!(
+            lo.keys().copied().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            hi.keys().copied().collect::<Vec<_>>(),
+            (8..20).collect::<Vec<_>>()
+        );
+        let (lo2, none, hi2) = m.split(&100);
+        assert_eq!(none, None);
+        assert_eq!(lo2.len(), 20);
+        assert!(hi2.is_empty());
+        assert_eq!(m.len(), 20); // original untouched
+    }
+
+    #[test]
+    fn union_join_matches_btreemap_oracle() {
+        use std::collections::BTreeMap;
+        // Overlapping, disjoint, and nested key sets, several sizes.
+        let cases: &[(Vec<i32>, Vec<i32>)] = &[
+            (vec![], vec![1, 2, 3]),
+            (vec![1, 2, 3], vec![]),
+            ((0..50).collect(), (25..60).collect()),
+            ((0..100).step_by(2).collect(), (1..100).step_by(2).collect()),
+            ((0..100).collect(), vec![13, 42, 77]),
+        ];
+        for (big_keys, small_keys) in cases {
+            let big: PMap<i32, i64> = big_keys.iter().map(|&k| (k, i64::from(k))).collect();
+            let small: PMap<i32, i64> = small_keys
+                .iter()
+                .map(|&k| (k, i64::from(k) * 100))
+                .collect();
+            let mut joins = 0usize;
+            let merged = big.union_join(&small, |_k, old, new| {
+                joins += 1;
+                old.copied().unwrap_or(0) + new
+            });
+            assert_eq!(joins, small.len(), "join fires once per smaller entry");
+            let mut oracle: BTreeMap<i32, i64> = big.iter().map(|(k, v)| (*k, *v)).collect();
+            for (k, v) in small.iter() {
+                let old = oracle.get(k).copied();
+                oracle.insert(*k, old.unwrap_or(0) + v);
+            }
+            let got: BTreeMap<i32, i64> = merged.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, oracle);
+            // Canonical shape: same contents built by insertion compare
+            // equal in Debug form too (deterministic priorities).
+            let rebuilt: PMap<i32, i64> = oracle.into_iter().collect();
+            assert_eq!(format!("{merged:?}"), format!("{rebuilt:?}"));
+            // Inputs unchanged.
+            assert_eq!(big.len(), big_keys.len());
+            assert_eq!(small.len(), small_keys.len());
+        }
     }
 
     #[test]

@@ -27,12 +27,12 @@
 //!
 //! ## Concurrency
 //!
-//! The table is sharded by node hash ([`TABLE_SHARDS`] stripes). Each
-//! stripe holds its nodes in an append-only `RwLock<Vec<CanonNode>>` plus
-//! an interning map behind a `Mutex`. Readers use a [`TableView`], which
-//! lazily caches one read guard per touched stripe so a whole compare or
-//! extraction walk costs at most [`TABLE_SHARDS`] lock acquisitions, not
-//! one per node. Lock order: store locks are always taken **before**
+//! The table is sharded by node hash ([`DEFAULT_TABLE_SHARDS`] stripes
+//! unless the builder configures another power of two). Each stripe holds
+//! its nodes in an append-only `RwLock<Vec<CanonNode>>` plus an interning
+//! map behind a `Mutex`. Readers use a [`TableView`], which lazily caches
+//! one read guard per stripe so a whole compare or extraction walk costs
+//! one batch of lock acquisitions, not one per node. Lock order: store locks are always taken **before**
 //! table locks (maintenance → WAL → store shards → canon table), and
 //! interning never holds more than one table lock at a time, so the lock
 //! graph is acyclic. A [`TableView`] must be [released](TableView::release)
@@ -48,33 +48,48 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
-/// Number of lock stripes in a [`CanonTable`]. Fixed (not configurable):
-/// refs pack the stripe into their low bits, and nothing on disk depends
-/// on it (serialization uses flat topological positions, not refs).
-pub(crate) const TABLE_SHARDS: usize = 16;
-const TABLE_SHARD_BITS: u32 = 4;
+/// Default number of lock stripes in a [`CanonTable`] — the value the
+/// table always used before stripe counts became builder-configurable.
+/// Refs pack the stripe into their low bits, but nothing **on disk**
+/// depends on the count (serialization uses flat topological positions,
+/// not refs), so it is a per-process concurrency knob: the same
+/// directory can be reopened under any stripe count.
+pub(crate) const DEFAULT_TABLE_SHARDS: usize = 16;
 
-#[inline]
-fn pack_ref(shard: usize, index: u32) -> CanonRef {
-    debug_assert!(shard < TABLE_SHARDS);
-    // A hard check, not a debug_assert: a truncated shift would alias two
-    // distinct nodes under one ref, silently breaking the hash-consing
-    // invariant (ref equality ⟺ term identity) the store's exactness
-    // rests on. 2^28 nodes per stripe is the packing's capacity limit.
-    assert!(
-        index < (1 << (32 - TABLE_SHARD_BITS)),
-        "canon table stripe overflow: {index} does not fit a packed CanonRef"
-    );
-    CanonRef::from_bits((index << TABLE_SHARD_BITS) | shard as u32)
+/// Largest permitted stripe count: 8 stripe bits still leave 2^24 nodes
+/// of packed-ref capacity per stripe, and lock stripes beyond the core
+/// count stop paying for themselves long before 256.
+pub(crate) const MAX_TABLE_SHARDS: usize = 256;
+
+/// The adaptive stripe default: enough stripes to cover the machine's
+/// cores, never fewer than the classic 16 (so small boxes keep exactly
+/// the historical layout and its benchmark numbers), never more than
+/// [`MAX_TABLE_SHARDS`].
+pub(crate) fn default_table_shards() -> usize {
+    std::thread::available_parallelism()
+        .map_or(DEFAULT_TABLE_SHARDS, |n| n.get().next_power_of_two())
+        .clamp(DEFAULT_TABLE_SHARDS, MAX_TABLE_SHARDS)
 }
 
 #[inline]
-fn unpack_ref(r: CanonRef) -> (usize, usize) {
+fn pack_ref(shard_bits: u32, shard: usize, index: u32) -> CanonRef {
+    // A hard check, not a debug_assert: a truncated shift would alias two
+    // distinct nodes under one ref, silently breaking the hash-consing
+    // invariant (ref equality ⟺ term identity) the store's exactness
+    // rests on. 2^(32-bits) nodes per stripe is the packing's capacity.
+    assert!(
+        // u64 shift: with a single stripe `shard_bits` is 0 and the
+        // capacity is the full 2^32, which a u32 shift cannot express.
+        (index as u64) < (1u64 << (32 - shard_bits)),
+        "canon table stripe overflow: {index} does not fit a packed CanonRef"
+    );
+    CanonRef::from_bits((index << shard_bits) | shard as u32)
+}
+
+#[inline]
+fn unpack_ref(shard_bits: u32, shard_mask: u32, r: CanonRef) -> (usize, usize) {
     let bits = r.to_bits();
-    (
-        (bits & (TABLE_SHARDS as u32 - 1)) as usize,
-        (bits >> TABLE_SHARD_BITS) as usize,
-    )
+    ((bits & shard_mask) as usize, (bits >> shard_bits) as usize)
 }
 
 /// A fast, deterministic hasher for [`CanonNode`] interning maps and for
@@ -152,6 +167,10 @@ impl TableShard {
 /// prepared entry holds [`CanonRef`]s into it.
 pub(crate) struct CanonTable {
     shards: Vec<TableShard>,
+    /// log2 of the stripe count: how far packed refs shift their index.
+    shard_bits: u32,
+    /// Stripe count minus one, for masking node hashes and packed refs.
+    shard_mask: u32,
     names: RwLock<Vec<Box<str>>>,
     name_map: Mutex<HashMap<Box<str>, u32>>,
     /// Intern probes answered from the table (node already resident).
@@ -164,9 +183,25 @@ pub(crate) struct CanonTable {
 }
 
 impl CanonTable {
+    /// A table with the default stripe count. Production stores size the
+    /// table through the builder; this is the test shorthand.
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Self::with_shards(DEFAULT_TABLE_SHARDS)
+    }
+
+    /// A table with `count` lock stripes. `count` must be a power of two
+    /// in `1..=`[`MAX_TABLE_SHARDS`] — the builder validates before
+    /// calling, so violation here is a store bug, not bad user input.
+    pub(crate) fn with_shards(count: usize) -> Self {
+        assert!(
+            count.is_power_of_two() && count <= MAX_TABLE_SHARDS,
+            "canon table stripe count must be a power of two in 1..={MAX_TABLE_SHARDS}, got {count}"
+        );
         CanonTable {
-            shards: (0..TABLE_SHARDS).map(|_| TableShard::new()).collect(),
+            shards: (0..count).map(|_| TableShard::new()).collect(),
+            shard_bits: count.trailing_zeros(),
+            shard_mask: count as u32 - 1,
             names: RwLock::new(Vec::new()),
             name_map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -174,15 +209,20 @@ impl CanonTable {
         }
     }
 
+    /// Number of lock stripes this table was built with.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Interns one node (children already interned), returning its ref.
     /// Idempotent: equal nodes always return the same ref.
     pub(crate) fn intern_node(&self, node: CanonNode) -> CanonRef {
-        let shard = (node_hash(&node) as usize) & (TABLE_SHARDS - 1);
+        let shard = (node_hash(&node) & u64::from(self.shard_mask)) as usize;
         let stripe = &self.shards[shard];
         let mut map = stripe.map.lock().expect("canon map poisoned");
         if let Some(&index) = map.get(&node) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return pack_ref(shard, index);
+            return pack_ref(self.shard_bits, shard, index);
         }
         let mut nodes = stripe.nodes.write().expect("canon nodes poisoned");
         let index = u32::try_from(nodes.len()).expect("canon stripe overflow");
@@ -190,7 +230,7 @@ impl CanonTable {
         drop(nodes);
         map.insert(node, index);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        pack_ref(shard, index)
+        pack_ref(self.shard_bits, shard, index)
     }
 
     /// `(hits, misses)` of the intern probes since construction — the
@@ -274,7 +314,10 @@ pub(crate) struct TableView<'t> {
 
 /// The acquired read guards: every node stripe plus the name table.
 pub(crate) struct ViewGuards<'t> {
-    nodes: [RwLockReadGuard<'t, Vec<CanonNode>>; TABLE_SHARDS],
+    nodes: Vec<RwLockReadGuard<'t, Vec<CanonNode>>>,
+    /// Copied from the owning table so ref unpacking needs no extra hop.
+    shard_bits: u32,
+    shard_mask: u32,
     names: RwLockReadGuard<'t, Vec<Box<str>>>,
 }
 
@@ -282,7 +325,7 @@ impl ViewGuards<'_> {
     /// The node behind `r` — two array indexes, no locking.
     #[inline]
     pub(crate) fn node(&self, r: CanonRef) -> CanonNode {
-        let (shard, index) = unpack_ref(r);
+        let (shard, index) = unpack_ref(self.shard_bits, self.shard_mask, r);
         self.nodes[shard][index]
     }
 
@@ -293,11 +336,12 @@ impl ViewGuards<'_> {
     }
 
     /// Flattens the guard set to plain slices — hot walks resolve these
-    /// once and then read nodes with a single dependent load each,
-    /// instead of re-dereferencing a guard per node.
+    /// once per walk and then read nodes with a single dependent load
+    /// each, instead of re-dereferencing a guard per node. One small
+    /// allocation per walk, amortised over its whole node count.
     #[inline]
-    pub(crate) fn slices(&self) -> [&[CanonNode]; TABLE_SHARDS] {
-        std::array::from_fn(|i| self.nodes[i].as_slice())
+    pub(crate) fn slices(&self) -> Vec<&[CanonNode]> {
+        self.nodes.iter().map(|g| g.as_slice()).collect()
     }
 }
 
@@ -314,12 +358,13 @@ impl<'t> TableView<'t> {
     pub(crate) fn guards(&mut self) -> &ViewGuards<'t> {
         let table = self.table;
         self.guards.get_or_insert_with(|| ViewGuards {
-            nodes: std::array::from_fn(|shard| {
-                table.shards[shard]
-                    .nodes
-                    .read()
-                    .expect("canon nodes poisoned")
-            }),
+            nodes: table
+                .shards
+                .iter()
+                .map(|s| s.nodes.read().expect("canon nodes poisoned"))
+                .collect(),
+            shard_bits: table.shard_bits,
+            shard_mask: table.shard_mask,
             names: table.names.read().expect("names poisoned"),
         })
     }
@@ -361,9 +406,10 @@ pub(crate) fn eq_frontier(
     // Acquire the guard set once and flatten it to slices; the walk then
     // costs one dependent load per table node, like an arena walk.
     let guards = view.guards();
+    let (shard_bits, shard_mask) = (guards.shard_bits, guards.shard_mask);
     let slices = guards.slices();
     let node_at = |r: CanonRef| {
-        let (shard, index) = unpack_ref(r);
+        let (shard, index) = unpack_ref(shard_bits, shard_mask, r);
         slices[shard][index]
     };
     let mut stack: Vec<(CanonRef, DbId)> = vec![(cref, root)];
@@ -580,6 +626,44 @@ mod tests {
         let (out, out_root) = extract_one(&mut view, cref);
         assert_eq!(out.len(), 120_001);
         assert!(matches!(out.node(out_root), DbNode::Lam(_)));
+    }
+
+    #[test]
+    fn stripe_counts_are_interchangeable_views_of_the_same_terms() {
+        // The stripe count is a per-process concurrency knob: the same
+        // corpus interned under 1, 4, or 256 stripes yields identical
+        // equality structure (refs differ in packing only).
+        let sources = [r"\x. x + y", r"\p. p + y", r"\q. q + z", "v * (v + 1)"];
+        let canons: Vec<(DbArena, DbId)> = sources.iter().map(|s| canon_of(s)).collect();
+        let baseline = CanonTable::new();
+        let base_refs: Vec<CanonRef> = canons
+            .iter()
+            .map(|(c, r)| baseline.intern_arena(c, *r))
+            .collect();
+        for count in [1usize, 4, MAX_TABLE_SHARDS] {
+            let table = CanonTable::with_shards(count);
+            assert_eq!(table.shard_count(), count);
+            let refs: Vec<CanonRef> = canons
+                .iter()
+                .map(|(c, r)| table.intern_arena(c, *r))
+                .collect();
+            for i in 0..refs.len() {
+                for j in 0..refs.len() {
+                    assert_eq!(
+                        refs[i] == refs[j],
+                        base_refs[i] == base_refs[j],
+                        "{count} stripes disagree on {} vs {}",
+                        sources[i],
+                        sources[j]
+                    );
+                }
+            }
+            assert_eq!(table.resident_nodes(), baseline.resident_nodes());
+            // Extraction round-trips under every stripe count.
+            let mut view = TableView::new(&table);
+            let (out, out_root) = extract_one(&mut view, refs[0]);
+            assert!(db_eq(&canons[0].0, canons[0].1, &out, out_root));
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod enabled {
         // Counters.
         merge_confirm_ref: Arc<Counter>,
         merge_confirm_walk: Arc<Counter>,
+        merge_confirm_cached: Arc<Counter>,
         hash_nodes: Arc<Counter>,
         name_cache_misses: Arc<Counter>,
         updates_applied: Arc<Counter>,
@@ -170,6 +171,11 @@ mod enabled {
                 "Merges confirmed by structural frontier walk",
                 "merges",
             ));
+            let merge_confirm_cached = registry.counter(desc(
+                "alpha_store_merge_confirm_cached",
+                "Merges confirmed via the hot-class cache (intern short-circuit)",
+                "merges",
+            ));
             let hash_nodes = registry.counter(desc(
                 "alpha_store_hash_nodes",
                 "Nodes pushed through the e-summary hasher",
@@ -241,6 +247,7 @@ mod enabled {
                 recovery_replay_ns,
                 merge_confirm_ref,
                 merge_confirm_walk,
+                merge_confirm_cached,
                 hash_nodes,
                 name_cache_misses,
                 updates_applied,
@@ -359,6 +366,15 @@ mod enabled {
         pub(crate) fn confirm_walk(&self, steps: u64) {
             self.merge_confirm_walk.inc();
             self.frontier_walk_nodes.record(steps);
+        }
+
+        /// Merge confirmed via the hot-class cache: the candidate's hash
+        /// hit a recently-merged class and the intern short-circuit
+        /// ref-matched, skipping the structural frontier walk. Atomic
+        /// add only.
+        #[inline]
+        pub(crate) fn confirm_cached(&self) {
+            self.merge_confirm_cached.inc();
         }
 
         /// Fold in the summariser's per-batch work counters.
@@ -509,6 +525,8 @@ mod disabled {
         pub(crate) fn confirm_ref(&self) {}
         #[inline(always)]
         pub(crate) fn confirm_walk(&self, _steps: u64) {}
+        #[inline(always)]
+        pub(crate) fn confirm_cached(&self) {}
         #[inline(always)]
         pub(crate) fn add_hash_counters(&self, _nodes: u64, _name_misses: u64) {}
         #[inline(always)]

@@ -372,6 +372,58 @@ pub(crate) struct StoredClass<H> {
     pub(crate) occurrences: u64,
 }
 
+/// Capacity of each shard's [`HotClassCache`]: big enough to cover the
+/// working set of a merge-heavy ingest (a corpus rarely hammers more
+/// than a few dozen classes per stripe at once), small enough that the
+/// linear probe is a handful of cache lines.
+const HOT_CLASS_CAP: usize = 32;
+
+/// A small bounded map of recently-merged `(hash, CanonRef)` pairs, one
+/// per shard, replaced ring-style once full.
+///
+/// The cache is **advisory only**: a hit never decides equality. It
+/// routes a frontier entry whose hash recently merged through the canon
+/// table's interner — pure hash-consing lookups on a hot class, since
+/// every node is already resident — so the merge confirms by O(1) ref
+/// compare instead of a structural [`eq_frontier`] walk over the whole
+/// form. A colliding entry costs one wasted intern (which class
+/// creation would have paid anyway) and nothing else, which is why
+/// recovery can simply start the cache empty: exactness never depends
+/// on its contents. Refs stay valid for the store's lifetime (the canon
+/// table is append-only), so entries never go stale in-process.
+pub(crate) struct HotClassCache<H> {
+    entries: Vec<(H, CanonRef)>,
+    /// Next ring slot to evict once `entries` is full.
+    clock: usize,
+}
+
+impl<H: HashWord> HotClassCache<H> {
+    fn new() -> Self {
+        HotClassCache {
+            entries: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    fn get(&self, hash: H) -> Option<CanonRef> {
+        self.entries
+            .iter()
+            .find(|(h, _)| *h == hash)
+            .map(|&(_, r)| r)
+    }
+
+    fn insert(&mut self, hash: H, canon: CanonRef) {
+        if let Some(slot) = self.entries.iter_mut().find(|(h, _)| *h == hash) {
+            slot.1 = canon;
+        } else if self.entries.len() < HOT_CLASS_CAP {
+            self.entries.push((hash, canon));
+        } else {
+            self.entries[self.clock] = (hash, canon);
+            self.clock = (self.clock + 1) % HOT_CLASS_CAP;
+        }
+    }
+}
+
 /// One lock stripe: hash-addressed classes plus the shard-local term log.
 pub(crate) struct Shard<H> {
     /// Hash → indexes into `classes`. Almost always a single entry; more
@@ -390,6 +442,10 @@ pub(crate) struct Shard<H> {
     /// to un-index the old form exactly. Always empty boxes in `Roots`
     /// mode, where the root class is recovered from `terms` instead.
     pub(crate) term_subs: Vec<Box<[(u64, u32)]>>,
+    /// Recently-merged classes, for the intern short-circuit in
+    /// [`Shard::insert_entry`]. Process-local and advisory: never
+    /// persisted, rebuilt empty by recovery ([`Shard::from_parts`]).
+    pub(crate) hot_classes: HotClassCache<H>,
 }
 
 impl<H: HashWord> Shard<H> {
@@ -399,6 +455,7 @@ impl<H: HashWord> Shard<H> {
             classes: Vec::new(),
             terms: Vec::new(),
             term_subs: Vec::new(),
+            hot_classes: HotClassCache::new(),
         }
     }
 
@@ -420,6 +477,10 @@ impl<H: HashWord> Shard<H> {
             classes,
             terms,
             term_subs,
+            // Recovery starts the cache cold: cached refs are per-process
+            // packings, and a cold cache only costs the first walk per
+            // hot class.
+            hot_classes: HotClassCache::new(),
         }
     }
 
@@ -435,14 +496,35 @@ impl<H: HashWord> Shard<H> {
     /// entry that creates a class is interned here — `view` is released
     /// first, since interning write-locks table stripes the view may hold
     /// read guards on.
+    ///
+    /// Frontier entries whose hash hits the shard's [`HotClassCache`]
+    /// skip the walk: the form is interned up front (pure hash-consing
+    /// hits on a hot class) and confirmed by ref compare, counted as
+    /// `merge_confirm_cached`. The cache never decides equality — a
+    /// false hit degrades to the intern class creation would have done.
     pub(crate) fn insert_entry(
         &mut self,
         table: &CanonTable,
         view: &mut TableView<'_>,
-        entry: SubEntry<H>,
+        mut entry: SubEntry<H>,
         is_root: bool,
         obs: &StoreObs,
     ) -> (u32, bool, bool) {
+        let mut via_cache = false;
+        if matches!(entry.canon, PreparedCanon::Frontier { .. })
+            && self.buckets.get(&entry.hash).is_some_and(|b| !b.is_empty())
+            && self.hot_classes.get(entry.hash).is_some()
+        {
+            let PreparedCanon::Frontier { canon, canon_root } = &entry.canon else {
+                unreachable!("matched Frontier above");
+            };
+            // Same lock-order dance as frontier class creation: release
+            // the read view before interning write-locks table stripes.
+            view.release();
+            let r = table.intern_arena(canon, *canon_root);
+            entry.canon = PreparedCanon::Interned(r);
+            via_cache = true;
+        }
         let bucket = self.buckets.entry(entry.hash).or_default();
         let mut mismatched = false;
         for &ci in bucket.iter() {
@@ -452,7 +534,11 @@ impl<H: HashWord> Shard<H> {
                     PreparedCanon::Interned(r) => {
                         let eq = *r == class.canon;
                         if eq {
-                            obs.confirm_ref();
+                            if via_cache {
+                                obs.confirm_cached();
+                            } else {
+                                obs.confirm_ref();
+                            }
                         }
                         eq
                     }
@@ -471,6 +557,7 @@ impl<H: HashWord> Shard<H> {
                 if is_root {
                     class.members += 1;
                 }
+                self.hot_classes.insert(entry.hash, class.canon);
                 return (ci, false, mismatched);
             }
             mismatched = true;
@@ -605,10 +692,25 @@ impl<H: HashWord> Default for AlphaStore<H> {
 }
 
 impl<H: HashWord> AlphaStore<H> {
-    /// Shard count used by [`AlphaStore::new`]: enough stripes that 8–16
-    /// ingest threads rarely contend, cheap enough to be negligible for
-    /// single-threaded use.
+    /// Floor of the default shard count: enough stripes that 8–16 ingest
+    /// threads rarely contend, cheap enough to be negligible for
+    /// single-threaded use. [`AlphaStore::default_shards`] scales above
+    /// this on wider machines.
     pub const DEFAULT_SHARDS: usize = 16;
+
+    /// The shard count [`AlphaStore::new`] and [`StoreBuilder::new`] use:
+    /// the machine's `available_parallelism` rounded up to a power of
+    /// two, floored at [`AlphaStore::DEFAULT_SHARDS`] (so boxes up to 16
+    /// cores keep the historical layout) and capped at the 16-bit
+    /// [`ClassId`] shard-index limit. Durable stores persist and validate
+    /// whatever count they were built with, so a store created on a wide
+    /// machine reopens elsewhere by passing that count to
+    /// [`StoreBuilder::shards`] explicitly.
+    pub fn default_shards() -> usize {
+        std::thread::available_parallelism()
+            .map_or(Self::DEFAULT_SHARDS, |n| n.get().next_power_of_two())
+            .clamp(Self::DEFAULT_SHARDS, 1 << 16)
+    }
 
     /// The configuring front door: a [`StoreBuilder`] with the default
     /// scheme, shard count and [`Granularity::Roots`].
@@ -617,10 +719,11 @@ impl<H: HashWord> AlphaStore<H> {
     }
 
     /// A [`Granularity::Roots`] store hashing with `scheme`, with the
-    /// default shard count. Thin shim over [`AlphaStore::builder`], kept
-    /// so pre-builder call sites stay source-compatible.
+    /// [default shard count](AlphaStore::default_shards). Thin shim over
+    /// [`AlphaStore::builder`], kept so pre-builder call sites stay
+    /// source-compatible.
     pub fn new(scheme: HashScheme<H>) -> Self {
-        Self::with_shards(scheme, Self::DEFAULT_SHARDS)
+        Self::with_shards(scheme, Self::default_shards())
     }
 
     /// A [`Granularity::Roots`] store with an explicit shard count (shim
@@ -632,6 +735,7 @@ impl<H: HashWord> AlphaStore<H> {
             shards,
             Granularity::Roots,
             Self::DEFAULT_CHUNK_ENTRIES,
+            crate::dag::default_table_shards(),
         )
     }
 
@@ -647,6 +751,7 @@ impl<H: HashWord> AlphaStore<H> {
         shards: usize,
         granularity: Granularity,
         chunk_entries: usize,
+        table_shards: usize,
     ) -> Self {
         let count = shards.clamp(1, 1 << 16).next_power_of_two();
         let shards: Box<[RwLock<Shard<H>>]> =
@@ -657,7 +762,7 @@ impl<H: HashWord> AlphaStore<H> {
             mask: count - 1,
             counters: StatCounters::default(),
             granularity,
-            table: CanonTable::new(),
+            table: CanonTable::with_shards(table_shards),
             chunk_entries: chunk_entries.max(1),
             durable: None,
             retry: RetryPolicy::default(),
@@ -741,6 +846,13 @@ impl<H: HashWord> AlphaStore<H> {
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of lock stripes in the shared canon table — a per-process
+    /// concurrency knob ([`StoreBuilder::table_shards`]), not part of the
+    /// persisted configuration.
+    pub fn table_shard_count(&self) -> usize {
+        self.table.shard_count()
     }
 
     /// Routes a hash to its shard. Re-mixed so that shard choice is not
@@ -1491,6 +1603,7 @@ impl<H: HashWord> AlphaStore<H> {
                 vfs: Arc::new(crate::persist::vfs::OsVfs),
                 retry: RetryPolicy::default(),
                 auto_ckpt: AutoCheckpoint::default(),
+                table_shards: crate::dag::default_table_shards(),
             },
         )
     }
@@ -2110,6 +2223,22 @@ impl<H: HashWord> AlphaStore<H> {
                     "bytes",
                 ),
                 dag.resident_bytes,
+            ),
+            Sample::gauge(
+                d(
+                    "alpha_store_shards",
+                    "Effective store lock-stripe count",
+                    "shards",
+                ),
+                self.shard_count() as u64,
+            ),
+            Sample::gauge(
+                d(
+                    "alpha_store_table_shards",
+                    "Effective canon-table lock-stripe count",
+                    "shards",
+                ),
+                self.table_shard_count() as u64,
             ),
         ];
         if let Some(records) = self.wal_records() {

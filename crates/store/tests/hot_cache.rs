@@ -1,0 +1,263 @@
+//! Correctness tests for the per-shard hot-class merge cache: confirming
+//! a merge through the cached `(hash, CanonRef)` short-circuit must be
+//! observationally identical to confirming it through the `eq_frontier`
+//! DAG walk — same classes, same census, zero unconfirmed merges — and
+//! the cache must come back cold (and correct) across checkpoint and
+//! recovery.
+//!
+//! Attribution ground truth (single shard, sequential inserts of one
+//! alpha-class): insert #1 creates the class, insert #2 is a frontier
+//! walk (which populates the cache), inserts #3+ are cache hits — so the
+//! deterministic test pins `merge_confirm_walk == 1` and
+//! `merge_confirm_cached == n - 2` exactly.
+
+use alpha_store::{AlphaStore, ClassId};
+use lambda_lang::arena::{ExprArena, NodeId};
+use lambda_lang::uniquify::uniquify_into;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A fresh temp directory, removed on drop (even when a case fails).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "alpha-store-hotcache-{}-{}-{}",
+            std::process::id(),
+            tag,
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A duplicate-heavy corpus: `shapes` distinct generator outputs, each
+/// appearing `copies` times as alpha-renamed variants — the hot-class
+/// regime the cache exists for.
+fn hot_corpus(arena: &mut ExprArena, seed: u64, shapes: usize, copies: usize) -> Vec<NodeId> {
+    let mut roots = Vec::with_capacity(shapes * copies);
+    for shape in 0..shapes {
+        let mut rng = StdRng::seed_from_u64(seed ^ shape as u64);
+        let size = 8 + (shape % 4) * 10;
+        let mut scratch = ExprArena::new();
+        let root = match shape % 3 {
+            0 => expr_gen::balanced(&mut scratch, size, &mut rng),
+            1 => expr_gen::unbalanced(&mut scratch, size, &mut rng),
+            _ => expr_gen::arithmetic(&mut scratch, size.max(8), &mut rng),
+        };
+        for _ in 0..copies {
+            roots.push(uniquify_into(&scratch, root, arena));
+        }
+    }
+    roots
+}
+
+/// Everything observable about a store's classes, keyed by canonical text:
+/// members, occurrences, node counts. Equal censuses mean the two stores
+/// hold the same alpha-classes with the same bookkeeping — however their
+/// merges were confirmed.
+fn census(store: &AlphaStore<u64>) -> BTreeMap<String, (u64, u64, usize)> {
+    let mut out = BTreeMap::new();
+    for class in store.classes() {
+        let old = out.insert(
+            store.canonical_text(class),
+            (
+                store.members(class),
+                store.occurrences(class),
+                store.node_count(class),
+            ),
+        );
+        assert!(old.is_none(), "duplicate canonical form across classes");
+    }
+    out
+}
+
+#[cfg(feature = "obs")]
+fn confirmations(store: &AlphaStore<u64>) -> (u64, u64, u64) {
+    let report = store.obs_report();
+    (
+        report.counter("alpha_store_merge_confirm_ref").unwrap(),
+        report.counter("alpha_store_merge_confirm_walk").unwrap(),
+        report.counter("alpha_store_merge_confirm_cached").unwrap(),
+    )
+}
+
+/// The exact walk-then-cache attribution sequence for one hot class.
+#[cfg(feature = "obs")]
+#[test]
+fn one_hot_class_walks_once_then_hits_the_cache() {
+    let mut rng = StdRng::seed_from_u64(0x407);
+    let mut scratch = ExprArena::new();
+    let shape = expr_gen::balanced(&mut scratch, 24, &mut rng);
+
+    let store: AlphaStore<u64> = AlphaStore::builder().seed(3).shards(1).build();
+    let mut arena = ExprArena::new();
+    let n = 6usize;
+    let mut class: Option<ClassId> = None;
+    for _ in 0..n {
+        let root = uniquify_into(&scratch, shape, &mut arena);
+        let outcome = store.insert(&arena, root);
+        match class {
+            None => class = Some(outcome.class),
+            Some(c) => assert_eq!(outcome.class, c, "all variants land in one class"),
+        }
+    }
+
+    let stats = store.stats();
+    assert!(stats.is_exact(), "cache hits must stay exact");
+    assert_eq!(store.num_classes(), 1);
+    assert_eq!(store.members(class.unwrap()), n as u64);
+    assert_eq!(stats.merges_confirmed, (n - 1) as u64);
+
+    let (by_ref, by_walk, by_cache) = confirmations(&store);
+    assert_eq!(by_ref, 0, "fresh prepares are frontier entries");
+    assert_eq!(by_walk, 1, "only the cache-cold merge walks the DAG");
+    assert_eq!(
+        by_cache,
+        (n - 2) as u64,
+        "every merge after the cache-populating walk short-circuits"
+    );
+}
+
+/// Recovery starts the cache cold: the first post-reopen merge per class
+/// walks again, later ones hit the rebuilt cache — and the restored
+/// classes absorb the new members exactly as the pre-crash store would.
+#[cfg(feature = "obs")]
+#[test]
+fn cache_rebuilds_cold_across_checkpoint_and_recovery() {
+    let dir = TempDir::new("cold");
+    let builder = || {
+        AlphaStore::<u64>::builder()
+            .seed(11)
+            .shards(2)
+            .chunk_entries(16)
+    };
+
+    let mut arena = ExprArena::new();
+    let roots = hot_corpus(&mut arena, 0xC01D, 4, 5);
+    let before;
+    {
+        let store = builder().open_durable(dir.path()).expect("create durable");
+        store.insert_batch(&arena, &roots);
+        assert!(store.stats().is_exact());
+        store.checkpoint().expect("checkpoint");
+        before = census(&store);
+    }
+
+    let reopened = builder().open_durable(dir.path()).expect("reopen");
+    assert_eq!(census(&reopened), before, "recovery preserves the census");
+    // Obs counters are process-local and start at zero, while restored
+    // StoreStats carry the pre-crash merge totals — so reconcile deltas.
+    let merges_at_reopen = reopened.stats().merges_confirmed;
+    assert_eq!(
+        confirmations(&reopened),
+        (0, 0, 0),
+        "fresh process, fresh counters"
+    );
+
+    // Re-ingest the same corpus: every insert is now a confirmed merge.
+    let mut arena2 = ExprArena::new();
+    let roots2 = hot_corpus(&mut arena2, 0xC01D, 4, 5);
+    reopened.insert_batch(&arena2, &roots2);
+
+    let stats = reopened.stats();
+    assert!(stats.is_exact(), "post-recovery cache hits stay exact");
+    let (by_ref, by_walk, by_cache) = confirmations(&reopened);
+    assert_eq!(
+        by_ref + by_walk + by_cache,
+        stats.merges_confirmed - merges_at_reopen,
+        "every post-reopen merge is attributed to exactly one path"
+    );
+    assert!(by_walk >= 1, "the cold cache forces at least one walk");
+    assert!(
+        by_cache >= 1,
+        "repeat merges on a hot class hit the rebuilt cache"
+    );
+
+    // The census is the pre-crash one with every class's members and
+    // occurrences doubled — byte-identical canonical forms.
+    let after = census(&reopened);
+    assert_eq!(after.len(), before.len());
+    for (text, (members, occurrences, nodes)) in &before {
+        assert_eq!(
+            after.get(text),
+            Some(&(members * 2, occurrences * 2, *nodes)),
+            "class {text:?} after re-ingest"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cached confirmation ≡ frontier-walk confirmation, propositionally:
+    /// a sequential single-shard store (maximal cache hits) and a
+    /// concurrent multi-shard store build identical censuses from the
+    /// same duplicate-heavy corpus, both with zero unconfirmed merges,
+    /// and both attribute every confirmed merge to exactly one path.
+    #[test]
+    fn cached_and_walked_confirmation_build_identical_stores(
+        seed in 0u64..1_000,
+        shapes in 2usize..6,
+        copies in 4usize..9,
+        threads in 2usize..5,
+    ) {
+        let mut arena = ExprArena::new();
+        let roots = hot_corpus(&mut arena, seed, shapes, copies);
+
+        // Sequential, one shard: after each shape's first merge walks,
+        // every later copy must hit the cache.
+        let hot: AlphaStore<u64> = AlphaStore::builder().seed(5).shards(1).build();
+        for &r in &roots {
+            hot.insert(&arena, r);
+        }
+
+        // Concurrent, sharded: interleavings decide walk vs cache hit
+        // per merge; the outcome must not.
+        let cold: AlphaStore<u64> = AlphaStore::builder().seed(5).shards(4).build();
+        let chunk = roots.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in roots.chunks(chunk) {
+                scope.spawn(|| cold.insert_batch(&arena, part));
+            }
+        });
+
+        prop_assert!(hot.stats().is_exact());
+        prop_assert!(cold.stats().is_exact());
+        prop_assert_eq!(census(&hot), census(&cold));
+        prop_assert_eq!(hot.num_classes(), shapes);
+
+        #[cfg(feature = "obs")]
+        {
+            for store in [&hot, &cold] {
+                let (by_ref, by_walk, by_cache) = confirmations(store);
+                prop_assert_eq!(
+                    by_ref + by_walk + by_cache,
+                    store.stats().merges_confirmed,
+                    "exactly one confirmation path per merge"
+                );
+            }
+            // The sequential store's attribution is fully determined:
+            // one walk per shape, cache hits for everything else.
+            let (_, by_walk, by_cache) = confirmations(&hot);
+            prop_assert_eq!(by_walk, shapes as u64);
+            prop_assert_eq!(by_cache, (shapes * (copies - 2)) as u64);
+        }
+    }
+}

@@ -102,8 +102,9 @@ fn check_roots_reconciliation(store: &AlphaStore<u64>) -> Result<(), TestCaseErr
     let stats = store.stats();
     let by_ref = report.counter("alpha_store_merge_confirm_ref").unwrap();
     let by_walk = report.counter("alpha_store_merge_confirm_walk").unwrap();
+    let by_cache = report.counter("alpha_store_merge_confirm_cached").unwrap();
     prop_assert_eq!(
-        by_ref + by_walk,
+        by_ref + by_walk + by_cache,
         stats.merges_confirmed,
         "every confirmed merge is attributed to exactly one confirmation path"
     );
@@ -263,7 +264,8 @@ fn runtime_toggle_stops_timing_but_never_counters() {
     );
     let by_walk = report.counter("alpha_store_merge_confirm_walk").unwrap();
     let by_ref = report.counter("alpha_store_merge_confirm_ref").unwrap();
-    assert_eq!(by_ref + by_walk, stats.merges_confirmed);
+    let by_cache = report.counter("alpha_store_merge_confirm_cached").unwrap();
+    assert_eq!(by_ref + by_walk + by_cache, stats.merges_confirmed);
 
     // Re-enabling arms the clock again.
     store.set_obs_enabled(true);

@@ -74,6 +74,43 @@ fn balanced_terms_stay_log_linear() {
 }
 
 #[test]
+fn wide_open_spines_are_subquadratic_per_merge_op() {
+    // The wide-open regime (sustained free-var width, width growing with
+    // the node budget) is where the sorted-Vec spill was honestly
+    // documented Θ(n²): every 1-into-M join rebuilt the whole M-entry
+    // map. With the tree tier the per-merge-op cost is O(log width), so
+    // doubling the node budget (and with it the width) must leave the
+    // wall-time/merge_ops ratio roughly flat. A quadratic path multiplies
+    // the per-op cost by ~4 across a 4x budget; the log path by ~1.2.
+    let sizes = [8_000usize, 16_000, 32_000];
+    let mut per_op = Vec::new();
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let mut arena = ExprArena::new();
+        let root = expr_gen::wide_open_spine(&mut arena, n, n / 8, &mut rng);
+        let scheme: HashScheme<u64> = HashScheme::new(0xC0);
+        // Best of three, to damp scheduler noise on loaded CI boxes.
+        let mut best = f64::INFINITY;
+        let mut ops = 0u64;
+        for _ in 0..3 {
+            let mut summariser = HashedSummariser::new(&arena, &scheme);
+            let start = std::time::Instant::now();
+            let _ = summariser.summarise(&arena, root);
+            best = best.min(start.elapsed().as_secs_f64());
+            ops = summariser.merge_ops;
+        }
+        assert_log_linear(&format!("wide {n}"), n, ops);
+        per_op.push(best / ops as f64);
+    }
+    let growth = per_op[2] / per_op[0];
+    assert!(
+        growth < 2.5,
+        "wide-open per-merge-op cost grew {growth:.2}x across a 4x node budget \
+         (quadratic behaviour would grow ~4x): {per_op:?}"
+    );
+}
+
+#[test]
 fn distinct_variable_spine_is_worst_case_linear() {
     // A left spine applying n distinct free variables: every merge is
     // 1-into-M with the 1 side always smaller, so ops must be ~n, far
